@@ -1,0 +1,40 @@
+"""Ablation: contribution of the three CTXBack techniques (§III-B/C/D).
+
+Not a paper figure — the design-choice study DESIGN.md calls out.  Toggles
+the relaxed flashback-point condition, instruction reverting and on-chip
+scalar register backup independently and reports the context size each
+variant achieves.
+"""
+
+from repro.analysis import ablation_techniques, render_figure
+
+
+def test_ablation_technique_contributions(benchmark, keys):
+    data = benchmark.pedantic(
+        lambda: ablation_techniques(keys=keys), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure(data))
+
+    for row in data.rows:
+        # the full technique set is never worse than any ablated variant
+        full = row.normalized["full"]
+        for variant, value in row.normalized.items():
+            assert full <= value + 1e-9, (row.key, variant)
+        # dropping everything is never better than dropping one thing
+        assert row.normalized["none"] >= row.normalized["no_reverting"] - 1e-9
+
+    if keys is None:
+        # each technique contributes on at least one kernel
+        assert any(
+            row.normalized["no_relaxed"] > row.normalized["full"] + 1e-6
+            for row in data.rows
+        ), "relaxed condition never mattered"
+        assert any(
+            row.normalized["no_reverting"] > row.normalized["full"] + 1e-6
+            for row in data.rows
+        ), "reverting never mattered"
+        assert any(
+            row.normalized["no_osrb"] > row.normalized["full"] + 1e-6
+            for row in data.rows
+        ), "OSRB never mattered"

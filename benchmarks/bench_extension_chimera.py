@@ -1,0 +1,88 @@
+"""Extension: Chimera-style collaborative preemption with CTXBack inside.
+
+Paper §VI: "CTXBack ... can be integrated into Chimera to replace the
+traditional context switching mechanism."  This bench sweeps the signal
+across a thread block's lifetime and compares pure flush / drain / CTXBack
+against the progress-aware three-way choice: Chimera should track the best
+latency at the extremes (flush early, drain late) while bounding the wasted
+work + wait in the middle with CTXBack's context switch.
+"""
+
+import statistics
+
+from repro.kernels import SUITE
+from repro.mechanisms import Chimera, expected_dyn_for, make_mechanism
+from repro.sim import GPUConfig, run_preemption_experiment
+
+KERNEL = "mm"
+PROGRESS_POINTS = (0.05, 0.3, 0.5, 0.7, 0.95)
+
+
+def run_sweep():
+    config = GPUConfig.radeon_vii_contended()
+    bench = SUITE[KERNEL]
+    launch = bench.launch(
+        warp_size=config.warp_size, iterations=bench.default_iterations
+    )
+    spec = launch.spec()
+    expected = expected_dyn_for(launch.kernel, bench.default_iterations)
+    prepared = {
+        name: make_mechanism(name).prepare(launch.kernel, config)
+        for name in ("flush", "drain", "ctxback")
+    }
+    prepared["chimera"] = Chimera(expected_dyn=expected).prepare(
+        launch.kernel, config
+    )
+    rows = []
+    for fraction in PROGRESS_POINTS:
+        dyn = max(1, int(expected * fraction))
+        row = {"progress": fraction}
+        for name, mech_prepared in prepared.items():
+            result = run_preemption_experiment(
+                spec, mech_prepared, config, signal_dyn=dyn, resume_gap=2000
+            )
+            assert result.verified, (name, fraction)
+            row[name] = {
+                "latency": result.mean_latency,
+                "resume": result.mean_resume,
+            }
+        rows.append(row)
+    return rows
+
+
+def test_chimera_bounds_both_costs(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"{'progress':>9s}" + "".join(
+        f"{name + ' lat':>14s}{name + ' res':>14s}"
+        for name in ("flush", "drain", "ctxback", "chimera")
+    ))
+    for row in rows:
+        cells = "".join(
+            f"{row[name]['latency']:>14.0f}{row[name]['resume']:>14.0f}"
+            for name in ("flush", "drain", "ctxback", "chimera")
+        )
+        print(f"{row['progress']:>9.2f}" + cells)
+
+    for row in rows:
+        progress = row["progress"]
+        chimera = row["chimera"]
+        if progress <= 0.1:
+            # early: flush-like (instant release, cheap replay)
+            assert chimera["latency"] <= row["ctxback"]["latency"]
+        elif progress >= 0.9:
+            # late: drain-like (short wait, nothing to resume)
+            assert chimera["resume"] == 0
+            assert chimera["latency"] <= row["ctxback"]["latency"] * 1.5
+        else:
+            # middle: CTXBack's bounded pair of costs
+            assert chimera["latency"] == row["ctxback"]["latency"]
+            assert chimera["resume"] == row["ctxback"]["resume"]
+
+    # pure drain's early-signal wait is the pathology Chimera avoids
+    early = rows[0]
+    assert early["drain"]["latency"] > 5 * early["chimera"]["latency"]
+    # pure flush's late-signal replay is the other pathology
+    late = rows[-1]
+    assert late["flush"]["resume"] > 5 * max(1.0, late["chimera"]["resume"])

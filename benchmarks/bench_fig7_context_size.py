@@ -1,0 +1,42 @@
+"""Fig. 7: normalized context size (BASELINE = 1).
+
+Paper: LIVE −37.8 %, CS-Defer −62.07 %, CTXBack −61.03 %, combined −62.09 %;
+CTXBack is 1.09× the minimum possible size (the CKPT dash line); BLAS+DL
+subset −68.8 % for CTXBack; HS barely improves (LDS dominates §V-A).
+"""
+
+from repro.analysis import fig7_context_size, render_fig7_summary
+from repro.kernels import BLAS_DL_KEYS
+
+
+def test_fig7_normalized_context_size(benchmark, keys):
+    data = benchmark.pedantic(
+        lambda: fig7_context_size(keys=keys), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig7_summary(data))
+
+    # per-kernel shape: ctxback <= csdefer-ish <= live; min <= ctxback
+    for row in data.rows:
+        assert row.normalized["ctxback"] <= row.normalized["live"] + 1e-9, row.key
+        assert row.normalized["ckpt"] <= row.normalized["ctxback"] + 1e-9, row.key
+        assert row.normalized["combined"] <= row.normalized["ctxback"] + 1e-9
+
+    if keys is None:
+        # headline factors (paper: 61.0 / 37.8 / 62.1; tolerance: shape)
+        assert 50 <= data.mean_reduction_pct("ctxback") <= 75
+        assert 35 <= data.mean_reduction_pct("live") <= 60
+        assert data.mean_reduction_pct("ctxback") > data.mean_reduction_pct("live")
+        assert abs(
+            data.mean_reduction_pct("csdefer") - data.mean_reduction_pct("ctxback")
+        ) < 5
+        # CTXBack sits just above the minimum possible size (paper 1.09x)
+        assert 1.0 <= data.mean("ctxback") / data.mean("ckpt") <= 1.2
+        # BLAS+DL subset reduces more than the overall mean (paper 68.8%)
+        blas_dl = 100 * (1 - data.subset_mean("ctxback", BLAS_DL_KEYS))
+        assert blas_dl > data.mean_reduction_pct("ctxback")
+        # HS is the stubborn one: LDS dominates, nothing helps much
+        hs = next(row for row in data.rows if row.key == "hs")
+        assert hs.normalized["ctxback"] == max(
+            row.normalized["ctxback"] for row in data.rows
+        )

@@ -1,0 +1,44 @@
+"""Fig. 8: normalized execution time of the preemption routines.
+
+Paper: CTXBack −63.1 % vs BASELINE; CS-Defer's preemption latency 34.8 %
+longer than CTXBack's (44.2 % on the BLAS+DL subset) because the deferred
+window executes real instructions including device-memory accesses;
+CTXBack+CS-Defer −65.2 %.  Runs under the contended-SM configuration (see
+GPUConfig.radeon_vii_contended and EXPERIMENTS.md §Fig.8).
+"""
+
+from repro.analysis import preemption_timing, render_figure
+
+_cache: dict = {}
+
+
+def timing(keys, samples):
+    key = (tuple(keys) if keys else None, samples)
+    if key not in _cache:
+        _cache[key] = preemption_timing(keys=keys, samples=samples)
+    return _cache[key]
+
+
+def test_fig8_preemption_routine_time(benchmark, keys, samples):
+    fig8, _fig9 = benchmark.pedantic(
+        lambda: timing(keys, samples), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure(fig8))
+
+    for row in fig8.rows:
+        # the paper's per-kernel orderings
+        assert row.normalized["ctxback"] < 1.0, row.key
+        assert row.normalized["ctxback"] <= row.normalized["live"] + 0.02, row.key
+        assert row.normalized["ckpt"] < row.normalized["ctxback"], row.key
+        assert row.normalized["csdefer"] >= row.normalized["ctxback"] - 0.03, row.key
+
+    if keys is None:
+        # headline: CTXBack reduces preemption time ~63% (we allow 50-75)
+        assert 50 <= fig8.mean_reduction_pct("ctxback") <= 75
+        # CS-Defer pays for the deferred window's execution
+        assert fig8.mean("csdefer") > fig8.mean("ctxback")
+        # the combination is at least as good as CTXBack alone
+        assert fig8.mean("combined") <= fig8.mean("ctxback") + 0.01
+        # LIVE lands in between
+        assert fig8.mean("ctxback") < fig8.mean("live") < 1.0

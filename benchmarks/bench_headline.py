@@ -1,0 +1,25 @@
+"""The abstract's headline numbers, regenerated in one sweep.
+
+Paper: context −61.0 % (1.09× the minimum possible), preemption latency
+−63.1 %, resuming time −50.0 %, runtime overhead 0.41 %; CS-Defer resumes
+−65.6 % but preempts 1.35× slower than CTXBack.
+"""
+
+from repro.analysis import headline, render_headline
+
+
+def test_headline_numbers(benchmark, keys, samples):
+    result = benchmark.pedantic(
+        lambda: headline(keys=keys, samples=samples), rounds=1, iterations=1
+    )
+    print()
+    print(render_headline(result))
+
+    if keys is None:
+        assert 50 <= result.context_reduction_pct <= 75  # paper 61.0
+        assert 1.0 <= result.context_vs_min <= 1.2  # paper 1.09
+        assert 50 <= result.preempt_reduction_pct <= 75  # paper 63.1
+        assert 40 <= result.resume_reduction_pct <= 70  # paper 50.0
+        assert result.overhead_pct < 1.0  # paper 0.41
+        assert result.csdefer_latency_vs_ctxback > 1.0  # paper 1.35
+        assert 55 <= result.csdefer_resume_reduction_pct <= 75  # paper 65.6

@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_KEYS``  — comma-separated benchmark subset (default: all 12);
+* ``REPRO_BENCH_SAMPLES`` — signal points per kernel for the timing sweeps
+  (default 3; the paper effectively averages over arbitrary signal points).
+
+Every bench prints the regenerated table (run with ``-s`` to see it inline)
+and asserts the paper's *shape*: who wins and by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_keys() -> list[str] | None:
+    raw = os.environ.get("REPRO_BENCH_KEYS", "").strip()
+    if not raw:
+        return None  # all benchmarks
+    return [key.strip() for key in raw.split(",") if key.strip()]
+
+
+def bench_samples() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "3"))
+
+
+@pytest.fixture(scope="session")
+def keys():
+    return bench_keys()
+
+
+@pytest.fixture(scope="session")
+def samples():
+    return bench_samples()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Compiler-explorer view of the CTXBack analysis on a benchmark kernel.
+
+Dumps, for the DOT kernel's loop body: the per-instruction live context
+(what LIVE would save), the flashback point CTXBack selects, the resulting
+context size, and how many instructions resume re-executes — the raw
+material behind Fig. 7.
+
+Run:  python examples/compiler_explorer.py [kernel-key]
+"""
+
+import sys
+
+from repro.compiler import analyze_liveness, build_cfg
+from repro.ctxback import (
+    META_BYTES,
+    CtxBackConfig,
+    FlashbackAnalyzer,
+    baseline_context_bytes,
+    lds_share_bytes,
+    regs_bytes,
+)
+from repro.ctxback.osrb import apply_osrb
+from repro.isa import RegisterFileSpec
+from repro.kernels import SUITE
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "dot"
+    bench = SUITE[key]
+    spec = RegisterFileSpec(warp_size=64)
+    kernel = bench.build(64)
+    kernel, osrb_report = apply_osrb(kernel, spec)
+    analyzer = FlashbackAnalyzer(
+        kernel, CtxBackConfig(rf_spec=spec, enable_osrb=False)
+    )
+
+    cfg = build_cfg(kernel.program)
+    liveness = analyze_liveness(kernel.program, cfg)
+    loop = cfg.block_at(kernel.program.target_index("LOOP"))
+    baseline = baseline_context_bytes(kernel, spec)
+    overhead = lds_share_bytes(kernel) + META_BYTES  # charged by every plan
+
+    print(f"{bench.table1.name} ({bench.table1.abbrev})")
+    print(
+        f"allocation: {kernel.vgprs_used} VGPRs, {kernel.sgprs_used} SGPRs, "
+        f"{kernel.lds_bytes} B LDS -> BASELINE context {baseline} B/warp"
+    )
+    if osrb_report.count:
+        print(f"OSRB inserted {osrb_report.count} scalar backup cop(ies)")
+    print(f"\nloop body: positions {loop.start}..{loop.end - 1}\n")
+    print(
+        f"{'pos':>4s}  {'instruction':30s} {'live':>7s} {'ctxback':>8s} "
+        f"{'fb@':>5s} {'reexec':>7s}"
+    )
+    for pos in loop.positions():
+        instruction = kernel.program.instructions[pos]
+        live_bytes = regs_bytes(liveness.live_in[pos], spec) + overhead
+        plan = analyzer.plan_at(pos)
+        print(
+            f"{pos:>4d}  {str(instruction):30s} {live_bytes:>6d}B "
+            f"{plan.context_bytes:>7d}B {plan.flashback_pos:>5d} "
+            f"{plan.reexec_count:>7d}"
+        )
+
+    plans = [analyzer.plan_at(pos) for pos in loop.positions()]
+    mean_ctx = sum(p.context_bytes for p in plans) / len(plans)
+    mean_live = overhead + sum(
+        regs_bytes(liveness.live_in[pos], spec) for pos in loop.positions()
+    ) / len(loop)
+    print(
+        f"\nloop means: LIVE {mean_live:.0f} B ({mean_live / baseline:.0%} of "
+        f"baseline), CTXBack {mean_ctx:.0f} B ({mean_ctx / baseline:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

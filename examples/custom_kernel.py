@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Bring your own kernel: write assembly, run it, preempt it, verify it.
+
+Shows the full user workflow on a kernel that is *not* part of the
+benchmark suite: a fused scale-and-accumulate loop written directly in the
+textual ISA, launched on the simulator, preempted under CTXBack at an
+arbitrary point, and checked bit-exact against an uninterrupted run.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.isa import Kernel, parse
+from repro.mechanisms import make_mechanism
+from repro.sim import GPUConfig, LaunchSpec, run_preemption_experiment, run_reference
+
+ASSEMBLY = """
+    # ABI: s0 = in base, s1 = out base, s2 = iterations, s3 = stride bytes
+    v_lshl v1, v0, 0x2
+    v_add  v2, v1, s0        # input pointer
+    v_add  v3, v1, s1        # output pointer
+    v_mov  v8, 0             # running checksum (persistent)
+    s_mov  s4, 0
+LOOP:
+    global_load v4, v2, 0
+    global_load v5, v2, 0x100
+    v_add  v2, v2, s3        # early pointer bump: revertible
+    v_mul  v6, v4, 5
+    v_xor  v7, v6, v5
+    v_add  v8, v8, v7        # accumulate checksum
+    global_store v3, v7, 0
+    v_add  v3, v3, s3
+    s_add  s4, s4, 1
+    s_cmp_lt s4, s2
+    s_cbranch_scc1 LOOP
+    global_store v3, v8, 0   # final checksum
+    s_endpgm
+"""
+
+ITERATIONS = 24
+IN_BASE, OUT_BASE = 0x10000, 0x80000
+
+
+def main() -> None:
+    config = GPUConfig.small(warp_size=16)
+    kernel = Kernel(
+        "fused_scale",
+        parse(ASSEMBLY),
+        vgprs_used=12,
+        sgprs_used=8,
+        noalias=True,
+        warps_per_block=2,
+    )
+
+    warp_size = config.warp_size
+    span = (ITERATIONS + 2) * warp_size * 4 + 0x100
+
+    def setup_memory(memory):
+        memory.store_array(
+            IN_BASE, (np.arange(4096, dtype=np.uint32) * 2654435761) >> 16
+        )
+
+    def setup_warp(state, index):
+        state.vregs[0, :] = np.arange(warp_size, dtype=np.uint32)
+        state.sregs[0] = IN_BASE + index * span
+        state.sregs[1] = OUT_BASE + index * span
+        state.sregs[2] = ITERATIONS
+        state.sregs[3] = warp_size * 4
+        state.sregs[7] = 0
+
+    launch = LaunchSpec(
+        kernel=kernel, setup_memory=setup_memory, setup_warp=setup_warp
+    )
+
+    reference = run_reference(launch, config)
+    print(f"uninterrupted run: {reference.cycles} cycles")
+
+    prepared = make_mechanism("ctxback").prepare(kernel, config)
+    for signal in (7, 40, 111, 230):
+        result = run_preemption_experiment(
+            launch, prepared, config, signal_dyn=signal, resume_gap=500
+        )
+        m = result.measurements[0]
+        print(
+            f"signal @ dyn {signal:3d} (pc {m.signal_pc:2d}): "
+            f"flashback to {m.flashback_pos}, context {m.context_bytes} B, "
+            f"latency {m.latency_cycles} cyc, resume {m.resume_cycles} cyc, "
+            f"memory identical: {result.verified}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A latency-sensitive job preempts a batch job on a shared GPU.
+
+The paper's motivating scenario (§I): batch kernels written in the
+persistent-thread style occupy the SM; an inference request arrives and
+needs the GPU *now*.  We run the MM batch kernel, inject a preemption signal
+mid-loop under each mechanism, and report what the inference request
+experiences (waiting time = preemption latency) and what the batch job pays
+(resume time + wasted work).
+
+Run:  python examples/latency_sensitive_inference.py
+"""
+
+from repro.kernels import SUITE
+from repro.mechanisms import make_mechanism
+from repro.sim import GPUConfig, run_preemption_experiment
+
+BATCH_KERNEL = "mm"
+MECHANISMS = ("baseline", "live", "ckpt", "csdefer", "ctxback", "combined")
+
+
+def main() -> None:
+    config = GPUConfig.radeon_vii()
+    bench = SUITE[BATCH_KERNEL]
+    launch = bench.launch(warp_size=64, iterations=bench.default_iterations)
+    spec = launch.spec()
+    n = len(launch.kernel.program.instructions)
+    signal = 4 * n + 9  # mid-loop, an arbitrary execution point
+
+    print(
+        f"Batch job: {bench.table1.name} ({bench.table1.abbrev}), "
+        f"{launch.kernel.warps_per_block} warps, preempted mid-loop.\n"
+    )
+    print(
+        f"{'mechanism':10s} {'wait (µs)':>10s} {'resume (µs)':>12s} "
+        f"{'context':>9s} {'verified':>9s}"
+    )
+    for name in MECHANISMS:
+        prepared = make_mechanism(name).prepare(launch.kernel, config)
+        result = run_preemption_experiment(
+            spec, prepared, config, signal_dyn=signal, resume_gap=3000
+        )
+        print(
+            f"{name:10s} {config.cycles_to_us(result.mean_latency):10.1f} "
+            f"{config.cycles_to_us(result.mean_resume):12.1f} "
+            f"{result.mean_context_bytes / 1024:7.1f}KB "
+            f"{str(result.verified):>9s}"
+        )
+
+    print(
+        "\nReading the table: BASELINE makes the inference request wait for"
+        "\nthe full allocation swap; CKPT releases the SM almost instantly"
+        "\nbut the batch job replays up to 15 loop iterations on resume;"
+        "\nCTXBack keeps both costs low — the paper's headline trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

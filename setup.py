@@ -1,0 +1,8 @@
+"""Legacy shim: lets ``pip install -e .`` work offline (no `wheel` package).
+
+Metadata lives in pyproject.toml; this only enables ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

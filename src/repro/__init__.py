@@ -1,0 +1,38 @@
+"""CTXBack reproduction: low-latency GPU context switching via context
+flashback (Ji & Wang, IPDPS 2021).
+
+Public API layout:
+
+* :mod:`repro.isa` — synthetic GCN-flavoured SIMT ISA (registers, opcodes,
+  programs, textual assembly);
+* :mod:`repro.compiler` — CFG, liveness, value numbering, idempotence;
+* :mod:`repro.ctxback` — the paper's contribution: flashback-point analysis,
+  instruction reverting, OSRB, routine generation;
+* :mod:`repro.mechanisms` — the six evaluated preemption techniques behind a
+  uniform interface;
+* :mod:`repro.sim` — cycle-level single-SM simulator (functional + timing);
+* :mod:`repro.kernels` — the Table I benchmark suite (synthetic analogs);
+* :mod:`repro.analysis` — experiment drivers regenerating every table and
+  figure of §V.
+
+Quickstart::
+
+    from repro.isa import parse, Kernel
+    from repro.ctxback import FlashbackAnalyzer
+
+    kernel = Kernel("k", parse(asm_text), vgprs_used=16, sgprs_used=16)
+    plan = FlashbackAnalyzer(kernel).plan_at(position)
+    print(plan.context_bytes, plan.flashback_pos)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "compiler",
+    "ctxback",
+    "isa",
+    "kernels",
+    "mechanisms",
+    "sim",
+]

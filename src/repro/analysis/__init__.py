@@ -1,0 +1,56 @@
+"""Experiment drivers and reporting for the paper's evaluation (§V)."""
+
+from .experiments import (
+    ABLATION_VARIANTS,
+    HeadlineResult,
+    MECHANISMS,
+    Table1Result,
+    ablation_techniques,
+    fig7_context_size,
+    fig8_preemption_time,
+    fig9_resume_time,
+    fig10_runtime_overhead,
+    headline,
+    preemption_timing,
+    prepared_for,
+    table1_experiment,
+    weights_for,
+)
+from .metrics import (
+    FigureData,
+    KernelRow,
+    dynamic_pc_weights,
+    weighted_context_bytes,
+)
+from .trace import render_timeline
+from .report import (
+    render_fig7_summary,
+    render_figure,
+    render_headline,
+    render_table1,
+)
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "FigureData",
+    "HeadlineResult",
+    "KernelRow",
+    "MECHANISMS",
+    "Table1Result",
+    "ablation_techniques",
+    "dynamic_pc_weights",
+    "fig7_context_size",
+    "fig8_preemption_time",
+    "fig9_resume_time",
+    "fig10_runtime_overhead",
+    "headline",
+    "preemption_timing",
+    "prepared_for",
+    "render_fig7_summary",
+    "render_figure",
+    "render_headline",
+    "render_table1",
+    "render_timeline",
+    "table1_experiment",
+    "weights_for",
+]

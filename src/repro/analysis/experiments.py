@@ -1,0 +1,339 @@
+"""One driver per table/figure of the paper's evaluation (§V).
+
+Every driver returns a :class:`~repro.analysis.metrics.FigureData` (or a
+table-specific structure) so the report layer and the benchmark harness can
+render the same rows the paper plots.  Prepared kernels and reference
+profiles are cached per process — the CTXBack compiler pass is deterministic,
+so re-running a figure costs only the simulation sweeps.
+
+Configurations:
+
+* Table I / Fig. 7 run under :meth:`GPUConfig.radeon_vii` (calibrated so
+  BASELINE lands in the paper's 75-330 µs band);
+* Figs. 8-10 run under :meth:`GPUConfig.radeon_vii_contended`, which scales
+  streaming bandwidth to a fully-occupied SM's per-warp share (see the
+  preset's docstring and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..ctxback.flashback import CtxBackConfig
+from ..kernels.suite import SUITE, Benchmark
+from ..mechanisms import make_mechanism
+from ..mechanisms.base import PreparedKernel
+from ..mechanisms.ctxback import CtxBack
+from ..sim.config import GPUConfig
+from ..sim.gpu import run_preemption_experiment, run_reference
+from .metrics import (
+    FigureData,
+    KernelRow,
+    dynamic_pc_weights,
+    kernel_baseline_bytes,
+    weighted_context_bytes,
+)
+
+MECHANISMS = ("baseline", "live", "ckpt", "csdefer", "ctxback", "combined")
+
+_prepared_cache: dict = {}
+_weights_cache: dict = {}
+_reference_cache: dict = {}
+
+
+def _launch(bench: Benchmark, config: GPUConfig, iterations: int | None):
+    return bench.launch(
+        warp_size=config.warp_size,
+        iterations=iterations or bench.default_iterations,
+    )
+
+
+def prepared_for(
+    key: str, mechanism: str, config: GPUConfig, iterations: int | None = None
+) -> PreparedKernel:
+    """Cached mechanism preparation for one benchmark kernel."""
+    cache_key = (key, mechanism, config.warp_size, iterations)
+    if cache_key not in _prepared_cache:
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        _prepared_cache[cache_key] = make_mechanism(mechanism).prepare(
+            launch.kernel, config
+        )
+    return _prepared_cache[cache_key]
+
+
+def weights_for(key: str, config: GPUConfig, iterations: int | None = None):
+    """Cached dynamic PC histogram for one benchmark kernel."""
+    cache_key = (key, config.warp_size, iterations)
+    if cache_key not in _weights_cache:
+        bench = SUITE[key]
+        _weights_cache[cache_key] = dynamic_pc_weights(
+            _launch(bench, config, iterations), config
+        )
+    return _weights_cache[cache_key]
+
+
+def _signal_points(key: str, config: GPUConfig, samples: int, iterations=None):
+    """Dynamic-instruction triggers spread across different loop offsets.
+
+    Starting a few iterations in, successive points step by a stride coprime
+    to nothing in particular so the signal lands on a variety of loop-body
+    positions — the paper preempts at arbitrary execution points.
+    """
+    bench = SUITE[key]
+    launch = _launch(bench, config, iterations)
+    n = len(launch.kernel.program.instructions)
+    total = n * (iterations or bench.default_iterations) // 2
+    base = 3 * n
+    span = max(n, int(total * 0.8) - base)
+    stride = max(1, span // max(1, samples)) + 1
+    return [base + i * stride for i in range(samples)]
+
+
+# ---------------------------------------------------------------- Table I --
+
+
+@dataclass
+class Table1Result:
+    rows: list[dict] = field(default_factory=list)
+
+
+def table1_experiment(
+    config: GPUConfig | None = None,
+    keys=None,
+    iterations: int | None = None,
+) -> Table1Result:
+    """Per-kernel resources + BASELINE preemption/resume times (µs)."""
+    config = config or GPUConfig.radeon_vii()
+    result = Table1Result()
+    for key in keys or sorted(SUITE):
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        kernel = launch.kernel
+        spec = config.rf_spec
+        prepared = prepared_for(key, "baseline", config, iterations)
+        n = len(kernel.program.instructions)
+        run = run_preemption_experiment(
+            launch.spec(),
+            prepared,
+            config,
+            signal_dyn=3 * n + 7,
+            resume_gap=1000,
+            verify=False,
+        )
+        result.rows.append(
+            {
+                "key": key,
+                "abbrev": bench.table1.abbrev,
+                "vector_kb": spec.allocated_vgprs(kernel.vgprs_used)
+                * spec.vgpr_bytes_each
+                / 1024,
+                "scalar_kb": spec.allocated_sgprs(kernel.sgprs_used) * 4 / 1024,
+                "shared_kb": kernel.lds_bytes / 1024,
+                "preempt_us": config.cycles_to_us(run.mean_latency),
+                "resume_us": config.cycles_to_us(run.mean_resume),
+                "paper": bench.table1,
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------- Fig. 7 --
+
+
+def fig7_context_size(
+    config: GPUConfig | None = None,
+    keys=None,
+    mechanisms=("live", "ckpt", "csdefer", "ctxback", "combined"),
+    iterations: int | None = None,
+) -> FigureData:
+    """Normalized context size per kernel (BASELINE = 1); CKPT row is the
+    paper's minimum-possible-size dash line."""
+    config = config or GPUConfig.radeon_vii()
+    rows = []
+    for key in keys or sorted(SUITE):
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        weights = weights_for(key, config, iterations)
+        base = kernel_baseline_bytes(launch, config)
+        row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
+        for mechanism in mechanisms:
+            prepared = prepared_for(key, mechanism, config, iterations)
+            row.normalized[mechanism] = (
+                weighted_context_bytes(prepared, weights) / base
+            )
+        rows.append(row)
+    return FigureData(title="Fig. 7: normalized context size", rows=rows)
+
+
+# ------------------------------------------------------------- Figs. 8, 9 --
+
+
+def preemption_timing(
+    config: GPUConfig | None = None,
+    keys=None,
+    mechanisms=MECHANISMS,
+    samples: int = 3,
+    iterations: int | None = None,
+    verify: bool = False,
+):
+    """Run the preemption sweeps once; returns (fig8, fig9) FigureData."""
+    config = config or GPUConfig.radeon_vii_contended()
+    lat_rows, res_rows = [], []
+    for key in keys or sorted(SUITE):
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        spec = launch.spec()
+        points = _signal_points(key, config, samples, iterations)
+        lat: dict[str, float] = {}
+        res: dict[str, float] = {}
+        for mechanism in mechanisms:
+            prepared = prepared_for(key, mechanism, config, iterations)
+            lats, ress = [], []
+            for dyn in points:
+                run = run_preemption_experiment(
+                    spec,
+                    prepared,
+                    config,
+                    signal_dyn=dyn,
+                    resume_gap=2000,
+                    verify=verify,
+                )
+                if verify and not run.verified:
+                    raise AssertionError(
+                        f"{key}/{mechanism}: functional verification failed"
+                    )
+                lats.append(run.mean_latency)
+                ress.append(run.mean_resume)
+            lat[mechanism] = statistics.mean(lats)
+            res[mechanism] = statistics.mean(ress)
+        lat_row = KernelRow(key, bench.table1.abbrev, lat["baseline"])
+        res_row = KernelRow(key, bench.table1.abbrev, res["baseline"])
+        for mechanism in mechanisms:
+            lat_row.normalized[mechanism] = lat[mechanism] / lat["baseline"]
+            res_row.normalized[mechanism] = res[mechanism] / res["baseline"]
+        lat_rows.append(lat_row)
+        res_rows.append(res_row)
+    fig8 = FigureData(
+        title="Fig. 8: normalized preemption-routine execution time",
+        rows=lat_rows,
+    )
+    fig9 = FigureData(
+        title="Fig. 9: normalized resuming-routine execution time", rows=res_rows
+    )
+    return fig8, fig9
+
+
+def fig8_preemption_time(**kwargs) -> FigureData:
+    """Fig. 8 alone (runs the shared sweep; prefer preemption_timing)."""
+    return preemption_timing(**kwargs)[0]
+
+
+def fig9_resume_time(**kwargs) -> FigureData:
+    """Fig. 9 alone (runs the shared sweep; prefer preemption_timing)."""
+    return preemption_timing(**kwargs)[1]
+
+
+# ---------------------------------------------------------------- Fig. 10 --
+
+
+def fig10_runtime_overhead(
+    config: GPUConfig | None = None,
+    keys=None,
+    mechanisms=("ckpt", "ctxback"),
+    iterations: int | None = None,
+) -> FigureData:
+    """Runtime overhead of the instrumentation (no preemption delivered):
+    CKPT's periodic checkpoint stores vs CTXBack's OSRB copies."""
+    config = config or GPUConfig.radeon_vii_contended()
+    rows = []
+    for key in keys or sorted(SUITE):
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        spec = launch.spec()
+        cache_key = (key, config.warp_size, iterations, "clean")
+        if cache_key not in _reference_cache:
+            _reference_cache[cache_key] = run_reference(spec, config).cycles
+        clean = _reference_cache[cache_key]
+        row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=clean)
+        for mechanism in mechanisms:
+            prepared = prepared_for(key, mechanism, config, iterations)
+            instrumented = run_reference(spec, config, prepared=prepared).cycles
+            row.normalized[mechanism] = (instrumented - clean) / clean
+        rows.append(row)
+    return FigureData(
+        title="Fig. 10: runtime overhead (fraction of clean runtime)", rows=rows
+    )
+
+
+# ------------------------------------------------------------- Headline ----
+
+
+@dataclass
+class HeadlineResult:
+    context_reduction_pct: float
+    context_vs_min: float
+    preempt_reduction_pct: float
+    resume_reduction_pct: float
+    overhead_pct: float
+    csdefer_latency_vs_ctxback: float
+    csdefer_resume_reduction_pct: float
+
+
+def headline(
+    keys=None, samples: int = 2, iterations: int | None = None
+) -> HeadlineResult:
+    """The abstract's numbers: context −61.0 % (1.09× min), preemption
+    −63.1 %, resume −50.0 %, overhead 0.41 %."""
+    fig7 = fig7_context_size(keys=keys, iterations=iterations)
+    fig8, fig9 = preemption_timing(keys=keys, samples=samples, iterations=iterations)
+    fig10 = fig10_runtime_overhead(keys=keys, iterations=iterations)
+    return HeadlineResult(
+        context_reduction_pct=fig7.mean_reduction_pct("ctxback"),
+        context_vs_min=fig7.mean("ctxback") / fig7.mean("ckpt"),
+        preempt_reduction_pct=fig8.mean_reduction_pct("ctxback"),
+        resume_reduction_pct=fig9.mean_reduction_pct("ctxback"),
+        overhead_pct=100.0 * fig10.mean("ctxback"),
+        csdefer_latency_vs_ctxback=fig8.mean("csdefer") / fig8.mean("ctxback"),
+        csdefer_resume_reduction_pct=fig9.mean_reduction_pct("csdefer"),
+    )
+
+
+# -------------------------------------------------------------- Ablation ----
+
+
+ABLATION_VARIANTS = {
+    "full": CtxBackConfig(),
+    "no_relaxed": CtxBackConfig(enable_relaxed=False),
+    "no_reverting": CtxBackConfig(enable_reverting=False),
+    "no_osrb": CtxBackConfig(enable_osrb=False),
+    "none": CtxBackConfig(
+        enable_relaxed=False, enable_reverting=False, enable_osrb=False
+    ),
+}
+
+
+def ablation_techniques(
+    config: GPUConfig | None = None,
+    keys=None,
+    iterations: int | None = None,
+) -> FigureData:
+    """Contribution of the three techniques (§III-B/C/D) to context size."""
+    config = config or GPUConfig.radeon_vii()
+    rows = []
+    for key in keys or sorted(SUITE):
+        bench = SUITE[key]
+        launch = _launch(bench, config, iterations)
+        weights = weights_for(key, config, iterations)
+        base = kernel_baseline_bytes(launch, config)
+        row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
+        for variant, analysis_config in ABLATION_VARIANTS.items():
+            prepared = CtxBack(analysis_config).prepare(launch.kernel, config)
+            row.normalized[variant] = (
+                weighted_context_bytes(prepared, weights) / base
+            )
+        rows.append(row)
+    return FigureData(
+        title="Ablation: CTXBack context size by technique set", rows=rows
+    )

@@ -1,0 +1,116 @@
+"""Measurement helpers shared by the experiment drivers.
+
+Static context statistics are weighted by *dynamic execution counts* (a
+reference-run PC histogram): the paper's kernels spend essentially all of
+their time in the persistent-thread main loop, so a uniform static mean
+would over-weight preamble/epilogue instructions that almost never host a
+preemption signal.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+
+from ..compiler.cfg import build_cfg
+from ..ctxback.context import baseline_context_bytes
+from ..kernels.builder import StandardLaunch
+from ..mechanisms.base import PreparedKernel
+from ..sim.config import GPUConfig
+from ..sim.gpu import run_reference
+
+
+def dynamic_pc_weights(launch: StandardLaunch, config: GPUConfig) -> dict[int, int]:
+    """Execution count per program counter from one reference run."""
+    result = run_reference(launch.spec(), config)
+    return dict(result.sm.stats.pc_hist)
+
+
+def weighted_context_bytes(
+    prepared: PreparedKernel, weights: dict[int, int]
+) -> float:
+    """Execution-weighted mean context size of a prepared kernel.
+
+    For CKPT the "context" of a position is the checkpoint its basic block
+    saves (the paper's minimum-possible-size line in Fig. 7).
+    """
+    total = sum(weights.values())
+    if total == 0:
+        raise ValueError("empty pc histogram")
+    if prepared.is_checkpoint_based:
+        cfg = build_cfg(prepared.kernel.program)
+        by_block = {site.probe_id: site.nbytes for site in prepared.ckpt_sites.values()}
+        return (
+            sum(by_block.get(cfg.block_of[pc], 0) * w for pc, w in weights.items())
+            / total
+        )
+    return (
+        sum(prepared.plans[pc].context_bytes * w for pc, w in weights.items()) / total
+    )
+
+
+@dataclass
+class KernelRow:
+    """One benchmark's values across mechanisms (normalized to BASELINE)."""
+
+    key: str
+    abbrev: str
+    baseline_value: float
+    normalized: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class FigureData:
+    """One figure's full data: per-kernel rows plus cross-kernel means."""
+
+    title: str
+    rows: list[KernelRow]
+    #: free-form notes carried into the report (calibration caveats etc.)
+    notes: list[str] = field(default_factory=list)
+
+    def mean(self, mechanism: str) -> float:
+        values = [row.normalized[mechanism] for row in self.rows]
+        return statistics.mean(values)
+
+    def mean_reduction_pct(self, mechanism: str) -> float:
+        return 100.0 * (1.0 - self.mean(mechanism))
+
+    def subset_mean(self, mechanism: str, keys) -> float:
+        wanted = set(keys)
+        values = [
+            row.normalized[mechanism] for row in self.rows if row.key in wanted
+        ]
+        return statistics.mean(values)
+
+    def mechanisms(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for name in row.normalized:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def to_dict(self) -> dict:
+        """JSON-ready structure (for artifacts / downstream plotting)."""
+        return {
+            "title": self.title,
+            "rows": [
+                {
+                    "key": row.key,
+                    "abbrev": row.abbrev,
+                    "baseline": row.baseline_value,
+                    "normalized": dict(row.normalized),
+                }
+                for row in self.rows
+            ],
+            "means": {m: self.mean(m) for m in self.mechanisms()},
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), indent=2, **kwargs)
+
+
+def kernel_baseline_bytes(launch: StandardLaunch, config: GPUConfig) -> int:
+    return baseline_context_bytes(launch.kernel, config.rf_spec)

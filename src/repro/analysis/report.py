@@ -1,0 +1,97 @@
+"""Text rendering of experiment results — the same rows the paper reports."""
+
+from __future__ import annotations
+
+from ..kernels.suite import BLAS_DL_KEYS
+from .experiments import HeadlineResult, Table1Result
+from .metrics import FigureData
+
+
+def render_table1(result: Table1Result) -> str:
+    """Text table of Table I with the paper's numbers alongside."""
+    header = (
+        f"{'':5s} {'VRegs':>7s} {'SRegs':>7s} {'LDS':>6s} "
+        f"{'Preempt':>9s} {'(paper)':>9s} {'Resume':>9s} {'(paper)':>9s}"
+    )
+    lines = ["Table I: benchmark specification (per warp; times in µs)", header]
+    for row in result.rows:
+        paper = row["paper"]
+        lines.append(
+            f"{row['abbrev']:5s} {row['vector_kb']:5.1f}KB {row['scalar_kb']:5.2f}KB "
+            f"{row['shared_kb']:4.1f}KB {row['preempt_us']:8.1f}µ {paper.preempt_us:8.1f}µ "
+            f"{row['resume_us']:8.1f}µ {paper.resume_us:8.1f}µ"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(data: FigureData, *, percent: bool = False) -> str:
+    """Generic per-kernel/mechanism table with a MEAN row."""
+    mechanisms = data.mechanisms()
+    width = max(9, max(len(m) for m in mechanisms) + 1)
+    header = f"{'':6s}" + "".join(f"{m:>{width}s}" for m in mechanisms)
+    lines = [data.title, header]
+    for row in data.rows:
+        cells = "".join(
+            (
+                f"{100 * row.normalized[m]:>{width - 1}.1f}%"
+                if percent
+                else f"{row.normalized[m]:>{width}.3f}"
+            )
+            for m in mechanisms
+        )
+        lines.append(f"{row.abbrev:6s}" + cells)
+    means = "".join(
+        (
+            f"{100 * data.mean(m):>{width - 1}.1f}%"
+            if percent
+            else f"{data.mean(m):>{width}.3f}"
+        )
+        for m in mechanisms
+    )
+    lines.append(f"{'MEAN':6s}" + means)
+    for note in data.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_fig7_summary(data: FigureData) -> str:
+    """Fig. 7 table plus the paper's headline comparisons."""
+    lines = [render_figure(data)]
+    lines.append(
+        f"CTXBack context reduction: {data.mean_reduction_pct('ctxback'):.1f}% "
+        f"(paper 61.0%)"
+    )
+    if "ckpt" in data.mechanisms():
+        ratio = data.mean("ctxback") / data.mean("ckpt")
+        lines.append(f"CTXBack vs minimum possible: {ratio:.2f}x (paper 1.09x)")
+    blas_dl = data.subset_mean("ctxback", BLAS_DL_KEYS)
+    lines.append(
+        f"CTXBack BLAS+DL reduction: {100 * (1 - blas_dl):.1f}% (paper 68.8%)"
+    )
+    return "\n".join(lines)
+
+
+def render_headline(result: HeadlineResult) -> str:
+    """The abstract's numbers, measured vs paper."""
+    rows = [
+        ("context size reduction", f"{result.context_reduction_pct:.1f}%", "61.0%"),
+        ("context vs minimum possible", f"{result.context_vs_min:.2f}x", "1.09x"),
+        ("preemption latency reduction", f"{result.preempt_reduction_pct:.1f}%", "63.1%"),
+        ("resuming time reduction", f"{result.resume_reduction_pct:.1f}%", "50.0%"),
+        ("runtime overhead", f"{result.overhead_pct:.3f}%", "0.41%"),
+        (
+            "CS-Defer latency vs CTXBack",
+            f"{result.csdefer_latency_vs_ctxback:.2f}x",
+            "1.35x",
+        ),
+        (
+            "CS-Defer resume reduction",
+            f"{result.csdefer_resume_reduction_pct:.1f}%",
+            "65.6%",
+        ),
+    ]
+    width = max(len(r[0]) for r in rows)
+    lines = ["Headline results (measured vs paper):"]
+    for name, measured, paper in rows:
+        lines.append(f"  {name:{width}s}  {measured:>8s}  (paper {paper})")
+    return "\n".join(lines)

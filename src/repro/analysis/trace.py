@@ -1,0 +1,49 @@
+"""Human-readable timelines of preemption experiments.
+
+Turns an :class:`~repro.sim.gpu.ExperimentResult` into the event sequence a
+systems person wants to see: per warp, when the signal hit, how long the
+dedicated routine ran, when the warp came back, and what it cost — the
+textual form of the paper's latency/overhead story.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import GPUConfig
+from ..sim.gpu import ExperimentResult
+
+
+def render_timeline(result: ExperimentResult, config: GPUConfig) -> str:
+    """One line per warp event, cycles and µs."""
+    lines = [
+        f"mechanism {result.mechanism}: {len(result.measurements)} warps "
+        f"preempted, total {result.total_cycles} cycles "
+        f"({config.cycles_to_us(result.total_cycles):.1f} µs)"
+    ]
+    for measurement in sorted(result.measurements, key=lambda m: m.signal_cycle):
+        evicted = measurement.signal_cycle + measurement.latency_cycles
+        lines.append(
+            f"  warp {measurement.warp_id}: signal @ {measurement.signal_cycle} "
+            f"(pc {measurement.signal_pc}"
+            + (
+                f", flashback {measurement.flashback_pos}"
+                if measurement.flashback_pos is not None
+                else ""
+            )
+            + f") -> evicted @ {evicted} "
+            f"[latency {measurement.latency_cycles} cyc = "
+            f"{config.cycles_to_us(measurement.latency_cycles):.1f} µs, "
+            f"context {measurement.context_bytes} B]"
+        )
+        if measurement.resume_cycles is not None:
+            lines.append(
+                f"           resume cost {measurement.resume_cycles} cyc = "
+                f"{config.cycles_to_us(measurement.resume_cycles):.1f} µs"
+            )
+    if result.reference_cycles:
+        slowdown = result.total_cycles / result.reference_cycles
+        lines.append(
+            f"  uninterrupted reference: {result.reference_cycles} cycles "
+            f"(this run: {slowdown:.2f}x)"
+        )
+    lines.append(f"  memory verified: {result.verified}")
+    return "\n".join(lines)

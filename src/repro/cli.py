@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze``  — run the CTXBack pass on an assembly file and print the
+  selected flashback point + dedicated routines for one position (or a
+  per-position summary table);
+* ``validate`` — kind-check an assembly file (the assembler's type linter);
+* ``suite``    — list the benchmark kernels and their Table I budgets;
+* ``preempt``  — run one preemption experiment on a benchmark kernel;
+* ``table1`` / ``fig7`` / ``fig8`` / ``fig9`` / ``fig10`` / ``headline`` /
+  ``ablation`` — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="assembly file (textual ISA)")
+    parser.add_argument("--vgprs", type=int, default=None,
+                        help="declared vector registers (default: max used + 1)")
+    parser.add_argument("--sgprs", type=int, default=None,
+                        help="declared scalar registers (default: max used + 1)")
+    parser.add_argument("--lds-bytes", type=int, default=0)
+    parser.add_argument("--warp-size", type=int, default=64)
+    parser.add_argument("--may-alias", action="store_true",
+                        help="assume global loads/stores may alias "
+                             "(default: disjoint in/out buffers)")
+
+
+def _load_kernel(args):
+    from .isa import Kernel, RegKind, parse
+
+    with open(args.file) as handle:
+        program = parse(handle.read())
+    vgprs = args.vgprs or program.max_reg_index(RegKind.VECTOR) + 1
+    sgprs = args.sgprs or max(program.max_reg_index(RegKind.SCALAR) + 1, 1)
+    return Kernel(
+        name=args.file,
+        program=program,
+        vgprs_used=max(vgprs, 1),
+        sgprs_used=sgprs,
+        lds_bytes=args.lds_bytes,
+        noalias=not args.may_alias,
+    )
+
+
+def cmd_analyze(args) -> int:
+    from .ctxback import (
+        CtxBackConfig,
+        FlashbackAnalyzer,
+        baseline_context_bytes,
+        live_context_bytes_at,
+    )
+    from .isa import RegisterFileSpec, serialize
+
+    kernel = _load_kernel(args)
+    spec = RegisterFileSpec(warp_size=args.warp_size)
+    analyzer = FlashbackAnalyzer(kernel, CtxBackConfig(rf_spec=spec))
+    baseline = baseline_context_bytes(kernel, spec)
+    if args.position is not None:
+        plan = analyzer.plan_at(args.position)
+        live = live_context_bytes_at(kernel, args.position, spec)
+        print(f"signal at {args.position}: flashback to {plan.flashback_pos}")
+        print(f"  context {plan.context_bytes} B "
+              f"(LIVE {live} B, BASELINE {baseline} B)")
+        print(f"  re-executed instructions: {plan.reexec_count}")
+        print("\npreemption routine:")
+        print(serialize(plan.preempt_routine))
+        print("resuming routine:")
+        print(serialize(plan.resume_routine))
+        return 0
+    print(f"{'pos':>4s}  {'instruction':32s} {'live':>7s} {'ctxback':>8s} {'fb@':>5s}")
+    for position, instruction in enumerate(kernel.program.instructions):
+        plan = analyzer.plan_at(position)
+        live = live_context_bytes_at(kernel, position, spec)
+        print(
+            f"{position:>4d}  {str(instruction):32s} {live:>6d}B "
+            f"{plan.context_bytes:>7d}B {plan.flashback_pos:>5d}"
+        )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .isa import validate_kernel
+
+    kernel = _load_kernel(args)
+    problems = validate_kernel(kernel)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK ({len(kernel.program.instructions)} instructions)")
+    return 0
+
+
+def cmd_suite(_args) -> int:
+    from .kernels import SUITE
+
+    print(f"{'key':6s} {'abbrev':7s} {'name':24s} {'vregs':>6s} {'lds':>7s} {'warps':>6s}")
+    for key in sorted(SUITE):
+        bench = SUITE[key]
+        kernel = bench.build(64)
+        print(
+            f"{key:6s} {bench.table1.abbrev:7s} {bench.table1.name:24s} "
+            f"{kernel.vgprs_used:>6d} {kernel.lds_bytes:>6d}B "
+            f"{kernel.warps_per_block:>6d}"
+        )
+    return 0
+
+
+def cmd_preempt(args) -> int:
+    from .kernels import SUITE
+    from .mechanisms import Chimera, expected_dyn_for, make_mechanism
+    from .sim import GPUConfig, run_preemption_experiment
+
+    config = (
+        GPUConfig.radeon_vii_contended() if args.contended else GPUConfig.radeon_vii()
+    )
+    bench = SUITE[args.kernel]
+    iterations = args.iterations or bench.default_iterations
+    launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
+    if args.mechanism == "chimera":
+        mechanism = Chimera(expected_dyn=expected_dyn_for(launch.kernel, iterations))
+    else:
+        mechanism = make_mechanism(args.mechanism)
+    prepared = mechanism.prepare(launch.kernel, config)
+    n = len(launch.kernel.program.instructions)
+    signal = args.signal if args.signal is not None else 3 * n + 7
+    result = run_preemption_experiment(
+        launch.spec(), prepared, config, signal_dyn=signal,
+        resume_gap=args.resume_gap, verify=not args.no_verify,
+    )
+    print(f"kernel {args.kernel}, mechanism {args.mechanism}, signal dyn {signal}")
+    print(f"  preemption latency: {config.cycles_to_us(result.mean_latency):9.1f} µs")
+    print(f"  resuming time:      {config.cycles_to_us(result.mean_resume):9.1f} µs")
+    print(f"  context per warp:   {result.mean_context_bytes / 1024:9.2f} KB")
+    if not args.no_verify:
+        print(f"  memory verified:    {result.verified}")
+        return 0 if result.verified else 1
+    return 0
+
+
+def _experiment_command(name):
+    def run(args) -> int:
+        from . import analysis
+
+        keys = args.keys.split(",") if args.keys else None
+        if name == "table1":
+            print(analysis.render_table1(
+                analysis.table1_experiment(keys=keys, iterations=args.iterations)
+            ))
+        elif name == "fig7":
+            print(analysis.render_fig7_summary(
+                analysis.fig7_context_size(keys=keys, iterations=args.iterations)
+            ))
+        elif name in ("fig8", "fig9"):
+            fig8, fig9 = analysis.preemption_timing(
+                keys=keys, samples=args.samples, iterations=args.iterations
+            )
+            print(analysis.render_figure(fig8 if name == "fig8" else fig9))
+        elif name == "fig10":
+            print(analysis.render_figure(
+                analysis.fig10_runtime_overhead(keys=keys, iterations=args.iterations),
+                percent=True,
+            ))
+        elif name == "headline":
+            print(analysis.render_headline(
+                analysis.headline(keys=keys, samples=args.samples,
+                                  iterations=args.iterations)
+            ))
+        elif name == "ablation":
+            print(analysis.render_figure(
+                analysis.ablation_techniques(keys=keys, iterations=args.iterations)
+            ))
+        return 0
+
+    return run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CTXBack reproduction (IPDPS'21): analysis, simulation, "
+                    "and the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run the CTXBack pass on assembly")
+    _add_kernel_args(analyze)
+    analyze.add_argument("--position", type=int, default=None,
+                         help="signal position (default: summary of all)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    validate = sub.add_parser("validate", help="kind-check an assembly file")
+    _add_kernel_args(validate)
+    validate.set_defaults(func=cmd_validate)
+
+    suite = sub.add_parser("suite", help="list the benchmark kernels")
+    suite.set_defaults(func=cmd_suite)
+
+    preempt = sub.add_parser("preempt", help="run one preemption experiment")
+    preempt.add_argument("kernel", help="benchmark key (see `repro suite`)")
+    preempt.add_argument("--mechanism", default="ctxback",
+                         help="baseline|live|ckpt|csdefer|ctxback|combined|"
+                              "flush|drain|chimera")
+    preempt.add_argument("--signal", type=int, default=None,
+                         help="dynamic-instruction trigger (default: mid-loop)")
+    preempt.add_argument("--iterations", type=int, default=None)
+    preempt.add_argument("--resume-gap", type=int, default=2000)
+    preempt.add_argument("--contended", action="store_true",
+                         help="use the fully-occupied-SM configuration")
+    preempt.add_argument("--no-verify", action="store_true")
+    preempt.set_defaults(func=cmd_preempt)
+
+    for name, help_text in (
+        ("table1", "Table I: resources + BASELINE times"),
+        ("fig7", "Fig. 7: normalized context size"),
+        ("fig8", "Fig. 8: preemption-routine time"),
+        ("fig9", "Fig. 9: resuming-routine time"),
+        ("fig10", "Fig. 10: runtime overhead"),
+        ("headline", "the abstract's headline numbers"),
+        ("ablation", "technique-set ablation"),
+    ):
+        experiment = sub.add_parser(name, help=help_text)
+        experiment.add_argument("--keys", default="",
+                                help="comma-separated kernel subset")
+        experiment.add_argument("--samples", type=int, default=2)
+        experiment.add_argument("--iterations", type=int, default=None)
+        experiment.set_defaults(func=_experiment_command(name))
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less and closed early
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

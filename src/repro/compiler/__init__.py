@@ -1,0 +1,36 @@
+"""Classic compiler analyses the CTXBack pass builds on.
+
+* :mod:`.cfg` — basic blocks / control-flow graph;
+* :mod:`.liveness` — per-instruction live register sets (= register
+  contexts, paper §III-A);
+* :mod:`.usedef` — copy-propagating local value numbering (use-define
+  chains over *values*, not register names);
+* :mod:`.idempotence` — idempotent-region boundaries (paper §III-E).
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .execmask import partial_exec_positions, rmw_dsts
+from .idempotence import (
+    AliasModel,
+    idempotent_region_start,
+    region_is_idempotent,
+)
+from .liveness import LivenessInfo, analyze_liveness
+from .usedef import Kill, RegionValues, Value, number_region
+
+__all__ = [
+    "AliasModel",
+    "BasicBlock",
+    "CFG",
+    "Kill",
+    "LivenessInfo",
+    "RegionValues",
+    "Value",
+    "analyze_liveness",
+    "build_cfg",
+    "idempotent_region_start",
+    "number_region",
+    "partial_exec_positions",
+    "rmw_dsts",
+    "region_is_idempotent",
+]

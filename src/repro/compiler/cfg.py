@@ -1,0 +1,108 @@
+"""Control-flow graph construction.
+
+CTXBack restricts flashback-points to the basic block of the preempted
+instruction (paper §III-E): the control flow between the flashback-point and
+``I_cur`` must be statically determinable.  GPU kernels have large basic
+blocks (simple control logic), which is what makes this restriction cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Program
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction range ``[start, end)`` of a program."""
+
+    index: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __contains__(self, position: int) -> bool:
+        return self.start <= position < self.end
+
+    def positions(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass
+class CFG:
+    """Basic blocks plus a position -> block lookup."""
+
+    program: Program
+    blocks: list[BasicBlock]
+    block_of: list[int]  # instruction position -> block index
+
+    def block_at(self, position: int) -> BasicBlock:
+        return self.blocks[self.block_of[position]]
+
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Split *program* into basic blocks and wire successor edges.
+
+    Leaders are: position 0, every branch target, and every instruction
+    following a terminator.  ``s_endpgm`` has no successors; a conditional
+    branch falls through to the next block and jumps to its target.
+    """
+    program.validate()
+    n = len(program.instructions)
+    if n == 0:
+        return CFG(program, [BasicBlock(0, 0, 0)], [])
+
+    leaders = {0}
+    for position, instruction in enumerate(program.instructions):
+        target = instruction.branch_target
+        if target is not None:
+            leaders.add(program.target_index(target))
+        if instruction.spec.is_terminator and position + 1 < n:
+            leaders.add(position + 1)
+    starts = sorted(leader for leader in leaders if leader < n)
+
+    blocks: list[BasicBlock] = []
+    for block_index, start in enumerate(starts):
+        end = starts[block_index + 1] if block_index + 1 < len(starts) else n
+        blocks.append(BasicBlock(block_index, start, end))
+
+    block_of = [0] * n
+    for block in blocks:
+        for position in block.positions():
+            block_of[position] = block.index
+
+    start_to_block = {block.start: block.index for block in blocks}
+    for block in blocks:
+        last = program.instructions[block.end - 1]
+        spec = last.spec
+        succs: list[int] = []
+        target = last.branch_target
+        if target is not None:
+            target_pos = program.target_index(target)
+            if target_pos < n:
+                succs.append(start_to_block[target_pos])
+        if spec.mnemonic == "s_endpgm":
+            pass  # program exit
+        elif spec.mnemonic == "s_branch":
+            pass  # unconditional: target only
+        elif block.end < n:
+            succs.append(start_to_block[block.end])
+        # dedupe while keeping order (cond branch to fallthrough)
+        seen: set[int] = set()
+        block.successors = [s for s in succs if not (s in seen or seen.add(s))]
+
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.index)
+    return CFG(program, blocks, block_of)

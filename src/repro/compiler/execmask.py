@@ -1,0 +1,87 @@
+"""Exec-mask state analysis: where are vector writes *partial*?
+
+Under a full exec mask a vector write defines the whole register; under a
+partial mask it is a read-modify-write — the inactive lanes keep their old
+values, so the "new" value depends on the old one.  Liveness and value
+numbering must know the difference: treating a masked write as a full kill
+loses the inactive lanes across a preemption (the exec-divergence regression
+suite pins this down).
+
+The analysis is a small symbolic pass tracking whether ``exec`` holds the
+kernel's entry (full) mask:
+
+* at kernel entry ``exec`` is FULL;
+* ``s_mov sX, exec`` records that ``sX`` holds the current mask token;
+* ``s_mov exec, sX`` restores whatever token ``sX`` holds (the common
+  save/narrow/restore idiom becomes precise);
+* any other write to ``exec`` — or to a tracked ``sX`` — degrades to UNKNOWN.
+
+Kernels that never write ``exec`` (all twelve benchmarks) get an empty
+partial set and zero precision loss.  When ``exec`` is written anywhere,
+non-entry basic blocks conservatively start UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Program
+from ..isa.registers import EXEC, RegKind
+from .cfg import CFG, build_cfg
+
+_FULL = "full"
+_UNKNOWN = "unknown"
+
+
+def partial_exec_positions(program: Program, cfg: CFG | None = None) -> frozenset[int]:
+    """Positions whose vector writes may execute under a partial exec mask."""
+    instructions = program.instructions
+    if not any(EXEC in i.defs() for i in instructions):
+        return frozenset()
+
+    cfg = cfg or build_cfg(program)
+    partial: set[int] = set()
+    for block in cfg.blocks:
+        exec_token = _FULL if block.index == 0 else _UNKNOWN
+        holders: dict[int, str] = {}  # sreg index -> token it holds
+        for pos in block.positions():
+            instruction = instructions[pos]
+            if exec_token is not _FULL and any(
+                d.kind is RegKind.VECTOR for d in instruction.defs()
+            ):
+                partial.add(pos)
+            # transfer function
+            if instruction.mnemonic == "s_mov":
+                dst = instruction.dsts[0]
+                src = instruction.srcs[0]
+                if dst == EXEC:
+                    if (
+                        hasattr(src, "kind")
+                        and getattr(src, "kind", None) is RegKind.SCALAR
+                        and src.index in holders
+                    ):
+                        exec_token = holders[src.index]
+                    else:
+                        exec_token = _UNKNOWN
+                    continue
+                if dst.kind is RegKind.SCALAR:
+                    if src == EXEC:
+                        holders[dst.index] = exec_token
+                    else:
+                        holders.pop(dst.index, None)
+                    continue
+            for reg in instruction.defs():
+                if reg == EXEC:
+                    exec_token = _UNKNOWN
+                elif reg.kind is RegKind.SCALAR:
+                    holders.pop(reg.index, None)
+    return frozenset(partial)
+
+
+def rmw_dsts(program: Program, pos: int, partial: frozenset[int]):
+    """Destination registers with read-modify-write semantics at *pos*."""
+    if pos not in partial:
+        return ()
+    return tuple(
+        d
+        for d in program.instructions[pos].defs()
+        if d.kind is RegKind.VECTOR
+    )

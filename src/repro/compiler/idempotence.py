@@ -1,0 +1,94 @@
+"""Idempotent-region analysis.
+
+Flashback-points must lie inside an idempotent region (paper §III-E): the
+in-between instructions are re-executed during resume, which is only safe if
+executing them again has the same effect (de Kruijf et al. [13]).
+
+For a straight-line range the hazard is the *load-before-store* (WAR through
+memory) pattern: if a load at position ``i`` may alias a store at a later
+position ``j``, then after the store has executed, re-running the load reads
+the new value instead of the one the original execution saw.  Stores
+themselves are harmless to re-execute (they rewrite the same bytes), and a
+load *after* an aliasing store re-reads exactly the committed value.
+
+GPUs kernels overwhelmingly read input buffers and write disjoint output
+buffers; the benchmark kernels carry a ``noalias`` annotation reflecting
+that, under which whole basic blocks are idempotent — matching the paper's
+observation that basic-block-sized regions are "sufficient for finding a good
+enough flashback-point".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.instruction import Program
+from ..isa.opcodes import MemKind
+
+
+class AliasModel(enum.Enum):
+    """How conservatively *global* loads and stores are assumed to overlap.
+
+    LDS reads and writes within one thread block hit the same small buffer
+    by construction (that is what shared memory is for), so LDS
+    read-before-write hazards are enforced under *both* models; the flag
+    only waives global-buffer aliasing (disjoint in/out arrays).
+    """
+
+    #: Global loads and stores never alias (annotated disjoint buffers).
+    NO_ALIAS = "no_alias"
+    #: Any global load may alias any global store.  Scalar (SMEM) loads read
+    #: read-only launch constants under both models.
+    MAY_ALIAS = "may_alias"
+
+
+_GLOBAL = {MemKind.GLOBAL_LOAD: "load", MemKind.GLOBAL_STORE: "store"}
+_LDS = {MemKind.LDS_READ: "load", MemKind.LDS_WRITE: "store"}
+
+
+def idempotent_region_start(
+    program: Program,
+    block_start: int,
+    position: int,
+    alias_model: AliasModel = AliasModel.MAY_ALIAS,
+) -> int:
+    """Earliest region start ``p`` so that ``[p, position)`` is idempotent.
+
+    Scans backwards from *position*; once a store has been seen (scanning
+    backwards), the first potentially-aliasing load encountered breaks the
+    region: the region must begin after that load.
+    """
+    if not block_start <= position:
+        raise ValueError("position must not precede block_start")
+    track_global = alias_model is AliasModel.MAY_ALIAS
+
+    seen_global_store = False
+    seen_lds_store = False
+    for pos in range(position - 1, block_start - 1, -1):
+        mem = program.instructions[pos].spec.mem
+        if mem is None:
+            continue
+        if track_global:
+            role = _GLOBAL.get(mem)
+            if role == "store":
+                seen_global_store = True
+                continue
+            if role == "load" and seen_global_store:
+                return pos + 1
+        role = _LDS.get(mem)
+        if role == "store":
+            seen_lds_store = True
+            continue
+        if role == "load" and seen_lds_store:
+            return pos + 1
+    return block_start
+
+
+def region_is_idempotent(
+    program: Program,
+    start: int,
+    end: int,
+    alias_model: AliasModel = AliasModel.MAY_ALIAS,
+) -> bool:
+    """True if re-executing ``[start, end)`` is safe under *alias_model*."""
+    return idempotent_region_start(program, start, end, alias_model) == start

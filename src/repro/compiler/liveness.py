@@ -1,0 +1,134 @@
+"""Backward dataflow liveness analysis.
+
+"An instruction's register context is just its live-in registers"
+(paper §III-A).  Everything downstream — LIVE's context, CTXBack's
+flashback-point ranking, CS-Defer's deferral target, CKPT's checkpoint
+placement — consumes the per-instruction live sets computed here.
+
+Implicit architectural reads/writes (``exec`` for vector ops, ``scc`` for
+compares/conditional branches) are part of ``Instruction.uses``/``defs`` and
+therefore flow through liveness like ordinary registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Program
+from ..isa.registers import Reg, RegKind
+from .cfg import CFG, build_cfg
+from .execmask import partial_exec_positions
+
+
+@dataclass
+class LivenessInfo:
+    """Per-instruction live sets for one program.
+
+    ``live_in[i]`` is the register context of instruction ``i``: the set of
+    registers whose values are needed at the moment the preemption signal is
+    processed before executing ``i``.
+    """
+
+    program: Program
+    cfg: CFG
+    live_in: list[frozenset[Reg]]
+    live_out: list[frozenset[Reg]]
+
+    def context_regs(self, position: int) -> frozenset[Reg]:
+        """Register context of the instruction at *position* (= live-in)."""
+        return self.live_in[position]
+
+    def block_live_in(self, block_index: int) -> frozenset[Reg]:
+        block = self.cfg.blocks[block_index]
+        if len(block) == 0:
+            return frozenset()
+        return self.live_in[block.start]
+
+    def block_live_out(self, block_index: int) -> frozenset[Reg]:
+        block = self.cfg.blocks[block_index]
+        if len(block) == 0:
+            return frozenset()
+        return self.live_out[block.end - 1]
+
+
+def analyze_liveness(
+    program: Program,
+    cfg: CFG | None = None,
+    partial_exec: frozenset[int] | None = None,
+) -> LivenessInfo:
+    """Compute live-in/live-out per instruction with a block-level worklist.
+
+    Standard backward may-analysis:
+    ``out[B] = union(in[S] for S in succ(B))``,
+    ``in[B] = use[B] | (out[B] - def[B])`` computed instruction-wise.
+
+    Vector writes at *partial_exec* positions (see
+    :mod:`repro.compiler.execmask`) are read-modify-write: the destination
+    is also a use, and the write does not kill liveness upward — the
+    inactive lanes flow through.  ``partial_exec=None`` computes the set.
+    """
+    cfg = cfg or build_cfg(program)
+    if partial_exec is None:
+        partial_exec = partial_exec_positions(program, cfg)
+    num_blocks = len(cfg.blocks)
+
+    def effective(position: int):
+        """(uses, killing_defs) with RMW semantics applied."""
+        instruction = program.instructions[position]
+        uses = list(instruction.uses())
+        defs = list(instruction.defs())
+        if position in partial_exec:
+            rmw = [d for d in defs if d.kind is RegKind.VECTOR]
+            uses.extend(rmw)
+            defs = [d for d in defs if d.kind is not RegKind.VECTOR]
+        return uses, defs
+
+    # Block-local use/def summaries.
+    block_use: list[set[Reg]] = []
+    block_def: list[set[Reg]] = []
+    for block in cfg.blocks:
+        use: set[Reg] = set()
+        defs: set[Reg] = set()
+        for position in block.positions():
+            uses, killing = effective(position)
+            for reg in uses:
+                if reg not in defs:
+                    use.add(reg)
+            defs.update(killing)
+        block_use.append(use)
+        block_def.append(defs)
+
+    block_in: list[frozenset[Reg]] = [frozenset()] * num_blocks
+    block_out: list[frozenset[Reg]] = [frozenset()] * num_blocks
+
+    worklist = list(range(num_blocks))
+    in_worklist = [True] * num_blocks
+    while worklist:
+        block_index = worklist.pop()
+        in_worklist[block_index] = False
+        block = cfg.blocks[block_index]
+        out: set[Reg] = set()
+        for succ in block.successors:
+            out.update(block_in[succ])
+        new_in = frozenset(block_use[block_index] | (out - block_def[block_index]))
+        block_out[block_index] = frozenset(out)
+        if new_in != block_in[block_index]:
+            block_in[block_index] = new_in
+            for pred in block.predecessors:
+                if not in_worklist[pred]:
+                    worklist.append(pred)
+                    in_worklist[pred] = True
+
+    # Instruction-level sets by a backward sweep inside each block.
+    n = len(program.instructions)
+    live_in: list[frozenset[Reg]] = [frozenset()] * n
+    live_out: list[frozenset[Reg]] = [frozenset()] * n
+    for block in cfg.blocks:
+        live: set[Reg] = set(block_out[block.index])
+        for position in reversed(block.positions()):
+            uses, killing = effective(position)
+            live_out[position] = frozenset(live)
+            live.difference_update(killing)
+            live.update(uses)
+            live_in[position] = frozenset(live)
+    return LivenessInfo(program, cfg, live_in, live_out)

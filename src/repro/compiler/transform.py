@@ -1,0 +1,67 @@
+"""Program editing: label-safe instruction insertion.
+
+Used by the two instrumentation passes — on-chip scalar register backup
+(``s_mov`` copies at block entries, paper §III-D) and CKPT probes.  Labels at
+an insertion point end up pointing *at* the inserted instruction, so an
+instruction inserted at a loop header executes on every iteration.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from ..isa.instruction import Instruction, Program
+
+
+def insert_instructions(
+    program: Program, insertions: list[tuple[int, Instruction]]
+) -> tuple[Program, list[int]]:
+    """Insert instructions before the given original positions.
+
+    Returns the new program and the new index of each inserted instruction
+    (in the order given).  Multiple insertions at the same position keep
+    their relative order.  Branch targets shift automatically because labels
+    are index-based.
+    """
+    ordered = sorted(range(len(insertions)), key=lambda i: insertions[i][0])
+    positions = [insertions[i][0] for i in ordered]
+    n = len(program.instructions)
+    for pos in positions:
+        if not 0 <= pos <= n:
+            raise ValueError(f"insertion position {pos} outside program")
+
+    new_instructions: list[Instruction] = []
+    new_positions_ordered: list[int] = []
+    take = 0
+    for old_pos in range(n + 1):
+        while take < len(ordered) and positions[take] == old_pos:
+            new_positions_ordered.append(len(new_instructions))
+            new_instructions.append(insertions[ordered[take]][1])
+            take += 1
+        if old_pos < n:
+            new_instructions.append(program.instructions[old_pos])
+
+    new_labels = {
+        name: idx + bisect_left(positions, idx)
+        for name, idx in program.labels.items()
+    }
+    new_program = Program(new_instructions, new_labels)
+    new_program.validate()
+
+    new_positions = [0] * len(insertions)
+    for rank, original_index in enumerate(ordered):
+        new_positions[original_index] = new_positions_ordered[rank]
+    return new_program, new_positions
+
+
+def shifted_position(
+    insertion_positions: list[int], original_position: int
+) -> int:
+    """Where an original instruction lands after the insertions.
+
+    An insertion *at* the original position goes before it, shifting it.
+    """
+    from bisect import bisect_right
+
+    ordered = sorted(insertion_positions)
+    return original_position + bisect_right(ordered, original_position)

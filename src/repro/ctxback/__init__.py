@@ -1,0 +1,70 @@
+"""CTXBack: the paper's contribution — context flashback for GPU preemption.
+
+Layering:
+
+* :mod:`.context` — register-context (live-in) byte accounting;
+* :mod:`.costs` — compile-time latency estimates for candidate ranking;
+* :mod:`.reverting` — instruction reverting (Algorithm 2);
+* :mod:`.valueflow` — the value-availability resolver unifying Algorithm 1's
+  relaxed condition, reverting, and the §III-E fixpoint;
+* :mod:`.routines` — dedicated preemption/resume routine generation;
+* :mod:`.flashback` — flashback-point search per signal position;
+* :mod:`.osrb` — on-chip scalar register backup (§III-D);
+* :mod:`.csdefer` — the CS-Defer comparator and the combined mode.
+"""
+
+from .context import (
+    META_BYTES,
+    ContextProfile,
+    baseline_context_bytes,
+    lds_share_bytes,
+    live_context_bytes_at,
+    min_live_context,
+    profile_kernel_contexts,
+    reg_bytes,
+    regs_bytes,
+)
+from .costs import Cost, est_issue_cycles, est_preempt_latency
+from .flashback import CtxBackConfig, FlashbackAnalyzer
+from .plan import InstrPlan, SavedValue, ctx_load_for, ctx_store_for
+from .reverting import (
+    RevertOpportunity,
+    build_revert_instruction,
+    revert_opportunities,
+)
+from .routines import GeneratedRoutines, GenerationFailure, generate_routines
+from .sharing import RoutineStorageStats, share_routines
+from .valueflow import DerivationKind, Node, Resolver, SignalSite
+
+__all__ = [
+    "META_BYTES",
+    "ContextProfile",
+    "Cost",
+    "CtxBackConfig",
+    "DerivationKind",
+    "FlashbackAnalyzer",
+    "GeneratedRoutines",
+    "GenerationFailure",
+    "InstrPlan",
+    "Node",
+    "Resolver",
+    "RevertOpportunity",
+    "SavedValue",
+    "SignalSite",
+    "baseline_context_bytes",
+    "build_revert_instruction",
+    "ctx_load_for",
+    "ctx_store_for",
+    "est_issue_cycles",
+    "est_preempt_latency",
+    "generate_routines",
+    "lds_share_bytes",
+    "live_context_bytes_at",
+    "min_live_context",
+    "profile_kernel_contexts",
+    "reg_bytes",
+    "regs_bytes",
+    "revert_opportunities",
+    "RoutineStorageStats",
+    "share_routines",
+]

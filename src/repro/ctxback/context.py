@@ -1,0 +1,135 @@
+"""Register-context size accounting.
+
+The *context* of an instruction is its live-in register set (paper §III-A);
+its byte size is what a context switch at that instruction must move through
+device memory.  This module turns register sets into bytes under the Radeon
+VII geometry and provides the per-kernel accountings every mechanism shares:
+
+* ``baseline_context_bytes`` — the full aligned allocation the Linux-driver
+  routine swaps (dead registers and alignment padding included);
+* ``live_context_bytes_at`` — the LIVE mechanism's context at one position;
+* ``min_live_context`` — the "minimum possible size" the paper uses as the
+  CKPT reference line in Fig. 7.
+
+Every saved context additionally carries ``META_BYTES`` of per-warp
+bookkeeping (program counter, launch ids, scheduler state) — the "setup" the
+general preemption routine performs in paper §IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.liveness import LivenessInfo, analyze_liveness
+from ..isa.instruction import Kernel
+from ..isa.registers import Reg, RegisterFileSpec
+
+#: Per-warp metadata saved with any context: pc, workgroup/wave ids, scheduler
+#: state.  Constant across mechanisms, so it never changes a comparison.
+META_BYTES = 16
+
+
+def reg_bytes(reg: Reg, spec: RegisterFileSpec) -> int:
+    """Context bytes of a single register for one warp."""
+    return reg.context_bytes(spec.warp_size)
+
+
+def regs_bytes(regs, spec: RegisterFileSpec) -> int:
+    """Total context bytes of a register collection for one warp."""
+    return sum(reg_bytes(reg, spec) for reg in regs)
+
+
+def lds_share_bytes(kernel: Kernel) -> int:
+    """Per-warp LDS bytes a context switch must move.
+
+    ``Kernel.lds_bytes`` follows Table I's semantics: shared-memory usage
+    *per warp* (HS: 12 KB per warp, which is why LDS dominates its context,
+    §V-A).  Each warp swaps its own share when preempted.
+    """
+    return kernel.lds_bytes
+
+
+#: architectural state swapped alongside the register files: the 64-bit exec
+#: mask and the scalar condition code.
+_ARCH_STATE_BYTES = 8 + 4
+
+
+def baseline_context_bytes(kernel: Kernel, spec: RegisterFileSpec) -> int:
+    """Per-warp bytes the BASELINE mechanism swaps: the full aligned
+    allocation plus the architectural state (exec mask, scc) and metadata."""
+    return (
+        spec.warp_context_bytes(
+            kernel.vgprs_used, kernel.sgprs_used, lds_share_bytes(kernel)
+        )
+        + _ARCH_STATE_BYTES
+        + META_BYTES
+    )
+
+
+def live_context_bytes_at(
+    kernel: Kernel,
+    position: int,
+    spec: RegisterFileSpec,
+    liveness: LivenessInfo | None = None,
+) -> int:
+    """Per-warp bytes the LIVE mechanism swaps at *position*."""
+    liveness = liveness or analyze_liveness(kernel.program)
+    regs = liveness.live_in[position]
+    return regs_bytes(regs, spec) + lds_share_bytes(kernel) + META_BYTES
+
+
+@dataclass(frozen=True)
+class ContextProfile:
+    """Context sizes of a kernel at every instruction, plus summaries."""
+
+    kernel_name: str
+    baseline_bytes: int
+    live_bytes: tuple[int, ...]  # per instruction position
+
+    @property
+    def mean_live_bytes(self) -> float:
+        return sum(self.live_bytes) / len(self.live_bytes)
+
+    @property
+    def min_live_bytes(self) -> int:
+        return min(self.live_bytes)
+
+    @property
+    def max_live_bytes(self) -> int:
+        return max(self.live_bytes)
+
+
+def profile_kernel_contexts(
+    kernel: Kernel,
+    spec: RegisterFileSpec,
+    liveness: LivenessInfo | None = None,
+) -> ContextProfile:
+    """Per-instruction live-context profile for one kernel."""
+    liveness = liveness or analyze_liveness(kernel.program)
+    lds = lds_share_bytes(kernel)
+    live = tuple(
+        regs_bytes(liveness.live_in[pos], spec) + lds + META_BYTES
+        for pos in range(len(kernel.program.instructions))
+    )
+    return ContextProfile(
+        kernel_name=kernel.name,
+        baseline_bytes=baseline_context_bytes(kernel, spec),
+        live_bytes=live,
+    )
+
+
+def min_live_context(
+    kernel: Kernel,
+    spec: RegisterFileSpec,
+    liveness: LivenessInfo | None = None,
+) -> tuple[int, int]:
+    """(position, bytes) of the smallest live context in the kernel.
+
+    This is the paper's "minimum possible size": the context CKPT saves when
+    the checkpoint sits at the least-live instruction (Fig. 7 dash lines).
+    """
+    profile = profile_kernel_contexts(kernel, spec, liveness)
+    best_pos = min(
+        range(len(profile.live_bytes)), key=profile.live_bytes.__getitem__
+    )
+    return best_pos, profile.live_bytes[best_pos]

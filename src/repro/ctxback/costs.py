@@ -1,0 +1,76 @@
+"""Compile-time cost estimates used to rank flashback candidates.
+
+CTXBack ranks flashback-points by *estimated preemption latency*
+(paper §IV-A, §V) and prefers re-execution over saving/reloading because the
+latter costs two device-memory accesses (§III-B).  These estimates are the
+compiler's view; the simulator charges real latencies, which is exactly how
+the paper's CS-Defer underestimation effect arises (§V-B: the estimate cannot
+see dependency stalls caused by *preceding* instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+
+#: Issue-latency estimate per pipeline class, in cycles.  Deliberately the
+#: *optimistic* issue view (no dependency stalls): see §V-B.
+EST_ISSUE_CYCLES: dict[OpClass, float] = {
+    OpClass.SALU: 1.0,
+    OpClass.VALU: 4.0,
+    OpClass.LDS: 8.0,
+    OpClass.VMEM: 16.0,
+    OpClass.SMEM: 8.0,
+    OpClass.BRANCH: 1.0,
+    OpClass.MISC: 1.0,
+}
+
+#: Estimated cycles for one save+reload pair of a value (two device-memory
+#: accesses), used only for tie-breaking between derivations.
+SAVE_RELOAD_EST_CYCLES = 32.0
+
+#: Estimated device-memory store throughput during a preemption routine,
+#: bytes per cycle per warp.  Used to turn context bytes into an estimated
+#: preemption latency for candidate ranking.
+EST_STORE_BYTES_PER_CYCLE = 4.0
+
+
+def est_issue_cycles(instruction: Instruction) -> float:
+    """Optimistic issue-cycle estimate for one instruction."""
+    return EST_ISSUE_CYCLES[instruction.spec.opclass]
+
+
+def est_exec_window_cycles(instructions) -> float:
+    """Estimated time to execute a run of instructions (CS-Defer deferral).
+
+    Sums issue estimates only — the deliberate underestimation the paper
+    describes: latency induced by unresolved dependencies from preceding
+    instructions is invisible to the compiler.
+    """
+    return sum(est_issue_cycles(instruction) for instruction in instructions)
+
+
+def est_preempt_latency(context_bytes: int, extra_cycles: float = 0.0) -> float:
+    """Estimated preemption latency for a context of *context_bytes*."""
+    return context_bytes / EST_STORE_BYTES_PER_CYCLE + extra_cycles
+
+
+@dataclass(frozen=True, order=True)
+class Cost:
+    """(bytes, cycles) lexicographic cost of restoring a value.
+
+    Context bytes dominate: they determine preemption latency, which is the
+    ranking criterion in the paper's experiments.  Cycles break ties in
+    favour of cheaper resume work.
+    """
+
+    bytes: int
+    cycles: float
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.bytes + other.bytes, self.cycles + other.cycles)
+
+
+ZERO_COST = Cost(0, 0.0)

@@ -1,0 +1,154 @@
+"""On-chip scalar register backup (OSRB, paper §III-D).
+
+A scalar register costs 4 bytes per warp, but an overwritten scalar operand
+(typically the loop induction variable) can make whole chains of
+vector-result instructions non-re-executable, forcing 4·warp-size-byte
+vector save/reloads.  OSRB proactively copies such scalars into *unused*
+scalar registers — the alignment padding of the 16-register allocation
+granularity — at block entry, one 1-cycle ``s_mov`` per block execution.
+
+The copy is all the mechanism needs: copy propagation in the value numbering
+(:mod:`repro.compiler.usedef`) then discovers that the overwritten value
+still lives in the backup register, making it directly saveable, and the
+generated preemption routine stores it from there.
+
+Selection heuristic (paper: "mainly the iteration induction variable and
+the execution mask"): back up a scalar whose block-entry value is (a) used
+by an instruction with a vector result, (b) overwritten within the block,
+and (c) not recoverable by instruction reverting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..compiler.cfg import build_cfg
+from ..compiler.liveness import analyze_liveness
+from ..compiler.transform import insert_instructions
+from ..compiler.usedef import number_region
+from ..isa.instruction import Kernel, inst
+from ..isa.opcodes import ReversibilityModel
+from ..isa.registers import RegisterFileSpec, RegKind, sreg
+from .reverting import revert_opportunities
+
+
+@dataclass(frozen=True)
+class OsrbBackup:
+    """One inserted backup: copy *source* into *backup* at *block_start*."""
+
+    block_index: int
+    block_start: int
+    source_index: int
+    backup_index: int
+    benefit: int  # vector-result instructions whose re-execution it unblocks
+
+
+@dataclass
+class OsrbReport:
+    backups: list[OsrbBackup]
+    free_sgprs: int
+
+    @property
+    def count(self) -> int:
+        return len(self.backups)
+
+
+def select_backups(
+    kernel: Kernel,
+    rf_spec: RegisterFileSpec,
+    model: ReversibilityModel = ReversibilityModel.PAPER,
+) -> list[OsrbBackup]:
+    """Choose scalar registers worth backing up, best benefit first."""
+    program = kernel.program
+    cfg = build_cfg(program)
+    liveness = analyze_liveness(program, cfg)
+    free = rf_spec.allocated_sgprs(kernel.sgprs_used) - kernel.sgprs_used
+    if free <= 0:
+        return []
+
+    candidates: list[OsrbBackup] = []
+    for block in cfg.blocks:
+        if len(block) == 0:
+            continue
+        region = number_region(
+            program, block.start, block.end, entry_regs=liveness.live_in[block.start]
+        )
+        for reg, entry_value in region.entry.items():
+            if reg.kind is not RegKind.SCALAR:
+                continue
+            kills = region.kills_of.get(entry_value, [])
+            if not kills:
+                continue
+            if all(
+                any(
+                    program.instructions[kill.pos].srcs[op.src_pos]
+                    == program.instructions[kill.pos].defs()[kill.slot]
+                    for op in revert_opportunities(
+                        program.instructions[kill.pos], model
+                    )
+                )
+                for kill in kills
+            ):
+                continue  # reverting already recovers it
+            benefit = 0
+            for pos in block.positions():
+                if entry_value not in region.use_values_at(pos):
+                    continue
+                if any(
+                    d.kind is RegKind.VECTOR
+                    for d in program.instructions[pos].defs()
+                ):
+                    benefit += 1
+            if benefit > 0:
+                candidates.append(
+                    OsrbBackup(
+                        block_index=block.index,
+                        block_start=block.start,
+                        source_index=reg.index,
+                        backup_index=-1,  # assigned below
+                        benefit=benefit,
+                    )
+                )
+
+    candidates.sort(key=lambda c: (-c.benefit, c.block_index, c.source_index))
+    # Backup registers live in the alignment padding; blocks reuse the same
+    # padding registers because each block re-copies at entry.
+    chosen: list[OsrbBackup] = []
+    used_per_block: dict[int, int] = {}
+    for candidate in candidates:
+        slot = used_per_block.get(candidate.block_index, 0)
+        if slot >= free:
+            continue
+        used_per_block[candidate.block_index] = slot + 1
+        chosen.append(
+            replace(candidate, backup_index=kernel.sgprs_used + slot)
+        )
+    return chosen
+
+
+def apply_osrb(
+    kernel: Kernel,
+    rf_spec: RegisterFileSpec,
+    model: ReversibilityModel = ReversibilityModel.PAPER,
+) -> tuple[Kernel, OsrbReport]:
+    """Insert backup copies; returns the instrumented kernel and a report.
+
+    The instrumented kernel's scalar-register *allocation* is unchanged —
+    backups fit in the alignment padding by construction — so BASELINE's
+    context size is identical before and after.
+    """
+    backups = select_backups(kernel, rf_spec, model)
+    free = rf_spec.allocated_sgprs(kernel.sgprs_used) - kernel.sgprs_used
+    if not backups:
+        return kernel, OsrbReport([], free)
+    insertions = [
+        (b.block_start, inst("s_mov", sreg(b.backup_index), sreg(b.source_index)))
+        for b in backups
+    ]
+    new_program, _ = insert_instructions(kernel.program, insertions)
+    new_sgprs = max(b.backup_index for b in backups) + 1
+    assert rf_spec.allocated_sgprs(new_sgprs) == rf_spec.allocated_sgprs(
+        kernel.sgprs_used
+    ), "backups must fit in the alignment padding"
+    new_kernel = replace(kernel, program=new_program, sgprs_used=new_sgprs)
+    return new_kernel, OsrbReport(backups, free)

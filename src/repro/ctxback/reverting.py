@@ -1,0 +1,119 @@
+"""Instruction reverting (paper §III-C, Algorithm 2).
+
+Instructions of the form ``r' = op(r, {R})`` overwrite one of their own
+operands.  When ``op`` has an inverse, the previous value of ``r`` can be
+recovered as ``r = op⁻¹(r', {R})`` — e.g. the paper's running examples
+``ADD r0, r0, r2`` reverted by ``SUB r0, r0, r2``.
+
+This module answers two questions:
+
+* *where can reverting apply?* — :func:`revert_opportunities` lists the
+  source-operand positions of an instruction whose overwritten value is
+  recoverable under a given :class:`~repro.isa.opcodes.ReversibilityModel`;
+* *what code performs the revert?* — :func:`build_revert_instruction`
+  constructs the inverse instruction, with the caller choosing which physical
+  registers currently hold the post-value and the surviving operands (during
+  resume they may live in different registers than they did originally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Imm, Instruction, Operand
+from ..isa.opcodes import ReversibilityModel, RevertSpec, opspec
+from ..isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class RevertOpportunity:
+    """One revertible overwrite: ``instruction.srcs[src_pos]`` is also the
+    destination, and *spec* tells how to undo it."""
+
+    src_pos: int
+    spec: RevertSpec
+
+
+def revert_opportunities(
+    instruction: Instruction,
+    model: ReversibilityModel = ReversibilityModel.EXACT,
+) -> list[RevertOpportunity]:
+    """Source positions of *instruction* whose old value can be recovered.
+
+    A position qualifies when (a) the opcode has an inverse for it,
+    (b) the model admits that inverse, and (c) the destination register
+    actually aliases that source operand (the ``r_share`` form).  Positions
+    whose *other* operand is the shared register too (e.g. ``ADD r, r, r``)
+    are rejected: recovering would need the recovered value itself.
+    """
+    spec = instruction.spec
+    if not spec.revert or spec.n_dst != 1:
+        return []
+    dst = instruction.dsts[0]
+    opportunities = []
+    for src_pos, revert_spec in spec.revert.items():
+        if not model.allows(revert_spec):
+            continue
+        if instruction.srcs[src_pos] != dst:
+            continue
+        other_positions = [
+            i
+            for i, src in enumerate(instruction.srcs)
+            if i != src_pos and isinstance(src, Reg)
+        ]
+        if any(instruction.srcs[i] == dst for i in other_positions):
+            continue
+        opportunities.append(RevertOpportunity(src_pos, revert_spec))
+    return opportunities
+
+
+def other_src_positions(instruction: Instruction, src_pos: int) -> list[int]:
+    """Register source positions a revert of *src_pos* needs as inputs."""
+    return [
+        i
+        for i, src in enumerate(instruction.srcs)
+        if i != src_pos and isinstance(src, Reg)
+    ]
+
+
+def build_revert_instruction(
+    instruction: Instruction,
+    opportunity: RevertOpportunity,
+    dst_reg: Reg,
+    new_reg: Reg,
+    other_regs: dict[int, Reg],
+) -> Instruction:
+    """Construct ``dst_reg = op⁻¹(...)`` undoing *instruction*.
+
+    ``new_reg`` is wherever the post-execution result value currently lives;
+    ``other_regs`` maps the surviving source positions to the registers
+    currently holding their (original, at-execution-time) values.  Immediate
+    operands are carried over verbatim.
+    """
+    spec = opportunity.spec
+    inv = opspec(spec.inv_mnemonic)
+    others: list[Operand] = []
+    for i, src in enumerate(instruction.srcs):
+        if i == opportunity.src_pos:
+            continue
+        if isinstance(src, Imm):
+            others.append(src)
+        elif isinstance(src, Reg):
+            others.append(other_regs[i])
+    srcs: list[Operand] = []
+    other_iter = iter(others)
+    for token in spec.pattern:
+        if token == "new":
+            srcs.append(new_reg)
+        elif token == "other":
+            srcs.append(next(other_iter))
+        else:  # pragma: no cover - table integrity
+            raise ValueError(f"bad revert pattern token {token!r}")
+    remaining = list(other_iter)
+    if remaining:  # pragma: no cover - table integrity
+        raise ValueError(f"revert pattern for {instruction.mnemonic} too short")
+    if len(srcs) != inv.n_src:  # pragma: no cover - table integrity
+        raise ValueError(
+            f"inverse {inv.mnemonic} expects {inv.n_src} srcs, got {len(srcs)}"
+        )
+    return Instruction(inv.mnemonic, (dst_reg,), tuple(srcs))

@@ -1,0 +1,91 @@
+"""Dedicated-routine sharing (paper §IV-A).
+
+All dedicated preemption routines ship to device memory with the kernel code
+(the host cannot know the preempted PC without a costly query), so their
+storage footprint matters.  The paper observes that "the selected
+flashback-points of many instructions are the same preceding instruction,
+whose context size is local minima", letting instructions share one routine:
+"only several preemption routines need to be transferred and stored".
+
+Our generated routines make this concrete: signals anywhere in a load phase
+flash back to the same loop-top context and produce byte-identical
+preemption routines.  :func:`share_routines` deduplicates them in place
+(plans point at one shared :class:`~repro.isa.instruction.Program`) and
+reports the storage the sharing saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Program
+from .plan import InstrPlan
+
+#: rough encoded size of one instruction, bytes (8-byte fixed encoding, as
+#: on GCN for most VALU/SALU/FLAT forms)
+INSTRUCTION_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RoutineStorageStats:
+    """Storage accounting before/after sharing."""
+
+    positions: int
+    unique_preempt: int
+    unique_resume: int
+    naive_bytes: int
+    shared_bytes: int
+
+    @property
+    def sharing_factor(self) -> float:
+        """How many instructions share each stored preemption routine."""
+        if self.unique_preempt == 0:
+            return 1.0
+        return self.positions / self.unique_preempt
+
+    @property
+    def saved_fraction(self) -> float:
+        if self.naive_bytes == 0:
+            return 0.0
+        return 1.0 - self.shared_bytes / self.naive_bytes
+
+
+def _routine_key(program: Program) -> tuple:
+    return tuple(program.instructions)
+
+
+def share_routines(plans: dict[int, InstrPlan]) -> RoutineStorageStats:
+    """Deduplicate identical routines across *plans* (mutating them) and
+    return the storage statistics.
+
+    Only the preemption routines count toward the transfer/storage cost:
+    "all dedicated preemption routines are transferred to the device memory
+    with the kernel code, while only the necessary dedicated resuming
+    routines are transferred on-demand during resuming" (§IV-A).  Resume
+    routines are still deduplicated for host-memory hygiene.
+    """
+    unique_preempt: dict[tuple, Program] = {}
+    unique_resume: dict[tuple, Program] = {}
+    naive_instructions = 0
+    for position in sorted(plans):
+        plan = plans[position]
+        naive_instructions += len(plan.preempt_routine.instructions)
+        key = _routine_key(plan.preempt_routine)
+        if key in unique_preempt:
+            plan.preempt_routine = unique_preempt[key]
+        else:
+            unique_preempt[key] = plan.preempt_routine
+        rkey = _routine_key(plan.resume_routine)
+        if rkey in unique_resume:
+            plan.resume_routine = unique_resume[rkey]
+        else:
+            unique_resume[rkey] = plan.resume_routine
+
+    shared_instructions = sum(len(k) for k in unique_preempt)
+    return RoutineStorageStats(
+        positions=len(plans),
+        unique_preempt=len(unique_preempt),
+        unique_resume=len(unique_resume),
+        naive_bytes=naive_instructions * INSTRUCTION_BYTES,
+        shared_bytes=shared_instructions * INSTRUCTION_BYTES,
+    )

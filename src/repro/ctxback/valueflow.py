@@ -1,0 +1,398 @@
+"""Value-availability resolution: the core of CTXBack's three techniques.
+
+Given a preemption signal arriving at position ``n`` and a flashback
+candidate ``p`` (the region ``[p, n)`` will be re-entered during resume),
+every value the resume needs must be *derivable* from the physical register
+file as it stands at preemption time.  Four derivation rules exist, matching
+the paper:
+
+* **direct save** — the value is still in some register at preemption time
+  (Algorithm 1's backward pass: the result has not been overwritten) and is
+  stored into the context buffer, then reloaded at resume ("save/reload");
+* **re-execution** — the defining instruction lies in ``[p, n)`` and all of
+  its operand values are themselves derivable (Algorithm 1's forward pass);
+* **revert at resume** — an overwriting instruction in ``[p, n)`` is
+  reversible and its inputs (the post-value plus surviving operands) are
+  derivable; the inverse instruction runs during resume (Algorithm 2 with
+  ``revert_pos = at_resume``);
+* **revert at preemption** — like the above, but every input is *directly*
+  present in the register file (possibly via other preemption-time reverts),
+  so the inverse runs in the preemption routine and the recovered value is
+  saved (Algorithm 2's ``MIN_COST(at_resume, at_preempt)`` decision falls out
+  of the cost comparison).
+
+The paper's §III-E hash-map fixpoint keyed by *registers* is generalised
+here to *values* (one per definition, see :mod:`repro.compiler.usedef`),
+which natively handles the chained example of Fig. 6 and makes on-chip
+scalar register backup (§III-D) emerge from copy propagation: after the
+inserted ``s_mov s_backup, s_x``, the old value of ``s_x`` simply *is* the
+end-state content of ``s_backup`` and becomes directly saveable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..compiler.usedef import RegionValues, Value
+from ..isa.instruction import Instruction, Program
+from ..isa.opcodes import OpClass, ReversibilityModel
+from ..isa.registers import Reg, RegisterFileSpec
+from .costs import SAVE_RELOAD_EST_CYCLES, Cost, ZERO_COST, est_issue_cycles
+from .reverting import RevertOpportunity, other_src_positions, revert_opportunities
+
+
+class DerivationKind(enum.Enum):
+    """How a value is restored: the four rules of the module docstring."""
+
+    DIRECT_SAVE = "direct_save"
+    REEXEC = "reexec"
+    REVERT_RESUME = "revert_resume"
+    REVERT_PREEMPT = "revert_preempt"
+
+
+@dataclass
+class Node:
+    """One resolved value with its chosen derivation."""
+
+    value: Value
+    kind: DerivationKind
+    cost: Cost
+    #: DIRECT_SAVE / REVERT_PREEMPT: register the value is saved from.  For a
+    #: preemption-time revert this is the register the inverse writes.
+    source_reg: Reg | None = None
+    #: REEXEC: defining position.  REVERT_*: the overwriting (kill) position.
+    pos: int | None = None
+    #: REVERT_*: which source-operand position is recovered.
+    src_pos: int | None = None
+    inputs: tuple["Node", ...] = ()
+
+    def walk(self):
+        """Yield this node and (recursively) its inputs, deduplicated."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.value.vid in seen:
+                continue
+            seen.add(node.value.vid)
+            yield node
+            stack.extend(node.inputs)
+
+
+@dataclass
+class SignalSite:
+    """Immutable context shared by all resolutions at one signal position."""
+
+    program: Program
+    region: RegionValues
+    n: int
+    #: register-file contents at the moment the signal is processed
+    end_state: dict[Reg, Value]
+    rf_spec: RegisterFileSpec
+    model: ReversibilityModel
+    #: value -> cheapest register currently holding it
+    holders: dict[int, Reg] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for reg, value in self.end_state.items():
+            current = self.holders.get(value.vid)
+            if current is None or _reg_save_bytes(reg, self.rf_spec) < _reg_save_bytes(
+                current, self.rf_spec
+            ):
+                self.holders[value.vid] = reg
+
+    def instruction(self, pos: int) -> Instruction:
+        return self.program.instructions[pos]
+
+
+def _reg_save_bytes(reg: Reg, spec: RegisterFileSpec) -> int:
+    return reg.context_bytes(spec.warp_size)
+
+
+def _revert_cycles(instruction: Instruction) -> float:
+    inv_class = instruction.spec.opclass
+    return 4.0 if inv_class is OpClass.VALU else 1.0
+
+
+class Resolver:
+    """Derivation search for one (signal position ``n``, candidate ``p``).
+
+    ``forced_direct`` pins values to the direct-save derivation; the plan
+    builder uses it to degrade gracefully when routine generation discovers a
+    scheduling conflict (the ultimate fallback — everything direct-saved —
+    is the LIVE mechanism, which is always schedulable).
+    """
+
+    def __init__(
+        self,
+        site: SignalSite,
+        p: int,
+        forced_direct: frozenset[int] = frozenset(),
+    ) -> None:
+        self.site = site
+        self.p = p
+        self.forced_direct = forced_direct
+        self._memo: dict[int, Node | None] = {}
+        self._preempt_memo: dict[int, Node | None] = {}
+        self._in_progress: set[int] = set()
+        self._preempt_in_progress: set[int] = set()
+        self._cycle_depth_hit = False
+        self._tainted: set[int] = set()
+
+    # -- general resolution ---------------------------------------------------
+
+    def resolve(self, value: Value) -> Node | None:
+        """Best derivation of *value*, or None if unrestorable from ``p``."""
+        vid = value.vid
+        if vid in self._memo:
+            # A result computed while a cycle guard was active may be
+            # suboptimal (e.g. Fig. 3's revert input degraded to a direct
+            # save); recompute it when asked again outside any cycle.
+            if vid not in self._tainted or self._in_progress:
+                return self._memo[vid]
+            del self._memo[vid]
+            self._tainted.discard(vid)
+        if vid in self._in_progress:
+            # Cycle: this path cannot ground out.  Record that the enclosing
+            # resolutions were cut short so their failures are not cached —
+            # resolved in a different order (outside the cycle) they may
+            # succeed (e.g. Fig. 4: the post-value is directly saveable once
+            # it is no longer being resolved through its own re-execution).
+            self._cycle_depth_hit = True
+            return None
+        self._in_progress.add(vid)
+        outer_hit = self._cycle_depth_hit
+        self._cycle_depth_hit = False
+        try:
+            node = self._resolve_uncached(value)
+        finally:
+            self._in_progress.discard(vid)
+        tainted = self._cycle_depth_hit
+        self._cycle_depth_hit = outer_hit or tainted
+        if node is not None or not tainted:
+            self._memo[vid] = node
+            if tainted:
+                self._tainted.add(vid)
+        return node
+
+    #: Derivation preference, most preferred first.  Matches the paper:
+    #: re-execution beats everything (§III-B: saving/reloading costs two
+    #: device-memory accesses); the two revert placements share a rank and
+    #: are tie-broken by cost — Algorithm 2's ``MIN_COST(at_resume,
+    #: at_preempt)`` — which reverts Fig. 3 at preemption (the resume-side
+    #: inputs would all need saving) but Fig. 4 at resume (its input is
+    #: re-executed for free); save/reload is the last resort.  Summed costs
+    #: only break ties — inputs are usually shared with other roots, so
+    #: preference order is a better proxy for *marginal* context bytes than
+    #: the double-counting sum.
+    _PREFERENCE = {
+        DerivationKind.REEXEC: 0,
+        DerivationKind.REVERT_RESUME: 1,
+        DerivationKind.REVERT_PREEMPT: 1,
+        DerivationKind.DIRECT_SAVE: 2,
+    }
+
+    def _resolve_uncached(self, value: Value) -> Node | None:
+        direct = self._direct_node(value)
+        if value.vid in self.forced_direct:
+            return direct
+        candidates: list[Node] = []
+        if direct is not None:
+            candidates.append(direct)
+        reexec = self._reexec_node(value)
+        if reexec is not None:
+            candidates.append(reexec)
+        candidates.extend(self._revert_nodes(value))
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda node: (self._PREFERENCE[node.kind], node.cost),
+        )
+
+    def _direct_node(self, value: Value) -> Node | None:
+        holder = self.site.holders.get(value.vid)
+        if holder is None:
+            return None
+        return Node(
+            value=value,
+            kind=DerivationKind.DIRECT_SAVE,
+            cost=Cost(_reg_save_bytes(holder, self.site.rf_spec), SAVE_RELOAD_EST_CYCLES),
+            source_reg=holder,
+        )
+
+    def _reexec_node(self, value: Value) -> Node | None:
+        pos = value.def_pos
+        if pos < self.p or pos >= self.site.n:
+            return None
+        instruction = self.site.instruction(pos)
+        if instruction.spec.is_store or instruction.spec.is_branch:
+            return None
+        inputs = []
+        cost = Cost(0, est_issue_cycles(instruction))
+        for operand_value in self.site.region.use_values_at(pos):
+            node = self.resolve(operand_value)
+            if node is None:
+                return None
+            inputs.append(node)
+            cost = cost + node.cost
+        return Node(
+            value=value,
+            kind=DerivationKind.REEXEC,
+            cost=cost,
+            pos=pos,
+            inputs=tuple(inputs),
+        )
+
+    def _revert_nodes(self, value: Value) -> list[Node]:
+        nodes: list[Node] = []
+        for kill in self.site.region.kills_of.get(value, ()):
+            if not self.p <= kill.pos < self.site.n:
+                continue
+            instruction = self.site.instruction(kill.pos)
+            killed_reg = instruction.defs()[kill.slot]
+            for opportunity in revert_opportunities(instruction, self.site.model):
+                if instruction.srcs[opportunity.src_pos] != killed_reg:
+                    continue
+                resume = self._revert_resume_node(
+                    value, kill.pos, kill.slot, instruction, opportunity
+                )
+                if resume is not None:
+                    nodes.append(resume)
+                preempt = self._revert_preempt_node(
+                    value, kill.pos, kill.slot, instruction, opportunity, killed_reg
+                )
+                if preempt is not None:
+                    nodes.append(preempt)
+        return nodes
+
+    def _revert_inputs(self, pos: int, slot: int, instruction: Instruction, opportunity):
+        """Values a revert of *pos* consumes: post-value + surviving operands
+        + the implicit architectural reads of the inverse instruction."""
+        region = self.site.region
+        new_value = region.def_values_at(pos)[slot]
+        use_values = region.use_values_at(pos)
+        uses = instruction.uses()
+        inputs: list[tuple[str, int | None, Value]] = [("new", None, new_value)]
+        wanted_positions = set(other_src_positions(instruction, opportunity.src_pos))
+        reg_src_index = -1
+        for i, src in enumerate(instruction.srcs):
+            if isinstance(src, Reg):
+                reg_src_index += 1
+                if i in wanted_positions:
+                    inputs.append(("other", i, use_values[reg_src_index]))
+        # implicit reads (exec for vector ALU) of the *inverse* op: same class
+        # as the original, so reuse the original's implicit operand values.
+        # Slice by the instruction's real use count so any RMW pre-values
+        # appended past it (partial-exec positions) are not misread here.
+        n_src_regs = len(instruction.src_regs)
+        n_uses = len(instruction.uses())
+        for implicit_value in use_values[n_src_regs:n_uses]:
+            inputs.append(("implicit", None, implicit_value))
+        return inputs
+
+    def _revert_resume_node(self, value, pos, slot, instruction, opportunity):
+        inputs = self._revert_inputs(pos, slot, instruction, opportunity)
+        nodes = []
+        cost = Cost(0, _revert_cycles(instruction))
+        for _role, _src_pos, input_value in inputs:
+            node = self.resolve(input_value)
+            if node is None:
+                return None
+            nodes.append(node)
+            cost = cost + node.cost
+        return Node(
+            value=value,
+            kind=DerivationKind.REVERT_RESUME,
+            cost=cost,
+            pos=pos,
+            src_pos=opportunity.src_pos,
+            inputs=tuple(nodes),
+        )
+
+    def _revert_preempt_node(self, value, pos, slot, instruction, opportunity, killed_reg):
+        inputs = self._revert_inputs(pos, slot, instruction, opportunity)
+        nodes = []
+        cycles = _revert_cycles(instruction)
+        for _role, _src_pos, input_value in inputs:
+            node = self.resolve_at_preempt(input_value)
+            if node is None:
+                return None
+            nodes.append(node)
+            cycles += node.cost.cycles
+        return Node(
+            value=value,
+            kind=DerivationKind.REVERT_PREEMPT,
+            cost=Cost(
+                _reg_save_bytes(killed_reg, self.site.rf_spec),
+                cycles + SAVE_RELOAD_EST_CYCLES,
+            ),
+            source_reg=killed_reg,
+            pos=pos,
+            src_pos=opportunity.src_pos,
+            inputs=tuple(nodes),
+        )
+
+    # -- preemption-time materialisation ---------------------------------------
+
+    def resolve_at_preempt(self, value: Value) -> Node | None:
+        """Can *value* be produced in a register during the preemption routine?
+
+        Only register-file contents and chains of preemption-time reverts
+        qualify — no loads, no re-execution (the warp is being evicted).
+        Nodes returned here carry zero byte cost: reading a register during
+        the preemption routine saves nothing by itself.
+        """
+        vid = value.vid
+        if vid in self._preempt_memo:
+            return self._preempt_memo[vid]
+        if vid in self._preempt_in_progress:
+            return None
+        self._preempt_in_progress.add(vid)
+        try:
+            node = self._resolve_at_preempt_uncached(value)
+        finally:
+            self._preempt_in_progress.discard(vid)
+        self._preempt_memo[vid] = node
+        return node
+
+    def _resolve_at_preempt_uncached(self, value: Value) -> Node | None:
+        holder = self.site.holders.get(value.vid)
+        if holder is not None:
+            return Node(
+                value=value,
+                kind=DerivationKind.DIRECT_SAVE,
+                cost=ZERO_COST,
+                source_reg=holder,
+            )
+        for kill in self.site.region.kills_of.get(value, ()):
+            if not self.p <= kill.pos < self.site.n:
+                continue
+            instruction = self.site.instruction(kill.pos)
+            killed_reg = instruction.defs()[kill.slot]
+            for opportunity in revert_opportunities(instruction, self.site.model):
+                if instruction.srcs[opportunity.src_pos] != killed_reg:
+                    continue
+                inputs = self._revert_inputs(kill.pos, kill.slot, instruction, opportunity)
+                nodes = []
+                cycles = _revert_cycles(instruction)
+                ok = True
+                for _role, _src_pos, input_value in inputs:
+                    node = self.resolve_at_preempt(input_value)
+                    if node is None:
+                        ok = False
+                        break
+                    nodes.append(node)
+                    cycles += node.cost.cycles
+                if ok:
+                    return Node(
+                        value=value,
+                        kind=DerivationKind.REVERT_PREEMPT,
+                        cost=Cost(0, cycles),
+                        source_reg=killed_reg,
+                        pos=kill.pos,
+                        src_pos=opportunity.src_pos,
+                        inputs=tuple(nodes),
+                    )
+        return None

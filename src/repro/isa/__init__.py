@@ -1,0 +1,91 @@
+"""Synthetic GCN-flavoured SIMT ISA: registers, opcodes, programs, assembly.
+
+This is the substrate every other layer builds on.  See DESIGN.md §2 for the
+mapping from the paper's AMD Vega target to this model.
+"""
+
+from .assembler import AssemblyError, parse, serialize
+from .instruction import (
+    Imm,
+    Instruction,
+    Kernel,
+    Label,
+    Operand,
+    Program,
+    inst,
+    program_from,
+)
+from .opcodes import (
+    MemKind,
+    OpClass,
+    OPCODES,
+    OpSpec,
+    ReversibilityModel,
+    RevertSpec,
+    opspec,
+)
+from .encoder import (
+    EncodingError,
+    decode_program,
+    encode_program,
+    encoded_size,
+)
+from .validator import (
+    assert_valid,
+    validate_instruction,
+    validate_kernel,
+    validate_program,
+)
+from .registers import (
+    EXEC,
+    PC,
+    SCC,
+    SPECIAL_REGS,
+    Reg,
+    RegisterFileSpec,
+    RegKind,
+    is_reg_name,
+    parse_reg,
+    sreg,
+    vreg,
+)
+
+__all__ = [
+    "AssemblyError",
+    "EXEC",
+    "Imm",
+    "Instruction",
+    "Kernel",
+    "Label",
+    "MemKind",
+    "OpClass",
+    "OPCODES",
+    "OpSpec",
+    "Operand",
+    "PC",
+    "Program",
+    "Reg",
+    "RegisterFileSpec",
+    "RegKind",
+    "ReversibilityModel",
+    "RevertSpec",
+    "SCC",
+    "SPECIAL_REGS",
+    "inst",
+    "is_reg_name",
+    "opspec",
+    "parse",
+    "parse_reg",
+    "program_from",
+    "serialize",
+    "sreg",
+    "validate_instruction",
+    "validate_kernel",
+    "validate_program",
+    "assert_valid",
+    "EncodingError",
+    "decode_program",
+    "encode_program",
+    "encoded_size",
+    "vreg",
+]

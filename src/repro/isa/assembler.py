@@ -1,0 +1,118 @@
+"""Textual assembly for the synthetic ISA.
+
+The format mirrors the listings in the paper::
+
+    # dot-product inner loop
+    LOOP:
+        global_load v4, v2, 0x0
+        v_madf     v8, v4, v5, v8     # acc += a*b
+        s_add      s4, s4, 1
+        s_cmp_lt   s4, s5
+        s_cbranch_scc1 LOOP
+
+``parse`` and ``serialize`` round-trip: ``parse(serialize(p))`` reproduces
+``p`` exactly (instructions and labels), which the property tests enforce.
+"""
+
+from __future__ import annotations
+
+from .instruction import Imm, Instruction, Label, Operand, Program
+from .opcodes import opspec
+from .registers import Reg, is_reg_name, parse_reg
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_operand(token: str, lineno: int) -> Operand:
+    token = token.strip()
+    if not token:
+        raise AssemblyError(lineno, "empty operand")
+    if is_reg_name(token):
+        return parse_reg(token)
+    sign = 1
+    body = token
+    if body.startswith("-"):
+        sign, body = -1, body[1:]
+    try:
+        if body.lower().startswith("0x"):
+            return Imm(sign * int(body, 16))
+        if body.isdigit():
+            return Imm(sign * int(body))
+    except ValueError:
+        pass
+    if token.replace("_", "").replace(".", "").isalnum() and not token[0].isdigit():
+        return Label(token)
+    raise AssemblyError(lineno, f"cannot parse operand {token!r}")
+
+
+def parse(text: str) -> Program:
+    """Parse assembly text into a validated :class:`Program`."""
+    program = Program()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or (":" in line and not line.startswith(":")):
+            if ":" not in line:
+                break
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not head or " " in head or "," in head:
+                raise AssemblyError(lineno, f"bad label {head!r}")
+            try:
+                program.add_label(head)
+            except ValueError as exc:
+                raise AssemblyError(lineno, str(exc)) from None
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        try:
+            spec = opspec(mnemonic)
+        except KeyError as exc:
+            raise AssemblyError(lineno, str(exc)) from None
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t for t in (tok.strip() for tok in operand_text.split(",")) if t]
+        if len(tokens) != spec.n_dst + spec.n_src:
+            raise AssemblyError(
+                lineno,
+                f"{mnemonic}: expected {spec.n_dst + spec.n_src} operands, "
+                f"got {len(tokens)}",
+            )
+        operands = [_parse_operand(tok, lineno) for tok in tokens]
+        dsts = operands[: spec.n_dst]
+        for dst in dsts:
+            if not isinstance(dst, Reg):
+                raise AssemblyError(lineno, f"{mnemonic}: dst must be a register")
+        try:
+            program.append(
+                Instruction(mnemonic, tuple(dsts), tuple(operands[spec.n_dst :]))  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError) as exc:
+            raise AssemblyError(lineno, str(exc)) from None
+    try:
+        program.validate()
+    except (KeyError, ValueError) as exc:
+        raise AssemblyError(0, str(exc)) from None
+    return program
+
+
+def serialize(program: Program, indent: str = "    ") -> str:
+    """Render a program back to assembly text."""
+    lines: list[str] = []
+    for index, instruction in enumerate(program.instructions):
+        for label in program.labels_at(index):
+            lines.append(f"{label}:")
+        lines.append(f"{indent}{instruction}")
+    for label in program.labels_at(len(program.instructions)):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

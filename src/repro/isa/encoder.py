@@ -1,0 +1,176 @@
+"""Binary encoding of the synthetic ISA.
+
+A fixed 10-byte word (GCN encodes most VALU/SALU/FLAT forms in 4 or 8
+bytes; a uniform word keeps the decoder trivial):
+
+====== ======= ====================================================
+bytes  field   meaning
+====== ======= ====================================================
+0–1    opcode  index into the sorted opcode table
+2      dst     destination register (kind tag << 6 | index), 0xFF if none
+3–4    src0    operand slot A
+5–6    src1    operand slot B
+7–8    src2    operand slot C
+9      pad     reserved
+====== ======= ====================================================
+
+Register operands use a 2-bit kind tag (0=scalar, 1=vector, 2=special);
+immediates and label offsets spill into a trailing constant pool, one
+32-bit word per reference, indexed from the operand slot.  The encoding
+exists to make the §IV-A routine-storage accounting concrete (how many
+bytes ship to the GPU with the kernel) and round-trips every program the
+repo can express — enforced by a hypothesis property.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .instruction import Imm, Instruction, Label, Program
+from .opcodes import OPCODES
+from .registers import Reg, RegKind, sreg, vreg
+
+_OPCODE_LIST = sorted(OPCODES)
+_OPCODE_INDEX = {name: i for i, name in enumerate(_OPCODE_LIST)}
+
+_KIND_TAGS = {RegKind.SCALAR: 0, RegKind.VECTOR: 1, RegKind.SPECIAL: 2}
+_TAG_KINDS = {v: k for k, v in _KIND_TAGS.items()}
+
+_NO_DST = 0xFF
+#: operand-slot tags (high 2 bits of the 16-bit slot)
+_SLOT_NONE = 0
+_SLOT_REG = 1
+_SLOT_POOL_IMM = 2
+_SLOT_POOL_LABEL = 3
+
+INSTRUCTION_WORD_BYTES = 10
+
+
+class EncodingError(ValueError):
+    """Raised when a program cannot be encoded or a blob cannot be decoded."""
+
+
+def _encode_reg(reg: Reg) -> int:
+    if reg.index > 0x3F:
+        raise EncodingError(f"register index {reg.index} exceeds encoding range")
+    return (_KIND_TAGS[reg.kind] << 6) | reg.index
+
+
+def _decode_reg(byte: int) -> Reg:
+    kind = _TAG_KINDS[byte >> 6]
+    index = byte & 0x3F
+    if kind is RegKind.SCALAR:
+        return sreg(index)
+    if kind is RegKind.VECTOR:
+        return vreg(index)
+    from .registers import _special  # architectural specials
+
+    return _special(index)
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a program: header, instruction words, constant pool, labels.
+
+    Layout: ``u32 n_instructions``, ``u32 n_pool_words``, instruction words,
+    pool words, then the label table (``u32 count`` + per label:
+    ``u32 index``, ``u16 name_len``, utf-8 name).
+    """
+    words = bytearray()
+    pool: list[int] = []
+
+    def slot_for(operand) -> int:
+        if operand is None:
+            return _SLOT_NONE << 14
+        if isinstance(operand, Reg):
+            return (_SLOT_REG << 14) | _encode_reg(operand)
+        if isinstance(operand, Imm):
+            pool.append(operand.value & 0xFFFFFFFF)
+            return (_SLOT_POOL_IMM << 14) | (len(pool) - 1)
+        if isinstance(operand, Label):
+            pool.append(program.target_index(operand.name))
+            return (_SLOT_POOL_LABEL << 14) | (len(pool) - 1)
+        raise EncodingError(f"cannot encode operand {operand!r}")
+
+    for instruction in program.instructions:
+        if len(instruction.srcs) > 3:
+            raise EncodingError(f"{instruction.mnemonic}: too many sources")
+        srcs = list(instruction.srcs) + [None] * (3 - len(instruction.srcs))
+        words += struct.pack(
+            "<HBHHHB",
+            _OPCODE_INDEX[instruction.mnemonic],
+            _encode_reg(instruction.dsts[0]) if instruction.dsts else _NO_DST,
+            slot_for(srcs[0]),
+            slot_for(srcs[1]),
+            slot_for(srcs[2]),
+            0,
+        )
+
+    out = bytearray()
+    out += struct.pack("<II", len(program.instructions), len(pool))
+    out += words
+    for word in pool:
+        out += struct.pack("<I", word)
+    labels = sorted(program.labels.items())
+    out += struct.pack("<I", len(labels))
+    for name, index in labels:
+        encoded = name.encode("utf-8")
+        out += struct.pack("<IH", index, len(encoded)) + encoded
+    return bytes(out)
+
+
+def decode_program(blob: bytes) -> Program:
+    """Inverse of :func:`encode_program`."""
+    n_instructions, n_pool = struct.unpack_from("<II", blob, 0)
+    offset = 8
+    raw = []
+    for _ in range(n_instructions):
+        raw.append(struct.unpack_from("<HBHHHB", blob, offset))
+        offset += INSTRUCTION_WORD_BYTES
+    pool = list(
+        struct.unpack_from(f"<{n_pool}I", blob, offset) if n_pool else ()
+    )
+    offset += 4 * n_pool
+    (n_labels,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    labels: dict[str, int] = {}
+    for _ in range(n_labels):
+        index, name_len = struct.unpack_from("<IH", blob, offset)
+        offset += 6
+        name = blob[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        labels[name] = index
+
+    index_to_label = {index: name for name, index in labels.items()}
+
+    def operand_from(slot: int):
+        tag = slot >> 14
+        payload = slot & 0x3FFF
+        if tag == _SLOT_NONE:
+            return None
+        if tag == _SLOT_REG:
+            return _decode_reg(payload & 0xFF)
+        if tag == _SLOT_POOL_IMM:
+            return Imm(pool[payload])
+        target = pool[payload]
+        if target not in index_to_label:
+            raise EncodingError(f"label target {target} missing from table")
+        return Label(index_to_label[target])
+
+    instructions = []
+    for opcode_index, dst_byte, s0, s1, s2, _pad in raw:
+        mnemonic = _OPCODE_LIST[opcode_index]
+        spec = OPCODES[mnemonic]
+        dsts = () if dst_byte == _NO_DST else (_decode_reg(dst_byte),)
+        srcs = [operand_from(s0), operand_from(s1), operand_from(s2)]
+        srcs = tuple(s for s in srcs[: spec.n_src] if s is not None)
+        if len(srcs) != spec.n_src:
+            raise EncodingError(f"{mnemonic}: operand count mismatch on decode")
+        instructions.append(Instruction(mnemonic, dsts, srcs))
+    program = Program(instructions, labels)
+    program.validate()
+    return program
+
+
+def encoded_size(program: Program) -> int:
+    """Bytes the program occupies in the binary format."""
+    return len(encode_program(program))

@@ -1,0 +1,417 @@
+"""Opcode table for the synthetic SIMT ISA.
+
+Each opcode carries the metadata every other layer needs:
+
+* **class** — which pipeline executes it (scalar ALU, vector ALU, vector
+  memory, LDS, scalar memory, branch), which drives the timing model;
+* **operand shape** — number of destination and source operands, plus the
+  implicit architectural reads/writes (``exec`` for vector ops, ``scc`` for
+  compares and conditional branches) that liveness analysis must see;
+* **memory behaviour** — loads/stores and the dedicated context-buffer
+  accessors (``ctx_*``) used by generated preemption/resume routines, mapping
+  to the paper's ``GST r0, ctx[0x0]`` notation;
+* **reversibility** — for instructions of the form ``r = op(r, ...)``,
+  whether and how the overwritten operand can be recovered
+  (paper §III-C, Algorithm 2).
+
+Functional semantics live in :mod:`repro.sim.executor`; this module is pure
+metadata so the compiler layers do not depend on the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class OpClass(enum.Enum):
+    """Execution-pipeline class; drives issue/result latency in the sim."""
+
+    SALU = "salu"
+    VALU = "valu"
+    VMEM = "vmem"
+    SMEM = "smem"
+    LDS = "lds"
+    BRANCH = "branch"
+    MISC = "misc"
+
+
+class MemKind(enum.Enum):
+    """What kind of memory traffic an opcode produces."""
+
+    GLOBAL_LOAD = "global_load"
+    GLOBAL_STORE = "global_store"
+    LDS_READ = "lds_read"
+    LDS_WRITE = "lds_write"
+    SMEM_LOAD = "smem_load"
+    CTX_STORE = "ctx_store"
+    CTX_LOAD = "ctx_load"
+
+
+@dataclass(frozen=True)
+class RevertSpec:
+    """How to recover the overwritten operand of ``r' = op(r, others)``.
+
+    ``inv_mnemonic`` names the inverse operation; ``pattern`` lists the source
+    operands of the inverse instruction, where ``"new"`` stands for the
+    (post-execution) result value and ``"other"`` for the non-recovered source
+    operand.  ``paper_only`` marks inversions that are exact only under the
+    paper's assumptions (left shift in address arithmetic never loses bits);
+    they are enabled by ``ReversibilityModel.PAPER`` and disabled under
+    ``ReversibilityModel.EXACT``.
+    """
+
+    inv_mnemonic: str
+    pattern: tuple[str, ...]
+    paper_only: bool = False
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    opclass: OpClass
+    n_dst: int
+    n_src: int
+    mem: MemKind | None = None
+    reads_exec: bool = False
+    reads_scc: bool = False
+    writes_scc: bool = False
+    is_branch: bool = False
+    is_terminator: bool = False
+    commutative: bool = False
+    # Mapping from source-operand position -> recovery recipe when the
+    # destination register aliases that source (paper §III-C).
+    revert: Mapping[int, RevertSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_dst < 0 or self.n_src < 0:
+            raise ValueError("operand counts must be non-negative")
+
+    @property
+    def is_load(self) -> bool:
+        return self.mem in (
+            MemKind.GLOBAL_LOAD,
+            MemKind.LDS_READ,
+            MemKind.SMEM_LOAD,
+            MemKind.CTX_LOAD,
+        )
+
+    @property
+    def is_store(self) -> bool:
+        return self.mem in (
+            MemKind.GLOBAL_STORE,
+            MemKind.LDS_WRITE,
+            MemKind.CTX_STORE,
+        )
+
+    @property
+    def touches_global_memory(self) -> bool:
+        return self.mem in (
+            MemKind.GLOBAL_LOAD,
+            MemKind.GLOBAL_STORE,
+            MemKind.SMEM_LOAD,
+            MemKind.CTX_STORE,
+            MemKind.CTX_LOAD,
+        )
+
+
+_TABLE: dict[str, OpSpec] = {}
+
+
+def _op(spec: OpSpec) -> OpSpec:
+    if spec.mnemonic in _TABLE:
+        raise ValueError(f"duplicate opcode {spec.mnemonic}")
+    _TABLE[spec.mnemonic] = spec
+    return spec
+
+
+def _alu_pair(
+    base: str,
+    *,
+    n_src: int = 2,
+    commutative: bool = False,
+    revert: Mapping[int, RevertSpec] | None = None,
+    scalar_writes_scc: bool = False,
+) -> None:
+    """Register both the scalar (``s_``) and vector (``v_``) variant."""
+
+    def _prefixed(rev: Mapping[int, RevertSpec] | None, prefix: str):
+        if not rev:
+            return {}
+        return {
+            pos: RevertSpec(prefix + r.inv_mnemonic, r.pattern, r.paper_only)
+            for pos, r in rev.items()
+        }
+
+    _op(
+        OpSpec(
+            mnemonic=f"s_{base}",
+            opclass=OpClass.SALU,
+            n_dst=1,
+            n_src=n_src,
+            commutative=commutative,
+            writes_scc=scalar_writes_scc,
+            revert=_prefixed(revert, "s_"),
+        )
+    )
+    _op(
+        OpSpec(
+            mnemonic=f"v_{base}",
+            opclass=OpClass.VALU,
+            n_dst=1,
+            n_src=n_src,
+            reads_exec=True,
+            commutative=commutative,
+            revert=_prefixed(revert, "v_"),
+        )
+    )
+
+
+# --- Moves ------------------------------------------------------------------
+_alu_pair("mov", n_src=1)
+
+# --- Integer arithmetic (u32, wrapping) --------------------------------------
+# r' = a + b  =>  a = r' - b ; b = r' - a
+_alu_pair(
+    "add",
+    commutative=True,
+    revert={
+        0: RevertSpec("sub", ("new", "other")),
+        1: RevertSpec("sub", ("new", "other")),
+    },
+)
+# r' = a - b  =>  a = r' + b ; b = a - r'
+_alu_pair(
+    "sub",
+    revert={
+        0: RevertSpec("add", ("new", "other")),
+        1: RevertSpec("sub", ("other", "new")),
+    },
+)
+_alu_pair("mul", commutative=True)  # low 32 bits; not generally invertible
+_alu_pair("mulhi", commutative=True)
+_alu_pair("mad", n_src=3)  # d = a*b + c
+_alu_pair("min", commutative=True)
+_alu_pair("max", commutative=True)
+
+# --- Bitwise ------------------------------------------------------------------
+_alu_pair(
+    "xor",
+    commutative=True,
+    revert={
+        0: RevertSpec("xor", ("new", "other")),
+        1: RevertSpec("xor", ("new", "other")),
+    },
+)
+_alu_pair("and", commutative=True)
+_alu_pair("or", commutative=True)
+_alu_pair("not", n_src=1, revert={0: RevertSpec("not", ("new",))})
+# Left shift loses high bits in general; the paper treats it as reversible in
+# the address-arithmetic patterns it targets.  Exact mode disables this rule.
+_alu_pair(
+    "lshl",
+    revert={0: RevertSpec("lshr", ("new", "other"), paper_only=True)},
+)
+_alu_pair("lshr")
+
+# --- f32 arithmetic (same 32-bit storage, float semantics; never reverted:
+# floating-point add/sub round, so inversion is not bit-exact) ----------------
+_alu_pair("addf", commutative=True)
+_alu_pair("subf")
+_alu_pair("mulf", commutative=True)
+_alu_pair("madf", n_src=3)
+_alu_pair("maxf", commutative=True)
+_alu_pair("minf", commutative=True)
+
+# --- Scalar compares (write scc) ---------------------------------------------
+for _cmp in ("lt", "le", "eq", "ne", "gt", "ge"):
+    _op(
+        OpSpec(
+            mnemonic=f"s_cmp_{_cmp}",
+            opclass=OpClass.SALU,
+            n_dst=0,
+            n_src=2,
+            writes_scc=True,
+        )
+    )
+
+# --- Memory -------------------------------------------------------------------
+_op(
+    OpSpec(
+        mnemonic="global_load",
+        opclass=OpClass.VMEM,
+        n_dst=1,
+        n_src=2,  # v_addr, imm offset
+        mem=MemKind.GLOBAL_LOAD,
+        reads_exec=True,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="global_store",
+        opclass=OpClass.VMEM,
+        n_dst=0,
+        n_src=3,  # v_addr, v_data, imm offset
+        mem=MemKind.GLOBAL_STORE,
+        reads_exec=True,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="s_load",
+        opclass=OpClass.SMEM,
+        n_dst=1,
+        n_src=2,  # s_addr, imm offset
+        mem=MemKind.SMEM_LOAD,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="lds_read",
+        opclass=OpClass.LDS,
+        n_dst=1,
+        n_src=2,  # v_addr, imm offset
+        mem=MemKind.LDS_READ,
+        reads_exec=True,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="lds_write",
+        opclass=OpClass.LDS,
+        n_dst=0,
+        n_src=3,  # v_addr, v_data, imm offset
+        mem=MemKind.LDS_WRITE,
+        reads_exec=True,
+    )
+)
+
+# --- Context-buffer accessors used by generated routines ----------------------
+# ``ctx_store_v v7, 0x40`` saves vector register v7 at byte offset 0x40 of the
+# warp's context-save area (the paper's ``GST v7, ctx[0x40]``).  These are
+# ordinary device-memory traffic for the timing model.
+_op(
+    OpSpec(
+        mnemonic="ctx_store_v",
+        opclass=OpClass.VMEM,
+        n_dst=0,
+        n_src=2,  # v_data, imm slot
+        mem=MemKind.CTX_STORE,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="ctx_load_v",
+        opclass=OpClass.VMEM,
+        n_dst=1,
+        n_src=1,  # imm slot
+        mem=MemKind.CTX_LOAD,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="ctx_store_s",
+        opclass=OpClass.VMEM,
+        n_dst=0,
+        n_src=2,
+        mem=MemKind.CTX_STORE,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="ctx_load_s",
+        opclass=OpClass.VMEM,
+        n_dst=1,
+        n_src=1,
+        mem=MemKind.CTX_LOAD,
+    )
+)
+# Bulk LDS swap: one instruction moving ``imm`` bytes between the thread
+# block's LDS allocation and the context buffer.  Real routines loop; a bulk
+# op with the same byte count gives identical timing with less noise.
+_op(
+    OpSpec(
+        mnemonic="ctx_store_lds",
+        opclass=OpClass.VMEM,
+        n_dst=0,
+        n_src=1,  # imm bytes
+        mem=MemKind.CTX_STORE,
+    )
+)
+_op(
+    OpSpec(
+        mnemonic="ctx_load_lds",
+        opclass=OpClass.VMEM,
+        n_dst=0,
+        n_src=1,
+        mem=MemKind.CTX_LOAD,
+    )
+)
+
+# --- Control flow --------------------------------------------------------------
+_op(
+    OpSpec(
+        mnemonic="s_branch",
+        opclass=OpClass.BRANCH,
+        n_dst=0,
+        n_src=1,  # label
+        is_branch=True,
+        is_terminator=True,
+    )
+)
+for _cc in ("scc0", "scc1"):
+    _op(
+        OpSpec(
+            mnemonic=f"s_cbranch_{_cc}",
+            opclass=OpClass.BRANCH,
+            n_dst=0,
+            n_src=1,
+            reads_scc=True,
+            is_branch=True,
+            is_terminator=True,
+        )
+    )
+_op(
+    OpSpec(
+        mnemonic="s_endpgm",
+        opclass=OpClass.BRANCH,
+        n_dst=0,
+        n_src=0,
+        is_terminator=True,
+    )
+)
+_op(OpSpec(mnemonic="s_nop", opclass=OpClass.MISC, n_dst=0, n_src=0))
+_op(OpSpec(mnemonic="s_barrier", opclass=OpClass.MISC, n_dst=0, n_src=0))
+# Checkpoint probe (CKPT instrumentation): every Nth dynamic execution the
+# simulator charges the checkpoint stores.  ``imm`` is the checkpoint id.
+_op(OpSpec(mnemonic="ckpt_probe", opclass=OpClass.MISC, n_dst=0, n_src=1))
+
+
+OPCODES: Mapping[str, OpSpec] = dict(_TABLE)
+
+
+def opspec(mnemonic: str) -> OpSpec:
+    """Look up an opcode; raises ``KeyError`` with the mnemonic on miss."""
+    try:
+        return OPCODES[mnemonic]
+    except KeyError:
+        raise KeyError(f"unknown opcode {mnemonic!r}") from None
+
+
+class ReversibilityModel(enum.Enum):
+    """Which inversions Algorithm 2 may use (see DESIGN.md §4).
+
+    ``EXACT`` admits only inversions that are bit-exact for *all* operand
+    values (add/sub/xor/not in modular arithmetic) — this is what the
+    functional round-trip property tests run under.  ``PAPER`` additionally
+    admits left shift, matching the paper's address-arithmetic assumption.
+    """
+
+    EXACT = "exact"
+    PAPER = "paper"
+
+    def allows(self, spec: RevertSpec) -> bool:
+        return not spec.paper_only or self is ReversibilityModel.PAPER

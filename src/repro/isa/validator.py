@@ -1,0 +1,159 @@
+"""Operand-kind validation: the assembler's missing type checker.
+
+The :class:`~repro.isa.instruction.Instruction` constructor checks arity;
+this module checks *kinds* — scalar ALU instructions cannot read vector
+registers, memory addresses live in the right file, branch operands are
+labels and nothing else is.  Used by tests to audit every benchmark kernel
+and every generated preemption/resume routine, and available to users as a
+lint for hand-written assembly.
+"""
+
+from __future__ import annotations
+
+from .instruction import Imm, Instruction, Kernel, Label, Program
+from .opcodes import OpClass
+from .registers import Reg, RegKind
+
+
+def _kind_name(operand) -> str:
+    if isinstance(operand, Imm):
+        return "imm"
+    if isinstance(operand, Label):
+        return "label"
+    if isinstance(operand, Reg):
+        if operand.kind is RegKind.VECTOR:
+            return "vreg"
+        if operand.kind is RegKind.SCALAR:
+            return "sreg"
+        return "special"
+    return "?"
+
+
+#: acceptable source-operand kinds by mnemonic, position-indexed; ``None``
+#: entries fall back to the class rule.
+_SRC_RULES: dict[str, list[set[str]]] = {
+    "global_load": [{"vreg"}, {"imm"}],
+    "global_store": [{"vreg"}, {"vreg"}, {"imm"}],
+    "lds_read": [{"vreg"}, {"imm"}],
+    "lds_write": [{"vreg"}, {"vreg"}, {"imm"}],
+    "s_load": [{"sreg"}, {"imm"}],
+    "ctx_store_v": [{"vreg"}, {"imm"}],
+    "ctx_load_v": [{"imm"}],
+    "ctx_store_s": [{"sreg", "special"}, {"imm"}],
+    "ctx_load_s": [{"imm"}],
+    "ctx_store_lds": [{"imm"}],
+    "ctx_load_lds": [{"imm"}],
+    "ckpt_probe": [{"imm"}],
+    "s_branch": [{"label"}],
+    "s_cbranch_scc0": [{"label"}],
+    "s_cbranch_scc1": [{"label"}],
+}
+
+_DST_RULES: dict[str, set[str]] = {
+    "global_load": {"vreg"},
+    "lds_read": {"vreg"},
+    "s_load": {"sreg"},
+    "ctx_load_v": {"vreg"},
+    "ctx_load_s": {"sreg", "special"},
+}
+
+_VALU_SRC = {"vreg", "sreg", "special", "imm"}
+_SALU_SRC = {"sreg", "special", "imm"}
+
+
+def validate_instruction(instruction: Instruction) -> list[str]:
+    """Return human-readable kind violations (empty list = well-typed)."""
+    spec = instruction.spec
+    mnemonic = instruction.mnemonic
+    problems: list[str] = []
+
+    src_rules = _SRC_RULES.get(mnemonic)
+    if src_rules is not None:
+        for position, (operand, allowed) in enumerate(
+            zip(instruction.srcs, src_rules)
+        ):
+            kind = _kind_name(operand)
+            if kind not in allowed:
+                problems.append(
+                    f"{mnemonic}: src{position} must be "
+                    f"{'/'.join(sorted(allowed))}, got {kind} ({operand})"
+                )
+    elif spec.opclass is OpClass.VALU:
+        for position, operand in enumerate(instruction.srcs):
+            kind = _kind_name(operand)
+            if kind not in _VALU_SRC:
+                problems.append(
+                    f"{mnemonic}: src{position} invalid for a vector ALU op, "
+                    f"got {kind} ({operand})"
+                )
+    elif spec.opclass is OpClass.SALU or mnemonic.startswith("s_cmp_"):
+        for position, operand in enumerate(instruction.srcs):
+            kind = _kind_name(operand)
+            if kind not in _SALU_SRC:
+                problems.append(
+                    f"{mnemonic}: src{position} must be scalar, got {kind} "
+                    f"({operand})"
+                )
+
+    dst_rule = _DST_RULES.get(mnemonic)
+    for dst in instruction.dsts:
+        kind = _kind_name(dst)
+        if dst_rule is not None:
+            if kind not in dst_rule:
+                problems.append(
+                    f"{mnemonic}: dst must be {'/'.join(sorted(dst_rule))}, "
+                    f"got {kind}"
+                )
+        elif spec.opclass is OpClass.VALU and kind != "vreg":
+            problems.append(f"{mnemonic}: vector ALU dst must be vreg, got {kind}")
+        elif spec.opclass is OpClass.SALU and kind not in ("sreg", "special"):
+            problems.append(f"{mnemonic}: scalar ALU dst must be scalar, got {kind}")
+
+    if src_rules is None:
+        for operand in instruction.srcs:
+            if isinstance(operand, Label):
+                problems.append(f"{mnemonic}: unexpected label operand")
+    return problems
+
+
+def validate_program(program: Program) -> list[str]:
+    """Kind-check every instruction; prefixes findings with positions."""
+    program.validate()  # labels + arity first
+    problems = []
+    for position, instruction in enumerate(program.instructions):
+        for problem in validate_instruction(instruction):
+            problems.append(f"@{position}: {problem}")
+    return problems
+
+
+def validate_kernel(kernel: Kernel) -> list[str]:
+    """Program kind-check plus kernel-level resource sanity."""
+    problems = validate_program(kernel.program)
+    if kernel.lds_bytes:
+        uses_lds = any(
+            instruction.spec.opclass is OpClass.LDS
+            for instruction in kernel.program.instructions
+        )
+        if not uses_lds:
+            problems.append(
+                f"{kernel.name}: declares {kernel.lds_bytes} B LDS but never "
+                f"touches shared memory"
+            )
+    else:
+        for position, instruction in enumerate(kernel.program.instructions):
+            if instruction.spec.opclass is OpClass.LDS:
+                problems.append(
+                    f"{kernel.name}@{position}: LDS access without an LDS "
+                    f"allocation"
+                )
+    return problems
+
+
+def assert_valid(kernel: Kernel) -> None:
+    """Raise ``ValueError`` listing every violation, if any."""
+    problems = validate_kernel(kernel)
+    if problems:
+        raise ValueError(
+            f"{kernel.name}: {len(problems)} validation problem(s):\n  "
+            + "\n  ".join(problems)
+        )

@@ -1,0 +1,45 @@
+"""Benchmark kernels: synthetic analogs of the paper's Table I suite.
+
+See DESIGN.md §2 for the substitution argument and :mod:`.builder` for the
+shared launch ABI.
+"""
+
+from .builder import (
+    A_BASE,
+    B_BASE,
+    OUT_BASE,
+    KernelBuilder,
+    StandardLaunch,
+    fbits,
+    input_pattern,
+    s,
+    v,
+)
+from .suite import (
+    BLAS_DL_KEYS,
+    Benchmark,
+    SUITE,
+    TABLE1,
+    Table1Row,
+    all_keys,
+    benchmark,
+)
+
+__all__ = [
+    "A_BASE",
+    "B_BASE",
+    "BLAS_DL_KEYS",
+    "Benchmark",
+    "KernelBuilder",
+    "OUT_BASE",
+    "SUITE",
+    "StandardLaunch",
+    "TABLE1",
+    "Table1Row",
+    "all_keys",
+    "benchmark",
+    "fbits",
+    "input_pattern",
+    "s",
+    "v",
+]

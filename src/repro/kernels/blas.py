@@ -1,0 +1,252 @@
+"""BLAS-library kernel analogs (CLBlast [15]): VA, DOT, MM, MV.
+
+Register budgets follow Table I (1 vector register = warp-size × 4 bytes):
+VA 12 VGPRs (3 KB), DOT 24 (6 KB, 1 KB LDS), MM 52 (13 KB, 0.5 KB LDS),
+MV 52 (13 KB, 0.25 KB LDS).
+
+The loop bodies are shaped like ``-O3`` output on these kernels: a long
+load phase fills most of the allocation (ILP scheduling keeps many values
+in flight), a compute phase consumes it, and the live set collapses to the
+loop-carried state at the iteration boundary.  That oscillation is the
+live-register *variety* CTXBack exploits (paper §V-A).
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Kernel
+from .builder import KernelBuilder, StandardLaunch, s, v
+
+
+def build_va(warp_size: int = 64) -> Kernel:
+    """Vector addition, unroll 3: out[i] = a[i] + b[i].
+
+    Low pressure, nothing loop-carried but the pointers — the live set
+    collapses between iterations, which is why the paper reports VA's
+    largest context reductions (−78.2 % with CTXBack).
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "vector_add", abbrev="VA", provenance="CLBlast/Caffe", vgprs=12, sgprs=18,
+        warps_per_block=6
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # a
+    b.pointer(v(3), v(1), s(1))  # b
+    b.pointer(v(4), v(1), s(2))  # out
+    b.loop_begin()
+    for u in range(3):
+        b.i("global_load", v(5 + u), v(2), u * w4)
+    for u in range(3):
+        b.i("global_load", v(8 + u), v(3), u * w4)
+    # early pointer increments (address generation ahead of the stores);
+    # reverting recovers the pre-increment values when flashing back
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    for u in range(3):
+        b.i("v_addf", v(5 + u), v(5 + u), v(8 + u))
+    for u in range(3):
+        b.i("global_store", v(4), v(5 + u), u * w4)
+    b.i("v_add", v(4), v(4), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_va(warp_size: int = 64, iterations: int = 48, num_warps=None) -> StandardLaunch:
+    kernel = build_va(warp_size)
+    span = iterations * 3 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        b_words_per_warp=span,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: 3 * w * 4,
+        num_warps=num_warps,
+    )
+
+
+def build_dot(warp_size: int = 64) -> Kernel:
+    """Dot product, unroll 8 with four accumulators + LDS tree step."""
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "dot_product",
+        abbrev="DOT",
+        provenance="CLBlast/Caffe",
+        vgprs=24,
+        sgprs=18,
+        lds_bytes=1024,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(1))
+    for acc in range(6):
+        b.i("v_mov", v(18 + acc), 0)
+    b.loop_begin()
+    for u in range(7):
+        b.i("global_load", v(4 + u), v(2), u * w4)
+    for u in range(7):
+        b.i("global_load", v(11 + u), v(3), u * w4)
+    # early pointer increments: overwritten before the MACs, recoverable by
+    # instruction reverting when flashing back into the load phase
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    for u in range(7):
+        b.i("v_madf", v(18 + (u % 6)), v(4 + u), v(11 + u), v(18 + (u % 6)))
+    b.loop_end()
+    # warp-level partial reduction through LDS (per-warp share, lane-indexed)
+    b.i("v_addf", v(4), v(18), v(19))
+    b.i("v_addf", v(5), v(20), v(21))
+    b.i("v_addf", v(6), v(22), v(23))
+    b.i("v_addf", v(4), v(4), v(5))
+    b.i("v_addf", v(4), v(4), v(6))
+    b.i("lds_write", v(1), v(4), 0)
+    b.i("v_xor", v(7), v(1), 4)  # partner lane's slot
+    b.i("lds_read", v(8), v(7), 0)
+    b.i("v_addf", v(4), v(4), v(8))
+    b.pointer(v(9), v(1), s(2))
+    b.i("global_store", v(9), v(4), 0)
+    b.end()
+    return b.build()
+
+
+def launch_dot(warp_size: int = 64, iterations: int = 30, num_warps=None) -> StandardLaunch:
+    kernel = build_dot(warp_size)
+    span = iterations * 7 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        b_words_per_warp=span,
+        out_words_per_warp=warp_size,
+        stride_bytes=lambda w: 7 * w * 4,
+        num_warps=num_warps,
+    )
+
+
+def build_mm(warp_size: int = 64) -> Kernel:
+    """Tiled matrix-matrix multiply: 12 accumulators, 24-register tile loads,
+    LDS-staged B value — the paper's high-pressure BLAS/DL profile."""
+    w4 = warp_size * 4
+    share_words = max(1, 512 // 4)  # 0.5 KB per warp, in words
+    mask = share_words - 1
+    b = KernelBuilder(
+        "matrix_multiply",
+        abbrev="MM",
+        provenance="CLBlast/Caffe",
+        vgprs=52,
+        sgprs=18,
+        lds_bytes=512,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # A tile pointer
+    b.pointer(v(3), v(1), s(1))  # B tile pointer
+    b.pointer(v(4), v(1), s(2))  # C pointer
+    b.i("v_and", v(25), v(0), mask)  # lane slot within the LDS share
+    b.i("v_lshl", v(25), v(25), 2)
+    for acc in range(16):
+        b.i("v_mov", v(36 + acc), 0)
+    b.loop_begin()
+    for u in range(10):  # A tile column
+        b.i("global_load", v(5 + u), v(2), u * w4)
+    for u in range(10):  # B tile row
+        b.i("global_load", v(15 + u), v(3), u * w4)
+    # stage one B value through LDS (double-buffered tile in the real kernel)
+    b.i("lds_write", v(25), v(15), 0)
+    b.i("lds_read", v(26), v(25), 0)
+    # rank-1 update of the accumulator tile
+    for i in range(10):
+        b.i("v_madf", v(36 + i), v(5 + i), v(15 + i), v(36 + i))
+    b.i("v_add", v(2), v(2), s(4))  # early tile-pointer advance
+    b.i("v_add", v(3), v(3), s(4))
+    for i in range(8):
+        b.i("v_mulf", v(27 + i), v(5 + (i % 10)), v(26))
+    for i in range(8):
+        b.i("v_addf", v(36 + 8 + i), v(36 + 8 + i), v(27 + i))
+    b.loop_end()
+    for i in range(16):
+        b.i("global_store", v(4), v(36 + i), i * w4)
+    b.end()
+    return b.build()
+
+
+def launch_mm(warp_size: int = 64, iterations: int = 20, num_warps=None) -> StandardLaunch:
+    kernel = build_mm(warp_size)
+    span = iterations * 10 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        b_words_per_warp=span,
+        out_words_per_warp=16 * warp_size,
+        stride_bytes=lambda w: 10 * w * 4,
+        num_warps=num_warps,
+    )
+
+
+def build_mv(warp_size: int = 64) -> Kernel:
+    """Matrix-vector multiply: x cached in registers, row-streamed matrix.
+
+    Sixteen registers (x-cache + accumulators) stay live through the whole
+    loop, so the live floor is high — a profile where flashing back buys
+    less than on VA/RELU.
+    """
+    w4 = warp_size * 4
+    share_words = max(1, 256 // 4)
+    mask = share_words - 1
+    b = KernelBuilder(
+        "matrix_vector",
+        abbrev="MV",
+        provenance="CLBlast/Caffe",
+        vgprs=52,
+        sgprs=18,
+        lds_bytes=256,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # matrix rows
+    b.pointer(v(3), v(1), s(1))  # x vector
+    b.pointer(v(4), v(1), s(2))  # y out
+    b.i("v_and", v(29), v(0), mask)
+    b.i("v_lshl", v(29), v(29), 2)
+    for u in range(8):  # cache x in registers (persistent)
+        b.i("global_load", v(36 + u), v(3), u * w4)
+    for acc in range(8):
+        b.i("v_mov", v(44 + acc), 0)
+    b.i("v_mov", v(34), 0)  # running row norm, persistent
+    b.i("v_mov", v(35), 0)  # running residual, persistent
+    b.loop_begin()
+    for u in range(16):
+        b.i("global_load", v(5 + u), v(2), u * w4)
+    for u in range(4):  # partial products with longer live ranges
+        b.i("v_mulf", v(21 + u), v(5 + u), v(36 + u))
+    for u in range(4):
+        b.i("v_addf", v(44 + u), v(44 + u), v(21 + u))
+    for u in range(4, 16):
+        b.i("v_madf", v(44 + (u % 8)), v(5 + u), v(36 + (u % 8)), v(44 + (u % 8)))
+    b.i("v_madf", v(34), v(5), v(5), v(34))
+    b.i("v_addf", v(35), v(35), v(21))
+    # stage a partial through LDS every iteration (vector gather pattern)
+    b.i("lds_write", v(29), v(44), 0)
+    b.i("lds_read", v(25), v(29), 0)
+    b.i("v_addf", v(45), v(45), v(25))
+    b.i("v_add", v(2), v(2), s(4))
+    b.loop_end()
+    for u in range(8):
+        b.i("global_store", v(4), v(44 + u), u * w4)
+    b.i("global_store", v(4), v(34), 8 * w4)
+    b.i("global_store", v(4), v(35), 9 * w4)
+    b.end()
+    return b.build()
+
+
+def launch_mv(warp_size: int = 64, iterations: int = 22, num_warps=None) -> StandardLaunch:
+    kernel = build_mv(warp_size)
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=iterations * 16 * warp_size,
+        b_words_per_warp=8 * warp_size,
+        out_words_per_warp=10 * warp_size,
+        stride_bytes=lambda w: 16 * w * 4,
+        num_warps=num_warps,
+    )

@@ -1,0 +1,140 @@
+"""Extension workloads with divergent control: exec-masked kernels.
+
+The Table I suite runs with a full exec mask (as the paper's benchmarks
+effectively do inside their hot loops).  These two extra kernels exercise
+the masked path — the save/narrow/restore idiom around predicated vector
+writes — which stresses the read-modify-write handling in liveness, value
+numbering and the generated routines (see
+:mod:`repro.compiler.execmask`).  They are not part of the paper's
+evaluation; the extension tests preempt them at every loop offset.
+
+The lane predicate comes from a precomputed mask in ``s6`` (real kernels
+produce it with vector compares into a mask register; our scalar-set ISA
+models the resulting architectural state).  A single 32-bit scalar holds the
+mask, so these workloads support warp sizes up to 32 (real GCN uses 64-bit
+scalar *pairs* for the same job); launches default to 32 lanes.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Kernel
+from ..isa.registers import EXEC
+from .builder import KernelBuilder, StandardLaunch, fbits, s, v
+
+
+def build_sparse_relu(warp_size: int = 32) -> Kernel:
+    """Predicated (sparse) leaky ReLU: only flagged lanes are rewritten.
+
+    Per iteration: load x, narrow exec to the sparse lanes, rewrite them
+    with the damped value, restore exec, store the merged register — the
+    inactive lanes must carry the original x through the masked section,
+    across any preemption point.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "sparse_relu",
+        abbrev="SPR",
+        provenance="extension",
+        vgprs=12,
+        sgprs=18,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_mov", v(10), fbits(0.125))  # damping factor, persistent
+    b.loop_begin()
+    for u in range(2):
+        b.i("global_load", v(4 + u), v(2), u * w4)
+    b.i("s_mov", s(8), EXEC)  # save the full mask
+    b.i("s_mov", EXEC, s(6))  # narrow to the sparse lanes
+    for u in range(2):
+        b.i("v_mulf", v(6 + u), v(4 + u), v(10))  # masked damped values
+    for u in range(2):
+        b.i("v_mov", v(4 + u), v(6 + u))  # masked rewrite (RMW merge!)
+    b.i("s_mov", EXEC, s(8))  # restore
+    for u in range(2):
+        b.i("global_store", v(3), v(4 + u), u * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_sparse_relu(
+    warp_size: int = 32, iterations: int = 16, num_warps=None
+) -> StandardLaunch:
+    """Launch with lanes 0, 2, 4, ... flagged sparse (mask in s6)."""
+    if warp_size > 32:
+        raise ValueError("divergent workloads hold the mask in one 32-bit sreg")
+    kernel = build_sparse_relu(warp_size)
+    span = iterations * 2 * warp_size
+    mask = sum(1 << lane for lane in range(0, warp_size, 2))
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: 2 * w * 4,
+        extra_sregs={6: mask & 0xFFFFFFFF},
+        num_warps=num_warps,
+    )
+
+
+def build_masked_accumulate(warp_size: int = 32) -> Kernel:
+    """Conditional accumulation: flagged lanes add into a running sum.
+
+    The accumulator is written under the mask every iteration, so its value
+    interleaves masked and unmasked history — the hardest case for a
+    context switch that replays instructions.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "masked_accumulate",
+        abbrev="MAC",
+        provenance="extension",
+        vgprs=10,
+        sgprs=18,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_mov", v(8), 0)  # accumulator, persistent, partially rewritten
+    b.loop_begin()
+    b.i("global_load", v(4), v(2), 0)
+    b.i("s_mov", s(8), EXEC)
+    b.i("s_mov", EXEC, s(6))
+    b.i("v_add", v(8), v(8), v(4))  # masked integer accumulation
+    b.i("s_mov", EXEC, s(8))
+    b.i("global_store", v(3), v(8), 0)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_masked_accumulate(
+    warp_size: int = 32, iterations: int = 16, num_warps=None
+) -> StandardLaunch:
+    """Launch with the low half of the warp flagged."""
+    if warp_size > 32:
+        raise ValueError("divergent workloads hold the mask in one 32-bit sreg")
+    kernel = build_masked_accumulate(warp_size)
+    span = iterations * warp_size
+    mask = (1 << (warp_size // 2)) - 1
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: w * 4,
+        extra_sregs={6: mask & 0xFFFFFFFF},
+        num_warps=num_warps,
+    )
+
+
+DIVERGENT_WORKLOADS = {
+    "sparse_relu": (build_sparse_relu, launch_sparse_relu),
+    "masked_accumulate": (build_masked_accumulate, launch_masked_accumulate),
+}

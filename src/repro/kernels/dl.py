@@ -1,0 +1,215 @@
+"""Deep-learning kernel analogs (Caffe [14]): AP, DC, LRN, RELU.
+
+Table I budgets: AP 28 VGPRs (7 KB), DC 32 (8 KB), LRN 16 (4 KB),
+RELU 16 (4 KB).  See :mod:`.blas` for the live-range shaping rationale.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Kernel
+from .builder import KernelBuilder, StandardLaunch, fbits, s, v
+
+
+def build_ap(warp_size: int = 64) -> Kernel:
+    """Average pooling 2×2, four windows per iteration: out = 0.25 · Σ."""
+    w4 = warp_size * 4
+    quarter = fbits(0.25)
+    b = KernelBuilder(
+        "average_pooling", abbrev="AP", provenance="Caffe", vgprs=28, sgprs=18,
+        warps_per_block=3
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_mov", v(23), quarter)  # window scale, persistent
+    for u in range(4):  # running per-channel statistics, persistent
+        b.i("v_mov", v(24 + u), 0)
+    b.loop_begin()
+    for k in range(12):  # three 2x2 windows
+        b.i("global_load", v(4 + k), v(2), k * w4)
+    for u in range(3):  # pairwise sums keep all loads live to this point
+        b.i("v_addf", v(16 + u), v(4 + u * 4), v(5 + u * 4))
+    for u in range(3):
+        b.i("v_addf", v(19 + u), v(6 + u * 4), v(7 + u * 4))
+    for u in range(3):
+        b.i("v_addf", v(16 + u), v(16 + u), v(19 + u))
+    for u in range(3):
+        b.i("v_mulf", v(16 + u), v(16 + u), v(23))
+    for u in range(3):  # accumulate channel statistics (persistent)
+        b.i("v_addf", v(24 + u), v(24 + u), v(16 + u))
+    # window id tag; s7's multiply-update is irreversible -> OSRB candidate
+    b.i("v_xor", v(16), v(16), s(7))
+    b.i("s_mul", s(7), s(7), 7)
+    for u in range(3):
+        b.i("global_store", v(3), v(16 + u), u * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(6))
+    b.loop_end()
+    for u in range(4):
+        b.i("global_store", v(3), v(24 + u), u * w4)
+    b.end()
+    return b.build()
+
+
+def launch_ap(warp_size: int = 64, iterations: int = 24, num_warps=None) -> StandardLaunch:
+    kernel = build_ap(warp_size)
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=iterations * 12 * warp_size,
+        out_words_per_warp=(iterations + 2) * 3 * warp_size + 4 * warp_size,
+        stride_bytes=lambda w: 12 * w * 4,
+        extra_sregs={6: 3 * warp_size * 4},
+        num_warps=num_warps,
+    )
+
+
+def build_dc(warp_size: int = 64) -> Kernel:
+    """Direct convolution, 3-tap filter × 2 output channels, unroll 4.
+
+    The filter weights load once in the preamble and stay live for the whole
+    kernel — the persistent-weights profile of convolution layers.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "direct_convolution", abbrev="DC", provenance="Caffe", vgprs=32, sgprs=18
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # input
+    b.pointer(v(3), v(1), s(1))  # weights
+    b.pointer(v(4), v(1), s(2))  # output
+    for k in range(8):  # two 4-tap filters, persistent
+        b.i("global_load", v(24 + k), v(3), k * w4)
+    b.loop_begin()
+    for k in range(12):  # three input windows of 4 taps
+        b.i("global_load", v(5 + k), v(2), k * w4)
+    for u in range(3):  # channel 0
+        base = 5 + u * 4
+        b.i("v_mulf", v(17 + u), v(base), v(24))
+        b.i("v_madf", v(17 + u), v(base + 1), v(25), v(17 + u))
+        b.i("v_madf", v(17 + u), v(base + 2), v(26), v(17 + u))
+        b.i("v_madf", v(17 + u), v(base + 3), v(27), v(17 + u))
+    for u in range(3):  # channel 1
+        base = 5 + u * 4
+        b.i("v_mulf", v(20 + u), v(base), v(28))
+        b.i("v_madf", v(20 + u), v(base + 1), v(29), v(20 + u))
+        b.i("v_madf", v(20 + u), v(base + 2), v(30), v(20 + u))
+        b.i("v_madf", v(20 + u), v(base + 3), v(31), v(20 + u))
+    for u in range(3):
+        b.i("global_store", v(4), v(17 + u), (u * 2) * w4)
+        b.i("global_store", v(4), v(20 + u), (u * 2 + 1) * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(4), v(4), s(6))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_dc(warp_size: int = 64, iterations: int = 22, num_warps=None) -> StandardLaunch:
+    kernel = build_dc(warp_size)
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=iterations * 12 * warp_size,
+        b_words_per_warp=8 * warp_size,
+        out_words_per_warp=iterations * 6 * warp_size,
+        stride_bytes=lambda w: 12 * w * 4,
+        extra_sregs={6: 6 * warp_size * 4},
+        num_warps=num_warps,
+    )
+
+
+def build_lrn(warp_size: int = 64) -> Kernel:
+    """Local response normalisation (3-neighbour window, simplified), unroll 2:
+    out = x · (2 − (1 + α·Σ x²)) — one Newton-step reciprocal surrogate."""
+    w4 = warp_size * 4
+    alpha = fbits(0.1)
+    b = KernelBuilder(
+        "local_response_norm", abbrev="LRN", provenance="Caffe", vgprs=16, sgprs=18
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_mov", v(13), alpha)  # α, persistent
+    b.i("v_mov", v(14), fbits(1.0))  # k, persistent
+    b.i("v_mov", v(15), fbits(2.0))  # Newton constant, persistent
+    b.loop_begin()
+    for k in range(6):  # two windows of 3 neighbours
+        b.i("global_load", v(4 + k), v(2), k * w4)
+    for u in range(2):
+        base = 4 + u * 3
+        b.i("v_mulf", v(10 + u), v(base), v(base))
+        b.i("v_madf", v(10 + u), v(base + 1), v(base + 1), v(10 + u))
+        b.i("v_madf", v(10 + u), v(base + 2), v(base + 2), v(10 + u))
+    for u in range(2):
+        b.i("v_madf", v(10 + u), v(10 + u), v(13), v(14))
+        b.i("v_subf", v(12 + u), v(15), v(10 + u))
+    for u in range(2):
+        b.i("v_mulf", v(12 + u), v(5 + u * 3), v(12 + u))
+        b.i("global_store", v(3), v(12 + u), u * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(6))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_lrn(warp_size: int = 64, iterations: int = 32, num_warps=None) -> StandardLaunch:
+    kernel = build_lrn(warp_size)
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=iterations * 6 * warp_size,
+        out_words_per_warp=iterations * 2 * warp_size,
+        stride_bytes=lambda w: 6 * w * 4,
+        extra_sregs={6: 2 * warp_size * 4},
+        num_warps=num_warps,
+    )
+
+
+def build_relu(warp_size: int = 64) -> Kernel:
+    """Leaky-ReLU activation, unroll 5: out = max(x, α·x).
+
+    Only the pointers and two broadcast constants persist across
+    iterations; the live set collapses at the loop boundary — the maximal
+    live-range variety the paper credits for RELU's large reduction.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "relu_activation", abbrev="RELU", provenance="Caffe", vgprs=16, sgprs=18,
+        warps_per_block=6
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_mov", v(14), fbits(0.01))  # leaky slope, persistent
+    b.i("v_mov", v(15), fbits(1.0))  # output scale, persistent
+    b.loop_begin()
+    for u in range(5):
+        b.i("global_load", v(4 + u), v(2), u * w4)
+    for u in range(5):
+        b.i("v_mulf", v(9 + u), v(4 + u), v(14))
+    for u in range(5):
+        b.i("v_maxf", v(4 + u), v(4 + u), v(9 + u))
+    for u in range(5):
+        b.i("v_mulf", v(4 + u), v(4 + u), v(15))
+    for u in range(5):
+        b.i("global_store", v(3), v(4 + u), u * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_relu(warp_size: int = 64, iterations: int = 30, num_warps=None) -> StandardLaunch:
+    kernel = build_relu(warp_size)
+    span = iterations * 5 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: 5 * w * 4,
+        num_warps=num_warps,
+    )

@@ -1,0 +1,239 @@
+"""Rodinia benchmark analogs [16]: GE, HS, KM, MS.
+
+Table I budgets: GE 32 VGPRs (8 KB), HS 28 (7 KB) + 12 KB LDS,
+KM 52 (13 KB), MS 42 (10.5 KB).
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Kernel
+from .builder import KernelBuilder, StandardLaunch, s, v
+
+
+def build_ge(warp_size: int = 64) -> Kernel:
+    """Gaussian elimination row update, unroll 6: row -= f · pivot_row."""
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "gaussian_elimination", abbrev="GE", provenance="Rodinia", vgprs=32, sgprs=18,
+        warps_per_block=2
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # row being eliminated
+    b.pointer(v(3), v(1), s(1))  # pivot row
+    b.pointer(v(4), v(1), s(2))  # output row
+    b.i("global_load", v(31), v(3), 0)  # multiplier column (persistent)
+    for u in range(8):  # pivot row cached across all row updates, persistent
+        b.i("global_load", v(23 + u), v(3), (u + 1) * w4)
+    b.loop_begin()
+    for u in range(6):
+        b.i("global_load", v(5 + u), v(2), u * w4)
+    b.i("v_add", v(2), v(2), s(4))  # early row-pointer advance (revertible)
+    for u in range(6):
+        b.i("v_mulf", v(11 + u), v(23 + u), v(31))
+    for u in range(6):
+        b.i("v_subf", v(17 + u), v(5 + u), v(11 + u))
+    for u in range(6):
+        b.i("global_store", v(4), v(17 + u), u * w4)
+    b.i("v_add", v(4), v(4), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_ge(warp_size: int = 64, iterations: int = 24, num_warps=None) -> StandardLaunch:
+    kernel = build_ge(warp_size)
+    span = iterations * 6 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        b_words_per_warp=9 * warp_size,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: 6 * w * 4,
+        num_warps=num_warps,
+    )
+
+
+def build_hs(warp_size: int = 64) -> Kernel:
+    """Hybrid sort's LDS bucket stage: compare-exchange inside shared memory.
+
+    12 KB of LDS per block dominates the occupied resources (>65 %, paper
+    §V-A) — no mechanism reduces it, so every normalized context stays high
+    for HS.
+    """
+    w4 = warp_size * 4
+    share_words = 12 * 1024 // 4  # 12 KB per warp (Table I)
+    lane_mask = min(share_words, warp_size) - 1
+    b = KernelBuilder(
+        "hybrid_sort",
+        abbrev="HS",
+        provenance="Rodinia",
+        vgprs=28,
+        sgprs=18,
+        lds_bytes=12 * 1024,
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))
+    b.pointer(v(3), v(1), s(2))
+    b.i("v_and", v(20), v(0), lane_mask)
+    b.i("v_lshl", v(20), v(20), 2)  # this lane's LDS slot
+    b.i("v_xor", v(21), v(20), 4)  # partner slot
+    b.loop_begin()
+    for u in range(4):
+        b.i("global_load", v(4 + u), v(2), u * w4)
+    b.i("lds_write", v(20), v(4), 0)
+    b.i("lds_write", v(21), v(5), 0)
+    b.i("lds_read", v(8), v(20), 0)
+    b.i("lds_read", v(9), v(21), 0)
+    b.i("v_min", v(10), v(8), v(9))
+    b.i("v_max", v(11), v(8), v(9))
+    b.i("v_xor", v(10), v(10), s(7))  # bucket salt (scalar, updated below)
+    b.i("v_xor", v(11), v(11), s(7))
+    b.i("s_mul", s(7), s(7), 9)
+    b.i("v_min", v(12), v(6), v(7))
+    b.i("v_max", v(13), v(6), v(7))
+    b.i("lds_write", v(20), v(10), 0)
+    b.i("lds_write", v(21), v(11), 0)
+    b.i("lds_read", v(14), v(20), 0)
+    b.i("global_store", v(3), v(14), 0)
+    b.i("global_store", v(3), v(11), w4)
+    b.i("global_store", v(3), v(12), 2 * w4)
+    b.i("global_store", v(3), v(13), 3 * w4)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_hs(warp_size: int = 64, iterations: int = 28, num_warps=None) -> StandardLaunch:
+    kernel = build_hs(warp_size)
+    span = iterations * 4 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        out_words_per_warp=span,
+        stride_bytes=lambda w: 4 * w * 4,
+        num_warps=num_warps,
+    )
+
+
+def build_km(warp_size: int = 64) -> Kernel:
+    """K-means assignment step: 8 centroids × 2 dims cached in registers.
+
+    Nineteen registers stay live through the whole loop (centroids, best
+    distance, pointers), so the live floor is high and CTXBack decays
+    towards LIVE — the paper singles KM out as the one kernel where LIVE's
+    resuming time beats CTXBack's.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "kmeans", abbrev="KM", provenance="Rodinia", vgprs=52, sgprs=18,
+        warps_per_block=5
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # points
+    b.pointer(v(3), v(1), s(1))  # centroids
+    b.pointer(v(4), v(1), s(2))  # best-distance out
+    for k in range(16):  # 8 centroids × (x, y), persistent
+        b.i("global_load", v(34 + k), v(3), k * w4)
+    b.loop_begin()
+    b.i("global_load", v(5), v(2), 0)  # point x
+    b.i("global_load", v(6), v(2), w4)  # point y
+    for c in range(8):  # all deltas first: long live ranges, as -O3 schedules
+        b.i("v_subf", v(7 + c * 2), v(5), v(34 + c * 2))
+        b.i("v_subf", v(8 + c * 2), v(6), v(35 + c * 2))
+    for c in range(8):
+        b.i("v_mulf", v(23 + c), v(7 + c * 2), v(7 + c * 2))
+        b.i("v_madf", v(23 + c), v(8 + c * 2), v(8 + c * 2), v(23 + c))
+    b.i("v_mov", v(51), 0x7F7FFFFF)  # best = +FLT_MAX
+    for c in range(8):
+        b.i("v_minf", v(51), v(51), v(23 + c))
+    # epoch tag folded into the stored word; s7 advances irreversibly, an
+    # OSRB candidate (paper: "mainly the iteration induction variable")
+    b.i("v_xor", v(51), v(51), s(7))
+    b.i("s_mul", s(7), s(7), 3)
+    b.i("global_store", v(4), v(51), 0)
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(4), v(4), s(6))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_km(warp_size: int = 64, iterations: int = 26, num_warps=None) -> StandardLaunch:
+    kernel = build_km(warp_size)
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=(iterations + 1) * 2 * warp_size,
+        b_words_per_warp=16 * warp_size,
+        out_words_per_warp=iterations * warp_size,
+        stride_bytes=lambda w: 2 * w * 4,
+        extra_sregs={6: warp_size * 4},
+        num_warps=num_warps,
+    )
+
+
+def build_ms(warp_size: int = 64) -> Kernel:
+    """Merge sort pass, unroll 6: compare-exchange two sorted streams.
+
+    The rank/index arithmetic uses integer adds and shifts — the
+    address-calculation pattern the paper's reverting pass targets.
+    """
+    w4 = warp_size * 4
+    b = KernelBuilder(
+        "merge_sort", abbrev="MS", provenance="Rodinia", vgprs=42, sgprs=18,
+        warps_per_block=3
+    )
+    b.lane_byte_offset(v(1))
+    b.pointer(v(2), v(1), s(0))  # stream A
+    b.pointer(v(3), v(1), s(1))  # stream B
+    b.pointer(v(4), v(1), s(2))  # merged out
+    b.i("v_lshl", v(36), v(1), 1)  # doubled lane offset, persistent
+    for u in range(5):  # per-unit rank bases, persistent across iterations
+        b.i("v_add", v(37 + u), v(36), v(4))
+    b.loop_begin()
+    for u in range(5):
+        b.i("global_load", v(5 + u), v(2), u * w4)
+    for u in range(5):
+        b.i("global_load", v(10 + u), v(3), u * w4)
+    for u in range(5):
+        b.i("v_min", v(15 + u), v(5 + u), v(10 + u))
+    for u in range(5):
+        b.i("v_max", v(20 + u), v(5 + u), v(10 + u))
+    # sequence tag mixed into the keys; s7 advances irreversibly (multiply),
+    # making it an on-chip scalar-register-backup candidate (paper §III-D)
+    b.i("v_xor", v(15), v(15), s(7))
+    b.i("v_xor", v(20), v(20), s(7))
+    b.i("s_mul", s(7), s(7), 5)
+    b.i("s_add", s(7), s(7), 1)
+    for u in range(5):  # rank arithmetic (integer adds/shifts: revertible)
+        b.i("v_lshl", v(25 + u), v(1), 1)
+        b.i("v_add", v(25 + u), v(25 + u), v(37 + u))
+    for u in range(5):
+        b.i("global_store", v(25 + u), v(15 + u), (u * 2) * w4)
+        b.i("global_store", v(25 + u), v(20 + u), (u * 2 + 1) * w4)
+    for u in range(5):  # advance rank bases (revertible integer adds)
+        b.i("v_add", v(37 + u), v(37 + u), s(6))
+    b.i("v_add", v(2), v(2), s(4))
+    b.i("v_add", v(3), v(3), s(4))
+    b.loop_end()
+    b.end()
+    return b.build()
+
+
+def launch_ms(warp_size: int = 64, iterations: int = 20, num_warps=None) -> StandardLaunch:
+    kernel = build_ms(warp_size)
+    span = iterations * 5 * warp_size
+    return StandardLaunch(
+        kernel=kernel,
+        iterations=iterations,
+        a_words_per_warp=span,
+        b_words_per_warp=span,
+        out_words_per_warp=iterations * 10 * warp_size + 12 * warp_size,
+        stride_bytes=lambda w: 5 * w * 4,
+        extra_sregs={6: 10 * warp_size * 4},
+        num_warps=num_warps,
+    )

@@ -1,0 +1,115 @@
+"""The benchmark suite: registry + the paper's Table I reference data.
+
+Each entry couples a kernel factory with the paper's measured numbers so
+the benchmark harness can print paper-vs-measured side by side
+(EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..isa.instruction import Kernel
+from .blas import (
+    build_dot,
+    build_mm,
+    build_mv,
+    build_va,
+    launch_dot,
+    launch_mm,
+    launch_mv,
+    launch_va,
+)
+from .builder import StandardLaunch
+from .dl import (
+    build_ap,
+    build_dc,
+    build_lrn,
+    build_relu,
+    launch_ap,
+    launch_dc,
+    launch_lrn,
+    launch_relu,
+)
+from .rodinia import (
+    build_ge,
+    build_hs,
+    build_km,
+    build_ms,
+    launch_ge,
+    launch_hs,
+    launch_km,
+    launch_ms,
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I (per-warp resources, BASELINE times)."""
+
+    abbrev: str
+    name: str
+    provenance: str
+    vector_kb: float
+    scalar_kb: float
+    shared_kb: float
+    preempt_us: float
+    resume_us: float
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    key: str
+    build: Callable[[int], Kernel]  # warp_size -> Kernel
+    launch: Callable[..., StandardLaunch]  # (warp_size, iterations, num_warps)
+    table1: Table1Row
+    default_iterations: int
+
+
+#: Paper Table I, verbatim.
+TABLE1 = {
+    "ap": Table1Row("AP", "Average Pooling", "Caffe", 7.0, 0.188, 0.0, 103.4, 87.1),
+    "dc": Table1Row("DC", "Direct Convolution", "Caffe", 8.0, 0.141, 0.0, 153.0, 114.2),
+    "dot": Table1Row("DOT", "Dot Product", "Caffe/CLBlast", 6.0, 0.141, 1.0, 138.6, 101.0),
+    "ge": Table1Row("GE", "Gaussian Elimination", "Rodinia", 8.0, 0.141, 0.0, 92.3, 74.0),
+    "hs": Table1Row("HS", "Hybrid Sort", "Rodinia", 7.0, 0.141, 12.0, 304.0, 280.7),
+    "km": Table1Row("KM", "K-Means", "Rodinia", 13.0, 0.141, 0.0, 327.4, 283.1),
+    "lrn": Table1Row("LRN", "Local Response Norm", "Caffe", 4.0, 0.141, 0.0, 74.9, 57.8),
+    "mm": Table1Row("MM", "Matrix-Matrix Multiply", "Caffe/CLBlast", 13.0, 0.141, 0.5, 214.6, 152.7),
+    "ms": Table1Row("MS", "Merge Sort", "Rodinia", 10.5, 0.141, 0.0, 119.0, 93.8),
+    "mv": Table1Row("MV", "Matrix-Vector Multiply", "Caffe/CLBlast", 13.0, 0.141, 0.25, 254.7, 217.5),
+    "relu": Table1Row("RELU", "ReLU Activation", "Caffe", 4.0, 0.141, 0.0, 93.8, 75.5),
+    "va": Table1Row("VA", "Vector Addition", "Caffe/CLBlast", 3.0, 0.141, 0.0, 102.2, 81.1),
+}
+
+SUITE: dict[str, Benchmark] = {
+    "ap": Benchmark("ap", build_ap, launch_ap, TABLE1["ap"], 32),
+    "dc": Benchmark("dc", build_dc, launch_dc, TABLE1["dc"], 28),
+    "dot": Benchmark("dot", build_dot, launch_dot, TABLE1["dot"], 40),
+    "ge": Benchmark("ge", build_ge, launch_ge, TABLE1["ge"], 30),
+    "hs": Benchmark("hs", build_hs, launch_hs, TABLE1["hs"], 36),
+    "km": Benchmark("km", build_km, launch_km, TABLE1["km"], 30),
+    "lrn": Benchmark("lrn", build_lrn, launch_lrn, TABLE1["lrn"], 40),
+    "mm": Benchmark("mm", build_mm, launch_mm, TABLE1["mm"], 24),
+    "ms": Benchmark("ms", build_ms, launch_ms, TABLE1["ms"], 26),
+    "mv": Benchmark("mv", build_mv, launch_mv, TABLE1["mv"], 28),
+    "relu": Benchmark("relu", build_relu, launch_relu, TABLE1["relu"], 36),
+    "va": Benchmark("va", build_va, launch_va, TABLE1["va"], 48),
+}
+
+#: the paper's "kernels from BLAS and deep learning libraries" subset
+BLAS_DL_KEYS = ("ap", "dc", "dot", "lrn", "mm", "mv", "relu", "va")
+
+
+def benchmark(key: str) -> Benchmark:
+    """Look up one benchmark by key, with a helpful error on miss."""
+    try:
+        return SUITE[key]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {key!r}; choose from {sorted(SUITE)}") from None
+
+
+def all_keys() -> list[str]:
+    """Sorted benchmark keys."""
+    return sorted(SUITE)

@@ -1,0 +1,72 @@
+"""The six preemption techniques evaluated in paper §V.
+
+============  =====================================================
+BASELINE      Linux-driver routine: swap everything occupied
+LIVE          swap live registers only (Lin et al. [4])
+CKPT          checkpoint-based fault tolerance adapted (iGPU/Penny)
+CS-Defer      defer forward to a small-context instruction
+CTXBack       context flashback (this paper)
+Combined      CTXBack+CS-Defer per-instruction selection
+============  =====================================================
+"""
+
+from .base import CkptSite, Mechanism, PreparedKernel
+from .baseline import Baseline
+from .chimera import Chimera, ChimeraPolicy, expected_dyn_for
+from .ckpt import Ckpt
+from .combined import Combined
+from .csdefer import CSDefer
+from .ctxback import CtxBack
+from .drain import SMDrain
+from .flush import FlushNotIdempotent, SMFlush
+from .live import Live
+
+#: the six techniques of the paper's evaluation (§V)
+ALL_MECHANISMS = {
+    "baseline": Baseline,
+    "live": Live,
+    "ckpt": Ckpt,
+    "csdefer": CSDefer,
+    "ctxback": CtxBack,
+    "combined": Combined,
+}
+
+#: §II-B / §VI extensions: coarse-grained techniques + Chimera integration
+#: (Chimera needs an expected_dyn estimate, so it is constructed directly)
+EXTENSION_MECHANISMS = {
+    "flush": SMFlush,
+    "drain": SMDrain,
+}
+
+
+def make_mechanism(name: str) -> Mechanism:
+    """Instantiate a mechanism by its paper name."""
+    registry = {**ALL_MECHANISMS, **EXTENSION_MECHANISMS}
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+__all__ = [
+    "ALL_MECHANISMS",
+    "Baseline",
+    "Chimera",
+    "ChimeraPolicy",
+    "EXTENSION_MECHANISMS",
+    "FlushNotIdempotent",
+    "SMDrain",
+    "SMFlush",
+    "expected_dyn_for",
+    "Ckpt",
+    "CkptSite",
+    "Combined",
+    "CSDefer",
+    "CtxBack",
+    "Live",
+    "Mechanism",
+    "PreparedKernel",
+    "make_mechanism",
+]

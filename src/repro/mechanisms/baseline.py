@@ -1,0 +1,42 @@
+"""BASELINE: the Linux-driver context-switch routine (paper §II-A, §V).
+
+Swaps *every occupied on-chip resource* of the preempted warp — the full
+aligned register allocation including padding and dead registers, the exec
+mask and condition code, and the thread block's LDS — regardless of
+liveness.  This is the normalisation reference for every figure.
+"""
+
+from __future__ import annotations
+
+from ..ctxback.context import lds_share_bytes
+from ..isa.instruction import Kernel
+from ..isa.registers import EXEC, SCC, sreg, vreg
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+from .regsave import regsave_plan
+
+
+class Baseline(Mechanism):
+    """Swap the full aligned allocation, liveness-blind (Linux driver)."""
+
+    name = "baseline"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        spec = config.rf_spec
+        regs = (
+            [vreg(i) for i in range(spec.allocated_vgprs(kernel.vgprs_used))]
+            + [sreg(i) for i in range(spec.allocated_sgprs(kernel.sgprs_used))]
+            + [EXEC, SCC]
+        )
+        lds = lds_share_bytes(kernel)
+        plans = {}
+        template = None
+        for n in range(len(kernel.program.instructions)):
+            plan = regsave_plan(n, self.name, regs, lds, spec)
+            if template is None:
+                template = (plan.preempt_routine, plan.resume_routine)
+            else:
+                # identical routines for every position; share the programs
+                plan.preempt_routine, plan.resume_routine = template
+            plans[n] = plan
+        return PreparedKernel(kernel=kernel, mechanism=self.name, plans=plans)

@@ -1,0 +1,98 @@
+"""Chimera-style collaborative preemption (Park et al. [11], paper §VI).
+
+Chimera picks the preemption technique per thread block *at signal time*
+based on its execution progress: flush blocks that have barely started
+(little work wasted), drain blocks that are nearly done (little waiting
+added), and context-switch everything in between.  The paper positions
+CTXBack as a drop-in replacement for the context-switching leg — "It can be
+integrated into Chimera to replace the traditional context switching
+mechanism" — which is exactly what this mechanism does.
+
+Progress is the warp's dynamic instruction count against ``expected_dyn``,
+an estimate of the warp's total work (the launch harness knows the
+iteration count; real systems use the driver's dispatch bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ctxback.flashback import CtxBackConfig
+from ..isa.instruction import Kernel
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+from .ctxback import CtxBack
+from .flush import check_restartable
+
+
+@dataclass(frozen=True)
+class ChimeraPolicy:
+    """Progress thresholds for the three-way choice."""
+
+    #: below this fraction of expected work: flush (restart costs little)
+    flush_below: float = 0.15
+    #: above this fraction: drain (finishing costs little)
+    drain_above: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flush_below <= self.drain_above <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= flush <= drain <= 1")
+
+    def choose(self, progress: float) -> str:
+        if progress < self.flush_below:
+            return "drop"  # flush: drop now, restart from the beginning
+        if progress > self.drain_above:
+            return "drain"
+        return "switch"
+
+
+class Chimera(Mechanism):
+    """CTXBack-backed Chimera: flush / CTXBack-switch / drain by progress."""
+
+    name = "chimera"
+
+    def __init__(
+        self,
+        expected_dyn: int,
+        policy: ChimeraPolicy | None = None,
+        analysis_config: CtxBackConfig | None = None,
+    ) -> None:
+        if expected_dyn <= 0:
+            raise ValueError("expected_dyn must be positive")
+        self.expected_dyn = expected_dyn
+        self.policy = policy or ChimeraPolicy()
+        self.analysis_config = analysis_config
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        check_restartable(kernel)  # the flush leg restarts from zero
+        inner = CtxBack(self.analysis_config).prepare(kernel, config)
+        expected = self.expected_dyn
+        policy = self.policy
+
+        def runtime_policy(warp) -> str:
+            progress = min(1.0, warp.dyn_count / expected)
+            return policy.choose(progress)
+
+        return PreparedKernel(
+            kernel=inner.kernel,
+            mechanism=self.name,
+            plans=inner.plans,
+            runtime_policy=runtime_policy,
+        )
+
+
+def expected_dyn_for(kernel: Kernel, iterations: int) -> int:
+    """Estimate a warp's total dynamic instructions for *iterations* loops.
+
+    Preamble + epilogue instructions execute once; the loop body executes
+    per iteration.  Good enough for progress-fraction policies.
+    """
+    from ..compiler.cfg import build_cfg
+
+    cfg = build_cfg(kernel.program)
+    loop_header = kernel.program.labels.get("LOOP")
+    if loop_header is None:
+        return len(kernel.program.instructions)
+    loop = cfg.block_at(loop_header)
+    once = len(kernel.program.instructions) - len(loop)
+    return once + len(loop) * iterations

@@ -1,0 +1,68 @@
+"""CKPT: checkpoint-based fault-tolerance mechanisms adapted for context
+switching (iGPU [5] / Penny [6], paper §II-B, §V).
+
+One probe per basic block, placed at the block's least-live instruction —
+"CKPT can always save the context of the instructions with the least live
+registers (minimum possible size)" — firing every ``ckpt_interval``-th
+execution of that block (the paper evaluates interval 16).  A preemption
+simply drops the warp (near-zero latency); resume replays from the last
+checkpoint, re-executing up to ``interval - 1`` block iterations, which is
+where CKPT's 318 %-of-baseline resuming time comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..compiler.cfg import build_cfg
+from ..compiler.liveness import analyze_liveness
+from ..compiler.transform import insert_instructions
+from ..ctxback.context import META_BYTES, lds_share_bytes, regs_bytes
+from ..isa.instruction import Kernel, inst
+from ..sim.config import GPUConfig
+from .base import CkptSite, Mechanism, PreparedKernel
+
+
+class Ckpt(Mechanism):
+    """Checkpoint every Nth block execution; drop on signal, replay on resume."""
+
+    name = "ckpt"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        program = kernel.program
+        cfg = build_cfg(program)
+        liveness = analyze_liveness(program, cfg)
+        spec = config.rf_spec
+        lds = lds_share_bytes(kernel)
+
+        insertions = []
+        site_info = []
+        for block in cfg.blocks:
+            if len(block) == 0:
+                continue
+            best = min(
+                block.positions(),
+                key=lambda pos: regs_bytes(liveness.live_in[pos], spec),
+            )
+            probe_id = block.index
+            insertions.append((best, inst("ckpt_probe", probe_id)))
+            site_info.append((probe_id, best, liveness.live_in[best]))
+
+        new_program, new_positions = insert_instructions(program, insertions)
+        sites = {}
+        for (probe_id, _old_pos, live_regs), new_pos in zip(site_info, new_positions):
+            nbytes = regs_bytes(live_regs, spec) + lds + META_BYTES
+            sites[probe_id] = CkptSite(
+                probe_id=probe_id,
+                position=new_pos,
+                live_regs=live_regs,
+                nbytes=nbytes,
+                store_ops=len(live_regs) + (1 if lds else 0),
+            )
+        new_kernel = replace(kernel, program=new_program)
+        return PreparedKernel(
+            kernel=new_kernel,
+            mechanism=self.name,
+            ckpt_sites=sites,
+            is_checkpoint_based=True,
+        )

@@ -1,0 +1,74 @@
+"""CS-Defer: defer the context switch to a small-context instruction ahead
+(Lin et al. [4], paper §II-B, §IV-C).
+
+On a signal at ``n`` the warp keeps executing until it reaches the deferral
+target ``j`` — the instruction within the remainder of the basic block whose
+estimated preemption latency (execution of ``[n, j)`` plus saving ``j``'s
+live context) is smallest — then swaps ``j``'s live registers.  Resume is a
+plain reload with no re-execution, which is why CS-Defer has the best
+resuming time but a longer, *undetermined* preemption latency: the deferred
+window may contain device-memory accesses.
+
+The latency estimate deliberately sums issue latencies only: the compiler
+cannot see dependency stalls caused by preceding instructions (paper §V-B),
+which is what makes CTXBack+CS-Defer occasionally pick the wrong side.
+"""
+
+from __future__ import annotations
+
+from ..compiler.cfg import build_cfg
+from ..compiler.liveness import analyze_liveness
+from ..ctxback.context import META_BYTES, lds_share_bytes, regs_bytes
+from ..ctxback.costs import est_exec_window_cycles, est_preempt_latency
+from ..isa.instruction import Kernel, Program
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+from .regsave import regsave_plan
+
+
+class CSDefer(Mechanism):
+    """Defer the switch to a small-context instruction ahead (Lin et al.)."""
+
+    name = "csdefer"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        program = kernel.program
+        cfg = build_cfg(program)
+        liveness = analyze_liveness(program, cfg)
+        spec = config.rf_spec
+        lds = lds_share_bytes(kernel)
+        live_bytes = [
+            regs_bytes(liveness.live_in[n], spec) + lds + META_BYTES
+            for n in range(len(program.instructions))
+        ]
+        plans = {}
+        for n in range(len(program.instructions)):
+            block = cfg.block_at(n)
+            # deferral may not cross the block terminator: the dedicated
+            # routine embeds the deferred instructions, and control flow
+            # inside a routine is not statically determinable.
+            last = block.end - 1
+            window_end = last if program.instructions[last].spec.is_branch else last + 1
+            best_j, best_est = n, est_preempt_latency(live_bytes[n])
+            for j in range(n + 1, min(window_end, len(live_bytes) - 1) + 1):
+                estimate = est_preempt_latency(
+                    live_bytes[j],
+                    est_exec_window_cycles(program.instructions[n:j]),
+                )
+                if estimate < best_est:
+                    best_j, best_est = j, estimate
+            prefix = Program(list(program.instructions[n:best_j]))
+            plans[n] = regsave_plan(
+                n,
+                self.name,
+                liveness.live_in[best_j] if best_j < len(live_bytes) else (),
+                lds,
+                spec,
+                resume_pc=best_j,
+                prefix=prefix,
+                prefix_est_cycles=est_exec_window_cycles(
+                    program.instructions[n:best_j]
+                ),
+                deferred_to=best_j,
+            )
+        return PreparedKernel(kernel=kernel, mechanism=self.name, plans=plans)

@@ -1,0 +1,36 @@
+"""CTXBack as a preemption mechanism: OSRB instrumentation + flashback plans."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..ctxback.flashback import CtxBackConfig, FlashbackAnalyzer
+from ..ctxback.osrb import apply_osrb
+from ..ctxback.sharing import share_routines
+from ..isa.instruction import Kernel
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+
+
+class CtxBack(Mechanism):
+    """Context flashback: OSRB instrumentation + per-instruction plans."""
+
+    name = "ctxback"
+
+    def __init__(self, analysis_config: CtxBackConfig | None = None) -> None:
+        self.analysis_config = analysis_config or CtxBackConfig()
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        analysis = replace(self.analysis_config, rf_spec=config.rf_spec)
+        if analysis.enable_osrb:
+            kernel, _report = apply_osrb(
+                kernel, config.rf_spec, analysis.reversibility
+            )
+        analyzer = FlashbackAnalyzer(kernel, analysis)
+        plans = analyzer.plan_all()
+        # §IV-A: instructions sharing a flashback point share one stored
+        # preemption routine; dedup keeps transfer/storage small
+        share_routines(plans)
+        return PreparedKernel(
+            kernel=kernel, mechanism=self.name, plans=plans
+        )

@@ -1,0 +1,31 @@
+"""SM-draining (Tanasic et al. [10], paper §II-B): run to completion.
+
+On a signal nothing is saved and nothing is dropped: the warps simply keep
+executing until they finish, then their resources free up.  Zero preemption
+*overhead* (no context traffic, no wasted work) at the price of a long,
+input-dependent preemption *latency* — the remaining execution time of the
+running thread block, unbounded for persistent-thread batch kernels.
+
+The controller treats a drain-flagged prepared kernel specially: the signal
+only starts the latency clock; eviction happens when the warp reaches
+``s_endpgm``; there is nothing to resume.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Kernel
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+
+
+class SMDrain(Mechanism):
+    """Run signalled warps to completion; zero overhead, unbounded latency."""
+
+    name = "drain"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        return PreparedKernel(
+            kernel=kernel,
+            mechanism=self.name,
+            is_drain=True,
+        )

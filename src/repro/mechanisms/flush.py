@@ -1,0 +1,64 @@
+"""SM-flushing (Park et al. [11], paper §II-B): drop and restart.
+
+On a signal the running warps are dropped immediately — near-zero
+preemption latency and no context traffic — and restarted *from the
+beginning of the kernel* when resumed, provided the (relaxed) idempotence
+condition holds: re-running the kernel from scratch must produce the same
+result, which is true for the deterministic disjoint-buffer benchmark
+kernels.  All execution progress is wasted, which is why the paper calls it
+"too coarse-grained ... for batch jobs" whose thread blocks run long.
+
+Implementation detail: this is CKPT with an empty checkpoint set — the
+controller's no-snapshot path already restarts warps from zero — so the
+mechanism only has to validate the idempotence requirement and flag itself.
+"""
+
+from __future__ import annotations
+
+from ..compiler.idempotence import AliasModel
+from ..isa.instruction import Kernel
+from ..isa.opcodes import MemKind
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+
+
+class FlushNotIdempotent(ValueError):
+    """The kernel cannot be safely restarted from the beginning."""
+
+
+def check_restartable(kernel: Kernel) -> None:
+    """Validate the relaxed idempotence condition for whole-kernel restart.
+
+    Sufficient condition for our ISA: the kernel's global loads never read
+    locations its stores write (``noalias``), so a restarted run reads the
+    same inputs and rewrites the same outputs.
+    """
+    if kernel.noalias:
+        return
+    has_load = any(
+        i.spec.mem is MemKind.GLOBAL_LOAD for i in kernel.program.instructions
+    )
+    has_store = any(
+        i.spec.mem is MemKind.GLOBAL_STORE for i in kernel.program.instructions
+    )
+    if has_load and has_store:
+        raise FlushNotIdempotent(
+            f"{kernel.name}: loads may alias stores; flushing would replay "
+            f"against clobbered inputs (annotate noalias=True if they are "
+            f"disjoint)"
+        )
+
+
+class SMFlush(Mechanism):
+    """Drop signalled warps instantly and restart them from the beginning."""
+
+    name = "flush"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        check_restartable(kernel)
+        return PreparedKernel(
+            kernel=kernel,
+            mechanism=self.name,
+            is_checkpoint_based=True,  # drop now, replay later
+            ckpt_sites={},  # ...from the very beginning
+        )

@@ -1,0 +1,32 @@
+"""LIVE: swap only the live registers (Lin et al. [4], paper §V).
+
+Uses liveness information to exclude dead registers and alignment padding
+from the context; otherwise identical to BASELINE.  The paper measures a
+37.8 % average context reduction from this alone.
+"""
+
+from __future__ import annotations
+
+from ..compiler.liveness import analyze_liveness
+from ..ctxback.context import lds_share_bytes
+from ..isa.instruction import Kernel
+from ..sim.config import GPUConfig
+from .base import Mechanism, PreparedKernel
+from .regsave import regsave_plan
+
+
+class Live(Mechanism):
+    """Swap only the live registers (liveness-filtered BASELINE)."""
+
+    name = "live"
+
+    def prepare(self, kernel: Kernel, config: GPUConfig) -> PreparedKernel:
+        liveness = analyze_liveness(kernel.program)
+        lds = lds_share_bytes(kernel)
+        plans = {
+            n: regsave_plan(
+                n, self.name, liveness.live_in[n], lds, config.rf_spec
+            )
+            for n in range(len(kernel.program.instructions))
+        }
+        return PreparedKernel(kernel=kernel, mechanism=self.name, plans=plans)

@@ -1,0 +1,67 @@
+"""Shared helper: plans that save/restore an explicit register set.
+
+BASELINE, LIVE and the tail end of CS-Defer all swap a plain register set;
+this builds the store/load routine pair and the plan around it.
+"""
+
+from __future__ import annotations
+
+from ..ctxback.context import META_BYTES
+from ..ctxback.costs import EST_STORE_BYTES_PER_CYCLE, est_preempt_latency
+from ..ctxback.plan import InstrPlan, ctx_load_for, ctx_store_for
+from ..isa.instruction import Kernel, Program, inst
+from ..isa.registers import Reg, RegisterFileSpec
+
+
+def regsave_routines(
+    regs: list[Reg],
+    lds_bytes: int,
+    rf_spec: RegisterFileSpec,
+    prefix: Program | None = None,
+) -> tuple[Program, Program, int]:
+    """(preempt_routine, resume_routine, saved_bytes) for a register set.
+
+    ``prefix`` instructions (CS-Defer's deferred window) run before the
+    stores in the preemption routine.
+    """
+    preempt = prefix.copy() if prefix is not None else Program()
+    resume = Program()
+    offset = 0
+    if lds_bytes:
+        resume.append(inst("ctx_load_lds", lds_bytes))
+    for reg in regs:
+        preempt.append(ctx_store_for(reg, offset))
+        resume.append(ctx_load_for(reg, offset))
+        offset += reg.context_bytes(rf_spec.warp_size)
+    if lds_bytes:
+        preempt.append(inst("ctx_store_lds", lds_bytes))
+    return preempt, resume, offset
+
+
+def regsave_plan(
+    position: int,
+    mechanism: str,
+    regs,
+    lds_bytes: int,
+    rf_spec: RegisterFileSpec,
+    resume_pc: int | None = None,
+    prefix: Program | None = None,
+    prefix_est_cycles: float = 0.0,
+    deferred_to: int | None = None,
+) -> InstrPlan:
+    ordered = sorted(regs, key=str)
+    preempt, resume, saved_bytes = regsave_routines(
+        ordered, lds_bytes, rf_spec, prefix
+    )
+    context_bytes = saved_bytes + lds_bytes + META_BYTES
+    return InstrPlan(
+        position=position,
+        mechanism=mechanism,
+        preempt_routine=preempt,
+        resume_routine=resume,
+        resume_pc=position if resume_pc is None else resume_pc,
+        context_bytes=context_bytes,
+        est_preempt_cycles=est_preempt_latency(context_bytes, prefix_est_cycles),
+        est_resume_cycles=context_bytes / EST_STORE_BYTES_PER_CYCLE,
+        deferred_to=deferred_to,
+    )

@@ -1,0 +1,48 @@
+"""Cycle-level single-SM GPU simulator (functional + timing).
+
+Substitutes for the paper's AMD Radeon VII testbed (DESIGN.md §2): warps
+execute the synthetic ISA functionally (NumPy-vectorized over lanes) under a
+timing model with fixed ALU latencies and a bandwidth-limited memory
+pipeline.  Preemption routines are *executed*, not modelled: latency and
+resume measurements come from the same machinery as kernel execution.
+"""
+
+from .config import GPUConfig
+from .executor import ExecutionError, Executor, MemTraffic
+from .gpu import (
+    ExperimentResult,
+    LaunchSpec,
+    RunResult,
+    build_launch,
+    run_preemption_experiment,
+    run_reference,
+)
+from .memory import DeviceMemory, MemoryPipeline
+from .preemption import PreemptionController, WarpMeasurement
+from .regfile import LDSBlock, WarpState
+from .sm import SM, SMStats
+from .warp import CkptSnapshot, SimWarp, WarpMode
+
+__all__ = [
+    "CkptSnapshot",
+    "DeviceMemory",
+    "ExecutionError",
+    "Executor",
+    "ExperimentResult",
+    "GPUConfig",
+    "LaunchSpec",
+    "LDSBlock",
+    "MemTraffic",
+    "MemoryPipeline",
+    "PreemptionController",
+    "RunResult",
+    "SM",
+    "SMStats",
+    "SimWarp",
+    "WarpMeasurement",
+    "WarpMode",
+    "WarpState",
+    "build_launch",
+    "run_preemption_experiment",
+    "run_reference",
+]

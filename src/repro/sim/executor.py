@@ -1,0 +1,289 @@
+"""Functional semantics of every opcode.
+
+Execution is *vectorized over lanes* with NumPy (per the HPC guides: avoid
+per-lane Python loops on the ALU path).  Integer arithmetic wraps modulo
+2³², computed in uint64 and masked; ``*f`` opcodes reinterpret the same
+32-bit storage as IEEE float32.  Vector writes honour the exec mask;
+context-buffer transfers deliberately ignore it (a context switch moves the
+whole architectural register).
+
+The executor is timing-free: it returns a :class:`MemTraffic` descriptor for
+the SM to charge against the memory pipeline.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..isa.instruction import Imm, Instruction, Label, Program
+from ..isa.registers import EXEC, SCC, Reg, RegKind
+from .memory import DeviceMemory
+from .regfile import LDSBlock, WarpState
+
+_MASK = np.uint64(0xFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class MemTraffic:
+    """Memory-system work produced by one executed instruction."""
+
+    nbytes: int
+    is_ctx: bool = False
+    kind: str = ""
+    is_load: bool = False
+
+
+def _f32(bits: np.ndarray) -> np.ndarray:
+    return bits.astype(np.uint32).view(np.float32)
+
+
+def _bits(floats: np.ndarray) -> np.ndarray:
+    return floats.astype(np.float32).view(np.uint32).astype(np.uint64)
+
+
+def _shift_amount(b: np.ndarray) -> np.ndarray:
+    return b & np.uint64(31)
+
+
+_INT_OPS: dict[str, Callable] = {
+    "mov": lambda a: a,
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "mulhi": lambda a, b: (a * b) >> np.uint64(32),
+    "mad": lambda a, b, c: a * b + c,
+    "min": np.minimum,
+    "max": np.maximum,
+    "xor": np.bitwise_xor,
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "not": np.invert,
+    "lshl": lambda a, b: a << _shift_amount(b),
+    "lshr": lambda a, b: (a & _MASK) >> _shift_amount(b),
+}
+
+_FLOAT_OPS: dict[str, Callable] = {
+    "addf": lambda a, b: a + b,
+    "subf": lambda a, b: a - b,
+    "mulf": lambda a, b: a * b,
+    "madf": lambda a, b, c: a * b + c,
+    "minf": np.minimum,
+    "maxf": np.maximum,
+}
+
+_CMP_OPS: dict[str, Callable[[int, int], bool]] = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class ExecutionError(RuntimeError):
+    """Raised on semantically invalid execution (bad operand, missing LDS)."""
+
+
+class Executor:
+    """Executes instructions against a warp, device memory and (optionally)
+    the thread block's LDS."""
+
+    def __init__(
+        self, memory: DeviceMemory, lds: LDSBlock | None = None
+    ) -> None:
+        self.memory = memory
+        self.lds = lds
+
+    # -- operand access ---------------------------------------------------------
+
+    def _vector_operand(self, warp: WarpState, operand) -> np.ndarray:
+        if isinstance(operand, Imm):
+            return np.full(warp.warp_size, operand.value & 0xFFFFFFFF, dtype=np.uint64)
+        if isinstance(operand, Reg):
+            if operand.kind is RegKind.VECTOR:
+                return warp.vregs[operand.index].astype(np.uint64)
+            return np.full(
+                warp.warp_size, warp.get_scalar(operand) & 0xFFFFFFFF, dtype=np.uint64
+            )
+        raise ExecutionError(f"bad vector operand {operand!r}")
+
+    def _scalar_operand(self, warp: WarpState, operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value & 0xFFFFFFFF
+        if isinstance(operand, Reg):
+            return warp.get_scalar(operand) & 0xFFFFFFFF
+        raise ExecutionError(f"bad scalar operand {operand!r}")
+
+    @staticmethod
+    def _write_vector(warp: WarpState, reg: Reg, result: np.ndarray) -> None:
+        masked = (result & _MASK).astype(np.uint32)
+        warp.vregs[reg.index][warp.exec_mask] = masked[warp.exec_mask]
+
+    # -- main dispatch -------------------------------------------------------------
+
+    def execute(
+        self, program: Program, warp: WarpState, instruction: Instruction
+    ) -> MemTraffic | None:
+        """Run one instruction; updates ``warp.pc``; returns memory traffic."""
+        mnemonic = instruction.mnemonic
+        next_pc = warp.pc + 1
+        traffic: MemTraffic | None = None
+
+        if mnemonic.startswith("v_"):
+            self._exec_valu(warp, instruction, mnemonic[2:])
+        elif mnemonic.startswith("s_cmp_"):
+            a = self._scalar_operand(warp, instruction.srcs[0])
+            b = self._scalar_operand(warp, instruction.srcs[1])
+            warp.scc = int(_CMP_OPS[mnemonic[len("s_cmp_") :]](a, b))
+        elif mnemonic in ("s_branch", "s_cbranch_scc0", "s_cbranch_scc1"):
+            taken = (
+                mnemonic == "s_branch"
+                or (mnemonic == "s_cbranch_scc1" and warp.scc == 1)
+                or (mnemonic == "s_cbranch_scc0" and warp.scc == 0)
+            )
+            if taken:
+                target = instruction.srcs[0]
+                assert isinstance(target, Label)
+                next_pc = program.target_index(target.name)
+        elif mnemonic == "s_endpgm":
+            next_pc = len(program.instructions)
+        elif mnemonic in ("s_nop", "s_barrier", "ckpt_probe"):
+            pass  # ckpt_probe side effects are handled by the SM hook
+        elif mnemonic == "s_load":
+            addr = self._scalar_operand(warp, instruction.srcs[0])
+            offset = self._scalar_operand(warp, instruction.srcs[1])
+            warp.set_scalar(instruction.dsts[0], self.memory.load_word(addr + offset))
+            traffic = MemTraffic(4, kind="smem", is_load=True)
+        elif mnemonic.startswith("s_"):
+            self._exec_salu(warp, instruction, mnemonic[2:])
+        elif mnemonic == "global_load":
+            traffic = self._global_load(warp, instruction)
+        elif mnemonic == "global_store":
+            traffic = self._global_store(warp, instruction)
+        elif mnemonic == "lds_read":
+            traffic = self._lds_read(warp, instruction)
+        elif mnemonic == "lds_write":
+            traffic = self._lds_write(warp, instruction)
+        elif mnemonic.startswith("ctx_"):
+            traffic = self._exec_ctx(warp, instruction)
+        else:  # pragma: no cover - opcode table keeps this exhaustive
+            raise ExecutionError(f"no semantics for {mnemonic}")
+
+        warp.pc = next_pc
+        return traffic
+
+    # -- ALU ------------------------------------------------------------------------
+
+    def _exec_valu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+        operands = [self._vector_operand(warp, s) for s in instruction.srcs]
+        if base in _INT_OPS:
+            with np.errstate(over="ignore"):
+                result = _INT_OPS[base](*operands) & _MASK
+        elif base in _FLOAT_OPS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = _bits(_FLOAT_OPS[base](*[_f32(o) for o in operands]))
+        else:  # pragma: no cover
+            raise ExecutionError(f"no VALU semantics for v_{base}")
+        self._write_vector(warp, instruction.dsts[0], result)
+
+    def _exec_salu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+        operands = [
+            np.uint64(self._scalar_operand(warp, s)) for s in instruction.srcs
+        ]
+        if base in _INT_OPS:
+            with np.errstate(over="ignore"):
+                result = int(_INT_OPS[base](*operands) & _MASK)
+        elif base in _FLOAT_OPS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                arrays = [_f32(np.array([o], dtype=np.uint64)) for o in operands]
+                result = int(_bits(_FLOAT_OPS[base](*arrays))[0])
+        else:  # pragma: no cover
+            raise ExecutionError(f"no SALU semantics for s_{base}")
+        warp.set_scalar(instruction.dsts[0], result)
+
+    # -- memory -----------------------------------------------------------------------
+
+    def _global_load(self, warp: WarpState, instruction: Instruction) -> MemTraffic:
+        addrs = self._vector_operand(warp, instruction.srcs[0])
+        offset = self._scalar_operand(warp, instruction.srcs[1])
+        dst = instruction.dsts[0]
+        loaded = self.memory.gather(addrs + np.uint64(offset), warp.exec_mask)
+        warp.vregs[dst.index][warp.exec_mask] = loaded[warp.exec_mask]
+        return MemTraffic(4 * warp.warp_size, kind="load", is_load=True)
+
+    def _global_store(self, warp: WarpState, instruction: Instruction) -> MemTraffic:
+        addrs = self._vector_operand(warp, instruction.srcs[0])
+        data = self._vector_operand(warp, instruction.srcs[1])
+        offset = self._scalar_operand(warp, instruction.srcs[2])
+        self.memory.scatter(addrs + np.uint64(offset), data, warp.exec_mask)
+        return MemTraffic(4 * warp.warp_size, kind="store")
+
+    def _require_lds(self) -> LDSBlock:
+        if self.lds is None:
+            raise ExecutionError("kernel uses LDS but no LDS block is attached")
+        return self.lds
+
+    def _lds_read(self, warp: WarpState, instruction: Instruction) -> MemTraffic:
+        lds = self._require_lds()
+        addrs = self._vector_operand(warp, instruction.srcs[0])
+        offset = self._scalar_operand(warp, instruction.srcs[1])
+        dst = instruction.dsts[0]
+        loaded = lds.gather(addrs + np.uint64(offset), warp.exec_mask)
+        warp.vregs[dst.index][warp.exec_mask] = loaded[warp.exec_mask]
+        return MemTraffic(0, kind="lds", is_load=True)
+
+    def _lds_write(self, warp: WarpState, instruction: Instruction) -> MemTraffic:
+        lds = self._require_lds()
+        addrs = self._vector_operand(warp, instruction.srcs[0])
+        data = self._vector_operand(warp, instruction.srcs[1])
+        offset = self._scalar_operand(warp, instruction.srcs[2])
+        lds.scatter(addrs + np.uint64(offset), data, warp.exec_mask)
+        return MemTraffic(0, kind="lds")
+
+    # -- context buffer ------------------------------------------------------------------
+
+    def _exec_ctx(self, warp: WarpState, instruction: Instruction) -> MemTraffic:
+        mnemonic = instruction.mnemonic
+        if mnemonic == "ctx_store_v":
+            reg, slot = instruction.srcs
+            warp.ctx_buffer[slot.value] = warp.vregs[reg.index].copy()
+            return MemTraffic(4 * warp.warp_size, is_ctx=True, kind="ctx_store")
+        if mnemonic == "ctx_load_v":
+            (slot,) = instruction.srcs
+            stored = warp.ctx_buffer[slot.value]
+            dst = instruction.dsts[0]
+            if np.isscalar(stored) or getattr(stored, "ndim", 1) == 0:
+                warp.vregs[dst.index, :] = np.uint32(int(stored) & 0xFFFFFFFF)
+            else:
+                warp.vregs[dst.index, :] = stored
+            return MemTraffic(4 * warp.warp_size, is_ctx=True, kind="ctx_load", is_load=True)
+        if mnemonic == "ctx_store_s":
+            reg, slot = instruction.srcs
+            warp.ctx_buffer[slot.value] = warp.get_scalar(reg)
+            return MemTraffic(8 if reg == EXEC else 4, is_ctx=True, kind="ctx_store")
+        if mnemonic == "ctx_load_s":
+            (slot,) = instruction.srcs
+            dst = instruction.dsts[0]
+            warp.set_scalar(dst, int(warp.ctx_buffer[slot.value]))
+            return MemTraffic(
+                8 if dst == EXEC else 4, is_ctx=True, kind="ctx_load", is_load=True
+            )
+        if mnemonic == "ctx_store_lds":
+            (nbytes,) = instruction.srcs
+            lds = self._require_lds()
+            warp.ctx_buffer["lds"] = lds.snapshot()
+            return MemTraffic(nbytes.value, is_ctx=True, kind="ctx_store")
+        if mnemonic == "ctx_load_lds":
+            (nbytes,) = instruction.srcs
+            lds = self._require_lds()
+            if "lds" in warp.ctx_buffer:
+                lds.restore(warp.ctx_buffer["lds"])
+            return MemTraffic(nbytes.value, is_ctx=True, kind="ctx_load", is_load=True)
+        raise ExecutionError(f"no semantics for {mnemonic}")  # pragma: no cover

@@ -1,0 +1,276 @@
+"""Launch harness and preemption experiments.
+
+Ties the pieces together for the evaluation flows of paper §V:
+
+* :func:`run_reference` — run a kernel to completion (optionally with a
+  mechanism's instrumentation active) and report cycles + final memory;
+* :func:`run_preemption_experiment` — run a kernel, preempt its warps at a
+  chosen dynamic instruction under a mechanism's plans (optionally with a
+  *background* kernel keeping the SM's memory system busy, as in the paper's
+  bandwidth-contention observation), resume after a gap, run to completion,
+  and verify the final memory image against an uninterrupted reference run.
+
+The functional verification is the repo's ground truth: a mechanism is only
+credible if preempt-anywhere + resume is bit-identical to never preempting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from ..isa.instruction import Kernel
+from .config import GPUConfig
+
+if TYPE_CHECKING:  # avoid a circular import; PreparedKernel is type-only here
+    from ..mechanisms.base import PreparedKernel
+from .memory import DeviceMemory
+from .preemption import PreemptionController, WarpMeasurement
+from .regfile import LDSBlock, WarpState
+from .sm import SM
+from .warp import SimWarp, WarpMode
+
+
+@dataclass
+class LaunchSpec:
+    """How to instantiate a kernel on the simulator.
+
+    ``setup_memory`` populates input buffers; ``setup_warp(state, warp_index)``
+    initialises the launch ABI registers (base pointers, sizes, lane ids).
+    """
+
+    kernel: Kernel
+    setup_memory: Callable[[DeviceMemory], None]
+    setup_warp: Callable[[WarpState, int], None]
+    num_warps: int | None = None
+
+    @property
+    def warp_count(self) -> int:
+        return self.num_warps or self.kernel.warps_per_block
+
+
+def _make_warp_state(kernel: Kernel, config: GPUConfig) -> WarpState:
+    spec = config.rf_spec
+    return WarpState(
+        num_vregs=max(1, spec.allocated_vgprs(kernel.vgprs_used)),
+        num_sregs=max(1, spec.allocated_sgprs(kernel.sgprs_used)),
+        warp_size=spec.warp_size,
+    )
+
+
+def build_launch(
+    spec: LaunchSpec,
+    config: GPUConfig,
+    *,
+    kernel_override: Kernel | None = None,
+    block_id: int = 0,
+    warp_id_base: int = 0,
+    sm: SM | None = None,
+    memory: DeviceMemory | None = None,
+) -> tuple[SM, list[SimWarp], DeviceMemory]:
+    """Instantiate warps (and LDS) for a kernel on an SM."""
+    kernel = kernel_override or spec.kernel
+    memory = memory if memory is not None else DeviceMemory()
+    if sm is None:
+        sm = SM(config, memory)
+        spec.setup_memory(memory)
+    else:
+        spec.setup_memory(memory)
+    # each warp owns its share of the thread block's LDS allocation (the
+    # benchmark kernels partition LDS per warp; this also matches the
+    # per-warp lds_share_bytes context accounting)
+    from ..ctxback.context import lds_share_bytes
+
+    share = lds_share_bytes(kernel)
+    warps = []
+    for index in range(spec.warp_count):
+        state = _make_warp_state(kernel, config)
+        spec.setup_warp(state, index)
+        warp = SimWarp(
+            warp_id=warp_id_base + index,
+            state=state,
+            main_program=kernel.program,
+            block_id=block_id,
+            lds=LDSBlock(share) if share else None,
+        )
+        sm.add_warp(warp)
+        warps.append(warp)
+    return sm, warps, memory
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    memory: DeviceMemory
+    sm: SM
+
+
+def run_reference(
+    spec: LaunchSpec,
+    config: GPUConfig,
+    prepared: "PreparedKernel | None" = None,
+) -> RunResult:
+    """Run to completion with no preemption signal.
+
+    With *prepared* given, the instrumented program runs and instrumentation
+    hooks (CKPT probes) stay active — this is how Fig. 10's runtime overhead
+    is measured.
+    """
+    kernel = prepared.kernel if prepared is not None else None
+    sm, warps, memory = build_launch(spec, config, kernel_override=kernel)
+    if prepared is not None:
+        controller = PreemptionController(
+            sm=sm,
+            prepared=prepared,
+            target_warp_ids=set(),
+            signal_dyn=1 << 62,
+        )
+        prepared.warp_initializer = _initializer_for(spec)
+        del controller  # hooks stay installed on the SM
+    cycles = sm.run()
+    return RunResult(cycles=cycles, memory=memory, sm=sm)
+
+
+def _initializer_for(spec: LaunchSpec):
+    def init(warp: SimWarp) -> None:
+        index = warp.warp_id  # target warps are numbered from zero
+        spec.setup_warp(warp.state, index)
+        warp.state.pc = 0
+
+    return init
+
+
+@dataclass
+class ExperimentResult:
+    mechanism: str
+    measurements: list[WarpMeasurement]
+    total_cycles: int
+    verified: bool
+    reference_cycles: int
+    memory: DeviceMemory = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return sum(m.latency_cycles for m in self.measurements) / len(
+            self.measurements
+        )
+
+    @property
+    def mean_resume(self) -> float:
+        values = [
+            m.resume_cycles for m in self.measurements if m.resume_cycles is not None
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_context_bytes(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return sum(m.context_bytes for m in self.measurements) / len(
+            self.measurements
+        )
+
+
+def run_preemption_experiment(
+    spec: LaunchSpec,
+    prepared: "PreparedKernel",
+    config: GPUConfig,
+    signal_dyn: int,
+    *,
+    background: LaunchSpec | None = None,
+    resume_gap: int = 2000,
+    verify: bool = True,
+) -> ExperimentResult:
+    """Preempt every target warp at dynamic instruction *signal_dyn*, resume
+    after *resume_gap* cycles, run to completion, verify memory."""
+    reference_cycles = 0
+    ref_memory = None
+    if verify:
+        ref = run_reference(spec, config)
+        if background is not None:
+            # reference for memory comparison must include background effects
+            ref_sm, _, ref_mem = build_launch(spec, config)
+            build_launch(
+                background,
+                config,
+                sm=ref_sm,
+                memory=ref_mem,
+                block_id=1,
+                warp_id_base=1000,
+            )
+            ref_sm.run()
+            ref_memory = ref_mem
+        else:
+            ref_memory = ref.memory
+        reference_cycles = ref.cycles
+
+    sm, target_warps, memory = build_launch(
+        spec, config, kernel_override=prepared.kernel
+    )
+    if background is not None:
+        build_launch(
+            background, config, sm=sm, memory=memory, block_id=1, warp_id_base=1000
+        )
+    controller = PreemptionController(
+        sm=sm,
+        prepared=prepared,
+        target_warp_ids={w.warp_id for w in target_warps},
+        signal_dyn=signal_dyn,
+    )
+    prepared.warp_initializer = _initializer_for(spec)
+
+    resumed = False
+    resume_at: int | None = None
+    while True:
+        controller.poll()
+        progressed = sm.step()
+        if not resumed and controller.all_evicted():
+            if resume_at is None:
+                done_cycles = [
+                    w.preempt_done_cycle
+                    for w in target_warps
+                    if w.preempt_done_cycle is not None
+                ]
+                resume_at = (max(done_cycles) if done_cycles else sm.cycle) + resume_gap
+            if sm.cycle >= resume_at or not progressed:
+                sm.cycle = max(sm.cycle, resume_at)
+                for warp in target_warps:
+                    controller.resume_warp(warp, sm.cycle)
+                resumed = True
+                continue
+        if not progressed:
+            break
+        if sm.cycle > config.max_cycles:
+            raise RuntimeError("experiment exceeded max cycles")
+
+    # fill CKPT resume measurements from the watch timestamps
+    for warp in target_warps:
+        measurement = controller.measurements.get(warp.warp_id)
+        if measurement is None:
+            continue
+        if measurement.resume_cycles is None and warp.resume_start_cycle is not None:
+            end = warp.resume_done_cycle
+            if end is None:
+                end = sm.cycle  # finished before re-reaching the signal point
+            measurement.resume_cycles = end - warp.resume_start_cycle
+
+    verified = True
+    if verify and ref_memory is not None:
+        verified = memory == ref_memory
+    measurements = [
+        controller.measurements[w.warp_id]
+        for w in target_warps
+        if w.warp_id in controller.measurements
+    ]
+    return ExperimentResult(
+        mechanism=prepared.mechanism,
+        measurements=measurements,
+        total_cycles=sm.cycle,
+        verified=verified,
+        reference_cycles=reference_cycles,
+        memory=memory,
+    )

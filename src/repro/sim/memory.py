@@ -1,0 +1,138 @@
+"""Device memory: functional word store + bandwidth/latency timing model.
+
+Functional side: a flat word-addressed NumPy array (4-byte words, byte
+addresses, word-aligned) so warp-wide gathers/scatters vectorize — per the
+HPC guides, the per-lane path must not be a Python loop.  Timing side: a
+single bandwidth-limited server per SM — each request occupies the server
+for ``bytes / bandwidth`` cycles (plus a fixed per-request overhead for
+context-buffer traffic) and completes a fixed pipeline latency after leaving
+the server.  This reproduces the two effects the paper leans on:
+context-switch time grows with context bytes, and routines contend with the
+streaming traffic of non-preempted warps (§V, Table I discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_WORD_MASK = 0xFFFFFFFF
+
+#: default functional address space: 32 MB
+DEFAULT_SIZE_BYTES = 32 * 1024 * 1024
+
+
+class DeviceMemory:
+    """Flat functional memory; unwritten words read as zero."""
+
+    def __init__(self, size_bytes: int = DEFAULT_SIZE_BYTES) -> None:
+        self.size_bytes = size_bytes
+        self._words = np.zeros(size_bytes >> 2, dtype=np.uint32)
+
+    def _word_addr(self, addr: int) -> int:
+        if addr % 4:
+            raise ValueError(f"unaligned word access at {addr:#x}")
+        word = addr >> 2
+        if not 0 <= word < len(self._words):
+            raise ValueError(f"address {addr:#x} outside device memory")
+        return word
+
+    def load_word(self, addr: int) -> int:
+        return int(self._words[self._word_addr(addr)])
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._words[self._word_addr(addr)] = value & _WORD_MASK
+
+    # -- warp-wide vectorized access ------------------------------------------
+
+    def gather(self, byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Masked gather of 4-byte words at *byte_addrs* (uint64 array)."""
+        words = (byte_addrs >> np.uint64(2)).astype(np.int64)
+        out = np.zeros(len(words), dtype=np.uint32)
+        if mask.any():
+            selected = words[mask]
+            if (selected < 0).any() or (selected >= len(self._words)).any():
+                raise ValueError("gather outside device memory")
+            out[mask] = self._words[selected]
+        return out
+
+    def scatter(
+        self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Masked scatter of 4-byte words."""
+        if not mask.any():
+            return
+        words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask]
+        if (words < 0).any() or (words >= len(self._words)).any():
+            raise ValueError("scatter outside device memory")
+        self._words[words] = values.astype(np.uint64)[mask] & np.uint64(_WORD_MASK)
+
+    def load_array(self, addr: int, count: int) -> np.ndarray:
+        start = self._word_addr(addr)
+        return self._words[start : start + count].copy()
+
+    def store_array(self, addr: int, values) -> None:
+        start = self._word_addr(addr)
+        flat = np.asarray(values, dtype=np.uint32).ravel()
+        self._words[start : start + len(flat)] = flat
+
+    def snapshot(self) -> np.ndarray:
+        return self._words.copy()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeviceMemory):
+            return NotImplemented
+        a, b = self._words, other._words
+        if len(a) == len(b):
+            return bool(np.array_equal(a, b))
+        short, long_ = (a, b) if len(a) < len(b) else (b, a)
+        return bool(
+            np.array_equal(short, long_[: len(short)])
+            and not long_[len(short) :].any()
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable
+        raise TypeError("DeviceMemory is unhashable")
+
+
+@dataclass
+class MemoryPipeline:
+    """Bandwidth-limited, fixed-latency memory service for one SM.
+
+    Context-buffer traffic is served at its own (much lower) rate,
+    modelling the driver-managed swap routine; it still occupies the same
+    port, so preemption routines contend with streaming kernel traffic.
+    """
+
+    bytes_per_cycle: float
+    latency: int
+    ctx_bytes_per_cycle: float | None = None
+    ctx_load_speedup: float = 1.0
+    ctx_request_overhead: float = 0.0
+    #: cycle at which the (single) service port becomes free
+    _port_free: float = 0.0
+    total_bytes: int = 0
+    total_requests: int = 0
+    stats_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def request(
+        self, now: int, nbytes: int, *, is_ctx: bool = False, kind: str = ""
+    ) -> int:
+        """Issue a request at cycle *now*; returns the completion cycle."""
+        if is_ctx:
+            rate = self.ctx_bytes_per_cycle or self.bytes_per_cycle
+            if kind.endswith("load"):
+                rate *= self.ctx_load_speedup
+            service = nbytes / rate + self.ctx_request_overhead
+        else:
+            service = nbytes / self.bytes_per_cycle
+        self._port_free = max(self._port_free, float(now)) + service
+        self.total_bytes += nbytes
+        self.total_requests += 1
+        if kind:
+            self.stats_by_kind[kind] = self.stats_by_kind.get(kind, 0) + nbytes
+        return int(self._port_free) + self.latency
+
+    def port_busy_until(self) -> float:
+        return self._port_free

@@ -1,0 +1,241 @@
+"""Preemption controller: signals, routine dispatch, measurement.
+
+Implements paper §IV-B's runtime flow: when the preemption signal is
+processed (before the next instruction of a running warp issues), the warp
+jumps to the *dedicated preemption routine* selected by its program counter;
+once the routine's stores have drained, the warp's on-chip resources are
+released (``EVICTED``).  On resume, the warp runs the dedicated resuming
+routine and re-enters the kernel at the plan's ``resume_pc``.
+
+Two measurements fall out, matching §V's metrics:
+
+* **preemption latency** — signal cycle → last context store drained;
+* **resuming time** — resume request → resume routine finished (for CKPT:
+  → execution has re-reached the dynamic instruction where the preemption
+  hit, counting the re-executed iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from ..ctxback.context import META_BYTES
+from .sm import SM
+
+if TYPE_CHECKING:  # avoid a circular import; PreparedKernel is type-only here
+    from ..mechanisms.base import PreparedKernel
+from .warp import CkptSnapshot, SimWarp, WarpMode
+
+
+@dataclass
+class WarpMeasurement:
+    warp_id: int
+    signal_pc: int
+    signal_cycle: int
+    latency_cycles: int
+    resume_cycles: int | None = None
+    context_bytes: int = 0
+    flashback_pos: int | None = None
+
+
+@dataclass
+class PreemptionController:
+    sm: SM
+    prepared: "PreparedKernel"
+    target_warp_ids: set[int]
+    #: preempt each target warp when its dynamic instruction count reaches this
+    signal_dyn: int
+    measurements: dict[int, WarpMeasurement] = field(default_factory=dict)
+    armed: bool = True
+    #: warps already signalled once — the experiment preempts each warp once
+    delivered: set[int] = field(default_factory=set)
+    #: warps currently draining (signal received, running to completion)
+    _draining: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.sm.pre_issue_hook = self._on_pre_issue
+        self.sm.program_end_hook = self._on_program_end
+        self.sm.ckpt_hook = self._on_ckpt_probe
+
+    # -- signal delivery --------------------------------------------------------
+
+    def poll(self) -> None:
+        """Raise the preempt flag on target warps that reached the trigger."""
+        if not self.armed:
+            return
+        for warp in self.sm.warps:
+            if (
+                warp.warp_id in self.target_warp_ids
+                and warp.warp_id not in self.delivered
+                and warp.mode is WarpMode.RUNNING
+                and not warp.preempt_flag
+                and warp.dyn_count >= self.signal_dyn
+            ):
+                warp.preempt_flag = True
+                self.delivered.add(warp.warp_id)
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def _on_pre_issue(self, warp: SimWarp, cycle: int) -> None:
+        """Flagged warp about to issue: divert it into its preemption routine."""
+        warp.preempt_flag = False
+        n = warp.state.pc
+        warp.signal_cycle = cycle
+        warp.routine_last_mem_completion = cycle
+        strategy = self.prepared.strategy_for(warp)
+        warp.active_strategy = strategy
+        if strategy == "drain":
+            # SM-draining: the warp keeps running; latency is measured when
+            # it finishes (see _on_program_end)
+            self.measurements[warp.warp_id] = WarpMeasurement(
+                warp_id=warp.warp_id,
+                signal_pc=n,
+                signal_cycle=cycle,
+                latency_cycles=-1,
+                context_bytes=0,
+            )
+            self._draining.add(warp.warp_id)
+            return
+        if strategy == "drop":
+            # CKPT drops the warp: its context already lives in the last
+            # checkpoint.  Only the per-warp metadata is written out.
+            completion = self.sm.pipeline.request(
+                cycle, META_BYTES, is_ctx=True, kind="ctx_store"
+            )
+            warp.mode = WarpMode.EVICTED
+            warp.resume_watch_dyn = warp.dyn_count
+            snapshot = warp.last_checkpoint
+            self.measurements[warp.warp_id] = WarpMeasurement(
+                warp_id=warp.warp_id,
+                signal_pc=n,
+                signal_cycle=cycle,
+                latency_cycles=completion - cycle,
+                context_bytes=snapshot.nbytes if snapshot else META_BYTES,
+            )
+            warp.preempt_done_cycle = completion
+            return
+        plan = self.prepared.plans[n]
+        warp.active_plan = plan
+        warp.mode = WarpMode.PREEMPT_ROUTINE
+        warp.program = plan.preempt_routine
+        warp.state.pc = 0
+        self.measurements[warp.warp_id] = WarpMeasurement(
+            warp_id=warp.warp_id,
+            signal_pc=n,
+            signal_cycle=cycle,
+            latency_cycles=-1,
+            context_bytes=plan.context_bytes,
+            flashback_pos=plan.flashback_pos,
+        )
+
+    def _on_program_end(self, warp: SimWarp, cycle: int) -> None:
+        if warp.mode is WarpMode.RUNNING and warp.warp_id in self._draining:
+            # a draining warp finished: the SM is finally released
+            measurement = self.measurements[warp.warp_id]
+            measurement.latency_cycles = cycle - measurement.signal_cycle
+            measurement.resume_cycles = 0  # nothing to resume
+            self._draining.discard(warp.warp_id)
+            return
+        if warp.mode is WarpMode.PREEMPT_ROUTINE:
+            done = max(cycle, warp.routine_last_mem_completion)
+            # metadata (pc, ids) rides along with the context
+            done = max(
+                done,
+                self.sm.pipeline.request(done, META_BYTES, is_ctx=True, kind="ctx_store"),
+            )
+            warp.preempt_done_cycle = done
+            warp.mode = WarpMode.EVICTED
+            measurement = self.measurements[warp.warp_id]
+            measurement.latency_cycles = done - measurement.signal_cycle
+            warp.state.clear()  # registers are released; restore must rebuild
+        elif warp.mode is WarpMode.RESUME_ROUTINE:
+            plan = warp.active_plan
+            assert plan is not None
+            done = max(cycle, warp.routine_last_mem_completion)
+            warp.resume_done_cycle = done
+            warp.mode = WarpMode.RUNNING
+            warp.program = warp.main_program
+            warp.state.pc = plan.resume_pc
+            measurement = self.measurements[warp.warp_id]
+            measurement.resume_cycles = done - (warp.resume_start_cycle or done)
+            warp.active_plan = None
+
+    def _on_ckpt_probe(self, warp: SimWarp, instruction, cycle: int) -> None:
+        if not self.prepared.is_checkpoint_based:
+            return
+        probe_id = instruction.srcs[0].value
+        count = warp.probe_counts.get(probe_id, 0)
+        warp.probe_counts[probe_id] = count + 1
+        if count % self.sm.config.ckpt_interval != 0:
+            return
+        site = self.prepared.ckpt_sites[probe_id]
+        lds = warp.lds
+        warp.last_checkpoint = CkptSnapshot(
+            regs=warp.state.snapshot_regs(),
+            lds=lds.snapshot() if lds is not None else None,
+            dyn_count=warp.dyn_count,
+            probe_counts=dict(warp.probe_counts),
+            nbytes=site.nbytes,
+            pc_after_probe=warp.state.pc + 1,
+        )
+        # checkpoint stores occupy bandwidth; the warp stalls only while
+        # the requests are being issued (one cycle per stored register).
+        self.sm.pipeline.request(cycle, site.nbytes, is_ctx=True, kind="ckpt_store")
+        warp.next_free = cycle + max(1, site.store_ops)
+
+    # -- resume ----------------------------------------------------------------------
+
+    def resume_warp(self, warp: SimWarp, cycle: int) -> None:
+        if warp.mode is WarpMode.DONE:
+            return  # drained warps completed; there is nothing to resume
+        if warp.mode is not WarpMode.EVICTED:
+            raise RuntimeError(f"warp {warp.warp_id} is not evicted")
+        warp.resume_start_cycle = cycle
+        warp.routine_last_mem_completion = cycle
+        if warp.active_strategy == "drop":
+            snapshot = warp.last_checkpoint
+            measurement = self.measurements[warp.warp_id]
+            if snapshot is None:
+                # never checkpointed: restart the kernel from the beginning
+                warp.state.clear()
+                self.prepared.reinit_warp(warp)
+                warp.dyn_count = 0
+                warp.probe_counts = {}
+                completion = cycle
+            else:
+                warp.state.restore_regs(snapshot.regs)
+                lds = warp.lds
+                if lds is not None and snapshot.lds is not None:
+                    lds.restore(snapshot.lds)
+                warp.dyn_count = snapshot.dyn_count
+                warp.probe_counts = dict(snapshot.probe_counts)
+                completion = self.sm.pipeline.request(
+                    cycle, snapshot.nbytes, is_ctx=True, kind="ctx_load"
+                )
+            warp.mode = WarpMode.RUNNING
+            warp.next_free = max(warp.next_free, completion)
+            # resume "completes" when execution re-reaches the preempted
+            # dynamic instruction (SM clears the watch when it happens)
+            warp.resume_watch_dyn = warp.resume_watch_dyn or warp.dyn_count
+            warp.resume_done_cycle = None
+            measurement.resume_cycles = None
+            return
+        plan = warp.active_plan
+        assert plan is not None, "evicted warp has no plan"
+        warp.mode = WarpMode.RESUME_ROUTINE
+        warp.program = plan.resume_routine
+        warp.state.pc = 0
+
+    def all_evicted(self) -> bool:
+        """All signalled target warps have released the SM: their context is
+        saved (EVICTED) or, for draining warps, they finished (DONE)."""
+        for warp in self.sm.warps:
+            if warp.warp_id not in self.target_warp_ids:
+                continue
+            if warp.warp_id not in self.delivered:
+                return False
+            if warp.mode not in (WarpMode.EVICTED, WarpMode.DONE):
+                return False
+        return True

@@ -1,0 +1,130 @@
+"""Per-warp architectural state: register files, exec mask, context buffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..isa.registers import EXEC, SCC, Reg, RegKind
+
+
+@dataclass
+class WarpState:
+    """Architectural state of one warp.
+
+    Vector registers are a ``(num_vregs, warp_size)`` uint32 array — one
+    4-byte copy per lane, as on real SIMT hardware.  The context buffer holds
+    values spilled by ``ctx_store_*`` during preemption, keyed by byte slot.
+    """
+
+    num_vregs: int
+    num_sregs: int
+    warp_size: int
+    vregs: np.ndarray = field(init=False)
+    sregs: np.ndarray = field(init=False)
+    exec_mask: np.ndarray = field(init=False)
+    scc: int = 0
+    pc: int = 0
+    ctx_buffer: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.vregs = np.zeros((self.num_vregs, self.warp_size), dtype=np.uint32)
+        self.sregs = np.zeros(self.num_sregs, dtype=np.uint32)
+        self.exec_mask = np.ones(self.warp_size, dtype=bool)
+
+    # -- scalar-context reads/writes (sregs + specials) -----------------------
+
+    def get_scalar(self, reg: Reg) -> int:
+        if reg.kind is RegKind.SCALAR:
+            return int(self.sregs[reg.index])
+        if reg == EXEC:
+            return self._exec_as_int()
+        if reg == SCC:
+            return self.scc
+        raise ValueError(f"cannot read {reg} as a scalar")
+
+    def set_scalar(self, reg: Reg, value: int) -> None:
+        if reg.kind is RegKind.SCALAR:
+            self.sregs[reg.index] = value & 0xFFFFFFFF
+            return
+        if reg == EXEC:
+            self._exec_from_int(value)
+            return
+        if reg == SCC:
+            self.scc = value & 1
+            return
+        raise ValueError(f"cannot write {reg} as a scalar")
+
+    def _exec_as_int(self) -> int:
+        bits = 0
+        for lane in range(self.warp_size):
+            if self.exec_mask[lane]:
+                bits |= 1 << lane
+        return bits
+
+    def _exec_from_int(self, value: int) -> None:
+        for lane in range(self.warp_size):
+            self.exec_mask[lane] = bool((value >> lane) & 1)
+
+    # -- snapshots (used by CKPT and by the functional tests) -----------------
+
+    def snapshot_regs(self):
+        return (
+            self.vregs.copy(),
+            self.sregs.copy(),
+            self.exec_mask.copy(),
+            self.scc,
+            self.pc,
+        )
+
+    def restore_regs(self, snap) -> None:
+        vregs, sregs, exec_mask, scc, pc = snap
+        self.vregs[...] = vregs
+        self.sregs[...] = sregs
+        self.exec_mask[...] = exec_mask
+        self.scc = scc
+        self.pc = pc
+
+    def clear(self) -> None:
+        """Zero all state, as after eviction frees the registers."""
+        self.vregs.fill(0)
+        self.sregs.fill(0)
+        self.exec_mask.fill(True)
+        self.scc = 0
+        self.pc = 0
+
+
+class LDSBlock:
+    """One thread block's shared-memory allocation (word granularity)."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+        self.words = np.zeros(max(1, -(-nbytes // 4)), dtype=np.uint32)
+
+    def load(self, byte_addr: int) -> int:
+        return int(self.words[byte_addr >> 2])
+
+    def store(self, byte_addr: int, value: int) -> None:
+        self.words[byte_addr >> 2] = value & 0xFFFFFFFF
+
+    def gather(self, byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        words = (byte_addrs >> np.uint64(2)).astype(np.int64)
+        out = np.zeros(len(words), dtype=np.uint32)
+        if mask.any():
+            out[mask] = self.words[words[mask]]
+        return out
+
+    def scatter(
+        self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        if not mask.any():
+            return
+        words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask]
+        self.words[words] = values.astype(np.uint64)[mask] & np.uint64(0xFFFFFFFF)
+
+    def snapshot(self) -> np.ndarray:
+        return self.words.copy()
+
+    def restore(self, snap: np.ndarray) -> None:
+        self.words[...] = snap

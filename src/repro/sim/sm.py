@@ -1,0 +1,182 @@
+"""Cycle-level SM model: warp scheduler, pipelines, preemption hooks.
+
+One instruction issues per cycle (round-robin over ready warps, as on GCN's
+per-SIMD schedulers).  ALU results complete after a fixed latency; memory
+traffic flows through a bandwidth-limited pipeline shared by all warps on
+the SM — which is how a preemption routine's stores contend with the
+streaming traffic of non-preempted warps (paper §V, Table I discussion).
+
+The SM knows nothing about *why* a warp is running a routine; the
+:class:`~repro.sim.preemption.PreemptionController` flips warp modes and
+interprets the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..isa.instruction import Instruction, Program
+from ..isa.opcodes import OpClass
+from .config import GPUConfig
+from .executor import Executor, MemTraffic
+from .memory import DeviceMemory, MemoryPipeline
+from .regfile import LDSBlock
+from .warp import SimWarp, WarpMode
+
+
+@dataclass
+class SMStats:
+    cycles: int = 0
+    issued: int = 0
+    issued_by_mode: dict[str, int] = field(default_factory=dict)
+    #: dynamic execution count per main-program pc (RUNNING mode only);
+    #: weights the Fig. 7 context statistics by what actually executes
+    pc_hist: dict[int, int] = field(default_factory=dict)
+
+
+class SM:
+    """One streaming multiprocessor executing a set of warps."""
+
+    def __init__(self, config: GPUConfig, memory: DeviceMemory) -> None:
+        self.config = config
+        self.memory = memory
+        self.pipeline = MemoryPipeline(
+            bytes_per_cycle=config.mem_bytes_per_cycle,
+            latency=config.mem_latency,
+            ctx_bytes_per_cycle=config.ctx_bytes_per_cycle,
+            ctx_load_speedup=config.ctx_load_speedup,
+            ctx_request_overhead=config.ctx_request_overhead,
+        )
+        self.warps: list[SimWarp] = []
+        self.cycle = 0
+        self.stats = SMStats()
+        self._rr = 0
+        #: called before a RUNNING warp issues; may flip it into a routine
+        self.pre_issue_hook: Callable[[SimWarp, int], None] | None = None
+        #: called when a warp finishes its current program
+        self.program_end_hook: Callable[[SimWarp, int], None] | None = None
+        #: called when a ckpt_probe issues
+        self.ckpt_hook: Callable[[SimWarp, Instruction, int], None] | None = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def add_warp(self, warp: SimWarp, lds: LDSBlock | None = None) -> None:
+        if lds is not None and warp.lds is None:
+            warp.lds = lds
+        self.warps.append(warp)
+
+    def executor_for(self, warp: SimWarp) -> Executor:
+        return Executor(self.memory, warp.lds)
+
+    # -- latency model -------------------------------------------------------------
+
+    def _alu_latency(self, opclass: OpClass) -> int:
+        config = self.config
+        if opclass is OpClass.VALU:
+            return config.valu_latency
+        if opclass is OpClass.LDS:
+            return config.lds_latency
+        return config.salu_latency
+
+    # -- main loop --------------------------------------------------------------------
+
+    def _handle_program_end(self, warp: SimWarp) -> None:
+        if self.program_end_hook is not None:
+            self.program_end_hook(warp, self.cycle)
+            if not warp.at_program_end() or not warp.issuable:
+                return
+        if warp.mode is WarpMode.RUNNING:
+            warp.mode = WarpMode.DONE
+
+    def step(self) -> bool:
+        """Advance to the next issue; returns False when nothing can run."""
+        candidates: list[tuple[int, SimWarp]] = []
+        for warp in self.warps:
+            if not warp.issuable:
+                continue
+            while warp.issuable and warp.at_program_end():
+                self._handle_program_end(warp)
+            if not warp.issuable or warp.at_program_end():
+                continue
+            if (
+                warp.preempt_flag
+                and warp.mode is WarpMode.RUNNING
+                and self.pre_issue_hook is not None
+            ):
+                self.pre_issue_hook(warp, self.cycle)
+                # the hook may have swapped in an *empty* routine (nothing
+                # live at the signal point): finish it immediately
+                while warp.issuable and warp.at_program_end():
+                    self._handle_program_end(warp)
+                if not warp.issuable or warp.at_program_end():
+                    continue
+            candidates.append((warp.ready_cycle(), warp))
+        if not candidates:
+            return False
+
+        earliest = min(ready for ready, _ in candidates)
+        self.cycle = max(self.cycle, earliest)
+        ready_now = [w for ready, w in candidates if ready <= self.cycle]
+        # round-robin among warps ready this cycle
+        ready_now.sort(key=lambda w: (w.warp_id < self._rr, w.warp_id))
+        warp = ready_now[0]
+        self._rr = (warp.warp_id + 1) % max(1, len(self.warps))
+        self._issue(warp)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        return True
+
+    def _issue(self, warp: SimWarp) -> None:
+        instruction = warp.program.instructions[warp.state.pc]
+        if instruction.mnemonic == "ckpt_probe" and self.ckpt_hook is not None:
+            self.ckpt_hook(warp, instruction, self.cycle)
+        executor = self.executor_for(warp)
+        if warp.mode is WarpMode.RUNNING:
+            # CKPT resume measurement: done once execution re-reaches the
+            # dynamic instruction the signal originally hit.
+            if (
+                warp.resume_watch_dyn is not None
+                and warp.resume_start_cycle is not None
+                and warp.resume_done_cycle is None
+                and warp.dyn_count >= warp.resume_watch_dyn
+            ):
+                warp.resume_done_cycle = self.cycle
+        if warp.mode is WarpMode.RUNNING:
+            pc = warp.state.pc
+            self.stats.pc_hist[pc] = self.stats.pc_hist.get(pc, 0) + 1
+        traffic = executor.execute(warp.program, warp.state, instruction)
+        warp.next_free = self.cycle + 1
+        if warp.mode is WarpMode.RUNNING:
+            warp.dyn_count += 1
+        self.stats.issued += 1
+        mode_key = warp.mode.value
+        self.stats.issued_by_mode[mode_key] = (
+            self.stats.issued_by_mode.get(mode_key, 0) + 1
+        )
+
+        completion = self.cycle + self._alu_latency(instruction.spec.opclass)
+        if traffic is not None and traffic.nbytes:
+            completion = self.pipeline.request(
+                self.cycle,
+                traffic.nbytes,
+                is_ctx=traffic.is_ctx,
+                kind=traffic.kind or instruction.mnemonic,
+            )
+            warp.routine_last_mem_completion = max(
+                warp.routine_last_mem_completion, completion
+            )
+        for reg in instruction.defs():
+            warp.note_write(reg, completion)
+        if len(warp.pending) > 64:
+            warp.prune_pending(self.cycle)
+
+    def run(self, max_cycles: int | None = None) -> int:
+        """Run until no warp can issue; returns the final cycle."""
+        limit = max_cycles or self.config.max_cycles
+        while self.step():
+            if self.cycle > limit:
+                raise RuntimeError(
+                    f"simulation exceeded {limit} cycles (livelock?)"
+                )
+        return self.cycle

@@ -1,0 +1,105 @@
+"""Simulated warps: in-order issue, scoreboard, mode transitions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..ctxback.plan import InstrPlan
+from ..isa.instruction import Program
+from ..isa.registers import Reg
+from .regfile import LDSBlock, WarpState
+
+
+class WarpMode(enum.Enum):
+    """Lifecycle of a simulated warp across preemption and resume."""
+
+    RUNNING = "running"  # executing the kernel program
+    PREEMPT_ROUTINE = "preempt"  # executing a dedicated preemption routine
+    RESUME_ROUTINE = "resume"  # executing a dedicated resuming routine
+    EVICTED = "evicted"  # context saved; registers released
+    DONE = "done"  # kernel finished
+
+
+@dataclass
+class CkptSnapshot:
+    """Functional checkpoint taken by the CKPT mechanism at a probe."""
+
+    regs: tuple
+    lds: Optional[np.ndarray]
+    dyn_count: int
+    probe_counts: dict[int, int]
+    nbytes: int
+    pc_after_probe: int
+
+
+@dataclass
+class SimWarp:
+    """One warp's scheduling state inside the SM."""
+
+    warp_id: int
+    state: WarpState
+    main_program: Program
+    block_id: int = 0
+    #: this warp's private share of the thread block's LDS allocation
+    lds: LDSBlock | None = None
+
+    mode: WarpMode = WarpMode.RUNNING
+    program: Program = None  # type: ignore[assignment]
+    #: register -> cycle at which its pending write completes
+    pending: dict[Reg, int] = field(default_factory=dict)
+    next_free: int = 0  # earliest cycle the warp may issue again
+    dyn_count: int = 0  # dynamic instructions issued from the main program
+
+    # preemption bookkeeping
+    preempt_flag: bool = False
+    #: strategy latched when the signal was processed ("switch"/"drop"/"drain")
+    active_strategy: str | None = None
+    active_plan: InstrPlan | None = None
+    signal_cycle: int | None = None
+    preempt_done_cycle: int | None = None
+    resume_start_cycle: int | None = None
+    resume_done_cycle: int | None = None
+    routine_last_mem_completion: int = 0
+    #: CKPT: dynamic progress target that ends resume measurement
+    resume_watch_dyn: int | None = None
+    #: CKPT: probe id -> executions seen
+    probe_counts: dict[int, int] = field(default_factory=dict)
+    last_checkpoint: CkptSnapshot | None = None
+
+    def __post_init__(self) -> None:
+        if self.program is None:
+            self.program = self.main_program
+
+    # -- scheduling ------------------------------------------------------------
+
+    @property
+    def issuable(self) -> bool:
+        return self.mode in (
+            WarpMode.RUNNING,
+            WarpMode.PREEMPT_ROUTINE,
+            WarpMode.RESUME_ROUTINE,
+        )
+
+    def at_program_end(self) -> bool:
+        return self.state.pc >= len(self.program.instructions)
+
+    def ready_cycle(self) -> int:
+        """Earliest cycle the next instruction's operands are all ready."""
+        instruction = self.program.instructions[self.state.pc]
+        ready = self.next_free
+        for reg in instruction.uses():
+            ready = max(ready, self.pending.get(reg, 0))
+        for reg in instruction.defs():
+            ready = max(ready, self.pending.get(reg, 0))
+        return ready
+
+    def note_write(self, reg: Reg, completion: int) -> None:
+        self.pending[reg] = completion
+
+    def prune_pending(self, cycle: int) -> None:
+        """Drop completed scoreboard entries (keeps the dict small)."""
+        self.pending = {r: c for r, c in self.pending.items() if c > cycle}

@@ -1,0 +1,127 @@
+"""Shared fixtures: small configurations, sample programs and kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import Kernel, parse
+from repro.sim import GPUConfig, LaunchSpec
+
+
+@pytest.fixture(scope="session")
+def small_config() -> GPUConfig:
+    """4-lane warps, fast memory: quick functional tests."""
+    return GPUConfig.small(warp_size=4)
+
+
+@pytest.fixture(scope="session")
+def loop_kernel() -> Kernel:
+    """A small scale-and-store loop kernel used across sim/mechanism tests."""
+    src = """
+        v_lshl v1, v0, 0x2
+        v_add  v2, v1, s0
+        v_add  v3, v1, s1
+        s_mov  s4, 0
+    LOOP:
+        global_load v4, v2, 0
+        v_mul  v5, v4, 3
+        v_add  v5, v5, 7
+        global_store v3, v5, 0
+        v_add  v2, v2, s3
+        v_add  v3, v3, s3
+        s_add  s4, s4, 1
+        s_cmp_lt s4, s2
+        s_cbranch_scc1 LOOP
+        s_endpgm
+    """
+    return Kernel(
+        "scale",
+        parse(src),
+        vgprs_used=8,
+        sgprs_used=8,
+        noalias=True,
+        warps_per_block=2,
+    )
+
+
+LOOP_ITERATIONS = 12
+
+
+@pytest.fixture()
+def loop_launch(loop_kernel) -> LaunchSpec:
+    def setup_memory(memory):
+        memory.store_array(
+            0x1000, np.arange(512, dtype=np.uint32) * 13 + 5
+        )
+
+    def setup_warp(state, index):
+        span = LOOP_ITERATIONS * state.warp_size * 4
+        state.sregs[0] = 0x1000 + index * span
+        state.sregs[1] = 0x8000 + index * span
+        state.sregs[2] = LOOP_ITERATIONS
+        state.sregs[3] = state.warp_size * 4
+        state.vregs[0, :] = np.arange(state.warp_size)
+
+    return LaunchSpec(
+        kernel=loop_kernel, setup_memory=setup_memory, setup_warp=setup_warp
+    )
+
+
+# Straight-line programs reproducing the paper's worked examples.  Stores at
+# the end keep the interesting registers live at the signal position.
+
+PAPER_FIG3 = """
+    v_xor v1, v0, v2
+    v_mul v3, v1, v2
+    v_add v0, v0, v3
+    v_mov v1, 0xF
+    global_store v4, v0, 0
+    global_store v4, v1, 4
+    global_store v4, v2, 8
+    global_store v4, v3, 12
+    s_endpgm
+"""
+
+PAPER_FIG4 = """
+    v_mul v2, v1, 0xE
+    v_xor v3, v0, v2
+    v_add v0, v0, v2
+    v_mov v2, 0xFF
+    global_store v5, v0, 0
+    global_store v5, v2, 4
+    global_store v5, v3, 8
+    s_endpgm
+"""
+
+PAPER_FIG6 = """
+    v_xor v3, v0, 0x1
+    v_mul v1, v2, 0x1
+    v_add v0, v0, v1
+    v_mov v1, 0x8
+    v_add v2, v2, v1
+    global_store v5, v0, 0
+    global_store v5, v1, 4
+    global_store v5, v2, 8
+    global_store v5, v3, 12
+    s_endpgm
+"""
+
+
+def paper_kernel(src: str, name: str) -> Kernel:
+    return Kernel(name, parse(src), vgprs_used=8, sgprs_used=16, noalias=True)
+
+
+@pytest.fixture(scope="session")
+def fig3_kernel():
+    return paper_kernel(PAPER_FIG3, "fig3")
+
+
+@pytest.fixture(scope="session")
+def fig4_kernel():
+    return paper_kernel(PAPER_FIG4, "fig4")
+
+
+@pytest.fixture(scope="session")
+def fig6_kernel():
+    return paper_kernel(PAPER_FIG6, "fig6")

@@ -1,0 +1,143 @@
+"""Experiment drivers and reporting (quick configurations)."""
+
+import pytest
+
+from repro.analysis import (
+    ablation_techniques,
+    fig7_context_size,
+    fig10_runtime_overhead,
+    preemption_timing,
+    render_fig7_summary,
+    render_figure,
+    render_headline,
+    render_table1,
+    table1_experiment,
+)
+from repro.analysis.experiments import HeadlineResult
+from repro.sim import GPUConfig
+
+KEYS = ("va", "km")
+SMALL = GPUConfig.small(warp_size=8)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_context_size(config=SMALL, keys=KEYS, iterations=6)
+
+
+class TestFig7:
+    def test_rows_and_mechanisms(self, fig7):
+        assert [row.key for row in fig7.rows] == list(KEYS)
+        assert set(fig7.mechanisms()) == {
+            "live", "ckpt", "csdefer", "ctxback", "combined",
+        }
+
+    def test_normalized_to_baseline(self, fig7):
+        for row in fig7.rows:
+            for value in row.normalized.values():
+                assert 0 < value <= 1.0
+
+    def test_ctxback_beats_live(self, fig7):
+        for row in fig7.rows:
+            assert row.normalized["ctxback"] <= row.normalized["live"]
+
+    def test_min_line_is_smallest(self, fig7):
+        for row in fig7.rows:
+            assert row.normalized["ckpt"] <= row.normalized["ctxback"] + 1e-9
+
+    def test_means_and_subsets(self, fig7):
+        assert fig7.mean("live") == pytest.approx(
+            sum(r.normalized["live"] for r in fig7.rows) / len(fig7.rows)
+        )
+        assert fig7.subset_mean("live", ["va"]) == fig7.rows[0].normalized["live"]
+        assert 0 < fig7.mean_reduction_pct("ctxback") < 100
+
+
+class TestTable1:
+    def test_rows_contain_measurements(self):
+        result = table1_experiment(config=SMALL, keys=KEYS, iterations=6)
+        for row in result.rows:
+            assert row["preempt_us"] > 0
+            assert row["resume_us"] > 0
+            assert row["vector_kb"] > 0
+
+    def test_render(self):
+        result = table1_experiment(config=SMALL, keys=KEYS, iterations=6)
+        text = render_table1(result)
+        assert "VA" in text and "KM" in text and "paper" in text
+
+
+class TestTiming:
+    def test_fig8_fig9_structure(self):
+        fig8, fig9 = preemption_timing(
+            config=SMALL, keys=KEYS, samples=1, iterations=6, verify=True
+        )
+        for fig in (fig8, fig9):
+            assert [row.key for row in fig.rows] == list(KEYS)
+            for row in fig.rows:
+                assert row.normalized["baseline"] == pytest.approx(1.0)
+        for row in fig8.rows:
+            assert row.normalized["ctxback"] < 1.0
+            assert row.normalized["ckpt"] < row.normalized["ctxback"]
+
+
+class TestFig10:
+    def test_overhead_shape(self):
+        fig10 = fig10_runtime_overhead(config=SMALL, keys=KEYS, iterations=8)
+        for row in fig10.rows:
+            assert row.normalized["ckpt"] > row.normalized["ctxback"]
+            assert row.normalized["ctxback"] >= 0.0
+            assert row.normalized["ckpt"] > 0.0
+
+
+class TestAblation:
+    def test_full_is_best(self):
+        data = ablation_techniques(config=SMALL, keys=("ms",), iterations=6)
+        row = data.rows[0]
+        assert row.normalized["full"] <= row.normalized["no_reverting"] + 1e-9
+        assert row.normalized["full"] <= row.normalized["none"] + 1e-9
+
+
+class TestRendering:
+    def test_render_figure(self, fig7):
+        text = render_figure(fig7)
+        assert "MEAN" in text and "VA" in text
+
+    def test_render_percent(self, fig7):
+        assert "%" in render_figure(fig7, percent=True)
+
+    def test_render_fig7_summary(self, fig7):
+        text = render_fig7_summary(fig7)
+        assert "paper 61.0%" in text
+
+    def test_render_headline(self):
+        result = HeadlineResult(
+            context_reduction_pct=60.0,
+            context_vs_min=1.1,
+            preempt_reduction_pct=62.0,
+            resume_reduction_pct=49.0,
+            overhead_pct=0.3,
+            csdefer_latency_vs_ctxback=1.2,
+            csdefer_resume_reduction_pct=64.0,
+        )
+        text = render_headline(result)
+        assert "61.0%" in text and "1.09x" in text
+
+
+class TestTimeline:
+    def test_render_timeline(self):
+        from repro.analysis import render_timeline
+        from repro.kernels import SUITE
+        from repro.mechanisms import make_mechanism
+        from repro.sim import run_preemption_experiment
+
+        launch = SUITE["va"].launch(warp_size=8, iterations=6, num_warps=2)
+        prepared = make_mechanism("ctxback").prepare(launch.kernel, SMALL)
+        result = run_preemption_experiment(
+            launch.spec(), prepared, SMALL, signal_dyn=30, resume_gap=200
+        )
+        text = render_timeline(result, SMALL)
+        assert "warp 0" in text and "warp 1" in text
+        assert "flashback" in text
+        assert "memory verified: True" in text
+        assert "resume cost" in text

@@ -1,0 +1,94 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+DEMO = """
+    v_xor v1, v0, v2
+    v_mul v3, v1, v2
+    v_add v0, v0, v3
+    v_mov v1, 0xF
+    global_store v4, v0, 0
+    global_store v4, v1, 4
+    global_store v4, v2, 8
+    global_store v4, v3, 12
+    s_endpgm
+"""
+
+
+def run_cli(*args, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestValidate:
+    def test_clean_file_ok(self, demo_file):
+        result = run_cli("validate", demo_file)
+        assert result.returncode == 0
+        assert "OK" in result.stdout
+
+    def test_bad_file_fails_with_details(self, tmp_path):
+        path = tmp_path / "bad.s"
+        path.write_text("s_add s1, v2, 3\ns_endpgm\n")
+        result = run_cli("validate", str(path))
+        assert result.returncode == 1
+        assert "scalar" in result.stderr
+
+
+class TestAnalyze:
+    def test_single_position_shows_routines(self, demo_file):
+        result = run_cli(
+            "analyze", demo_file, "--position", "4", "--warp-size", "8"
+        )
+        assert result.returncode == 0
+        assert "flashback to" in result.stdout
+        assert "ctx_store" in result.stdout
+
+    def test_summary_table(self, demo_file):
+        result = run_cli("analyze", demo_file, "--warp-size", "8")
+        assert result.returncode == 0
+        assert result.stdout.count("\n") >= 9  # header + one row per position
+
+
+class TestSuiteAndPreempt:
+    def test_suite_lists_twelve(self):
+        result = run_cli("suite")
+        assert result.returncode == 0
+        assert result.stdout.count("\n") == 13  # header + 12 rows
+
+    def test_preempt_runs_and_verifies(self):
+        result = run_cli(
+            "preempt", "va", "--mechanism", "live", "--iterations", "8"
+        )
+        assert result.returncode == 0
+        assert "memory verified:    True" in result.stdout
+
+    def test_unknown_kernel_errors(self):
+        result = run_cli("preempt", "nope", "--no-verify")
+        assert result.returncode != 0
+
+
+class TestExperiments:
+    def test_fig7_subset(self):
+        result = run_cli("fig7", "--keys", "va", "--iterations", "6")
+        assert result.returncode == 0
+        assert "VA" in result.stdout
+        assert "paper 61.0%" in result.stdout
+
+    def test_table1_subset(self):
+        result = run_cli("table1", "--keys", "lrn", "--iterations", "6")
+        assert result.returncode == 0
+        assert "LRN" in result.stdout

@@ -1,0 +1,114 @@
+"""CFG construction: leaders, successors, block lookup."""
+
+from repro.compiler import build_cfg
+from repro.isa import parse
+
+
+def blocks_of(src):
+    program = parse(src)
+    return build_cfg(program)
+
+
+class TestBlockSplitting:
+    def test_straight_line_is_one_block(self):
+        cfg = blocks_of("v_mov v1, 1\nv_mov v2, 2\ns_endpgm")
+        assert len(cfg.blocks) == 1
+        assert (cfg.blocks[0].start, cfg.blocks[0].end) == (0, 3)
+
+    def test_loop_creates_three_blocks(self):
+        cfg = blocks_of(
+            """
+            v_mov v1, 0
+        LOOP:
+            v_add v1, v1, 1
+            s_cmp_lt s1, s2
+            s_cbranch_scc1 LOOP
+            s_endpgm
+            """
+        )
+        spans = [(b.start, b.end) for b in cfg.blocks]
+        assert spans == [(0, 1), (1, 4), (4, 5)]
+
+    def test_branch_target_is_leader(self):
+        cfg = blocks_of(
+            """
+            s_branch SKIP
+            v_mov v1, 1
+        SKIP:
+            s_endpgm
+            """
+        )
+        assert [b.start for b in cfg.blocks] == [0, 1, 2]
+
+    def test_instruction_after_terminator_is_leader(self):
+        cfg = blocks_of("s_branch END\nEND:\ns_endpgm")
+        assert len(cfg.blocks) == 2
+
+
+class TestEdges:
+    def test_conditional_branch_two_successors(self):
+        cfg = blocks_of(
+            """
+        LOOP:
+            s_cmp_lt s1, s2
+            s_cbranch_scc1 LOOP
+            s_endpgm
+            """
+        )
+        loop = cfg.blocks[0]
+        assert set(loop.successors) == {0, 1}
+        assert 0 in cfg.blocks[0].predecessors
+
+    def test_unconditional_branch_single_successor(self):
+        cfg = blocks_of("s_branch END\nv_mov v1, 1\nEND:\ns_endpgm")
+        assert cfg.blocks[0].successors == [2]
+
+    def test_endpgm_no_successors(self):
+        cfg = blocks_of("s_endpgm")
+        assert cfg.blocks[0].successors == []
+
+    def test_fallthrough_edge(self):
+        cfg = blocks_of(
+            """
+            s_cmp_lt s1, s2
+            s_cbranch_scc1 OUT
+            v_mov v1, 1
+        OUT:
+            s_endpgm
+            """
+        )
+        assert set(cfg.blocks[0].successors) == {1, 2}
+
+
+class TestLookup:
+    def test_block_at_position(self):
+        cfg = blocks_of(
+            """
+            v_mov v1, 0
+        LOOP:
+            v_add v1, v1, 1
+            s_cmp_lt s1, s2
+            s_cbranch_scc1 LOOP
+            s_endpgm
+            """
+        )
+        assert cfg.block_at(0).index == 0
+        assert cfg.block_at(2).index == 1
+        assert cfg.block_at(4).index == 2
+
+    def test_contains_and_positions(self):
+        cfg = blocks_of("v_mov v1, 0\nv_mov v2, 0\ns_endpgm")
+        block = cfg.blocks[0]
+        assert 1 in block
+        assert 3 not in block
+        assert list(block.positions()) == [0, 1, 2]
+
+    def test_entry(self):
+        cfg = blocks_of("s_endpgm")
+        assert cfg.entry().index == 0
+
+    def test_empty_program(self):
+        from repro.isa.instruction import Program
+
+        cfg = build_cfg(Program())
+        assert len(cfg.blocks) == 1 and len(cfg.blocks[0]) == 0

@@ -1,0 +1,107 @@
+"""Liveness analysis: hand-checked examples + consistency invariants."""
+
+from repro.compiler import analyze_liveness, build_cfg
+from repro.isa import EXEC, SCC, parse, sreg, vreg
+
+
+def live_of(src):
+    program = parse(src)
+    return program, analyze_liveness(program)
+
+
+class TestStraightLine:
+    def test_use_makes_live_in(self):
+        _, lv = live_of("v_add v1, v2, v3\ns_endpgm")
+        assert {vreg(2), vreg(3), EXEC} <= lv.live_in[0]
+
+    def test_def_kills_liveness_upward(self):
+        _, lv = live_of(
+            """
+            v_mov v1, 1
+            v_add v2, v1, v1
+            global_store v3, v2, 0
+            s_endpgm
+            """
+        )
+        # v1 is not live before its own definition
+        assert vreg(1) not in lv.live_in[0]
+        assert vreg(1) in lv.live_in[1]
+        # v2 is live only between its def and its use
+        assert vreg(2) not in lv.live_in[1]
+        assert vreg(2) in lv.live_in[2]
+
+    def test_dead_code_not_live(self):
+        _, lv = live_of("v_mov v1, 1\ns_endpgm")
+        assert vreg(1) not in lv.live_out[0]
+
+    def test_context_regs_alias_live_in(self):
+        _, lv = live_of("v_add v1, v2, v3\ns_endpgm")
+        assert lv.context_regs(0) == lv.live_in[0]
+
+
+class TestAcrossBlocks:
+    LOOP = """
+        v_mov v1, 0
+        s_mov s4, 0
+    LOOP:
+        v_add v1, v1, v2
+        s_add s4, s4, 1
+        s_cmp_lt s4, s3
+        s_cbranch_scc1 LOOP
+        global_store v5, v1, 0
+        s_endpgm
+    """
+
+    def test_loop_carried_register_live_at_header(self):
+        _, lv = live_of(self.LOOP)
+        # v1 accumulates across iterations: live at the loop header
+        assert vreg(1) in lv.live_in[2]
+        assert sreg(4) in lv.live_in[2]
+
+    def test_loop_invariant_live_through_loop(self):
+        _, lv = live_of(self.LOOP)
+        assert vreg(2) in lv.live_in[2]  # operand each iteration
+        assert sreg(3) in lv.live_in[2]  # loop bound
+        assert vreg(5) in lv.live_in[2]  # store address used after loop
+
+    def test_scc_live_between_cmp_and_branch(self):
+        _, lv = live_of(self.LOOP)
+        assert SCC in lv.live_in[5]  # before the cbranch
+        assert SCC not in lv.live_in[4]  # before the cmp that defines it
+
+    def test_block_level_accessors(self):
+        program, lv = live_of(self.LOOP)
+        cfg = lv.cfg
+        header_block = cfg.block_at(2).index
+        assert vreg(1) in lv.block_live_in(header_block)
+        assert vreg(1) in lv.block_live_out(header_block)
+
+
+class TestInvariants:
+    def test_live_in_equals_use_plus_liveout_minus_def(self, loop_kernel):
+        program = loop_kernel.program
+        lv = analyze_liveness(program)
+        for pos, instruction in enumerate(program.instructions):
+            expected = (
+                lv.live_out[pos] - frozenset(instruction.defs())
+            ) | frozenset(instruction.uses())
+            assert lv.live_in[pos] == expected, pos
+
+    def test_live_out_is_union_of_successor_live_ins(self, loop_kernel):
+        program = loop_kernel.program
+        cfg = build_cfg(program)
+        lv = analyze_liveness(program, cfg)
+        for block in cfg.blocks:
+            last = block.end - 1
+            expected = frozenset().union(
+                *(lv.live_in[cfg.blocks[s].start] for s in block.successors)
+            ) if block.successors else frozenset()
+            assert lv.live_out[last] == expected
+
+    def test_within_block_chaining(self, loop_kernel):
+        program = loop_kernel.program
+        cfg = build_cfg(program)
+        lv = analyze_liveness(program, cfg)
+        for block in cfg.blocks:
+            for pos in range(block.start, block.end - 1):
+                assert lv.live_out[pos] == lv.live_in[pos + 1]

@@ -1,0 +1,94 @@
+"""Label-safe instruction insertion (OSRB / CKPT instrumentation)."""
+
+import pytest
+
+from repro.compiler.transform import insert_instructions, shifted_position
+from repro.isa import inst, parse, serialize, sreg
+
+
+def _mov(index=9):
+    return inst("s_mov", sreg(index), sreg(4))
+
+
+class TestInsertion:
+    LOOP = """
+        v_mov v1, 0
+    LOOP:
+        v_add v1, v1, 1
+        s_cmp_lt s1, s2
+        s_cbranch_scc1 LOOP
+        s_endpgm
+    """
+
+    def test_insert_at_loop_header_executes_each_iteration(self):
+        program = parse(self.LOOP)
+        header = program.target_index("LOOP")
+        new_program, positions = insert_instructions(program, [(header, _mov())])
+        # label points AT the inserted instruction
+        assert new_program.target_index("LOOP") == positions[0]
+        assert new_program.instructions[positions[0]].mnemonic == "s_mov"
+
+    def test_branch_still_targets_header(self):
+        program = parse(self.LOOP)
+        new_program, _ = insert_instructions(
+            program, [(program.target_index("LOOP"), _mov())]
+        )
+        new_program.validate()
+        # round-trips through the assembler too
+        assert parse(serialize(new_program)).labels == new_program.labels
+
+    def test_label_shifting_rules(self):
+        program = parse("A:\ns_nop\nB:\ns_nop\nC:\ns_endpgm")
+        new_program, _ = insert_instructions(program, [(1, _mov())])
+        # strictly before the insertion: unchanged
+        assert new_program.target_index("A") == 0
+        # at the insertion point: targets the inserted instruction
+        assert new_program.target_index("B") == 1
+        assert new_program.instructions[1].mnemonic == "s_mov"
+        # strictly after: shifted
+        assert new_program.target_index("C") == 3
+
+    def test_multiple_insertions_keep_relative_order(self):
+        program = parse("s_nop\ns_nop\ns_endpgm")
+        a, b = _mov(8), _mov(9)
+        new_program, positions = insert_instructions(program, [(1, a), (1, b)])
+        assert new_program.instructions[positions[0]] is a
+        assert new_program.instructions[positions[1]] is b
+        assert positions[1] == positions[0] + 1
+
+    def test_insert_at_end(self):
+        program = parse("s_nop")
+        new_program, positions = insert_instructions(program, [(1, _mov())])
+        assert positions == [1]
+        assert len(new_program) == 2
+
+    def test_out_of_range_rejected(self):
+        program = parse("s_nop")
+        with pytest.raises(ValueError):
+            insert_instructions(program, [(5, _mov())])
+
+    def test_unsorted_input_positions(self):
+        program = parse("s_nop\ns_nop\ns_nop\ns_endpgm")
+        new_program, positions = insert_instructions(
+            program, [(3, _mov(8)), (0, _mov(9))]
+        )
+        assert new_program.instructions[positions[1]].dsts[0] == sreg(9)
+        assert positions[1] == 0
+        assert positions[0] == 4  # shifted by the insertion at 0
+
+
+class TestShiftedPosition:
+    def test_no_insertions(self):
+        assert shifted_position([], 3) == 3
+
+    def test_insertion_before_shifts(self):
+        assert shifted_position([1], 3) == 4
+
+    def test_insertion_at_position_shifts(self):
+        assert shifted_position([3], 3) == 4
+
+    def test_insertion_after_does_not_shift(self):
+        assert shifted_position([4], 3) == 3
+
+    def test_multiple(self):
+        assert shifted_position([0, 2, 2, 7], 5) == 8

@@ -1,0 +1,87 @@
+"""Context-size accounting: bytes, baselines, profiles."""
+
+from repro.ctxback import (
+    META_BYTES,
+    baseline_context_bytes,
+    lds_share_bytes,
+    live_context_bytes_at,
+    min_live_context,
+    profile_kernel_contexts,
+    regs_bytes,
+)
+from repro.isa import EXEC, Kernel, RegisterFileSpec, parse, sreg, vreg
+
+
+def _kernel(src, vgprs=8, sgprs=8, lds=0, warps=4):
+    return Kernel(
+        "k", parse(src), vgprs_used=vgprs, sgprs_used=sgprs, lds_bytes=lds,
+        warps_per_block=warps,
+    )
+
+
+SPEC = RegisterFileSpec(warp_size=4)
+
+
+class TestRegBytes:
+    def test_mixed_set(self):
+        assert regs_bytes([vreg(0), sreg(1), EXEC], SPEC) == 16 + 4 + 8
+
+    def test_empty(self):
+        assert regs_bytes([], SPEC) == 0
+
+
+class TestLdsShare:
+    def test_per_warp_semantics(self):
+        # Table I semantics: lds_bytes is already the per-warp share
+        k = _kernel("s_endpgm", lds=1024, warps=4)
+        assert lds_share_bytes(k) == 1024
+
+    def test_zero(self):
+        assert lds_share_bytes(_kernel("s_endpgm")) == 0
+
+
+class TestBaseline:
+    def test_counts_aligned_allocation(self):
+        k = _kernel("v_add v5, v1, v2\ns_endpgm", vgprs=6, sgprs=3)
+        # 6 vgprs -> 8 aligned; 3 sgprs -> 16 aligned; + exec/scc + meta
+        expected = 8 * 16 + 16 * 4 + 12 + META_BYTES
+        assert baseline_context_bytes(k, SPEC) == expected
+
+    def test_includes_lds_and_meta(self):
+        with_lds = _kernel("s_endpgm", vgprs=4, lds=256)
+        without = _kernel("s_endpgm", vgprs=4)
+        delta = baseline_context_bytes(with_lds, SPEC) - baseline_context_bytes(
+            without, SPEC
+        )
+        assert delta == 256
+
+
+class TestLiveContext:
+    SRC = """
+        v_add v1, v2, v3
+        global_store v4, v1, 0
+        s_endpgm
+    """
+
+    def test_live_smaller_than_baseline(self):
+        k = _kernel(self.SRC)
+        assert live_context_bytes_at(k, 0, SPEC) < baseline_context_bytes(k, SPEC)
+
+    def test_counts_exec(self):
+        k = _kernel(self.SRC)
+        # v2,v3,v4 live + exec + meta at position 0
+        assert live_context_bytes_at(k, 0, SPEC) == 3 * 16 + 8 + META_BYTES
+
+    def test_profile_shape(self):
+        k = _kernel(self.SRC)
+        profile = profile_kernel_contexts(k, SPEC)
+        assert len(profile.live_bytes) == 3
+        assert profile.min_live_bytes <= profile.mean_live_bytes <= profile.max_live_bytes
+        assert profile.baseline_bytes == baseline_context_bytes(k, SPEC)
+
+    def test_min_live_context_position(self):
+        k = _kernel(self.SRC)
+        pos, nbytes = min_live_context(k, SPEC)
+        # nothing is live at s_endpgm
+        assert pos == 2
+        assert nbytes == META_BYTES

@@ -1,0 +1,103 @@
+"""Cost estimates and the kernel builder's shared infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.ctxback.costs import (
+    Cost,
+    ZERO_COST,
+    est_exec_window_cycles,
+    est_issue_cycles,
+    est_preempt_latency,
+)
+from repro.isa import inst, vreg, sreg
+from repro.kernels.builder import (
+    KernelBuilder,
+    StandardLaunch,
+    fbits,
+    input_pattern,
+)
+
+
+class TestCost:
+    def test_lexicographic_ordering(self):
+        assert Cost(1, 100.0) < Cost(2, 1.0)
+        assert Cost(1, 1.0) < Cost(1, 2.0)
+
+    def test_addition(self):
+        assert Cost(1, 2.0) + Cost(3, 4.0) == Cost(4, 6.0)
+        assert ZERO_COST + Cost(5, 5.0) == Cost(5, 5.0)
+
+
+class TestEstimates:
+    def test_issue_cycles_by_class(self):
+        assert est_issue_cycles(inst("s_nop")) == 1.0
+        assert est_issue_cycles(inst("v_add", vreg(0), vreg(1), 2)) == 4.0
+        assert est_issue_cycles(inst("global_load", vreg(0), vreg(1), 0)) == 16.0
+
+    def test_window_sums_issue_estimates(self):
+        window = [inst("s_nop"), inst("v_add", vreg(0), vreg(1), 2)]
+        assert est_exec_window_cycles(window) == 5.0
+
+    def test_preempt_latency_monotone_in_bytes(self):
+        assert est_preempt_latency(1024) > est_preempt_latency(512)
+        assert est_preempt_latency(0, extra_cycles=7.0) == 7.0
+
+    def test_estimates_ignore_memory_stalls(self):
+        """The deliberate §V-B underestimation: a load's estimate is far
+        below its actual service latency."""
+        from repro.sim import GPUConfig
+
+        config = GPUConfig.radeon_vii()
+        assert est_issue_cycles(inst("global_load", vreg(0), vreg(1), 0)) < (
+            config.mem_latency / 4
+        )
+
+
+class TestBuilderHelpers:
+    def test_fbits_roundtrip(self):
+        assert np.uint32(fbits(1.5)).view(np.float32) == np.float32(1.5)
+
+    def test_input_pattern_deterministic_and_seeded(self):
+        a = input_pattern(64, seed=1)
+        b = input_pattern(64, seed=1)
+        c = input_pattern(64, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_input_pattern_is_finite_float32(self):
+        values = input_pattern(256, seed=3).view(np.float32)
+        assert np.isfinite(values).all()
+
+    def test_builder_fragments(self):
+        builder = KernelBuilder(
+            "t", abbrev="T", provenance="test", vgprs=8, sgprs=8
+        )
+        builder.lane_byte_offset(vreg(1))
+        builder.pointer(vreg(2), vreg(1), sreg(0))
+        builder.loop_begin()
+        builder.i("v_add", vreg(2), vreg(2), sreg(4))
+        builder.loop_end()
+        builder.end()
+        kernel = builder.build()
+        assert "LOOP" in kernel.program.labels
+        assert kernel.program.instructions[-1].mnemonic == "s_endpgm"
+
+    def test_standard_launch_abi(self, small_config):
+        from repro.kernels import SUITE
+        from repro.sim import DeviceMemory, WarpState
+
+        launch = SUITE["va"].launch(warp_size=4, iterations=4, num_warps=2)
+        spec = launch.spec()
+        memory = DeviceMemory()
+        spec.setup_memory(memory)
+        state = WarpState(num_vregs=16, num_sregs=16, warp_size=4)
+        spec.setup_warp(state, 1)
+        assert state.sregs[3] == 4  # iterations
+        assert state.sregs[4] == launch.stride_bytes(4)
+        assert list(state.vregs[0]) == [0, 1, 2, 3]
+        # warp 1's buffers are disjoint from warp 0's
+        state0 = WarpState(num_vregs=16, num_sregs=16, warp_size=4)
+        spec.setup_warp(state0, 0)
+        assert state.sregs[0] != state0.sregs[0]
+        assert state.sregs[2] != state0.sregs[2]

@@ -1,0 +1,191 @@
+"""Flashback-point search: paper examples, candidates, plan structure."""
+
+import pytest
+
+from repro.ctxback import CtxBackConfig, FlashbackAnalyzer
+from repro.isa import Kernel, RegisterFileSpec, parse
+
+SPEC = RegisterFileSpec(warp_size=4)
+CONFIG = CtxBackConfig(rf_spec=SPEC)
+
+
+def analyzer_for(kernel):
+    return FlashbackAnalyzer(kernel, CONFIG)
+
+
+def _mnemonics(program):
+    return [i.mnemonic for i in program.instructions]
+
+
+class TestPaperExamples:
+    def test_fig3_reverts_at_preemption(self, fig3_kernel):
+        plan = analyzer_for(fig3_kernel).plan_at(4)
+        assert plan.flashback_pos == 0
+        preempt = _mnemonics(plan.preempt_routine)
+        assert "v_sub" in preempt  # the constructed inverse of the v_add
+        # the inverse executes before the store of the recovered register
+        assert preempt.index("v_sub") < len(preempt) - 1
+        assert plan.reexec_count >= 3  # XOR, MUL, MOV re-executed
+
+    def test_fig4_reverts_during_resume(self, fig4_kernel):
+        analyzer = analyzer_for(fig4_kernel)
+        plan = analyzer.build_plan_at(4, 0)
+        assert plan is not None
+        assert "v_sub" in _mnemonics(plan.resume_routine)
+        assert "v_sub" not in _mnemonics(plan.preempt_routine)
+
+    def test_fig6_chained_reverting(self, fig6_kernel):
+        plan = analyzer_for(fig6_kernel).plan_at(5)
+        assert plan.flashback_pos == 0
+        # revert of the later v_add happens at preemption...
+        assert "v_sub" in _mnemonics(plan.preempt_routine)
+        # ...and the earlier overwrite is undone during resume
+        assert "v_sub" in _mnemonics(plan.resume_routine)
+
+    def test_fig3_context_smaller_than_live(self, fig3_kernel):
+        from repro.ctxback import live_context_bytes_at
+
+        plan = analyzer_for(fig3_kernel).plan_at(4)
+        assert plan.context_bytes < live_context_bytes_at(fig3_kernel, 4, SPEC)
+
+
+class TestDegenerateCases:
+    def test_position_zero_is_live_equivalent(self, fig3_kernel):
+        from repro.ctxback import live_context_bytes_at
+
+        plan = analyzer_for(fig3_kernel).plan_at(0)
+        assert plan.flashback_pos == 0
+        assert plan.context_bytes == live_context_bytes_at(fig3_kernel, 0, SPEC)
+        assert plan.reexec_count == 0
+
+    def test_decays_to_live_without_variety(self):
+        # every register stays live: no preceding instruction is better
+        kernel = Kernel(
+            "flat",
+            parse(
+                """
+                v_add v1, v2, v3
+                v_add v4, v2, v3
+                global_store v5, v1, 0
+                global_store v5, v4, 4
+                global_store v5, v2, 8
+                global_store v5, v3, 12
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=True,
+        )
+        from repro.ctxback import live_context_bytes_at
+
+        plan = analyzer_for(kernel).plan_at(2)
+        assert plan.context_bytes <= live_context_bytes_at(kernel, 2, SPEC)
+
+    def test_every_position_has_a_plan(self, fig6_kernel):
+        plans = analyzer_for(fig6_kernel).plan_all()
+        assert set(plans) == set(range(len(fig6_kernel.program.instructions)))
+
+    def test_plan_at_terminator(self, fig3_kernel):
+        last = len(fig3_kernel.program.instructions) - 1
+        plan = analyzer_for(fig3_kernel).plan_at(last)
+        assert plan.resume_pc == last
+
+
+class TestCandidates:
+    def test_candidates_bounded_by_block(self, loop_kernel):
+        analyzer = FlashbackAnalyzer(loop_kernel, CONFIG)
+        block = analyzer.cfg.block_at(8)
+        for p in analyzer.candidate_positions(8):
+            assert block.start <= p <= 8
+
+    def test_candidates_include_self(self, loop_kernel):
+        analyzer = FlashbackAnalyzer(loop_kernel, CONFIG)
+        assert 8 in analyzer.candidate_positions(8)
+
+    def test_candidate_count_capped(self, loop_kernel):
+        config = CtxBackConfig(rf_spec=SPEC, candidates_k=2)
+        analyzer = FlashbackAnalyzer(loop_kernel, config)
+        assert len(analyzer.candidate_positions(8)) <= 3  # k + forced self
+
+    def test_idempotence_limits_candidates(self):
+        kernel = Kernel(
+            "hazard",
+            parse(
+                """
+                global_load v1, v2, 0
+                v_add v3, v1, v1
+                global_store v2, v3, 0
+                v_add v4, v3, v3
+                global_store v2, v4, 4
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=False,  # load/store may alias: region limited
+        )
+        analyzer = analyzer_for(kernel)
+        # signal at 4: region cannot start at/before the load at 0
+        assert min(analyzer.candidate_positions(4)) >= 1
+
+
+class TestAblationToggles:
+    def test_disable_reverting_grows_context(self, fig3_kernel):
+        full = FlashbackAnalyzer(fig3_kernel, CONFIG).plan_at(4)
+        no_revert = FlashbackAnalyzer(
+            fig3_kernel, CtxBackConfig(rf_spec=SPEC, enable_reverting=False)
+        ).plan_at(4)
+        assert no_revert.context_bytes >= full.context_bytes
+        assert "v_sub" not in _mnemonics(no_revert.preempt_routine)
+
+    def test_disable_relaxed_restricts_candidates(self):
+        # Fig. 2's kernel: the strict (Fig. 1) condition cannot cross the
+        # self-overwriting v_mul, the relaxed one can
+        kernel = Kernel(
+            "fig2",
+            parse(
+                """
+                v_xor  v3, v4, 0xF
+                v_mul  v1, v3, 0x7
+                v_mul  v0, v0, v0
+                v_add  v2, v0, v4
+                global_store v5, v0, 0
+                global_store v5, v1, 4
+                global_store v5, v2, 8
+                global_store v5, v3, 12
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=True,
+        )
+        relaxed = FlashbackAnalyzer(kernel, CONFIG)
+        strict = FlashbackAnalyzer(
+            kernel, CtxBackConfig(rf_spec=SPEC, enable_relaxed=False)
+        )
+        assert min(relaxed.candidate_positions(4)) < min(
+            strict.candidate_positions(4)
+        )
+
+
+class TestPlanShape:
+    def test_saved_slots_are_disjoint(self, fig6_kernel):
+        plan = analyzer_for(fig6_kernel).plan_at(5)
+        spans = sorted((s.slot, s.slot + s.nbytes) for s in plan.saved)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_context_bytes_cover_saved(self, fig6_kernel):
+        plan = analyzer_for(fig6_kernel).plan_at(5)
+        assert plan.context_bytes >= sum(s.nbytes for s in plan.saved)
+
+    def test_estimates_positive(self, fig6_kernel):
+        plan = analyzer_for(fig6_kernel).plan_at(5)
+        assert plan.est_preempt_cycles > 0
+        assert plan.est_resume_cycles > 0
+
+    def test_waste_instructions(self, fig6_kernel):
+        plan = analyzer_for(fig6_kernel).plan_at(5)
+        assert plan.waste_instructions == 5 - plan.flashback_pos

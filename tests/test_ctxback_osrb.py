@@ -1,0 +1,130 @@
+"""On-chip scalar register backup: selection heuristic + instrumentation."""
+
+from repro.ctxback.osrb import apply_osrb, select_backups
+from repro.isa import Kernel, RegisterFileSpec, parse, sreg
+
+SPEC = RegisterFileSpec(warp_size=4)
+
+
+def _kernel(src, sgprs=10):
+    return Kernel("k", parse(src), vgprs_used=8, sgprs_used=sgprs, noalias=True)
+
+
+OSRB_TARGET = """
+    v_mul v1, v2, s4
+    v_add v3, v1, s4
+    s_mul s4, s4, 5
+    global_store v4, v1, 0
+    global_store v4, v3, 4
+    s_endpgm
+"""
+
+
+class TestSelection:
+    def test_irreversibly_overwritten_scalar_selected(self):
+        backups = select_backups(_kernel(OSRB_TARGET), SPEC)
+        assert len(backups) == 1
+        assert backups[0].source_index == 4
+        assert backups[0].benefit == 2  # two vector-result users
+
+    def test_reversible_overwrite_skipped(self):
+        # s_add is revertible: instruction reverting recovers the old value,
+        # so OSRB does not spend a backup register on it
+        src = OSRB_TARGET.replace("s_mul s4, s4, 5", "s_add s4, s4, 5")
+        assert select_backups(_kernel(src), SPEC) == []
+
+    def test_unused_scalar_skipped(self):
+        src = """
+            v_mul v1, v2, v3
+            s_mul s4, s4, 5
+            global_store v4, v1, 0
+            s_endpgm
+        """
+        assert select_backups(_kernel(src), SPEC) == []
+
+    def test_scalar_only_users_skipped(self):
+        # old value feeds only scalar results: nothing vector-sized to save
+        src = """
+            s_add s6, s4, 1
+            s_mul s4, s4, 5
+            global_store v4, v1, 0
+            s_endpgm
+        """
+        assert select_backups(_kernel(src), SPEC) == []
+
+    def test_no_padding_no_backups(self):
+        # 16 sgprs used = allocation boundary: no free padding registers
+        backups = select_backups(_kernel(OSRB_TARGET, sgprs=16), SPEC)
+        assert backups == []
+
+    def test_backup_uses_padding_index(self):
+        backups = select_backups(_kernel(OSRB_TARGET, sgprs=10), SPEC)
+        assert backups[0].backup_index == 10  # first padding register
+
+
+class TestTransform:
+    def test_mov_inserted_at_block_start(self):
+        kernel = _kernel(OSRB_TARGET)
+        new_kernel, report = apply_osrb(kernel, SPEC)
+        assert report.count == 1
+        first = new_kernel.program.instructions[0]
+        assert first.mnemonic == "s_mov"
+        assert first.srcs[0] == sreg(4)
+
+    def test_allocation_unchanged(self):
+        kernel = _kernel(OSRB_TARGET)
+        new_kernel, _ = apply_osrb(kernel, SPEC)
+        assert SPEC.allocated_sgprs(new_kernel.sgprs_used) == SPEC.allocated_sgprs(
+            kernel.sgprs_used
+        )
+
+    def test_noop_when_nothing_selected(self):
+        src = "v_add v1, v2, v3\nglobal_store v4, v1, 0\ns_endpgm"
+        kernel = _kernel(src)
+        new_kernel, report = apply_osrb(kernel, SPEC)
+        assert report.count == 0
+        assert new_kernel is kernel
+
+    def test_loop_header_backup_runs_per_iteration(self):
+        src = """
+            s_mov s5, 0
+        LOOP:
+            v_mul v1, v2, s4
+            s_mul s4, s4, 5
+            global_store v3, v1, 0
+            s_add s5, s5, 1
+            s_cmp_lt s5, s6
+            s_cbranch_scc1 LOOP
+            s_endpgm
+        """
+        kernel = _kernel(src)
+        new_kernel, report = apply_osrb(kernel, SPEC)
+        assert report.count == 1
+        header = new_kernel.program.target_index("LOOP")
+        assert new_kernel.program.instructions[header].mnemonic == "s_mov"
+
+    def test_reduces_ctxback_context(self):
+        from repro.ctxback import CtxBackConfig, FlashbackAnalyzer
+
+        src = """
+            s_mov s5, 0
+        LOOP:
+            v_mul v1, v2, s4
+            v_mul v6, v2, s4
+            s_mul s4, s4, 5
+            global_store v3, v1, 0
+            global_store v3, v6, 4
+            s_add s5, s5, 1
+            s_cmp_lt s5, s6
+            s_cbranch_scc1 LOOP
+            s_endpgm
+        """
+        kernel = _kernel(src)
+        with_osrb, _ = apply_osrb(kernel, SPEC)
+        config = CtxBackConfig(rf_spec=SPEC, enable_osrb=False)
+        # signal right after the scalar was clobbered but with the vector
+        # results dead-ahead: the backup enables re-execution
+        n_plain = 4  # at the first global_store in the plain kernel
+        plain = FlashbackAnalyzer(kernel, config).plan_at(n_plain)
+        instr = FlashbackAnalyzer(with_osrb, config).plan_at(n_plain + 1)
+        assert instr.context_bytes <= plain.context_bytes

@@ -1,0 +1,61 @@
+"""Dedicated-routine sharing (paper §IV-A)."""
+
+import pytest
+
+from repro.ctxback import share_routines
+from repro.kernels import SUITE
+from repro.mechanisms import make_mechanism
+from repro.sim import GPUConfig
+
+CONFIG = GPUConfig.small(warp_size=8)
+
+
+@pytest.fixture(scope="module")
+def dot_prepared():
+    launch = SUITE["dot"].launch(warp_size=8, iterations=6)
+    return make_mechanism("ctxback").prepare(launch.kernel, CONFIG)
+
+
+class TestSharing:
+    def test_prepare_already_shares(self, dot_prepared):
+        stats = share_routines(dot_prepared.plans)  # idempotent second pass
+        assert stats.unique_preempt < stats.positions
+
+    def test_shared_programs_are_identical_objects(self, dot_prepared):
+        by_key = {}
+        for plan in dot_prepared.plans.values():
+            key = tuple(plan.preempt_routine.instructions)
+            if key in by_key:
+                assert plan.preempt_routine is by_key[key]
+            else:
+                by_key[key] = plan.preempt_routine
+
+    def test_paper_claim_only_several_routines(self, dot_prepared):
+        """Load-phase signals share their loop-top flashback routine."""
+        stats = share_routines(dot_prepared.plans)
+        assert stats.sharing_factor >= 1.5
+        assert 0.0 <= stats.saved_fraction < 1.0
+        assert stats.shared_bytes <= stats.naive_bytes
+
+    def test_sharing_preserves_functional_correctness(self, dot_prepared):
+        from repro.sim import run_preemption_experiment
+
+        launch = SUITE["dot"].launch(warp_size=8, iterations=6)
+        n = len(dot_prepared.kernel.program.instructions)
+        for dyn in (2 * n + 3, 3 * n + 11):
+            result = run_preemption_experiment(
+                launch.spec(), dot_prepared, CONFIG, signal_dyn=dyn, resume_gap=200
+            )
+            assert result.verified
+
+    def test_stats_fields_consistent(self, dot_prepared):
+        stats = share_routines(dot_prepared.plans)
+        assert stats.positions == len(dot_prepared.plans)
+        assert stats.unique_resume >= 1
+        assert stats.naive_bytes >= stats.shared_bytes > 0
+
+    def test_empty_plans(self):
+        stats = share_routines({})
+        assert stats.positions == 0
+        assert stats.sharing_factor == 1.0
+        assert stats.saved_fraction == 0.0

@@ -1,0 +1,214 @@
+"""Value-availability resolution on the paper's worked examples."""
+
+import pytest
+
+from repro.compiler import analyze_liveness, build_cfg, number_region
+from repro.ctxback import DerivationKind, Resolver, SignalSite
+from repro.isa import Kernel, RegisterFileSpec, ReversibilityModel, parse, vreg
+
+SPEC = RegisterFileSpec(warp_size=4)
+
+
+def make_site(kernel, n, model=ReversibilityModel.PAPER):
+    program = kernel.program
+    cfg = build_cfg(program)
+    liveness = analyze_liveness(program, cfg)
+    block = cfg.block_at(n)
+    region = number_region(
+        program, block.start, block.end, entry_regs=liveness.live_in[block.start]
+    )
+    state = dict(region.entry)
+    for pos in range(block.start, n):
+        for reg, value in zip(
+            program.instructions[pos].defs(), region.def_values_at(pos)
+        ):
+            state[reg] = value
+    return SignalSite(
+        program=program,
+        region=region,
+        n=n,
+        end_state=state,
+        rf_spec=SPEC,
+        model=model,
+    ), region
+
+
+class TestFig2SaveReload:
+    """Fig. 2: the self-destroying instruction's result is save/reloaded."""
+
+    SRC = """
+        v_xor  v3, v4, 0xF
+        v_mul  v1, v3, 0x7
+        v_mul  v0, v0, v0
+        v_add  v2, v0, v4
+        global_store v5, v0, 0
+        global_store v5, v1, 4
+        global_store v5, v2, 8
+        global_store v5, v3, 12
+        s_endpgm
+    """
+
+    @pytest.fixture()
+    def resolver(self):
+        kernel = Kernel("fig2", parse(self.SRC), 8, 16, noalias=True)
+        site, region = make_site(kernel, 4)
+        return Resolver(site, p=0), region
+
+    def test_self_square_result_is_direct_saved(self, resolver):
+        resolver, region = resolver
+        v0_new = region.def_values_at(2)[0]
+        node = resolver.resolve(v0_new)
+        assert node.kind is DerivationKind.DIRECT_SAVE
+
+    def test_dependents_reexecute(self, resolver):
+        resolver, region = resolver
+        v3 = region.def_values_at(0)[0]
+        v1 = region.def_values_at(1)[0]
+        v2 = region.def_values_at(3)[0]
+        assert resolver.resolve(v3).kind is DerivationKind.REEXEC
+        assert resolver.resolve(v1).kind is DerivationKind.REEXEC
+        # v2 = v0_new + v4 consumes the reloaded value: still re-executable
+        assert resolver.resolve(v2).kind is DerivationKind.REEXEC
+
+    def test_old_self_square_operand_unresolvable(self, resolver):
+        resolver, region = resolver
+        v0_old = region.entry[vreg(0)]
+        assert resolver.resolve(v0_old) is None
+
+
+class TestFig3RevertAtPreempt:
+    """Fig. 3: ADD reverted at preemption recovers the XOR operand."""
+
+    def _resolver(self, fig3_kernel, p=0):
+        site, region = make_site(fig3_kernel, 4)
+        return Resolver(site, p=p), region
+
+    def test_old_value_recovered_by_preempt_revert(self, fig3_kernel):
+        resolver, region = self._resolver(fig3_kernel)
+        v0_old = region.entry[vreg(0)]
+        node = resolver.resolve(v0_old)
+        assert node.kind is DerivationKind.REVERT_PREEMPT
+        assert node.pos == 2  # the v_add that killed it
+
+    def test_chain_re_executes(self, fig3_kernel):
+        resolver, region = self._resolver(fig3_kernel)
+        assert resolver.resolve(region.def_values_at(0)[0]).kind is DerivationKind.REEXEC
+        assert resolver.resolve(region.def_values_at(1)[0]).kind is DerivationKind.REEXEC
+
+    def test_revert_out_of_region_not_used(self, fig3_kernel):
+        # p = 3 excludes the killing v_add from the region: no revert allowed
+        resolver, region = self._resolver(fig3_kernel, p=3)
+        v0_old = region.entry[vreg(0)]
+        assert resolver.resolve(v0_old) is None
+
+
+class TestFig4RevertAtResume:
+    """Fig. 4: reverting needs a re-executed operand -> resume placement."""
+
+    def test_revert_scheduled_at_resume(self, fig4_kernel):
+        site, region = make_site(fig4_kernel, 4)
+        resolver = Resolver(site, p=0)
+        # resolve the XOR result first (the natural consumer of the old v0)
+        v3 = region.def_values_at(1)[0]
+        node = resolver.resolve(v3)
+        assert node.kind is DerivationKind.REEXEC
+        v0_old = region.entry[vreg(0)]
+        old_node = resolver.resolve(v0_old)
+        assert old_node.kind is DerivationKind.REVERT_RESUME
+
+    def test_cycle_taint_does_not_poison(self, fig4_kernel):
+        # resolving v0_new first drives v0_old through a cycle; a later
+        # resolution must still find the revert (memo-poisoning regression)
+        site, region = make_site(fig4_kernel, 4)
+        resolver = Resolver(site, p=0)
+        v0_new = region.def_values_at(2)[0]
+        assert resolver.resolve(v0_new) is not None
+        v0_old = region.entry[vreg(0)]
+        assert resolver.resolve(v0_old) is not None
+
+
+class TestPreferences:
+    def test_reexec_preferred_over_direct_save(self):
+        kernel = Kernel(
+            "pref",
+            parse(
+                """
+                v_add v1, v2, v3
+                global_store v4, v1, 0
+                global_store v4, v2, 4
+                global_store v4, v3, 8
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=True,
+        )
+        site, region = make_site(kernel, 1)
+        resolver = Resolver(site, p=0)
+        node = resolver.resolve(region.def_values_at(0)[0])
+        assert node.kind is DerivationKind.REEXEC
+
+    def test_forced_direct_pins_derivation(self):
+        kernel = Kernel(
+            "pin",
+            parse("v_add v1, v2, v3\nglobal_store v4, v1, 0\ns_endpgm"),
+            8,
+            16,
+            noalias=True,
+        )
+        site, region = make_site(kernel, 1)
+        value = region.def_values_at(0)[0]
+        resolver = Resolver(site, p=0, forced_direct=frozenset({value.vid}))
+        assert resolver.resolve(value).kind is DerivationKind.DIRECT_SAVE
+
+    def test_exact_model_blocks_lshl_revert(self):
+        kernel = Kernel(
+            "shift",
+            parse(
+                """
+                v_add v1, v0, v2
+                v_lshl v0, v0, 0x2
+                global_store v4, v0, 0
+                global_store v4, v1, 4
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=True,
+        )
+        site, region = make_site(kernel, 2, model=ReversibilityModel.EXACT)
+        resolver = Resolver(site, p=0)
+        v0_old = region.entry[vreg(0)]
+        assert resolver.resolve(v0_old) is None
+        site, region = make_site(kernel, 2, model=ReversibilityModel.PAPER)
+        resolver = Resolver(site, p=0)
+        assert resolver.resolve(region.entry[vreg(0)]) is not None
+
+
+class TestOsrbViaCopyPropagation:
+    def test_backed_up_scalar_value_directly_saveable(self):
+        kernel = Kernel(
+            "osrb",
+            parse(
+                """
+                s_mov s9, s4
+                v_mul v1, v2, s4
+                s_mul s4, s4, 5
+                global_store v4, v1, 0
+                s_endpgm
+                """
+            ),
+            8,
+            16,
+            noalias=True,
+        )
+        site, region = make_site(kernel, 3)
+        resolver = Resolver(site, p=0)
+        from repro.isa import sreg
+
+        old_s4 = region.entry[sreg(4)]
+        node = resolver.resolve(old_s4)
+        assert node.kind is DerivationKind.DIRECT_SAVE
+        assert node.source_reg == sreg(9)  # read from the backup register

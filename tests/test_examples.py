@@ -1,0 +1,50 @@
+"""The example scripts: importable, documented, and (the fast one) runnable."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_main_and_docstring(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module.__self__  # loader exists
+    source = path.read_text()
+    assert source.lstrip().startswith(("#!", '"""')), path.name
+    assert "def main(" in source, path.name
+    assert '__name__ == "__main__"' in source, path.name
+
+
+def test_quickstart_runs_and_shows_the_revert():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "v_sub" in result.stdout  # the constructed inverse instruction
+    assert "CTXBack context" in result.stdout
+
+
+def test_custom_kernel_verifies_everywhere():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_kernel.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "memory identical: True" in result.stdout
+    assert "False" not in result.stdout

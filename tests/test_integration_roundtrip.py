@@ -1,0 +1,114 @@
+"""The repo's ground-truth invariant (DESIGN.md §4):
+
+    preempt anywhere + resume  ==  never preempting,
+
+bit-exact on the final memory image, for every mechanism, on real benchmark
+kernels.  The register file is *cleared* at eviction, so a passing run proves
+the generated routines rebuild everything the kernel still needed.
+"""
+
+import pytest
+
+from repro.kernels import SUITE
+from repro.mechanisms import ALL_MECHANISMS, make_mechanism
+from repro.sim import GPUConfig, run_preemption_experiment
+
+CONFIG = GPUConfig.small(warp_size=8)
+MECHANISMS = sorted(ALL_MECHANISMS)
+# a representative cross-section: low pressure (va), high pressure + LDS
+# (mm), LDS-hazard-limited regions (hs), high persistent floor (km)
+KERNEL_KEYS = ("va", "mm", "hs", "km")
+
+
+def _experiment(key, mechanism, signal_dyn, resume_gap=600):
+    bench = SUITE[key]
+    launch = bench.launch(warp_size=8, iterations=8, num_warps=2)
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, CONFIG)
+    return run_preemption_experiment(
+        launch.spec(), prepared, CONFIG, signal_dyn=signal_dyn, resume_gap=resume_gap
+    )
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+@pytest.mark.parametrize("key", KERNEL_KEYS)
+class TestRoundTrip:
+    def test_mid_loop_signal(self, key, mechanism):
+        n = len(SUITE[key].build(8).program.instructions)
+        result = _experiment(key, mechanism, signal_dyn=3 * n + 5)
+        assert result.verified, f"{key}/{mechanism} diverged from reference"
+
+    def test_preamble_signal(self, key, mechanism):
+        result = _experiment(key, mechanism, signal_dyn=2)
+        assert result.verified
+
+    def test_late_signal(self, key, mechanism):
+        n = len(SUITE[key].build(8).program.instructions)
+        result = _experiment(key, mechanism, signal_dyn=6 * n + 11)
+        assert result.verified
+
+
+@pytest.mark.parametrize("key", KERNEL_KEYS)
+def test_every_loop_offset_ctxback(key):
+    """Sweep the signal across a whole loop iteration's worth of dynamic
+    instructions: every flashback plan in the loop body must round-trip."""
+    bench = SUITE[key]
+    launch = bench.launch(warp_size=8, iterations=8, num_warps=1)
+    kernel = launch.kernel
+    loop_start = kernel.program.target_index("LOOP")
+    # loop body length in the ORIGINAL program; OSRB may add instructions,
+    # so sweep a window comfortably covering one instrumented iteration
+    n = len(kernel.program.instructions)
+    prepared = make_mechanism("ctxback").prepare(kernel, CONFIG)
+    body_len = len(prepared.kernel.program.instructions) - loop_start
+    base = 2 * n
+    failures = []
+    for offset in range(body_len + 2):
+        result = run_preemption_experiment(
+            launch.spec(),
+            prepared,
+            CONFIG,
+            signal_dyn=base + offset,
+            resume_gap=300,
+        )
+        if not result.verified:
+            failures.append((offset, [m.signal_pc for m in result.measurements]))
+    assert not failures, failures
+
+
+def test_latency_ordering_on_high_pressure_kernel():
+    """baseline > live >= ctxback on a high-variety kernel (Fig. 8 shape);
+    CTXBack strictly beats LIVE at some signal points and never loses."""
+    key, n = "mm", len(SUITE["mm"].build(8).program.instructions)
+    points = [3 * n + k for k in (2, 9, 16, 23)]
+
+    def mean_latency(mechanism):
+        return [
+            _experiment(key, mechanism, signal_dyn=dyn).mean_latency
+            for dyn in points
+        ]
+
+    baseline = mean_latency("baseline")
+    live = mean_latency("live")
+    ctxback = mean_latency("ctxback")
+    ckpt = mean_latency("ckpt")
+
+    for b, l, c, k in zip(baseline, live, ctxback, ckpt):
+        assert b > l >= c
+        assert k < c
+    assert sum(ctxback) < sum(live)  # strictly better somewhere
+
+    base_resume = _experiment(key, "baseline", signal_dyn=points[0]).mean_resume
+    ctx_resume = _experiment(key, "ctxback", signal_dyn=points[0]).mean_resume
+    assert base_resume > ctx_resume
+
+
+def test_csdefer_resume_never_reexecutes():
+    """CS-Defer's resume is a plain reload: fewer instructions than CTXBack's
+    (it pays at preemption instead — the paper's §IV-C trade-off)."""
+    key = "relu"
+    bench = SUITE[key]
+    launch = bench.launch(warp_size=8, iterations=8, num_warps=1)
+    defer = make_mechanism("csdefer").prepare(launch.kernel, CONFIG)
+    for plan in defer.plans.values():
+        for instruction in plan.resume_routine.instructions:
+            assert instruction.mnemonic.startswith("ctx_load")

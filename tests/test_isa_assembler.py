@@ -1,0 +1,146 @@
+"""Assembly text: parsing, error reporting, serialize/parse round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    AssemblyError,
+    Imm,
+    OPCODES,
+    OpClass,
+    inst,
+    parse,
+    serialize,
+    sreg,
+    vreg,
+)
+from repro.isa.instruction import Program
+
+
+class TestParse:
+    def test_basic_instruction(self):
+        program = parse("v_add v1, v2, v3")
+        assert program.instructions == [inst("v_add", vreg(1), vreg(2), vreg(3))]
+
+    def test_comments_and_blank_lines(self):
+        program = parse(
+            """
+            # header comment
+            v_mov v1, 5   # trailing
+            """
+        )
+        assert len(program) == 1
+
+    def test_hex_and_negative_immediates(self):
+        program = parse("v_add v1, v2, 0xFF\nv_add v3, v4, -2")
+        assert program.instructions[0].srcs[1] == Imm(255)
+        assert program.instructions[1].srcs[1] == Imm(-2)
+
+    def test_label_lines_and_inline_labels(self):
+        program = parse("TOP:\n s_nop\nEND: s_endpgm")
+        assert program.target_index("TOP") == 0
+        assert program.target_index("END") == 1
+
+    def test_label_at_program_end(self):
+        program = parse("s_nop\nDONE:")
+        assert program.target_index("DONE") == 1
+
+    def test_branch_resolution(self):
+        program = parse("LOOP:\n s_cbranch_scc1 LOOP\n s_endpgm")
+        assert program.instructions[0].branch_target == "LOOP"
+
+    def test_case_insensitive_mnemonics(self):
+        program = parse("V_ADD v1, v2, v3")
+        assert program.instructions[0].mnemonic == "v_add"
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            parse("s_nop\ns_nop\nv_add v1, v2")
+
+    def test_unknown_opcode_error(self):
+        with pytest.raises(AssemblyError, match="v_nope"):
+            parse("v_nope v1, v2, v3")
+
+    def test_bad_operand_error(self):
+        with pytest.raises(AssemblyError, match="operand"):
+            parse("v_add v1, v2, 12abc!")
+
+    def test_duplicate_label_error(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            parse("A:\nA:\ns_nop")
+
+    def test_dangling_branch_detected(self):
+        with pytest.raises(AssemblyError):
+            parse("s_branch NOWHERE")
+
+    def test_immediate_dst_rejected(self):
+        with pytest.raises(AssemblyError, match="dst"):
+            parse("v_add 5, v2, v3")
+
+
+class TestSerialize:
+    def test_labels_rendered(self):
+        program = parse("LOOP:\n s_cbranch_scc1 LOOP\ns_endpgm\nEND:")
+        text = serialize(program)
+        assert "LOOP:" in text and "END:" in text
+
+    def test_roundtrip_sample(self):
+        source = """
+        START:
+            v_lshl v1, v0, 0x2
+            global_load v4, v1, 0
+            v_madf v8, v4, v5, v8
+            s_add s4, s4, 1
+            s_cmp_lt s4, s5
+            s_cbranch_scc1 START
+            s_endpgm
+        """
+        program = parse(source)
+        again = parse(serialize(program))
+        assert again.instructions == program.instructions
+        assert again.labels == program.labels
+
+
+def _operand_strategy(position, spec):
+    regs = st.integers(0, 15)
+    if spec.opclass is OpClass.VALU:
+        choices = [
+            regs.map(vreg),
+            regs.map(sreg),
+            st.integers(-1024, 0xFFFF).map(Imm),
+        ]
+    else:
+        choices = [regs.map(sreg), st.integers(-1024, 0xFFFF).map(Imm)]
+    return st.one_of(*choices)
+
+
+_ALU_MNEMONICS = sorted(
+    name
+    for name, spec in OPCODES.items()
+    if spec.opclass in (OpClass.VALU, OpClass.SALU) and spec.n_dst == 1
+)
+
+
+@st.composite
+def alu_instructions(draw):
+    mnemonic = draw(st.sampled_from(_ALU_MNEMONICS))
+    spec = OPCODES[mnemonic]
+    dst = vreg(draw(st.integers(0, 15))) if mnemonic.startswith("v_") else sreg(
+        draw(st.integers(0, 15))
+    )
+    srcs = tuple(
+        draw(_operand_strategy(i, spec)) for i in range(spec.n_src)
+    )
+    from repro.isa import Instruction
+
+    return Instruction(mnemonic, (dst,), srcs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(alu_instructions(), min_size=0, max_size=30))
+def test_roundtrip_property(instructions):
+    """parse(serialize(p)) reproduces any ALU program exactly."""
+    program = Program(list(instructions))
+    again = parse(serialize(program))
+    assert again.instructions == program.instructions

@@ -1,0 +1,89 @@
+"""Binary encoding: layout, errors, and full round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa import inst, parse, sreg, vreg
+from repro.isa.encoder import (
+    EncodingError,
+    INSTRUCTION_WORD_BYTES,
+    decode_program,
+    encode_program,
+    encoded_size,
+)
+from repro.isa.instruction import Program
+
+from tests.test_isa_assembler import alu_instructions
+from hypothesis import strategies as st
+
+
+class TestLayout:
+    def test_size_scales_with_instructions(self):
+        one = Program([inst("s_nop")])
+        two = Program([inst("s_nop"), inst("s_nop")])
+        assert encoded_size(two) - encoded_size(one) == INSTRUCTION_WORD_BYTES
+
+    def test_immediates_cost_pool_words(self):
+        reg_only = Program([inst("v_add", vreg(1), vreg(2), vreg(3))])
+        with_imm = Program([inst("v_add", vreg(1), vreg(2), 7)])
+        assert encoded_size(with_imm) == encoded_size(reg_only) + 4
+
+    def test_labels_in_table(self):
+        program = parse("LOOP:\n s_cbranch_scc1 LOOP\n s_endpgm")
+        decoded = decode_program(encode_program(program))
+        assert decoded.labels == program.labels
+
+    def test_register_index_limit(self):
+        with pytest.raises(EncodingError):
+            encode_program(Program([inst("v_mov", vreg(64), 0)]))
+
+
+class TestRoundTrip:
+    def test_paper_example(self, fig3_kernel):
+        program = fig3_kernel.program
+        assert decode_program(encode_program(program)).instructions == (
+            program.instructions
+        )
+
+    def test_all_benchmark_kernels(self):
+        from repro.kernels import SUITE
+
+        for bench in SUITE.values():
+            program = bench.build(16).program
+            decoded = decode_program(encode_program(program))
+            assert decoded.instructions == program.instructions
+            assert decoded.labels == program.labels
+
+    def test_generated_routines(self, loop_kernel, small_config):
+        from repro.mechanisms import make_mechanism
+
+        prepared = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        for plan in prepared.plans.values():
+            for routine in (plan.preempt_routine, plan.resume_routine):
+                decoded = decode_program(encode_program(routine))
+                assert decoded.instructions == routine.instructions
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(alu_instructions(), min_size=0, max_size=25))
+def test_roundtrip_property(instructions):
+    program = Program(list(instructions))
+    decoded = decode_program(encode_program(program))
+    assert decoded.instructions == program.instructions
+
+
+class TestStorageAccounting:
+    def test_sharing_stats_reflect_real_bytes(self, loop_kernel, small_config):
+        """The §IV-A storage estimate is the right order of magnitude against
+        the actual binary encoding."""
+        from repro.ctxback import share_routines
+        from repro.mechanisms import make_mechanism
+
+        prepared = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        stats = share_routines(prepared.plans)
+        unique = {
+            id(plan.preempt_routine): plan.preempt_routine
+            for plan in prepared.plans.values()
+        }
+        real_bytes = sum(encoded_size(p) for p in unique.values())
+        assert 0.3 * stats.shared_bytes <= real_bytes <= 3 * stats.shared_bytes

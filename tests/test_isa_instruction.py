@@ -1,0 +1,130 @@
+"""Instruction construction, implicit effects, programs and kernels."""
+
+import pytest
+
+from repro.isa import (
+    EXEC,
+    Imm,
+    Instruction,
+    Kernel,
+    Label,
+    Program,
+    SCC,
+    inst,
+    parse,
+    sreg,
+    vreg,
+)
+
+
+class TestInstruction:
+    def test_inst_helper_splits_by_arity(self):
+        i = inst("v_add", vreg(1), vreg(2), vreg(3))
+        assert i.dsts == (vreg(1),)
+        assert i.srcs == (vreg(2), vreg(3))
+
+    def test_int_promotes_to_imm(self):
+        i = inst("v_add", vreg(1), vreg(2), 7)
+        assert i.srcs[1] == Imm(7)
+
+    def test_str_promotes_to_label(self):
+        i = inst("s_branch", "LOOP")
+        assert i.srcs[0] == Label("LOOP")
+        assert i.branch_target == "LOOP"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            inst("v_add", vreg(1), vreg(2))
+
+    def test_non_register_dst_rejected(self):
+        with pytest.raises(TypeError):
+            Instruction("v_add", (Imm(1),), (vreg(2), vreg(3)))  # type: ignore
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(KeyError):
+            inst("v_frobnicate", vreg(0))
+
+    def test_uses_include_implicit_exec(self):
+        i = inst("v_add", vreg(1), vreg(2), 3)
+        assert EXEC in i.uses()
+        assert vreg(2) in i.uses()
+
+    def test_scalar_uses_exclude_exec(self):
+        i = inst("s_add", sreg(1), sreg(2), 3)
+        assert EXEC not in i.uses()
+
+    def test_compare_defs_scc(self):
+        i = inst("s_cmp_lt", sreg(1), sreg(2))
+        assert SCC in i.defs()
+        assert i.dsts == ()
+
+    def test_cbranch_uses_scc(self):
+        program = parse("LOOP:\n s_cbranch_scc1 LOOP")
+        assert SCC in program.instructions[0].uses()
+
+    def test_src_regs_filters_immediates(self):
+        i = inst("v_mad", vreg(1), vreg(2), 3, vreg(4))
+        assert i.src_regs == (vreg(2), vreg(4))
+
+    def test_str_rendering(self):
+        assert str(inst("v_add", vreg(1), vreg(2), 0x10)) == "v_add v1, v2, 0x10"
+        assert str(inst("s_endpgm")) == "s_endpgm"
+
+
+class TestProgram:
+    def test_labels_and_targets(self):
+        program = Program()
+        program.add_label("TOP")
+        program.append(inst("s_nop"))
+        assert program.target_index("TOP") == 0
+        assert program.labels_at(0) == ["TOP"]
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.add_label("A")
+        with pytest.raises(ValueError):
+            program.add_label("A")
+
+    def test_undefined_target_raises(self):
+        program = Program()
+        with pytest.raises(KeyError):
+            program.target_index("NOPE")
+
+    def test_validate_catches_dangling_branch(self):
+        program = Program([inst("s_branch", "GONE")])
+        with pytest.raises(ValueError, match="GONE"):
+            program.validate()
+
+    def test_validate_catches_out_of_range_label(self):
+        program = Program([inst("s_nop")], {"X": 5})
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_used_registers(self):
+        program = parse("v_add v1, v2, s3")
+        used = program.used_registers()
+        assert {vreg(1), vreg(2), sreg(3), EXEC} <= used
+
+    def test_copy_is_independent(self):
+        program = parse("s_nop")
+        clone = program.copy()
+        clone.append(inst("s_nop"))
+        assert len(program) == 1 and len(clone) == 2
+
+
+class TestKernel:
+    def test_kernel_checks_register_budget(self):
+        program = parse("v_add v9, v1, v2\ns_endpgm")
+        with pytest.raises(ValueError, match="v9"):
+            Kernel("k", program, vgprs_used=8, sgprs_used=4)
+
+    def test_kernel_checks_scalar_budget(self):
+        program = parse("s_add s9, s1, s2\ns_endpgm")
+        with pytest.raises(ValueError, match="s9"):
+            Kernel("k", program, vgprs_used=4, sgprs_used=8)
+
+    def test_display_name_prefers_abbrev(self):
+        program = parse("s_endpgm")
+        k = Kernel("long_name", program, 1, 1, abbrev="LN")
+        assert k.display_name == "LN"
+        assert Kernel("plain", program, 1, 1).display_name == "plain"

@@ -1,0 +1,116 @@
+"""Opcode table integrity and reversibility metadata."""
+
+import pytest
+
+from repro.isa import OPCODES, MemKind, OpClass, ReversibilityModel, opspec
+
+
+class TestTableIntegrity:
+    def test_lookup_known(self):
+        assert opspec("v_add").opclass is OpClass.VALU
+        assert opspec("s_add").opclass is OpClass.SALU
+
+    def test_lookup_unknown_raises_keyerror_with_name(self):
+        with pytest.raises(KeyError, match="v_bogus"):
+            opspec("v_bogus")
+
+    def test_every_vector_alu_reads_exec(self):
+        for name, spec in OPCODES.items():
+            if spec.opclass is OpClass.VALU:
+                assert spec.reads_exec, name
+
+    def test_scalar_alu_never_reads_exec(self):
+        for name, spec in OPCODES.items():
+            if spec.opclass is OpClass.SALU:
+                assert not spec.reads_exec, name
+
+    def test_compares_write_scc(self):
+        for cc in ("lt", "le", "eq", "ne", "gt", "ge"):
+            assert opspec(f"s_cmp_{cc}").writes_scc
+
+    def test_conditional_branches_read_scc(self):
+        assert opspec("s_cbranch_scc1").reads_scc
+        assert opspec("s_cbranch_scc0").reads_scc
+        assert not opspec("s_branch").reads_scc
+
+    def test_terminators(self):
+        for name in ("s_branch", "s_cbranch_scc0", "s_cbranch_scc1", "s_endpgm"):
+            assert opspec(name).is_terminator, name
+        assert not opspec("v_add").is_terminator
+
+    def test_memory_classification(self):
+        assert opspec("global_load").is_load
+        assert opspec("global_store").is_store
+        assert opspec("lds_read").is_load
+        assert opspec("lds_write").is_store
+        assert opspec("ctx_store_v").is_store
+        assert opspec("ctx_load_v").is_load
+
+    def test_lds_does_not_touch_global_memory(self):
+        assert not opspec("lds_read").touches_global_memory
+        assert not opspec("lds_write").touches_global_memory
+        assert opspec("ctx_store_v").touches_global_memory
+
+    def test_scalar_vector_variants_paired(self):
+        for base in ("add", "sub", "mul", "xor", "and", "or", "mov", "lshl"):
+            assert f"s_{base}" in OPCODES and f"v_{base}" in OPCODES
+
+    def test_operand_counts_sane(self):
+        for name, spec in OPCODES.items():
+            assert spec.n_dst >= 0 and spec.n_src >= 0, name
+            if spec.opclass in (OpClass.SALU, OpClass.VALU):
+                assert spec.n_dst == 1 or name.startswith("s_cmp"), name
+
+
+class TestRevertSpecs:
+    def test_add_reversible_both_positions(self):
+        spec = opspec("v_add")
+        assert set(spec.revert) == {0, 1}
+        assert spec.revert[0].inv_mnemonic == "v_sub"
+
+    def test_sub_reversible_with_asymmetric_patterns(self):
+        spec = opspec("v_sub")
+        assert spec.revert[0].pattern == ("new", "other")  # a = r' + b
+        assert spec.revert[0].inv_mnemonic == "v_add"
+        assert spec.revert[1].pattern == ("other", "new")  # b = a - r'
+        assert spec.revert[1].inv_mnemonic == "v_sub"
+
+    def test_xor_self_inverse(self):
+        spec = opspec("v_xor")
+        assert spec.revert[0].inv_mnemonic == "v_xor"
+
+    def test_not_unary_inverse(self):
+        spec = opspec("v_not")
+        assert spec.revert[0].pattern == ("new",)
+
+    def test_mul_not_reversible(self):
+        assert not opspec("v_mul").revert
+
+    def test_float_ops_never_reversible(self):
+        for base in ("addf", "subf", "mulf", "madf"):
+            assert not opspec(f"v_{base}").revert, base
+
+    def test_lshl_paper_only(self):
+        spec = opspec("v_lshl")
+        assert spec.revert[0].paper_only
+        assert spec.revert[0].inv_mnemonic == "v_lshr"
+
+    def test_scalar_inverse_stays_scalar(self):
+        assert opspec("s_add").revert[0].inv_mnemonic == "s_sub"
+
+    def test_inverse_mnemonics_exist(self):
+        for name, spec in OPCODES.items():
+            for rev in spec.revert.values():
+                assert rev.inv_mnemonic in OPCODES, name
+
+
+class TestReversibilityModel:
+    def test_exact_rejects_paper_only(self):
+        rule = opspec("v_lshl").revert[0]
+        assert not ReversibilityModel.EXACT.allows(rule)
+        assert ReversibilityModel.PAPER.allows(rule)
+
+    def test_both_allow_exact_rules(self):
+        rule = opspec("v_add").revert[0]
+        assert ReversibilityModel.EXACT.allows(rule)
+        assert ReversibilityModel.PAPER.allows(rule)

@@ -1,0 +1,116 @@
+"""Operand-kind validation: hand cases + audits of all generated code."""
+
+import pytest
+
+from repro.isa import EXEC, Kernel, inst, parse, sreg, vreg
+from repro.isa.validator import (
+    assert_valid,
+    validate_instruction,
+    validate_kernel,
+    validate_program,
+)
+
+
+class TestInstructionKinds:
+    def test_clean_valu(self):
+        assert validate_instruction(inst("v_add", vreg(1), vreg(2), sreg(3))) == []
+
+    def test_clean_salu(self):
+        assert validate_instruction(inst("s_add", sreg(1), sreg(2), 3)) == []
+
+    def test_salu_rejects_vector_src(self):
+        problems = validate_instruction(inst("s_add", sreg(1), vreg(2), 3))
+        assert problems and "scalar" in problems[0]
+
+    def test_salu_rejects_vector_dst(self):
+        problems = validate_instruction(inst("s_mov", vreg(1), sreg(2)))
+        assert problems
+
+    def test_valu_rejects_scalar_dst(self):
+        problems = validate_instruction(inst("v_mov", sreg(1), vreg(2)))
+        assert problems and "dst" in problems[0]
+
+    def test_load_address_must_be_vector(self):
+        problems = validate_instruction(inst("global_load", vreg(1), sreg(2), 0))
+        assert problems and "src0" in problems[0]
+
+    def test_load_offset_must_be_imm(self):
+        problems = validate_instruction(
+            inst("global_load", vreg(1), vreg(2), vreg(3))
+        )
+        assert problems and "src1" in problems[0]
+
+    def test_store_data_must_be_vector(self):
+        problems = validate_instruction(
+            inst("global_store", vreg(1), sreg(2), 0)
+        )
+        assert problems
+
+    def test_ctx_store_s_accepts_special(self):
+        assert validate_instruction(inst("ctx_store_s", EXEC, 0)) == []
+
+    def test_ctx_store_v_rejects_scalar(self):
+        problems = validate_instruction(inst("ctx_store_v", sreg(1), 0))
+        assert problems
+
+    def test_branch_requires_label(self):
+        assert validate_instruction(inst("s_branch", "LOOP")) == []
+        # a label where a value belongs
+        problems = validate_instruction(inst("v_mov", vreg(1), "LOOP"))
+        assert problems and "label" in problems[0]
+
+    def test_s_load_scalar_address(self):
+        assert validate_instruction(inst("s_load", sreg(1), sreg(2), 0)) == []
+        assert validate_instruction(inst("s_load", sreg(1), vreg(2), 0))
+
+
+class TestProgramAndKernel:
+    def test_positions_reported(self):
+        program = parse("s_nop\ns_add s1, v2, 3\ns_endpgm")
+        problems = validate_program(program)
+        assert problems and problems[0].startswith("@1:")
+
+    def test_lds_declaration_consistency(self):
+        with_lds_no_use = Kernel(
+            "k", parse("s_endpgm"), 4, 4, lds_bytes=256
+        )
+        assert validate_kernel(with_lds_no_use)
+        use_without_decl = Kernel(
+            "k2", parse("lds_read v1, v2, 0\ns_endpgm"), 4, 4
+        )
+        assert validate_kernel(use_without_decl)
+
+    def test_assert_valid_raises_with_details(self):
+        kernel = Kernel("bad", parse("s_add s1, v2, 3\ns_endpgm"), 4, 4)
+        with pytest.raises(ValueError, match="bad"):
+            assert_valid(kernel)
+
+
+class TestAudits:
+    """The validator as an invariant over everything the repo generates."""
+
+    def test_all_benchmark_kernels_are_well_typed(self):
+        from repro.kernels import SUITE
+
+        for key, bench in SUITE.items():
+            for warp_size in (8, 64):
+                assert_valid(bench.build(warp_size))
+
+    @pytest.mark.parametrize("mechanism", ["baseline", "live", "csdefer", "ctxback"])
+    def test_generated_routines_are_well_typed(self, loop_kernel, small_config, mechanism):
+        from repro.mechanisms import make_mechanism
+
+        prepared = make_mechanism(mechanism).prepare(loop_kernel, small_config)
+        for plan in prepared.plans.values():
+            assert validate_program(plan.preempt_routine) == []
+            assert validate_program(plan.resume_routine) == []
+
+    def test_osrb_instrumented_kernels_are_well_typed(self):
+        from repro.ctxback.osrb import apply_osrb
+        from repro.isa import RegisterFileSpec
+        from repro.kernels import SUITE
+
+        spec = RegisterFileSpec(warp_size=64)
+        for bench in SUITE.values():
+            instrumented, _ = apply_osrb(bench.build(64), spec)
+            assert_valid(instrumented)

@@ -1,0 +1,129 @@
+"""Benchmark suite: resource budgets vs Table I, functional execution."""
+
+import pytest
+
+from repro.isa import RegisterFileSpec, RegKind
+from repro.kernels import SUITE, TABLE1, all_keys, benchmark
+from repro.sim import GPUConfig, run_reference
+
+VEGA = RegisterFileSpec(warp_size=64)
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(SUITE) == 12
+        assert all_keys() == sorted(SUITE)
+
+    def test_table1_rows_complete(self):
+        assert set(TABLE1) == set(SUITE)
+        for row in TABLE1.values():
+            assert row.preempt_us > 0 and row.resume_us > 0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("nope")
+
+
+@pytest.mark.parametrize("key", sorted(SUITE))
+class TestResourceBudgets:
+    def test_vector_kb_matches_table1(self, key):
+        bench = SUITE[key]
+        kernel = bench.build(64)
+        allocated_kb = (
+            VEGA.allocated_vgprs(kernel.vgprs_used) * VEGA.vgpr_bytes_each / 1024
+        )
+        # MS is the one entry whose Table I figure (10.5 KB = 42 regs) is not
+        # a multiple of the 4-register allocation granule
+        tolerance = 0.6 if key == "ms" else 0.01
+        assert allocated_kb == pytest.approx(bench.table1.vector_kb, abs=tolerance)
+
+    def test_lds_matches_table1(self, key):
+        kernel = SUITE[key].build(64)
+        assert kernel.lds_bytes / 1024 == pytest.approx(
+            SUITE[key].table1.shared_kb, abs=0.06
+        )
+
+    def test_program_within_declared_budget(self, key):
+        kernel = SUITE[key].build(64)
+        assert kernel.program.max_reg_index(RegKind.VECTOR) < kernel.vgprs_used
+        assert kernel.program.max_reg_index(RegKind.SCALAR) < kernel.sgprs_used
+
+    def test_kernel_has_loop(self, key):
+        kernel = SUITE[key].build(64)
+        assert "LOOP" in kernel.program.labels
+
+    def test_buildable_at_small_warp_sizes(self, key):
+        for warp_size in (4, 8, 16):
+            kernel = SUITE[key].build(warp_size)
+            kernel.program.validate()
+
+
+@pytest.mark.parametrize("key", sorted(SUITE))
+class TestFunctional:
+    def test_runs_to_completion_and_writes_output(self, key):
+        config = GPUConfig.small(warp_size=8)
+        launch = SUITE[key].launch(warp_size=8, iterations=6, num_warps=2)
+        result = run_reference(launch.spec(), config)
+        assert result.cycles > 0
+        from repro.kernels import OUT_BASE
+
+        out = result.memory.load_array(OUT_BASE, 16)
+        assert out.any(), "kernel produced no output"
+
+    def test_deterministic(self, key):
+        config = GPUConfig.small(warp_size=8)
+        launch = SUITE[key].launch(warp_size=8, iterations=6, num_warps=2)
+        a = run_reference(launch.spec(), config)
+        b = run_reference(launch.spec(), config)
+        assert a.memory == b.memory
+        assert a.cycles == b.cycles
+
+    def test_iterations_scale_work(self, key):
+        config = GPUConfig.small(warp_size=8)
+        short = run_reference(
+            SUITE[key].launch(warp_size=8, iterations=4, num_warps=1).spec(), config
+        )
+        long = run_reference(
+            SUITE[key].launch(warp_size=8, iterations=8, num_warps=1).spec(), config
+        )
+        assert long.sm.stats.issued > short.sm.stats.issued
+
+
+class TestLiveVariety:
+    def test_low_pressure_kernels_have_low_floors(self):
+        """VA/RELU collapse to a handful of live registers at the loop edge
+        (paper: their 'rapid and drastic variety' is why they reduce most)."""
+        from repro.compiler import analyze_liveness, build_cfg
+
+        for key in ("va", "relu"):
+            kernel = SUITE[key].build(64)
+            cfg = build_cfg(kernel.program)
+            liveness = analyze_liveness(kernel.program, cfg)
+            loop = cfg.block_at(kernel.program.target_index("LOOP"))
+            floor = min(
+                sum(1 for r in liveness.live_in[p] if r.kind is RegKind.VECTOR)
+                for p in loop.positions()
+            )
+            assert floor <= 6, key
+
+    def test_km_floor_is_high(self):
+        """KM's cached centroids keep the floor high (paper: CTXBack decays
+        towards LIVE on KM)."""
+        from repro.compiler import analyze_liveness, build_cfg
+
+        kernel = SUITE["km"].build(64)
+        cfg = build_cfg(kernel.program)
+        liveness = analyze_liveness(kernel.program, cfg)
+        loop = cfg.block_at(kernel.program.target_index("LOOP"))
+        floor = min(
+            sum(1 for r in liveness.live_in[p] if r.kind is RegKind.VECTOR)
+            for p in loop.positions()
+        )
+        assert floor >= 16
+
+    def test_hs_context_dominated_by_lds(self):
+        from repro.ctxback import baseline_context_bytes, lds_share_bytes
+
+        kernel = SUITE["hs"].build(64)
+        lds = lds_share_bytes(kernel)
+        assert lds / baseline_context_bytes(kernel, VEGA) > 0.6

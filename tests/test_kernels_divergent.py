@@ -1,0 +1,86 @@
+"""Divergent extension workloads: functional semantics + exhaustive
+preempt-anywhere verification under every mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.divergent import (
+    DIVERGENT_WORKLOADS,
+    launch_masked_accumulate,
+    launch_sparse_relu,
+)
+from repro.mechanisms import ALL_MECHANISMS, make_mechanism
+from repro.sim import GPUConfig, run_preemption_experiment, run_reference
+
+CONFIG = GPUConfig.small(warp_size=8)
+
+
+class TestFunctional:
+    def test_sparse_relu_merges_lanes(self):
+        launch = launch_sparse_relu(warp_size=8, iterations=4, num_warps=1)
+        result = run_reference(launch.spec(), CONFIG)
+        from repro.kernels import A_BASE, OUT_BASE
+
+        xs = result.memory.load_array(A_BASE, 8).view(np.float32)
+        out = result.memory.load_array(OUT_BASE, 8).view(np.float32)
+        for lane in range(8):
+            expected = xs[lane] * 0.125 if lane % 2 == 0 else xs[lane]
+            assert out[lane] == pytest.approx(expected), lane
+
+    def test_masked_accumulate_only_low_half(self):
+        launch = launch_masked_accumulate(warp_size=8, iterations=4, num_warps=1)
+        result = run_reference(launch.spec(), CONFIG)
+        from repro.kernels import OUT_BASE
+
+        # last stored accumulator: low half accumulated, high half still 0
+        last = result.memory.load_array(OUT_BASE + 3 * 8 * 4, 8)
+        assert all(last[:4] > 0)
+        assert all(last[4:] == 0)
+
+    def test_warp_size_limit_enforced(self):
+        with pytest.raises(ValueError, match="32-bit"):
+            launch_sparse_relu(warp_size=64)
+
+    def test_masked_mov_gets_fresh_value_identity(self):
+        """The copy-propagation regression: a masked v_mov is a merge."""
+        from repro.compiler import (
+            build_cfg,
+            number_region,
+            partial_exec_positions,
+        )
+        from repro.kernels.divergent import build_sparse_relu
+
+        kernel = build_sparse_relu(8)
+        program = kernel.program
+        partial = partial_exec_positions(program, build_cfg(program))
+        masked_movs = [
+            pos
+            for pos in partial
+            if program.instructions[pos].mnemonic == "v_mov"
+        ]
+        assert masked_movs
+        loop = program.target_index("LOOP")
+        region = number_region(
+            program, loop, len(program.instructions), partial_exec=partial
+        )
+        for pos in masked_movs:
+            src_value = region.use_values_at(pos)[0]
+            dst_value = region.def_values_at(pos)[0]
+            assert dst_value is not src_value
+
+
+@pytest.mark.parametrize("workload", sorted(DIVERGENT_WORKLOADS))
+@pytest.mark.parametrize("mechanism", sorted(ALL_MECHANISMS))
+def test_preempt_every_loop_offset(workload, mechanism):
+    _build, launch_fn = DIVERGENT_WORKLOADS[workload]
+    launch = launch_fn(warp_size=8, iterations=6, num_warps=2)
+    n = len(launch.kernel.program.instructions)
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, CONFIG)
+    failures = []
+    for dyn in range(2 * n, 3 * n + 2):
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=dyn, resume_gap=100
+        )
+        if not result.verified:
+            failures.append(dyn)
+    assert not failures, failures

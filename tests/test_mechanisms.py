@@ -1,0 +1,195 @@
+"""The six mechanisms' compiler sides: plan structure and invariants."""
+
+import pytest
+
+from repro.ctxback import META_BYTES, baseline_context_bytes, live_context_bytes_at
+from repro.mechanisms import ALL_MECHANISMS, make_mechanism
+
+
+@pytest.fixture(params=["baseline", "live", "csdefer", "ctxback", "combined"])
+def routine_prepared(request, loop_kernel, small_config):
+    return make_mechanism(request.param).prepare(loop_kernel, small_config)
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(ALL_MECHANISMS) == {
+            "baseline", "live", "ckpt", "csdefer", "ctxback", "combined",
+        }
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            make_mechanism("nope")
+
+    def test_instances_carry_name(self):
+        for name in ALL_MECHANISMS:
+            assert make_mechanism(name).name == name
+
+
+class TestPlanInvariants:
+    def test_plan_for_every_position(self, routine_prepared):
+        n = len(routine_prepared.kernel.program.instructions)
+        assert set(routine_prepared.plans) == set(range(n))
+
+    def test_resume_pc_in_program(self, routine_prepared):
+        n = len(routine_prepared.kernel.program.instructions)
+        for plan in routine_prepared.plans.values():
+            assert 0 <= plan.resume_pc < n
+
+    def test_context_includes_meta(self, routine_prepared):
+        for plan in routine_prepared.plans.values():
+            assert plan.context_bytes >= META_BYTES
+
+    def test_routines_are_straight_line(self, routine_prepared):
+        for plan in routine_prepared.plans.values():
+            for instruction in plan.preempt_routine.instructions:
+                assert not instruction.spec.is_branch
+            for instruction in plan.resume_routine.instructions:
+                assert not instruction.spec.is_branch
+
+
+class TestBaseline:
+    def test_context_is_full_allocation(self, loop_kernel, small_config):
+        prepared = make_mechanism("baseline").prepare(loop_kernel, small_config)
+        expected = baseline_context_bytes(loop_kernel, small_config.rf_spec)
+        assert all(
+            plan.context_bytes == expected for plan in prepared.plans.values()
+        )
+
+    def test_position_independent(self, loop_kernel, small_config):
+        prepared = make_mechanism("baseline").prepare(loop_kernel, small_config)
+        sizes = {plan.context_bytes for plan in prepared.plans.values()}
+        assert len(sizes) == 1
+
+    def test_routines_shared_across_positions(self, loop_kernel, small_config):
+        prepared = make_mechanism("baseline").prepare(loop_kernel, small_config)
+        routines = {id(plan.preempt_routine) for plan in prepared.plans.values()}
+        assert len(routines) == 1
+
+
+class TestLive:
+    def test_matches_live_context_accounting(self, loop_kernel, small_config):
+        prepared = make_mechanism("live").prepare(loop_kernel, small_config)
+        for n, plan in prepared.plans.items():
+            assert plan.context_bytes == live_context_bytes_at(
+                loop_kernel, n, small_config.rf_spec
+            )
+
+    def test_never_exceeds_baseline(self, loop_kernel, small_config):
+        base = baseline_context_bytes(loop_kernel, small_config.rf_spec)
+        prepared = make_mechanism("live").prepare(loop_kernel, small_config)
+        assert all(plan.context_bytes <= base for plan in prepared.plans.values())
+
+
+class TestCsDefer:
+    def test_defers_within_block(self, loop_kernel, small_config):
+        from repro.compiler import build_cfg
+
+        prepared = make_mechanism("csdefer").prepare(loop_kernel, small_config)
+        cfg = build_cfg(loop_kernel.program)
+        for n, plan in prepared.plans.items():
+            block = cfg.block_at(n)
+            assert n <= plan.resume_pc < block.end
+
+    def test_never_defers_across_terminator(self, loop_kernel, small_config):
+        prepared = make_mechanism("csdefer").prepare(loop_kernel, small_config)
+        for n, plan in prepared.plans.items():
+            target = plan.resume_pc
+            window = loop_kernel.program.instructions[n:target]
+            assert not any(i.spec.is_branch for i in window)
+
+    def test_prefix_matches_deferred_window(self, loop_kernel, small_config):
+        prepared = make_mechanism("csdefer").prepare(loop_kernel, small_config)
+        for n, plan in prepared.plans.items():
+            window = plan.resume_pc - n
+            prefix = plan.preempt_routine.instructions[:window]
+            assert prefix == list(loop_kernel.program.instructions[n : n + window])
+
+
+class TestCtxBack:
+    def test_never_worse_than_live(self, loop_kernel, small_config):
+        ctx = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        for n, plan in ctx.plans.items():
+            live_bytes = live_context_bytes_at(
+                ctx.kernel, n, small_config.rf_spec
+            )
+            assert plan.context_bytes <= live_bytes, n
+
+    def test_flashback_not_after_signal(self, loop_kernel, small_config):
+        prepared = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        for n, plan in prepared.plans.items():
+            assert plan.flashback_pos is not None and plan.flashback_pos <= n
+
+    def test_resume_pc_is_signal_position(self, loop_kernel, small_config):
+        prepared = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        assert all(plan.resume_pc == n for n, plan in prepared.plans.items())
+
+
+class TestCombined:
+    def test_picks_elementwise_best_estimate(self, loop_kernel, small_config):
+        combined = make_mechanism("combined").prepare(loop_kernel, small_config)
+        ctx = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        defer = make_mechanism("csdefer").prepare(ctx.kernel, small_config)
+        for n, plan in combined.plans.items():
+            best = min(
+                ctx.plans[n].est_preempt_cycles, defer.plans[n].est_preempt_cycles
+            )
+            assert plan.est_preempt_cycles == best
+
+    def test_mechanism_labels_preserved(self, loop_kernel, small_config):
+        combined = make_mechanism("combined").prepare(loop_kernel, small_config)
+        labels = {plan.mechanism for plan in combined.plans.values()}
+        assert labels <= {"ctxback", "csdefer"}
+
+
+class TestCkpt:
+    def test_probe_per_block(self, loop_kernel, small_config):
+        from repro.compiler import build_cfg
+
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        cfg = build_cfg(loop_kernel.program)
+        nonempty = [b for b in cfg.blocks if len(b)]
+        assert len(prepared.ckpt_sites) == len(nonempty)
+
+    def test_probe_at_min_live_position(self, loop_kernel, small_config):
+        from repro.compiler import analyze_liveness, build_cfg
+        from repro.ctxback import regs_bytes
+
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        liveness = analyze_liveness(loop_kernel.program)
+        cfg = build_cfg(loop_kernel.program)
+        for site in prepared.ckpt_sites.values():
+            block = cfg.blocks[site.probe_id]
+            best = min(
+                regs_bytes(liveness.live_in[pos], small_config.rf_spec)
+                for pos in block.positions()
+            )
+            assert regs_bytes(site.live_regs, small_config.rf_spec) == best
+
+    def test_is_checkpoint_based(self, loop_kernel, small_config):
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        assert prepared.is_checkpoint_based
+        assert prepared.plans == {}
+
+    def test_instrumented_program_has_probes(self, loop_kernel, small_config):
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        probes = [
+            i
+            for i in prepared.kernel.program.instructions
+            if i.mnemonic == "ckpt_probe"
+        ]
+        assert len(probes) == len(prepared.ckpt_sites)
+
+
+class TestStaticStats:
+    def test_context_bytes_by_position(self, loop_kernel, small_config):
+        prepared = make_mechanism("live").prepare(loop_kernel, small_config)
+        sizes = prepared.context_bytes_by_position()
+        assert len(sizes) == len(loop_kernel.program.instructions)
+        assert prepared.mean_context_bytes() == pytest.approx(
+            sum(sizes) / len(sizes)
+        )
+
+    def test_ckpt_stats_use_checkpoint_size(self, loop_kernel, small_config):
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        assert prepared.mean_context_bytes() > 0

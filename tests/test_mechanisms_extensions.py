@@ -1,0 +1,177 @@
+"""SM-flushing, SM-draining and Chimera (paper §II-B / §VI extensions)."""
+
+import pytest
+
+from repro.isa import Kernel, parse
+from repro.kernels import SUITE
+from repro.mechanisms import (
+    Chimera,
+    ChimeraPolicy,
+    EXTENSION_MECHANISMS,
+    FlushNotIdempotent,
+    expected_dyn_for,
+    make_mechanism,
+)
+from repro.sim import GPUConfig, run_preemption_experiment
+
+CONFIG = GPUConfig.small(warp_size=8)
+
+
+@pytest.fixture(scope="module")
+def mm_setup():
+    bench = SUITE["mm"]
+    launch = bench.launch(warp_size=8, iterations=8, num_warps=2)
+    n = len(launch.kernel.program.instructions)
+    return launch, n
+
+
+class TestFlush:
+    def test_registered(self):
+        assert "flush" in EXTENSION_MECHANISMS
+
+    def test_near_zero_latency_and_full_replay(self, mm_setup):
+        launch, n = mm_setup
+        prepared = make_mechanism("flush").prepare(launch.kernel, CONFIG)
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=3 * n + 5, resume_gap=300
+        )
+        assert result.verified
+        live = make_mechanism("live").prepare(launch.kernel, CONFIG)
+        live_result = run_preemption_experiment(
+            launch.spec(), live, CONFIG, signal_dyn=3 * n + 5, resume_gap=300
+        )
+        # instant release, but all progress is wasted on resume
+        assert result.mean_latency < live_result.mean_latency
+        assert result.mean_resume > live_result.mean_resume
+
+    def test_rejects_aliasing_kernels(self):
+        kernel = Kernel(
+            "aliasing",
+            parse(
+                """
+                global_load v1, v2, 0
+                v_add v1, v1, 1
+                global_store v2, v1, 0
+                s_endpgm
+                """
+            ),
+            8,
+            8,
+            noalias=False,
+        )
+        with pytest.raises(FlushNotIdempotent):
+            make_mechanism("flush").prepare(kernel, CONFIG)
+
+    def test_accepts_store_only_kernels(self):
+        kernel = Kernel(
+            "store_only",
+            parse("v_mov v1, 7\nglobal_store v2, v1, 0\ns_endpgm"),
+            8,
+            8,
+            noalias=False,
+        )
+        make_mechanism("flush").prepare(kernel, CONFIG)  # no raise
+
+
+class TestDrain:
+    def test_zero_resume_and_context(self, mm_setup):
+        launch, n = mm_setup
+        prepared = make_mechanism("drain").prepare(launch.kernel, CONFIG)
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=3 * n + 5, resume_gap=300
+        )
+        assert result.verified
+        for m in result.measurements:
+            assert m.resume_cycles == 0
+            assert m.context_bytes == 0
+
+    def test_latency_is_remaining_execution(self, mm_setup):
+        launch, n = mm_setup
+        expected = expected_dyn_for(launch.kernel, 8)
+        prepared = make_mechanism("drain").prepare(launch.kernel, CONFIG)
+        early = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=n, resume_gap=300
+        )
+        late = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=expected - 30,
+            resume_gap=300,
+        )
+        # the earlier the signal, the longer the wait for completion
+        assert early.mean_latency > late.mean_latency
+
+
+class TestChimeraPolicy:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ChimeraPolicy(flush_below=0.9, drain_above=0.1)
+
+    def test_three_way_choice(self):
+        policy = ChimeraPolicy(flush_below=0.2, drain_above=0.8)
+        assert policy.choose(0.05) == "drop"
+        assert policy.choose(0.5) == "switch"
+        assert policy.choose(0.95) == "drain"
+
+    def test_expected_dyn_counts_loop_iterations(self):
+        kernel = SUITE["va"].build(8)
+        once = expected_dyn_for(kernel, 1)
+        twice = expected_dyn_for(kernel, 2)
+        loop_len = twice - once
+        assert loop_len > 0
+        assert expected_dyn_for(kernel, 10) == once + 9 * loop_len
+
+    def test_expected_dyn_requires_positive(self):
+        with pytest.raises(ValueError):
+            Chimera(expected_dyn=0)
+
+
+class TestChimeraIntegration:
+    @pytest.fixture(scope="class")
+    def chimera(self, mm_setup):
+        launch, _ = mm_setup
+        expected = expected_dyn_for(launch.kernel, 8)
+        return Chimera(expected_dyn=expected).prepare(launch.kernel, CONFIG), expected
+
+    def test_early_signal_flushes(self, mm_setup, chimera):
+        launch, _ = mm_setup
+        prepared, _expected = chimera
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=3, resume_gap=200
+        )
+        assert result.verified
+        assert all(m.context_bytes <= 16 for m in result.measurements)
+
+    def test_mid_signal_context_switches(self, mm_setup, chimera):
+        launch, n = mm_setup
+        prepared, expected = chimera
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=expected // 2,
+            resume_gap=200,
+        )
+        assert result.verified
+        # a real CTXBack context was saved
+        assert all(m.context_bytes > 100 for m in result.measurements)
+        assert all(m.flashback_pos is not None for m in result.measurements)
+
+    def test_late_signal_drains(self, mm_setup, chimera):
+        launch, _ = mm_setup
+        prepared, expected = chimera
+        result = run_preemption_experiment(
+            launch.spec(), prepared, CONFIG, signal_dyn=expected - 15,
+            resume_gap=200,
+        )
+        assert result.verified
+        assert all(m.resume_cycles == 0 for m in result.measurements)
+
+    def test_latency_never_exceeds_pure_baseline(self, mm_setup, chimera):
+        """Chimera's whole point: bounded waiting at every progress point."""
+        launch, n = mm_setup
+        prepared, expected = chimera
+        baseline = make_mechanism("baseline").prepare(launch.kernel, CONFIG)
+        for dyn in (3, expected // 2, expected - 15):
+            chi = run_preemption_experiment(
+                launch.spec(), prepared, CONFIG, signal_dyn=dyn, resume_gap=200
+            )
+            base = run_preemption_experiment(
+                launch.spec(), baseline, CONFIG, signal_dyn=dyn, resume_gap=200
+            )
+            assert chi.mean_latency <= base.mean_latency * 1.05, dyn

@@ -1,0 +1,98 @@
+"""Property-based cross-checks of the compiler analyses.
+
+Liveness is validated against an independent brute-force definition; value
+numbering against a concrete interpreter of register states.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import analyze_liveness, number_region
+from repro.isa import Imm, Instruction, inst, vreg
+from repro.isa.instruction import Program
+
+REGS = list(range(6))
+
+_BINARY = ["v_add", "v_sub", "v_mul", "v_xor", "v_and", "v_or", "v_min", "v_max"]
+
+
+@st.composite
+def straight_line_programs(draw):
+    length = draw(st.integers(1, 20))
+    body = []
+    for _ in range(length):
+        dst = vreg(draw(st.sampled_from(REGS)))
+        if draw(st.booleans()):
+            a = vreg(draw(st.sampled_from(REGS)))
+            b = (
+                vreg(draw(st.sampled_from(REGS)))
+                if draw(st.booleans())
+                else Imm(draw(st.integers(0, 255)))
+            )
+            body.append(inst(draw(st.sampled_from(_BINARY)), dst, a, b))
+        else:
+            src = (
+                vreg(draw(st.sampled_from(REGS)))
+                if draw(st.booleans())
+                else Imm(draw(st.integers(0, 255)))
+            )
+            body.append(inst("v_mov", dst, src))
+    body.append(inst("s_endpgm"))
+    return Program(body)
+
+
+def brute_force_live_in(program, position):
+    """A register is live-in at *position* iff some later instruction reads
+    it before any later instruction writes it (straight-line definition)."""
+    live = set()
+    candidates = set()
+    for instruction in program.instructions:
+        candidates.update(instruction.uses())
+    for reg in candidates:
+        for instruction in program.instructions[position:]:
+            if reg in instruction.uses():
+                live.add(reg)
+                break
+            if reg in instruction.defs():
+                break
+    return live
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=straight_line_programs())
+def test_liveness_matches_brute_force(program):
+    liveness = analyze_liveness(program)
+    for position in range(len(program.instructions)):
+        assert set(liveness.live_in[position]) == brute_force_live_in(
+            program, position
+        ), position
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=straight_line_programs())
+def test_value_numbering_matches_symbolic_interpreter(program):
+    """Interpreting the region with value tokens reproduces use/def values."""
+    region = number_region(program, 0, len(program.instructions))
+    state = dict(region.entry)
+    for position, instruction in enumerate(program.instructions):
+        expected_uses = tuple(
+            state.setdefault(reg, region.entry[reg]) for reg in instruction.uses()
+        )
+        assert region.use_values_at(position) == expected_uses, position
+        for reg, value in zip(instruction.defs(), region.def_values_at(position)):
+            state[reg] = value
+    # end state agrees with the interpreter
+    for reg, value in region.end_state.items():
+        assert state[reg] is value
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=straight_line_programs())
+def test_every_value_killed_at_most_once_per_position(program):
+    region = number_region(program, 0, len(program.instructions))
+    for value, kills in region.kills_of.items():
+        positions = [(kill.pos, kill.slot) for kill in kills]
+        assert len(positions) == len(set(positions)), value
+        for kill in kills:
+            # the killed value really was the pre-state of that destination
+            assert region.pre_def_values_at(kill.pos)[kill.slot] is value

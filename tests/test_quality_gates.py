@@ -1,0 +1,103 @@
+"""Repo-level quality gates: docs, determinism across configurations,
+analyzer scalability."""
+
+import importlib
+import inspect
+import pkgutil
+import time
+
+import pytest
+
+import repro
+
+
+def _public_members(module):
+    for name in getattr(module, "__all__", []):
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+def test_every_public_api_item_is_documented():
+    """Every name a package exports carries a docstring."""
+    undocumented = []
+    for package_name in ("isa", "compiler", "ctxback", "mechanisms", "sim",
+                         "kernels", "analysis"):
+        module = importlib.import_module(f"repro.{package_name}")
+        for name, member in _public_members(module):
+            if not (member.__doc__ or "").strip():
+                undocumented.append(f"repro.{package_name}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert not missing, missing
+
+
+class TestWarpSizeInvariance:
+    """Normalized context conclusions should not hinge on the lane count."""
+
+    def test_fig7_ordering_stable_across_warp_sizes(self):
+        from repro.analysis import fig7_context_size
+        from repro.sim import GPUConfig
+
+        small = fig7_context_size(
+            config=GPUConfig.small(8), keys=("mm", "va"), iterations=6
+        )
+        large = fig7_context_size(keys=("mm", "va"), iterations=6)
+        for small_row, large_row in zip(small.rows, large.rows):
+            for mechanism in ("live", "ctxback"):
+                assert small_row.normalized[mechanism] < 1.0
+                assert large_row.normalized[mechanism] < 1.0
+            # ordering preserved at both scales
+            assert (
+                small_row.normalized["ctxback"]
+                <= small_row.normalized["live"] + 1e-9
+            )
+            assert (
+                large_row.normalized["ctxback"]
+                <= large_row.normalized["live"] + 1e-9
+            )
+
+
+class TestAnalyzerScalability:
+    def test_plan_all_on_largest_kernel_is_fast(self):
+        """The O(K·N²)-ish candidate search stays interactive on the
+        biggest benchmark kernel."""
+        from repro.ctxback import CtxBackConfig, FlashbackAnalyzer
+        from repro.kernels import SUITE
+        from repro.isa import RegisterFileSpec
+
+        kernel = max(
+            (bench.build(64) for bench in SUITE.values()),
+            key=lambda k: len(k.program.instructions),
+        )
+        start = time.perf_counter()
+        analyzer = FlashbackAnalyzer(
+            kernel, CtxBackConfig(rf_spec=RegisterFileSpec(warp_size=64))
+        )
+        plans = analyzer.plan_all()
+        elapsed = time.perf_counter() - start
+        assert len(plans) == len(kernel.program.instructions)
+        assert elapsed < 30.0, f"analysis took {elapsed:.1f}s"
+
+
+class TestDeterminism:
+    def test_prepare_is_deterministic(self, loop_kernel, small_config):
+        from repro.isa import encode_program
+        from repro.mechanisms import make_mechanism
+
+        a = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        b = make_mechanism("ctxback").prepare(loop_kernel, small_config)
+        for n in a.plans:
+            assert encode_program(a.plans[n].preempt_routine) == encode_program(
+                b.plans[n].preempt_routine
+            )
+            assert encode_program(a.plans[n].resume_routine) == encode_program(
+                b.plans[n].resume_routine
+            )

@@ -1,0 +1,271 @@
+"""Functional semantics of every opcode class."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import EXEC, SCC, Imm, inst, parse, sreg, vreg
+from repro.isa.instruction import Program
+from repro.sim import DeviceMemory, Executor, LDSBlock, WarpState
+
+WARP = 4
+
+
+def make_warp(**kwargs):
+    return WarpState(num_vregs=16, num_sregs=16, warp_size=WARP, **kwargs)
+
+
+def run_one(instruction, warp=None, memory=None, lds=None):
+    warp = warp or make_warp()
+    memory = memory or DeviceMemory(1 << 16)
+    Executor(memory, lds).execute(Program([instruction]), warp, instruction)
+    return warp, memory
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 0xFFFFFFFF
+        warp.vregs[2, :] = 2
+        run_one(inst("v_add", vreg(0), vreg(1), vreg(2)), warp)
+        assert (warp.vregs[0] == 1).all()
+
+    def test_sub_wraps(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 1
+        run_one(inst("v_sub", vreg(0), vreg(1), 3), warp)
+        assert (warp.vregs[0] == 0xFFFFFFFE).all()
+
+    def test_mul_low_bits(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 0x10001
+        run_one(inst("v_mul", vreg(0), vreg(1), vreg(1)), warp)
+        assert (warp.vregs[0] == (0x10001 * 0x10001) & 0xFFFFFFFF).all()
+
+    def test_mulhi(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 0x80000000
+        run_one(inst("v_mulhi", vreg(0), vreg(1), 4), warp)
+        assert (warp.vregs[0] == 2).all()
+
+    def test_mad(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 3
+        warp.vregs[2, :] = 5
+        warp.vregs[3, :] = 7
+        run_one(inst("v_mad", vreg(0), vreg(1), vreg(2), vreg(3)), warp)
+        assert (warp.vregs[0] == 22).all()
+
+    def test_shifts_mask_amount(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 1
+        run_one(inst("v_lshl", vreg(0), vreg(1), 33), warp)  # 33 & 31 == 1
+        assert (warp.vregs[0] == 2).all()
+
+    def test_not(self):
+        warp = make_warp()
+        warp.vregs[1, :] = 0x0F0F0F0F
+        run_one(inst("v_not", vreg(0), vreg(1)), warp)
+        assert (warp.vregs[0] == 0xF0F0F0F0).all()
+
+    def test_scalar_broadcast_operand(self):
+        warp = make_warp()
+        warp.sregs[2] = 100
+        warp.vregs[1, :] = np.arange(WARP)
+        run_one(inst("v_add", vreg(0), vreg(1), sreg(2)), warp)
+        assert list(warp.vregs[0]) == [100, 101, 102, 103]
+
+    @given(
+        a=st.integers(0, 0xFFFFFFFF),
+        b=st.integers(0, 0xFFFFFFFF),
+        base=st.sampled_from(["add", "sub", "mul", "xor", "and", "or", "min", "max"]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_scalar_matches_python_model(self, a, b, base):
+        import operator
+
+        models = {
+            "add": lambda x, y: (x + y) & 0xFFFFFFFF,
+            "sub": lambda x, y: (x - y) & 0xFFFFFFFF,
+            "mul": lambda x, y: (x * y) & 0xFFFFFFFF,
+            "xor": operator.xor,
+            "and": operator.and_,
+            "or": operator.or_,
+            "min": min,
+            "max": max,
+        }
+        warp = make_warp()
+        warp.sregs[1], warp.sregs[2] = a, b
+        run_one(inst(f"s_{base}", sreg(0), sreg(1), sreg(2)), warp)
+        assert warp.sregs[0] == models[base](a, b)
+
+
+class TestFloatAlu:
+    def test_addf(self):
+        warp = make_warp()
+        warp.vregs[1, :] = np.float32(1.5).view(np.uint32)
+        warp.vregs[2, :] = np.float32(2.25).view(np.uint32)
+        run_one(inst("v_addf", vreg(0), vreg(1), vreg(2)), warp)
+        assert (warp.vregs[0].view(np.float32) == 3.75).all()
+
+    def test_madf(self):
+        warp = make_warp()
+        for index, value in ((1, 2.0), (2, 3.0), (3, 0.5)):
+            warp.vregs[index, :] = np.float32(value).view(np.uint32)
+        run_one(inst("v_madf", vreg(0), vreg(1), vreg(2), vreg(3)), warp)
+        assert (warp.vregs[0].view(np.float32) == 6.5).all()
+
+    def test_maxf_with_zero_imm(self):
+        warp = make_warp()
+        warp.vregs[1, :] = np.float32(-2.0).view(np.uint32)
+        run_one(inst("v_maxf", vreg(0), vreg(1), 0), warp)
+        assert (warp.vregs[0].view(np.float32) == 0.0).all()
+
+
+class TestExecMask:
+    def test_masked_lanes_unchanged(self):
+        warp = make_warp()
+        warp.vregs[0, :] = 99
+        warp.vregs[1, :] = 1
+        warp.exec_mask[:] = [True, False, True, False]
+        run_one(inst("v_mov", vreg(0), vreg(1)), warp)
+        assert list(warp.vregs[0]) == [1, 99, 1, 99]
+
+    def test_exec_roundtrip_as_scalar(self):
+        warp = make_warp()
+        warp.exec_mask[:] = [True, False, True, True]
+        bits = warp.get_scalar(EXEC)
+        assert bits == 0b1101
+        warp.set_scalar(EXEC, 0b0110)
+        assert list(warp.exec_mask) == [False, True, True, False]
+
+    def test_store_respects_exec(self):
+        warp = make_warp()
+        warp.vregs[1, :] = [0, 4, 8, 12]
+        warp.vregs[2, :] = 7
+        warp.exec_mask[:] = [True, False, False, True]
+        _, memory = run_one(inst("global_store", vreg(1), vreg(2), 0), warp)
+        assert memory.load_word(0) == 7
+        assert memory.load_word(4) == 0
+        assert memory.load_word(12) == 7
+
+
+class TestControlFlow:
+    def test_cmp_sets_scc(self):
+        warp = make_warp()
+        warp.sregs[1], warp.sregs[2] = 3, 5
+        run_one(inst("s_cmp_lt", sreg(1), sreg(2)), warp)
+        assert warp.scc == 1
+        run_one(inst("s_cmp_ge", sreg(1), sreg(2)), warp)
+        assert warp.scc == 0
+
+    def test_branch_taken_and_not(self):
+        program = parse("LOOP:\n s_nop\n s_cbranch_scc1 LOOP\n s_endpgm")
+        warp = make_warp()
+        executor = Executor(DeviceMemory(1 << 12))
+        warp.pc = 1
+        warp.scc = 1
+        executor.execute(program, warp, program.instructions[1])
+        assert warp.pc == 0
+        warp.pc = 1
+        warp.scc = 0
+        executor.execute(program, warp, program.instructions[1])
+        assert warp.pc == 2
+
+    def test_endpgm_jumps_past_end(self):
+        program = parse("s_endpgm\ns_nop")
+        warp = make_warp()
+        Executor(DeviceMemory(1 << 12)).execute(
+            program, warp, program.instructions[0]
+        )
+        assert warp.pc == 2
+
+
+class TestMemoryOps:
+    def test_gather_load(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_array(0x100, np.array([5, 6, 7, 8], dtype=np.uint32))
+        warp = make_warp()
+        warp.vregs[1, :] = [0x100, 0x104, 0x108, 0x10C]
+        run_one(inst("global_load", vreg(0), vreg(1), 0), warp, memory)
+        assert list(warp.vregs[0]) == [5, 6, 7, 8]
+
+    def test_load_offset(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_word(0x110, 42)
+        warp = make_warp()
+        warp.vregs[1, :] = 0x100
+        run_one(inst("global_load", vreg(0), vreg(1), 0x10), warp, memory)
+        assert (warp.vregs[0] == 42).all()
+
+    def test_s_load(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_word(0x80, 77)
+        warp = make_warp()
+        warp.sregs[2] = 0x80
+        run_one(inst("s_load", sreg(1), sreg(2), 0), warp, memory)
+        assert warp.sregs[1] == 77
+
+    def test_lds_roundtrip(self):
+        lds = LDSBlock(64)
+        warp = make_warp()
+        warp.vregs[1, :] = [0, 4, 8, 12]
+        warp.vregs[2, :] = [10, 11, 12, 13]
+        run_one(inst("lds_write", vreg(1), vreg(2), 0), warp, lds=lds)
+        run_one(inst("lds_read", vreg(3), vreg(1), 0), warp, lds=lds)
+        assert list(warp.vregs[3]) == [10, 11, 12, 13]
+
+    def test_lds_without_block_raises(self):
+        warp = make_warp()
+        with pytest.raises(Exception, match="LDS"):
+            run_one(inst("lds_read", vreg(0), vreg(1), 0), warp)
+
+
+class TestContextOps:
+    def test_vector_save_restore_ignores_exec(self):
+        warp = make_warp()
+        warp.vregs[1, :] = [1, 2, 3, 4]
+        warp.exec_mask[:] = [True, False, False, False]
+        run_one(inst("ctx_store_v", vreg(1), 0), warp)
+        warp.vregs[1, :] = 0
+        run_one(inst("ctx_load_v", vreg(1), 0), warp)
+        assert list(warp.vregs[1]) == [1, 2, 3, 4]
+
+    def test_scalar_slot_broadcasts_into_vector(self):
+        warp = make_warp()
+        warp.sregs[3] = 55
+        run_one(inst("ctx_store_s", sreg(3), 0x20), warp)
+        run_one(inst("ctx_load_v", vreg(2), 0x20), warp)
+        assert (warp.vregs[2] == 55).all()
+
+    def test_exec_and_scc_slots(self):
+        warp = make_warp()
+        warp.exec_mask[:] = [False, True, False, True]
+        warp.scc = 1
+        run_one(inst("ctx_store_s", EXEC, 0), warp)
+        run_one(inst("ctx_store_s", SCC, 8), warp)
+        warp.exec_mask[:] = True
+        warp.scc = 0
+        run_one(inst("ctx_load_s", EXEC, 0), warp)
+        run_one(inst("ctx_load_s", SCC, 8), warp)
+        assert list(warp.exec_mask) == [False, True, False, True]
+        assert warp.scc == 1
+
+    def test_lds_snapshot_roundtrip(self):
+        lds = LDSBlock(32)
+        lds.store(0, 123)
+        warp = make_warp()
+        run_one(inst("ctx_store_lds", 32), warp, lds=lds)
+        lds.store(0, 0)
+        run_one(inst("ctx_load_lds", 32), warp, lds=lds)
+        assert lds.load(0) == 123
+
+    def test_ctx_traffic_flags(self):
+        warp = make_warp()
+        memory = DeviceMemory(1 << 12)
+        instruction = inst("ctx_store_v", vreg(1), 0)
+        traffic = Executor(memory).execute(
+            Program([instruction]), warp, instruction
+        )
+        assert traffic.is_ctx and traffic.nbytes == 4 * WARP

@@ -1,0 +1,120 @@
+"""Device memory (functional) and the bandwidth/latency pipeline (timing)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DeviceMemory, MemoryPipeline
+
+
+class TestDeviceMemory:
+    def test_unwritten_reads_zero(self):
+        assert DeviceMemory(1 << 12).load_word(0x100) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_word(0x10, 0xDEADBEEF)
+        assert memory.load_word(0x10) == 0xDEADBEEF
+
+    def test_values_wrap_32_bits(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_word(0, 0x1_0000_0002)
+        assert memory.load_word(0) == 2
+
+    def test_unaligned_rejected(self):
+        memory = DeviceMemory(1 << 12)
+        with pytest.raises(ValueError, match="unaligned"):
+            memory.load_word(0x3)
+
+    def test_out_of_range_rejected(self):
+        memory = DeviceMemory(1 << 12)
+        with pytest.raises(ValueError):
+            memory.store_word(1 << 13, 1)
+
+    def test_array_roundtrip(self):
+        memory = DeviceMemory(1 << 12)
+        data = np.arange(16, dtype=np.uint32)
+        memory.store_array(0x40, data)
+        assert np.array_equal(memory.load_array(0x40, 16), data)
+
+    def test_gather_respects_mask(self):
+        memory = DeviceMemory(1 << 12)
+        memory.store_array(0, np.array([10, 20, 30, 40], dtype=np.uint32))
+        addrs = np.array([0, 4, 8, 12], dtype=np.uint64)
+        mask = np.array([True, False, True, False])
+        out = memory.gather(addrs, mask)
+        assert list(out) == [10, 0, 30, 0]
+
+    def test_scatter_respects_mask(self):
+        memory = DeviceMemory(1 << 12)
+        addrs = np.array([0, 4], dtype=np.uint64)
+        memory.scatter(addrs, np.array([7, 8], dtype=np.uint64),
+                       np.array([True, False]))
+        assert memory.load_word(0) == 7 and memory.load_word(4) == 0
+
+    def test_gather_out_of_range_rejected(self):
+        memory = DeviceMemory(1 << 12)
+        with pytest.raises(ValueError):
+            memory.gather(np.array([1 << 20], dtype=np.uint64), np.array([True]))
+
+    def test_equality_semantics(self):
+        a, b = DeviceMemory(1 << 12), DeviceMemory(1 << 12)
+        assert a == b
+        a.store_word(0, 1)
+        assert a != b
+        b.store_word(0, 1)
+        assert a == b
+
+    def test_equality_across_sizes_ignores_zero_tail(self):
+        a, b = DeviceMemory(1 << 12), DeviceMemory(1 << 13)
+        assert a == b
+        b.store_word(1 << 12, 5)  # beyond a's range
+        assert a != b
+
+
+class TestMemoryPipeline:
+    def test_completion_includes_latency(self):
+        pipe = MemoryPipeline(bytes_per_cycle=4, latency=100)
+        assert pipe.request(0, 16) == 4 + 100
+
+    def test_bandwidth_serializes_requests(self):
+        pipe = MemoryPipeline(bytes_per_cycle=4, latency=0)
+        first = pipe.request(0, 40)  # busy until 10
+        second = pipe.request(0, 40)  # queues behind
+        assert first == 10 and second == 20
+
+    def test_idle_port_starts_at_now(self):
+        pipe = MemoryPipeline(bytes_per_cycle=4, latency=0)
+        pipe.request(0, 4)
+        assert pipe.request(100, 4) == 101
+
+    def test_ctx_uses_slow_rate_and_overhead(self):
+        pipe = MemoryPipeline(
+            bytes_per_cycle=8, latency=0, ctx_bytes_per_cycle=1,
+            ctx_request_overhead=5,
+        )
+        assert pipe.request(0, 8, is_ctx=True) == 8 + 5
+        assert pipe.request(100, 8) == 101  # streaming unaffected
+
+    def test_ctx_load_speedup(self):
+        pipe = MemoryPipeline(
+            bytes_per_cycle=8, latency=0, ctx_bytes_per_cycle=1,
+            ctx_load_speedup=2.0,
+        )
+        store = pipe.request(0, 16, is_ctx=True, kind="ctx_store") - 0
+        load = pipe.request(1000, 16, is_ctx=True, kind="ctx_load") - 1000
+        assert load < store
+
+    def test_stats_accumulate(self):
+        pipe = MemoryPipeline(bytes_per_cycle=4, latency=0)
+        pipe.request(0, 8, kind="load")
+        pipe.request(0, 8, kind="load")
+        assert pipe.total_bytes == 16
+        assert pipe.total_requests == 2
+        assert pipe.stats_by_kind["load"] == 16
+
+    def test_contention_between_ctx_and_streaming(self):
+        # a big slow ctx transfer delays a later streaming request: the
+        # paper's routines contend with other thread blocks' traffic
+        pipe = MemoryPipeline(bytes_per_cycle=8, latency=0, ctx_bytes_per_cycle=1)
+        pipe.request(0, 64, is_ctx=True)  # busy until 64
+        assert pipe.request(1, 8) == 65
