@@ -4,17 +4,33 @@ Environment knobs:
 
 * ``REPRO_BENCH_KEYS``  — comma-separated benchmark subset (default: all 12);
 * ``REPRO_BENCH_SAMPLES`` — signal points per kernel for the timing sweeps
-  (default 3; the paper effectively averages over arbitrary signal points).
+  (default 3; the paper effectively averages over arbitrary signal points);
+* ``REPRO_JOBS``        — worker processes for the experiment engine
+  (default 1: serial, in-process);
+* ``REPRO_CACHE_DIR``/``REPRO_CACHE`` — artifact-cache location / kill
+  switch (see :mod:`repro.analysis.cache`).
 
 Every bench prints the regenerated table (run with ``-s`` to see it inline)
 and asserts the paper's *shape*: who wins and by roughly what factor.
+
+Each bench's wall time, engine worker count and cache hit/miss delta are
+recorded and written to ``BENCH_engine.json`` in the repo root at session
+end, so cold-vs-warm cache runs can be compared (see the CI smoke job and
+``benchmarks/engine_smoke.py``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
+
+BENCH_REPORT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+_records: list[dict] = []
 
 
 def bench_keys() -> list[str] | None:
@@ -36,3 +52,43 @@ def keys():
 @pytest.fixture(scope="session")
 def samples():
     return bench_samples()
+
+
+@pytest.fixture(autouse=True)
+def _engine_timing(request):
+    """Record wall time + artifact-cache traffic for every bench."""
+    from repro.analysis import default_jobs, get_cache
+
+    cache = get_cache()
+    before = cache.stats.snapshot()
+    started = time.perf_counter()
+    yield
+    wall = time.perf_counter() - started
+    delta = cache.stats.delta(before)
+    _records.append(
+        {
+            "bench": request.node.name,
+            "wall_s": round(wall, 3),
+            "jobs": default_jobs(),
+            "cache": delta.as_dict(),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _records:
+        return
+    lookups = sum(r["cache"]["hits"] + r["cache"]["misses"] for r in _records)
+    hits = sum(r["cache"]["hits"] for r in _records)
+    report = {
+        "keys": bench_keys(),
+        "samples": bench_samples(),
+        "jobs": _records[0]["jobs"],
+        "total_wall_s": round(sum(r["wall_s"] for r in _records), 3),
+        "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "benches": _records,
+    }
+    try:
+        BENCH_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    except OSError:
+        pass

@@ -1,0 +1,91 @@
+"""Cold-then-warm smoke benchmark for the experiment engine.
+
+Runs the headline sweep (Table I + Figs. 7-10 inputs) on a small kernel
+subset three times:
+
+1. **cold / serial** — fresh cache, ``jobs=1``;
+2. **cold / parallel** — another fresh cache, ``jobs=N`` (process pool);
+3. **warm** — re-run against run 2's cache, ``jobs=1`` (pure cache loads).
+
+and writes a timing JSON with the measured speedups.  CI runs this on two
+kernels and uploads the JSON as an artifact; it is also the quickest local
+sanity check that the engine, the cache and the figure drivers agree:
+the three runs must produce identical headline numbers.
+
+Usage::
+
+    python benchmarks/engine_smoke.py --keys mm,km --jobs 4 \
+        --output BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import tempfile
+import time
+from pathlib import Path
+
+
+def run_once(keys, samples, jobs, cache_root):
+    from repro.analysis import ExperimentEngine, configure_cache, headline
+
+    configure_cache(root=cache_root, enabled=True)
+    engine = ExperimentEngine(jobs)
+    started = time.perf_counter()
+    result = headline(keys=keys, samples=samples, engine=engine)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "jobs": engine.jobs,
+        "units": engine.report.units,
+        "headline": dataclasses.asdict(result),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", default="mm,km",
+                        help="comma-separated kernel subset (default mm,km)")
+    parser.add_argument("--samples", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the cold/parallel run")
+    parser.add_argument("--output", default="BENCH_smoke.json")
+    args = parser.parse_args(argv)
+    keys = [k for k in args.keys.split(",") if k]
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp = Path(tmp)
+        cold_serial = run_once(keys, args.samples, 1, tmp / "a")
+        cold_parallel = run_once(keys, args.samples, args.jobs, tmp / "b")
+        # fresh ArtifactCache on run 2's root: warm hits come from disk
+        warm = run_once(keys, args.samples, 1, tmp / "b")
+
+    identical = (
+        cold_serial["headline"] == cold_parallel["headline"] == warm["headline"]
+    )
+    report = {
+        "keys": keys,
+        "samples": args.samples,
+        "cold_serial": cold_serial,
+        "cold_parallel": cold_parallel,
+        "warm": warm,
+        "parallel_speedup": round(
+            cold_serial["wall_s"] / max(cold_parallel["wall_s"], 1e-9), 2
+        ),
+        "warm_speedup": round(
+            cold_serial["wall_s"] / max(warm["wall_s"], 1e-9), 2
+        ),
+        "results_identical": identical,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not identical:
+        print("ERROR: serial, parallel and warm runs disagree")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

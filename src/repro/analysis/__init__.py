@@ -1,5 +1,14 @@
 """Experiment drivers and reporting for the paper's evaluation (§V)."""
 
+from .cache import ArtifactCache, configure_cache, get_cache
+from .engine import (
+    EngineReport,
+    ExperimentEngine,
+    default_jobs,
+    experiment_profile_for,
+    reference_cycles_for,
+    resolve_jobs,
+)
 from .experiments import (
     ABLATION_VARIANTS,
     HeadlineResult,
@@ -32,13 +41,22 @@ from .report import (
 
 __all__ = [
     "ABLATION_VARIANTS",
+    "ArtifactCache",
+    "EngineReport",
+    "ExperimentEngine",
     "FigureData",
     "HeadlineResult",
     "KernelRow",
     "MECHANISMS",
     "Table1Result",
     "ablation_techniques",
+    "configure_cache",
+    "default_jobs",
     "dynamic_pc_weights",
+    "experiment_profile_for",
+    "get_cache",
+    "reference_cycles_for",
+    "resolve_jobs",
     "fig7_context_size",
     "fig8_preemption_time",
     "fig9_resume_time",

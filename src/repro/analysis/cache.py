@@ -1,0 +1,310 @@
+"""Persistent, content-addressed artifact cache for experiment work.
+
+Every figure driver needs the same expensive intermediates — prepared
+kernels (the CTXBack compiler pass), dynamic-PC weight histograms, reference
+run profiles and preemption-experiment measurements.  All of them are
+deterministic functions of their inputs, so they are stored on disk keyed by
+a **content hash** of everything the computation depends on: the kernel's
+assembly text and resource declaration, the full :class:`GPUConfig`, the
+mechanism (and its :class:`CtxBackConfig`, where applicable), iteration
+count and a schema version.  Two presets that differ in *any* field — e.g.
+``radeon_vii`` vs ``radeon_vii_contended``, which share a warp size — can
+therefore never alias (the bug the old per-process dict keys had).
+
+Layout (default root ``~/.cache/repro``, override ``REPRO_CACHE_DIR``)::
+
+    <root>/<kind>/<sha256>.pkl     pickled artifact
+    <root>/stats.json              cumulative hit/miss counters (best effort)
+
+Entries are written atomically (temp file + ``os.replace``), so concurrent
+engine workers may race to create the same key but never corrupt it.
+Unreadable or truncated entries are deleted on access and counted as
+*invalidations*.  Set ``REPRO_CACHE=0`` to disable persistence (an
+in-memory layer still dedups within the process).
+
+``python -m repro cache`` prints the inventory and counters;
+``python -m repro cache --clear`` empties the store.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: bump when the pickled artifact representation or key layout changes;
+#: part of every content hash, so old entries are simply never hit again
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLED = "REPRO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get(_ENV_ENABLED, "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+# -- canonical content description ---------------------------------------------
+
+
+def canonical(value):
+    """JSON-representable canonical form of *value* for content hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache key")
+
+
+def describe_kernel(kernel) -> dict:
+    """Content description of a kernel: assembly text + resource footprint."""
+    from ..isa.assembler import serialize
+
+    return {
+        "asm": serialize(kernel.program),
+        "vgprs_used": kernel.vgprs_used,
+        "sgprs_used": kernel.sgprs_used,
+        "lds_bytes": kernel.lds_bytes,
+        "noalias": kernel.noalias,
+        "warps_per_block": kernel.warps_per_block,
+    }
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores, self.invalidations)
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - before.hits,
+            self.misses - before.misses,
+            self.stores - before.stores,
+            self.invalidations - before.invalidations,
+        )
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with an in-memory front."""
+
+    def __init__(
+        self, root: Path | str | None = None, enabled: bool | None = None
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = cache_enabled_by_env() if enabled is None else enabled
+        self.stats = CacheStats()
+        self._memory: dict[tuple[str, str], object] = {}
+
+    # -- keys -----------------------------------------------------------------
+
+    def key_for(self, kind: str, parts: dict) -> str:
+        payload = json.dumps(
+            {"schema": SCHEMA_VERSION, "kind": kind, "parts": canonical(parts)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / f"{digest}.pkl"
+
+    # -- store ----------------------------------------------------------------
+
+    def get(self, kind: str, digest: str):
+        """Returns (hit, value); the in-memory layer fronts the disk store."""
+        memory_key = (kind, digest)
+        if memory_key in self._memory:
+            self.stats.hits += 1
+            return True, self._memory[memory_key]
+        if self.enabled:
+            path = self._path(kind, digest)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                pass
+            except Exception:
+                # truncated/corrupt/incompatible entry: drop and recompute
+                self.stats.invalidations += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                self.stats.hits += 1
+                self._memory[memory_key] = value
+                return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, kind: str, digest: str, value) -> None:
+        self._memory[(kind, digest)] = value
+        self.stats.stores += 1
+        if not self.enabled:
+            return
+        path = self._path(kind, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: racing workers write identical bytes
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_create(self, kind: str, parts: dict, factory):
+        """The cache's main entry point: lookup by content, else compute."""
+        digest = self.key_for(kind, parts)
+        hit, value = self.get(kind, digest)
+        if hit:
+            return value
+        value = factory()
+        self.put(kind, digest, value)
+        return value
+
+    # -- maintenance -----------------------------------------------------------
+
+    def entries(self) -> dict[str, dict]:
+        """On-disk inventory: per-kind entry count and byte size."""
+        inventory: dict[str, dict] = {}
+        if not self.root.is_dir():
+            return inventory
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            files = list(kind_dir.glob("*.pkl"))
+            inventory[kind_dir.name] = {
+                "entries": len(files),
+                "bytes": sum(f.stat().st_size for f in files),
+            }
+        return inventory
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        self._memory.clear()
+        if self.root.is_dir():
+            for kind_dir in self.root.iterdir():
+                if not kind_dir.is_dir():
+                    continue
+                for entry in kind_dir.glob("*.pkl"):
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        self.stats.invalidations += removed
+        return removed
+
+    # -- cumulative counters ----------------------------------------------------
+
+    def flush_stats(self) -> None:
+        """Merge this process's counters into ``<root>/stats.json`` (best
+        effort: unlocked read-modify-write; used for the CLI's totals)."""
+        if not self.enabled:
+            return
+        current = self.stats
+        if not (current.hits or current.misses or current.stores):
+            return
+        path = self.root / "stats.json"
+        totals = {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
+        try:
+            totals.update(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            pass
+        totals["hits"] += current.hits
+        totals["misses"] += current.misses
+        totals["stores"] += current.stores
+        totals["invalidations"] += current.invalidations
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle)
+            os.replace(tmp, path)
+        except OSError:
+            return
+        self.stats = CacheStats()
+
+    def persisted_stats(self) -> dict:
+        path = self.root / "stats.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
+
+
+# -- process-wide singleton ------------------------------------------------------
+
+_CACHE: ArtifactCache | None = None
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache (created on first use; stats flushed atexit)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = ArtifactCache()
+        atexit.register(_CACHE.flush_stats)
+    return _CACHE
+
+
+def configure_cache(
+    root: Path | str | None = None, enabled: bool | None = None
+) -> ArtifactCache:
+    """Point the process at a different cache (tests, CLI, engine workers)."""
+    global _CACHE
+    _CACHE = ArtifactCache(root=root, enabled=enabled)
+    return _CACHE

@@ -1,0 +1,373 @@
+"""Parallel experiment engine: independent work units over the figure grid.
+
+Every figure/table of the evaluation decomposes into work units over
+``(kernel, mechanism, config, signal sample)`` — each unit prepares (or
+cache-loads) one kernel under one mechanism and runs one deterministic
+simulation.  Units share *no* mutable state: all cross-unit reuse flows
+through the content-addressed :mod:`~repro.analysis.cache`, so they are
+embarrassingly parallel (the PhoenixOS observation: independent
+checkpoint-style work units overlap freely).
+
+:class:`ExperimentEngine` fans units out with a
+``concurrent.futures.ProcessPoolExecutor``.  ``executor.map`` preserves
+input order and every unit is a pure function of its content-hashed inputs,
+so the merged results are **bit-identical** regardless of worker count or
+cache temperature; the figure drivers in
+:mod:`~repro.analysis.experiments` rely on that for the serial-vs-parallel
+equivalence guarantee.
+
+Worker count resolution: explicit ``jobs=`` argument, else the
+``REPRO_JOBS`` environment variable, else 1 (serial, in-process).  The CLI
+exposes ``--jobs`` on every experiment command.
+
+Artifact accessors (:func:`prepared_for`, :func:`weights_for`,
+:func:`reference_cycles_for`, :func:`experiment_profile_for`) live here and
+replace the per-process dict caches ``experiments.py`` used to keep: they
+key on the *full* content of kernel + configs, so presets sharing a warp
+size (``radeon_vii`` vs ``radeon_vii_contended``) can no longer alias.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..ctxback.flashback import CtxBackConfig
+from ..kernels.suite import SUITE
+from ..mechanisms import make_mechanism
+from ..mechanisms.base import PreparedKernel
+from ..mechanisms.ctxback import CtxBack
+from ..sim.config import GPUConfig
+from ..sim.gpu import run_preemption_experiment, run_reference
+from .cache import canonical, describe_kernel, get_cache
+from .metrics import dynamic_pc_weights, weighted_context_bytes
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (1 — serial — if unset/garbage)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: the explicit argument wins over the env."""
+    return max(1, jobs) if jobs is not None else default_jobs()
+
+
+# -- artifact accessors (cache-backed) -------------------------------------------
+
+
+def _resolved_iterations(key: str, iterations: int | None) -> int:
+    return iterations or SUITE[key].default_iterations
+
+
+def _launch(key: str, config: GPUConfig, iterations: int | None):
+    return SUITE[key].launch(
+        warp_size=config.warp_size,
+        iterations=_resolved_iterations(key, iterations),
+    )
+
+
+def _base_parts(key: str, config: GPUConfig, iterations: int | None) -> dict:
+    launch = _launch(key, config, iterations)
+    return {
+        "bench": key,
+        "kernel": describe_kernel(launch.kernel),
+        "config": canonical(config),
+        "iterations": _resolved_iterations(key, iterations),
+    }
+
+
+def _mechanism_parts(mechanism: str, ctx_config: CtxBackConfig | None) -> dict:
+    return {
+        "mechanism": mechanism,
+        "pass_config": canonical(ctx_config or CtxBackConfig()),
+    }
+
+
+def prepared_for(
+    key: str,
+    mechanism: str,
+    config: GPUConfig,
+    iterations: int | None = None,
+    ctx_config: CtxBackConfig | None = None,
+) -> PreparedKernel:
+    """Cached mechanism preparation for one benchmark kernel.
+
+    With *ctx_config* given, the CTXBack pass runs under that variant
+    configuration (the ablation study) instead of the mechanism registry's
+    defaults.
+    """
+    parts = _base_parts(key, config, iterations)
+    parts.update(_mechanism_parts(mechanism, ctx_config))
+
+    def build() -> PreparedKernel:
+        launch = _launch(key, config, iterations)
+        if ctx_config is not None:
+            return CtxBack(ctx_config).prepare(launch.kernel, config)
+        return make_mechanism(mechanism).prepare(launch.kernel, config)
+
+    return get_cache().get_or_create("prepared", parts, build)
+
+
+def weights_for(
+    key: str, config: GPUConfig, iterations: int | None = None
+) -> dict[int, int]:
+    """Cached dynamic PC histogram for one benchmark kernel."""
+    parts = _base_parts(key, config, iterations)
+
+    def build() -> dict[int, int]:
+        launch = _launch(key, config, iterations)
+        return dynamic_pc_weights(launch, config)
+
+    return get_cache().get_or_create("weights", parts, build)
+
+
+def reference_cycles_for(
+    key: str,
+    config: GPUConfig,
+    iterations: int | None = None,
+    mechanism: str | None = None,
+) -> int:
+    """Cached reference-run profile: cycles to completion, clean
+    (*mechanism* None) or with a mechanism's instrumentation active."""
+    parts = _base_parts(key, config, iterations)
+    parts["instrumented"] = (
+        _mechanism_parts(mechanism, None) if mechanism is not None else None
+    )
+
+    def build() -> int:
+        launch = _launch(key, config, iterations)
+        prepared = (
+            prepared_for(key, mechanism, config, iterations)
+            if mechanism is not None
+            else None
+        )
+        return run_reference(launch.spec(), config, prepared=prepared).cycles
+
+    return get_cache().get_or_create("reference", parts, build)
+
+
+def experiment_profile_for(
+    key: str,
+    mechanism: str,
+    config: GPUConfig,
+    iterations: int | None,
+    signal_dyn: int,
+    resume_gap: int,
+    verify: bool,
+) -> dict:
+    """Cached preemption-experiment profile for one signal sample."""
+    parts = _base_parts(key, config, iterations)
+    parts.update(_mechanism_parts(mechanism, None))
+    parts.update(
+        {"signal_dyn": signal_dyn, "resume_gap": resume_gap, "verify": verify}
+    )
+
+    def run() -> dict:
+        launch = _launch(key, config, iterations)
+        prepared = prepared_for(key, mechanism, config, iterations)
+        result = run_preemption_experiment(
+            launch.spec(),
+            prepared,
+            config,
+            signal_dyn=signal_dyn,
+            resume_gap=resume_gap,
+            verify=verify,
+        )
+        return {
+            "latency": result.mean_latency,
+            "resume": result.mean_resume,
+            "context_bytes": result.mean_context_bytes,
+            "verified": result.verified,
+        }
+
+    return get_cache().get_or_create("experiment", parts, run)
+
+
+# -- work units ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrepareUnit:
+    """Warm the prepared-kernel (and optionally weights) cache entries."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig
+    iterations: int | None = None
+
+    def run(self) -> bool:
+        prepared_for(self.key, self.mechanism, self.config, self.iterations)
+        return True
+
+
+@dataclass(frozen=True)
+class WeightsUnit:
+    key: str
+    config: GPUConfig
+    iterations: int | None = None
+
+    def run(self) -> dict[int, int]:
+        return weights_for(self.key, self.config, self.iterations)
+
+
+@dataclass(frozen=True)
+class ReferenceUnit:
+    key: str
+    config: GPUConfig
+    iterations: int | None = None
+    mechanism: str | None = None
+
+    def run(self) -> int:
+        return reference_cycles_for(
+            self.key, self.config, self.iterations, self.mechanism
+        )
+
+
+@dataclass(frozen=True)
+class ContextUnit:
+    """Execution-weighted context bytes of one (kernel, mechanism)."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig
+    iterations: int | None = None
+    ctx_config: CtxBackConfig | None = None
+
+    def run(self) -> float:
+        prepared = prepared_for(
+            self.key, self.mechanism, self.config, self.iterations, self.ctx_config
+        )
+        weights = weights_for(self.key, self.config, self.iterations)
+        return weighted_context_bytes(prepared, weights)
+
+
+@dataclass(frozen=True)
+class ExperimentUnit:
+    """One preemption experiment: (kernel, mechanism, signal sample)."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig
+    signal_dyn: int
+    resume_gap: int = 2000
+    iterations: int | None = None
+    verify: bool = False
+
+    def run(self) -> dict:
+        return experiment_profile_for(
+            self.key,
+            self.mechanism,
+            self.config,
+            self.iterations,
+            self.signal_dyn,
+            self.resume_gap,
+            self.verify,
+        )
+
+
+@dataclass(frozen=True)
+class OverheadUnit:
+    """Instrumentation overhead fraction of one (kernel, mechanism)."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig
+    iterations: int | None = None
+
+    def run(self) -> float:
+        clean = reference_cycles_for(self.key, self.config, self.iterations)
+        instrumented = reference_cycles_for(
+            self.key, self.config, self.iterations, self.mechanism
+        )
+        return (instrumented - clean) / clean
+
+
+def run_unit(unit):
+    """Module-level trampoline so units traverse the process pool."""
+    return unit.run()
+
+
+def _run_unit_counted(unit):
+    """Pool-side trampoline: ship the worker's cache traffic back with the
+    result (workers exit via ``os._exit``, so counters cannot be flushed
+    from an atexit hook)."""
+    stats = get_cache().stats
+    before = stats.snapshot()
+    result = unit.run()
+    delta = stats.delta(before)
+    return result, (delta.hits, delta.misses, delta.stores, delta.invalidations)
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+def _worker_init(cache_root, cache_enabled) -> None:
+    from .cache import configure_cache
+
+    configure_cache(root=cache_root, enabled=cache_enabled)
+
+
+@dataclass
+class EngineReport:
+    """Bookkeeping of one engine run (for BENCH_engine.json)."""
+
+    jobs: int = 1
+    units: int = 0
+    waves: int = 0
+    wall_s: float = 0.0
+    cache: dict = field(default_factory=dict)
+
+
+class ExperimentEngine:
+    """Fans independent work units out over a process pool.
+
+    ``jobs <= 1`` runs serially in-process; any other count uses a
+    ``ProcessPoolExecutor`` whose workers attach to the same on-disk
+    artifact cache.  Results always come back in submission order, so the
+    drivers' merges are deterministic and identical across worker counts.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.report = EngineReport(jobs=self.jobs)
+
+    def map(self, units: list) -> list:
+        started = time.perf_counter()
+        cache = get_cache()
+        stats_before = cache.stats.snapshot()
+        try:
+            if self.jobs <= 1 or len(units) <= 1:
+                return [unit.run() for unit in units]
+            workers = min(self.jobs, len(units))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(cache.root, cache.enabled),
+            ) as pool:
+                results = []
+                stats = cache.stats
+                for result, (hits, misses, stores, invalidations) in pool.map(
+                    _run_unit_counted, units, chunksize=1
+                ):
+                    results.append(result)
+                    # fold worker-side traffic into the parent's counters
+                    stats.hits += hits
+                    stats.misses += misses
+                    stats.stores += stores
+                    stats.invalidations += invalidations
+                return results
+        finally:
+            report = self.report
+            report.units += len(units)
+            report.waves += 1
+            report.wall_s += time.perf_counter() - started
+            report.cache = cache.stats.delta(stats_before).as_dict()

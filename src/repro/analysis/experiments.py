@@ -2,9 +2,17 @@
 
 Every driver returns a :class:`~repro.analysis.metrics.FigureData` (or a
 table-specific structure) so the report layer and the benchmark harness can
-render the same rows the paper plots.  Prepared kernels and reference
-profiles are cached per process — the CTXBack compiler pass is deterministic,
-so re-running a figure costs only the simulation sweeps.
+render the same rows the paper plots.
+
+Execution model: each driver decomposes into independent work units over
+``(kernel, mechanism, config, signal sample)`` and hands them to the
+:class:`~repro.analysis.engine.ExperimentEngine` (``jobs=`` argument,
+``REPRO_JOBS`` env, CLI ``--jobs``).  Expensive intermediates — prepared
+kernels, dynamic-PC weights, reference profiles, experiment measurements —
+persist in the content-addressed :mod:`~repro.analysis.cache`, so re-running
+a figure (or the CLI after the benchmarks) costs only cache loads.  Unit
+results are merged in a fixed (sorted-key × mechanism × sample) order, so
+figure rows are bit-identical across worker counts and cache temperature.
 
 Configurations:
 
@@ -22,24 +30,25 @@ from dataclasses import dataclass, field
 
 from ..ctxback.flashback import CtxBackConfig
 from ..kernels.suite import SUITE, Benchmark
-from ..mechanisms import make_mechanism
-from ..mechanisms.base import PreparedKernel
-from ..mechanisms.ctxback import CtxBack
 from ..sim.config import GPUConfig
-from ..sim.gpu import run_preemption_experiment, run_reference
-from .metrics import (
-    FigureData,
-    KernelRow,
-    dynamic_pc_weights,
-    kernel_baseline_bytes,
-    weighted_context_bytes,
+from .engine import (
+    ContextUnit,
+    ExperimentEngine,
+    ExperimentUnit,
+    OverheadUnit,
+    PrepareUnit,
+    ReferenceUnit,
+    WeightsUnit,
+    prepared_for,
+    weights_for,
 )
+from .metrics import FigureData, KernelRow, kernel_baseline_bytes
 
 MECHANISMS = ("baseline", "live", "ckpt", "csdefer", "ctxback", "combined")
 
-_prepared_cache: dict = {}
-_weights_cache: dict = {}
-_reference_cache: dict = {}
+
+def _engine(jobs: int | None, engine: ExperimentEngine | None) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine(jobs)
 
 
 def _launch(bench: Benchmark, config: GPUConfig, iterations: int | None):
@@ -47,31 +56,6 @@ def _launch(bench: Benchmark, config: GPUConfig, iterations: int | None):
         warp_size=config.warp_size,
         iterations=iterations or bench.default_iterations,
     )
-
-
-def prepared_for(
-    key: str, mechanism: str, config: GPUConfig, iterations: int | None = None
-) -> PreparedKernel:
-    """Cached mechanism preparation for one benchmark kernel."""
-    cache_key = (key, mechanism, config.warp_size, iterations)
-    if cache_key not in _prepared_cache:
-        bench = SUITE[key]
-        launch = _launch(bench, config, iterations)
-        _prepared_cache[cache_key] = make_mechanism(mechanism).prepare(
-            launch.kernel, config
-        )
-    return _prepared_cache[cache_key]
-
-
-def weights_for(key: str, config: GPUConfig, iterations: int | None = None):
-    """Cached dynamic PC histogram for one benchmark kernel."""
-    cache_key = (key, config.warp_size, iterations)
-    if cache_key not in _weights_cache:
-        bench = SUITE[key]
-        _weights_cache[cache_key] = dynamic_pc_weights(
-            _launch(bench, config, iterations), config
-        )
-    return _weights_cache[cache_key]
 
 
 def _signal_points(key: str, config: GPUConfig, samples: int, iterations=None):
@@ -103,25 +87,37 @@ def table1_experiment(
     config: GPUConfig | None = None,
     keys=None,
     iterations: int | None = None,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> Table1Result:
     """Per-kernel resources + BASELINE preemption/resume times (µs)."""
     config = config or GPUConfig.radeon_vii()
+    engine = _engine(jobs, engine)
+    keys = list(keys or sorted(SUITE))
+
+    engine.map(
+        [PrepareUnit(key, "baseline", config, iterations) for key in keys]
+    )
+    profiles = engine.map(
+        [
+            ExperimentUnit(
+                key,
+                "baseline",
+                config,
+                signal_dyn=3 * len(_launch(SUITE[key], config, iterations).kernel.program.instructions) + 7,
+                resume_gap=1000,
+                iterations=iterations,
+            )
+            for key in keys
+        ]
+    )
+
     result = Table1Result()
-    for key in keys or sorted(SUITE):
+    for key, profile in zip(keys, profiles):
         bench = SUITE[key]
         launch = _launch(bench, config, iterations)
         kernel = launch.kernel
         spec = config.rf_spec
-        prepared = prepared_for(key, "baseline", config, iterations)
-        n = len(kernel.program.instructions)
-        run = run_preemption_experiment(
-            launch.spec(),
-            prepared,
-            config,
-            signal_dyn=3 * n + 7,
-            resume_gap=1000,
-            verify=False,
-        )
         result.rows.append(
             {
                 "key": key,
@@ -131,8 +127,8 @@ def table1_experiment(
                 / 1024,
                 "scalar_kb": spec.allocated_sgprs(kernel.sgprs_used) * 4 / 1024,
                 "shared_kb": kernel.lds_bytes / 1024,
-                "preempt_us": config.cycles_to_us(run.mean_latency),
-                "resume_us": config.cycles_to_us(run.mean_resume),
+                "preempt_us": config.cycles_to_us(profile["latency"]),
+                "resume_us": config.cycles_to_us(profile["resume"]),
                 "paper": bench.table1,
             }
         )
@@ -147,22 +143,33 @@ def fig7_context_size(
     keys=None,
     mechanisms=("live", "ckpt", "csdefer", "ctxback", "combined"),
     iterations: int | None = None,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Normalized context size per kernel (BASELINE = 1); CKPT row is the
     paper's minimum-possible-size dash line."""
     config = config or GPUConfig.radeon_vii()
+    engine = _engine(jobs, engine)
+    keys = list(keys or sorted(SUITE))
+
+    # wave 1: one reference simulation per kernel (the PC histograms)
+    engine.map([WeightsUnit(key, config, iterations) for key in keys])
+    # wave 2: one compiler pass + weighting per (kernel, mechanism)
+    units = [
+        ContextUnit(key, mechanism, config, iterations)
+        for key in keys
+        for mechanism in mechanisms
+    ]
+    values = iter(engine.map(units))
+
     rows = []
-    for key in keys or sorted(SUITE):
+    for key in keys:
         bench = SUITE[key]
         launch = _launch(bench, config, iterations)
-        weights = weights_for(key, config, iterations)
         base = kernel_baseline_bytes(launch, config)
         row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
         for mechanism in mechanisms:
-            prepared = prepared_for(key, mechanism, config, iterations)
-            row.normalized[mechanism] = (
-                weighted_context_bytes(prepared, weights) / base
-            )
+            row.normalized[mechanism] = next(values) / base
         rows.append(row)
     return FigureData(title="Fig. 7: normalized context size", rows=rows)
 
@@ -177,35 +184,55 @@ def preemption_timing(
     samples: int = 3,
     iterations: int | None = None,
     verify: bool = False,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ):
     """Run the preemption sweeps once; returns (fig8, fig9) FigureData."""
     config = config or GPUConfig.radeon_vii_contended()
+    engine = _engine(jobs, engine)
+    keys = list(keys or sorted(SUITE))
+    points = {key: _signal_points(key, config, samples, iterations) for key in keys}
+
+    # wave 1: the compiler passes, one per (kernel, mechanism)
+    engine.map(
+        [
+            PrepareUnit(key, mechanism, config, iterations)
+            for key in keys
+            for mechanism in mechanisms
+        ]
+    )
+    # wave 2: one preemption experiment per (kernel, mechanism, sample)
+    units = [
+        ExperimentUnit(
+            key,
+            mechanism,
+            config,
+            signal_dyn=dyn,
+            resume_gap=2000,
+            iterations=iterations,
+            verify=verify,
+        )
+        for key in keys
+        for mechanism in mechanisms
+        for dyn in points[key]
+    ]
+    profiles = iter(engine.map(units))
+
     lat_rows, res_rows = [], []
-    for key in keys or sorted(SUITE):
+    for key in keys:
         bench = SUITE[key]
-        launch = _launch(bench, config, iterations)
-        spec = launch.spec()
-        points = _signal_points(key, config, samples, iterations)
         lat: dict[str, float] = {}
         res: dict[str, float] = {}
         for mechanism in mechanisms:
-            prepared = prepared_for(key, mechanism, config, iterations)
             lats, ress = [], []
-            for dyn in points:
-                run = run_preemption_experiment(
-                    spec,
-                    prepared,
-                    config,
-                    signal_dyn=dyn,
-                    resume_gap=2000,
-                    verify=verify,
-                )
-                if verify and not run.verified:
+            for dyn in points[key]:
+                profile = next(profiles)
+                if verify and not profile["verified"]:
                     raise AssertionError(
                         f"{key}/{mechanism}: functional verification failed"
                     )
-                lats.append(run.mean_latency)
-                ress.append(run.mean_resume)
+                lats.append(profile["latency"])
+                ress.append(profile["resume"])
             lat[mechanism] = statistics.mean(lats)
             res[mechanism] = statistics.mean(ress)
         lat_row = KernelRow(key, bench.table1.abbrev, lat["baseline"])
@@ -243,24 +270,31 @@ def fig10_runtime_overhead(
     keys=None,
     mechanisms=("ckpt", "ctxback"),
     iterations: int | None = None,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Runtime overhead of the instrumentation (no preemption delivered):
     CKPT's periodic checkpoint stores vs CTXBack's OSRB copies."""
     config = config or GPUConfig.radeon_vii_contended()
+    engine = _engine(jobs, engine)
+    keys = list(keys or sorted(SUITE))
+
+    # wave 1: clean reference profiles, one per kernel
+    cleans = engine.map([ReferenceUnit(key, config, iterations) for key in keys])
+    # wave 2: instrumented references, one per (kernel, mechanism)
+    units = [
+        OverheadUnit(key, mechanism, config, iterations)
+        for key in keys
+        for mechanism in mechanisms
+    ]
+    overheads = iter(engine.map(units))
+
     rows = []
-    for key in keys or sorted(SUITE):
+    for key, clean in zip(keys, cleans):
         bench = SUITE[key]
-        launch = _launch(bench, config, iterations)
-        spec = launch.spec()
-        cache_key = (key, config.warp_size, iterations, "clean")
-        if cache_key not in _reference_cache:
-            _reference_cache[cache_key] = run_reference(spec, config).cycles
-        clean = _reference_cache[cache_key]
         row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=clean)
         for mechanism in mechanisms:
-            prepared = prepared_for(key, mechanism, config, iterations)
-            instrumented = run_reference(spec, config, prepared=prepared).cycles
-            row.normalized[mechanism] = (instrumented - clean) / clean
+            row.normalized[mechanism] = next(overheads)
         rows.append(row)
     return FigureData(
         title="Fig. 10: runtime overhead (fraction of clean runtime)", rows=rows
@@ -282,13 +316,20 @@ class HeadlineResult:
 
 
 def headline(
-    keys=None, samples: int = 2, iterations: int | None = None
+    keys=None,
+    samples: int = 2,
+    iterations: int | None = None,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> HeadlineResult:
     """The abstract's numbers: context −61.0 % (1.09× min), preemption
     −63.1 %, resume −50.0 %, overhead 0.41 %."""
-    fig7 = fig7_context_size(keys=keys, iterations=iterations)
-    fig8, fig9 = preemption_timing(keys=keys, samples=samples, iterations=iterations)
-    fig10 = fig10_runtime_overhead(keys=keys, iterations=iterations)
+    engine = _engine(jobs, engine)
+    fig7 = fig7_context_size(keys=keys, iterations=iterations, engine=engine)
+    fig8, fig9 = preemption_timing(
+        keys=keys, samples=samples, iterations=iterations, engine=engine
+    )
+    fig10 = fig10_runtime_overhead(keys=keys, iterations=iterations, engine=engine)
     return HeadlineResult(
         context_reduction_pct=fig7.mean_reduction_pct("ctxback"),
         context_vs_min=fig7.mean("ctxback") / fig7.mean("ckpt"),
@@ -318,22 +359,49 @@ def ablation_techniques(
     config: GPUConfig | None = None,
     keys=None,
     iterations: int | None = None,
+    jobs: int | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Contribution of the three techniques (§III-B/C/D) to context size."""
     config = config or GPUConfig.radeon_vii()
+    engine = _engine(jobs, engine)
+    keys = list(keys or sorted(SUITE))
+
+    engine.map([WeightsUnit(key, config, iterations) for key in keys])
+    units = [
+        ContextUnit(key, "ctxback", config, iterations, ctx_config=variant_config)
+        for key in keys
+        for variant_config in ABLATION_VARIANTS.values()
+    ]
+    values = iter(engine.map(units))
+
     rows = []
-    for key in keys or sorted(SUITE):
+    for key in keys:
         bench = SUITE[key]
         launch = _launch(bench, config, iterations)
-        weights = weights_for(key, config, iterations)
         base = kernel_baseline_bytes(launch, config)
         row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
-        for variant, analysis_config in ABLATION_VARIANTS.items():
-            prepared = CtxBack(analysis_config).prepare(launch.kernel, config)
-            row.normalized[variant] = (
-                weighted_context_bytes(prepared, weights) / base
-            )
+        for variant in ABLATION_VARIANTS:
+            row.normalized[variant] = next(values) / base
         rows.append(row)
     return FigureData(
         title="Ablation: CTXBack context size by technique set", rows=rows
     )
+
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "HeadlineResult",
+    "MECHANISMS",
+    "Table1Result",
+    "ablation_techniques",
+    "fig7_context_size",
+    "fig8_preemption_time",
+    "fig9_resume_time",
+    "fig10_runtime_overhead",
+    "headline",
+    "preemption_timing",
+    "prepared_for",
+    "table1_experiment",
+    "weights_for",
+]

@@ -76,12 +76,14 @@ class FigureData:
     def mean_reduction_pct(self, mechanism: str) -> float:
         return 100.0 * (1.0 - self.mean(mechanism))
 
-    def subset_mean(self, mechanism: str, keys) -> float:
+    def subset_mean(self, mechanism: str, keys) -> float | None:
+        """Mean over the given kernel subset; None when no row matches
+        (e.g. a ``--keys`` selection that excludes the whole subset)."""
         wanted = set(keys)
         values = [
             row.normalized[mechanism] for row in self.rows if row.key in wanted
         ]
-        return statistics.mean(values)
+        return statistics.mean(values) if values else None
 
     def mechanisms(self) -> list[str]:
         names: list[str] = []

@@ -65,9 +65,10 @@ def render_fig7_summary(data: FigureData) -> str:
         ratio = data.mean("ctxback") / data.mean("ckpt")
         lines.append(f"CTXBack vs minimum possible: {ratio:.2f}x (paper 1.09x)")
     blas_dl = data.subset_mean("ctxback", BLAS_DL_KEYS)
-    lines.append(
-        f"CTXBack BLAS+DL reduction: {100 * (1 - blas_dl):.1f}% (paper 68.8%)"
-    )
+    if blas_dl is not None:
+        lines.append(
+            f"CTXBack BLAS+DL reduction: {100 * (1 - blas_dl):.1f}% (paper 68.8%)"
+        )
     return "\n".join(lines)
 
 

@@ -9,7 +9,11 @@ Commands:
 * ``suite``    — list the benchmark kernels and their Table I budgets;
 * ``preempt``  — run one preemption experiment on a benchmark kernel;
 * ``table1`` / ``fig7`` / ``fig8`` / ``fig9`` / ``fig10`` / ``headline`` /
-  ``ablation`` — regenerate the paper's tables and figures.
+  ``ablation`` — regenerate the paper's tables and figures (all take
+  ``--jobs N`` to fan work units out over a process pool; default from the
+  ``REPRO_JOBS`` environment variable);
+* ``cache``    — inspect or clear the on-disk artifact cache
+  (``REPRO_CACHE_DIR``) the experiment commands share.
 """
 
 from __future__ import annotations
@@ -149,36 +153,77 @@ def _experiment_command(name):
         from . import analysis
 
         keys = args.keys.split(",") if args.keys else None
+        engine = analysis.ExperimentEngine(args.jobs)
         if name == "table1":
             print(analysis.render_table1(
-                analysis.table1_experiment(keys=keys, iterations=args.iterations)
+                analysis.table1_experiment(keys=keys, iterations=args.iterations,
+                                           engine=engine)
             ))
         elif name == "fig7":
             print(analysis.render_fig7_summary(
-                analysis.fig7_context_size(keys=keys, iterations=args.iterations)
+                analysis.fig7_context_size(keys=keys, iterations=args.iterations,
+                                           engine=engine)
             ))
         elif name in ("fig8", "fig9"):
             fig8, fig9 = analysis.preemption_timing(
-                keys=keys, samples=args.samples, iterations=args.iterations
+                keys=keys, samples=args.samples, iterations=args.iterations,
+                engine=engine,
             )
             print(analysis.render_figure(fig8 if name == "fig8" else fig9))
         elif name == "fig10":
             print(analysis.render_figure(
-                analysis.fig10_runtime_overhead(keys=keys, iterations=args.iterations),
+                analysis.fig10_runtime_overhead(keys=keys, iterations=args.iterations,
+                                                engine=engine),
                 percent=True,
             ))
         elif name == "headline":
             print(analysis.render_headline(
                 analysis.headline(keys=keys, samples=args.samples,
-                                  iterations=args.iterations)
+                                  iterations=args.iterations, engine=engine)
             ))
         elif name == "ablation":
             print(analysis.render_figure(
-                analysis.ablation_techniques(keys=keys, iterations=args.iterations)
+                analysis.ablation_techniques(keys=keys, iterations=args.iterations,
+                                             engine=engine)
             ))
+        if args.timing:
+            report = engine.report
+            cache = report.cache
+            print(
+                f"[engine] jobs={report.jobs} units={report.units} "
+                f"waves={report.waves} wall={report.wall_s:.2f}s "
+                f"cache_hit_rate={cache.get('hit_rate', 0.0):.0%}",
+                file=sys.stderr,
+            )
         return 0
 
     return run
+
+
+def cmd_cache(args) -> int:
+    from .analysis import get_cache
+
+    cache = get_cache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    print(f"cache root: {cache.root} (enabled: {cache.enabled})")
+    inventory = cache.entries()
+    if not inventory:
+        print("  (empty)")
+    for kind, info in inventory.items():
+        print(f"  {kind:12s} {info['entries']:>6d} entries  "
+              f"{info['bytes'] / 1024:>10.1f} KB")
+    totals = cache.persisted_stats()
+    lookups = totals["hits"] + totals["misses"]
+    rate = totals["hits"] / lookups if lookups else 0.0
+    print(
+        f"lifetime: {totals['hits']} hits / {totals['misses']} misses "
+        f"({rate:.0%} hit rate), {totals['stores']} stores, "
+        f"{totals['invalidations']} invalidations"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,7 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="comma-separated kernel subset")
         experiment.add_argument("--samples", type=int, default=2)
         experiment.add_argument("--iterations", type=int, default=None)
+        experiment.add_argument("--jobs", type=int, default=None,
+                                help="worker processes for the experiment "
+                                     "engine (default: $REPRO_JOBS or 1)")
+        experiment.add_argument("--timing", action="store_true",
+                                help="print engine wall time and cache stats "
+                                     "to stderr")
         experiment.set_defaults(func=_experiment_command(name))
+
+    cache = sub.add_parser("cache", help="inspect the artifact cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every cached artifact")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

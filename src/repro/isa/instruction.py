@@ -206,6 +206,13 @@ class Program:
     def copy(self) -> "Program":
         return Program(list(self.instructions), dict(self.labels))
 
+    def __getstate__(self) -> dict:
+        # the simulator caches issue tables on the instance (see
+        # repro.sim.tables); they hold callables and must not be pickled
+        state = self.__dict__.copy()
+        state.pop("_sim_tables", None)
+        return state
+
 
 @dataclass
 class Kernel:

@@ -54,6 +54,15 @@ class GPUConfig:
     ctx_request_overhead: float = 16.0
     #: CKPT: checkpoint every Nth execution of the instrumented basic block
     ckpt_interval: int = 16
+    #: scoreboard entries kept before completed writes are pruned.  The
+    #: per-warp scoreboard (register -> completion cycle) only grows while
+    #: long-latency results are outstanding; pruning on every issue would
+    #: cost a dict rebuild per instruction, while never pruning makes the
+    #: ready-cycle lookups walk stale entries.  The threshold trades the
+    #: (amortized) rebuild cost against lookup-table size; 64 comfortably
+    #: exceeds the register count a warp can have in flight under the
+    #: default latencies, so rebuilds are rare in practice.
+    scoreboard_prune_threshold: int = 64
     #: safety valve for run-away simulations
     max_cycles: int = 30_000_000
 

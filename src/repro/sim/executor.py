@@ -23,6 +23,7 @@ from ..isa.instruction import Imm, Instruction, Label, Program
 from ..isa.registers import EXEC, SCC, Reg, RegKind
 from .memory import DeviceMemory
 from .regfile import LDSBlock, WarpState
+from . import tables as _tables
 
 _MASK = np.uint64(0xFFFFFFFF)
 
@@ -177,36 +178,105 @@ class Executor:
         warp.pc = next_pc
         return traffic
 
+    def execute_indexed(
+        self, tables: "_tables.ProgramTables", warp: WarpState, pc: int
+    ) -> MemTraffic | None:
+        """Hot-loop twin of :meth:`execute` driven by precompiled tables.
+
+        Uses the integer dispatch kind and pre-resolved ALU callables /
+        branch targets from :func:`repro.sim.tables.tables_for` instead of
+        re-deriving them from the mnemonic on every issue.  Semantics are
+        identical to :meth:`execute` (both call the same per-opcode
+        helpers).
+        """
+        instruction = tables.program.instructions[pc]
+        kind = tables.kind[pc]
+        next_pc = pc + 1
+        traffic: MemTraffic | None = None
+
+        if kind == _tables.K_VALU:
+            op, is_float = tables.aux[pc]
+            self._valu_op(warp, instruction, op, is_float)
+        elif kind == _tables.K_GLOAD:
+            traffic = self._global_load(warp, instruction)
+        elif kind == _tables.K_GSTORE:
+            traffic = self._global_store(warp, instruction)
+        elif kind == _tables.K_SALU:
+            op, is_float = tables.aux[pc]
+            self._salu_op(warp, instruction, op, is_float)
+        elif kind == _tables.K_SCMP:
+            a = self._scalar_operand(warp, instruction.srcs[0])
+            b = self._scalar_operand(warp, instruction.srcs[1])
+            warp.scc = int(tables.aux[pc](a, b))
+        elif kind == _tables.K_BRANCH:
+            condition, target = tables.aux[pc]
+            if condition is None or warp.scc == condition:
+                next_pc = target
+        elif kind == _tables.K_ENDPGM:
+            next_pc = tables.n
+        elif kind == _tables.K_NOP:
+            pass
+        elif kind == _tables.K_SLOAD:
+            addr = self._scalar_operand(warp, instruction.srcs[0])
+            offset = self._scalar_operand(warp, instruction.srcs[1])
+            warp.set_scalar(instruction.dsts[0], self.memory.load_word(addr + offset))
+            traffic = MemTraffic(4, kind="smem", is_load=True)
+        elif kind == _tables.K_LDS_READ:
+            traffic = self._lds_read(warp, instruction)
+        elif kind == _tables.K_LDS_WRITE:
+            traffic = self._lds_write(warp, instruction)
+        else:  # _tables.K_CTX — routine-only, off the main-loop hot path
+            traffic = self._exec_ctx(warp, instruction)
+
+        warp.pc = next_pc
+        return traffic
+
     # -- ALU ------------------------------------------------------------------------
 
-    def _exec_valu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+    def _valu_op(
+        self, warp: WarpState, instruction: Instruction, op: Callable, is_float: bool
+    ) -> None:
         operands = [self._vector_operand(warp, s) for s in instruction.srcs]
-        if base in _INT_OPS:
-            with np.errstate(over="ignore"):
-                result = _INT_OPS[base](*operands) & _MASK
-        elif base in _FLOAT_OPS:
+        if is_float:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
-                result = _bits(_FLOAT_OPS[base](*[_f32(o) for o in operands]))
-        else:  # pragma: no cover
-            raise ExecutionError(f"no VALU semantics for v_{base}")
+                result = _bits(op(*[_f32(o) for o in operands]))
+        else:
+            with np.errstate(over="ignore"):
+                result = op(*operands) & _MASK
         self._write_vector(warp, instruction.dsts[0], result)
 
-    def _exec_salu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+    def _exec_valu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+        if base in _INT_OPS:
+            self._valu_op(warp, instruction, _INT_OPS[base], False)
+        elif base in _FLOAT_OPS:
+            self._valu_op(warp, instruction, _FLOAT_OPS[base], True)
+        else:  # pragma: no cover
+            raise ExecutionError(f"no VALU semantics for v_{base}")
+
+    def _salu_op(
+        self, warp: WarpState, instruction: Instruction, op: Callable, is_float: bool
+    ) -> None:
         operands = [
             np.uint64(self._scalar_operand(warp, s)) for s in instruction.srcs
         ]
-        if base in _INT_OPS:
-            with np.errstate(over="ignore"):
-                result = int(_INT_OPS[base](*operands) & _MASK)
-        elif base in _FLOAT_OPS:
+        if is_float:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
                 arrays = [_f32(np.array([o], dtype=np.uint64)) for o in operands]
-                result = int(_bits(_FLOAT_OPS[base](*arrays))[0])
+                result = int(_bits(op(*arrays))[0])
+        else:
+            with np.errstate(over="ignore"):
+                result = int(op(*operands) & _MASK)
+        warp.set_scalar(instruction.dsts[0], result)
+
+    def _exec_salu(self, warp: WarpState, instruction: Instruction, base: str) -> None:
+        if base in _INT_OPS:
+            self._salu_op(warp, instruction, _INT_OPS[base], False)
+        elif base in _FLOAT_OPS:
+            self._salu_op(warp, instruction, _FLOAT_OPS[base], True)
         else:  # pragma: no cover
             raise ExecutionError(f"no SALU semantics for s_{base}")
-        warp.set_scalar(instruction.dsts[0], result)
 
     # -- memory -----------------------------------------------------------------------
 

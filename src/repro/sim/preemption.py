@@ -65,6 +65,9 @@ class PreemptionController:
         """Raise the preempt flag on target warps that reached the trigger."""
         if not self.armed:
             return
+        if len(self.delivered) == len(self.target_warp_ids):
+            self.armed = False  # every target signalled once; nothing to scan
+            return
         for warp in self.sm.warps:
             if (
                 warp.warp_id in self.target_warp_ids
@@ -221,12 +224,14 @@ class PreemptionController:
             warp.resume_watch_dyn = warp.resume_watch_dyn or warp.dyn_count
             warp.resume_done_cycle = None
             measurement.resume_cycles = None
+            self.sm.refresh_issuable()  # the warp left the scheduler's list
             return
         plan = warp.active_plan
         assert plan is not None, "evicted warp has no plan"
         warp.mode = WarpMode.RESUME_ROUTINE
         warp.program = plan.resume_routine
         warp.state.pc = 0
+        self.sm.refresh_issuable()  # the warp left the scheduler's list
 
     def all_evicted(self) -> bool:
         """All signalled target warps have released the SM: their context is

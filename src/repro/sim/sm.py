@@ -9,6 +9,19 @@ streaming traffic of non-preempted warps (paper §V, Table I discussion).
 The SM knows nothing about *why* a warp is running a routine; the
 :class:`~repro.sim.preemption.PreemptionController` flips warp modes and
 interprets the measurements.
+
+Hot-loop structure (the experiment engine fans thousands of these runs
+out, so per-issue constants matter):
+
+* the scheduler keeps an **issuable-warp list** — warps that leave the
+  issuable modes (``EVICTED``/``DONE``) drop out instead of being rescanned
+  every step; external code that revives a warp (the preemption controller
+  on resume) calls :meth:`SM.refresh_issuable`;
+* issue consults the per-program tables of :mod:`repro.sim.tables`
+  (pre-resolved dispatch kinds, register-id def tuples, per-config latency
+  arrays) instead of chasing ``Instruction`` attributes;
+* the RUNNING-mode pc histogram is a flat list indexed by pc, exposed as a
+  dict via :attr:`SMStats.pc_hist` for the Fig. 7 weighting.
 """
 
 from __future__ import annotations
@@ -30,9 +43,15 @@ class SMStats:
     cycles: int = 0
     issued: int = 0
     issued_by_mode: dict[str, int] = field(default_factory=dict)
-    #: dynamic execution count per main-program pc (RUNNING mode only);
-    #: weights the Fig. 7 context statistics by what actually executes
-    pc_hist: dict[int, int] = field(default_factory=dict)
+    #: dynamic execution count per main-program pc (RUNNING mode only),
+    #: stored as a flat list indexed by pc; weights the Fig. 7 context
+    #: statistics by what actually executes
+    pc_counts: list[int] = field(default_factory=list)
+
+    @property
+    def pc_hist(self) -> dict[int, int]:
+        """Dict view of :attr:`pc_counts` (non-zero entries only)."""
+        return {pc: n for pc, n in enumerate(self.pc_counts) if n}
 
 
 class SM:
@@ -52,6 +71,12 @@ class SM:
         self.cycle = 0
         self.stats = SMStats()
         self._rr = 0
+        self._issuable: list[SimWarp] = []
+        self._latency_key = (
+            config.valu_latency,
+            config.lds_latency,
+            config.salu_latency,
+        )
         #: called before a RUNNING warp issues; may flip it into a routine
         self.pre_issue_hook: Callable[[SimWarp, int], None] | None = None
         #: called when a warp finishes its current program
@@ -65,9 +90,25 @@ class SM:
         if lds is not None and warp.lds is None:
             warp.lds = lds
         self.warps.append(warp)
+        if warp.issuable:
+            self._issuable.append(warp)
 
     def executor_for(self, warp: SimWarp) -> Executor:
-        return Executor(self.memory, warp.lds)
+        executor = warp._executor
+        if executor is None:
+            executor = warp._executor = Executor(self.memory, warp.lds)
+        return executor
+
+    def refresh_issuable(self) -> None:
+        """Rebuild the issuable-warp list after an external mode change.
+
+        The scheduler drops warps from its scan list when they leave the
+        issuable modes; anything that flips a warp *back* (resuming an
+        EVICTED warp) must call this so the warp is scheduled again.  The
+        list is rebuilt in ``self.warps`` order so the scan order (and
+        therefore pipeline-request order) is identical to a full rescan.
+        """
+        self._issuable = [w for w in self.warps if w.issuable]
 
     # -- latency model -------------------------------------------------------------
 
@@ -89,29 +130,46 @@ class SM:
         if warp.mode is WarpMode.RUNNING:
             warp.mode = WarpMode.DONE
 
-    def step(self) -> bool:
-        """Advance to the next issue; returns False when nothing can run."""
-        candidates: list[tuple[int, SimWarp]] = []
-        for warp in self.warps:
-            if not warp.issuable:
-                continue
+    def _scan_slow(self, warp: SimWarp) -> bool:
+        """Handle program ends and pending preemption flags for one warp;
+        returns True when the warp still has an instruction to issue."""
+        while warp.issuable and warp.at_program_end():
+            self._handle_program_end(warp)
+        if not warp.issuable or warp.at_program_end():
+            return False
+        if (
+            warp.preempt_flag
+            and warp.mode is WarpMode.RUNNING
+            and self.pre_issue_hook is not None
+        ):
+            self.pre_issue_hook(warp, self.cycle)
+            # the hook may have swapped in an *empty* routine (nothing
+            # live at the signal point): finish it immediately
             while warp.issuable and warp.at_program_end():
                 self._handle_program_end(warp)
             if not warp.issuable or warp.at_program_end():
+                return False
+        return True
+
+    def step(self) -> bool:
+        """Advance to the next issue; returns False when nothing can run."""
+        candidates: list[tuple[int, SimWarp]] = []
+        dropped = False
+        running = WarpMode.RUNNING
+        preempt = WarpMode.PREEMPT_ROUTINE
+        resume = WarpMode.RESUME_ROUTINE
+        for warp in self._issuable:
+            mode = warp.mode
+            if mode is not running and mode is not preempt and mode is not resume:
+                dropped = True
                 continue
-            if (
-                warp.preempt_flag
-                and warp.mode is WarpMode.RUNNING
-                and self.pre_issue_hook is not None
-            ):
-                self.pre_issue_hook(warp, self.cycle)
-                # the hook may have swapped in an *empty* routine (nothing
-                # live at the signal point): finish it immediately
-                while warp.issuable and warp.at_program_end():
-                    self._handle_program_end(warp)
-                if not warp.issuable or warp.at_program_end():
+            if warp.state.pc >= warp.tables().n or warp.preempt_flag:
+                if not self._scan_slow(warp):
+                    dropped = dropped or not warp.issuable
                     continue
             candidates.append((warp.ready_cycle(), warp))
+        if dropped:
+            self.refresh_issuable()
         if not candidates:
             return False
 
@@ -128,11 +186,15 @@ class SM:
         return True
 
     def _issue(self, warp: SimWarp) -> None:
-        instruction = warp.program.instructions[warp.state.pc]
-        if instruction.mnemonic == "ckpt_probe" and self.ckpt_hook is not None:
-            self.ckpt_hook(warp, instruction, self.cycle)
+        tables = warp.tables()
+        pc = warp.state.pc
+        cycle = self.cycle
+        if tables.is_ckpt_probe[pc] and self.ckpt_hook is not None:
+            self.ckpt_hook(warp, tables.program.instructions[pc], cycle)
+            pc = warp.state.pc  # the hook may rewind/redirect the warp
         executor = self.executor_for(warp)
-        if warp.mode is WarpMode.RUNNING:
+        running = warp.mode is WarpMode.RUNNING
+        if running:
             # CKPT resume measurement: done once execution re-reaches the
             # dynamic instruction the signal originally hit.
             if (
@@ -141,13 +203,14 @@ class SM:
                 and warp.resume_done_cycle is None
                 and warp.dyn_count >= warp.resume_watch_dyn
             ):
-                warp.resume_done_cycle = self.cycle
-        if warp.mode is WarpMode.RUNNING:
-            pc = warp.state.pc
-            self.stats.pc_hist[pc] = self.stats.pc_hist.get(pc, 0) + 1
-        traffic = executor.execute(warp.program, warp.state, instruction)
-        warp.next_free = self.cycle + 1
-        if warp.mode is WarpMode.RUNNING:
+                warp.resume_done_cycle = cycle
+            counts = self.stats.pc_counts
+            if pc >= len(counts):
+                counts.extend([0] * (pc + 1 - len(counts)))
+            counts[pc] += 1
+        traffic = executor.execute_indexed(tables, warp.state, pc)
+        warp.next_free = cycle + 1
+        if running:
             warp.dyn_count += 1
         self.stats.issued += 1
         mode_key = warp.mode.value
@@ -155,21 +218,22 @@ class SM:
             self.stats.issued_by_mode.get(mode_key, 0) + 1
         )
 
-        completion = self.cycle + self._alu_latency(instruction.spec.opclass)
+        completion = cycle + tables.latencies(*self._latency_key)[pc]
         if traffic is not None and traffic.nbytes:
             completion = self.pipeline.request(
-                self.cycle,
+                cycle,
                 traffic.nbytes,
                 is_ctx=traffic.is_ctx,
-                kind=traffic.kind or instruction.mnemonic,
+                kind=traffic.kind or tables.program.instructions[pc].mnemonic,
             )
             warp.routine_last_mem_completion = max(
                 warp.routine_last_mem_completion, completion
             )
-        for reg in instruction.defs():
-            warp.note_write(reg, completion)
-        if len(warp.pending) > 64:
-            warp.prune_pending(self.cycle)
+        pending = warp.pending
+        for rid in tables.def_ids[pc]:
+            pending[rid] = completion
+        if len(pending) > self.config.scoreboard_prune_threshold:
+            warp.prune_pending(cycle)
 
     def run(self, max_cycles: int | None = None) -> int:
         """Run until no warp can issue; returns the final cycle."""

@@ -12,6 +12,7 @@ from ..ctxback.plan import InstrPlan
 from ..isa.instruction import Program
 from ..isa.registers import Reg
 from .regfile import LDSBlock, WarpState
+from .tables import ProgramTables, reg_id, tables_for
 
 
 class WarpMode(enum.Enum):
@@ -49,8 +50,9 @@ class SimWarp:
 
     mode: WarpMode = WarpMode.RUNNING
     program: Program = None  # type: ignore[assignment]
-    #: register -> cycle at which its pending write completes
-    pending: dict[Reg, int] = field(default_factory=dict)
+    #: interned register id -> cycle at which its pending write completes
+    #: (see :func:`repro.sim.tables.reg_id`)
+    pending: dict[int, int] = field(default_factory=dict)
     next_free: int = 0  # earliest cycle the warp may issue again
     dyn_count: int = 0  # dynamic instructions issued from the main program
 
@@ -70,6 +72,11 @@ class SimWarp:
     probe_counts: dict[int, int] = field(default_factory=dict)
     last_checkpoint: CkptSnapshot | None = None
 
+    #: issue tables of ``self.program`` (refreshed on program swap)
+    _tables: ProgramTables | None = field(default=None, repr=False)
+    #: executor bound to (SM memory, this warp's LDS); cached by the SM
+    _executor: object | None = field(default=None, repr=False)
+
     def __post_init__(self) -> None:
         if self.program is None:
             self.program = self.main_program
@@ -87,18 +94,26 @@ class SimWarp:
     def at_program_end(self) -> bool:
         return self.state.pc >= len(self.program.instructions)
 
+    def tables(self) -> ProgramTables:
+        """Issue tables of the currently executing program."""
+        tables = self._tables
+        if tables is None or tables.program is not self.program:
+            tables = self._tables = tables_for(self.program)
+        return tables
+
     def ready_cycle(self) -> int:
         """Earliest cycle the next instruction's operands are all ready."""
-        instruction = self.program.instructions[self.state.pc]
         ready = self.next_free
-        for reg in instruction.uses():
-            ready = max(ready, self.pending.get(reg, 0))
-        for reg in instruction.defs():
-            ready = max(ready, self.pending.get(reg, 0))
+        pending = self.pending
+        if pending:
+            for rid in self.tables().dep_ids[self.state.pc]:
+                completion = pending.get(rid, 0)
+                if completion > ready:
+                    ready = completion
         return ready
 
     def note_write(self, reg: Reg, completion: int) -> None:
-        self.pending[reg] = completion
+        self.pending[reg_id(reg)] = completion
 
     def prune_pending(self, cycle: int) -> None:
         """Drop completed scoreboard entries (keeps the dict small)."""

@@ -9,6 +9,18 @@ from repro.isa import Kernel, parse
 from repro.sim import GPUConfig, LaunchSpec
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp dir so tests never
+    read or write ``~/.cache/repro`` (and never see stale artifacts)."""
+    from repro.analysis.cache import configure_cache
+
+    root = tmp_path_factory.mktemp("repro-cache")
+    configure_cache(root=root, enabled=True)
+    yield
+    configure_cache()  # restore env-driven defaults
+
+
 @pytest.fixture(scope="session")
 def small_config() -> GPUConfig:
     """4-lane warps, fast memory: quick functional tests."""

@@ -1,0 +1,266 @@
+"""Engine + artifact cache: keys, determinism, serial/parallel equivalence.
+
+Covers the regression that motivated the content-addressed keys: the old
+per-process dicts keyed prepared kernels and weights on ``config.warp_size``
+only, so ``radeon_vii`` and ``radeon_vii_contended`` (same warp size,
+different memory model) aliased to one entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.cache import (
+    ArtifactCache,
+    canonical,
+    configure_cache,
+    get_cache,
+)
+from repro.analysis.engine import (
+    ExperimentEngine,
+    prepared_for,
+    reference_cycles_for,
+    resolve_jobs,
+    weights_for,
+)
+from repro.analysis.experiments import fig7_context_size, preemption_timing
+from repro.sim.config import GPUConfig
+
+
+@contextlib.contextmanager
+def cache_at(root):
+    """Temporarily repoint the singleton cache (restored afterwards)."""
+    previous = get_cache()
+    try:
+        yield configure_cache(root=root, enabled=True)
+    finally:
+        configure_cache(root=previous.root, enabled=previous.enabled)
+
+
+# -- canonical content description ---------------------------------------------
+
+
+class Color(enum.Enum):
+    RED = 1
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+def test_canonical_dataclass_enum_and_ordering():
+    assert canonical(Point(1, 2)) == {"x": 1, "y": 2}
+    assert canonical(Color.RED) == "Color.RED"
+    assert canonical({"b": 2, "a": 1}) == {"a": 1, "b": 2}
+    assert canonical((1, [2, 3])) == [1, [2, 3]]
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+def test_gpu_configs_with_same_warp_size_get_distinct_keys():
+    cache = ArtifactCache(enabled=False)
+    vii = GPUConfig.radeon_vii()
+    contended = GPUConfig.radeon_vii_contended()
+    assert vii.warp_size == contended.warp_size  # the old keys' blind spot
+    parts_a = {"config": canonical(vii)}
+    parts_b = {"config": canonical(contended)}
+    assert cache.key_for("prepared", parts_a) != cache.key_for("prepared", parts_b)
+
+
+# -- the aliasing regression (satellite of the engine work) --------------------
+
+
+def test_no_aliasing_between_radeon_vii_and_contended(tmp_path):
+    """radeon_vii vs radeon_vii_contended share a warp size but must not
+    share cache entries: their reference profiles genuinely differ."""
+    vii = GPUConfig.radeon_vii()
+    contended = GPUConfig.radeon_vii_contended()
+    with cache_at(tmp_path) as cache:
+        weights_for("ge", vii)
+        weights_for("ge", contended)
+        prepared_for("ge", "ctxback", vii)
+        prepared_for("ge", "ctxback", contended)
+        inventory = cache.entries()
+        assert inventory["weights"]["entries"] == 2
+        assert inventory["prepared"]["entries"] == 2
+        clean_vii = reference_cycles_for("ge", vii)
+        clean_contended = reference_cycles_for("ge", contended)
+    # the two presets time memory differently — one aliased entry would
+    # have returned the same cycles for both
+    assert clean_vii != clean_contended
+
+
+# -- store behavior -------------------------------------------------------------
+
+
+def test_get_or_create_computes_once_and_persists(tmp_path):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return {"value": 42}
+
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    parts = {"k": "v"}
+    assert cache.get_or_create("test", parts, factory) == {"value": 42}
+    assert cache.get_or_create("test", parts, factory) == {"value": 42}
+    assert len(calls) == 1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    # a fresh instance (new process) hits the disk entry
+    fresh = ArtifactCache(root=tmp_path, enabled=True)
+    assert fresh.get_or_create("test", parts, factory) == {"value": 42}
+    assert len(calls) == 1
+    assert fresh.stats.hits == 1
+
+
+def test_corrupt_entry_is_invalidated_and_recomputed(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    digest = cache.key_for("test", {"k": 1})
+    cache.put("test", digest, "good")
+    path = tmp_path / "test" / f"{digest}.pkl"
+    path.write_bytes(b"not a pickle")
+    fresh = ArtifactCache(root=tmp_path, enabled=True)
+    hit, _ = fresh.get("test", digest)
+    assert not hit
+    assert fresh.stats.invalidations == 1
+    assert not path.exists()
+
+
+def test_disabled_cache_still_dedups_in_memory(tmp_path):
+    calls = []
+    cache = ArtifactCache(root=tmp_path, enabled=False)
+    cache.get_or_create("test", {"k": 1}, lambda: calls.append(1) or "x")
+    cache.get_or_create("test", {"k": 1}, lambda: calls.append(1) or "x")
+    assert len(calls) == 1
+    assert not (tmp_path / "test").exists()
+
+
+def test_clear_empties_the_store(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    cache.put("test", cache.key_for("test", {"k": 1}), "a")
+    cache.put("other", cache.key_for("other", {"k": 2}), "b")
+    assert cache.clear() == 2
+    assert cache.entries() == {"other": {"entries": 0, "bytes": 0},
+                               "test": {"entries": 0, "bytes": 0}}
+
+
+def test_prepared_kernels_pickle_without_sim_tables(tmp_path):
+    """Simulating attaches per-program issue tables (with lambdas) to the
+    Program; pickling for the cache must strip them."""
+    config = GPUConfig.radeon_vii()
+    with cache_at(tmp_path):
+        weights_for("ge", config)  # runs a simulation → tables attached
+        prepared = prepared_for("ge", "ctxback", config)
+    blob = pickle.dumps(prepared)
+    clone = pickle.loads(blob)
+    assert "_sim_tables" not in clone.kernel.program.__dict__
+
+
+# -- jobs resolution -------------------------------------------------------------
+
+
+def test_resolve_jobs_env_and_arguments(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == 1
+    monkeypatch.setenv("REPRO_JOBS", "8")
+    assert resolve_jobs(None) == 8
+    assert resolve_jobs(2) == 2
+    monkeypatch.setenv("REPRO_JOBS", "garbage")
+    assert resolve_jobs(None) == 1
+
+
+# -- serial vs parallel vs warm equivalence --------------------------------------
+
+
+def _figure_rows(fig):
+    return [(row.key, row.baseline_value, dict(row.normalized)) for row in fig.rows]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    """fig7 + fig8/fig9 rows from a cold serial run (the ground truth)."""
+    root = tmp_path_factory.mktemp("cache-serial")
+    with cache_at(root):
+        fig7 = fig7_context_size(keys=["ge"], engine=ExperimentEngine(1))
+        fig8, fig9 = preemption_timing(
+            keys=["ge"], samples=2, engine=ExperimentEngine(1)
+        )
+    return _figure_rows(fig7), _figure_rows(fig8), _figure_rows(fig9)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_parallel_runs_are_bit_identical_to_serial(
+    serial_reference, tmp_path, jobs
+):
+    with cache_at(tmp_path):
+        fig7 = fig7_context_size(keys=["ge"], engine=ExperimentEngine(jobs))
+        fig8, fig9 = preemption_timing(
+            keys=["ge"], samples=2, engine=ExperimentEngine(jobs)
+        )
+    assert (
+        _figure_rows(fig7),
+        _figure_rows(fig8),
+        _figure_rows(fig9),
+    ) == serial_reference
+
+
+def test_warm_cache_run_is_bit_identical(serial_reference, tmp_path):
+    with cache_at(tmp_path):
+        fig7_context_size(keys=["ge"], engine=ExperimentEngine(1))
+        preemption_timing(keys=["ge"], samples=2, engine=ExperimentEngine(1))
+    # fresh in-memory layer over the same on-disk store: pure cache loads
+    with cache_at(tmp_path) as cache:
+        engine = ExperimentEngine(1)
+        fig7 = fig7_context_size(keys=["ge"], engine=engine)
+        fig8, fig9 = preemption_timing(keys=["ge"], samples=2, engine=engine)
+        assert cache.stats.misses == 0
+        assert cache.stats.hits > 0
+    assert (
+        _figure_rows(fig7),
+        _figure_rows(fig8),
+        _figure_rows(fig9),
+    ) == serial_reference
+
+
+def test_engine_report_accumulates(tmp_path):
+    with cache_at(tmp_path):
+        engine = ExperimentEngine(1)
+        fig7_context_size(keys=["ge"], engine=engine)
+        report = engine.report
+    assert report.jobs == 1
+    assert report.waves == 2  # weights wave + context wave
+    assert report.units == 1 + 5  # 1 kernel × (1 weights + 5 mechanisms)
+    assert report.wall_s > 0
+    assert report.cache["misses"] > 0
+
+
+# -- scoreboard prune threshold (hoisted magic number) ---------------------------
+
+
+def test_scoreboard_prune_threshold_is_configurable_and_neutral():
+    """The threshold only bounds scoreboard size — pruning removes completed
+    writes, so any value must leave measured cycles unchanged."""
+    from dataclasses import replace
+
+    from repro.kernels.suite import SUITE
+    from repro.sim.gpu import run_reference
+
+    config = GPUConfig.radeon_vii()
+    assert config.scoreboard_prune_threshold == 64
+    eager = replace(config, scoreboard_prune_threshold=0)
+    launch = SUITE["ge"].launch(
+        warp_size=config.warp_size, iterations=SUITE["ge"].default_iterations
+    )
+    assert (
+        run_reference(launch.spec(), config).cycles
+        == run_reference(launch.spec(), eager).cycles
+    )
