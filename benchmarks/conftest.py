@@ -7,8 +7,12 @@ Environment knobs:
   (default 3; the paper effectively averages over arbitrary signal points);
 * ``REPRO_JOBS``        — worker processes for the experiment engine
   (default 1: serial, in-process);
-* ``REPRO_CACHE_DIR``/``REPRO_CACHE`` — artifact-cache location / kill
-  switch (see :mod:`repro.analysis.cache`).
+* ``REPRO_UNIT_TIMEOUT``/``REPRO_UNIT_RETRIES``/``REPRO_FAILURE_POLICY`` —
+  engine fault tolerance: per-unit timeout seconds, pool re-attempts, and
+  ``fail-fast`` vs ``collect`` (see :mod:`repro.analysis.engine`);
+* ``REPRO_CACHE_DIR``/``REPRO_CACHE``/``REPRO_CACHE_MAX_BYTES`` —
+  artifact-cache location / kill switch / LRU size cap (see
+  :mod:`repro.analysis.cache`).
 
 Every bench prints the regenerated table (run with ``-s`` to see it inline)
 and asserts the paper's *shape*: who wins and by roughly what factor.

@@ -9,12 +9,24 @@ embarrassingly parallel (the PhoenixOS observation: independent
 checkpoint-style work units overlap freely).
 
 :class:`ExperimentEngine` fans units out with a
-``concurrent.futures.ProcessPoolExecutor``.  ``executor.map`` preserves
-input order and every unit is a pure function of its content-hashed inputs,
-so the merged results are **bit-identical** regardless of worker count or
-cache temperature; the figure drivers in
-:mod:`~repro.analysis.experiments` rely on that for the serial-vs-parallel
-equivalence guarantee.
+``concurrent.futures.ProcessPoolExecutor``, one future per unit, and merges
+results **by submission index** — every unit is a pure function of its
+content-hashed inputs, so the merged results are bit-identical regardless
+of worker count, cache temperature, retries or completion order; the
+figure drivers in :mod:`~repro.analysis.experiments` rely on that for the
+serial-vs-parallel equivalence guarantee.
+
+Fault tolerance: each future carries a configurable timeout
+(``REPRO_UNIT_TIMEOUT`` / ``--unit-timeout``); units whose workers crash
+(``BrokenProcessPool``), hang past the timeout, raise, or return
+unpicklable results are retried with exponential backoff up to
+``REPRO_UNIT_RETRIES`` times in a fresh pool.  Units that exhaust their
+retries fall back to a serial in-process run (except pure timeouts, which
+cannot be bounded in-process); units that still fail are handled per the
+:class:`FailurePolicy` — ``FAIL_FAST`` aborts the run with an
+:class:`EngineFailure`, ``COLLECT`` substitutes a :class:`UnitFailure`
+marker so figure drivers can emit partial tables with explicit FAILED
+cells.  All failure traffic is counted in :class:`EngineReport`.
 
 Worker count resolution: explicit ``jobs=`` argument, else the
 ``REPRO_JOBS`` environment variable, else 1 (serial, in-process).  The CLI
@@ -29,9 +41,13 @@ size (``radeon_vii`` vs ``radeon_vii_contended``) can no longer alias.
 
 from __future__ import annotations
 
+import enum
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..ctxback.flashback import CtxBackConfig
@@ -45,6 +61,12 @@ from .cache import canonical, describe_kernel, get_cache
 from .metrics import dynamic_pc_weights, weighted_context_bytes
 
 JOBS_ENV = "REPRO_JOBS"
+UNIT_TIMEOUT_ENV = "REPRO_UNIT_TIMEOUT"
+UNIT_RETRIES_ENV = "REPRO_UNIT_RETRIES"
+FAILURE_POLICY_ENV = "REPRO_FAILURE_POLICY"
+#: test-only failpoint: a marker-file path; the first pool worker to find
+#: the file missing creates it and SIGKILLs itself (fault-injection tests)
+FAULT_KILL_ENV = "REPRO_FAULT_KILL_MARKER"
 
 
 def default_jobs() -> int:
@@ -61,11 +83,86 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs) if jobs is not None else default_jobs()
 
 
+class FailurePolicy(enum.Enum):
+    """What to do with a unit that failed every retry *and* the serial
+    fallback: abort the whole run, or keep going and mark the cell."""
+
+    FAIL_FAST = "fail-fast"
+    COLLECT = "collect"
+
+
+class EngineFailure(RuntimeError):
+    """A work unit failed permanently under ``FailurePolicy.FAIL_FAST``."""
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Placeholder result for a permanently-failed unit (``COLLECT``);
+    figure drivers render these as explicit FAILED cells."""
+
+    unit: str  # repr of the failed work unit
+    error: str  # last error observed ("KindOfError: message")
+    attempts: int  # pool attempts consumed before giving up
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """GPUConfig-independent fault-tolerance knobs of one engine."""
+
+    #: seconds a unit may run in the pool before its wave is aborted and it
+    #: is retried (None: wait forever — the pre-fault-tolerance behaviour)
+    unit_timeout: float | None = None
+    #: pool re-attempts per unit before the serial in-process fallback
+    retries: int = 2
+    failure_policy: FailurePolicy = FailurePolicy.FAIL_FAST
+    #: base of the exponential backoff between retry waves (doubles per
+    #: attempt, capped at 2 s); kept tiny so tests stay fast
+    retry_backoff_s: float = 0.05
+
+    @staticmethod
+    def from_env(
+        unit_timeout: float | None = None,
+        retries: int | None = None,
+        failure_policy: FailurePolicy | str | None = None,
+    ) -> "EngineOptions":
+        """Environment-driven defaults, overridden by explicit arguments."""
+        if unit_timeout is None:
+            raw = os.environ.get(UNIT_TIMEOUT_ENV, "").strip()
+            try:
+                unit_timeout = float(raw) if raw else None
+            except ValueError:
+                unit_timeout = None
+            if unit_timeout is not None and unit_timeout <= 0:
+                unit_timeout = None
+        if retries is None:
+            raw = os.environ.get(UNIT_RETRIES_ENV, "").strip()
+            try:
+                retries = max(0, int(raw)) if raw else 2
+            except ValueError:
+                retries = 2
+        if failure_policy is None:
+            failure_policy = os.environ.get(FAILURE_POLICY_ENV, "").strip() or (
+                FailurePolicy.FAIL_FAST
+            )
+        if isinstance(failure_policy, str):
+            try:
+                failure_policy = FailurePolicy(failure_policy.lower())
+            except ValueError:
+                failure_policy = FailurePolicy.FAIL_FAST
+        return EngineOptions(
+            unit_timeout=unit_timeout,
+            retries=retries,
+            failure_policy=failure_policy,
+        )
+
+
 # -- artifact accessors (cache-backed) -------------------------------------------
 
 
 def _resolved_iterations(key: str, iterations: int | None) -> int:
-    return iterations or SUITE[key].default_iterations
+    # `is None`, not truthiness: an explicit iterations=0 is a legitimate
+    # request (degenerate launch), not "use the suite default"
+    return SUITE[key].default_iterations if iterations is None else iterations
 
 
 def _launch(key: str, config: GPUConfig, iterations: int | None):
@@ -296,24 +393,51 @@ def run_unit(unit):
     return unit.run()
 
 
+def _maybe_inject_fault() -> None:
+    """Test-only failpoint: SIGKILL this worker once per marker file."""
+    marker = os.environ.get(FAULT_KILL_ENV, "")
+    if not marker:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:  # marker exists: the fault already fired
+        return
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _run_unit_counted(unit):
     """Pool-side trampoline: ship the worker's cache traffic back with the
     result (workers exit via ``os._exit``, so counters cannot be flushed
     from an atexit hook)."""
+    _maybe_inject_fault()
     stats = get_cache().stats
     before = stats.snapshot()
     result = unit.run()
     delta = stats.delta(before)
-    return result, (delta.hits, delta.misses, delta.stores, delta.invalidations)
+    return result, (
+        delta.hits,
+        delta.misses,
+        delta.stores,
+        delta.invalidations,
+        delta.evictions,
+    )
 
 
 # -- the engine ------------------------------------------------------------------
 
 
-def _worker_init(cache_root, cache_enabled) -> None:
+def _worker_init(cache_root, cache_enabled, cache_max_bytes) -> None:
     from .cache import configure_cache
 
-    configure_cache(root=cache_root, enabled=cache_enabled)
+    # flush_previous=False: a forked worker inherits the parent's cache
+    # object; flushing it here would multiply the parent's counters
+    configure_cache(
+        root=cache_root,
+        enabled=cache_enabled,
+        max_bytes=cache_max_bytes,
+        flush_previous=False,
+    )
 
 
 @dataclass
@@ -325,6 +449,45 @@ class EngineReport:
     waves: int = 0
     wall_s: float = 0.0
     cache: dict = field(default_factory=dict)
+    # fault-tolerance traffic
+    retries: int = 0  # pool re-attempts (all causes)
+    timeouts: int = 0  # unit attempts abandoned at the unit timeout
+    crashes: int = 0  # attempts lost to worker death (BrokenProcessPool)
+    fallbacks: int = 0  # units run serially in-process after retry exhaustion
+    failures: int = 0  # units that failed permanently
+    failed_units: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "units": self.units,
+            "waves": self.waves,
+            "wall_s": round(self.wall_s, 3),
+            "cache": dict(self.cache),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "fallbacks": self.fallbacks,
+            "failures": self.failures,
+            "failed_units": list(self.failed_units),
+        }
+
+
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: hung or crashed workers are terminated so a
+    fresh pool can take over the retry wave."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=5)
+        except Exception:
+            pass
 
 
 class ExperimentEngine:
@@ -332,12 +495,19 @@ class ExperimentEngine:
 
     ``jobs <= 1`` runs serially in-process; any other count uses a
     ``ProcessPoolExecutor`` whose workers attach to the same on-disk
-    artifact cache.  Results always come back in submission order, so the
-    drivers' merges are deterministic and identical across worker counts.
+    artifact cache.  Results always come back keyed by submission index, so
+    the drivers' merges are deterministic and identical across worker
+    counts, cache temperature and retries.  See the module docstring for
+    the failure model; *options* (or the ``REPRO_UNIT_TIMEOUT`` /
+    ``REPRO_UNIT_RETRIES`` / ``REPRO_FAILURE_POLICY`` environment) controls
+    timeout, retry budget and the failure policy.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self, jobs: int | None = None, options: EngineOptions | None = None
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.options = options if options is not None else EngineOptions.from_env()
         self.report = EngineReport(jobs=self.jobs)
 
     def map(self, units: list) -> list:
@@ -346,28 +516,158 @@ class ExperimentEngine:
         stats_before = cache.stats.snapshot()
         try:
             if self.jobs <= 1 or len(units) <= 1:
-                return [unit.run() for unit in units]
-            workers = min(self.jobs, len(units))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(cache.root, cache.enabled),
-            ) as pool:
-                results = []
-                stats = cache.stats
-                for result, (hits, misses, stores, invalidations) in pool.map(
-                    _run_unit_counted, units, chunksize=1
-                ):
-                    results.append(result)
-                    # fold worker-side traffic into the parent's counters
-                    stats.hits += hits
-                    stats.misses += misses
-                    stats.stores += stores
-                    stats.invalidations += invalidations
-                return results
+                return self._map_serial(units)
+            return self._map_pool(units)
         finally:
             report = self.report
             report.units += len(units)
             report.waves += 1
             report.wall_s += time.perf_counter() - started
             report.cache = cache.stats.delta(stats_before).as_dict()
+
+    # -- serial ----------------------------------------------------------------
+
+    def _map_serial(self, units: list) -> list:
+        """In-process execution; the failure policy still applies (the unit
+        timeout cannot be enforced without a pool and is ignored)."""
+        results = []
+        for unit in units:
+            try:
+                results.append(unit.run())
+            except Exception as exc:
+                results.append(self._permanent_failure(unit, exc, attempts=1))
+        return results
+
+    # -- pooled ----------------------------------------------------------------
+
+    def _map_pool(self, units: list) -> list:
+        opts = self.options
+        results: list = [None] * len(units)
+        done = [False] * len(units)
+        attempts = [0] * len(units)
+        last_error: dict[int, tuple[str, str]] = {}
+        pending = list(range(len(units)))
+
+        while pending:
+            retry_wave = [i for i in pending if 0 < attempts[i] <= opts.retries]
+            exhausted = [i for i in pending if attempts[i] > opts.retries]
+            for i in exhausted:
+                kind, message = last_error.get(i, ("error", "unknown failure"))
+                if kind == "timeout":
+                    # an in-process rerun cannot be bounded; fail per policy
+                    results[i] = self._permanent_failure(
+                        units[i], TimeoutError(message), attempts=attempts[i]
+                    )
+                else:
+                    results[i] = self._fallback_serial(units[i], attempts[i])
+                done[i] = True
+            pending = [i for i in pending if not done[i]]
+            if not pending:
+                break
+            if retry_wave:
+                self.report.retries += len(retry_wave)
+                worst = max(attempts[i] for i in retry_wave)
+                time.sleep(min(opts.retry_backoff_s * (2 ** (worst - 1)), 2.0))
+            self._pool_wave(pending, units, results, done, attempts, last_error)
+            pending = [i for i in pending if not done[i]]
+        return results
+
+    def _pool_wave(
+        self,
+        indices: list[int],
+        units: list,
+        results: list,
+        done: list[bool],
+        attempts: list[int],
+        last_error: dict[int, tuple[str, str]],
+    ) -> None:
+        """One pool pass over *indices*; aborts (and tears the pool down) on
+        the first crash or timeout, leaving the survivors for the next wave."""
+        cache = get_cache()
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(indices)),
+            initializer=_worker_init,
+            initargs=(cache.root, cache.enabled, cache.max_bytes),
+        )
+        aborted = False
+        try:
+            futures = {i: pool.submit(_run_unit_counted, units[i]) for i in indices}
+            harvested = set()
+            for i in indices:
+                try:
+                    payload = futures[i].result(timeout=self.options.unit_timeout)
+                except FuturesTimeout:
+                    attempts[i] += 1
+                    last_error[i] = ("timeout", f"unit timed out after "
+                                                f"{self.options.unit_timeout}s")
+                    self.report.timeouts += 1
+                    aborted = True
+                except BrokenProcessPool as exc:
+                    # a worker died; the culprit is unknowable, so the unit
+                    # we were waiting on takes the blame (bounded either way)
+                    attempts[i] += 1
+                    last_error[i] = ("crash", f"{type(exc).__name__}: {exc}")
+                    self.report.crashes += 1
+                    aborted = True
+                except Exception as exc:
+                    # the unit raised, or its result did not survive pickling
+                    attempts[i] += 1
+                    last_error[i] = ("error", f"{type(exc).__name__}: {exc}")
+                else:
+                    self._harvest(i, payload, results, done)
+                harvested.add(i)
+                if aborted:
+                    break
+            if aborted:
+                # pick up whatever already finished before tearing down
+                for i in indices:
+                    if i in harvested or not futures[i].done():
+                        continue
+                    try:
+                        payload = futures[i].result(timeout=0)
+                    except Exception:
+                        continue  # retried next wave, uncharged
+                    self._harvest(i, payload, results, done)
+        finally:
+            if aborted:
+                _abort_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+    def _harvest(self, index: int, payload, results: list, done: list[bool]) -> None:
+        result, (hits, misses, stores, invalidations, evictions) = payload
+        results[index] = result
+        done[index] = True
+        # fold worker-side cache traffic into the parent's counters
+        stats = get_cache().stats
+        stats.hits += hits
+        stats.misses += misses
+        stats.stores += stores
+        stats.invalidations += invalidations
+        stats.evictions += evictions
+
+    # -- last resorts ----------------------------------------------------------
+
+    def _fallback_serial(self, unit, attempts: int):
+        """Retry-exhausted unit: one in-process attempt (immune to worker
+        crashes and pickling), then the failure policy."""
+        self.report.fallbacks += 1
+        try:
+            return unit.run()
+        except Exception as exc:
+            return self._permanent_failure(unit, exc, attempts=attempts + 1)
+
+    def _permanent_failure(self, unit, exc: BaseException, attempts: int):
+        failure = UnitFailure(
+            unit=repr(unit),
+            error=f"{type(exc).__name__}: {exc}",
+            attempts=attempts,
+        )
+        self.report.failures += 1
+        self.report.failed_units.append(failure.unit)
+        if self.options.failure_policy is FailurePolicy.FAIL_FAST:
+            raise EngineFailure(
+                f"work unit failed permanently after {attempts} attempt(s): "
+                f"{failure.unit} ({failure.error})"
+            ) from (exc if isinstance(exc, Exception) else None)
+        return failure

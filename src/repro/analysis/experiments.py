@@ -38,6 +38,7 @@ from .engine import (
     OverheadUnit,
     PrepareUnit,
     ReferenceUnit,
+    UnitFailure,
     WeightsUnit,
     prepared_for,
     weights_for,
@@ -51,10 +52,16 @@ def _engine(jobs: int | None, engine: ExperimentEngine | None) -> ExperimentEngi
     return engine if engine is not None else ExperimentEngine(jobs)
 
 
+def _failed(value) -> bool:
+    """Permanently-failed unit under ``FailurePolicy.COLLECT``; the figure
+    renders it as an explicit FAILED cell (a ``None`` value)."""
+    return isinstance(value, UnitFailure)
+
+
 def _launch(bench: Benchmark, config: GPUConfig, iterations: int | None):
     return bench.launch(
         warp_size=config.warp_size,
-        iterations=iterations or bench.default_iterations,
+        iterations=bench.default_iterations if iterations is None else iterations,
     )
 
 
@@ -68,7 +75,8 @@ def _signal_points(key: str, config: GPUConfig, samples: int, iterations=None):
     bench = SUITE[key]
     launch = _launch(bench, config, iterations)
     n = len(launch.kernel.program.instructions)
-    total = n * (iterations or bench.default_iterations) // 2
+    resolved = bench.default_iterations if iterations is None else iterations
+    total = n * resolved // 2
     base = 3 * n
     span = max(n, int(total * 0.8) - base)
     stride = max(1, span // max(1, samples)) + 1
@@ -118,6 +126,7 @@ def table1_experiment(
         launch = _launch(bench, config, iterations)
         kernel = launch.kernel
         spec = config.rf_spec
+        failed = _failed(profile)
         result.rows.append(
             {
                 "key": key,
@@ -127,8 +136,8 @@ def table1_experiment(
                 / 1024,
                 "scalar_kb": spec.allocated_sgprs(kernel.sgprs_used) * 4 / 1024,
                 "shared_kb": kernel.lds_bytes / 1024,
-                "preempt_us": config.cycles_to_us(profile["latency"]),
-                "resume_us": config.cycles_to_us(profile["resume"]),
+                "preempt_us": None if failed else config.cycles_to_us(profile["latency"]),
+                "resume_us": None if failed else config.cycles_to_us(profile["resume"]),
                 "paper": bench.table1,
             }
         )
@@ -169,7 +178,8 @@ def fig7_context_size(
         base = kernel_baseline_bytes(launch, config)
         row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
         for mechanism in mechanisms:
-            row.normalized[mechanism] = next(values) / base
+            value = next(values)
+            row.normalized[mechanism] = None if _failed(value) else value / base
         rows.append(row)
     return FigureData(title="Fig. 7: normalized context size", rows=rows)
 
@@ -221,25 +231,35 @@ def preemption_timing(
     lat_rows, res_rows = [], []
     for key in keys:
         bench = SUITE[key]
-        lat: dict[str, float] = {}
-        res: dict[str, float] = {}
+        lat: dict[str, float | None] = {}
+        res: dict[str, float | None] = {}
         for mechanism in mechanisms:
             lats, ress = [], []
             for dyn in points[key]:
                 profile = next(profiles)
+                if _failed(profile):
+                    continue  # FAILED cell under FailurePolicy.COLLECT
                 if verify and not profile["verified"]:
                     raise AssertionError(
                         f"{key}/{mechanism}: functional verification failed"
                     )
                 lats.append(profile["latency"])
                 ress.append(profile["resume"])
-            lat[mechanism] = statistics.mean(lats)
-            res[mechanism] = statistics.mean(ress)
+            lat[mechanism] = statistics.mean(lats) if lats else None
+            res[mechanism] = statistics.mean(ress) if ress else None
         lat_row = KernelRow(key, bench.table1.abbrev, lat["baseline"])
         res_row = KernelRow(key, bench.table1.abbrev, res["baseline"])
         for mechanism in mechanisms:
-            lat_row.normalized[mechanism] = lat[mechanism] / lat["baseline"]
-            res_row.normalized[mechanism] = res[mechanism] / res["baseline"]
+            lat_row.normalized[mechanism] = (
+                lat[mechanism] / lat["baseline"]
+                if lat[mechanism] is not None and lat["baseline"]
+                else None
+            )
+            res_row.normalized[mechanism] = (
+                res[mechanism] / res["baseline"]
+                if res[mechanism] is not None and res["baseline"]
+                else None
+            )
         lat_rows.append(lat_row)
         res_rows.append(res_row)
     fig8 = FigureData(
@@ -292,9 +312,14 @@ def fig10_runtime_overhead(
     rows = []
     for key, clean in zip(keys, cleans):
         bench = SUITE[key]
-        row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=clean)
+        row = KernelRow(
+            key=key,
+            abbrev=bench.table1.abbrev,
+            baseline_value=None if _failed(clean) else clean,
+        )
         for mechanism in mechanisms:
-            row.normalized[mechanism] = next(overheads)
+            overhead = next(overheads)
+            row.normalized[mechanism] = None if _failed(overhead) else overhead
         rows.append(row)
     return FigureData(
         title="Fig. 10: runtime overhead (fraction of clean runtime)", rows=rows
@@ -382,7 +407,8 @@ def ablation_techniques(
         base = kernel_baseline_bytes(launch, config)
         row = KernelRow(key=key, abbrev=bench.table1.abbrev, baseline_value=base)
         for variant in ABLATION_VARIANTS:
-            row.normalized[variant] = next(values) / base
+            value = next(values)
+            row.normalized[variant] = None if _failed(value) else value / base
         rows.append(row)
     return FigureData(
         title="Ablation: CTXBack context size by technique set", rows=rows

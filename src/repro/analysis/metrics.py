@@ -52,12 +52,17 @@ def weighted_context_bytes(
 
 @dataclass
 class KernelRow:
-    """One benchmark's values across mechanisms (normalized to BASELINE)."""
+    """One benchmark's values across mechanisms (normalized to BASELINE).
+
+    A ``None`` value marks a cell whose work unit failed permanently under
+    ``FailurePolicy.COLLECT`` — rendered as an explicit FAILED cell and
+    skipped by the cross-kernel means.
+    """
 
     key: str
     abbrev: str
-    baseline_value: float
-    normalized: dict[str, float] = field(default_factory=dict)
+    baseline_value: float | None
+    normalized: dict[str, float | None] = field(default_factory=dict)
 
 
 @dataclass
@@ -70,8 +75,14 @@ class FigureData:
     notes: list[str] = field(default_factory=list)
 
     def mean(self, mechanism: str) -> float:
-        values = [row.normalized[mechanism] for row in self.rows]
-        return statistics.mean(values)
+        """Cross-kernel mean, skipping FAILED (None) cells; NaN when every
+        cell failed (keeps partial reports renderable)."""
+        values = [
+            row.normalized[mechanism]
+            for row in self.rows
+            if row.normalized[mechanism] is not None
+        ]
+        return statistics.mean(values) if values else float("nan")
 
     def mean_reduction_pct(self, mechanism: str) -> float:
         return 100.0 * (1.0 - self.mean(mechanism))
@@ -81,7 +92,9 @@ class FigureData:
         (e.g. a ``--keys`` selection that excludes the whole subset)."""
         wanted = set(keys)
         values = [
-            row.normalized[mechanism] for row in self.rows if row.key in wanted
+            row.normalized[mechanism]
+            for row in self.rows
+            if row.key in wanted and row.normalized[mechanism] is not None
         ]
         return statistics.mean(values) if values else None
 

@@ -7,6 +7,11 @@ from .experiments import HeadlineResult, Table1Result
 from .metrics import FigureData
 
 
+def _us_cell(value: float | None) -> str:
+    """One µs cell; a failed measurement renders as an explicit marker."""
+    return f"{'FAILED':>8s} " if value is None else f"{value:8.1f}µ"
+
+
 def render_table1(result: Table1Result) -> str:
     """Text table of Table I with the paper's numbers alongside."""
     header = (
@@ -18,10 +23,19 @@ def render_table1(result: Table1Result) -> str:
         paper = row["paper"]
         lines.append(
             f"{row['abbrev']:5s} {row['vector_kb']:5.1f}KB {row['scalar_kb']:5.2f}KB "
-            f"{row['shared_kb']:4.1f}KB {row['preempt_us']:8.1f}µ {paper.preempt_us:8.1f}µ "
-            f"{row['resume_us']:8.1f}µ {paper.resume_us:8.1f}µ"
+            f"{row['shared_kb']:4.1f}KB {_us_cell(row['preempt_us'])} {paper.preempt_us:8.1f}µ "
+            f"{_us_cell(row['resume_us'])} {paper.resume_us:8.1f}µ"
         )
     return "\n".join(lines)
+
+
+def _cell(value: float | None, *, percent: bool, width: int) -> str:
+    """One figure cell; a permanently-failed unit renders as FAILED."""
+    if value is None:
+        return f"{'FAILED':>{width}s}"
+    if percent:
+        return f"{100 * value:>{width - 1}.1f}%"
+    return f"{value:>{width}.3f}"
 
 
 def render_figure(data: FigureData, *, percent: bool = False) -> str:
@@ -32,21 +46,12 @@ def render_figure(data: FigureData, *, percent: bool = False) -> str:
     lines = [data.title, header]
     for row in data.rows:
         cells = "".join(
-            (
-                f"{100 * row.normalized[m]:>{width - 1}.1f}%"
-                if percent
-                else f"{row.normalized[m]:>{width}.3f}"
-            )
+            _cell(row.normalized[m], percent=percent, width=width)
             for m in mechanisms
         )
         lines.append(f"{row.abbrev:6s}" + cells)
     means = "".join(
-        (
-            f"{100 * data.mean(m):>{width - 1}.1f}%"
-            if percent
-            else f"{data.mean(m):>{width}.3f}"
-        )
-        for m in mechanisms
+        _cell(data.mean(m), percent=percent, width=width) for m in mechanisms
     )
     lines.append(f"{'MEAN':6s}" + means)
     for note in data.notes:

@@ -151,9 +151,15 @@ def cmd_preempt(args) -> int:
 def _experiment_command(name):
     def run(args) -> int:
         from . import analysis
+        from .analysis import EngineOptions
 
         keys = args.keys.split(",") if args.keys else None
-        engine = analysis.ExperimentEngine(args.jobs)
+        options = EngineOptions.from_env(
+            unit_timeout=args.unit_timeout,
+            retries=args.retries,
+            failure_policy=args.failure_policy,
+        )
+        engine = analysis.ExperimentEngine(args.jobs, options=options)
         if name == "table1":
             print(analysis.render_table1(
                 analysis.table1_experiment(keys=keys, iterations=args.iterations,
@@ -192,10 +198,13 @@ def _experiment_command(name):
             print(
                 f"[engine] jobs={report.jobs} units={report.units} "
                 f"waves={report.waves} wall={report.wall_s:.2f}s "
-                f"cache_hit_rate={cache.get('hit_rate', 0.0):.0%}",
+                f"cache_hit_rate={cache.get('hit_rate', 0.0):.0%} "
+                f"retries={report.retries} timeouts={report.timeouts} "
+                f"crashes={report.crashes} fallbacks={report.fallbacks} "
+                f"failures={report.failures}",
                 file=sys.stderr,
             )
-        return 0
+        return 0 if not engine.report.failures else 1
 
     return run
 
@@ -208,7 +217,8 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"cleared {removed} entries from {cache.root}")
         return 0
-    print(f"cache root: {cache.root} (enabled: {cache.enabled})")
+    cap = f", cap: {cache.max_bytes / 1024:.0f} KB" if cache.max_bytes else ""
+    print(f"cache root: {cache.root} (enabled: {cache.enabled}{cap})")
     inventory = cache.entries()
     if not inventory:
         print("  (empty)")
@@ -221,7 +231,8 @@ def cmd_cache(args) -> int:
     print(
         f"lifetime: {totals['hits']} hits / {totals['misses']} misses "
         f"({rate:.0%} hit rate), {totals['stores']} stores, "
-        f"{totals['invalidations']} invalidations"
+        f"{totals['invalidations']} invalidations, "
+        f"{totals.get('evictions', 0)} evictions"
     )
     return 0
 
@@ -278,9 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
         experiment.add_argument("--jobs", type=int, default=None,
                                 help="worker processes for the experiment "
                                      "engine (default: $REPRO_JOBS or 1)")
+        experiment.add_argument("--unit-timeout", type=float, default=None,
+                                metavar="SECONDS",
+                                help="per-unit timeout before a retry "
+                                     "(default: $REPRO_UNIT_TIMEOUT or none)")
+        experiment.add_argument("--retries", type=int, default=None,
+                                help="pool re-attempts per failed unit before "
+                                     "the serial in-process fallback "
+                                     "(default: $REPRO_UNIT_RETRIES or 2)")
+        experiment.add_argument("--failure-policy", default=None,
+                                choices=["fail-fast", "collect"],
+                                help="abort on the first permanently-failed "
+                                     "unit, or keep going and render FAILED "
+                                     "cells (default: $REPRO_FAILURE_POLICY "
+                                     "or fail-fast)")
         experiment.add_argument("--timing", action="store_true",
-                                help="print engine wall time and cache stats "
-                                     "to stderr")
+                                help="print engine wall time, cache stats and "
+                                     "failure counters to stderr")
         experiment.set_defaults(func=_experiment_command(name))
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")

@@ -13,6 +13,7 @@ streaming traffic of non-preempted warps (§V, Table I discussion).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -132,7 +133,9 @@ class MemoryPipeline:
         self.total_requests += 1
         if kind:
             self.stats_by_kind[kind] = self.stats_by_kind.get(kind, 0) + nbytes
-        return int(self._port_free) + self.latency
+        # ceil, not int: truncating a fractional service time would report
+        # completion a cycle before the port is actually free
+        return math.ceil(self._port_free) + self.latency
 
     def port_busy_until(self) -> float:
         return self._port_free

@@ -220,8 +220,10 @@ class PreemptionController:
             warp.mode = WarpMode.RUNNING
             warp.next_free = max(warp.next_free, completion)
             # resume "completes" when execution re-reaches the preempted
-            # dynamic instruction (SM clears the watch when it happens)
-            warp.resume_watch_dyn = warp.resume_watch_dyn or warp.dyn_count
+            # dynamic instruction (SM clears the watch when it happens);
+            # `is None`, not truthiness — a watch target of dyn 0 is real
+            if warp.resume_watch_dyn is None:
+                warp.resume_watch_dyn = warp.dyn_count
             warp.resume_done_cycle = None
             measurement.resume_cycles = None
             self.sm.refresh_issuable()  # the warp left the scheduler's list

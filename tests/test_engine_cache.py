@@ -264,3 +264,195 @@ def test_scoreboard_prune_threshold_is_configurable_and_neutral():
         run_reference(launch.spec(), config).cycles
         == run_reference(launch.spec(), eager).cycles
     )
+
+
+# -- entry integrity: footer, truncation, bit flips ------------------------------
+
+
+def test_entry_footer_roundtrip_and_layout():
+    blob = ArtifactCache.encode_entry({"a": 1})
+    assert blob[-36:-32] == b"RCK2"
+    import hashlib
+
+    assert hashlib.sha256(blob[:-36]).digest() == blob[-32:]
+    assert ArtifactCache.decode_entry(blob) == {"a": 1}
+
+
+def test_truncated_entry_is_invalidated_and_recomputed(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    digest = cache.key_for("test", {"k": 1})
+    cache.put("test", digest, "x" * 1000)
+    path = tmp_path / "test" / f"{digest}.pkl"
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # lost the tail (and footer)
+    fresh = ArtifactCache(root=tmp_path, enabled=True)
+    assert fresh.get_or_create("test", {"k": 1}, lambda: "recomputed") == "recomputed"
+    assert fresh.stats.invalidations == 1
+    assert fresh.stats.stores == 1
+    # the healthy entry was re-stored and now round-trips
+    assert ArtifactCache(root=tmp_path, enabled=True).get("test", digest) == (
+        True,
+        "recomputed",
+    )
+
+
+def test_bit_flip_is_caught_by_the_checksum(tmp_path):
+    """A single flipped byte mid-payload still unpickles fine — only the
+    checksum footer can catch it."""
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    digest = cache.key_for("test", {"k": 1})
+    cache.put("test", digest, b"A" * 1000)
+    path = tmp_path / "test" / f"{digest}.pkl"
+    blob = bytearray(path.read_bytes())
+    blob[500] ^= 0xFF  # inside the pickled bytes body: pickle.loads succeeds
+    with pytest.raises(ValueError, match="checksum mismatch"):
+        ArtifactCache.decode_entry(bytes(blob))
+    path.write_bytes(bytes(blob))
+    fresh = ArtifactCache(root=tmp_path, enabled=True)
+    hit, _ = fresh.get("test", digest)
+    assert not hit
+    assert fresh.stats.invalidations == 1
+    assert not path.exists()
+
+
+def test_legacy_footerless_entry_is_invalidated(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    digest = cache.key_for("test", {"k": 1})
+    path = tmp_path / "test" / f"{digest}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps("schema-1 entry"))  # valid pickle, no footer
+    hit, _ = cache.get("test", digest)
+    assert not hit
+    assert cache.stats.invalidations == 1
+    assert not path.exists()
+
+
+# -- size cap / LRU eviction -----------------------------------------------------
+
+
+def test_eviction_is_lru_by_mtime_and_hits_refresh_recency(tmp_path):
+    import os
+
+    cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=0)
+    digests = [cache.key_for("test", {"k": i}) for i in range(3)]
+    for i, digest in enumerate(digests):
+        cache.put("test", digest, b"x" * 4096)
+    paths = [tmp_path / "test" / f"{d}.pkl" for d in digests]
+    entry_size = paths[0].stat().st_size
+    for i, path in enumerate(paths):  # entry 0 oldest, entry 2 newest
+        os.utime(path, (1_000_000 + i, 1_000_000 + i))
+    # a hit refreshes entry 0's mtime, so entry 1 becomes the LRU victim
+    fresh = ArtifactCache(root=tmp_path, enabled=True, max_bytes=2 * entry_size)
+    assert fresh.get("test", digests[0])[0]
+    assert fresh.evict_to_cap() == 1
+    assert fresh.stats.evictions == 1
+    assert paths[0].exists() and paths[2].exists()
+    assert not paths[1].exists()
+    # a store over the cap evicts automatically (put → evict_to_cap)
+    fresh.put("test", fresh.key_for("test", {"k": 99}), b"y" * 4096)
+    assert fresh.stats.evictions == 2
+    assert sum(p.stat().st_size for p in (tmp_path / "test").glob("*.pkl")) <= (
+        2 * entry_size + 64
+    )
+
+
+def test_no_cap_means_no_eviction(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=0)
+    for i in range(5):
+        cache.put("test", cache.key_for("test", {"k": i}), b"x" * 4096)
+    assert cache.evict_to_cap() == 0
+    assert cache.stats.evictions == 0
+
+
+# -- cumulative stats merging ----------------------------------------------------
+
+
+def test_flush_stats_merges_and_resets(tmp_path):
+    a = ArtifactCache(root=tmp_path, enabled=True)
+    b = ArtifactCache(root=tmp_path, enabled=True)
+    a.stats.hits, a.stats.misses = 3, 1
+    b.stats.hits, b.stats.evictions = 2, 5
+    a.flush_stats()
+    b.flush_stats()
+    totals = a.persisted_stats()
+    assert totals["hits"] == 5
+    assert totals["misses"] == 1
+    assert totals["evictions"] == 5
+    a.flush_stats()  # counters were reset: flushing again changes nothing
+    assert a.persisted_stats() == totals
+
+
+# -- configure_cache / atexit lifecycle (the stale-hook regression) --------------
+
+
+def test_configure_cache_reregisters_atexit_hook(tmp_path, monkeypatch):
+    """Reconfiguring must unregister the replaced cache's atexit hook and
+    register the new one; before the fix the stale hook flushed a dead
+    cache at exit while the live cache's counters were silently dropped."""
+    import repro.analysis.cache as cache_mod
+
+    registered, unregistered = [], []
+
+    class FakeAtexit:
+        @staticmethod
+        def register(fn):
+            registered.append(fn)
+            return fn
+
+        @staticmethod
+        def unregister(fn):
+            unregistered.append(fn)
+
+    previous = get_cache()
+    monkeypatch.setattr(cache_mod, "atexit", FakeAtexit)
+    try:
+        first = configure_cache(root=tmp_path / "a", enabled=True)
+        assert registered[-1] == first.flush_stats
+        assert unregistered[-1] == previous.flush_stats
+        second = configure_cache(root=tmp_path / "b", enabled=True)
+        assert unregistered[-1] == first.flush_stats
+        assert registered[-1] == second.flush_stats
+    finally:
+        monkeypatch.undo()
+        configure_cache(root=previous.root, enabled=previous.enabled)
+
+
+def test_configure_cache_flushes_replaced_counters(tmp_path):
+    import json
+
+    previous = get_cache()
+    try:
+        cache = configure_cache(root=tmp_path, enabled=True)
+        cache.get_or_create("test", {"k": 1}, lambda: "v")  # 1 miss + 1 store
+        configure_cache(root=previous.root, enabled=previous.enabled)
+        totals = json.loads((tmp_path / "stats.json").read_text())
+        assert totals["misses"] == 1 and totals["stores"] == 1
+    finally:
+        configure_cache(root=previous.root, enabled=previous.enabled)
+
+
+def test_configure_cache_can_skip_the_flush(tmp_path):
+    """Engine workers reconfigure with flush_previous=False — the forked
+    parent's counters must not leak into stats.json from every worker."""
+    previous = get_cache()
+    try:
+        cache = configure_cache(root=tmp_path, enabled=True)
+        cache.get_or_create("test", {"k": 1}, lambda: "v")
+        configure_cache(
+            root=previous.root, enabled=previous.enabled, flush_previous=False
+        )
+        assert not (tmp_path / "stats.json").exists()
+    finally:
+        configure_cache(root=previous.root, enabled=previous.enabled)
+
+
+# -- falsy-zero iterations default (satellite regression) ------------------------
+
+
+def test_explicit_zero_iterations_is_not_replaced_by_the_default():
+    from repro.analysis.engine import _resolved_iterations
+    from repro.kernels.suite import SUITE
+
+    assert _resolved_iterations("ge", None) == SUITE["ge"].default_iterations
+    assert SUITE["ge"].default_iterations != 0
+    assert _resolved_iterations("ge", 0) == 0  # the old `or` default lost this

@@ -1,0 +1,280 @@
+"""Fault injection for the experiment engine.
+
+Kills pool workers mid-unit, hangs them past the unit timeout, raises from
+units, returns unpicklable results — and asserts the engine's retry /
+fallback machinery always converges: every run either completes with
+results bit-identical to a clean serial run, or fails loudly per the
+configured :class:`~repro.analysis.engine.FailurePolicy`.
+
+When ``REPRO_FAULTS_REPORT`` names a file, the module writes the engine
+failure counters observed across these tests there as JSON (CI uploads it
+next to ``BENCH_engine.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.engine import (
+    FAULT_KILL_ENV,
+    EngineFailure,
+    EngineOptions,
+    ExperimentEngine,
+    FailurePolicy,
+    UnitFailure,
+)
+from repro.analysis.experiments import fig7_context_size
+
+from .test_engine_cache import _figure_rows, cache_at
+
+#: engine reports observed by the tests (dumped to $REPRO_FAULTS_REPORT)
+_REPORTS: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _faults_report():
+    yield
+    target = os.environ.get("REPRO_FAULTS_REPORT", "").strip()
+    if target and _REPORTS:
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(_REPORTS, fh, indent=2)
+
+
+def _record(engine: ExperimentEngine) -> None:
+    _REPORTS.append(engine.report.as_dict())
+
+
+# -- picklable fault units --------------------------------------------------------
+#
+# Each unit's first-attempt fault is gated on an O_CREAT|O_EXCL marker file,
+# so exactly one attempt misbehaves and every retry succeeds.
+
+
+def _claim(marker: str) -> bool:
+    """True exactly once per marker path (atomic across processes)."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return False
+    os.close(fd)
+    return True
+
+
+@dataclass(frozen=True)
+class OkUnit:
+    value: int
+
+    def run(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CrashOnceUnit:
+    """SIGKILLs its worker on the first attempt, succeeds afterwards."""
+
+    marker: str
+    value: int = -1
+
+    def run(self) -> int:
+        if _claim(self.marker):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.value
+
+
+@dataclass(frozen=True)
+class HangOnceUnit:
+    """Outlives any sane unit timeout on the first attempt only."""
+
+    marker: str
+    hang_s: float = 30.0
+    value: int = -2
+
+    def run(self) -> int:
+        if _claim(self.marker):
+            time.sleep(self.hang_s)
+        return self.value
+
+
+@dataclass(frozen=True)
+class HangUnit:
+    """Hangs on every attempt (tests retry exhaustion on timeouts)."""
+
+    hang_s: float = 30.0
+
+    def run(self) -> None:
+        time.sleep(self.hang_s)
+
+
+@dataclass(frozen=True)
+class RaiseUnit:
+    """Fails deterministically on every attempt, pool or in-process."""
+
+    message: str = "boom"
+
+    def run(self) -> None:
+        raise ValueError(self.message)
+
+
+@dataclass(frozen=True)
+class UnpicklableResultUnit:
+    """Succeeds in the worker, but its result cannot cross the pipe; only
+    the serial in-process fallback can deliver it."""
+
+    def run(self):
+        return lambda: 42  # noqa: E731 - deliberately unpicklable
+
+
+FAST = EngineOptions(
+    unit_timeout=5.0,
+    retries=2,
+    failure_policy=FailurePolicy.FAIL_FAST,
+    retry_backoff_s=0.01,
+)
+
+
+def _engine(jobs=2, **overrides) -> ExperimentEngine:
+    opts = EngineOptions(**{**FAST.__dict__, **overrides})
+    return ExperimentEngine(jobs, options=opts)
+
+
+# -- worker death -----------------------------------------------------------------
+
+
+def test_worker_crash_is_retried_and_results_stay_ordered(tmp_path):
+    units = [OkUnit(0), CrashOnceUnit(str(tmp_path / "kill")), OkUnit(2), OkUnit(3)]
+    engine = _engine()
+    results = engine.map(units)
+    assert results == [0, -1, 2, 3]
+    assert engine.report.crashes >= 1
+    assert engine.report.retries >= 1
+    assert engine.report.failures == 0
+    _record(engine)
+
+
+def test_crash_survivors_finished_before_abort_are_not_rerun(tmp_path):
+    """A wave aborted by a crash still harvests futures that completed
+    before teardown — their results arrive exactly once, in order."""
+    units = [OkUnit(i) for i in range(6)]
+    units[5] = CrashOnceUnit(str(tmp_path / "kill"), value=99)
+    engine = _engine(jobs=3)
+    assert engine.map(units) == [0, 1, 2, 3, 4, 99]
+    _record(engine)
+
+
+# -- hangs and the unit timeout ---------------------------------------------------
+
+
+def test_hung_unit_is_timed_out_and_retried(tmp_path):
+    units = [OkUnit(0), HangOnceUnit(str(tmp_path / "hang")), OkUnit(2)]
+    engine = _engine(unit_timeout=1.0)
+    assert engine.map(units) == [0, -2, 2]
+    assert engine.report.timeouts >= 1
+    assert engine.report.failures == 0
+    _record(engine)
+
+
+def test_timeout_exhaustion_skips_serial_fallback(tmp_path):
+    """A unit that times out on every attempt must NOT be retried
+    in-process (nothing bounds it there) — it fails per policy."""
+    engine = _engine(
+        unit_timeout=0.5, retries=1, failure_policy=FailurePolicy.COLLECT
+    )
+    results = engine.map([OkUnit(1), HangUnit()])
+    assert results[0] == 1
+    assert isinstance(results[1], UnitFailure)
+    assert "TimeoutError" in results[1].error
+    assert engine.report.timeouts == 2  # initial attempt + one retry
+    assert engine.report.fallbacks == 0
+    assert engine.report.failures == 1
+    _record(engine)
+
+
+# -- deterministic unit errors ----------------------------------------------------
+
+
+def test_fail_fast_raises_engine_failure():
+    engine = _engine(retries=0)
+    with pytest.raises(EngineFailure, match="boom"):
+        engine.map([OkUnit(1), RaiseUnit()])
+    assert engine.report.failures == 1
+    _record(engine)
+
+
+def test_collect_policy_substitutes_unit_failure_markers():
+    engine = _engine(retries=0, failure_policy=FailurePolicy.COLLECT)
+    results = engine.map([OkUnit(1), RaiseUnit("first"), RaiseUnit("second")])
+    assert results[0] == 1
+    assert [f.error for f in results[1:]] == [
+        "ValueError: first",
+        "ValueError: second",
+    ]
+    assert engine.report.failures == 2
+    assert engine.report.failed_units == [repr(RaiseUnit("first")),
+                                          repr(RaiseUnit("second"))]
+    _record(engine)
+
+
+def test_serial_map_applies_collect_policy():
+    engine = ExperimentEngine(
+        1, options=EngineOptions(failure_policy=FailurePolicy.COLLECT)
+    )
+    results = engine.map([OkUnit(7), RaiseUnit(), OkUnit(9)])
+    assert results[0] == 7 and results[2] == 9
+    assert isinstance(results[1], UnitFailure)
+    assert results[1].attempts == 1
+
+
+def test_unpicklable_result_lands_via_serial_fallback():
+    engine = _engine(retries=1)
+    results = engine.map([OkUnit(1), UnpicklableResultUnit(), OkUnit(3)])
+    assert results[0] == 1 and results[2] == 3
+    assert callable(results[1]) and results[1]() == 42
+    assert engine.report.fallbacks == 1
+    assert engine.report.failures == 0
+    _record(engine)
+
+
+# -- the acceptance sweep ---------------------------------------------------------
+
+
+def _flip_byte(path) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def test_faulted_parallel_sweep_matches_clean_serial_run(
+    tmp_path_factory, monkeypatch
+):
+    """The headline guarantee: kill a pool worker mid-unit AND corrupt a
+    cache entry, and a jobs=2 fig7 sweep still completes with rows
+    bit-identical to a clean jobs=1 run."""
+    clean_root = tmp_path_factory.mktemp("cache-clean")
+    with cache_at(clean_root):
+        truth = _figure_rows(
+            fig7_context_size(keys=["ge"], engine=ExperimentEngine(1))
+        )
+
+    faulty_root = tmp_path_factory.mktemp("cache-faulty")
+    with cache_at(faulty_root):  # warm the store we are about to damage
+        fig7_context_size(keys=["ge"], engine=ExperimentEngine(1))
+    weights_entries = list((faulty_root / "weights").glob("*.pkl"))
+    assert weights_entries
+    _flip_byte(weights_entries[0])  # checksum-detectable bit flip
+
+    monkeypatch.setenv(FAULT_KILL_ENV, str(tmp_path_factory.mktemp("f") / "kill"))
+    engine = ExperimentEngine(2, options=FAST)
+    with cache_at(faulty_root) as cache:
+        fig7 = fig7_context_size(keys=["ge"], engine=engine)
+        invalidations = cache.stats.invalidations
+    assert _figure_rows(fig7) == truth
+    assert engine.report.crashes >= 1  # the injected SIGKILL landed
+    assert invalidations >= 1  # the bit flip was caught and healed
+    assert engine.report.failures == 0
+    _record(engine)

@@ -118,3 +118,23 @@ class TestMemoryPipeline:
         pipe = MemoryPipeline(bytes_per_cycle=8, latency=0, ctx_bytes_per_cycle=1)
         pipe.request(0, 64, is_ctx=True)  # busy until 64
         assert pipe.request(1, 8) == 65
+
+    def test_fractional_service_time_rounds_completion_up(self):
+        # regression: `int(self._port_free)` truncated fractional service
+        # times, reporting completion a cycle before the port was free
+        pipe = MemoryPipeline(bytes_per_cycle=3, latency=0)
+        assert pipe.request(0, 4) == 2  # port busy until 1.33 → cycle 2
+        assert pipe.request(0, 4) == 3  # accumulates to 2.67 → cycle 3
+        assert pipe.port_busy_until() == pytest.approx(8 / 3)
+
+    def test_fractional_ctx_rate_rounds_up(self):
+        # the shipped GPUConfig presets use fractional context-buffer rates
+        # (e.g. 0.093 B/cycle), so every ctx request hits this path
+        pipe = MemoryPipeline(
+            bytes_per_cycle=8, latency=0, ctx_bytes_per_cycle=0.4
+        )
+        assert pipe.request(0, 1, is_ctx=True) == 3  # 2.5 cycles of service
+
+    def test_fractional_service_with_latency(self):
+        pipe = MemoryPipeline(bytes_per_cycle=3, latency=100)
+        assert pipe.request(0, 4) == 2 + 100

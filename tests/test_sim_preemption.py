@@ -157,3 +157,55 @@ class TestBackgroundContention:
         assert result.memory.load_word(0x30000) != 0
         # only the target warps were preempted
         assert len(result.measurements) == 2
+
+
+class TestDropResumeWatch:
+    def test_watch_target_of_dyn_zero_survives_resume(self):
+        """Regression: the drop-resume path set the watch with
+        ``watch or dyn_count``, so a legitimate watch target of dynamic
+        instruction 0 was clobbered by the restored checkpoint progress
+        (ending the resume measurement at the wrong instruction)."""
+        from types import SimpleNamespace
+
+        from repro.sim.memory import MemoryPipeline
+        from repro.sim.preemption import PreemptionController, WarpMeasurement
+        from repro.sim.warp import CkptSnapshot, SimWarp
+
+        sm = SimpleNamespace(
+            pipeline=MemoryPipeline(bytes_per_cycle=8, latency=0),
+            refresh_issuable=lambda: None,
+        )
+        warp = SimWarp(
+            warp_id=0,
+            state=SimpleNamespace(restore_regs=lambda regs: None),
+            main_program=SimpleNamespace(),
+        )
+        warp.mode = WarpMode.EVICTED
+        warp.active_strategy = "drop"
+        warp.resume_watch_dyn = 0  # preempted at dynamic instruction 0
+        warp.last_checkpoint = CkptSnapshot(
+            regs=(), lds=None, dyn_count=5, probe_counts={}, nbytes=64,
+            pc_after_probe=1,
+        )
+        controller = PreemptionController(
+            sm=sm, prepared=SimpleNamespace(), target_warp_ids={0}, signal_dyn=0
+        )
+        controller.measurements[0] = WarpMeasurement(
+            warp_id=0, signal_pc=0, signal_cycle=0, latency_cycles=1
+        )
+        controller.resume_warp(warp, cycle=10)
+        assert warp.mode is WarpMode.RUNNING
+        assert warp.resume_watch_dyn == 0  # `or` rewrote this to 5
+
+    def test_ckpt_signal_at_dyn_zero_still_verifies(
+        self, loop_launch, loop_kernel, small_config
+    ):
+        """End-to-end: a preemption landing at dynamic instruction 0 walks
+        the watch-target-zero path and must still resume correctly."""
+        from repro.mechanisms import make_mechanism
+
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        result = run_preemption_experiment(
+            loop_launch, prepared, small_config, signal_dyn=0, resume_gap=100
+        )
+        assert result.verified
