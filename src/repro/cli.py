@@ -13,7 +13,10 @@ Commands:
   ``--jobs N`` to fan work units out over a process pool; default from the
   ``REPRO_JOBS`` environment variable);
 * ``cache``    — inspect or clear the on-disk artifact cache
-  (``REPRO_CACHE_DIR``) the experiment commands share.
+  (``REPRO_CACHE_DIR``) the experiment commands share;
+* ``lint``     — symbolically verify every (kernel × mechanism) plan and run
+  the dataflow/structural lints; ``--strict`` promotes warnings to failures,
+  ``--diff-baseline`` turns it into a ratchet.
 """
 
 from __future__ import annotations
@@ -237,6 +240,53 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .verify import (
+        LintOptions,
+        describe_codes,
+        diff_against_baseline,
+        load_baseline_keys,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.codes:
+        print(describe_codes())
+        return 0
+    options = LintOptions(
+        keys=tuple(args.keys.split(",")) if args.keys else (),
+        mechanisms=tuple(args.mechanisms.split(",")) if args.mechanisms else (),
+        warp_size=args.warp_size,
+        strict=args.strict,
+    )
+    report = run_lint(options)
+    rendered_json = render_json(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json + "\n")
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json + "\n")
+        print(f"baseline written: {args.write_baseline} "
+              f"({len(report.findings)} finding(s))", file=sys.stderr)
+    blocking = report.failing
+    if args.diff_baseline:
+        baseline = load_baseline_keys(args.diff_baseline)
+        blocking = diff_against_baseline(blocking, baseline)
+        known = len(report.failing) - len(blocking)
+        if known:
+            print(f"[ratchet] {known} pre-existing finding(s) accepted from "
+                  f"{args.diff_baseline}", file=sys.stderr)
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(render_text(report))
+        if args.diff_baseline and report.failing and not blocking:
+            print("OK against baseline (no new findings)")
+    return 1 if blocking else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true",
                        help="remove every cached artifact")
     cache.set_defaults(func=cmd_cache)
+
+    lint = sub.add_parser(
+        "lint", help="verify and lint every (kernel × mechanism) plan")
+    lint.add_argument("--keys", default="",
+                      help="comma-separated kernel subset (default: suite)")
+    lint.add_argument("--mechanisms", default="",
+                      help="comma-separated mechanism subset "
+                           "(default: the six evaluated mechanisms)")
+    lint.add_argument("--warp-size", type=int, default=64)
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="stdout reporter (default: text)")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE "
+                           "(written even when the run fails)")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings fail the run too")
+    lint.add_argument("--diff-baseline", default=None, metavar="FILE",
+                      help="ratchet: only findings absent from this previous "
+                           "JSON report fail the run")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="write the JSON report as a new ratchet baseline")
+    lint.add_argument("--codes", action="store_true",
+                      help="list the finding codes and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -44,7 +44,11 @@ class Value:
         return f"Value({self.home}:{origin}#{self.vid})"
 
 
-_COPY_MNEMONICS = frozenset({"s_mov", "v_mov"})
+#: register-to-register move mnemonics through which values copy-propagate.
+#: Public: the plan verifier (repro.verify) interprets the same set of
+#: mnemonics as exact copies, so the two must never diverge.
+COPY_MNEMONICS = frozenset({"s_mov", "v_mov"})
+_COPY_MNEMONICS = COPY_MNEMONICS  # backwards-compatible alias
 
 
 @dataclass

@@ -54,16 +54,23 @@ class CtxBackConfig:
 
 
 @dataclass
-class _BlockState:
+class BlockState:
+    """Value numbering of one basic block plus the per-position register map.
+
+    Shared between the flashback analyzer and the symbolic plan verifier
+    (:mod:`repro.verify`), which re-derives the signal-time register file
+    from the same numbering the plans were built from.
+    """
+
     block: BasicBlock
     region: RegionValues
     #: state_at[i] = register file contents before executing block.start + i
     state_at: list[dict[Reg, Value]]
 
 
-def _build_block_state(
+def build_block_state(
     program: Program, block: BasicBlock, liveness, partial_exec: frozenset[int]
-) -> _BlockState:
+) -> BlockState:
     entry_regs = liveness.live_in[block.start] if len(block) else ()
     region = number_region(
         program, block.start, block.end, entry_regs=entry_regs,
@@ -77,7 +84,12 @@ def _build_block_state(
         for reg, value in zip(instruction.defs(), region.def_values_at(pos)):
             state[reg] = value
     states.append(dict(state))
-    return _BlockState(block, region, states)
+    return BlockState(block, region, states)
+
+
+# backwards-compatible aliases (pre-public names)
+_BlockState = BlockState
+_build_block_state = build_block_state
 
 
 class FlashbackAnalyzer:
@@ -95,7 +107,7 @@ class FlashbackAnalyzer:
         self.alias_model = (
             AliasModel.NO_ALIAS if kernel.noalias else AliasModel.MAY_ALIAS
         )
-        self._block_states: dict[int, _BlockState] = {}
+        self._block_states: dict[int, BlockState] = {}
         self._lds_share = lds_share_bytes(kernel)
         spec = self.config.rf_spec
         self._live_bytes = [
@@ -108,10 +120,10 @@ class FlashbackAnalyzer:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _block_state(self, block: BasicBlock) -> _BlockState:
+    def _block_state(self, block: BasicBlock) -> BlockState:
         state = self._block_states.get(block.index)
         if state is None:
-            state = _build_block_state(
+            state = build_block_state(
                 self.program, block, self.liveness, self.partial_exec
             )
             self._block_states[block.index] = state

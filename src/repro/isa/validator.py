@@ -69,6 +69,13 @@ def validate_instruction(instruction: Instruction) -> list[str]:
 
     src_rules = _SRC_RULES.get(mnemonic)
     if src_rules is not None:
+        if len(src_rules) != len(instruction.srcs):
+            # a truncating zip here would leave the extra operands unchecked
+            problems.append(
+                f"{mnemonic}: source rule covers {len(src_rules)} operand(s) "
+                f"but the instruction has {len(instruction.srcs)} — rule/arity "
+                f"mismatch"
+            )
         for position, (operand, allowed) in enumerate(
             zip(instruction.srcs, src_rules)
         ):

@@ -66,6 +66,27 @@ class PreparedKernel:
             raise RuntimeError("no warp initializer attached")
         self.warp_initializer(warp)
 
+    def iter_routines(self, unique: bool = True):
+        """Yield ``(position, where, routine)`` for every plan routine.
+
+        ``where`` is ``"preempt"`` or ``"resume"``.  Plans may share routine
+        ``Program`` objects (BASELINE's template, CTXBack after
+        ``share_routines``); with ``unique`` each shared object is yielded
+        once, at its lowest position — what auditing passes want.
+        """
+        seen: set[int] = set()
+        for position in sorted(self.plans):
+            plan = self.plans[position]
+            for where, routine in (
+                ("preempt", plan.preempt_routine),
+                ("resume", plan.resume_routine),
+            ):
+                if unique:
+                    if id(routine) in seen:
+                        continue
+                    seen.add(id(routine))
+                yield position, where, routine
+
     # -- static context statistics (Fig. 7) ------------------------------------
 
     def context_bytes_by_position(self) -> list[int]:

@@ -1,0 +1,68 @@
+"""Symbolic plan verifier and ISA dataflow lint framework.
+
+``repro.verify`` proves — by abstract interpretation over the
+:mod:`repro.isa` semantics — that every mechanism's preemption/resuming
+routine pair rebuilds the live context at the signal position, and lints the
+generated artifacts for structural problems (slot overlap, clobbered OSRB
+backups, illegal revert-table entries, ...).  Run it with
+``python -m repro lint``; see DESIGN.md §"Verification" for the abstract
+domain and the finding-code catalogue.
+"""
+
+from .findings import (
+    CODE_REGISTRY,
+    Finding,
+    FindingList,
+    Severity,
+    errors,
+    failing,
+)
+from .interp import CtxBufferModel, RoutineInterp
+from .lint import (
+    LintOptions,
+    LintReport,
+    lint_opcode_table,
+    lint_osrb,
+    lint_routine_kinds,
+    run_lint,
+)
+from .oracle import BlockOracle, KernelOracle, RevertCandidate
+from .plans import PlanVerifier, verify_prepared
+from .report import (
+    describe_codes,
+    diff_against_baseline,
+    finding_to_dict,
+    load_baseline_keys,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+
+__all__ = [
+    "CODE_REGISTRY",
+    "Finding",
+    "FindingList",
+    "Severity",
+    "errors",
+    "failing",
+    "CtxBufferModel",
+    "RoutineInterp",
+    "LintOptions",
+    "LintReport",
+    "lint_opcode_table",
+    "lint_osrb",
+    "lint_routine_kinds",
+    "run_lint",
+    "BlockOracle",
+    "KernelOracle",
+    "RevertCandidate",
+    "PlanVerifier",
+    "verify_prepared",
+    "describe_codes",
+    "diff_against_baseline",
+    "finding_to_dict",
+    "load_baseline_keys",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+]

@@ -1,0 +1,158 @@
+"""Finding model shared by the plan verifier and the lint passes.
+
+Every problem the ``repro.verify`` subsystem can report is a :class:`Finding`
+carrying a stable *code* from the registry below.  Codes are the public
+contract: tests assert on them, the CI ratchet (``--diff-baseline``) keys on
+them, and DESIGN.md documents them.  Add new codes to :data:`CODE_REGISTRY`
+— an unknown code raises at construction time so typos cannot silently
+produce unclassifiable findings.
+
+Severities:
+
+* ``error``   — the plan/routine is provably wrong (or unverifiable);
+  always fails ``python -m repro lint``;
+* ``warning`` — suspicious but not a proven miscompile; fails only under
+  ``--strict``;
+* ``info``    — accounting notes, never failing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: code -> (severity, one-line description).  VER1xx come from the symbolic
+#: plan verifier, LNT2xx from the dataflow/structural lint passes.
+CODE_REGISTRY: dict[str, tuple[Severity, str]] = {
+    # --- symbolic plan verifier -------------------------------------------------
+    "VER101": (Severity.ERROR, "live register holds the wrong value after resume"),
+    "VER102": (Severity.ERROR, "live register left undefined after resume"),
+    "VER103": (Severity.ERROR, "ctx load from a slot the preemption routine never stored"),
+    "VER104": (Severity.ERROR, "ctx slot reloaded with a mismatched register class"),
+    "VER105": (Severity.ERROR, "routine instruction is not a provable re-execution or revert"),
+    "VER106": (Severity.ERROR, "resume PC is inconsistent with the plan"),
+    "VER107": (Severity.ERROR, "exec mask not reconstructed at the flashback resume"),
+    "VER108": (Severity.ERROR, "LDS allocation not saved/restored consistently"),
+    "VER109": (Severity.ERROR, "plan context_bytes disagrees with the routine's stores"),
+    "VER110": (Severity.ERROR, "resume routine reads a register before defining it"),
+    "VER111": (Severity.ERROR, "revert instruction is not a true inverse of its kill"),
+    "VER112": (Severity.ERROR, "checkpoint site inconsistent with the instrumented kernel"),
+    # --- dataflow / structural lints --------------------------------------------
+    "LNT201": (Severity.ERROR, "context-buffer slots overlap"),
+    "LNT202": (Severity.WARNING, "context buffer exceeds the per-warp budget"),
+    "LNT203": (Severity.WARNING, "saved context slot never reloaded (dead save)"),
+    "LNT204": (Severity.WARNING, "masked register move after a partial exec restore"),
+    "LNT205": (Severity.ERROR, "OSRB backup register clobbered inside its block"),
+    "LNT206": (Severity.ERROR, "opcode revert table entry is structurally illegal"),
+    "LNT207": (Severity.ERROR, "generated routine fails operand-kind validation"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier/lint finding, locatable and stable across runs.
+
+    ``position`` is the plan's signal position (or instruction position for
+    kernel-level findings); ``where`` narrows it to a routine ("preempt",
+    "resume", "kernel", "plan", ...).
+    """
+
+    code: str
+    message: str
+    kernel: str = ""
+    mechanism: str = ""
+    position: int | None = None
+    where: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODE_REGISTRY:
+            raise ValueError(f"unregistered finding code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return CODE_REGISTRY[self.code][0]
+
+    @property
+    def key(self) -> tuple:
+        """Identity used by the ``--diff-baseline`` ratchet: stable across
+        runs as long as the finding itself persists."""
+        return (self.code, self.kernel, self.mechanism, self.position, self.where)
+
+    def render(self) -> str:
+        location = self.kernel or "<table>"
+        if self.mechanism:
+            location += f"/{self.mechanism}"
+        if self.position is not None:
+            location += f"@{self.position}"
+        if self.where:
+            location += f":{self.where}"
+        return f"{self.code} [{self.severity.value}] {location}: {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (
+            self.severity.rank,
+            self.code,
+            self.kernel,
+            self.mechanism,
+            -1 if self.position is None else self.position,
+            self.where,
+            self.message,
+        )
+
+
+@dataclass
+class FindingList:
+    """Accumulator with the context labels filled in automatically."""
+
+    kernel: str = ""
+    mechanism: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        position: int | None = None,
+        where: str = "",
+    ) -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                message=message,
+                kernel=self.kernel,
+                mechanism=self.mechanism,
+                position=position,
+                where=where,
+            )
+        )
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+
+def errors(findings) -> list[Finding]:
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def failing(findings, strict: bool = False) -> list[Finding]:
+    """Findings that should fail the run: errors, plus warnings when strict."""
+    if strict:
+        return [f for f in findings if f.severity is not Severity.INFO]
+    return errors(findings)

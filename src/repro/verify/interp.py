@@ -1,0 +1,461 @@
+"""Abstract interpretation of preempt/resume routines over value classes.
+
+The abstract domain is a *set of facts* per register: each fact (atom) names
+something the register's concrete value provably equals —
+
+* ``("cid", c)`` — the value of congruence class ``c`` of the block oracle;
+* ``("unk", reg)`` — the (unknown but fixed) value *reg* held when the
+  preemption signal arrived; produced for registers the block's value
+  numbering does not track (e.g. BASELINE's dead-register saves);
+* ``("full",)`` — the all-lanes-enabled exec mask a warp restarts with after
+  its register file is cleared (``sim.regfile.clear``);
+* ``("const", v)`` — an immediate;
+* ``("opaque", n)`` — result of an instruction the verifier could not prove
+  anything about (each occurrence distinct).
+
+Sets stay singletons almost everywhere; they only grow when one routine
+instruction is provably *both* a re-execution and a revert (then the result
+equals both classes at once, so the union is sound).  Routine instructions
+are recognised against the oracle's indices:
+
+* ``ctx_*`` ops drive the :class:`CtxBufferModel`;
+* register moves copy the fact set (the same ``COPY_MNEMONICS`` the value
+  numbering propagates through);
+* a verbatim kernel instruction whose operands hold their original value
+  classes is a legal re-execution (flashback re-execution and CS-Defer's
+  deferred window both reduce to this);
+* an instruction matching a :class:`~repro.verify.oracle.RevertCandidate`
+  recovers the overwritten class (Alg. 2 inverses, checked to be true
+  inverses — wrong operand/immediate/mnemonic fails the match);
+* anything else is unverifiable (``VER105``/``VER111``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..compiler.usedef import COPY_MNEMONICS
+from ..isa.instruction import Imm, Instruction, Program
+from ..isa.opcodes import MemKind, OpClass
+from ..isa.registers import EXEC, Reg, RegKind
+from .findings import FindingList
+from .oracle import BlockOracle, KernelOracle
+
+FULL_EXEC = ("full",)
+
+
+@dataclass
+class SlotRecord:
+    offset: int
+    nbytes: int
+    is_vector: bool
+    token: frozenset
+    source: str
+    loaded: bool = False
+
+
+@dataclass
+class CtxBufferModel:
+    """Context-buffer usage of one plan: slots, overlap, the LDS area."""
+
+    slots: dict[int, SlotRecord] = field(default_factory=dict)
+    lds_stored: int | None = None
+    lds_loaded: int | None = None
+
+    def store(
+        self,
+        offset: int,
+        nbytes: int,
+        is_vector: bool,
+        token: frozenset,
+        source: str,
+        fl: FindingList,
+        position: int,
+        where: str,
+    ) -> None:
+        for record in self.slots.values():
+            if offset < record.offset + record.nbytes and record.offset < offset + nbytes:
+                fl.add(
+                    "LNT201",
+                    f"store of {source} at [{offset:#x},{offset + nbytes:#x}) "
+                    f"overlaps the slot of {record.source} at "
+                    f"[{record.offset:#x},{record.offset + record.nbytes:#x})",
+                    position,
+                    where,
+                )
+        self.slots[offset] = SlotRecord(offset, nbytes, is_vector, token, source)
+
+    def load(
+        self,
+        offset: int,
+        nbytes: int,
+        is_vector: bool,
+        dst: Reg,
+        fl: FindingList,
+        position: int,
+        where: str,
+    ) -> frozenset | None:
+        record = self.slots.get(offset)
+        if record is None:
+            fl.add(
+                "VER103",
+                f"{dst} loaded from ctx slot {offset:#x}, which the "
+                f"preemption routine never stored",
+                position,
+                where,
+            )
+            return None
+        record.loaded = True
+        if record.is_vector != is_vector or record.nbytes != nbytes:
+            fl.add(
+                "VER104",
+                f"slot {offset:#x} holds {record.nbytes} B of {record.source} "
+                f"but is reloaded as {nbytes} B into {dst}",
+                position,
+                where,
+            )
+        return record.token
+
+    def stored_reg_bytes(self) -> int:
+        return sum(record.nbytes for record in self.slots.values())
+
+
+class RoutineInterp:
+    """Symbolically executes one routine against the block oracle."""
+
+    def __init__(
+        self,
+        kernel_oracle: KernelOracle,
+        oracle: BlockOracle,
+        buffer: CtxBufferModel,
+        fl: FindingList,
+        position: int,
+        where: str,
+        warp_size: int,
+        lds_share: int,
+        opaque_ids: "itertools.count",
+        initial: dict[Reg, frozenset] | None = None,
+        implicit_unknowns: bool = False,
+    ) -> None:
+        self.kernel_oracle = kernel_oracle
+        self.oracle = oracle
+        self.buffer = buffer
+        self.fl = fl
+        self.position = position
+        self.where = where
+        self.warp_size = warp_size
+        self.lds_share = lds_share
+        self._opaque_ids = opaque_ids
+        self.state: dict[Reg, frozenset] = dict(initial or {})
+        #: preempt routines may read any physical register (BASELINE saves
+        #: the whole allocation): reads outside the tracked state produce a
+        #: stable "whatever it held at the signal" fact.  Resume routines run
+        #: on a cleared register file, so such reads are real bugs (VER110).
+        self._implicit_unknowns = implicit_unknowns
+        self._reported_undef: set[Reg] = set()
+        self._warned_masked_mov = False
+
+    # -- state ------------------------------------------------------------------
+
+    def _opaque(self) -> frozenset:
+        return frozenset({("opaque", next(self._opaque_ids))})
+
+    def read(self, reg: Reg) -> frozenset:
+        token = self.state.get(reg)
+        if token is not None:
+            return token
+        if self._implicit_unknowns:
+            token = frozenset({("unk", reg)})
+        else:
+            if reg not in self._reported_undef:
+                self._reported_undef.add(reg)
+                self.fl.add(
+                    "VER110",
+                    f"{reg} read before the routine defines it "
+                    f"(the register file is cleared on eviction)",
+                    self.position,
+                    self.where,
+                )
+            token = self._opaque()
+        self.state[reg] = token
+        return token
+
+    def write(self, reg: Reg, token: frozenset) -> None:
+        self.state[reg] = token
+
+    def _holds(self, reg: Reg, cid: int) -> bool:
+        return ("cid", cid) in self.read(reg)
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self, routine: Program) -> None:
+        for instruction in routine.instructions:
+            self.step(instruction)
+
+    def step(self, instruction: Instruction) -> None:
+        mnemonic = instruction.mnemonic
+        if mnemonic.startswith("ctx_"):
+            self._step_ctx(instruction)
+            return
+        spec = instruction.spec
+        if spec.is_branch or spec.is_terminator:
+            self.fl.add(
+                "VER105",
+                f"control flow inside a routine is not verifiable: "
+                f"{instruction}",
+                self.position,
+                self.where,
+            )
+            return
+        if mnemonic in COPY_MNEMONICS and self._is_plain_copy(instruction):
+            self._step_copy(instruction)
+            return
+        self._step_computation(instruction)
+
+    # -- context buffer ------------------------------------------------------------
+
+    def _step_ctx(self, instruction: Instruction) -> None:
+        mnemonic = instruction.mnemonic
+        if mnemonic == "ctx_store_lds":
+            nbytes = instruction.srcs[0].value
+            if self.lds_share == 0 or nbytes != self.lds_share:
+                self.fl.add(
+                    "VER108",
+                    f"ctx_store_lds of {nbytes} B but the kernel's per-warp "
+                    f"LDS share is {self.lds_share} B",
+                    self.position,
+                    self.where,
+                )
+            self.buffer.lds_stored = nbytes
+            return
+        if mnemonic == "ctx_load_lds":
+            nbytes = instruction.srcs[0].value
+            if self.buffer.lds_stored != nbytes:
+                self.fl.add(
+                    "VER108",
+                    f"ctx_load_lds of {nbytes} B but the preemption routine "
+                    f"stored {self.buffer.lds_stored}",
+                    self.position,
+                    self.where,
+                )
+            self.buffer.lds_loaded = nbytes
+            return
+        if mnemonic in ("ctx_store_v", "ctx_store_s"):
+            reg = instruction.srcs[0]
+            offset = instruction.srcs[1].value
+            self.buffer.store(
+                offset,
+                reg.context_bytes(self.warp_size),
+                reg.kind is RegKind.VECTOR,
+                self.read(reg),
+                str(reg),
+                self.fl,
+                self.position,
+                self.where,
+            )
+            return
+        if mnemonic in ("ctx_load_v", "ctx_load_s"):
+            offset = instruction.srcs[0].value
+            dst = instruction.dsts[0]
+            token = self.buffer.load(
+                offset,
+                dst.context_bytes(self.warp_size),
+                dst.kind is RegKind.VECTOR,
+                dst,
+                self.fl,
+                self.position,
+                self.where,
+            )
+            self.write(dst, token if token is not None else self._opaque())
+            return
+        self.fl.add(  # pragma: no cover - exhaustive over ctx_* opcodes
+            "VER105",
+            f"unrecognised context accessor {instruction}",
+            self.position,
+            self.where,
+        )
+
+    # -- copies -----------------------------------------------------------------
+
+    def _is_plain_copy(self, instruction: Instruction) -> bool:
+        """A masked (partial-exec) v_mov merges lanes — not a plain copy.
+
+        That only happens to verbatim kernel instructions re-executed in a
+        routine; those are handled by the re-execution rule instead.
+        """
+        if not isinstance(instruction.srcs[0], Reg):
+            return True  # immediate mov: still a plain write
+        if instruction.mnemonic != "v_mov":
+            return True
+        positions = self.oracle.reexec_index.get(instruction)
+        if positions and any(q in self.oracle.partial_exec for q in positions):
+            return False
+        return True
+
+    def _step_copy(self, instruction: Instruction) -> None:
+        dst = instruction.dsts[0]
+        src = instruction.srcs[0]
+        if isinstance(src, Imm):
+            atoms = {("const", src.value)}
+        else:
+            if (
+                instruction.mnemonic == "v_mov"
+                and self.kernel_oracle.exec_may_be_partial
+                and FULL_EXEC not in self.read(EXEC)
+                and instruction not in self.oracle.reexec_index
+                and not self._warned_masked_mov
+            ):
+                # a routine-emitted v_mov after the exec mask was restored to
+                # a possibly-partial value copies only the active lanes
+                self._warned_masked_mov = True
+                self.fl.add(
+                    "LNT204",
+                    f"{instruction} executes after the exec mask may have "
+                    f"been restored to a partial value; the copy is "
+                    f"lane-masked",
+                    self.position,
+                    self.where,
+                )
+            atoms = set(self.read(src))
+        # a verbatim kernel mov whose operands hold their original values is
+        # *also* a re-execution: its destination additionally holds the
+        # kernel definition's value class (which downstream re-executed
+        # instructions consume — e.g. an accumulator initialised by an
+        # immediate mov and rebuilt by re-running the chain)
+        region = self.oracle.region
+        for q in self.oracle.reexec_index.get(instruction, ()):
+            pairs = zip(region.effective_uses_at(q), region.use_values_at(q))
+            if all(self._holds(reg, self.oracle.cid(v)) for reg, v in pairs):
+                for reg, value in zip(
+                    instruction.defs(), region.def_values_at(q)
+                ):
+                    if reg == dst:
+                        atoms.add(("cid", self.oracle.cid(value)))
+        self.write(dst, frozenset(atoms))
+
+    # -- re-execution and reverting -------------------------------------------------
+
+    def _step_computation(self, instruction: Instruction) -> None:
+        """Prove the instruction is a re-execution and/or a true revert."""
+        oracle = self.oracle
+        region = oracle.region
+        result: dict[Reg, set] = {}
+        matched_reexec = False
+        reexec_positions = oracle.reexec_index.get(instruction, ())
+        for q in reexec_positions:
+            pairs = zip(
+                region.effective_uses_at(q), region.use_values_at(q)
+            )
+            if all(self._holds(reg, oracle.cid(v)) for reg, v in pairs):
+                matched_reexec = True
+                for reg, value in zip(
+                    instruction.defs(), region.def_values_at(q)
+                ):
+                    result.setdefault(reg, set()).add(("cid", oracle.cid(value)))
+
+        matched_revert = False
+        candidates = oracle.revert_index.get(instruction.mnemonic, ())
+        if candidates and len(instruction.dsts) == 1:
+            actual_srcs = [
+                ("imm", src) if isinstance(src, Imm) else ("reg", src)
+                for src in instruction.srcs
+            ]
+            for candidate in candidates:
+                if len(candidate.srcs) != len(actual_srcs):
+                    continue
+                ok = True
+                for wanted, actual in zip(candidate.srcs, actual_srcs):
+                    if wanted[0] == "imm":
+                        if actual != wanted:
+                            ok = False
+                            break
+                    else:  # ("val", cid): the operand register must hold it
+                        if actual[0] != "reg" or not self._holds(
+                            actual[1], wanted[1]
+                        ):
+                            ok = False
+                            break
+                if ok and all(
+                    self._holds(reg, cid) for reg, cid in candidate.implicit
+                ):
+                    matched_revert = True
+                    dst = instruction.dsts[0]
+                    result.setdefault(dst, set()).add(
+                        ("cid", candidate.recovered_cid)
+                    )
+
+        if matched_reexec or matched_revert:
+            opaque = self._opaque()
+            for reg in instruction.defs():
+                atoms = result.get(reg)
+                self.write(reg, frozenset(atoms) if atoms else opaque)
+            return
+
+        # neither interpretation holds: the operands are still consumed
+        # (surfacing undefined reads), then classify the failure
+        for reg in instruction.uses():
+            self.read(reg)
+        opaque = self._opaque()
+        for reg in instruction.defs():
+            self.write(reg, opaque)
+        if reexec_positions:
+            self.fl.add(
+                "VER105",
+                f"{instruction} matches a kernel instruction at position(s) "
+                f"{list(reexec_positions)} but its operands do not hold the "
+                f"original values here",
+                self.position,
+                self.where,
+            )
+        elif candidates:
+            self.fl.add(
+                "VER111",
+                f"{instruction} is shaped like a revert but is not a true "
+                f"inverse of any overwrite in this block",
+                self.position,
+                self.where,
+            )
+        else:
+            self.fl.add(
+                "VER105",
+                f"{instruction} is neither a context access, a copy, a "
+                f"re-executed kernel instruction, nor a provable revert",
+                self.position,
+                self.where,
+            )
+
+    # -- LDS ordering -----------------------------------------------------------
+
+    def check_lds_order(self, routine: Program) -> None:
+        """LDS-class ops must run after the LDS restore (resume) and before
+        the LDS save (preempt)."""
+        if self.lds_share == 0:
+            return
+        if self.where == "resume":
+            for instruction in routine.instructions:
+                if instruction.mnemonic == "ctx_load_lds":
+                    return
+                if instruction.spec.opclass is OpClass.LDS:
+                    self.fl.add(
+                        "VER108",
+                        f"{instruction} touches LDS before the routine "
+                        f"restores the LDS allocation",
+                        self.position,
+                        self.where,
+                    )
+                    return
+        else:
+            seen_store = False
+            for instruction in routine.instructions:
+                if instruction.mnemonic == "ctx_store_lds":
+                    seen_store = True
+                elif seen_store and instruction.spec.mem is MemKind.LDS_WRITE:
+                    self.fl.add(
+                        "VER108",
+                        f"{instruction} writes LDS after the routine already "
+                        f"saved the LDS allocation",
+                        self.position,
+                        self.where,
+                    )
+                    return

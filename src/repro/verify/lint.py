@@ -1,0 +1,239 @@
+"""Lint passes and the ``python -m repro lint`` orchestration.
+
+Three pass families run over the full (kernel × mechanism) matrix:
+
+* the **symbolic plan verifier** (:mod:`repro.verify.plans`) — VER1xx;
+* **structural lints** that need no plans: opcode revert-table legality
+  (LNT206) and OSRB backup-register clobbering (LNT205);
+* the **operand-kind audit** of every generated routine and instrumented
+  kernel through :mod:`repro.isa.validator` (LNT207) — the machine-run
+  version of the validator docstring's promise.
+
+``run_lint`` is deliberately deterministic (sorted kernels, sorted
+mechanisms, sorted findings) so its JSON output is diffable and usable as a
+ratchet baseline in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.cfg import build_cfg
+from ..ctxback.osrb import apply_osrb
+from ..isa.instruction import Kernel
+from ..isa.opcodes import OPCODES, ReversibilityModel
+from ..isa.registers import RegisterFileSpec, RegKind
+from ..isa.validator import validate_kernel, validate_program
+from ..kernels.suite import SUITE
+from ..mechanisms import ALL_MECHANISMS, make_mechanism
+from ..mechanisms.base import PreparedKernel
+from ..sim.config import GPUConfig
+from .findings import Finding, FindingList, failing
+from .plans import verify_prepared
+
+
+# -- opcode revert-table legality (LNT206) -------------------------------------
+
+
+def lint_opcode_table() -> list[Finding]:
+    """Check every revert entry in the opcode table is structurally sound."""
+    findings: list[Finding] = []
+
+    def bad(mnemonic: str, src_pos: int, message: str) -> None:
+        findings.append(
+            Finding(
+                code="LNT206",
+                message=message,
+                where=f"{mnemonic}/src{src_pos}",
+            )
+        )
+
+    for mnemonic, spec in sorted(OPCODES.items()):
+        for src_pos, revert_spec in sorted(spec.revert.items()):
+            if spec.n_dst != 1:
+                bad(mnemonic, src_pos, "revertible opcodes must have one dst")
+            if not 0 <= src_pos < spec.n_src:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"recovered operand position {src_pos} is outside the "
+                    f"{spec.n_src} sources",
+                )
+                continue
+            inverse = OPCODES.get(revert_spec.inv_mnemonic)
+            if inverse is None:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"inverse {revert_spec.inv_mnemonic!r} is not an opcode",
+                )
+                continue
+            if inverse.n_dst != 1:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"inverse {inverse.mnemonic} must have one dst",
+                )
+            if inverse.opclass is not spec.opclass:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"inverse {inverse.mnemonic} runs on "
+                    f"{inverse.opclass.value}, original on {spec.opclass.value}",
+                )
+            unknown = [t for t in revert_spec.pattern if t not in ("new", "other")]
+            if unknown:
+                bad(mnemonic, src_pos, f"unknown pattern token(s) {unknown}")
+                continue
+            if "new" not in revert_spec.pattern:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    "pattern never uses the post-execution value",
+                )
+            if len(revert_spec.pattern) != inverse.n_src:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"pattern has {len(revert_spec.pattern)} operands, "
+                    f"inverse {inverse.mnemonic} takes {inverse.n_src}",
+                )
+            others = revert_spec.pattern.count("other")
+            if others != spec.n_src - 1:
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"pattern consumes {others} surviving operand(s), the "
+                    f"opcode has {spec.n_src - 1}",
+                )
+            if (inverse.reads_exec and not spec.reads_exec) or (
+                inverse.reads_scc and not spec.reads_scc
+            ):
+                bad(
+                    mnemonic,
+                    src_pos,
+                    f"inverse {inverse.mnemonic} reads architectural state "
+                    f"the original never read",
+                )
+    return findings
+
+
+# -- OSRB backup clobbering (LNT205) -------------------------------------------
+
+
+def lint_osrb(
+    kernel: Kernel,
+    rf_spec: RegisterFileSpec,
+    model: ReversibilityModel = ReversibilityModel.PAPER,
+) -> list[Finding]:
+    """Backup copies must survive to any signal inside their block.
+
+    OSRB parks block-entry scalars in the alignment padding; if anything in
+    the same block later writes a backup register, the parked value is gone
+    exactly when a preemption would need it.
+    """
+    fl = FindingList(kernel=kernel.name, mechanism="ctxback")
+    instrumented, report = apply_osrb(kernel, rf_spec, model)
+    if not report.backups:
+        return fl.findings
+    program = instrumented.program
+    cfg = build_cfg(program)
+    original_sgprs = kernel.sgprs_used
+    for pos, instruction in enumerate(program.instructions):
+        if instruction.mnemonic != "s_mov":
+            continue
+        dst = instruction.dsts[0]
+        if dst.kind is not RegKind.SCALAR or dst.index < original_sgprs:
+            continue  # not a backup copy
+        block = cfg.block_at(pos)
+        for later in range(pos + 1, block.end):
+            if dst in program.instructions[later].defs():
+                fl.add(
+                    "LNT205",
+                    f"backup register {dst} (copied at {pos}) is "
+                    f"overwritten at {later} in the same block",
+                    pos,
+                    "kernel",
+                )
+                break
+    return fl.findings
+
+
+# -- operand-kind audit (LNT207) ------------------------------------------------
+
+
+def lint_routine_kinds(prepared: PreparedKernel) -> list[Finding]:
+    """Run the ISA operand-kind validator over the instrumented kernel and
+    every generated routine (deduplicated: plans may share Programs)."""
+    fl = FindingList(kernel=prepared.kernel.name, mechanism=prepared.mechanism)
+    for problem in validate_kernel(prepared.kernel):
+        fl.add("LNT207", problem, None, "kernel")
+    for position, where, routine in prepared.iter_routines():
+        for problem in validate_program(routine):
+            fl.add("LNT207", problem, position, where)
+    return fl.findings
+
+
+# -- orchestration ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """What ``python -m repro lint`` should cover."""
+
+    keys: tuple[str, ...] = ()  # () = the whole suite
+    mechanisms: tuple[str, ...] = ()  # () = the six evaluated mechanisms
+    warp_size: int = 64
+    strict: bool = False
+
+    def kernel_keys(self) -> list[str]:
+        return list(self.keys) if self.keys else sorted(SUITE)
+
+    def mechanism_names(self) -> list[str]:
+        return list(self.mechanisms) if self.mechanisms else sorted(ALL_MECHANISMS)
+
+
+@dataclass
+class LintReport:
+    """Findings plus the coverage statistics the reporters print."""
+
+    options: LintOptions
+    findings: list[Finding] = field(default_factory=list)
+    kernels: list[str] = field(default_factory=list)
+    mechanisms: list[str] = field(default_factory=list)
+    plans_verified: int = 0
+    routines_checked: int = 0
+
+    @property
+    def failing(self) -> list[Finding]:
+        return failing(self.findings, strict=self.options.strict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing
+
+
+def run_lint(options: LintOptions | None = None) -> LintReport:
+    """Verify and lint every (kernel × mechanism) pair of the options."""
+    options = options or LintOptions()
+    report = LintReport(
+        options=options,
+        kernels=options.kernel_keys(),
+        mechanisms=options.mechanism_names(),
+    )
+    findings = list(lint_opcode_table())
+    rf_spec = RegisterFileSpec(warp_size=options.warp_size)
+    config = GPUConfig(rf_spec=rf_spec)
+    for key in report.kernels:
+        kernel = SUITE[key].build(options.warp_size)
+        findings.extend(lint_osrb(kernel, rf_spec))
+        for name in report.mechanisms:
+            prepared = make_mechanism(name).prepare(kernel, config)
+            findings.extend(verify_prepared(prepared, rf_spec))
+            findings.extend(lint_routine_kinds(prepared))
+            report.plans_verified += len(prepared.plans)
+            report.routines_checked += sum(
+                1 for _ in prepared.iter_routines()
+            )
+    report.findings = sorted(findings, key=Finding.sort_key)
+    return report

@@ -1,0 +1,259 @@
+"""Reference semantics for the plan verifier: what *should* routines compute.
+
+The verifier never trusts the plan builder's own bookkeeping.  Instead it
+re-derives, per basic block, the same copy-propagating value numbering the
+compiler used (:func:`repro.ctxback.flashback.build_block_state`) and layers
+three independently-derived indices on top:
+
+* **congruence classes** — two verbatim-identical computations at different
+  positions produce distinct :class:`~repro.compiler.usedef.Value` ids even
+  though they are semantically equal.  A forward congruence-closure pass
+  canonicalises value ids by ``(mnemonic, immediates, input classes)`` so the
+  abstract interpreter can equate them.  Loads are salted by the count of
+  preceding same-space stores (and barriers), which keeps the closure sound
+  under aliasing;
+* **re-execution index** — maps each verbatim ``Instruction`` object to the
+  kernel positions where it occurs, so the interpreter can recognise a
+  re-executed (or CS-Defer deferred) instruction and check its operands hold
+  the *original* values;
+* **revert candidates** — for every revertible overwrite (paper §III-C,
+  Alg. 2) the exact inverse-instruction shape (mnemonic, operand value
+  classes, implicit exec/scc values) and the value class it recovers,
+  mirrored from :func:`repro.ctxback.reverting.build_revert_instruction` so a
+  routine's revert op can be proven a true inverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.cfg import CFG, BasicBlock, build_cfg
+from ..compiler.execmask import partial_exec_positions
+from ..compiler.liveness import LivenessInfo, analyze_liveness
+from ..compiler.usedef import COPY_MNEMONICS, Value
+from ..ctxback.flashback import build_block_state
+from ..isa.instruction import Imm, Instruction, Label, Program
+from ..isa.opcodes import MemKind, OpClass, ReversibilityModel, opspec
+from ..isa.registers import EXEC, SCC, Reg
+from ..ctxback.reverting import revert_opportunities
+
+
+@dataclass(frozen=True)
+class RevertCandidate:
+    """One provable inverse: executing ``inv_mnemonic`` with sources matching
+    ``srcs`` (and implicit reads matching ``implicit``) recovers the value
+    class ``recovered_cid`` that position ``pos`` overwrote.
+
+    ``srcs`` entries are ``("val", cid)`` for register operands and
+    ``("imm", Imm)`` for immediates, aligned with the inverse instruction's
+    source operands exactly as ``build_revert_instruction`` lays them out.
+    """
+
+    pos: int
+    inv_mnemonic: str
+    srcs: tuple[tuple, ...]
+    implicit: tuple[tuple[Reg, int], ...]
+    recovered_cid: int
+    recovered_reg: Reg  # the register the value originally lived in
+
+
+class BlockOracle:
+    """Ground truth for one basic block: value classes and legal derivations."""
+
+    def __init__(
+        self,
+        program: Program,
+        block: BasicBlock,
+        liveness: LivenessInfo,
+        partial_exec: frozenset[int],
+    ) -> None:
+        state = build_block_state(program, block, liveness, partial_exec)
+        self.program = program
+        self.block = block
+        self.region = state.region
+        self._state_at = state.state_at
+        self.partial_exec = partial_exec
+        self._canon: dict[int, int] = {}
+        self._build_congruence()
+        self.reexec_index: dict[Instruction, list[int]] = {}
+        for pos in block.positions():
+            self.reexec_index.setdefault(
+                program.instructions[pos], []
+            ).append(pos)
+        self.revert_index: dict[str, list[RevertCandidate]] = {}
+        self._build_revert_index()
+
+    # -- value classes -----------------------------------------------------------
+
+    def cid(self, value: Value) -> int:
+        """Canonical (congruence-class) id of a value."""
+        return self._canon.get(value.vid, value.vid)
+
+    def state_at(self, pos: int) -> dict[Reg, Value]:
+        """Register file contents just before executing *pos*; the index
+        ``block.end`` gives the post-block state."""
+        return self._state_at[pos - self.block.start]
+
+    def _build_congruence(self) -> None:
+        """Forward congruence closure over the block's straight-line code.
+
+        Only *fresh* definitions participate (copy-propagated defs already
+        share the source's vid).  Loads key on a per-space store/barrier
+        counter so that e.g. two ``global_load`` of the same address are
+        merged only when no store could have changed the location between
+        them.  Missing a merge is safe (the verifier just gets more
+        conservative); merging wrongly is not, hence the salting.
+        """
+        region = self.region
+        keys: dict[tuple, tuple[int, ...]] = {}
+        global_stores = 0
+        lds_stores = 0
+        for pos in self.block.positions():
+            instruction = self.program.instructions[pos]
+            spec = instruction.spec
+            defs = region.def_values_at(pos)
+            if defs:
+                imms = tuple(
+                    (i, src)
+                    for i, src in enumerate(instruction.srcs)
+                    if isinstance(src, (Imm, Label))
+                )
+                inputs = tuple(
+                    self.cid(v) for v in region.use_values_at(pos)
+                )
+                if spec.mem is MemKind.GLOBAL_LOAD:
+                    salt = ("g", global_stores)
+                elif spec.mem is MemKind.LDS_READ:
+                    salt = ("l", lds_stores)
+                elif spec.mem is MemKind.SMEM_LOAD:
+                    salt = ("s", 0)  # constant memory: never written
+                else:
+                    salt = ()
+                key = (instruction.mnemonic, imms, inputs, salt)
+                previous = keys.get(key)
+                fresh = tuple(v.def_pos == pos for v in defs)
+                if previous is None:
+                    keys[key] = tuple(self.cid(v) for v in defs)
+                else:
+                    for is_fresh, value, canonical in zip(fresh, defs, previous):
+                        if is_fresh:
+                            self._canon[value.vid] = canonical
+            # advance the memory clocks *after* keying the instruction
+            if spec.mem is MemKind.GLOBAL_STORE:
+                global_stores += 1
+            elif spec.mem is MemKind.LDS_WRITE:
+                lds_stores += 1
+            elif instruction.mnemonic == "s_barrier":
+                # other warps of the block may publish LDS/global data here
+                global_stores += 1
+                lds_stores += 1
+
+    # -- revert candidates --------------------------------------------------------
+
+    def _build_revert_index(self) -> None:
+        region = self.region
+        for pos in self.block.positions():
+            instruction = self.program.instructions[pos]
+            # PAPER is the superset model; whether a given plan was *allowed*
+            # to use paper-only inverses is checked by the opcode-table lint,
+            # not here — a revert op is "a true inverse" independently of it.
+            for opportunity in revert_opportunities(
+                instruction, ReversibilityModel.PAPER
+            ):
+                old = region.pre_def_values_at(pos)[0]
+                new = region.def_values_at(pos)[0]
+                if old is new:
+                    continue  # nothing was overwritten
+                use_values = region.use_values_at(pos)
+                others: list[tuple] = []
+                reg_index = -1
+                for i, src in enumerate(instruction.srcs):
+                    if isinstance(src, Reg):
+                        reg_index += 1
+                    if i == opportunity.src_pos:
+                        continue
+                    if isinstance(src, Imm):
+                        others.append(("imm", src))
+                    elif isinstance(src, Reg):
+                        others.append(("val", self.cid(use_values[reg_index])))
+                srcs: list[tuple] = []
+                other_iter = iter(others)
+                try:
+                    for token in opportunity.spec.pattern:
+                        if token == "new":
+                            srcs.append(("val", self.cid(new)))
+                        else:
+                            srcs.append(next(other_iter))
+                except StopIteration:  # malformed table; LNT206's business
+                    continue
+                inverse = opspec(opportunity.spec.inv_mnemonic)
+                uses = instruction.uses()
+                n_src_regs = len(instruction.src_regs)
+                original_implicit = dict(
+                    zip(uses[n_src_regs:], use_values[n_src_regs : len(uses)])
+                )
+                implicit: list[tuple[Reg, int]] = []
+                structural_ok = True
+                for reg, needed in (
+                    (EXEC, inverse.reads_exec),
+                    (SCC, inverse.reads_scc),
+                ):
+                    if not needed:
+                        continue
+                    value = original_implicit.get(reg)
+                    if value is None:
+                        # the inverse reads state the original never read;
+                        # no sound revert exists for this shape
+                        structural_ok = False
+                        break
+                    implicit.append((reg, self.cid(value)))
+                if not structural_ok:
+                    continue
+                self.revert_index.setdefault(inverse.mnemonic, []).append(
+                    RevertCandidate(
+                        pos=pos,
+                        inv_mnemonic=inverse.mnemonic,
+                        srcs=tuple(srcs),
+                        implicit=tuple(implicit),
+                        recovered_cid=self.cid(old),
+                        recovered_reg=instruction.dsts[0],
+                    )
+                )
+
+
+class KernelOracle:
+    """Per-kernel front end: CFG, liveness, and lazily-built block oracles.
+
+    Liveness is computed exactly as the mechanisms compute it
+    (:func:`analyze_liveness` with the derived partial-exec set), so the
+    verifier's notion of "the live context at ``I_cur``" is independent of —
+    but definitionally identical to — what the plan builders targeted.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.cfg: CFG = build_cfg(program)
+        self.partial_exec = partial_exec_positions(program, self.cfg)
+        self.liveness = analyze_liveness(program, self.cfg, self.partial_exec)
+        self._blocks: dict[int, BlockOracle] = {}
+        #: whether any instruction can leave the exec mask partial — kernels
+        #: that never write EXEC run with the full launch mask throughout
+        self.exec_may_be_partial = bool(self.partial_exec) or any(
+            EXEC in instruction.defs() for instruction in program.instructions
+        )
+
+    def block_at(self, pos: int) -> BasicBlock:
+        return self.cfg.block_at(pos)
+
+    def oracle_at(self, pos: int) -> BlockOracle:
+        block = self.cfg.block_at(pos)
+        oracle = self._blocks.get(block.index)
+        if oracle is None:
+            oracle = BlockOracle(
+                self.program, block, self.liveness, self.partial_exec
+            )
+            self._blocks[block.index] = oracle
+        return oracle
+
+    def live_in(self, pos: int) -> frozenset[Reg]:
+        return self.liveness.live_in[pos]

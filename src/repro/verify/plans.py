@@ -1,0 +1,381 @@
+"""Per-plan symbolic verification: prove routines rebuild the live context.
+
+For every :class:`~repro.ctxback.plan.InstrPlan` of a prepared kernel the
+verifier
+
+1. derives the register-file state at the signal position ``n`` from the
+   block oracle (value numbering — independent of the plan builder's own
+   symbolic state);
+2. abstractly executes the preemption routine from that state, modelling the
+   context buffer (slots, overlap, the LDS area) and checking every
+   instruction is a context store, a legal deferred-window re-execution, or a
+   true revert;
+3. abstractly executes the resuming routine from the *cleared* register file
+   the simulator hands a resumed warp (zeroed registers, full exec mask);
+4. proves that afterwards every live-in register of ``resume_pc`` — exec
+   mask included — holds exactly the value class it held when the signal
+   arrived, that the resume PC is consistent with the mechanism, and that
+   the plan's ``context_bytes`` accounting matches the routine's stores.
+
+Checkpoint-based mechanisms (CKPT) have no routine pairs; their probe sites
+are cross-checked against an independent liveness analysis instead (VER112).
+SM-draining mechanisms save nothing and are vacuously correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ctxback.context import (
+    META_BYTES,
+    baseline_context_bytes,
+    lds_share_bytes,
+    regs_bytes,
+)
+from ..ctxback.plan import InstrPlan
+from ..isa.registers import EXEC, Reg, RegisterFileSpec
+from ..mechanisms.base import PreparedKernel
+from .findings import Finding, FindingList
+from .interp import FULL_EXEC, CtxBufferModel, RoutineInterp
+from .oracle import BlockOracle, KernelOracle
+
+
+class PlanVerifier:
+    """Verifies every plan of one prepared kernel."""
+
+    def __init__(
+        self, prepared: PreparedKernel, rf_spec: RegisterFileSpec
+    ) -> None:
+        self.prepared = prepared
+        self.kernel = prepared.kernel
+        self.program = prepared.kernel.program
+        self.rf_spec = rf_spec
+        self.oracles = KernelOracle(self.program)
+        self.lds_share = lds_share_bytes(self.kernel)
+        self.capacity = baseline_context_bytes(self.kernel, rf_spec)
+
+    # -- entry points ---------------------------------------------------------------
+
+    def verify_all(self) -> list[Finding]:
+        fl = FindingList(
+            kernel=self.kernel.name, mechanism=self.prepared.mechanism
+        )
+        if self.prepared.is_drain:
+            return fl.findings  # drains save nothing; nothing to prove
+        if self.prepared.is_checkpoint_based:
+            self._verify_ckpt_sites(fl)
+            return fl.findings
+        size = len(self.program.instructions)
+        for n in range(size):
+            if n not in self.prepared.plans:
+                fl.add(
+                    "VER106",
+                    f"no plan for position {n}: a signal arriving there "
+                    f"cannot be handled",
+                    n,
+                    "plan",
+                )
+        for n in sorted(self.prepared.plans):
+            self.verify_plan(n, self.prepared.plans[n], fl)
+        return fl.findings
+
+    def verify_plan(
+        self, n: int, plan: InstrPlan, fl: FindingList
+    ) -> None:
+        if plan.position != n:
+            fl.add(
+                "VER106",
+                f"plan registered at position {n} says position "
+                f"{plan.position}",
+                n,
+                "plan",
+            )
+        oracle = self.oracles.oracle_at(n)
+        buffer = CtxBufferModel()
+        opaque_ids = itertools.count()
+
+        # -- preemption: from the signal-time register file -------------------
+        initial = {
+            reg: frozenset({("cid", oracle.cid(value))})
+            for reg, value in oracle.state_at(n).items()
+        }
+        preempt = RoutineInterp(
+            self.oracles,
+            oracle,
+            buffer,
+            fl,
+            n,
+            "preempt",
+            self.rf_spec.warp_size,
+            self.lds_share,
+            opaque_ids,
+            initial=initial,
+            implicit_unknowns=True,
+        )
+        preempt.run(plan.preempt_routine)
+        preempt.check_lds_order(plan.preempt_routine)
+        if self.lds_share and buffer.lds_stored is None:
+            fl.add(
+                "VER108",
+                f"kernel has a {self.lds_share} B LDS share but the "
+                f"preemption routine never saves it",
+                n,
+                "preempt",
+            )
+
+        # -- resume: from the cleared register file ---------------------------
+        resume = RoutineInterp(
+            self.oracles,
+            oracle,
+            buffer,
+            fl,
+            n,
+            "resume",
+            self.rf_spec.warp_size,
+            self.lds_share,
+            opaque_ids,
+            initial={EXEC: frozenset({FULL_EXEC})},
+            implicit_unknowns=False,
+        )
+        resume.run(plan.resume_routine)
+        resume.check_lds_order(plan.resume_routine)
+        if self.lds_share and buffer.lds_loaded is None:
+            fl.add(
+                "VER108",
+                f"the resuming routine never restores the {self.lds_share} B "
+                f"LDS share",
+                n,
+                "resume",
+            )
+
+        # -- resume PC, equivalence, accounting -------------------------------
+        if self._check_resume_pc(fl, n, plan):
+            self._check_equivalence(fl, plan, oracle, resume.state)
+        self._check_accounting(fl, n, plan, buffer, resume.state)
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _check_resume_pc(self, fl: FindingList, n: int, plan: InstrPlan) -> bool:
+        """Mechanism-consistency of the resume PC; False = skip equivalence."""
+        r = plan.resume_pc
+        size = len(self.program.instructions)
+        if not 0 <= r < size:
+            fl.add(
+                "VER106",
+                f"resume PC {r} is outside the program [0,{size})",
+                n,
+                "plan",
+            )
+            return False
+        block = self.oracles.block_at(n)
+        mechanism = plan.mechanism
+        if mechanism == "ctxback":
+            if r != n:
+                fl.add(
+                    "VER106",
+                    f"flashback plans resume at the signal position; "
+                    f"resume PC is {r}, signal was {n}",
+                    n,
+                    "plan",
+                )
+            p = plan.flashback_pos
+            if p is None or not block.start <= p <= n:
+                fl.add(
+                    "VER106",
+                    f"flashback position {p} is not within "
+                    f"[{block.start},{n}]",
+                    n,
+                    "plan",
+                )
+        elif plan.deferred_to is not None:
+            if r != plan.deferred_to or r < n:
+                fl.add(
+                    "VER106",
+                    f"deferred plan's resume PC {r} disagrees with its "
+                    f"deferral target {plan.deferred_to} (signal {n})",
+                    n,
+                    "plan",
+                )
+        elif mechanism == "csdefer":
+            fl.add(
+                "VER106",
+                f"CS-Defer plan at {n} carries no deferral target",
+                n,
+                "plan",
+            )
+        elif r != n:
+            fl.add(
+                "VER106",
+                f"save/reload plans resume at the signal position; "
+                f"resume PC is {r}, signal was {n}",
+                n,
+                "plan",
+            )
+        if not block.start <= r < block.end:
+            fl.add(
+                "VER106",
+                f"resume PC {r} leaves the signal position's basic block "
+                f"[{block.start},{block.end})",
+                n,
+                "plan",
+            )
+            return False
+        return True
+
+    def _check_equivalence(
+        self,
+        fl: FindingList,
+        plan: InstrPlan,
+        oracle: BlockOracle,
+        resume_state: dict[Reg, frozenset],
+    ) -> None:
+        r = plan.resume_pc
+        expected = oracle.state_at(r)
+        for reg in sorted(self.oracles.live_in(r), key=str):
+            value = expected.get(reg)
+            want = (
+                ("cid", oracle.cid(value)) if value is not None else ("unk", reg)
+            )
+            got = resume_state.get(reg)
+            if got is None:
+                fl.add(
+                    "VER102",
+                    f"{reg} is live at the resume PC ({r}) but the resume "
+                    f"routine never defines it",
+                    plan.position,
+                    "resume",
+                )
+            elif want not in got:
+                fl.add(
+                    "VER107" if reg is EXEC else "VER101",
+                    f"{reg} must hold its position-{r} value when execution "
+                    f"resumes, but the routines rebuild a different value",
+                    plan.position,
+                    "resume",
+                )
+
+    def _check_accounting(
+        self,
+        fl: FindingList,
+        n: int,
+        plan: InstrPlan,
+        buffer: CtxBufferModel,
+        resume_state: dict[Reg, frozenset],
+    ) -> None:
+        stored = buffer.stored_reg_bytes() + self.lds_share + META_BYTES
+        if plan.context_bytes != stored:
+            fl.add(
+                "VER109",
+                f"plan declares {plan.context_bytes} B of context but the "
+                f"routine stores {stored} B (registers + LDS + metadata)",
+                n,
+                "plan",
+            )
+        if plan.context_bytes > self.capacity:
+            fl.add(
+                "LNT202",
+                f"context of {plan.context_bytes} B exceeds the BASELINE "
+                f"budget of {self.capacity} B",
+                n,
+                "plan",
+            )
+        final_atoms: set = set()
+        for token in resume_state.values():
+            final_atoms.update(token)
+        for record in buffer.slots.values():
+            if not record.loaded and not (record.token & final_atoms):
+                fl.add(
+                    "LNT203",
+                    f"slot {record.offset:#x} ({record.source}, "
+                    f"{record.nbytes} B) is saved but never reloaded",
+                    n,
+                    "preempt",
+                )
+
+    # -- CKPT ---------------------------------------------------------------------
+
+    def _verify_ckpt_sites(self, fl: FindingList) -> None:
+        program = self.program
+        probe_positions: dict[int, int] = {}
+        for pos, instruction in enumerate(program.instructions):
+            if instruction.mnemonic != "ckpt_probe":
+                continue
+            probe_id = instruction.srcs[0].value
+            if probe_id in probe_positions:
+                fl.add(
+                    "VER112",
+                    f"probe id {probe_id} appears at positions "
+                    f"{probe_positions[probe_id]} and {pos}",
+                    pos,
+                    "kernel",
+                )
+            probe_positions[probe_id] = pos
+        for probe_id, site in sorted(self.prepared.ckpt_sites.items()):
+            actual = probe_positions.get(probe_id)
+            if actual is None:
+                fl.add(
+                    "VER112",
+                    f"site {probe_id} has no matching ckpt_probe in the "
+                    f"instrumented kernel",
+                    site.position,
+                    "kernel",
+                )
+                continue
+            if actual != site.position:
+                fl.add(
+                    "VER112",
+                    f"site {probe_id} claims position {site.position} but "
+                    f"the probe sits at {actual}",
+                    site.position,
+                    "kernel",
+                )
+                continue
+            live = self.oracles.live_in(site.position)
+            if site.live_regs != live:
+                missing = sorted(live - site.live_regs, key=str)
+                extra = sorted(site.live_regs - live, key=str)
+                fl.add(
+                    "VER112",
+                    f"site {probe_id} snapshots the wrong register set "
+                    f"(missing {missing}, extra {extra})",
+                    site.position,
+                    "kernel",
+                )
+            nbytes = (
+                regs_bytes(site.live_regs, self.rf_spec)
+                + self.lds_share
+                + META_BYTES
+            )
+            if site.nbytes != nbytes:
+                fl.add(
+                    "VER112",
+                    f"site {probe_id} accounts {site.nbytes} B but its "
+                    f"register set plus LDS and metadata is {nbytes} B",
+                    site.position,
+                    "kernel",
+                )
+            store_ops = len(site.live_regs) + (1 if self.lds_share else 0)
+            if site.store_ops != store_ops:
+                fl.add(
+                    "VER112",
+                    f"site {probe_id} claims {site.store_ops} store ops for "
+                    f"{len(site.live_regs)} registers",
+                    site.position,
+                    "kernel",
+                )
+        for probe_id, pos in sorted(probe_positions.items()):
+            if probe_id not in self.prepared.ckpt_sites:
+                fl.add(
+                    "VER112",
+                    f"ckpt_probe {probe_id} at position {pos} has no "
+                    f"recorded site",
+                    pos,
+                    "kernel",
+                )
+
+
+def verify_prepared(
+    prepared: PreparedKernel, rf_spec: RegisterFileSpec
+) -> list[Finding]:
+    """Symbolically verify every plan (or checkpoint site) of *prepared*."""
+    return PlanVerifier(prepared, rf_spec).verify_all()

@@ -1,0 +1,119 @@
+"""Reporters and the ``--diff-baseline`` ratchet for ``python -m repro lint``.
+
+The JSON shape is the tooling contract: a ``findings`` array of objects with
+the stable key fields (``code``, ``kernel``, ``mechanism``, ``position``,
+``where``) plus severity and message, and a ``summary`` block.  A baseline
+file is simply a previous JSON report (or any JSON object with a
+``findings`` array); the ratchet compares finding *keys*, so pre-existing
+findings do not block a run while anything new does.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import CODE_REGISTRY, Finding, Severity
+from .lint import LintReport
+
+JSON_SCHEMA_VERSION = 1
+
+
+def finding_to_dict(finding: Finding) -> dict:
+    return {
+        "code": finding.code,
+        "severity": finding.severity.value,
+        "kernel": finding.kernel,
+        "mechanism": finding.mechanism,
+        "position": finding.position,
+        "where": finding.where,
+        "message": finding.message,
+    }
+
+
+def _key_from_dict(entry: dict) -> tuple:
+    return (
+        entry.get("code", ""),
+        entry.get("kernel", ""),
+        entry.get("mechanism", ""),
+        entry.get("position"),
+        entry.get("where", ""),
+    )
+
+
+def report_to_dict(report: LintReport) -> dict:
+    by_severity = {severity.value: 0 for severity in Severity}
+    for finding in report.findings:
+        by_severity[finding.severity.value] += 1
+    return {
+        "schema": JSON_SCHEMA_VERSION,
+        "summary": {
+            "kernels": report.kernels,
+            "mechanisms": report.mechanisms,
+            "warp_size": report.options.warp_size,
+            "strict": report.options.strict,
+            "plans_verified": report.plans_verified,
+            "routines_checked": report.routines_checked,
+            "findings": len(report.findings),
+            "by_severity": by_severity,
+            "ok": report.ok,
+        },
+        "findings": [finding_to_dict(finding) for finding in report.findings],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+
+
+def render_text(report: LintReport) -> str:
+    lines = [
+        f"repro lint: {len(report.kernels)} kernel(s) × "
+        f"{len(report.mechanisms)} mechanism(s), warp size "
+        f"{report.options.warp_size}",
+        f"  verified {report.plans_verified} plan(s), kind-checked "
+        f"{report.routines_checked} routine(s)",
+    ]
+    if not report.findings:
+        lines.append("  no findings")
+    for finding in report.findings:
+        lines.append("  " + finding.render())
+    failing = report.failing
+    if failing:
+        lines.append(
+            f"FAIL: {len(failing)} blocking finding(s)"
+            + (" (strict)" if report.options.strict else "")
+        )
+    else:
+        extra = len(report.findings) - len(failing)
+        suffix = f" ({extra} non-blocking)" if extra else ""
+        lines.append(f"OK{suffix}")
+    return "\n".join(lines)
+
+
+def describe_codes() -> str:
+    """One line per registered finding code (for docs and --codes)."""
+    lines = []
+    for code in sorted(CODE_REGISTRY):
+        severity, description = CODE_REGISTRY[code]
+        lines.append(f"{code}  [{severity.value:7s}] {description}")
+    return "\n".join(lines)
+
+
+# -- baseline ratchet -------------------------------------------------------------
+
+
+def load_baseline_keys(path: str) -> set[tuple]:
+    """Finding keys recorded in a baseline file (a previous JSON report)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data.get("findings", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline must contain a findings array")
+    return {_key_from_dict(entry) for entry in entries if isinstance(entry, dict)}
+
+
+def diff_against_baseline(
+    findings: list[Finding], baseline_keys: set[tuple]
+) -> list[Finding]:
+    """Findings whose key is not in the baseline — the regressions."""
+    return [f for f in findings if f.key not in baseline_keys]

@@ -92,3 +92,64 @@ class TestExperiments:
         result = run_cli("table1", "--keys", "lrn", "--iterations", "6")
         assert result.returncode == 0
         assert "LRN" in result.stdout
+
+
+class TestLint:
+    def test_clean_subset_text(self):
+        result = run_cli("lint", "--keys", "va", "--warp-size", "8", "--strict")
+        assert result.returncode == 0
+        assert "no findings" in result.stdout
+        assert result.stdout.strip().endswith("OK")
+
+    def test_json_format_and_output_file(self, tmp_path):
+        import json
+
+        out = tmp_path / "findings.json"
+        result = run_cli(
+            "lint", "--keys", "va", "--warp-size", "8",
+            "--format", "json", "--output", str(out),
+        )
+        assert result.returncode == 0
+        report = json.loads(result.stdout)
+        assert report["summary"]["ok"] is True
+        assert report["summary"]["kernels"] == ["va"]
+        assert json.loads(out.read_text()) == report
+
+    def test_codes_catalogue(self):
+        result = run_cli("lint", "--codes")
+        assert result.returncode == 0
+        assert "VER101" in result.stdout
+        assert "LNT206" in result.stdout
+
+    def test_ratchet_accepts_baseline_and_blocks_regressions(
+        self, tmp_path, monkeypatch
+    ):
+        """In-process: seeded findings fail, then a baseline absorbs them,
+        then a *new* finding still fails against that baseline."""
+        import repro.verify as verify_mod
+        from repro.cli import main
+        from repro.verify import Finding, LintOptions, LintReport
+
+        def fake_run_lint(options, findings=[]):
+            return LintReport(
+                options=options, findings=list(findings),
+                kernels=["va"], mechanisms=["ctxback"],
+            )
+
+        seeded = [Finding(code="VER101", message="seeded", kernel="va",
+                          mechanism="ctxback", position=3, where="resume")]
+        monkeypatch.setattr(
+            verify_mod, "run_lint", lambda o: fake_run_lint(o, seeded)
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline)]) == 1
+        assert main(["lint", "--diff-baseline", str(baseline)]) == 0
+
+        regression = seeded + [
+            Finding(code="VER103", message="new", kernel="va",
+                    mechanism="ctxback", position=7, where="resume")
+        ]
+        monkeypatch.setattr(
+            verify_mod, "run_lint", lambda o: fake_run_lint(o, regression)
+        )
+        assert main(["lint", "--diff-baseline", str(baseline)]) == 1

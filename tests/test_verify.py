@@ -1,0 +1,388 @@
+"""The symbolic plan verifier and lint framework (``repro.verify``).
+
+Two layers: the whole-suite audit (every kernel × mechanism plan proves
+clean, including under ``--strict``), and seeded-bug tests that corrupt one
+generated artifact at a time and assert the verifier pins the corruption
+with the specific finding code the catalogue promises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.isa import EXEC, Kernel, parse, sreg, vreg
+from repro.isa.instruction import Program, inst
+from repro.mechanisms import ALL_MECHANISMS, make_mechanism
+from repro.verify import (
+    CODE_REGISTRY,
+    Finding,
+    LintOptions,
+    Severity,
+    failing,
+    lint_opcode_table,
+    lint_osrb,
+    run_lint,
+    verify_prepared,
+)
+
+
+def codes_of(findings) -> set[str]:
+    return {finding.code for finding in findings}
+
+
+def rebuild(routine: Program, edit) -> Program:
+    """New Program with ``edit(position, instruction)`` applied; an edit
+    returning None drops the instruction."""
+    new = Program()
+    for position, instruction in enumerate(routine.instructions):
+        out = edit(position, instruction)
+        if out is not None:
+            new.append(out)
+    return new
+
+
+# ---------------------------------------------------------------------------
+# finding model
+# ---------------------------------------------------------------------------
+
+
+class TestFindings:
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Finding(code="VER999", message="nope")
+
+    def test_registry_severities(self):
+        assert CODE_REGISTRY["VER101"][0] is Severity.ERROR
+        assert CODE_REGISTRY["LNT203"][0] is Severity.WARNING
+
+    def test_render_locates(self):
+        finding = Finding(
+            code="VER101", message="wrong", kernel="va",
+            mechanism="ctxback", position=3, where="resume",
+        )
+        assert "VER101" in finding.render()
+        assert "va/ctxback@3:resume" in finding.render()
+
+    def test_failing_respects_strict(self):
+        warn = Finding(code="LNT203", message="dead save")
+        err = Finding(code="VER101", message="wrong value")
+        assert failing([warn, err]) == [err]
+        assert failing([warn, err], strict=True) == [warn, err]
+
+    def test_key_is_message_independent(self):
+        a = Finding(code="VER101", message="one", kernel="va", position=1)
+        b = Finding(code="VER101", message="two", kernel="va", position=1)
+        assert a.key == b.key
+
+
+# ---------------------------------------------------------------------------
+# the whole suite proves clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def suite_report():
+    return run_lint(LintOptions(warp_size=8, strict=True))
+
+
+class TestSuiteClean:
+    def test_covers_full_matrix(self, suite_report):
+        assert len(suite_report.kernels) == 12
+        assert set(suite_report.mechanisms) == set(ALL_MECHANISMS)
+        assert suite_report.plans_verified > 0
+        assert suite_report.routines_checked > 0
+
+    def test_no_findings_even_strict(self, suite_report):
+        rendered = "\n".join(f.render() for f in suite_report.findings)
+        assert suite_report.findings == [], rendered
+        assert suite_report.ok
+
+    def test_opcode_table_is_legal(self):
+        assert lint_opcode_table() == []
+
+    def test_osrb_backups_unclobbered(self, suite_report):
+        # part of the suite run, but assert the pass itself on the kernel
+        # the paper names as the OSRB case (KM's induction variable)
+        from repro.isa import RegisterFileSpec
+        from repro.kernels import SUITE
+
+        findings = lint_osrb(SUITE["km"].build(8), RegisterFileSpec(warp_size=8))
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# seeded bugs: each corruption maps to its promised code
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def ctxback_prepared(loop_kernel, small_config):
+    return make_mechanism("ctxback").prepare(loop_kernel, small_config)
+
+
+def verify(prepared, config):
+    return verify_prepared(prepared, config.rf_spec)
+
+
+def find_plan_with(prepared, routine_name, predicate):
+    """(plan, position-in-routine, instruction) of the first match."""
+    for n in sorted(prepared.plans):
+        plan = prepared.plans[n]
+        routine = getattr(plan, routine_name)
+        for position, instruction in enumerate(routine.instructions):
+            if predicate(instruction):
+                return plan, position, instruction
+    raise AssertionError(f"no {routine_name} instruction matches")
+
+
+class TestSeededBugs:
+    def test_clean_before_seeding(self, ctxback_prepared, small_config):
+        assert verify(ctxback_prepared, small_config) == []
+
+    def test_reload_from_unstored_slot(self, ctxback_prepared, small_config):
+        plan, at, load = find_plan_with(
+            ctxback_prepared, "resume_routine",
+            lambda i: i.mnemonic in ("ctx_load_v", "ctx_load_s"),
+        )
+        plan.resume_routine = rebuild(
+            plan.resume_routine,
+            lambda position, instruction: (
+                inst(instruction.mnemonic, instruction.dsts[0], 0x7000)
+                if position == at
+                else instruction
+            ),
+        )
+        assert "VER103" in codes_of(verify(ctxback_prepared, small_config))
+
+    def test_dropped_restore_leaves_register_undefined(
+        self, ctxback_prepared, small_config
+    ):
+        plan, at, _ = find_plan_with(
+            ctxback_prepared, "resume_routine",
+            lambda i: i.mnemonic in ("ctx_load_v", "ctx_load_s"),
+        )
+        plan.resume_routine = rebuild(
+            plan.resume_routine,
+            lambda position, instruction: (
+                None if position == at else instruction
+            ),
+        )
+        codes = codes_of(verify(ctxback_prepared, small_config))
+        # depending on which reload was dropped: the register stays undefined
+        # (VER102), holds the wrong value (VER101/VER107 for exec), or a
+        # consumer no longer proves out (VER110/VER105)
+        assert codes & {"VER101", "VER102", "VER107", "VER110", "VER105"}
+
+    def test_corrupted_revert_is_no_inverse(self, fig6_kernel, small_config):
+        # Fig. 6's kernel contains no v_sub, so any in a routine is an
+        # Alg. 2 inverse of a kernel v_add (the paper's worked example)
+        prepared = make_mechanism("ctxback").prepare(fig6_kernel, small_config)
+        assert verify(prepared, small_config) == []
+        plan, at, revert = find_plan_with(
+            prepared, "preempt_routine", lambda i: i.mnemonic == "v_sub"
+        )
+
+        def corrupt(position, instruction):
+            if position != at:
+                return instruction
+            srcs = list(instruction.srcs)
+            srcs[0], srcs[1] = srcs[1], srcs[0]  # wrong operand order
+            return inst(instruction.mnemonic, instruction.dsts[0], *srcs)
+
+        plan.preempt_routine = rebuild(plan.preempt_routine, corrupt)
+        assert "VER111" in codes_of(verify(prepared, small_config))
+
+    def test_wrong_resume_pc(self, ctxback_prepared, small_config):
+        plan = ctxback_prepared.plans[5]
+        plan.resume_pc = plan.position - 1
+        assert "VER106" in codes_of(verify(ctxback_prepared, small_config))
+
+    def test_overlapping_slots(self, ctxback_prepared, small_config):
+        for n in sorted(ctxback_prepared.plans):
+            plan = ctxback_prepared.plans[n]
+            stores = [
+                (position, instruction)
+                for position, instruction in enumerate(
+                    plan.preempt_routine.instructions
+                )
+                if instruction.mnemonic == "ctx_store_v"
+            ]
+            if len(stores) >= 2:
+                break
+        else:
+            raise AssertionError("no plan saves two vector slots")
+        (_, first), (second_at, _) = stores[0], stores[1]
+        plan.preempt_routine = rebuild(
+            plan.preempt_routine,
+            lambda position, instruction: (
+                inst(instruction.mnemonic, instruction.srcs[0],
+                     first.srcs[1].value)
+                if position == second_at
+                else instruction
+            ),
+        )
+        assert "LNT201" in codes_of(verify(ctxback_prepared, small_config))
+
+    def test_undefined_read_in_resume(self, ctxback_prepared, small_config):
+        plan = ctxback_prepared.plans[5]
+        poison = Program()
+        poison.append(inst("v_add", vreg(6), vreg(6), 1))
+        for instruction in plan.resume_routine.instructions:
+            poison.append(instruction)
+        plan.resume_routine = poison
+        codes = codes_of(verify(ctxback_prepared, small_config))
+        assert "VER110" in codes
+        assert "VER105" in codes  # and the op itself proves nothing
+
+    def test_wrong_context_accounting(self, ctxback_prepared, small_config):
+        ctxback_prepared.plans[5].context_bytes += 4
+        assert "VER109" in codes_of(verify(ctxback_prepared, small_config))
+
+    def test_dead_save_is_a_warning(self, ctxback_prepared, small_config):
+        plan = ctxback_prepared.plans[5]
+        plan.preempt_routine = rebuild(
+            plan.preempt_routine,
+            lambda position, instruction: instruction,
+        )
+        plan.preempt_routine.append(inst("ctx_store_v", vreg(7), 0x6000))
+        findings = verify(ctxback_prepared, small_config)
+        dead = [f for f in findings if f.code == "LNT203"]
+        assert dead and dead[0].severity is Severity.WARNING
+        # warnings block only strict runs
+        assert [f for f in failing(findings) if f.code == "LNT203"] == []
+        assert [f for f in failing(findings, strict=True) if f.code == "LNT203"]
+
+    def test_missing_plan_position(self, ctxback_prepared, small_config):
+        del ctxback_prepared.plans[5]
+        assert "VER106" in codes_of(verify(ctxback_prepared, small_config))
+
+    def test_ckpt_site_accounting(self, loop_kernel, small_config):
+        prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
+        assert verify(prepared, small_config) == []
+        probe_id, site = next(iter(sorted(prepared.ckpt_sites.items())))
+        prepared.ckpt_sites[probe_id] = dataclasses.replace(
+            site, nbytes=site.nbytes + 4
+        )
+        assert "VER112" in codes_of(verify(prepared, small_config))
+
+
+# ---------------------------------------------------------------------------
+# structural lints, seeded
+# ---------------------------------------------------------------------------
+
+
+class TestSeededLints:
+    def test_illegal_revert_table_entry(self, monkeypatch):
+        from repro.isa import opcodes
+
+        spec = opcodes.OPCODES["v_add"]
+        bad = dataclasses.replace(
+            spec,
+            mnemonic="v_badd",
+            # consumes no surviving operand although v_add has one
+            revert={1: opcodes.RevertSpec("v_sub", ("new", "new"))},
+        )
+        monkeypatch.setitem(opcodes.OPCODES, "v_badd", bad)
+        findings = lint_opcode_table()
+        assert codes_of(findings) == {"LNT206"}
+        assert any("v_badd" in f.where for f in findings)
+
+    def test_clobbered_osrb_backup(self, monkeypatch):
+        from repro.isa import RegisterFileSpec
+        from repro.verify import lint as lint_mod
+
+        # s9 is past the original kernel's sgprs_used=9, i.e. an OSRB backup;
+        # the s_add kills it inside the same (single) block before any
+        # signal could use it
+        program = parse(
+            "s_mov s9, s1\n"
+            "s_add s9, s9, 1\n"
+            "global_store v1, v0, 0\n"
+            "s_endpgm"
+        )
+        instrumented = Kernel("osrb-demo", program, vgprs_used=2, sgprs_used=10)
+        kernel = Kernel("osrb-demo", parse("s_endpgm"), vgprs_used=2,
+                        sgprs_used=9)
+
+        class _Report:
+            backups = [object()]
+
+        monkeypatch.setattr(
+            lint_mod, "apply_osrb",
+            lambda k, rf_spec, model: (instrumented, _Report()),
+        )
+        findings = lint_osrb(kernel, RegisterFileSpec(warp_size=4))
+        assert codes_of(findings) == {"LNT205"}
+
+
+# ---------------------------------------------------------------------------
+# satellites: validator arity fix + opcode-rule coverage meta-test
+# ---------------------------------------------------------------------------
+
+
+class TestValidatorRuleTable:
+    def test_arity_mismatch_reported_not_truncated(self, monkeypatch):
+        from repro.isa import validator
+
+        # a rule table shorter than the operand list must be flagged, not
+        # silently zip-truncated past the extra operands
+        monkeypatch.setitem(validator._SRC_RULES, "s_add", [{"sreg"}])
+        problems = validator.validate_instruction(
+            inst("s_add", sreg(1), sreg(2), 3)
+        )
+        assert any("rule/arity mismatch" in p for p in problems)
+
+    def test_every_rule_matches_its_opcode_arity(self):
+        from repro.isa.opcodes import OPCODES
+        from repro.isa.validator import _SRC_RULES
+
+        for mnemonic, rules in _SRC_RULES.items():
+            assert mnemonic in OPCODES, mnemonic
+            assert len(rules) == OPCODES[mnemonic].n_src, mnemonic
+
+    def test_every_mnemonic_is_covered(self):
+        """Every opcode is kind-checked: an explicit rule or a class rule."""
+        from repro.isa.opcodes import OPCODES, OpClass
+        from repro.isa.validator import _DST_RULES, _SRC_RULES
+
+        for mnemonic, spec in OPCODES.items():
+            src_covered = (
+                mnemonic in _SRC_RULES
+                or spec.opclass in (OpClass.VALU, OpClass.SALU)
+                or mnemonic.startswith("s_cmp_")
+                or spec.n_src == 0
+            )
+            assert src_covered, f"{mnemonic}: sources never kind-checked"
+            dst_covered = (
+                mnemonic in _DST_RULES
+                or spec.opclass in (OpClass.VALU, OpClass.SALU)
+                or spec.n_dst == 0
+            )
+            assert dst_covered, f"{mnemonic}: dsts never kind-checked"
+
+
+class TestRoutineAudit:
+    """Satellite: every generated routine passes the kind validator."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_MECHANISMS))
+    def test_loop_kernel_routines_validate(self, name, loop_kernel, small_config):
+        from repro.isa.validator import validate_program
+
+        prepared = make_mechanism(name).prepare(loop_kernel, small_config)
+        for position, where, routine in prepared.iter_routines():
+            problems = validate_program(routine)
+            assert problems == [], f"{name}@{position}:{where}: {problems}"
+
+    def test_exec_saved_via_special_kind(self, loop_kernel, small_config):
+        # regression guard for the EXEC special-register path the audit
+        # depends on: baseline saves the whole file including exec
+        prepared = make_mechanism("baseline").prepare(loop_kernel, small_config)
+        plan = prepared.plans[5]
+        saved = {
+            str(i.srcs[0])
+            for i in plan.preempt_routine.instructions
+            if i.mnemonic == "ctx_store_s"
+        }
+        assert str(EXEC) in saved
