@@ -41,6 +41,7 @@ size (``radeon_vii`` vs ``radeon_vii_contended``) can no longer alias.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import os
 import signal
@@ -217,14 +218,14 @@ def prepared_for(
 def weights_for(
     key: str, config: GPUConfig, iterations: int | None = None
 ) -> dict[int, int]:
-    """Cached dynamic PC histogram for one benchmark kernel."""
-    parts = _base_parts(key, config, iterations)
+    """Cached dynamic PC histogram for one benchmark kernel.
 
-    def build() -> dict[int, int]:
-        launch = _launch(key, config, iterations)
-        return dynamic_pc_weights(launch, config)
-
-    return get_cache().get_or_create("weights", parts, build)
+    Delegates to :func:`~repro.analysis.metrics.dynamic_pc_weights`, which
+    owns the cache entry (keyed on launch content + config) — a single
+    cache layer, so the engine and ad-hoc figure drivers hit the same
+    artifact instead of each maintaining their own copy.
+    """
+    return dynamic_pc_weights(_launch(key, config, iterations), config)
 
 
 def reference_cycles_for(
@@ -260,31 +261,51 @@ def experiment_profile_for(
     signal_dyn: int,
     resume_gap: int,
     verify: bool,
+    trace: bool = False,
 ) -> dict:
-    """Cached preemption-experiment profile for one signal sample."""
+    """Cached preemption-experiment profile for one signal sample.
+
+    With ``trace=True`` the simulation runs under the structured tracer
+    (:mod:`repro.obs`) and the profile carries the per-warp latency
+    breakdown aggregate plus the event count; the trace flag is part of
+    the cache key, so traced and untraced profiles never alias.  Tracing
+    cannot change the measured cycles (the observer-effect guard in CI).
+    """
     parts = _base_parts(key, config, iterations)
     parts.update(_mechanism_parts(mechanism, None))
     parts.update(
         {"signal_dyn": signal_dyn, "resume_gap": resume_gap, "verify": verify}
     )
+    if trace:
+        parts["trace"] = True
 
     def run() -> dict:
+        from ..obs import aggregate_breakdowns
+
         launch = _launch(key, config, iterations)
         prepared = prepared_for(key, mechanism, config, iterations)
+        run_config = (
+            dataclasses.replace(config, trace_events=True) if trace else config
+        )
         result = run_preemption_experiment(
             launch.spec(),
             prepared,
-            config,
+            run_config,
             signal_dyn=signal_dyn,
             resume_gap=resume_gap,
             verify=verify,
         )
-        return {
+        profile = {
             "latency": result.mean_latency,
             "resume": result.mean_resume,
             "context_bytes": result.mean_context_bytes,
             "verified": result.verified,
         }
+        if trace:
+            profile["total_cycles"] = result.total_cycles
+            profile["events"] = len(result.trace.events)
+            profile["breakdown"] = aggregate_breakdowns(result.breakdowns)
+        return profile
 
     return get_cache().get_or_create("experiment", parts, run)
 
@@ -349,7 +370,12 @@ class ContextUnit:
 
 @dataclass(frozen=True)
 class ExperimentUnit:
-    """One preemption experiment: (kernel, mechanism, signal sample)."""
+    """One preemption experiment: (kernel, mechanism, signal sample).
+
+    ``trace=True`` collects the per-unit latency-breakdown aggregate
+    through the artifact cache (see :func:`experiment_profile_for`); the
+    engine folds the aggregates of every traced unit into its report.
+    """
 
     key: str
     mechanism: str
@@ -358,6 +384,7 @@ class ExperimentUnit:
     resume_gap: int = 2000
     iterations: int | None = None
     verify: bool = False
+    trace: bool = False
 
     def run(self) -> dict:
         return experiment_profile_for(
@@ -368,6 +395,7 @@ class ExperimentUnit:
             self.signal_dyn,
             self.resume_gap,
             self.verify,
+            self.trace,
         )
 
 
@@ -456,6 +484,23 @@ class EngineReport:
     fallbacks: int = 0  # units run serially in-process after retry exhaustion
     failures: int = 0  # units that failed permanently
     failed_units: list = field(default_factory=list)
+    #: latency-breakdown aggregate folded from every traced ExperimentUnit
+    #: (``trace=True``); empty when no unit ran under the tracer
+    trace: dict = field(default_factory=dict)
+
+    def record_trace_profile(self, profile: dict) -> None:
+        """Fold one traced unit's breakdown aggregate into the report."""
+        breakdown = profile.get("breakdown")
+        if not breakdown:
+            return
+        trace = self.trace
+        trace["traced_units"] = trace.get("traced_units", 0) + 1
+        trace["events"] = trace.get("events", 0) + profile.get("events", 0)
+        trace["warps"] = trace.get("warps", 0) + breakdown.get("warps", 0)
+        for bucket in ("preempt_phase_cycles", "resume_phase_cycles"):
+            totals = trace.setdefault(bucket, {})
+            for phase, cycles in breakdown.get(bucket, {}).items():
+                totals[phase] = totals.get(phase, 0) + cycles
 
     def as_dict(self) -> dict:
         return {
@@ -470,6 +515,7 @@ class EngineReport:
             "fallbacks": self.fallbacks,
             "failures": self.failures,
             "failed_units": list(self.failed_units),
+            "trace": dict(self.trace),
         }
 
 
@@ -516,8 +562,13 @@ class ExperimentEngine:
         stats_before = cache.stats.snapshot()
         try:
             if self.jobs <= 1 or len(units) <= 1:
-                return self._map_serial(units)
-            return self._map_pool(units)
+                results = self._map_serial(units)
+            else:
+                results = self._map_pool(units)
+            for result in results:
+                if isinstance(result, dict) and "breakdown" in result:
+                    self.report.record_trace_profile(result)
+            return results
         finally:
             report = self.report
             report.units += len(units)

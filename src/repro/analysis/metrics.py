@@ -21,10 +21,50 @@ from ..sim.config import GPUConfig
 from ..sim.gpu import run_reference
 
 
+def _launch_parts(launch: StandardLaunch, config: GPUConfig) -> dict:
+    """Content description of a (launch, config) pair for the weights cache.
+
+    Everything the PC histogram can depend on: the kernel's assembly and
+    resources, the full config, and the launch shape (iteration count,
+    warp count, buffer spans, extra ABI registers, resolved stride).  The
+    ``stride_bytes`` callable is canonicalized by its *resolved* value at
+    this warp size — the only form the simulation ever observes.
+    """
+    from .cache import canonical, describe_kernel
+
+    warp_size = config.warp_size
+    return {
+        "kernel": describe_kernel(launch.kernel),
+        "config": canonical(config),
+        "iterations": launch.iterations,
+        "num_warps": launch.num_warps or launch.kernel.warps_per_block,
+        "a_words": launch.a_words_per_warp,
+        "b_words": launch.b_words_per_warp,
+        "out_words": launch.out_words_per_warp,
+        "extra_sregs": canonical(launch.extra_sregs),
+        "stride": launch.stride_bytes(warp_size)
+        if launch.stride_bytes is not None
+        else warp_size * 4,
+    }
+
+
 def dynamic_pc_weights(launch: StandardLaunch, config: GPUConfig) -> dict[int, int]:
-    """Execution count per program counter from one reference run."""
-    result = run_reference(launch.spec(), config)
-    return dict(result.sm.stats.pc_hist)
+    """Execution count per program counter from one reference run.
+
+    Cached in the content-addressed artifact store keyed on the launch
+    spec + config, so repeated figure drivers (and anything else asking
+    for the same histogram) pay the reference simulation once instead of
+    on every call.
+    """
+    from .cache import get_cache
+
+    def build() -> dict[int, int]:
+        result = run_reference(launch.spec(), config)
+        return dict(result.sm.stats.pc_hist)
+
+    return get_cache().get_or_create(
+        "weights", _launch_parts(launch, config), build
+    )
 
 
 def weighted_context_bytes(

@@ -19,7 +19,12 @@ def render_timeline(result: ExperimentResult, config: GPUConfig) -> str:
         f"preempted, total {result.total_cycles} cycles "
         f"({config.cycles_to_us(result.total_cycles):.1f} µs)"
     ]
-    for measurement in sorted(result.measurements, key=lambda m: m.signal_cycle):
+    # tie-break same-cycle signals on warp id — a bare signal_cycle key
+    # leaves the order at the mercy of list order, and the timeline must
+    # be deterministic for identical runs
+    for measurement in sorted(
+        result.measurements, key=lambda m: (m.signal_cycle, m.warp_id)
+    ):
         evicted = measurement.signal_cycle + measurement.latency_cycles
         lines.append(
             f"  warp {measurement.warp_id}: signal @ {measurement.signal_cycle} "
@@ -39,11 +44,14 @@ def render_timeline(result: ExperimentResult, config: GPUConfig) -> str:
                 f"           resume cost {measurement.resume_cycles} cyc = "
                 f"{config.cycles_to_us(measurement.resume_cycles):.1f} µs"
             )
-    if result.reference_cycles:
-        slowdown = result.total_cycles / result.reference_cycles
-        lines.append(
-            f"  uninterrupted reference: {result.reference_cycles} cycles "
-            f"(this run: {slowdown:.2f}x)"
-        )
+    # `is not None`, not truthiness: a 0-cycle reference (degenerate
+    # launch) is a real measurement and must still be reported — just
+    # without a slowdown ratio, which would divide by zero
+    if result.reference_cycles is not None:
+        line = f"  uninterrupted reference: {result.reference_cycles} cycles"
+        if result.reference_cycles > 0:
+            slowdown = result.total_cycles / result.reference_cycles
+            line += f" (this run: {slowdown:.2f}x)"
+        lines.append(line)
     lines.append(f"  memory verified: {result.verified}")
     return "\n".join(lines)

@@ -8,6 +8,9 @@ Commands:
 * ``validate`` — kind-check an assembly file (the assembler's type linter);
 * ``suite``    — list the benchmark kernels and their Table I budgets;
 * ``preempt``  — run one preemption experiment on a benchmark kernel;
+* ``trace``    — run one preemption experiment under the structured event
+  tracer and export the stream as a text timeline, JSONL, or Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``);
 * ``table1`` / ``fig7`` / ``fig8`` / ``fig9`` / ``fig10`` / ``headline`` /
   ``ablation`` — regenerate the paper's tables and figures (all take
   ``--jobs N`` to fan work units out over a process pool; default from the
@@ -148,6 +151,60 @@ def cmd_preempt(args) -> int:
     if not args.no_verify:
         print(f"  memory verified:    {result.verified}")
         return 0 if result.verified else 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import dataclasses
+    import json
+
+    from .kernels import SUITE
+    from .mechanisms import Chimera, expected_dyn_for, make_mechanism
+    from .obs import render_trace_text, to_chrome, to_jsonl
+    from .sim import GPUConfig, run_preemption_experiment
+
+    base = (
+        GPUConfig.radeon_vii_contended() if args.contended else GPUConfig.radeon_vii()
+    )
+    config = dataclasses.replace(
+        base, trace_events=True, trace_detail=args.detail
+    )
+    bench = SUITE[args.kernel]
+    iterations = args.iterations or bench.default_iterations
+    launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
+    if args.mechanism == "chimera":
+        mechanism = Chimera(expected_dyn=expected_dyn_for(launch.kernel, iterations))
+    else:
+        mechanism = make_mechanism(args.mechanism)
+    prepared = mechanism.prepare(launch.kernel, config)
+    n = len(launch.kernel.program.instructions)
+    signal = args.signal if args.signal is not None else 3 * n + 7
+    result = run_preemption_experiment(
+        launch.spec(), prepared, config, signal_dyn=signal,
+        resume_gap=args.resume_gap, verify=not args.no_verify,
+    )
+    trace = result.trace
+    assert trace is not None  # trace_events=True guarantees a tracer
+    if args.format == "chrome":
+        rendered = json.dumps(to_chrome(trace, config, result), indent=1)
+    elif args.format == "json":
+        rendered = to_jsonl(trace)
+    else:
+        rendered = render_trace_text(
+            trace, config, result, breakdowns=result.breakdowns
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(
+            f"wrote {len(trace.events)} events ({args.format}) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    if not args.no_verify and not result.verified:
+        print("ERROR: memory verification failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -321,6 +378,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the fully-occupied-SM configuration")
     preempt.add_argument("--no-verify", action="store_true")
     preempt.set_defaults(func=cmd_preempt)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one preemption experiment under the structured tracer "
+             "and export the event stream",
+    )
+    trace.add_argument("kernel", help="benchmark key (see `repro suite`)")
+    trace.add_argument("--mechanism", default="ctxback",
+                       help="baseline|live|ckpt|csdefer|ctxback|combined|"
+                            "flush|drain|chimera")
+    trace.add_argument("--signal", type=int, default=None,
+                       help="dynamic-instruction trigger (default: mid-loop)")
+    trace.add_argument("--iterations", type=int, default=None)
+    trace.add_argument("--resume-gap", type=int, default=2000)
+    trace.add_argument("--contended", action="store_true",
+                       help="use the fully-occupied-SM configuration")
+    trace.add_argument("--detail", default="routine",
+                       choices=["routine", "issue"],
+                       help="event granularity: lifecycle/routine events, or "
+                            "additionally every instruction issue")
+    trace.add_argument("--format", default="text",
+                       choices=["text", "json", "chrome"],
+                       help="text timeline, JSONL stream, or Chrome "
+                            "trace_event JSON (load in ui.perfetto.dev)")
+    trace.add_argument("--output", default=None, metavar="FILE",
+                       help="write the trace to FILE instead of stdout")
+    trace.add_argument("--no-verify", action="store_true",
+                       help="skip the reference run / memory comparison")
+    trace.set_defaults(func=cmd_trace)
 
     for name, help_text in (
         ("table1", "Table I: resources + BASELINE times"),

@@ -17,8 +17,32 @@ from typing import Callable
 
 from ..ctxback.plan import InstrPlan
 from ..isa.instruction import Kernel
+from ..isa.opcodes import MemKind, opspec
 from ..isa.registers import Reg
 from ..sim.config import GPUConfig
+
+
+def classify_routine_step(where: str, mnemonic: str) -> str:
+    """Attribute one dedicated-routine instruction to its §III technique.
+
+    *where* is ``"preempt"`` or ``"resume"`` (the warp mode during the
+    routine).  Context-buffer stores are ``save`` steps, context-buffer
+    loads ``reload`` steps; everything else a preemption routine executes
+    is a ``revert`` step (inverse operations rebuilding the flashback
+    state, §III-C) and everything else a resuming routine executes is a
+    ``rebuild`` step (re-computing values — including OSRB-backed scalar
+    restores — on the way back to the resume PC, §III-B/D).  Used by the
+    trace exporters to label per-issue events; never on the sim hot path.
+    """
+    try:
+        mem = opspec(mnemonic).mem
+    except KeyError:
+        mem = None
+    if mem is MemKind.CTX_STORE:
+        return "save"
+    if mem is MemKind.CTX_LOAD:
+        return "reload"
+    return "revert" if where == "preempt" else "rebuild"
 
 
 @dataclass(frozen=True)

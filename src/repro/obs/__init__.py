@@ -1,0 +1,47 @@
+"""Deterministic observability for the SM simulator (``repro.obs``).
+
+Structured event tracing (:mod:`~repro.obs.events`), per-warp
+preemption-latency breakdowns (:mod:`~repro.obs.breakdown`), and exporters
+(:mod:`~repro.obs.export`): Chrome ``trace_event`` JSON for Perfetto, a
+JSONL stream, and a deterministic text timeline.  Off by default; enable
+via ``GPUConfig(trace_events=True)`` or ``REPRO_TRACE=1``, and drive it
+from the CLI with ``python -m repro trace``.
+"""
+
+from .breakdown import (
+    PREEMPT_PHASES,
+    RESUME_PHASES,
+    PhaseBreakdown,
+    aggregate_breakdowns,
+    build_breakdowns,
+)
+from .events import (
+    SM_WIDE,
+    TRACE_ENV,
+    EventKind,
+    TraceEvent,
+    Tracer,
+    make_tracer,
+    resolved_detail,
+    tracing_enabled,
+)
+from .export import render_trace_text, to_chrome, to_jsonl
+
+__all__ = [
+    "EventKind",
+    "PREEMPT_PHASES",
+    "PhaseBreakdown",
+    "RESUME_PHASES",
+    "SM_WIDE",
+    "TRACE_ENV",
+    "TraceEvent",
+    "Tracer",
+    "aggregate_breakdowns",
+    "build_breakdowns",
+    "make_tracer",
+    "render_trace_text",
+    "resolved_detail",
+    "to_chrome",
+    "to_jsonl",
+    "tracing_enabled",
+]

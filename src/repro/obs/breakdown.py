@@ -1,0 +1,160 @@
+"""Per-warp preemption-latency breakdowns from the event stream.
+
+Splits every warp's measured ``latency_cycles`` / ``resume_cycles`` into
+the phases the paper's §IV-B runtime flow implies, per preemption strategy:
+
+``switch`` (routine-pair mechanisms — BASELINE, LIVE, CS-Defer, CTXBack…)
+    preemption = ``store`` (dedicated-routine execution from the signal to
+    its last issued instruction) + ``drain`` (outstanding context stores +
+    the metadata write reaching memory);
+    resume = ``reload`` (dedicated resuming routine) + ``drain``.
+
+``drop`` (CKPT)
+    preemption = ``meta_store`` (only per-warp metadata is written; the
+    context already lives in the last checkpoint);
+    resume = ``reload`` (checkpoint load) + ``reexec`` (re-executing from
+    the checkpoint until the signalled dynamic instruction is re-reached).
+
+``drain`` (SM-draining)
+    preemption = ``drain_exec`` (the warp runs to completion); resume is
+    empty — there is nothing to restore.
+
+The invariant the tests and the CI job assert: phase sums equal the
+measured totals *exactly* — ``sum(phases) == latency_cycles`` and
+``sum(resume_phases) == resume_cycles`` for every warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import EventKind, Tracer
+
+#: canonical phase order for rendering (per strategy)
+PREEMPT_PHASES = {
+    "switch": ("store", "drain"),
+    "drop": ("meta_store",),
+    "drain": ("drain_exec",),
+}
+RESUME_PHASES = {
+    "switch": ("reload", "drain"),
+    "drop": ("reload", "reexec"),
+    "drain": (),
+}
+
+
+@dataclass
+class PhaseBreakdown:
+    """One warp's latency decomposition (cycles per phase)."""
+
+    warp_id: int
+    strategy: str
+    phases: dict[str, int] = field(default_factory=dict)
+    resume_phases: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.phases.values())
+
+    @property
+    def resume_total(self) -> int:
+        return sum(self.resume_phases.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "warp": self.warp_id,
+            "strategy": self.strategy,
+            "phases": dict(self.phases),
+            "resume_phases": dict(self.resume_phases),
+        }
+
+
+def _first(events, kind: EventKind, **match):
+    for event in events:
+        if event.kind is kind and all(
+            event.data.get(k) == v for k, v in match.items()
+        ):
+            return event
+    return None
+
+
+def build_breakdowns(trace: Tracer, measurements) -> dict[int, PhaseBreakdown]:
+    """Decompose each warp's measured latency using its event sub-stream.
+
+    *measurements* is the controller's :class:`WarpMeasurement` list; the
+    totals come from there (they are the simulator's ground truth), the
+    split points from the trace.  Warps whose life-cycle events are
+    incomplete (e.g. a run aborted mid-routine) are skipped.
+    """
+    by_warp: dict[int, list] = {}
+    for event in trace.sorted_events():
+        by_warp.setdefault(event.warp_id, []).append(event)
+
+    breakdowns: dict[int, PhaseBreakdown] = {}
+    for m in measurements:
+        events = by_warp.get(m.warp_id, [])
+        signal = _first(events, EventKind.SIGNAL)
+        if signal is None:
+            continue
+        strategy = signal.data.get("strategy", "switch")
+        breakdown = PhaseBreakdown(warp_id=m.warp_id, strategy=strategy)
+
+        if strategy == "drain":
+            done = _first(events, EventKind.DRAIN_DONE)
+            if done is None:
+                continue
+            breakdown.phases["drain_exec"] = done.cycle - signal.cycle
+        elif strategy == "drop":
+            evict = _first(events, EventKind.EVICT)
+            if evict is None:
+                continue
+            breakdown.phases["meta_store"] = evict.cycle - signal.cycle
+        else:  # switch: dedicated routine + memory drain
+            routine_end = _first(events, EventKind.ROUTINE_END, routine="preempt")
+            evict = _first(events, EventKind.EVICT)
+            if routine_end is None or evict is None:
+                continue
+            breakdown.phases["store"] = routine_end.cycle - signal.cycle
+            breakdown.phases["drain"] = evict.cycle - routine_end.cycle
+
+        resume_start = _first(events, EventKind.RESUME_START)
+        if resume_start is not None and m.resume_cycles is not None:
+            if strategy == "drop":
+                reload_event = _first(events, EventKind.CTX_RELOAD)
+                reload_cycles = (
+                    reload_event.data.get("dur", 0) if reload_event else 0
+                )
+                breakdown.resume_phases["reload"] = reload_cycles
+                breakdown.resume_phases["reexec"] = m.resume_cycles - reload_cycles
+            elif strategy == "switch":
+                routine_end = _first(
+                    events, EventKind.ROUTINE_END, routine="resume"
+                )
+                resume_end = _first(events, EventKind.RESUME_END)
+                if routine_end is not None and resume_end is not None:
+                    breakdown.resume_phases["reload"] = (
+                        routine_end.cycle - resume_start.cycle
+                    )
+                    breakdown.resume_phases["drain"] = (
+                        resume_end.cycle - routine_end.cycle
+                    )
+            # strategy == "drain": nothing to resume (resume_cycles == 0)
+        breakdowns[m.warp_id] = breakdown
+    return breakdowns
+
+
+def aggregate_breakdowns(breakdowns: dict[int, PhaseBreakdown]) -> dict:
+    """Cross-warp aggregate for reports (``BENCH_engine.json``, profiles):
+    total cycles per phase plus warp count, preempt/resume separated."""
+    preempt: dict[str, int] = {}
+    resume: dict[str, int] = {}
+    for breakdown in breakdowns.values():
+        for phase, cycles in breakdown.phases.items():
+            preempt[phase] = preempt.get(phase, 0) + cycles
+        for phase, cycles in breakdown.resume_phases.items():
+            resume[phase] = resume.get(phase, 0) + cycles
+    return {
+        "warps": len(breakdowns),
+        "preempt_phase_cycles": dict(sorted(preempt.items())),
+        "resume_phase_cycles": dict(sorted(resume.items())),
+    }

@@ -1,0 +1,159 @@
+"""Structured event tracing for the SM simulator.
+
+The paper's argument is a latency story — where the cycles go between the
+preemption signal, the dedicated routine, eviction and resume — so the
+simulator's observability layer records *typed events* with cycle
+timestamps and warp/mechanism attribution instead of only end-to-end
+aggregates.  The design constraints, in order:
+
+1. **Zero observer effect.**  Recording must never change a simulated
+   cycle: the tracer only appends to a list; nothing reads it during the
+   run.  The CI trace job asserts traced and untraced ``total_cycles``
+   are identical.
+2. **Near-zero disabled cost.**  ``SM.tracer`` is ``None`` by default and
+   every emission site is guarded by a single attribute-load + ``None``
+   check, so the hot issue loop pays one predictable branch.
+3. **Determinism.**  Events are appended in simulation order and carry a
+   monotonic sequence number; two identical runs produce byte-identical
+   event streams (the exporters sort by ``(cycle, seq)``, a total order).
+
+Enablement: set :attr:`~repro.sim.config.GPUConfig.trace_events` on the
+config, or export ``REPRO_TRACE=1`` (``REPRO_TRACE=issue`` additionally
+records one event per issued instruction — the Chrome-trace "full" view).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+
+TRACE_ENV = "REPRO_TRACE"
+
+#: ``REPRO_TRACE`` values that enable tracing at routine granularity
+_ENV_ON = ("1", "on", "true", "yes", "routine")
+#: ``REPRO_TRACE`` values that additionally record per-issue events
+_ENV_FULL = ("issue", "full", "2")
+
+
+class EventKind(Enum):
+    """Typed simulator events (the value is the wire/JSON name)."""
+
+    #: preemption signal processed for a warp (data: pc, strategy,
+    #: flashback, context_bytes)
+    SIGNAL = "signal"
+    #: warp entered a dedicated routine (data: routine = preempt|resume)
+    ROUTINE_START = "routine_start"
+    #: routine's last instruction issued (data: routine)
+    ROUTINE_END = "routine_end"
+    #: end-of-routine memory drain window (data: routine, dur)
+    MEM_DRAIN = "mem_drain"
+    #: warp's on-chip resources released (context saved)
+    EVICT = "evict"
+    #: resume requested for an evicted warp
+    RESUME_START = "resume_start"
+    #: context-buffer reload issued on a checkpoint resume (data: nbytes, dur)
+    CTX_RELOAD = "ctx_reload"
+    #: resume complete (data: strategy)
+    RESUME_END = "resume_end"
+    #: SM-draining warp ran to completion after the signal
+    DRAIN_DONE = "drain_done"
+    #: CKPT probe took a checkpoint (data: probe, nbytes)
+    CKPT_STORE = "ckpt_store"
+    #: no warp could issue; the scheduler jumped forward (data: dur)
+    ISSUE_STALL = "issue_stall"
+    #: one instruction issued (detail="issue" only; data: pc, mode, mnemonic)
+    ISSUE = "issue"
+
+
+#: pseudo warp id for SM-wide events (scheduler stalls)
+SM_WIDE = -1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: ``seq`` breaks same-cycle ties deterministically."""
+
+    seq: int
+    cycle: int
+    kind: EventKind
+    warp_id: int
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat form (the JSONL stream's line format)."""
+        return {
+            "seq": self.seq,
+            "cycle": self.cycle,
+            "kind": self.kind.value,
+            "warp": self.warp_id,
+            **{k: v for k, v in sorted(self.data.items())},
+        }
+
+
+class Tracer:
+    """Append-only event recorder attached to one :class:`~repro.sim.sm.SM`.
+
+    ``detail="routine"`` records the coarse preemption life-cycle events;
+    ``detail="issue"`` additionally records one event per issued
+    instruction (large, but it is what makes the Chrome trace show the
+    save/reload/revert steps of each dedicated routine).
+    """
+
+    __slots__ = ("events", "mechanism", "detail", "_seq")
+
+    def __init__(self, mechanism: str = "", detail: str = "routine") -> None:
+        self.events: list[TraceEvent] = []
+        self.mechanism = mechanism
+        self.detail = detail
+        self._seq = 0
+
+    @property
+    def full(self) -> bool:
+        """Per-issue events requested?"""
+        return self.detail == "issue"
+
+    def emit(self, cycle: int, kind: EventKind, warp_id: int, **data) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        self.events.append(TraceEvent(seq, cycle, kind, warp_id, data))
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in ``(cycle, seq)`` order — a deterministic total order
+        (some events are emitted with a future semantic cycle, e.g. the
+        drained-eviction timestamp, so raw order is not cycle order)."""
+        return sorted(self.events, key=lambda e: (e.cycle, e.seq))
+
+    def events_for(self, warp_id: int) -> list[TraceEvent]:
+        return [e for e in self.sorted_events() if e.warp_id == warp_id]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# -- enablement ------------------------------------------------------------------
+
+
+def env_trace_value() -> str:
+    return os.environ.get(TRACE_ENV, "").strip().lower()
+
+
+def tracing_enabled(config) -> bool:
+    """Tracing requested via the config or the ``REPRO_TRACE`` environment."""
+    if getattr(config, "trace_events", False):
+        return True
+    return env_trace_value() in _ENV_ON + _ENV_FULL
+
+
+def resolved_detail(config) -> str:
+    """Effective detail level: the environment can only *raise* detail."""
+    if env_trace_value() in _ENV_FULL:
+        return "issue"
+    return getattr(config, "trace_detail", "routine")
+
+
+def make_tracer(config, mechanism: str = "") -> Tracer | None:
+    """The single factory the launch harness uses: ``None`` when disabled."""
+    if not tracing_enabled(config):
+        return None
+    return Tracer(mechanism=mechanism, detail=resolved_detail(config))

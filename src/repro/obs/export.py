@@ -1,0 +1,186 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, JSONL, text timeline.
+
+Three views of the same event stream (all deterministic — events are
+ordered by ``(cycle, seq)``, a total order two identical runs reproduce
+byte-for-byte):
+
+* :func:`to_chrome` — the Chrome ``trace_event`` object format (a
+  ``traceEvents`` array of ``B/E/X/i/M`` records), loadable by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Warps are threads
+  of one "SM" process; routine executions and drain windows are complete
+  (``X``) slices, signals/evictions instant (``i``) markers.
+* :func:`to_jsonl` — one JSON object per line, the machine-diffable
+  stream form (``jq``-friendly; what the regression tests compare).
+* :func:`render_trace_text` — the upgraded deterministic text timeline:
+  one line per event plus the per-warp latency breakdown table.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .breakdown import PhaseBreakdown, build_breakdowns
+from .events import SM_WIDE, EventKind, TraceEvent, Tracer
+
+#: Chrome tid for SM-wide scheduler events (no real warp id is negative)
+SCHEDULER_TID = 1_000_000
+
+#: event kinds rendered as instant markers in the Chrome view
+_INSTANT_KINDS = (
+    EventKind.SIGNAL,
+    EventKind.EVICT,
+    EventKind.RESUME_START,
+    EventKind.RESUME_END,
+    EventKind.DRAIN_DONE,
+    EventKind.CKPT_STORE,
+)
+
+
+def _routine_step(mechanism: str, routine: str, mnemonic: str) -> str:
+    from ..mechanisms.base import classify_routine_step
+
+    return classify_routine_step(routine, mnemonic)
+
+
+def to_chrome(trace: Tracer, config, result=None) -> dict:
+    """Chrome ``trace_event`` JSON object; timestamps in µs at the
+    configured clock.  Load the emitted file in Perfetto or
+    ``chrome://tracing`` as-is."""
+    us = config.cycles_to_us
+    events: list[dict] = []
+    pid = 0
+    label = f"SM0 · {trace.mechanism}" if trace.mechanism else "SM0"
+    events.append(
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": label}}
+    )
+    seen_warps: list[int] = []
+    open_routines: dict[tuple[int, str], TraceEvent] = {}
+    body: list[dict] = []
+    for event in trace.sorted_events():
+        tid = SCHEDULER_TID if event.warp_id == SM_WIDE else event.warp_id
+        if event.warp_id != SM_WIDE and event.warp_id not in seen_warps:
+            seen_warps.append(event.warp_id)
+        kind = event.kind
+        if kind is EventKind.ROUTINE_START:
+            open_routines[(event.warp_id, event.data["routine"])] = event
+            continue
+        if kind is EventKind.ROUTINE_END:
+            routine = event.data["routine"]
+            start = open_routines.pop((event.warp_id, routine), None)
+            if start is None:
+                continue
+            body.append(
+                {"ph": "X", "name": f"{routine} routine", "cat": "routine",
+                 "pid": pid, "tid": tid, "ts": us(start.cycle),
+                 "dur": us(event.cycle - start.cycle),
+                 "args": dict(start.data)}
+            )
+            continue
+        if kind in (EventKind.MEM_DRAIN, EventKind.CTX_RELOAD,
+                    EventKind.ISSUE_STALL):
+            body.append(
+                {"ph": "X",
+                 "name": kind.value.replace("_", " "),
+                 "cat": "memory" if kind is not EventKind.ISSUE_STALL
+                 else "scheduler",
+                 "pid": pid, "tid": tid, "ts": us(event.cycle),
+                 "dur": us(event.data.get("dur", 0)),
+                 "args": {k: v for k, v in event.data.items() if k != "dur"}}
+            )
+            continue
+        if kind is EventKind.ISSUE:
+            mnemonic = event.data.get("mnemonic", "issue")
+            mode = event.data.get("mode", "")
+            args = dict(event.data)
+            if mode in ("preempt", "resume"):
+                args["step"] = _routine_step(trace.mechanism, mode, mnemonic)
+            body.append(
+                {"ph": "X", "name": mnemonic, "cat": f"issue.{mode}",
+                 "pid": pid, "tid": tid, "ts": us(event.cycle),
+                 "dur": us(1), "args": args}
+            )
+            continue
+        if kind in _INSTANT_KINDS:
+            body.append(
+                {"ph": "i", "s": "t", "name": kind.value, "cat": "lifecycle",
+                 "pid": pid, "tid": tid, "ts": us(event.cycle),
+                 "args": dict(event.data)}
+            )
+    for warp_id in seen_warps:
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": warp_id,
+             "args": {"name": f"warp {warp_id}"}}
+        )
+    events.append(
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": SCHEDULER_TID,
+         "args": {"name": "scheduler"}}
+    )
+    events.extend(body)
+    other = {"mechanism": trace.mechanism, "clock_ghz": config.clock_ghz,
+             "events": len(trace.events)}
+    if result is not None:
+        other["total_cycles"] = result.total_cycles
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def to_jsonl(trace: Tracer) -> str:
+    """One compact JSON object per event, in ``(cycle, seq)`` order."""
+    return "\n".join(
+        json.dumps(event.as_dict(), sort_keys=False, separators=(",", ":"))
+        for event in trace.sorted_events()
+    )
+
+
+def _format_data(data: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(data.items()))
+
+
+def render_trace_text(
+    trace: Tracer,
+    config,
+    result=None,
+    breakdowns: dict[int, PhaseBreakdown] | None = None,
+) -> str:
+    """Deterministic event-by-event timeline plus the breakdown table.
+
+    Unlike the measurement-level summary of
+    :func:`repro.analysis.trace.render_timeline`, this renders the raw
+    event stream — same-cycle events tie-break on their sequence number,
+    so the output is identical across runs.
+    """
+    lines = []
+    header = f"trace: mechanism {trace.mechanism or '?'}, " \
+             f"{len(trace.events)} events"
+    if result is not None:
+        header += (
+            f", total {result.total_cycles} cycles "
+            f"({config.cycles_to_us(result.total_cycles):.1f} µs)"
+        )
+    lines.append(header)
+    for event in trace.sorted_events():
+        who = "SM  " if event.warp_id == SM_WIDE else f"w{event.warp_id:<3d}"
+        data = _format_data(event.data)
+        lines.append(
+            f"  @{event.cycle:>8d}  {who} {event.kind.value:<13s} {data}".rstrip()
+        )
+    if breakdowns is None and result is not None and result.measurements:
+        breakdowns = build_breakdowns(trace, result.measurements)
+    if breakdowns:
+        lines.append("latency breakdown (cycles):")
+        for warp_id in sorted(breakdowns):
+            b = breakdowns[warp_id]
+            preempt = " + ".join(
+                f"{phase} {cycles}" for phase, cycles in b.phases.items()
+            )
+            line = (f"  warp {warp_id} [{b.strategy}]: "
+                    f"preempt {b.total} = {preempt}")
+            if b.resume_phases:
+                resume = " + ".join(
+                    f"{phase} {cycles}"
+                    for phase, cycles in b.resume_phases.items()
+                )
+                line += f"; resume {b.resume_total} = {resume}"
+            lines.append(line)
+    return "\n".join(lines)

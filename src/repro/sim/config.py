@@ -65,6 +65,14 @@ class GPUConfig:
     scoreboard_prune_threshold: int = 64
     #: safety valve for run-away simulations
     max_cycles: int = 30_000_000
+    #: record structured trace events (:mod:`repro.obs`).  Off by default:
+    #: the disabled tracer costs one attribute check per issue and cannot
+    #: change simulated cycles (``REPRO_TRACE=1`` enables it too)
+    trace_events: bool = False
+    #: ``"routine"`` records the preemption life-cycle events only;
+    #: ``"issue"`` additionally records one event per issued instruction
+    #: (``REPRO_TRACE=issue`` raises this from the environment)
+    trace_detail: str = "routine"
 
     @property
     def warp_size(self) -> int:

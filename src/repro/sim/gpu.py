@@ -22,6 +22,7 @@ from typing import Callable
 from typing import TYPE_CHECKING
 
 from ..isa.instruction import Kernel
+from ..obs import PhaseBreakdown, Tracer, build_breakdowns, make_tracer
 from .config import GPUConfig
 
 if TYPE_CHECKING:  # avoid a circular import; PreparedKernel is type-only here
@@ -106,6 +107,11 @@ class RunResult:
     memory: DeviceMemory
     sm: SM
 
+    @property
+    def trace(self) -> Tracer | None:
+        """The run's event trace (``None`` unless tracing was enabled)."""
+        return self.sm.tracer
+
 
 def run_reference(
     spec: LaunchSpec,
@@ -120,6 +126,9 @@ def run_reference(
     """
     kernel = prepared.kernel if prepared is not None else None
     sm, warps, memory = build_launch(spec, config, kernel_override=kernel)
+    sm.tracer = make_tracer(
+        config, prepared.mechanism if prepared is not None else ""
+    )
     if prepared is not None:
         controller = PreemptionController(
             sm=sm,
@@ -148,8 +157,16 @@ class ExperimentResult:
     measurements: list[WarpMeasurement]
     total_cycles: int
     verified: bool
-    reference_cycles: int
+    #: cycles of the uninterrupted reference run; ``None`` — not ``0`` —
+    #: when no reference was run (``verify=False``).  A 0-cycle reference
+    #: (degenerate launch) is a legitimate value, distinct from "absent".
+    reference_cycles: int | None
     memory: DeviceMemory = field(repr=False, default=None)  # type: ignore[assignment]
+    #: the run's event trace (``None`` unless tracing was enabled)
+    trace: Tracer | None = field(repr=False, default=None)
+    #: per-warp latency decomposition (populated only when tracing):
+    #: ``sum(phases) == latency_cycles`` for every measured warp
+    breakdowns: dict[int, PhaseBreakdown] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -174,6 +191,9 @@ class ExperimentResult:
             self.measurements
         )
 
+    def breakdown_for(self, warp_id: int) -> PhaseBreakdown | None:
+        return self.breakdowns.get(warp_id)
+
 
 def run_preemption_experiment(
     spec: LaunchSpec,
@@ -187,7 +207,7 @@ def run_preemption_experiment(
 ) -> ExperimentResult:
     """Preempt every target warp at dynamic instruction *signal_dyn*, resume
     after *resume_gap* cycles, run to completion, verify memory."""
-    reference_cycles = 0
+    reference_cycles: int | None = None
     ref_memory = None
     if verify:
         ref = run_reference(spec, config)
@@ -211,6 +231,7 @@ def run_preemption_experiment(
     sm, target_warps, memory = build_launch(
         spec, config, kernel_override=prepared.kernel
     )
+    sm.tracer = make_tracer(config, prepared.mechanism)
     if background is not None:
         build_launch(
             background, config, sm=sm, memory=memory, block_id=1, warp_id_base=1000
@@ -266,6 +287,9 @@ def run_preemption_experiment(
         for w in target_warps
         if w.warp_id in controller.measurements
     ]
+    breakdowns: dict[int, PhaseBreakdown] = {}
+    if sm.tracer is not None:
+        breakdowns = build_breakdowns(sm.tracer, measurements)
     return ExperimentResult(
         mechanism=prepared.mechanism,
         measurements=measurements,
@@ -273,4 +297,6 @@ def run_preemption_experiment(
         verified=verified,
         reference_cycles=reference_cycles,
         memory=memory,
+        trace=sm.tracer,
+        breakdowns=breakdowns,
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..ctxback.context import META_BYTES
+from ..obs.events import EventKind
 from .sm import SM
 
 if TYPE_CHECKING:  # avoid a circular import; PreparedKernel is type-only here
@@ -89,6 +90,12 @@ class PreemptionController:
         warp.routine_last_mem_completion = cycle
         strategy = self.prepared.strategy_for(warp)
         warp.active_strategy = strategy
+        tracer = self.sm.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.SIGNAL, warp.warp_id,
+                pc=n, strategy=strategy,
+            )
         if strategy == "drain":
             # SM-draining: the warp keeps running; latency is measured when
             # it finishes (see _on_program_end)
@@ -118,12 +125,25 @@ class PreemptionController:
                 context_bytes=snapshot.nbytes if snapshot else META_BYTES,
             )
             warp.preempt_done_cycle = completion
+            if tracer is not None:
+                tracer.emit(
+                    cycle, EventKind.MEM_DRAIN, warp.warp_id,
+                    routine="preempt", dur=completion - cycle,
+                    nbytes=META_BYTES,
+                )
+                tracer.emit(completion, EventKind.EVICT, warp.warp_id)
             return
         plan = self.prepared.plans[n]
         warp.active_plan = plan
         warp.mode = WarpMode.PREEMPT_ROUTINE
         warp.program = plan.preempt_routine
         warp.state.pc = 0
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.ROUTINE_START, warp.warp_id,
+                routine="preempt", context_bytes=plan.context_bytes,
+                flashback=plan.flashback_pos,
+            )
         self.measurements[warp.warp_id] = WarpMeasurement(
             warp_id=warp.warp_id,
             signal_pc=n,
@@ -134,12 +154,15 @@ class PreemptionController:
         )
 
     def _on_program_end(self, warp: SimWarp, cycle: int) -> None:
+        tracer = self.sm.tracer
         if warp.mode is WarpMode.RUNNING and warp.warp_id in self._draining:
             # a draining warp finished: the SM is finally released
             measurement = self.measurements[warp.warp_id]
             measurement.latency_cycles = cycle - measurement.signal_cycle
             measurement.resume_cycles = 0  # nothing to resume
             self._draining.discard(warp.warp_id)
+            if tracer is not None:
+                tracer.emit(cycle, EventKind.DRAIN_DONE, warp.warp_id)
             return
         if warp.mode is WarpMode.PREEMPT_ROUTINE:
             done = max(cycle, warp.routine_last_mem_completion)
@@ -153,6 +176,16 @@ class PreemptionController:
             measurement = self.measurements[warp.warp_id]
             measurement.latency_cycles = done - measurement.signal_cycle
             warp.state.clear()  # registers are released; restore must rebuild
+            if tracer is not None:
+                tracer.emit(
+                    cycle, EventKind.ROUTINE_END, warp.warp_id,
+                    routine="preempt",
+                )
+                tracer.emit(
+                    cycle, EventKind.MEM_DRAIN, warp.warp_id,
+                    routine="preempt", dur=done - cycle,
+                )
+                tracer.emit(done, EventKind.EVICT, warp.warp_id)
         elif warp.mode is WarpMode.RESUME_ROUTINE:
             plan = warp.active_plan
             assert plan is not None
@@ -164,6 +197,19 @@ class PreemptionController:
             measurement = self.measurements[warp.warp_id]
             measurement.resume_cycles = done - (warp.resume_start_cycle or done)
             warp.active_plan = None
+            if tracer is not None:
+                tracer.emit(
+                    cycle, EventKind.ROUTINE_END, warp.warp_id,
+                    routine="resume",
+                )
+                tracer.emit(
+                    cycle, EventKind.MEM_DRAIN, warp.warp_id,
+                    routine="resume", dur=done - cycle,
+                )
+                tracer.emit(
+                    done, EventKind.RESUME_END, warp.warp_id,
+                    strategy="switch",
+                )
 
     def _on_ckpt_probe(self, warp: SimWarp, instruction, cycle: int) -> None:
         if not self.prepared.is_checkpoint_based:
@@ -187,6 +233,11 @@ class PreemptionController:
         # the requests are being issued (one cycle per stored register).
         self.sm.pipeline.request(cycle, site.nbytes, is_ctx=True, kind="ckpt_store")
         warp.next_free = cycle + max(1, site.store_ops)
+        if self.sm.tracer is not None:
+            self.sm.tracer.emit(
+                cycle, EventKind.CKPT_STORE, warp.warp_id,
+                probe=probe_id, nbytes=site.nbytes,
+            )
 
     # -- resume ----------------------------------------------------------------------
 
@@ -197,6 +248,9 @@ class PreemptionController:
             raise RuntimeError(f"warp {warp.warp_id} is not evicted")
         warp.resume_start_cycle = cycle
         warp.routine_last_mem_completion = cycle
+        tracer = self.sm.tracer
+        if tracer is not None:
+            tracer.emit(cycle, EventKind.RESUME_START, warp.warp_id)
         if warp.active_strategy == "drop":
             snapshot = warp.last_checkpoint
             measurement = self.measurements[warp.warp_id]
@@ -217,6 +271,12 @@ class PreemptionController:
                 completion = self.sm.pipeline.request(
                     cycle, snapshot.nbytes, is_ctx=True, kind="ctx_load"
                 )
+            if tracer is not None:
+                tracer.emit(
+                    cycle, EventKind.CTX_RELOAD, warp.warp_id,
+                    nbytes=snapshot.nbytes if snapshot else 0,
+                    dur=completion - cycle,
+                )
             warp.mode = WarpMode.RUNNING
             warp.next_free = max(warp.next_free, completion)
             # resume "completes" when execution re-reaches the preempted
@@ -233,6 +293,11 @@ class PreemptionController:
         warp.mode = WarpMode.RESUME_ROUTINE
         warp.program = plan.resume_routine
         warp.state.pc = 0
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.ROUTINE_START, warp.warp_id,
+                routine="resume", context_bytes=plan.context_bytes,
+            )
         self.sm.refresh_issuable()  # the warp left the scheduler's list
 
     def all_evicted(self) -> bool:

@@ -31,6 +31,7 @@ from typing import Callable
 
 from ..isa.instruction import Instruction, Program
 from ..isa.opcodes import OpClass
+from ..obs.events import SM_WIDE, EventKind, Tracer
 from .config import GPUConfig
 from .executor import Executor, MemTraffic
 from .memory import DeviceMemory, MemoryPipeline
@@ -77,6 +78,9 @@ class SM:
             config.lds_latency,
             config.salu_latency,
         )
+        #: structured event recorder (:mod:`repro.obs`); ``None`` — the
+        #: default — keeps every emission site to one branch per issue
+        self.tracer: Tracer | None = None
         #: called before a RUNNING warp issues; may flip it into a routine
         self.pre_issue_hook: Callable[[SimWarp, int], None] | None = None
         #: called when a warp finishes its current program
@@ -174,6 +178,12 @@ class SM:
             return False
 
         earliest = min(ready for ready, _ in candidates)
+        tracer = self.tracer
+        if tracer is not None and earliest > self.cycle:
+            tracer.emit(
+                self.cycle, EventKind.ISSUE_STALL, SM_WIDE,
+                dur=earliest - self.cycle,
+            )
         self.cycle = max(self.cycle, earliest)
         ready_now = [w for ready, w in candidates if ready <= self.cycle]
         # round-robin among warps ready this cycle
@@ -204,10 +214,22 @@ class SM:
                 and warp.dyn_count >= warp.resume_watch_dyn
             ):
                 warp.resume_done_cycle = cycle
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        cycle, EventKind.RESUME_END, warp.warp_id,
+                        strategy="drop",
+                    )
             counts = self.stats.pc_counts
             if pc >= len(counts):
                 counts.extend([0] * (pc + 1 - len(counts)))
             counts[pc] += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.full:
+            tracer.emit(
+                cycle, EventKind.ISSUE, warp.warp_id,
+                pc=pc, mode=warp.mode.value,
+                mnemonic=tables.program.instructions[pc].mnemonic,
+            )
         traffic = executor.execute_indexed(tables, warp.state, pc)
         warp.next_free = cycle + 1
         if running:

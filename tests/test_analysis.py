@@ -141,3 +141,53 @@ class TestTimeline:
         assert "flashback" in text
         assert "memory verified: True" in text
         assert "resume cost" in text
+
+    @staticmethod
+    def _synthetic_result(measurements, reference_cycles):
+        from repro.sim.gpu import ExperimentResult
+
+        return ExperimentResult(
+            mechanism="ctxback",
+            measurements=measurements,
+            total_cycles=500,
+            verified=True,
+            reference_cycles=reference_cycles,
+        )
+
+    def test_same_cycle_signals_sorted_by_warp_id(self):
+        """Two signals in the same cycle must render in warp-id order
+        regardless of measurement-list order (regression: the sort key
+        used to be signal_cycle alone, leaving ties to list order)."""
+        from repro.analysis import render_timeline
+        from repro.sim.preemption import WarpMeasurement
+
+        measurements = [
+            WarpMeasurement(warp_id=3, signal_pc=5, signal_cycle=100,
+                            latency_cycles=40),
+            WarpMeasurement(warp_id=1, signal_pc=5, signal_cycle=100,
+                            latency_cycles=40),
+            WarpMeasurement(warp_id=2, signal_pc=5, signal_cycle=90,
+                            latency_cycles=40),
+        ]
+        text = render_timeline(
+            self._synthetic_result(measurements, None), SMALL
+        )
+        lines = [l for l in text.splitlines() if "signal @" in l]
+        assert [l.split(":")[0].strip() for l in lines] == [
+            "warp 2", "warp 1", "warp 3",
+        ]
+
+    def test_reference_cycles_none_vs_zero(self):
+        """``None`` means "no reference run" (no line); ``0`` is a real
+        measurement and must render without a division by zero."""
+        from repro.analysis import render_timeline
+
+        absent = render_timeline(self._synthetic_result([], None), SMALL)
+        assert "uninterrupted reference" not in absent
+
+        zero = render_timeline(self._synthetic_result([], 0), SMALL)
+        assert "uninterrupted reference: 0 cycles" in zero
+        assert "x)" not in zero  # no slowdown ratio for a 0-cycle reference
+
+        nonzero = render_timeline(self._synthetic_result([], 250), SMALL)
+        assert "uninterrupted reference: 250 cycles (this run: 2.00x)" in nonzero

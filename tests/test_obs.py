@@ -1,0 +1,266 @@
+"""Observability layer: tracer, breakdowns, exporters, engine hooks."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.kernels import SUITE
+from repro.mechanisms import make_mechanism
+from repro.obs import (
+    EventKind,
+    Tracer,
+    aggregate_breakdowns,
+    build_breakdowns,
+    make_tracer,
+    render_trace_text,
+    resolved_detail,
+    to_chrome,
+    to_jsonl,
+    tracing_enabled,
+)
+from repro.sim import GPUConfig, run_preemption_experiment, run_reference
+
+SMALL = GPUConfig.small(warp_size=8)
+TRACED = dataclasses.replace(SMALL, trace_events=True)
+
+#: one mechanism per preemption strategy (switch / drop / drain) plus a
+#: second routine-pair mechanism — the breakdown invariant must hold for all
+MECHANISMS = ("ctxback", "live", "ckpt", "drain")
+
+
+def run_experiment(mechanism: str, config: GPUConfig, verify: bool = False):
+    launch = SUITE["va"].launch(warp_size=8, iterations=6, num_warps=2)
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+    return run_preemption_experiment(
+        launch.spec(), prepared, config, signal_dyn=30, resume_gap=200,
+        verify=verify,
+    )
+
+
+class TestEnablement:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not tracing_enabled(SMALL)
+        assert make_tracer(SMALL) is None
+        result = run_experiment("ctxback", SMALL)
+        assert result.trace is None
+        assert result.breakdowns == {}
+
+    def test_config_enables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert tracing_enabled(TRACED)
+        tracer = make_tracer(TRACED, "ctxback")
+        assert isinstance(tracer, Tracer)
+        assert tracer.mechanism == "ctxback"
+        assert not tracer.full
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert tracing_enabled(SMALL)
+        assert resolved_detail(SMALL) == "routine"
+
+    def test_env_raises_detail(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "issue")
+        assert tracing_enabled(SMALL)
+        assert resolved_detail(TRACED) == "issue"
+        assert make_tracer(SMALL).full
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_streams(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        first = run_experiment("ctxback", TRACED)
+        second = run_experiment("ctxback", TRACED)
+        assert len(first.trace.events) > 0
+        assert to_jsonl(first.trace) == to_jsonl(second.trace)
+
+    def test_sorted_events_total_order(self):
+        result = run_experiment("ctxback", TRACED)
+        ordered = result.trace.sorted_events()
+        keys = [(e.cycle, e.seq) for e in ordered]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)  # no duplicate positions
+
+    def test_lifecycle_events_present(self):
+        result = run_experiment("ctxback", TRACED)
+        kinds = {e.kind for e in result.trace.events}
+        assert {
+            EventKind.SIGNAL, EventKind.ROUTINE_START, EventKind.ROUTINE_END,
+            EventKind.EVICT, EventKind.RESUME_START, EventKind.RESUME_END,
+        } <= kinds
+
+
+class TestObserverEffect:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_tracing_does_not_change_cycles(self, mechanism):
+        untraced = run_experiment(mechanism, SMALL)
+        traced = run_experiment(mechanism, TRACED)
+        assert traced.total_cycles == untraced.total_cycles
+        for a, b in zip(untraced.measurements, traced.measurements):
+            assert a.latency_cycles == b.latency_cycles
+            assert a.resume_cycles == b.resume_cycles
+
+    def test_reference_cycles_unchanged(self):
+        launch = SUITE["va"].launch(warp_size=8, iterations=6, num_warps=2)
+        plain = run_reference(launch.spec(), SMALL)
+        traced = run_reference(launch.spec(), TRACED)
+        assert plain.cycles == traced.cycles
+        assert plain.trace is None
+        assert traced.trace is not None
+
+
+class TestBreakdowns:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_phase_sums_equal_measured_totals(self, mechanism):
+        result = run_experiment(mechanism, TRACED)
+        assert result.measurements
+        assert set(result.breakdowns) == {
+            m.warp_id for m in result.measurements
+        }
+        for m in result.measurements:
+            breakdown = result.breakdown_for(m.warp_id)
+            assert breakdown.total == m.latency_cycles
+            if m.resume_cycles is not None:
+                assert breakdown.resume_total == m.resume_cycles
+
+    def test_rebuild_matches_attached(self):
+        result = run_experiment("ctxback", TRACED)
+        rebuilt = build_breakdowns(result.trace, result.measurements)
+        assert {
+            w: b.as_dict() for w, b in rebuilt.items()
+        } == {w: b.as_dict() for w, b in result.breakdowns.items()}
+
+    def test_aggregate_shape(self):
+        result = run_experiment("ctxback", TRACED)
+        aggregate = aggregate_breakdowns(result.breakdowns)
+        assert aggregate["warps"] == len(result.breakdowns)
+        assert sum(aggregate["preempt_phase_cycles"].values()) == sum(
+            m.latency_cycles for m in result.measurements
+        )
+
+
+class TestChromeExport:
+    def test_schema_valid_and_round_trips(self):
+        result = run_experiment("ctxback", TRACED)
+        chrome = to_chrome(result.trace, TRACED, result)
+        parsed = json.loads(json.dumps(chrome))
+        assert isinstance(parsed["traceEvents"], list)
+        assert parsed["otherData"]["total_cycles"] == result.total_cycles
+        for record in parsed["traceEvents"]:
+            assert record["ph"] in ("M", "X", "i")
+            assert "pid" in record and "tid" in record and "name" in record
+            if record["ph"] == "X":
+                assert record["dur"] >= 0 and record["ts"] >= 0
+            if record["ph"] == "i":
+                assert record["s"] == "t"
+
+    def test_issue_detail_labels_routine_steps(self):
+        config = dataclasses.replace(TRACED, trace_detail="issue")
+        result = run_experiment("ctxback", config)
+        chrome = to_chrome(result.trace, config, result)
+        steps = {
+            record["args"]["step"]
+            for record in chrome["traceEvents"]
+            if record.get("cat", "").startswith("issue.")
+            and "step" in record.get("args", {})
+        }
+        assert "save" in steps and "reload" in steps
+
+    def test_jsonl_round_trips(self):
+        result = run_experiment("ckpt", TRACED)
+        lines = to_jsonl(result.trace).splitlines()
+        assert len(lines) == len(result.trace.events)
+        for line in lines:
+            record = json.loads(line)
+            assert {"seq", "cycle", "kind", "warp"} <= set(record)
+
+    def test_text_timeline(self):
+        result = run_experiment("ctxback", TRACED)
+        text = render_trace_text(
+            result.trace, TRACED, result, breakdowns=result.breakdowns
+        )
+        assert "latency breakdown (cycles):" in text
+        assert "signal" in text and "evict" in text
+        # deterministic: rendering twice is byte-identical
+        assert text == render_trace_text(
+            result.trace, TRACED, result, breakdowns=result.breakdowns
+        )
+
+
+class TestEngineIntegration:
+    def test_traced_unit_profile_and_report(self):
+        from repro.analysis.engine import ExperimentEngine, ExperimentUnit
+
+        unit = ExperimentUnit(
+            key="va", mechanism="ctxback", config=SMALL, signal_dyn=30,
+            resume_gap=200, iterations=6, trace=True,
+        )
+        engine = ExperimentEngine(1)
+        profile = engine.map([unit])[0]
+        assert profile["breakdown"]["warps"] > 0
+        assert profile["events"] > 0
+        trace_report = engine.report.as_dict()["trace"]
+        assert trace_report["traced_units"] == 1
+        assert trace_report["warps"] == profile["breakdown"]["warps"]
+        assert (
+            trace_report["preempt_phase_cycles"]
+            == profile["breakdown"]["preempt_phase_cycles"]
+        )
+
+    def test_traced_and_untraced_profiles_do_not_alias(self):
+        from repro.analysis.engine import experiment_profile_for
+
+        untraced = experiment_profile_for(
+            "va", "ctxback", SMALL, 6, 30, 200, False
+        )
+        traced = experiment_profile_for(
+            "va", "ctxback", SMALL, 6, 30, 200, False, True
+        )
+        assert "breakdown" not in untraced
+        assert traced["breakdown"]["warps"] > 0
+        # the observer-effect guard, through the cache layer
+        assert traced["latency"] == untraced["latency"]
+
+    def test_weights_cached_once(self):
+        from repro.analysis import get_cache
+        from repro.analysis.metrics import dynamic_pc_weights
+
+        launch = SUITE["va"].launch(warp_size=8, iterations=7)
+        stats = get_cache().stats
+        before = stats.snapshot()
+        first = dynamic_pc_weights(launch, SMALL)
+        second = dynamic_pc_weights(launch, SMALL)
+        delta = stats.delta(before)
+        assert first == second
+        assert delta.misses == 1 and delta.hits == 1
+
+
+class TestTraceCli:
+    def run_cli(self, *args, tmp_path=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "trace", *args],
+            capture_output=True, text=True, timeout=600,
+        )
+
+    def test_chrome_output_is_loadable_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        result = self.run_cli(
+            "va", "--mechanism", "ctxback", "--iterations", "6",
+            "--format", "chrome", "--output", str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        with open(out) as handle:
+            chrome = json.load(handle)
+        assert chrome["traceEvents"]
+        assert chrome["otherData"]["mechanism"] == "ctxback"
+
+    def test_text_output_has_breakdown(self):
+        result = self.run_cli(
+            "va", "--mechanism", "ckpt", "--iterations", "6", "--no-verify"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "latency breakdown (cycles):" in result.stdout
+        assert "[drop]" in result.stdout

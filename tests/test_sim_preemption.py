@@ -174,6 +174,7 @@ class TestDropResumeWatch:
         sm = SimpleNamespace(
             pipeline=MemoryPipeline(bytes_per_cycle=8, latency=0),
             refresh_issuable=lambda: None,
+            tracer=None,
         )
         warp = SimWarp(
             warp_id=0,
