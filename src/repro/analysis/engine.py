@@ -262,6 +262,7 @@ def experiment_profile_for(
     resume_gap: int,
     verify: bool,
     trace: bool = False,
+    faults=None,
 ) -> dict:
     """Cached preemption-experiment profile for one signal sample.
 
@@ -270,6 +271,11 @@ def experiment_profile_for(
     breakdown aggregate plus the event count; the trace flag is part of
     the cache key, so traced and untraced profiles never alias.  Tracing
     cannot change the measured cycles (the observer-effect guard in CI).
+
+    With *faults* (a :class:`~repro.faults.plan.FaultPlan`) the run is
+    fault-injected and the profile carries the recovery counters and
+    degraded-warp list; the plan content is part of the cache key, so
+    faulted and clean profiles never alias either.
     """
     parts = _base_parts(key, config, iterations)
     parts.update(_mechanism_parts(mechanism, None))
@@ -278,6 +284,8 @@ def experiment_profile_for(
     )
     if trace:
         parts["trace"] = True
+    if faults is not None:
+        parts["faults"] = canonical(faults)
 
     def run() -> dict:
         from ..obs import aggregate_breakdowns
@@ -294,6 +302,7 @@ def experiment_profile_for(
             signal_dyn=signal_dyn,
             resume_gap=resume_gap,
             verify=verify,
+            faults=faults,
         )
         profile = {
             "latency": result.mean_latency,
@@ -305,6 +314,14 @@ def experiment_profile_for(
             profile["total_cycles"] = result.total_cycles
             profile["events"] = len(result.trace.events)
             profile["breakdown"] = aggregate_breakdowns(result.breakdowns)
+        if result.faults is not None:
+            profile["recovery"] = result.faults.stats.as_dict()
+            profile["degraded_warps"] = [
+                m.warp_id for m in result.measurements if m.degraded
+            ]
+            profile["recovery_cycles"] = sum(
+                m.recovery_cycles for m in result.measurements
+            )
         return profile
 
     return get_cache().get_or_create("experiment", parts, run)
@@ -385,6 +402,9 @@ class ExperimentUnit:
     iterations: int | None = None
     verify: bool = False
     trace: bool = False
+    #: optional :class:`~repro.faults.plan.FaultPlan`; part of the unit's
+    #: cache identity (frozen + picklable, so it pools like everything else)
+    faults: object | None = None
 
     def run(self) -> dict:
         return experiment_profile_for(
@@ -396,6 +416,7 @@ class ExperimentUnit:
             self.resume_gap,
             self.verify,
             self.trace,
+            self.faults,
         )
 
 
@@ -487,6 +508,24 @@ class EngineReport:
     #: latency-breakdown aggregate folded from every traced ExperimentUnit
     #: (``trace=True``); empty when no unit ran under the tracer
     trace: dict = field(default_factory=dict)
+    #: recovery-counter aggregate folded from every fault-injected unit
+    #: (``faults=...`` / ChaosUnit); empty when no unit injected faults
+    recovery: dict = field(default_factory=dict)
+
+    def record_recovery_profile(self, profile: dict) -> None:
+        """Fold one fault-injected unit's recovery counters into the report."""
+        counters = profile.get("recovery")
+        if not counters:
+            return
+        recovery = self.recovery
+        recovery["faulted_units"] = recovery.get("faulted_units", 0) + 1
+        if profile.get("ok") is False:
+            recovery["oracle_failures"] = recovery.get("oracle_failures", 0) + 1
+        recovery["recovery_cycles"] = recovery.get("recovery_cycles", 0) + (
+            profile.get("recovery_cycles", 0)
+        )
+        for name, value in counters.items():
+            recovery[name] = recovery.get(name, 0) + value
 
     def record_trace_profile(self, profile: dict) -> None:
         """Fold one traced unit's breakdown aggregate into the report."""
@@ -516,6 +555,7 @@ class EngineReport:
             "failures": self.failures,
             "failed_units": list(self.failed_units),
             "trace": dict(self.trace),
+            "recovery": dict(self.recovery),
         }
 
 
@@ -566,8 +606,12 @@ class ExperimentEngine:
             else:
                 results = self._map_pool(units)
             for result in results:
-                if isinstance(result, dict) and "breakdown" in result:
+                if not isinstance(result, dict):
+                    continue
+                if "breakdown" in result:
                     self.report.record_trace_profile(result)
+                if "recovery" in result:
+                    self.report.record_recovery_profile(result)
             return results
         finally:
             report = self.report

@@ -15,6 +15,9 @@ Commands:
   ``ablation`` — regenerate the paper's tables and figures (all take
   ``--jobs N`` to fan work units out over a process pool; default from the
   ``REPRO_JOBS`` environment variable);
+* ``chaos``    — sweep fault-injection scenarios × mechanisms and assert the
+  recovery-correctness oracle (post-recovery architectural state must be
+  bit-identical to the fault-free run);
 * ``cache``    — inspect or clear the on-disk artifact cache
   (``REPRO_CACHE_DIR``) the experiment commands share;
 * ``lint``     — symbolically verify every (kernel × mechanism) plan and run
@@ -269,6 +272,62 @@ def _experiment_command(name):
     return run
 
 
+def cmd_chaos(args) -> int:
+    from .analysis import EngineOptions, ExperimentEngine
+    from .faults import scenario_names
+    from .faults.chaos import ChaosUnit, render_chaos
+    from .sim import GPUConfig
+
+    keys = args.keys.split(",") if args.keys else ["mm", "km"]
+    mechanisms = (
+        args.mechanisms.split(",")
+        if args.mechanisms
+        else ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+    )
+    scenarios = args.scenarios.split(",") if args.scenarios else scenario_names()
+    unknown = [s for s in scenarios if s not in scenario_names()]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)} "
+              f"(known: {', '.join(scenario_names())})", file=sys.stderr)
+        return 2
+    config = GPUConfig.small(4) if args.small else GPUConfig.radeon_vii()
+    units = [
+        ChaosUnit(
+            key=key, mechanism=mechanism, scenario=name, seed=args.seed,
+            config=config, iterations=args.iterations,
+        )
+        for key in keys
+        for mechanism in mechanisms
+        for name in scenarios
+    ]
+    options = EngineOptions.from_env(
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
+    )
+    engine = ExperimentEngine(args.jobs, options=options)
+    results = engine.map(units)
+    print(render_chaos(results))
+    verdicts = [r for r in results if isinstance(r, dict)]
+    failed_oracle = [r for r in verdicts if not r["ok"]]
+    print(
+        f"\n{len(verdicts)} chaos runs, "
+        f"{sum(r['injected'] for r in verdicts)} faults injected, "
+        f"{sum(len(r['degraded_warps']) for r in verdicts)} warps degraded, "
+        f"oracle failures: {len(failed_oracle)}"
+    )
+    if args.timing:
+        report = engine.report
+        print(
+            f"[engine] jobs={report.jobs} units={report.units} "
+            f"wall={report.wall_s:.2f}s "
+            f"cache_hit_rate={report.cache.get('hit_rate', 0.0):.0%} "
+            f"recovery={report.recovery}",
+            file=sys.stderr,
+        )
+    return 1 if failed_oracle or engine.report.failures else 0
+
+
 def cmd_cache(args) -> int:
     from .analysis import get_cache
 
@@ -443,6 +502,37 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print engine wall time, cache stats and "
                                      "failure counters to stderr")
         experiment.set_defaults(func=_experiment_command(name))
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep fault scenarios × mechanisms under the recovery oracle "
+             "(post-recovery state must be bit-identical to the clean run)",
+    )
+    chaos.add_argument("--keys", default="",
+                       help="comma-separated kernel subset (default: mm,km)")
+    chaos.add_argument("--mechanisms", default="",
+                       help="comma-separated mechanism subset "
+                            "(default: the six evaluated mechanisms)")
+    chaos.add_argument("--scenarios", default="",
+                       help="comma-separated fault scenarios "
+                            "(default: all; see repro.faults.scenario_names)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan RNG seed (same seed: same faults)")
+    chaos.add_argument("--iterations", type=int, default=None)
+    chaos.add_argument("--small", action="store_true",
+                       help="use the small 4-lane configuration (CI smoke)")
+    chaos.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the experiment engine "
+                            "(default: $REPRO_JOBS or 1)")
+    chaos.add_argument("--unit-timeout", type=float, default=None,
+                       metavar="SECONDS")
+    chaos.add_argument("--retries", type=int, default=None)
+    chaos.add_argument("--failure-policy", default=None,
+                       choices=["fail-fast", "collect"])
+    chaos.add_argument("--timing", action="store_true",
+                       help="print engine wall time, cache stats and folded "
+                            "recovery counters to stderr")
+    chaos.set_defaults(func=cmd_chaos)
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")
     cache.add_argument("--clear", action="store_true",

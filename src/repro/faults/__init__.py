@@ -1,0 +1,65 @@
+"""Deterministic fault injection and recovery for the simulator.
+
+Layers (PhoenixOS's lesson — speculative checkpoint/restore is only
+deployable with validation plus a conservative fallback):
+
+* :mod:`~repro.faults.plan` — seeded, reproducible fault scenarios
+  (:class:`FaultPlan` / :class:`FaultSpec`), pure data that travels
+  through the artifact cache and the process pool;
+* :mod:`~repro.faults.injector` — the runtime :class:`FaultInjector`
+  threading those scenarios through the SM and preemption controller;
+* :mod:`~repro.faults.integrity` — functional context checksums,
+  computed at every eviction and verified at every resume (always on;
+  they cannot change simulated cycles);
+* :mod:`~repro.faults.recovery` — the :class:`RecoveryPolicy` deciding
+  between degradation to the full-save path and a typed
+  :class:`ContextIntegrityError`;
+* :mod:`~repro.faults.chaos` — the ``python -m repro chaos`` sweep and
+  its recovery-correctness oracle (post-recovery architectural state
+  must be bit-identical to the fault-free run).
+
+Only the dependency-free pieces (errors, integrity) import eagerly;
+everything that reaches back into :mod:`repro.sim` or
+:mod:`repro.analysis` loads lazily so ``sim`` modules can import this
+package at module load without a cycle.
+"""
+
+from .errors import ContextIntegrityError, FaultToleranceError, SimulationHangError
+from .integrity import context_checksum, snapshot_checksum
+
+_LAZY = {
+    "FaultKind": "plan",
+    "FaultPlan": "plan",
+    "FaultSpec": "plan",
+    "scenario": "plan",
+    "scenario_names": "plan",
+    "FaultInjector": "injector",
+    "InjectedFault": "injector",
+    "RecoveryPolicy": "recovery",
+    "RecoveryStats": "recovery",
+    "ChaosUnit": "chaos",
+    "run_chaos_scenario": "chaos",
+    "chaos_profile_for": "chaos",
+    "render_chaos": "chaos",
+}
+
+__all__ = [
+    "ContextIntegrityError",
+    "FaultToleranceError",
+    "SimulationHangError",
+    "context_checksum",
+    "snapshot_checksum",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,302 @@
+"""Chaos harness: fault scenarios × mechanisms under the recovery oracle.
+
+One chaos run executes the same preemption experiment twice — once clean,
+once with a named fault scenario armed — and asserts the **recovery
+correctness oracle**:
+
+* *memory*: the faulted run verifies against its own uninterrupted
+  reference **and** its final :class:`~repro.sim.memory.DeviceMemory`
+  image is bit-identical to the clean preempted run's;
+* *registers*: every non-degraded target warp's final architectural state
+  (vector and scalar register files, exec mask, SCC, LDS) matches the
+  clean run bit-for-bit; degraded warps are held to LDS equality — a
+  full-image resume restores *every* register from the signal-time image,
+  while the flashback path only reloads registers live at the signal, so
+  architecturally **dead** registers legitimately differ at program end
+  (persistent state — memory and LDS — is the ground truth, exactly as in
+  :func:`~repro.sim.gpu.run_preemption_experiment`'s verification);
+* *events*: every injected fault appears in the trace as a
+  :attr:`~repro.obs.events.EventKind.FAULT_INJECT` event, every detected
+  integrity failure carries a matching DEGRADE, and every degradation a
+  matching RECOVER — faults are never silently absorbed.
+
+A degraded run is *allowed* to be slower (that is the point of graceful
+degradation); it is never allowed to be wrong.
+
+:func:`chaos_profile_for` caches one run's verdict in the
+content-addressed artifact cache; :class:`ChaosUnit` makes sweeps
+engine-schedulable (parallel, retried, cacheable) alongside the other
+work units of :mod:`repro.analysis.engine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.events import EventKind
+from ..sim.config import GPUConfig
+from ..sim.gpu import run_preemption_experiment
+from .plan import scenario, scenario_names
+
+__all__ = [
+    "ChaosUnit",
+    "chaos_profile_for",
+    "run_chaos_scenario",
+    "render_chaos",
+]
+
+#: bump when the oracle's *logic* changes: verdicts are cached by input
+#: content, so a stricter/looser check must invalidate old verdicts
+ORACLE_VERSION = 2
+
+
+def _final_arch_state(sm, warp_ids, *, lds_only=frozenset()):
+    """Final architectural state of the target warps, keyed by warp id.
+
+    Warps in *lds_only* (the degraded set) contribute only their LDS:
+    register files are unspecified in dead slots after a full-image
+    resume (see the module docstring), so comparing them would reject
+    correct recoveries.
+    """
+    state = {}
+    for warp in sm.warps:
+        if warp.warp_id not in warp_ids:
+            continue
+        s = warp.state
+        lds = warp.lds.words.copy() if warp.lds is not None else None
+        if warp.warp_id in lds_only:
+            state[warp.warp_id] = (lds,)
+        else:
+            state[warp.warp_id] = (
+                s.vregs.copy(),
+                s.sregs.copy(),
+                s.exec_mask.copy(),
+                int(s.scc),
+                lds,
+            )
+    return state
+
+
+def _arch_states_equal(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for wid in a:
+        if len(a[wid]) != len(b[wid]):
+            return False
+        for left, right in zip(a[wid], b[wid]):
+            if isinstance(left, np.ndarray):
+                if not isinstance(right, np.ndarray) or not np.array_equal(
+                    left, right
+                ):
+                    return False
+            elif left != right:
+                return False
+    return True
+
+
+def _events_consistent(result) -> tuple[bool, str]:
+    """Every injection traced; every detection degraded; every degradation
+    recovered.  Returns (ok, reason-when-not)."""
+    injector = result.faults
+    trace = result.trace
+    if injector is None or trace is None:
+        return False, "no injector/trace on result"
+    by_kind: dict[EventKind, list] = {}
+    for event in trace.events:
+        by_kind.setdefault(event.kind, []).append(event)
+    injected_events = by_kind.get(EventKind.FAULT_INJECT, [])
+    if len(injected_events) != len(injector.injected):
+        return False, (
+            f"{len(injector.injected)} faults injected but "
+            f"{len(injected_events)} FAULT_INJECT events traced"
+        )
+    degrade_warps = {e.warp_id for e in by_kind.get(EventKind.DEGRADE, [])}
+    recover_warps = {e.warp_id for e in by_kind.get(EventKind.RECOVER, [])}
+    for event in by_kind.get(EventKind.INTEGRITY_FAIL, []):
+        if event.warp_id not in degrade_warps:
+            return False, f"warp {event.warp_id}: integrity failure never degraded"
+    missing = degrade_warps - recover_warps
+    if missing:
+        return False, f"degraded warps {sorted(missing)} never recovered"
+    return True, ""
+
+
+def run_chaos_scenario(
+    key: str,
+    mechanism: str,
+    scenario_name: str,
+    *,
+    seed: int = 0,
+    config: GPUConfig | None = None,
+    iterations: int | None = None,
+    signal_dyn: int | None = None,
+    resume_gap: int = 2000,
+) -> dict:
+    """Run one (kernel, mechanism, scenario) chaos experiment and return
+    its oracle verdict as a plain JSON-able dict.
+
+    Both runs are traced (the events check needs the stream) and both
+    verify against the uninterrupted reference; *signal_dyn* defaults to
+    the CLI's ``3 * static_len + 7`` convention.
+    """
+    from ..analysis.engine import _launch, prepared_for
+
+    config = config if config is not None else GPUConfig.radeon_vii()
+    run_config = dataclasses.replace(config, trace_events=True)
+    launch = _launch(key, config, iterations)
+    # prepare under the *base* config: instrumentation must not key on the
+    # tracing flag (matches experiment_profile_for)
+    prepared = prepared_for(key, mechanism, config, iterations)
+    if signal_dyn is None:
+        signal_dyn = 3 * len(launch.kernel.program.instructions) + 7
+
+    clean = run_preemption_experiment(
+        launch.spec(), prepared, run_config,
+        signal_dyn=signal_dyn, resume_gap=resume_gap, verify=True,
+    )
+    plan = scenario(scenario_name, seed=seed)
+    faulted = run_preemption_experiment(
+        launch.spec(), prepared, run_config,
+        signal_dyn=signal_dyn, resume_gap=resume_gap, verify=True,
+        faults=plan,
+    )
+
+    warp_ids = {m.warp_id for m in clean.measurements}
+    degraded_ids = frozenset(
+        m.warp_id for m in faulted.measurements if m.degraded
+    )
+    memory_ok = bool(faulted.verified) and faulted.memory == clean.memory
+    registers_ok = _arch_states_equal(
+        _final_arch_state(faulted.sm, warp_ids, lds_only=degraded_ids),
+        _final_arch_state(clean.sm, warp_ids, lds_only=degraded_ids),
+    )
+    events_ok, events_reason = _events_consistent(faulted)
+    checks = {
+        "memory": memory_ok,
+        "registers": registers_ok,
+        "events": events_ok,
+    }
+    injector = faulted.faults
+    degraded = [m.warp_id for m in faulted.measurements if m.degraded]
+    return {
+        "kernel": key,
+        "mechanism": mechanism,
+        "scenario": scenario_name,
+        "seed": seed,
+        "ok": all(checks.values()),
+        "checks": checks,
+        "events_reason": events_reason,
+        "injected": len(injector.injected) if injector is not None else 0,
+        "degraded_warps": degraded,
+        "recovery": injector.stats.as_dict() if injector is not None else {},
+        "latency": faulted.mean_latency,
+        "clean_latency": clean.mean_latency,
+        "recovery_cycles": sum(
+            m.recovery_cycles for m in faulted.measurements
+        ),
+    }
+
+
+def chaos_profile_for(
+    key: str,
+    mechanism: str,
+    scenario_name: str,
+    seed: int,
+    config: GPUConfig,
+    iterations: int | None = None,
+    signal_dyn: int | None = None,
+    resume_gap: int = 2000,
+) -> dict:
+    """Cached chaos verdict (see :func:`run_chaos_scenario`).
+
+    Keyed on full kernel + config content plus the scenario's resolved
+    :class:`~repro.faults.plan.FaultPlan` — editing a scenario definition
+    invalidates its cached verdicts.
+    """
+    from ..analysis.cache import canonical, get_cache
+    from ..analysis.engine import _base_parts, _mechanism_parts
+
+    parts = _base_parts(key, config, iterations)
+    parts.update(_mechanism_parts(mechanism, None))
+    parts.update(
+        {
+            "chaos_plan": canonical(scenario(scenario_name, seed=seed)),
+            "signal_dyn": signal_dyn,
+            "resume_gap": resume_gap,
+            "oracle": ORACLE_VERSION,
+        }
+    )
+
+    def run() -> dict:
+        return run_chaos_scenario(
+            key,
+            mechanism,
+            scenario_name,
+            seed=seed,
+            config=config,
+            iterations=iterations,
+            signal_dyn=signal_dyn,
+            resume_gap=resume_gap,
+        )
+
+    return get_cache().get_or_create("chaos", parts, run)
+
+
+@dataclass(frozen=True)
+class ChaosUnit:
+    """One chaos experiment: (kernel, mechanism, fault scenario, seed)."""
+
+    key: str
+    mechanism: str
+    scenario: str
+    seed: int = 0
+    config: GPUConfig | None = None
+    iterations: int | None = None
+    signal_dyn: int | None = None
+    resume_gap: int = 2000
+
+    def run(self) -> dict:
+        config = self.config if self.config is not None else GPUConfig.radeon_vii()
+        return chaos_profile_for(
+            self.key,
+            self.mechanism,
+            self.scenario,
+            self.seed,
+            config,
+            self.iterations,
+            self.signal_dyn,
+            self.resume_gap,
+        )
+
+
+def render_chaos(results: list[dict]) -> str:
+    """Text table of chaos verdicts (one row per result dict)."""
+    header = (
+        f"{'kernel':<8} {'mechanism':<10} {'scenario':<14} {'oracle':<7} "
+        f"{'inj':>4} {'deg':>4} {'rec':>4} {'latency':>9} {'clean':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in results:
+        if not isinstance(row, dict):  # UnitFailure from a COLLECT run
+            lines.append(f"{'?':<8} {'?':<10} {'?':<14} FAILED  {row!r}")
+            continue
+        recovery = row.get("recovery", {})
+        verdict = "PASS" if row["ok"] else "FAIL"
+        lines.append(
+            f"{row['kernel']:<8} {row['mechanism']:<10} {row['scenario']:<14} "
+            f"{verdict:<7} {row['injected']:>4} {len(row['degraded_warps']):>4} "
+            f"{recovery.get('recovered', 0):>4} {row['latency']:>9.1f} "
+            f"{row['clean_latency']:>9.1f}"
+        )
+        if not row["ok"]:
+            failed = [name for name, ok in row["checks"].items() if not ok]
+            reason = row.get("events_reason") or ""
+            lines.append(f"    failed checks: {', '.join(failed)} {reason}".rstrip())
+    return "\n".join(lines)
+
+
+def default_scenarios() -> list[str]:
+    return scenario_names()

@@ -1,0 +1,61 @@
+"""Typed errors raised at the fault-tolerance boundary.
+
+These are the *detected* failure modes: a context image that fails its
+checksum at restore time, and a simulation that stops making forward
+progress.  Both subclass :class:`RuntimeError` so pre-existing callers
+that catch the generic error keep working.
+"""
+
+from __future__ import annotations
+
+
+class FaultToleranceError(RuntimeError):
+    """Base class for the fault-tolerance subsystem's typed errors."""
+
+
+class ContextIntegrityError(FaultToleranceError):
+    """A saved context failed checksum verification at restore time.
+
+    Raised instead of silently resuming corrupt architectural state when
+    no recovery policy allows degradation (or no fallback image exists).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        warp_id: int | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.warp_id = warp_id
+        self.expected = expected
+        self.actual = actual
+
+
+class SimulationHangError(FaultToleranceError):
+    """The simulation exceeded its forward-progress cycle cap.
+
+    Carries a per-warp diagnostic dump (mode, pc, dynamic progress,
+    scoreboard depth) so a livelock is debuggable from the exception
+    alone instead of timing out the surrounding job.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: int | None = None,
+        warp_dump: list[dict] | tuple[dict, ...] = (),
+    ) -> None:
+        if warp_dump:
+            lines = "\n".join(
+                "  warp {warp} mode={mode} pc={pc} dyn={dyn} "
+                "next_free={next_free} pending={pending}".format(**entry)
+                for entry in warp_dump
+            )
+            message = f"{message}\nwarp states at cycle {cycle}:\n{lines}"
+        super().__init__(message)
+        self.cycle = cycle
+        self.warp_dump = list(warp_dump)

@@ -1,0 +1,228 @@
+"""Runtime fault injection driven by a seeded :class:`FaultPlan`.
+
+The injector attaches to one ``(SM, PreemptionController)`` pair and is
+consulted at four points:
+
+* ``drop_signal`` — inside :meth:`PreemptionController.poll`, before a
+  delivery lands: returning True loses that delivery in flight (the
+  controller's scan naturally retries on later polls);
+* ``on_poll`` — duplicate-signal injection: re-raises the preempt flag
+  on warps whose preemption was already served (the controller's
+  duplicate guard must absorb it);
+* ``on_evicted`` — context corruption: flips words in the warp's saved
+  context buffer (or its CKPT snapshot) while it sits evicted;
+* ``on_issue`` — mid-routine aborts (re-signal during
+  ``PREEMPT_ROUTINE``) and memory-pipeline stall bursts.
+
+Every injection is recorded (and emitted as an
+:attr:`~repro.obs.events.EventKind.FAULT_INJECT` event when tracing),
+so the chaos oracle can assert that each fault produced a matching
+recovery.  All randomness flows through one ``random.Random(seed)``:
+identical plans inject identical faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..obs.events import SM_WIDE, EventKind
+from ..sim.warp import SimWarp, WarpMode
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .recovery import RecoveryPolicy, RecoveryStats
+
+if TYPE_CHECKING:  # import cycle: sim imports faults.errors at module load
+    from ..sim.preemption import PreemptionController
+    from ..sim.sm import SM
+
+
+@dataclass
+class InjectedFault:
+    """One fault that actually fired (the oracle's audit record)."""
+
+    kind: FaultKind
+    warp_id: int
+    cycle: int
+    detail: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Interprets one plan against one simulation, once."""
+
+    def __init__(self, plan: FaultPlan, policy: RecoveryPolicy | None = None) -> None:
+        self.plan = plan
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.rng = random.Random(plan.seed)
+        self.stats = RecoveryStats()
+        self.injected: list[InjectedFault] = []
+        self.sm: "SM | None" = None
+        self.controller: "PreemptionController | None" = None
+        by_kind: dict[FaultKind, list[tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(plan.specs):
+            by_kind.setdefault(spec.kind, []).append((index, spec))
+        self._by_kind = by_kind
+        # per-(spec, warp) one-shot / budget state
+        self._drop_left: dict[tuple[int, int], int] = {}
+        self._dropped: set[tuple[int, int]] = set()
+        self._dup_fired: set[tuple[int, int]] = set()
+        self._abort_count: dict[tuple[int, int], int] = {}
+        self._abort_fired: set[tuple[int, int]] = set()
+        self._corrupt_fired: set[tuple[int, int]] = set()
+        self._stall_fired: set[int] = set()
+
+    def attach(self, sm: "SM", controller: "PreemptionController") -> "FaultInjector":
+        self.sm = sm
+        self.controller = controller
+        sm.faults = self
+        controller.faults = self
+        return self
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _specs(self, kind: FaultKind):
+        return self._by_kind.get(kind, ())
+
+    @staticmethod
+    def _matches(spec: FaultSpec, warp_id: int) -> bool:
+        return spec.warp_id is None or spec.warp_id == warp_id
+
+    def _record(self, kind: FaultKind, warp_id: int, cycle: int, **detail) -> None:
+        self.injected.append(InjectedFault(kind, warp_id, cycle, dict(detail)))
+        self.stats.injected += 1
+        tracer = self.sm.tracer if self.sm is not None else None
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.FAULT_INJECT, warp_id, fault=kind.value, **detail
+            )
+
+    def _recover(self, warp_id: int, cycle: int, action: str, **detail) -> None:
+        tracer = self.sm.tracer if self.sm is not None else None
+        if tracer is not None:
+            tracer.emit(cycle, EventKind.RECOVER, warp_id, action=action, **detail)
+
+    # -- signal-path faults ----------------------------------------------------
+
+    def drop_signal(self, warp: SimWarp, cycle: int) -> bool:
+        """True: this delivery is lost in flight; the controller's poll
+        scan re-attempts it on later cycles until it lands."""
+        for index, spec in self._specs(FaultKind.SIGNAL_DROP):
+            if not self._matches(spec, warp.warp_id):
+                continue
+            key = (index, warp.warp_id)
+            left = self._drop_left.get(key, spec.drops)
+            if left > 0:
+                self._drop_left[key] = left - 1
+                self._dropped.add(key)
+                self._record(
+                    FaultKind.SIGNAL_DROP, warp.warp_id, cycle, dyn=warp.dyn_count
+                )
+                return True
+            if key in self._dropped:
+                self._dropped.discard(key)
+                self.stats.redelivered += 1
+                self._recover(warp.warp_id, cycle, "redelivered", dyn=warp.dyn_count)
+        return False
+
+    def on_poll(self, controller: "PreemptionController", cycle: int) -> None:
+        """Duplicate-signal injection: re-raise the flag on served warps."""
+        dup_specs = self._specs(FaultKind.SIGNAL_DUP)
+        if not dup_specs:
+            return
+        for index, spec in dup_specs:
+            for warp in controller.sm.warps:
+                wid = warp.warp_id
+                if wid not in controller.target_warp_ids:
+                    continue
+                if not self._matches(spec, wid):
+                    continue
+                key = (index, wid)
+                if key in self._dup_fired:
+                    continue
+                if (
+                    wid in controller.measurements
+                    and warp.mode is WarpMode.RUNNING
+                    and not warp.preempt_flag
+                ):
+                    self._dup_fired.add(key)
+                    warp.preempt_flag = True
+                    self._record(FaultKind.SIGNAL_DUP, wid, cycle)
+
+    # -- context corruption ----------------------------------------------------
+
+    def on_evicted(self, warp: SimWarp, cycle: int) -> None:
+        """Corrupt the saved context while the warp sits evicted."""
+        for index, spec in self._specs(FaultKind.CTX_CORRUPT):
+            if not self._matches(spec, warp.warp_id):
+                continue
+            key = (index, warp.warp_id)
+            if key in self._corrupt_fired:
+                continue
+            flipped = self._corrupt(warp, spec.flips)
+            if flipped:
+                self._corrupt_fired.add(key)
+                self._record(
+                    FaultKind.CTX_CORRUPT, warp.warp_id, cycle, words=flipped
+                )
+
+    def _corrupt(self, warp: SimWarp, flips: int) -> int:
+        if warp.active_strategy == "drop":
+            snapshot = warp.last_checkpoint
+            if snapshot is None:
+                return 0  # never checkpointed: nothing at rest to corrupt
+            vregs = snapshot.regs[0]
+            if getattr(vregs, "size", 0) == 0:
+                return 0
+            flat = vregs.reshape(-1)
+            for _ in range(flips):
+                index = self.rng.randrange(flat.size)
+                flat[index] ^= np.uint32(1 << self.rng.randrange(32))
+            return flips
+        buffer = warp.state.ctx_buffer
+        keys = list(buffer)  # insertion order: deterministic per routine
+        if not keys:
+            return 0
+        count = 0
+        for _ in range(flips):
+            key = self.rng.choice(keys)
+            mask = 1 << self.rng.randrange(32)
+            value = buffer[key]
+            if isinstance(value, np.ndarray):
+                flat = value.reshape(-1)
+                flat[self.rng.randrange(flat.size)] ^= np.uint32(mask)
+            else:
+                buffer[key] = int(value) ^ mask
+            count += 1
+        return count
+
+    # -- issue-path faults -----------------------------------------------------
+
+    def on_issue(self, sm: "SM", warp: SimWarp, cycle: int) -> None:
+        for index, spec in self._specs(FaultKind.MEM_STALL):
+            if index in self._stall_fired or cycle < spec.at_cycle:
+                continue
+            self._stall_fired.add(index)
+            sm.pipeline.inject_stall(cycle, spec.stall_cycles)
+            self.stats.stalls += 1
+            self._record(
+                FaultKind.MEM_STALL, SM_WIDE, cycle, dur=spec.stall_cycles
+            )
+        if warp.mode is not WarpMode.PREEMPT_ROUTINE or self.controller is None:
+            return
+        for index, spec in self._specs(FaultKind.ROUTINE_ABORT):
+            if not self._matches(spec, warp.warp_id):
+                continue
+            key = (index, warp.warp_id)
+            if key in self._abort_fired:
+                continue
+            issued = self._abort_count.get(key, 0) + 1
+            self._abort_count[key] = issued
+            if issued >= spec.after_ops:
+                self._abort_fired.add(key)
+                self._record(
+                    FaultKind.ROUTINE_ABORT, warp.warp_id, cycle, after_ops=issued
+                )
+                self.controller.degrade_save(warp, cycle, reason="routine_abort")
+                return  # the warp left its routine; nothing more to count

@@ -1,0 +1,56 @@
+"""Context checksums: CRC32 over a warp's saved architectural image.
+
+The checksum is *functional only* — it is computed at save time and
+verified at restore time, never consuming simulated cycles, so guarding
+every eviction cannot change a single measured number.  CRC32 detects
+every single-bit flip (and all burst errors up to 32 bits), which is
+exactly the corruption model :mod:`repro.faults.plan` injects.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+_U64 = (1 << 64) - 1
+
+
+def _crc_value(crc: int, value) -> int:
+    if isinstance(value, np.ndarray):
+        return zlib.crc32(np.ascontiguousarray(value).tobytes(), crc)
+    return zlib.crc32((int(value) & _U64).to_bytes(8, "little"), crc)
+
+
+def context_checksum(ctx_buffer: dict) -> int:
+    """Checksum of a saved context buffer (``WarpState.ctx_buffer``).
+
+    Keys are visited in sorted order so the value depends only on the
+    buffer's *content*, not the routine's store order.
+    """
+    crc = 0
+    for key in sorted(ctx_buffer, key=str):
+        crc = zlib.crc32(str(key).encode("utf-8"), crc)
+        crc = _crc_value(crc, ctx_buffer[key])
+    return crc
+
+
+def snapshot_checksum(snapshot) -> int:
+    """Checksum of a functional register/LDS snapshot.
+
+    Covers everything a restore rebuilds from a
+    :class:`~repro.sim.warp.CkptSnapshot`: the register tuple (vregs,
+    sregs, exec mask, scc, pc), the dynamic progress counters, and LDS.
+    """
+    vregs, sregs, exec_mask, scc, pc = snapshot.regs
+    crc = _crc_value(0, vregs)
+    crc = _crc_value(crc, sregs)
+    crc = _crc_value(crc, np.asarray(exec_mask, dtype=np.uint8))
+    for scalar in (scc, pc, snapshot.dyn_count):
+        crc = _crc_value(crc, scalar)
+    for probe in sorted(snapshot.probe_counts):
+        crc = _crc_value(crc, probe)
+        crc = _crc_value(crc, snapshot.probe_counts[probe])
+    if snapshot.lds is not None:
+        crc = _crc_value(crc, snapshot.lds)
+    return crc

@@ -1,0 +1,103 @@
+"""Seeded, reproducible fault scenarios.
+
+A :class:`FaultPlan` is pure data — an RNG seed plus a tuple of
+:class:`FaultSpec` records — so scenarios travel through the
+content-addressed artifact cache and the process pool exactly like every
+other experiment input.  The :class:`~repro.faults.injector.FaultInjector`
+interprets the plan at run time; two runs of the same plan against the
+same simulation inject byte-identical faults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """The injectable failure modes (the value is the wire/JSON name)."""
+
+    #: flip words in a warp's saved context while it sits evicted
+    CTX_CORRUPT = "ctx_corrupt"
+    #: lose preemption-signal deliveries in flight (the controller retries)
+    SIGNAL_DROP = "signal_drop"
+    #: re-deliver a preemption signal to an already-served warp
+    SIGNAL_DUP = "signal_dup"
+    #: re-signal mid preemption routine, aborting the flashback save
+    ROUTINE_ABORT = "routine_abort"
+    #: hold the memory-service port busy for a burst of cycles
+    MEM_STALL = "mem_stall"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject; unused knobs are ignored per kind."""
+
+    kind: FaultKind
+    #: target warp id; ``None`` targets every preempted warp
+    warp_id: int | None = None
+    #: CTX_CORRUPT: words flipped per affected warp
+    flips: int = 1
+    #: SIGNAL_DROP: consecutive deliveries suppressed per warp
+    drops: int = 1
+    #: ROUTINE_ABORT: routine instructions issued before the abort
+    after_ops: int = 2
+    #: MEM_STALL: earliest cycle the burst may trigger
+    at_cycle: int = 0
+    #: MEM_STALL: burst length in cycles
+    stall_cycles: int = 400
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded bundle of fault specs."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def build(self, policy=None):
+        """Instantiate the runtime injector for one simulation."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self, policy=policy)
+
+    @staticmethod
+    def single(kind: FaultKind, seed: int = 0, name: str = "", **params) -> "FaultPlan":
+        return FaultPlan(
+            seed=seed,
+            specs=(FaultSpec(kind=kind, **params),),
+            name=name or kind.value,
+        )
+
+
+#: the named chaos scenarios the ``python -m repro chaos`` sweep exercises
+_SCENARIOS: dict[str, tuple[FaultSpec, ...]] = {
+    "ctx-bitflip": (FaultSpec(FaultKind.CTX_CORRUPT),),
+    "ctx-burst": (FaultSpec(FaultKind.CTX_CORRUPT, flips=8),),
+    "signal-drop": (FaultSpec(FaultKind.SIGNAL_DROP, drops=2),),
+    "signal-dup": (FaultSpec(FaultKind.SIGNAL_DUP),),
+    "routine-abort": (FaultSpec(FaultKind.ROUTINE_ABORT, after_ops=2),),
+    "stall-burst": (FaultSpec(FaultKind.MEM_STALL, stall_cycles=2500),),
+    "compound": (
+        FaultSpec(FaultKind.CTX_CORRUPT),
+        FaultSpec(FaultKind.SIGNAL_DROP),
+        FaultSpec(FaultKind.MEM_STALL, stall_cycles=800),
+    ),
+}
+
+
+def scenario(name: str, seed: int = 0) -> FaultPlan:
+    """A named scenario as a plan (see :func:`scenario_names`)."""
+    try:
+        specs = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; "
+            f"known: {', '.join(scenario_names())}"
+        ) from None
+    return FaultPlan(seed=seed, specs=specs, name=name)
+
+
+def scenario_names() -> list[str]:
+    return list(_SCENARIOS)

@@ -1,0 +1,66 @@
+"""Recovery policy and bookkeeping for detected faults.
+
+The policy decides what the save/restore boundary does when a context
+fails verification: retry the (deterministically failing) re-read a
+bounded number of times, then either degrade to the conservative path —
+a full register save/restore (regsave semantics) for switch-strategy
+warps, a checkpoint discard + restart for CKPT — or raise the typed
+:class:`~repro.faults.errors.ContextIntegrityError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Per-warp recovery decisions at the save/restore boundary."""
+
+    #: re-verification attempts before a corrupt context is declared lost
+    #: (corruption at rest is persistent, so every retry fails; the knob
+    #: bounds how long the runtime insists before giving up)
+    max_retries: int = 1
+    #: fall back to the conservative path instead of raising
+    allow_degrade: bool = True
+
+
+@dataclass
+class RecoveryStats:
+    """Counters of injected faults and the recoveries they triggered."""
+
+    injected: int = 0
+    integrity_failures: int = 0
+    #: evictions that fell back to the full-register-save path
+    degraded_saves: int = 0
+    #: resumes that fell back to a full-image reload
+    degraded_resumes: int = 0
+    #: CKPT warps restarted after discarding a corrupt checkpoint
+    restarts: int = 0
+    duplicates_ignored: int = 0
+    #: dropped signals that were successfully re-delivered
+    redelivered: int = 0
+    stalls: int = 0
+
+    @property
+    def degraded(self) -> int:
+        return self.degraded_saves + self.degraded_resumes + self.restarts
+
+    @property
+    def recovered(self) -> int:
+        return self.degraded + self.duplicates_ignored + self.redelivered
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "integrity_failures": self.integrity_failures,
+            "degraded_saves": self.degraded_saves,
+            "degraded_resumes": self.degraded_resumes,
+            "restarts": self.restarts,
+            "duplicates_ignored": self.duplicates_ignored,
+            "redelivered": self.redelivered,
+            "stalls": self.stalls,
+            # derived totals, included so cached/aggregated profiles keep them
+            "degraded": self.degraded,
+            "recovered": self.recovered,
+        }

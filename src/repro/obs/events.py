@@ -64,6 +64,15 @@ class EventKind(Enum):
     ISSUE_STALL = "issue_stall"
     #: one instruction issued (detail="issue" only; data: pc, mode, mnemonic)
     ISSUE = "issue"
+    #: a seeded fault fired (:mod:`repro.faults`; data: kind + per-kind detail)
+    FAULT_INJECT = "fault_inject"
+    #: a saved context failed checksum verification at resume (data:
+    #: expected, actual, retries)
+    INTEGRITY_FAIL = "integrity_fail"
+    #: a warp fell back to the conservative path (data: fallback, reason)
+    DEGRADE = "degrade"
+    #: a recovery action completed (data: action + per-action detail)
+    RECOVER = "recover"
 
 
 #: pseudo warp id for SM-wide events (scheduler stalls)

@@ -33,6 +33,10 @@ _INSTANT_KINDS = (
     EventKind.RESUME_END,
     EventKind.DRAIN_DONE,
     EventKind.CKPT_STORE,
+    EventKind.FAULT_INJECT,
+    EventKind.INTEGRITY_FAIL,
+    EventKind.DEGRADE,
+    EventKind.RECOVER,
 )
 
 

@@ -7,6 +7,7 @@ pipeline.  Preemption routines are *executed*, not modelled: latency and
 resume measurements come from the same machinery as kernel execution.
 """
 
+from ..faults.errors import ContextIntegrityError, SimulationHangError
 from .config import GPUConfig
 from .executor import ExecutionError, Executor, MemTraffic
 from .gpu import (
@@ -25,6 +26,7 @@ from .warp import CkptSnapshot, SimWarp, WarpMode
 
 __all__ = [
     "CkptSnapshot",
+    "ContextIntegrityError",
     "DeviceMemory",
     "ExecutionError",
     "Executor",
@@ -39,6 +41,7 @@ __all__ = [
     "SM",
     "SMStats",
     "SimWarp",
+    "SimulationHangError",
     "WarpMeasurement",
     "WarpMode",
     "WarpState",

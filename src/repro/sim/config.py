@@ -74,6 +74,20 @@ class GPUConfig:
     #: (``REPRO_TRACE=issue`` raises this from the environment)
     trace_detail: str = "routine"
 
+    def __post_init__(self) -> None:
+        # reject degenerate rates up front: a zero bandwidth divides by
+        # zero at the first memory request, and a falsy-zero context rate
+        # used to silently alias the streaming rate (see MemoryPipeline)
+        for name in ("mem_bytes_per_cycle", "ctx_bytes_per_cycle",
+                     "ctx_load_speedup", "clock_ghz"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"GPUConfig.{name} must be > 0, got {value!r}")
+        for name in ("ckpt_interval", "max_cycles", "issue_width"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"GPUConfig.{name} must be >= 1, got {value!r}")
+
     @property
     def warp_size(self) -> int:
         return self.rf_spec.warp_size

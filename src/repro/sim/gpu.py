@@ -21,6 +21,7 @@ from typing import Callable
 
 from typing import TYPE_CHECKING
 
+from ..faults.errors import SimulationHangError
 from ..isa.instruction import Kernel
 from ..obs import PhaseBreakdown, Tracer, build_breakdowns, make_tracer
 from .config import GPUConfig
@@ -167,6 +168,12 @@ class ExperimentResult:
     #: per-warp latency decomposition (populated only when tracing):
     #: ``sum(phases) == latency_cycles`` for every measured warp
     breakdowns: dict[int, PhaseBreakdown] = field(default_factory=dict)
+    #: the fault injector that ran (``None`` for clean runs); carries the
+    #: injected-fault audit log and recovery counters
+    faults: object | None = field(repr=False, default=None)
+    #: the simulated SM, kept for post-run architectural-state inspection
+    #: (the chaos oracle compares final register files and LDS)
+    sm: SM | None = field(repr=False, default=None)
 
     @property
     def mean_latency(self) -> float:
@@ -204,9 +211,15 @@ def run_preemption_experiment(
     background: LaunchSpec | None = None,
     resume_gap: int = 2000,
     verify: bool = True,
+    faults=None,
 ) -> ExperimentResult:
     """Preempt every target warp at dynamic instruction *signal_dyn*, resume
-    after *resume_gap* cycles, run to completion, verify memory."""
+    after *resume_gap* cycles, run to completion, verify memory.
+
+    *faults* is a :class:`~repro.faults.plan.FaultPlan` (or an already-built
+    :class:`~repro.faults.injector.FaultInjector`); ``None`` — the default —
+    disables injection entirely and costs nothing on the hot path.
+    """
     reference_cycles: int | None = None
     ref_memory = None
     if verify:
@@ -243,6 +256,12 @@ def run_preemption_experiment(
         signal_dyn=signal_dyn,
     )
     prepared.warp_initializer = _initializer_for(spec)
+    injector = None
+    if faults is not None:
+        # accept a plan (built per run: injector state is single-use) or a
+        # pre-built injector (tests tweak policies through it)
+        injector = faults.build() if hasattr(faults, "build") else faults
+        injector.attach(sm, controller)
 
     resumed = False
     resume_at: int | None = None
@@ -266,7 +285,14 @@ def run_preemption_experiment(
         if not progressed:
             break
         if sm.cycle > config.max_cycles:
-            raise RuntimeError("experiment exceeded max cycles")
+            # the no-forward-progress watchdog: a typed error with a
+            # per-warp diagnostic dump instead of spinning to the job cap
+            raise SimulationHangError(
+                f"preemption experiment exceeded {config.max_cycles} cycles "
+                f"without completing (livelock?)",
+                cycle=sm.cycle,
+                warp_dump=sm.warp_state_dump(),
+            )
 
     # fill CKPT resume measurements from the watch timestamps
     for warp in target_warps:
@@ -278,6 +304,10 @@ def run_preemption_experiment(
             if end is None:
                 end = sm.cycle  # finished before re-reaching the signal point
             measurement.resume_cycles = end - warp.resume_start_cycle
+        if measurement.degraded and not measurement.recovery_cycles:
+            # restart-from-zero recovery: the whole re-execution back to
+            # the signal point is recovery work
+            measurement.recovery_cycles = measurement.resume_cycles or 0
 
     verified = True
     if verify and ref_memory is not None:
@@ -299,4 +329,6 @@ def run_preemption_experiment(
         memory=memory,
         trace=sm.tracer,
         breakdowns=breakdowns,
+        faults=injector,
+        sm=sm,
     )

@@ -70,12 +70,25 @@ class DeviceMemory:
         self._words[words] = values.astype(np.uint64)[mask] & np.uint64(_WORD_MASK)
 
     def load_array(self, addr: int, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"negative load count {count} at {addr:#x}")
         start = self._word_addr(addr)
+        # an out-of-range slice would silently truncate; reject it instead
+        if start + count > len(self._words):
+            raise ValueError(
+                f"load of {count} words at {addr:#x} runs past the end of "
+                f"device memory ({self.size_bytes:#x} bytes)"
+            )
         return self._words[start : start + count].copy()
 
     def store_array(self, addr: int, values) -> None:
         start = self._word_addr(addr)
         flat = np.asarray(values, dtype=np.uint32).ravel()
+        if start + len(flat) > len(self._words):
+            raise ValueError(
+                f"store of {len(flat)} words at {addr:#x} runs past the end "
+                f"of device memory ({self.size_bytes:#x} bytes)"
+            )
         self._words[start : start + len(flat)] = flat
 
     def snapshot(self) -> np.ndarray:
@@ -117,12 +130,35 @@ class MemoryPipeline:
     total_requests: int = 0
     stats_by_kind: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # validate at construction: a zero rate would divide by zero at the
+        # first request, and a falsy-zero ctx rate used to silently fall
+        # back to the streaming rate instead of being rejected
+        if self.bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be > 0, got {self.bytes_per_cycle!r}"
+            )
+        if self.ctx_bytes_per_cycle is not None and self.ctx_bytes_per_cycle <= 0:
+            raise ValueError(
+                "ctx_bytes_per_cycle must be > 0 (or None to use the "
+                f"streaming rate), got {self.ctx_bytes_per_cycle!r}"
+            )
+        if self.ctx_load_speedup <= 0:
+            raise ValueError(
+                f"ctx_load_speedup must be > 0, got {self.ctx_load_speedup!r}"
+            )
+
     def request(
         self, now: int, nbytes: int, *, is_ctx: bool = False, kind: str = ""
     ) -> int:
         """Issue a request at cycle *now*; returns the completion cycle."""
         if is_ctx:
-            rate = self.ctx_bytes_per_cycle or self.bytes_per_cycle
+            # `is None`, not truthiness: rates are validated positive above
+            rate = (
+                self.bytes_per_cycle
+                if self.ctx_bytes_per_cycle is None
+                else self.ctx_bytes_per_cycle
+            )
             if kind.endswith("load"):
                 rate *= self.ctx_load_speedup
             service = nbytes / rate + self.ctx_request_overhead
@@ -136,6 +172,11 @@ class MemoryPipeline:
         # ceil, not int: truncating a fractional service time would report
         # completion a cycle before the port is actually free
         return math.ceil(self._port_free) + self.latency
+
+    def inject_stall(self, now: int, cycles: float) -> None:
+        """Fault injection: hold the service port busy for *cycles* extra
+        (models a burst of contention from outside the modelled SM)."""
+        self._port_free = max(self._port_free, float(now)) + cycles
 
     def port_busy_until(self) -> float:
         return self._port_free

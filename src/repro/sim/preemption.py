@@ -22,10 +22,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..ctxback.context import META_BYTES
+from ..faults.errors import ContextIntegrityError
+from ..faults.integrity import context_checksum, snapshot_checksum
 from ..obs.events import EventKind
 from .sm import SM
 
 if TYPE_CHECKING:  # avoid a circular import; PreparedKernel is type-only here
+    from ..faults.injector import FaultInjector
     from ..mechanisms.base import PreparedKernel
 from .warp import CkptSnapshot, SimWarp, WarpMode
 
@@ -39,6 +42,11 @@ class WarpMeasurement:
     resume_cycles: int | None = None
     context_bytes: int = 0
     flashback_pos: int | None = None
+    #: this warp's preemption fell back to the conservative path
+    #: (full register save/restore, or a CKPT checkpoint discard + restart)
+    degraded: bool = False
+    #: extra cycles spent on the fallback (0 for clean preemptions)
+    recovery_cycles: int = 0
 
 
 @dataclass
@@ -54,6 +62,10 @@ class PreemptionController:
     delivered: set[int] = field(default_factory=set)
     #: warps currently draining (signal received, running to completion)
     _draining: set[int] = field(default_factory=set)
+    #: fault injector (:mod:`repro.faults`); ``None`` disables injection
+    #: entirely — the integrity checksums stay on regardless
+    faults: "FaultInjector | None" = None
+    _full_context_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.sm.pre_issue_hook = self._on_pre_issue
@@ -64,6 +76,11 @@ class PreemptionController:
 
     def poll(self) -> None:
         """Raise the preempt flag on target warps that reached the trigger."""
+        faults = self.faults
+        if faults is not None:
+            # before the armed checks: duplicate injection targets warps
+            # whose first preemption was already served (armed may be off)
+            faults.on_poll(self, self.sm.cycle)
         if not self.armed:
             return
         if len(self.delivered) == len(self.target_warp_ids):
@@ -77,6 +94,8 @@ class PreemptionController:
                 and not warp.preempt_flag
                 and warp.dyn_count >= self.signal_dyn
             ):
+                if faults is not None and faults.drop_signal(warp, self.sm.cycle):
+                    continue  # delivery lost in flight; retried next poll
                 warp.preempt_flag = True
                 self.delivered.add(warp.warp_id)
 
@@ -85,6 +104,18 @@ class PreemptionController:
     def _on_pre_issue(self, warp: SimWarp, cycle: int) -> None:
         """Flagged warp about to issue: divert it into its preemption routine."""
         warp.preempt_flag = False
+        if warp.warp_id in self.measurements:
+            # duplicate signal for an already-served warp: absorb it rather
+            # than re-entering the preemption flow (the experiment preempts
+            # each warp exactly once; a re-delivered signal is a fault)
+            if self.faults is not None:
+                self.faults.stats.duplicates_ignored += 1
+            if self.sm.tracer is not None:
+                self.sm.tracer.emit(
+                    cycle, EventKind.RECOVER, warp.warp_id,
+                    action="duplicate_ignored",
+                )
+            return
         n = warp.state.pc
         warp.signal_cycle = cycle
         warp.routine_last_mem_completion = cycle
@@ -117,6 +148,11 @@ class PreemptionController:
             warp.mode = WarpMode.EVICTED
             warp.resume_watch_dyn = warp.dyn_count
             snapshot = warp.last_checkpoint
+            # integrity guard: the checkpoint (the context at rest) is
+            # checksummed now and re-verified before the resume trusts it
+            warp.ctx_checksum = (
+                snapshot_checksum(snapshot) if snapshot is not None else None
+            )
             self.measurements[warp.warp_id] = WarpMeasurement(
                 warp_id=warp.warp_id,
                 signal_pc=n,
@@ -132,9 +168,16 @@ class PreemptionController:
                     nbytes=META_BYTES,
                 )
                 tracer.emit(completion, EventKind.EVICT, warp.warp_id)
+            if self.faults is not None:
+                self.faults.on_evicted(warp, completion)
             return
         plan = self.prepared.plans[n]
         warp.active_plan = plan
+        if self.faults is not None:
+            # shadow architectural image at the signal point: the ground
+            # truth the full-save degradation path restores from.  Captured
+            # only while injection is armed — a clean run pays nothing.
+            warp.arch_image = self._capture_image(warp)
         warp.mode = WarpMode.PREEMPT_ROUTINE
         warp.program = plan.preempt_routine
         warp.state.pc = 0
@@ -175,6 +218,10 @@ class PreemptionController:
             warp.mode = WarpMode.EVICTED
             measurement = self.measurements[warp.warp_id]
             measurement.latency_cycles = done - measurement.signal_cycle
+            # integrity guard: checksum the saved context now; resume_warp
+            # re-verifies before trusting it.  Functional only — computing
+            # a CRC cannot change a simulated cycle.
+            warp.ctx_checksum = context_checksum(warp.state.ctx_buffer)
             warp.state.clear()  # registers are released; restore must rebuild
             if tracer is not None:
                 tracer.emit(
@@ -186,6 +233,8 @@ class PreemptionController:
                     routine="preempt", dur=done - cycle,
                 )
                 tracer.emit(done, EventKind.EVICT, warp.warp_id)
+            if self.faults is not None:
+                self.faults.on_evicted(warp, done)
         elif warp.mode is WarpMode.RESUME_ROUTINE:
             plan = warp.active_plan
             assert plan is not None
@@ -239,6 +288,146 @@ class PreemptionController:
                 probe=probe_id, nbytes=site.nbytes,
             )
 
+    # -- recovery ----------------------------------------------------------------------
+
+    def full_context_bytes(self) -> int:
+        """Bytes of the conservative full-register save (regsave semantics:
+        the whole allocated register file + LDS + metadata)."""
+        if self._full_context_bytes is None:
+            from ..ctxback.context import baseline_context_bytes
+
+            self._full_context_bytes = baseline_context_bytes(
+                self.prepared.kernel, self.sm.config.rf_spec
+            )
+        return self._full_context_bytes
+
+    def _capture_image(self, warp: SimWarp) -> CkptSnapshot:
+        """Functional snapshot of the warp's architectural state at the
+        signal point (registers, LDS, dynamic progress)."""
+        lds = warp.lds
+        return CkptSnapshot(
+            regs=warp.state.snapshot_regs(),
+            lds=lds.snapshot() if lds is not None else None,
+            dyn_count=warp.dyn_count,
+            probe_counts=dict(warp.probe_counts),
+            nbytes=self.full_context_bytes(),
+            pc_after_probe=warp.state.pc,
+        )
+
+    def _integrity_failure(
+        self, warp: SimWarp, cycle: int, *, expected: int, actual: int,
+        can_degrade: bool,
+    ) -> None:
+        """Record a checksum mismatch; degrade if the policy allows it,
+        raise :class:`ContextIntegrityError` otherwise."""
+        faults = self.faults
+        retries = faults.policy.max_retries if faults is not None else 0
+        if faults is not None:
+            faults.stats.integrity_failures += 1
+        if self.sm.tracer is not None:
+            self.sm.tracer.emit(
+                cycle, EventKind.INTEGRITY_FAIL, warp.warp_id,
+                expected=expected, actual=actual, retries=retries,
+            )
+        if can_degrade and faults is not None and faults.policy.allow_degrade:
+            return
+        raise ContextIntegrityError(
+            f"warp {warp.warp_id}: saved context failed checksum "
+            f"verification at resume (expected {expected:#010x}, got "
+            f"{actual:#010x}) after {retries} re-read retries",
+            warp_id=warp.warp_id, expected=expected, actual=actual,
+        )
+
+    def degrade_save(self, warp: SimWarp, cycle: int, reason: str = "") -> None:
+        """Abandon the in-flight preemption routine and evict through the
+        conservative full-register-save path (regsave semantics).
+
+        The routine's partial context is discarded; the signal-time
+        architectural image is written out whole, so the later resume is a
+        plain full reload regardless of how far the routine got.
+        """
+        image = warp.arch_image
+        if warp.mode is not WarpMode.PREEMPT_ROUTINE or image is None:
+            raise RuntimeError(
+                f"warp {warp.warp_id} has no in-flight routine to degrade"
+            )
+        tracer = self.sm.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.DEGRADE, warp.warp_id,
+                fallback="full_save", reason=reason,
+            )
+        completion = self.sm.pipeline.request(
+            cycle, image.nbytes, is_ctx=True, kind="ctx_store"
+        )
+        # stores the aborted routine already issued still have to drain
+        completion = max(completion, warp.routine_last_mem_completion)
+        warp.degraded_save = True
+        warp.ctx_checksum = snapshot_checksum(image)
+        warp.mode = WarpMode.EVICTED
+        warp.preempt_done_cycle = completion
+        warp.state.clear()
+        measurement = self.measurements[warp.warp_id]
+        measurement.latency_cycles = completion - measurement.signal_cycle
+        measurement.context_bytes = image.nbytes
+        measurement.degraded = True
+        measurement.recovery_cycles += max(0, completion - cycle)
+        if self.faults is not None:
+            self.faults.stats.degraded_saves += 1
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.MEM_DRAIN, warp.warp_id,
+                routine="preempt", dur=completion - cycle, nbytes=image.nbytes,
+            )
+            tracer.emit(completion, EventKind.EVICT, warp.warp_id)
+            tracer.emit(
+                completion, EventKind.RECOVER, warp.warp_id, action="full_save",
+            )
+
+    def _resume_full_image(self, warp: SimWarp, cycle: int) -> None:
+        """Restore the signal-time architectural image whole (the full
+        register save's restore path) and re-enter the kernel."""
+        image = warp.arch_image
+        if image is None:
+            raise ContextIntegrityError(
+                f"warp {warp.warp_id}: context corrupt and no fallback "
+                f"image exists",
+                warp_id=warp.warp_id,
+            )
+        warp.state.restore_regs(image.regs)
+        lds = warp.lds
+        if lds is not None and image.lds is not None:
+            lds.restore(image.lds)
+        warp.dyn_count = image.dyn_count
+        warp.probe_counts = dict(image.probe_counts)
+        completion = self.sm.pipeline.request(
+            cycle, image.nbytes, is_ctx=True, kind="ctx_load"
+        )
+        warp.mode = WarpMode.RUNNING
+        warp.program = warp.main_program
+        warp.next_free = max(warp.next_free, completion)
+        warp.resume_done_cycle = completion
+        warp.active_plan = None
+        measurement = self.measurements[warp.warp_id]
+        measurement.resume_cycles = completion - cycle
+        measurement.recovery_cycles += max(0, completion - cycle)
+        measurement.degraded = True
+        tracer = self.sm.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, EventKind.CTX_RELOAD, warp.warp_id,
+                nbytes=image.nbytes, dur=completion - cycle,
+            )
+            tracer.emit(
+                completion, EventKind.RECOVER, warp.warp_id,
+                action="full_reload",
+            )
+            tracer.emit(
+                completion, EventKind.RESUME_END, warp.warp_id,
+                strategy="degraded",
+            )
+        self.sm.refresh_issuable()  # the warp left the scheduler's list
+
     # -- resume ----------------------------------------------------------------------
 
     def resume_warp(self, warp: SimWarp, cycle: int) -> None:
@@ -251,9 +440,43 @@ class PreemptionController:
         tracer = self.sm.tracer
         if tracer is not None:
             tracer.emit(cycle, EventKind.RESUME_START, warp.warp_id)
+        if warp.degraded_save:
+            # the eviction already fell back to the full save; verify the
+            # image (cannot degrade further — a mismatch here is fatal)
+            actual = snapshot_checksum(warp.arch_image)
+            if actual != warp.ctx_checksum:
+                self._integrity_failure(
+                    warp, cycle, expected=warp.ctx_checksum, actual=actual,
+                    can_degrade=False,
+                )
+            self._resume_full_image(warp, cycle)
+            return
         if warp.active_strategy == "drop":
             snapshot = warp.last_checkpoint
             measurement = self.measurements[warp.warp_id]
+            if snapshot is not None and warp.ctx_checksum is not None:
+                actual = snapshot_checksum(snapshot)
+                if actual != warp.ctx_checksum:
+                    self._integrity_failure(
+                        warp, cycle, expected=warp.ctx_checksum,
+                        actual=actual, can_degrade=True,
+                    )
+                    # degrade: discard the corrupt checkpoint and restart
+                    # from the kernel's beginning (the CKPT fallback)
+                    warp.last_checkpoint = None
+                    snapshot = None
+                    measurement.degraded = True
+                    if self.faults is not None:
+                        self.faults.stats.restarts += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, EventKind.DEGRADE, warp.warp_id,
+                            fallback="restart", reason="corrupt_checkpoint",
+                        )
+                        tracer.emit(
+                            cycle, EventKind.RECOVER, warp.warp_id,
+                            action="restart",
+                        )
             if snapshot is None:
                 # never checkpointed: restart the kernel from the beginning
                 warp.state.clear()
@@ -288,6 +511,25 @@ class PreemptionController:
             measurement.resume_cycles = None
             self.sm.refresh_issuable()  # the warp left the scheduler's list
             return
+        if warp.ctx_checksum is not None:
+            actual = context_checksum(warp.state.ctx_buffer)
+            if actual != warp.ctx_checksum:
+                self._integrity_failure(
+                    warp, cycle, expected=warp.ctx_checksum, actual=actual,
+                    can_degrade=warp.arch_image is not None,
+                )
+                # degrade: the flashback context is untrustworthy, so fall
+                # back to restoring the signal-time image whole (the full
+                # register save's restore path)
+                if tracer is not None:
+                    tracer.emit(
+                        cycle, EventKind.DEGRADE, warp.warp_id,
+                        fallback="full_save", reason="corrupt_context",
+                    )
+                if self.faults is not None:
+                    self.faults.stats.degraded_resumes += 1
+                self._resume_full_image(warp, cycle)
+                return
         plan = warp.active_plan
         assert plan is not None, "evicted warp has no plan"
         warp.mode = WarpMode.RESUME_ROUTINE

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..faults.errors import SimulationHangError
 from ..isa.instruction import Instruction, Program
 from ..isa.opcodes import OpClass
 from ..obs.events import SM_WIDE, EventKind, Tracer
@@ -87,6 +88,9 @@ class SM:
         self.program_end_hook: Callable[[SimWarp, int], None] | None = None
         #: called when a ckpt_probe issues
         self.ckpt_hook: Callable[[SimWarp, Instruction, int], None] | None = None
+        #: fault injector (:class:`repro.faults.injector.FaultInjector`);
+        #: ``None`` — the default — costs one branch per issue
+        self.faults = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -256,13 +260,40 @@ class SM:
             pending[rid] = completion
         if len(pending) > self.config.scoreboard_prune_threshold:
             warp.prune_pending(cycle)
+        faults = self.faults
+        if faults is not None:
+            # after all per-issue bookkeeping: the injector may abort a
+            # preemption routine (flipping the warp to EVICTED) or stall
+            # the memory port; the next scan handles the mode change
+            faults.on_issue(self, warp, cycle)
+
+    def warp_state_dump(self) -> list[dict]:
+        """Per-warp diagnostic snapshot for the watchdog's hang report."""
+        return [
+            {
+                "warp": warp.warp_id,
+                "mode": warp.mode.value,
+                "pc": warp.state.pc,
+                "dyn": warp.dyn_count,
+                "next_free": warp.next_free,
+                "pending": len(warp.pending),
+            }
+            for warp in self.warps
+        ]
 
     def run(self, max_cycles: int | None = None) -> int:
-        """Run until no warp can issue; returns the final cycle."""
+        """Run until no warp can issue; returns the final cycle.
+
+        The cycle cap is the no-forward-progress watchdog: exceeding it
+        raises :class:`~repro.faults.errors.SimulationHangError` with a
+        per-warp diagnostic dump instead of spinning forever.
+        """
         limit = max_cycles or self.config.max_cycles
         while self.step():
             if self.cycle > limit:
-                raise RuntimeError(
-                    f"simulation exceeded {limit} cycles (livelock?)"
+                raise SimulationHangError(
+                    f"simulation exceeded {limit} cycles (livelock?)",
+                    cycle=self.cycle,
+                    warp_dump=self.warp_state_dump(),
                 )
         return self.cycle

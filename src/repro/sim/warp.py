@@ -72,6 +72,16 @@ class SimWarp:
     probe_counts: dict[int, int] = field(default_factory=dict)
     last_checkpoint: CkptSnapshot | None = None
 
+    # fault-tolerance bookkeeping (:mod:`repro.faults`)
+    #: checksum of the saved context, computed when eviction completes and
+    #: verified before the context is trusted at resume
+    ctx_checksum: int | None = None
+    #: signal-time architectural image, captured only while fault injection
+    #: is armed; ground truth for the full-save degradation path
+    arch_image: CkptSnapshot | None = None
+    #: this eviction fell back to the conservative full-register save
+    degraded_save: bool = False
+
     #: issue tables of ``self.program`` (refreshed on program swap)
     _tables: ProgramTables | None = field(default=None, repr=False)
     #: executor bound to (SM memory, this warp's LDS); cached by the SM

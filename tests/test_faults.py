@@ -1,0 +1,479 @@
+"""Fault injection, context-integrity guards, and graceful degradation.
+
+Covers the :mod:`repro.faults` subsystem end to end: checksum primitives,
+every fault kind's injection + recovery path, the typed error surface
+(:class:`ContextIntegrityError`, :class:`SimulationHangError`), the
+zero-overhead guard (``faults=None`` must not perturb a single cycle or
+event), and the chaos oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ContextIntegrityError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RecoveryPolicy,
+    SimulationHangError,
+    context_checksum,
+    scenario,
+    scenario_names,
+    snapshot_checksum,
+)
+from repro.faults.chaos import run_chaos_scenario
+from repro.isa import Kernel, parse
+from repro.mechanisms import make_mechanism
+from repro.obs.events import EventKind
+from repro.sim import (
+    DeviceMemory,
+    GPUConfig,
+    LaunchSpec,
+    MemoryPipeline,
+    run_preemption_experiment,
+    run_reference,
+)
+
+MECHANISMS = ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+
+
+def _run(
+    launch,
+    config,
+    mechanism,
+    *,
+    faults=None,
+    signal_dyn=40,
+    resume_gap=200,
+    trace=True,
+):
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+    run_config = (
+        dataclasses.replace(config, trace_events=True) if trace else config
+    )
+    return run_preemption_experiment(
+        launch.spec() if hasattr(launch, "spec") else launch,
+        prepared,
+        run_config,
+        signal_dyn=signal_dyn,
+        resume_gap=resume_gap,
+        faults=faults,
+    )
+
+
+# -- checksum primitives -----------------------------------------------------
+
+
+class TestChecksums:
+    def test_context_checksum_deterministic(self):
+        buffer = {0: np.arange(16, dtype=np.uint32), 64: 0x1234, "pc": 7}
+        assert context_checksum(buffer) == context_checksum(dict(buffer))
+
+    def test_context_checksum_key_order_independent(self):
+        a = {0: 1, 64: 2}
+        b = {64: 2, 0: 1}
+        assert context_checksum(a) == context_checksum(b)
+
+    def test_context_checksum_detects_single_bit_flip(self):
+        values = np.arange(16, dtype=np.uint32)
+        before = context_checksum({0: values})
+        values[5] ^= np.uint32(1 << 17)
+        assert context_checksum({0: values}) != before
+
+    def test_context_checksum_detects_scalar_flip(self):
+        assert context_checksum({0: 5}) != context_checksum({0: 4})
+
+    def test_snapshot_checksum_detects_register_flip(self, small_config,
+                                                     loop_launch):
+        prepared = make_mechanism("ckpt").prepare(
+            loop_launch.kernel, small_config
+        )
+        result = run_preemption_experiment(
+            loop_launch, prepared, small_config, signal_dyn=40, resume_gap=100
+        )
+        assert result.verified
+        # re-run without resume to grab a live snapshot is overkill: build
+        # one synthetically from the snapshot type's own contract instead
+        from repro.sim.warp import CkptSnapshot
+
+        regs = (
+            np.arange(32, dtype=np.uint32).reshape(8, 4),
+            np.arange(8, dtype=np.uint32),
+            np.ones(4, dtype=bool),
+            1,
+            3,
+        )
+        snapshot = CkptSnapshot(
+            regs=regs, lds=None, dyn_count=40, probe_counts={}, nbytes=160,
+            pc_after_probe=3,
+        )
+        before = snapshot_checksum(snapshot)
+        regs[0][2, 1] ^= np.uint32(1)
+        assert snapshot_checksum(snapshot) != before
+
+
+# -- fault plans -------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_scenarios_are_registered(self):
+        names = scenario_names()
+        assert "ctx-bitflip" in names and "compound" in names
+        for name in names:
+            plan = scenario(name, seed=3)
+            assert plan.seed == 3 and plan.specs
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="ctx-bitflip"):
+            scenario("definitely-not-a-scenario")
+
+    def test_same_seed_same_faults(self, small_config, loop_launch):
+        runs = [
+            _run(loop_launch, small_config, "ctxback",
+                 faults=scenario("ctx-burst", seed=11))
+            for _ in range(2)
+        ]
+        details = [
+            [(f.kind, f.warp_id, f.cycle, f.detail) for f in r.faults.injected]
+            for r in runs
+        ]
+        assert details[0] == details[1] and details[0]
+
+
+# -- zero-overhead guard -----------------------------------------------------
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_empty_plan_changes_nothing(self, small_config, loop_launch,
+                                        mechanism):
+        """An armed-but-empty injector must be invisible: same cycles, same
+        measurements, same event stream as ``faults=None``."""
+        clean = _run(loop_launch, small_config, mechanism)
+        armed = _run(loop_launch, small_config, mechanism, faults=FaultPlan())
+        assert armed.total_cycles == clean.total_cycles
+        assert [
+            (m.warp_id, m.latency_cycles, m.resume_cycles, m.context_bytes)
+            for m in armed.measurements
+        ] == [
+            (m.warp_id, m.latency_cycles, m.resume_cycles, m.context_bytes)
+            for m in clean.measurements
+        ]
+        assert [
+            (e.cycle, e.kind, e.warp_id, e.data)
+            for e in armed.trace.sorted_events()
+        ] == [
+            (e.cycle, e.kind, e.warp_id, e.data)
+            for e in clean.trace.sorted_events()
+        ]
+        assert not armed.faults.injected
+        assert all(not m.degraded for m in armed.measurements)
+
+
+# -- per-kind injection + recovery -------------------------------------------
+
+
+class TestContextCorruption:
+    def test_switch_strategy_degrades_to_full_reload(self, small_config,
+                                                     loop_launch):
+        result = _run(loop_launch, small_config, "ctxback",
+                      faults=scenario("ctx-bitflip", seed=7))
+        assert result.verified
+        stats = result.faults.stats
+        assert stats.integrity_failures > 0
+        assert stats.degraded_resumes > 0
+        degraded = [m for m in result.measurements if m.degraded]
+        assert degraded
+        assert all(m.recovery_cycles > 0 for m in degraded)
+
+    def test_ckpt_discards_corrupt_checkpoint_and_restarts(self, small_config,
+                                                           loop_launch):
+        result = _run(loop_launch, small_config, "ckpt",
+                      faults=scenario("ctx-bitflip", seed=7))
+        assert result.verified
+        stats = result.faults.stats
+        assert stats.restarts > 0
+        assert all(m.degraded for m in result.measurements)
+
+    def test_no_degrade_policy_raises_typed_error(self, small_config,
+                                                  loop_launch):
+        injector = FaultInjector(
+            scenario("ctx-bitflip", seed=7),
+            policy=RecoveryPolicy(allow_degrade=False),
+        )
+        with pytest.raises(ContextIntegrityError) as excinfo:
+            _run(loop_launch, small_config, "ctxback", faults=injector)
+        assert excinfo.value.warp_id is not None
+        assert excinfo.value.expected != excinfo.value.actual
+        assert isinstance(excinfo.value, RuntimeError)  # typed but catchable
+
+    def test_burst_corruption_recovers_too(self, small_config, loop_launch):
+        result = _run(loop_launch, small_config, "combined",
+                      faults=scenario("ctx-burst", seed=5))
+        assert result.verified
+        assert result.faults.stats.degraded > 0
+
+
+class TestSignalFaults:
+    def test_dropped_signal_is_redelivered(self, small_config, loop_launch):
+        result = _run(loop_launch, small_config, "ctxback",
+                      faults=scenario("signal-drop", seed=0))
+        assert result.verified
+        stats = result.faults.stats
+        assert stats.redelivered == 2  # one per target warp
+        # every warp still got preempted and measured
+        assert len(result.measurements) == 2
+        recover = [
+            e for e in result.trace.events
+            if e.kind is EventKind.RECOVER
+            and e.data.get("action") == "redelivered"
+        ]
+        assert len(recover) == 2
+
+    def test_duplicate_signal_is_absorbed(self, small_config, loop_launch):
+        result = _run(loop_launch, small_config, "ctxback",
+                      faults=scenario("signal-dup", seed=0))
+        assert result.verified
+        assert result.faults.stats.duplicates_ignored == 2
+        # the duplicate must not produce a second measurement or eviction
+        assert len(result.measurements) == 2
+        evicts = [e for e in result.trace.events if e.kind is EventKind.EVICT]
+        assert len(evicts) == 2
+
+
+class TestRoutineAbort:
+    def test_abort_falls_back_to_full_save(self, small_config, loop_launch):
+        result = _run(loop_launch, small_config, "ctxback",
+                      faults=scenario("routine-abort", seed=0))
+        assert result.verified
+        stats = result.faults.stats
+        assert stats.degraded_saves == 2
+        degraded = [m for m in result.measurements if m.degraded]
+        assert len(degraded) == 2
+        # the fallback charges the full baseline context, so a degraded save
+        # can never report fewer bytes than the flashback plan promised
+        from repro.ctxback.context import baseline_context_bytes
+
+        full = baseline_context_bytes(loop_launch.kernel, small_config.rf_spec)
+        assert all(m.context_bytes == full for m in degraded)
+
+    def test_ckpt_has_no_routine_to_abort(self, small_config, loop_launch):
+        result = _run(loop_launch, small_config, "ckpt",
+                      faults=scenario("routine-abort", seed=0))
+        assert result.verified
+        assert not result.faults.injected  # nothing fired: no routine ran
+
+
+class TestMemStall:
+    def test_stall_burst_slows_but_stays_correct(self, small_config,
+                                                 loop_launch):
+        clean = _run(loop_launch, small_config, "ctxback")
+        stalled = _run(loop_launch, small_config, "ctxback",
+                       faults=scenario("stall-burst", seed=0))
+        assert stalled.verified
+        assert stalled.faults.stats.stalls == 1
+        assert stalled.total_cycles > clean.total_cycles
+
+
+# -- event-stream accounting -------------------------------------------------
+
+
+class TestEventAccounting:
+    @pytest.mark.parametrize("name", sorted(scenario_names()))
+    def test_every_injection_is_traced(self, small_config, loop_launch, name):
+        result = _run(loop_launch, small_config, "combined",
+                      faults=scenario(name, seed=7))
+        assert result.verified
+        injected = [
+            e for e in result.trace.events if e.kind is EventKind.FAULT_INJECT
+        ]
+        assert len(injected) == len(result.faults.injected)
+        for event in injected:
+            assert "fault" in event.data
+        degrade_warps = {
+            e.warp_id for e in result.trace.events
+            if e.kind is EventKind.DEGRADE
+        }
+        recover_warps = {
+            e.warp_id for e in result.trace.events
+            if e.kind is EventKind.RECOVER
+        }
+        assert degrade_warps <= recover_warps
+
+
+# -- chaos oracle ------------------------------------------------------------
+
+
+class TestChaosOracle:
+    @pytest.mark.parametrize("mechanism", ["ctxback", "ckpt", "live"])
+    def test_compound_scenario_passes_oracle(self, mechanism):
+        verdict = run_chaos_scenario(
+            "mm", mechanism, "compound",
+            seed=7, config=GPUConfig.small(4), iterations=2,
+        )
+        assert verdict["ok"], verdict
+        assert verdict["checks"] == {
+            "memory": True, "registers": True, "events": True
+        }
+        assert verdict["injected"] > 0
+
+    def test_verdict_shape(self):
+        verdict = run_chaos_scenario(
+            "mm", "ctxback", "ctx-bitflip",
+            seed=0, config=GPUConfig.small(4), iterations=2,
+        )
+        for key in ("kernel", "mechanism", "scenario", "seed", "ok", "checks",
+                    "injected", "degraded_warps", "recovery", "latency",
+                    "clean_latency", "recovery_cycles"):
+            assert key in verdict
+        assert verdict["recovery"]["injected"] == verdict["injected"]
+
+
+# -- watchdog ----------------------------------------------------------------
+
+
+LIVELOCK = """
+LOOP:
+    s_branch LOOP
+"""
+
+
+class TestWatchdog:
+    @pytest.fixture()
+    def livelock_launch(self):
+        kernel = Kernel(
+            "livelock", parse(LIVELOCK), vgprs_used=1, sgprs_used=1,
+            noalias=True, warps_per_block=1,
+        )
+        return LaunchSpec(
+            kernel=kernel,
+            setup_memory=lambda memory: None,
+            setup_warp=lambda state, index: None,
+        )
+
+    def test_reference_run_raises_hang_error(self, livelock_launch):
+        config = dataclasses.replace(GPUConfig.small(4), max_cycles=2000)
+        with pytest.raises(SimulationHangError) as excinfo:
+            run_reference(livelock_launch, config)
+        error = excinfo.value
+        assert error.cycle > 2000
+        assert error.warp_dump and error.warp_dump[0]["mode"] == "running"
+        assert "warp 0" in str(error)  # the dump is part of the message
+        assert isinstance(error, RuntimeError)  # old callers still catch it
+
+    def test_preemption_experiment_raises_hang_error(self, livelock_launch):
+        config = dataclasses.replace(GPUConfig.small(4), max_cycles=2000)
+        prepared = make_mechanism("baseline").prepare(
+            livelock_launch.kernel, config
+        )
+        with pytest.raises(SimulationHangError):
+            run_preemption_experiment(
+                livelock_launch, prepared, config,
+                signal_dyn=1 << 60, resume_gap=10, verify=False,
+            )
+
+
+# -- satellite: construction-time validation ---------------------------------
+
+
+class TestValidation:
+    def test_pipeline_rejects_zero_rates(self):
+        with pytest.raises(ValueError, match="bytes_per_cycle"):
+            MemoryPipeline(bytes_per_cycle=0, latency=1)
+        with pytest.raises(ValueError, match="ctx_bytes_per_cycle"):
+            MemoryPipeline(bytes_per_cycle=64, latency=1, ctx_bytes_per_cycle=0)
+        with pytest.raises(ValueError, match="ctx_load_speedup"):
+            MemoryPipeline(bytes_per_cycle=64, latency=1, ctx_load_speedup=0)
+
+    def test_pipeline_none_ctx_rate_uses_streaming_rate(self):
+        pipeline = MemoryPipeline(
+            bytes_per_cycle=64, latency=0, ctx_bytes_per_cycle=None
+        )
+        # 128 bytes at 64 B/cycle: 2 cycles of port occupancy either way
+        assert pipeline.request(0, 128, is_ctx=True) == pipeline.request(
+            2, 128, is_ctx=False
+        ) - 2
+
+    def test_gpu_config_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="ctx_bytes_per_cycle"):
+            dataclasses.replace(GPUConfig.small(4), ctx_bytes_per_cycle=0)
+        with pytest.raises(ValueError, match="mem_bytes_per_cycle"):
+            dataclasses.replace(GPUConfig.small(4), mem_bytes_per_cycle=-1)
+        with pytest.raises(ValueError, match="max_cycles"):
+            dataclasses.replace(GPUConfig.small(4), max_cycles=0)
+
+    def test_device_memory_load_past_end_raises(self):
+        memory = DeviceMemory(size_bytes=1024)
+        with pytest.raises(ValueError, match="runs past the end"):
+            memory.load_array(1020, 4)
+        with pytest.raises(ValueError, match="negative"):
+            memory.load_array(0, -1)
+
+    def test_device_memory_store_past_end_raises(self):
+        memory = DeviceMemory(size_bytes=1024)
+        with pytest.raises(ValueError, match="runs past the end"):
+            memory.store_array(1000, np.arange(32, dtype=np.uint32))
+
+    def test_device_memory_in_bounds_roundtrip(self):
+        memory = DeviceMemory(size_bytes=1024)
+        values = np.arange(8, dtype=np.uint32)
+        memory.store_array(1024 - 32, values)
+        assert np.array_equal(memory.load_array(1024 - 32, 8), values)
+
+
+# -- engine integration ------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_experiment_unit_with_faults_profiles_recovery(self):
+        from repro.analysis.engine import ExperimentEngine, ExperimentUnit
+
+        unit = ExperimentUnit(
+            key="mm", mechanism="ctxback", config=GPUConfig.small(4),
+            signal_dyn=40, resume_gap=200, iterations=2, verify=True,
+            faults=scenario("ctx-bitflip", seed=7),
+        )
+        engine = ExperimentEngine(jobs=1)
+        profile = engine.map([unit])[0]
+        assert profile["verified"]
+        assert profile["recovery"]["injected"] > 0
+        assert profile["degraded_warps"]
+        assert profile["recovery_cycles"] > 0
+        report = engine.report.as_dict()
+        assert report["recovery"]["faulted_units"] == 1
+        assert report["recovery"]["injected"] == profile["recovery"]["injected"]
+
+    def test_faulted_and_clean_profiles_never_alias(self):
+        from repro.analysis.engine import experiment_profile_for
+
+        config = GPUConfig.small(4)
+        clean = experiment_profile_for(
+            "mm", "ctxback", config, 2, 40, 200, True
+        )
+        faulted = experiment_profile_for(
+            "mm", "ctxback", config, 2, 40, 200, True,
+            faults=scenario("ctx-bitflip", seed=7),
+        )
+        assert "recovery" not in clean
+        assert faulted["recovery"]["injected"] > 0
+
+    def test_chaos_unit_is_picklable_and_cacheable(self):
+        import pickle
+
+        from repro.faults.chaos import ChaosUnit
+
+        unit = ChaosUnit(
+            key="mm", mechanism="ckpt", scenario="signal-drop", seed=1,
+            config=GPUConfig.small(4), iterations=2,
+        )
+        clone = pickle.loads(pickle.dumps(unit))
+        first = clone.run()
+        second = clone.run()  # second call must come from the cache
+        assert first == second
+        assert first["ok"], first
