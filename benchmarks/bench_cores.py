@@ -1,0 +1,145 @@
+"""Fast-core vs reference-core timing: hot-loop microbench + full matrix.
+
+Both benches drive the bare simulator (``run_reference``: no signals, no
+engine, no artifact-cache round-trips in the timed region — launch specs
+and mechanism prep are hoisted out) and attach their numbers to this
+bench's row in ``BENCH_engine.json`` via ``record_result``:
+
+* ``test_core_hotloop_smoke`` — one kernel, a few reps.  This is the CI
+  perf-smoke gate: it fails when the fast core is below
+  ``REPRO_CORE_MIN_SPEEDUP`` (default 5) times the reference core.
+* ``test_core_headline_matrix`` — the full 12-kernel suite at
+  ``num_warps=16`` and 4x the default iteration counts (a full SM runs
+  16-64 resident warps, so the headline matrix models the multi-tenant
+  load the ROADMAP targets rather than the 4-warp unit-test geometry).
+
+Methodology: the host's effective CPU speed drifts by tens of percent
+over minutes, so single absolute wall times are unreliable.  Each rep
+times a core=fast sweep and a core=reference sweep back-to-back over the
+same matrix, asserts both cores issued exactly the same instruction
+count (they simulate identical machines), and the reported speedup is
+the median ratio over ``REPRO_CORE_REPS`` reps (default 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import statistics
+import time
+
+from repro.kernels import SUITE
+from repro.sim import GPUConfig
+from repro.sim.gpu import run_reference
+
+#: perf gate: minimum fast/reference speedup before the bench fails
+MIN_SPEEDUP_ENV = "REPRO_CORE_MIN_SPEEDUP"
+REPS_ENV = "REPRO_CORE_REPS"
+
+#: headline matrix geometry (see module docstring)
+HEADLINE_NUM_WARPS = 16
+HEADLINE_ITERATION_MULT = 4
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get(MIN_SPEEDUP_ENV, "5"))
+
+
+def _reps() -> int:
+    return int(os.environ.get(REPS_ENV, "3"))
+
+
+def _sweep(config: GPUConfig, keys, num_warps: int, it_mult: int):
+    """Simulate every kernel in *keys* once; returns (wall_s, issues, cycles).
+
+    Only ``run_reference`` is inside the timed region — launch-spec
+    construction (input generation, register-file sizing) is identical
+    work for both cores and is hoisted out.
+    """
+    wall = 0.0
+    issues = 0
+    cycles = 0
+    for key in keys:
+        bench = SUITE[key]
+        launch = bench.launch(
+            iterations=bench.default_iterations * it_mult, num_warps=num_warps
+        )
+        spec = launch.spec()
+        started = time.perf_counter()
+        result = run_reference(spec, config)
+        wall += time.perf_counter() - started
+        issues += result.sm.stats.issued
+        cycles += result.cycles
+    return wall, issues, cycles
+
+
+def _compare(keys, num_warps: int, it_mult: int, reps: int) -> dict:
+    cfg_fast = dataclasses.replace(GPUConfig.radeon_vii(), core="fast")
+    cfg_ref = dataclasses.replace(cfg_fast, core="reference")
+
+    # one small untimed sweep per core: first-touch costs (imports, numpy
+    # buffer pools, compiled-block cache fill) are not simulation speed
+    _sweep(cfg_fast, keys, num_warps, 1)
+    _sweep(cfg_ref, keys, num_warps, 1)
+
+    ratios, fast_us, ref_us, fast_cps, ref_cps = [], [], [], [], []
+    issues = cycles = 0
+    for _ in range(reps):
+        fast_wall, issues, cycles = _sweep(cfg_fast, keys, num_warps, it_mult)
+        ref_wall, ref_issues, ref_cycles = _sweep(cfg_ref, keys, num_warps, it_mult)
+        assert (issues, cycles) == (ref_issues, ref_cycles), (
+            "cores disagree on simulated work — run tests/test_fastcore_equiv.py"
+        )
+        ratios.append(ref_wall / fast_wall)
+        fast_us.append(1e6 * fast_wall / issues)
+        ref_us.append(1e6 * ref_wall / issues)
+        fast_cps.append(cycles / fast_wall)
+        ref_cps.append(cycles / ref_wall)
+    return {
+        "keys": list(keys),
+        "num_warps": num_warps,
+        "iteration_mult": it_mult,
+        "reps": reps,
+        "issues_per_sweep": issues,
+        "cycles_per_sweep": cycles,
+        "fast_us_per_issue": round(statistics.median(fast_us), 3),
+        "reference_us_per_issue": round(statistics.median(ref_us), 3),
+        "fast_sim_cycles_per_s": round(statistics.median(fast_cps)),
+        "reference_sim_cycles_per_s": round(statistics.median(ref_cps)),
+        "speedup_median": round(statistics.median(ratios), 2),
+        "speedup_min": round(min(ratios), 2),
+        "speedup_max": round(max(ratios), 2),
+    }
+
+
+def _report(label: str, stats: dict) -> None:
+    print()
+    print(
+        f"{label}: fast {stats['fast_us_per_issue']:.2f} µs/issue "
+        f"({stats['fast_sim_cycles_per_s']:,} sim cycles/s)  "
+        f"reference {stats['reference_us_per_issue']:.2f} µs/issue "
+        f"({stats['reference_sim_cycles_per_s']:,} sim cycles/s)  "
+        f"speedup x{stats['speedup_median']:.2f} "
+        f"[{stats['speedup_min']:.2f}, {stats['speedup_max']:.2f}]"
+    )
+
+
+def test_core_hotloop_smoke(record_result):
+    """Cycles-per-second hot loop on one kernel — the CI perf gate."""
+    stats = _compare(["mm"], num_warps=HEADLINE_NUM_WARPS, it_mult=2, reps=_reps())
+    record_result(cores=stats)
+    _report("hotloop mm", stats)
+    assert stats["speedup_median"] >= _min_speedup(), stats
+
+
+def test_core_headline_matrix(record_result):
+    """Full 12-kernel matrix, both cores, serial, median-of-reps ratio."""
+    stats = _compare(
+        sorted(SUITE),
+        num_warps=HEADLINE_NUM_WARPS,
+        it_mult=HEADLINE_ITERATION_MULT,
+        reps=_reps(),
+    )
+    record_result(cores=stats)
+    _report("headline 12-kernel matrix", stats)
+    assert stats["speedup_median"] >= _min_speedup(), stats

@@ -69,14 +69,28 @@ def _engine_timing(request):
     yield
     wall = time.perf_counter() - started
     delta = cache.stats.delta(before)
-    _records.append(
-        {
-            "bench": request.node.name,
-            "wall_s": round(wall, 3),
-            "jobs": default_jobs(),
-            "cache": delta.as_dict(),
-        }
-    )
+    record = {
+        "bench": request.node.name,
+        "wall_s": round(wall, 3),
+        "jobs": default_jobs(),
+        "cache": delta.as_dict(),
+    }
+    # benches may attach structured results (e.g. the core-comparison
+    # numbers from bench_cores.py) via the ``record_result`` fixture
+    record.update(getattr(request.node, "_bench_payload", {}))
+    _records.append(record)
+
+
+@pytest.fixture
+def record_result(request):
+    """Attach extra key/value pairs to this bench's BENCH_engine.json row."""
+    payload: dict = {}
+    request.node._bench_payload = payload
+
+    def _record(**fields) -> None:
+        payload.update(fields)
+
+    return _record
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -126,6 +126,8 @@ def cmd_suite(_args) -> int:
 
 
 def cmd_preempt(args) -> int:
+    import dataclasses
+
     from .kernels import SUITE
     from .mechanisms import Chimera, expected_dyn_for, make_mechanism
     from .sim import GPUConfig, run_preemption_experiment
@@ -133,6 +135,8 @@ def cmd_preempt(args) -> int:
     config = (
         GPUConfig.radeon_vii_contended() if args.contended else GPUConfig.radeon_vii()
     )
+    if args.core:
+        config = dataclasses.replace(config, core=args.core)
     bench = SUITE[args.kernel]
     iterations = args.iterations or bench.default_iterations
     launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
@@ -169,6 +173,8 @@ def cmd_trace(args) -> int:
     base = (
         GPUConfig.radeon_vii_contended() if args.contended else GPUConfig.radeon_vii()
     )
+    if args.core:
+        base = dataclasses.replace(base, core=args.core)
     config = dataclasses.replace(
         base, trace_events=True, trace_detail=args.detail
     )
@@ -436,6 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
     preempt.add_argument("--contended", action="store_true",
                          help="use the fully-occupied-SM configuration")
     preempt.add_argument("--no-verify", action="store_true")
+    preempt.add_argument("--core", default=None,
+                         choices=["fast", "reference"],
+                         help="execution core (default: GPUConfig.core, "
+                              "overridable via REPRO_CORE)")
     preempt.set_defaults(func=cmd_preempt)
 
     trace = sub.add_parser(
@@ -465,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the trace to FILE instead of stdout")
     trace.add_argument("--no-verify", action="store_true",
                        help="skip the reference run / memory comparison")
+    trace.add_argument("--core", default=None,
+                       choices=["fast", "reference"],
+                       help="execution core (default: GPUConfig.core, "
+                            "overridable via REPRO_CORE)")
     trace.set_defaults(func=cmd_trace)
 
     for name, help_text in (

@@ -20,9 +20,18 @@ conclusions do not depend on the absolute calibration.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..isa.registers import RegisterFileSpec
+
+#: environment override for :attr:`GPUConfig.core`
+CORE_ENV = "REPRO_CORE"
+
+#: valid execution cores: ``fast`` is the batched/compiled core
+#: (:mod:`repro.sim.fastcore`); ``reference`` is the single-step
+#: interpreter the fast core is differentially tested against.
+VALID_CORES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,12 @@ class GPUConfig:
     #: ``"issue"`` additionally records one event per issued instruction
     #: (``REPRO_TRACE=issue`` raises this from the environment)
     trace_detail: str = "routine"
+    #: execution core: ``"fast"`` (batched warp stepping + compiled basic
+    #: blocks, bit-identical timing) or ``"reference"`` (the single-step
+    #: interpreter).  ``REPRO_CORE`` overrides this at SM construction.
+    #: Part of the frozen config, so every artifact-cache key (prepared
+    #: kernels, experiment profiles, compiled blocks) separates by core.
+    core: str = "fast"
 
     def __post_init__(self) -> None:
         # reject degenerate rates up front: a zero bandwidth divides by
@@ -87,10 +102,22 @@ class GPUConfig:
             value = getattr(self, name)
             if value <= 0:
                 raise ValueError(f"GPUConfig.{name} must be >= 1, got {value!r}")
+        if self.core not in VALID_CORES:
+            raise ValueError(
+                f"GPUConfig.core must be one of {VALID_CORES}, got {self.core!r}"
+            )
 
     @property
     def warp_size(self) -> int:
         return self.rf_spec.warp_size
+
+    @property
+    def resolved_core(self) -> str:
+        """Effective core: ``REPRO_CORE`` wins over :attr:`core`."""
+        env = os.environ.get(CORE_ENV, "").strip().lower()
+        if env in VALID_CORES:
+            return env
+        return self.core
 
     def cycles_to_us(self, cycles: float) -> float:
         """Convert simulated cycles to microseconds at the configured clock."""

@@ -1,0 +1,587 @@
+"""Fast execution core: batched warp stepping over compiled basic blocks.
+
+Drop-in engine behind :meth:`repro.sim.sm.SM.advance`, selected by
+``GPUConfig.core`` (``REPRO_CORE`` overrides).  It reproduces the reference
+core bit-for-bit — same issue cycles, same pipeline-request order, same
+trace events, same architectural state — while executing many issues per
+Python-level iteration.  The two pillars:
+
+**Eager timing, deferred semantics.**  Issue timing in this simulator is
+data-independent within straight-line code: per-pc memory traffic and
+latency are static (:mod:`repro.sim.blocks`), the pipeline is a
+deterministic function of request order, and only *scalar* state (SCC,
+sregs, EXEC) feeds back into control flow.  So each issue executes its
+scalar half eagerly (pure-Python ints — cheap) and records its vector half
+(NumPy work: VALU, global/LDS memory, context transfers) on one global
+deferred list in issue order, materialized in batch at the next barrier.
+Consecutive deferred ops of one warp inside one straight-line block
+collapse into a *segment* — replayed through a per-warp compiled function
+(:func:`~repro.sim.blocks.bind_segment`) whose register rows are bound
+once and whose ops are single ``ufunc(..., out=row)`` calls; runs of
+identical single-op segments from warps in adjacent backing slots collapse
+further into one (warps × lanes) array operation over the shared
+register-file backing (see :meth:`WarpState.adopt_shared`).
+
+**Run-ahead scheduling.**  The round-robin tie rule means a warp that just
+issued loses any same-cycle tie, so a warp may issue repeatedly without a
+scheduler pass exactly while its next ready cycle stays strictly below
+every other warp's.  The inner loop exploits that: pick once, then issue
+the chosen warp until the horizon (the other warps' minimum ready cycle)
+is reached — the common case for stall-heavy kernels and for preemption
+routines running while other warps wait on memory.
+
+Materialization barriers (full flush of the deferred list, preserving
+cross-warp DeviceMemory ordering):
+
+* before any scheduler hook runs (``pre_issue``/``program_end`` via
+  ``SM._scan_slow``, ``ckpt_hook`` at probes) — hooks read and write
+  architectural state;
+* before eager instructions that read shared semantic state (``s_load``
+  reads DeviceMemory; ``ctx_store_s``/``ctx_load_s`` share the context
+  buffer) or write EXEC (deferred ops read the mask at materialization);
+* when the simulation can return to the caller (no candidates, dyn-break,
+  stop cycle, cycle limit) — external code may inspect any state.
+
+Fault injection falls back to the reference interpreter entirely: the
+injector hooks every issue and may mutate state mid-flight, which is
+precisely the cycle-exact boundary the fast path cannot batch across.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+
+from ..obs.events import SM_WIDE, EventKind
+from .blocks import bind_segment, plan_for
+from .tables import tables_for
+from .warp import SimWarp, WarpMode
+
+_INF = 1 << 62
+#: flush the deferred list beyond this many segments even with no barrier
+#: in sight, bounding memory for long barrier-free stretches
+_FLUSH_CAP = 4096
+
+
+class _WarpRT:
+    """Per-warp runtime handle passed to compiled closures."""
+
+    __slots__ = (
+        "warp", "state", "lds", "memory", "prog", "plan", "tables", "segs",
+        "xrows",
+    )
+
+    def __init__(self, warp: SimWarp, memory) -> None:
+        self.warp = warp
+        self.state = warp.state
+        self.lds = warp.lds
+        self.memory = memory
+        self.prog = None
+        self.plan = None
+        self.tables = None
+        self.xrows = None
+        #: (block, start, count) -> bound segment fn (see bind_segment)
+        self.segs = {}
+
+
+class FastCore:
+    """Batched-execution engine bound to one :class:`~repro.sim.sm.SM`."""
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        #: global deferred list, in issue order.  Entries are segments:
+        #: ``(rt, block, start, caps)`` — the warp replays
+        #: ``block.defer_plans[start:start + len(caps)]``.
+        self.queue: list = []
+
+    # -- per-warp compiled state ----------------------------------------------
+
+    def _rt(self, warp: SimWarp) -> _WarpRT:
+        rt = warp._fast_rt
+        if rt is None:
+            rt = warp._fast_rt = _WarpRT(warp, self.sm.memory)
+        if rt.prog is not warp.program:
+            program = warp.program
+            rt.prog = program
+            tables = rt.tables = tables_for(program)
+            # main kernels go through the content-addressed artifact cache;
+            # routines are small one-shot programs compiled directly
+            plan = rt.plan = plan_for(
+                program,
+                self.sm.config,
+                use_cache=program is warp.main_program,
+            )
+            if plan.xrows is None:
+                # extend the issue rows with the scoreboard id tuples and
+                # the precomputed non-ctx pipeline service time (the plan
+                # is memoized per (program, config), and the pipeline's
+                # streaming rate is a pure function of the config)
+                def_ids = tables.def_ids
+                dep_ids = tables.dep_ids
+                bpc = self.sm.pipeline.bytes_per_cycle
+                plan.xrows = [
+                    row
+                    + (
+                        def_ids[pc],
+                        dep_ids[pc],
+                        None
+                        if row[7] is None or row[7][1]
+                        else row[7][0] / bpc,
+                    )
+                    for pc, row in enumerate(plan.rows)
+                ]
+            rt.xrows = plan.xrows
+        return rt
+
+    # -- materialization -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Materialize all deferred vector work, in issue order.
+
+        Each segment replays through its warp's bound function; runs of
+        identical segments from warps in adjacent backing slots execute as
+        (warps × lanes) NumPy calls when every op in the span has a
+        lockstep group form.
+        """
+        q = self.queue
+        if not q:
+            return
+        self.queue = []
+        with np.errstate(over="ignore"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                i = 0
+                n = len(q)
+                while i < n:
+                    entry = q[i]
+                    blk = entry[1]
+                    start = entry[2]
+                    count = len(entry[3])
+                    j = i + 1
+                    while j < n:
+                        e = q[j]
+                        if (
+                            e[1] is not blk
+                            or e[2] != start
+                            or len(e[3]) != count
+                        ):
+                            break
+                        j += 1
+                    if j - i > 1:
+                        key = (start, count)
+                        gfns = blk.gsegs.get(key)
+                        if gfns is None:
+                            fns = [
+                                p.group
+                                for p in blk.defer_plans[start : start + count]
+                            ]
+                            gfns = (
+                                tuple(fns)
+                                if all(f is not None for f in fns)
+                                else False
+                            )
+                            blk.gsegs[key] = gfns
+                        if gfns and self._run_group(gfns, q, i, j):
+                            i = j
+                            continue
+                    skey = (blk, start, count)
+                    lrt = None
+                    seg = None
+                    for k in range(i, j):
+                        e = q[k]
+                        rt = e[0]
+                        if rt is not lrt:
+                            lrt = rt
+                            segs = rt.segs
+                            seg = segs.get(skey)
+                            if seg is None:
+                                seg = segs[skey] = bind_segment(
+                                    rt, blk.defer_plans[start : start + count]
+                                )
+                        seg(e[3])
+                    i = j
+
+    @staticmethod
+    def _run_group(gfns, q, i, j) -> bool:
+        """Execute q[i:j] (identical segments) as batched array ops if the
+        warps occupy strictly ascending adjacent backing slots."""
+        st0 = q[i][0].state
+        base_v = st0.backing_vregs
+        if base_v is None:
+            return False
+        base_e = st0.backing_exec
+        slot0 = st0.backing_slot
+        exec_all = st0.exec_all
+        for offset in range(1, j - i):
+            st = q[i + offset][0].state
+            if (
+                st.backing_vregs is not base_v
+                or st.backing_slot != slot0 + offset
+            ):
+                return False
+            if not st.exec_all:
+                exec_all = False
+        count = j - i
+        vb = base_v[slot0 : slot0 + count]
+        eb = base_e[slot0 : slot0 + count]
+        for fn in gfns:
+            fn(vb, eb, exec_all, None)
+        return True
+
+    # -- main loop -------------------------------------------------------------
+
+    def advance(self, stop_cycle: int | None = None, limit: int | None = None) -> bool:
+        """Advance the SM through as many issues as can be batched.
+
+        Semantically equivalent to calling :meth:`SM.step` in a loop, with
+        returns at every boundary the caller could observe or influence:
+
+        * a scheduler hook fired (one further issue completes first, the
+          reference's step granularity);
+        * a RUNNING warp's ``dyn_break`` target was reached (the experiment
+          loop's poll boundary);
+        * the cycle counter reached *stop_cycle* (the resume gate) or
+          exceeded *limit* (the hang watchdog);
+        * nothing can issue (returns ``False`` if no issue happened at all).
+        """
+        sm = self.sm
+        if sm.faults is not None:
+            # cycle-exact boundary the batch engine cannot honour: fall
+            # back to the reference interpreter per step
+            self.flush()
+            return sm.step()
+        config = sm.config
+        if limit is None:
+            limit = config.max_cycles
+        # one merged cycle ceiling — the first cycle count at which control
+        # must return (resume gate or hang watchdog), one compare per issue
+        hard_stop = limit + 1
+        if stop_cycle is not None and stop_cycle < hard_stop:
+            hard_stop = stop_cycle
+        running_m = WarpMode.RUNNING
+        preempt_m = WarpMode.PREEMPT_ROUTINE
+        resume_m = WarpMode.RESUME_ROUTINE
+        tracer = sm.tracer
+        tr_full = tracer is not None and tracer.full
+        stall_kind = EventKind.ISSUE_STALL
+        issue_kind = EventKind.ISSUE
+        resume_end_kind = EventKind.RESUME_END
+        ckpt_hook = sm.ckpt_hook
+        has_hook = ckpt_hook is not None
+        pipeline = sm.pipeline
+        request = pipeline.request
+        sbk = pipeline.stats_by_kind
+        pipe_lat = pipeline.latency
+        ceil = math.ceil
+        stats = sm.stats
+        counts = stats.pc_counts
+        ibm = stats.issued_by_mode
+        prune_at = config.scoreboard_prune_threshold
+        nw_mod = max(1, len(sm.warps))
+        cw: list[SimWarp] = []
+        cr: list[int] = []
+
+        issued_any = False
+        need_scan = True
+        return_once = False
+        while True:
+            if need_scan:
+                need_scan = False
+                cw.clear()
+                cr.clear()
+                dropped = False
+                slow = False
+                for warp in sm._issuable:
+                    mode = warp.mode
+                    if (
+                        mode is not running_m
+                        and mode is not preempt_m
+                        and mode is not resume_m
+                    ):
+                        dropped = True
+                        continue
+                    if warp.state.pc >= warp.tables().n or warp.preempt_flag:
+                        # hooks read (and write) architectural state:
+                        # materialize everything first
+                        slow = True
+                        self.flush()
+                        if not sm._scan_slow(warp):
+                            dropped = dropped or not warp.issuable
+                            continue
+                    cw.append(warp)
+                    cr.append(warp.ready_cycle())
+                if dropped:
+                    sm.refresh_issuable()
+                if not cw:
+                    self.flush()
+                    return issued_any
+                # a hook fired: let the caller regain control after one
+                # more issue (the reference observes at step granularity)
+                return_once = slow
+
+            # ---- pick: replicate the reference scheduler exactly --------
+            # one pass finds the two smallest ready cycles (m1 at i1, m2);
+            # a second picks the round-robin winner among the ready warps.
+            # horizon (min ready over the others) then falls out of m1/m2
+            # instead of a third scan.
+            n_c = len(cw)
+            m1 = cr[0]
+            i1 = 0
+            m2 = _INF
+            for i in range(1, n_c):
+                c = cr[i]
+                if c < m1:
+                    m2 = m1
+                    m1 = c
+                    i1 = i
+                elif c < m2:
+                    m2 = c
+            cyc = sm.cycle
+            if tracer is not None and m1 > cyc:
+                tracer.emit(cyc, stall_kind, SM_WIDE, dur=m1 - cyc)
+            t = m1 if m1 > cyc else cyc
+            rr = sm._rr
+            # the reference orders ready warps by (wid < rr, wid): the
+            # smallest wid >= rr wins, else the smallest wid overall
+            k = -1
+            best_ge = -1
+            wid_ge = 0
+            best_lt = -1
+            wid_lt = 0
+            for i in range(n_c):
+                if cr[i] <= t:
+                    wid = cw[i].warp_id
+                    if wid >= rr:
+                        if best_ge < 0 or wid < wid_ge:
+                            best_ge = i
+                            wid_ge = wid
+                    elif best_lt < 0 or wid < wid_lt:
+                        best_lt = i
+                        wid_lt = wid
+            k = best_ge if best_ge >= 0 else best_lt
+            horizon = m2 if k == i1 else m1
+
+            w = cw[k]
+            sm._rr = (w.warp_id + 1) % nw_mod
+            rt = w._fast_rt
+            if rt is None or rt.prog is not w.program:
+                rt = self._rt(w)
+            rows = rt.xrows
+            pn = rt.plan.n
+            state = w.state
+            pending = w.pending
+            pmax = w.pending_max
+            mode = w.mode
+            running = mode is running_m
+            # resolve the common modes by identity: the enum descriptor
+            # behind .value is measurable at this call rate
+            mode_key = (
+                "running"
+                if running
+                else "preempt"
+                if mode is preempt_m
+                else mode.value
+            )
+            wid = w.warp_id
+            pc = state.pc
+            db = w.dyn_break if running else None
+            dyn = w.dyn_count
+            watch_dyn = _INF
+            if (
+                running
+                and w.resume_watch_dyn is not None
+                and w.resume_start_cycle is not None
+                and w.resume_done_cycle is None
+            ):
+                watch_dyn = w.resume_watch_dyn
+            clen = len(counts)
+            queue = self.queue
+            ni = 0  # issues this pick (stats batched at the exits)
+            last_t1 = cyc  # sm.cycle image (synced at hooks and exits)
+            seg_blk = None
+            seg_start = 0
+            seg_caps = None
+            seg_n = 0
+            issued_any = True  # the pick guarantees at least one issue
+            row = rows[pc]
+
+            # ---- run-ahead: issue w until the horizon (or an event) -----
+            while True:
+                if row[6] and has_hook:
+                    # the hook snapshots registers/LDS and may redirect pc
+                    if seg_blk is not None:
+                        queue.append((rt, seg_blk, seg_start, seg_caps))
+                        seg_blk = None
+                    if ni:
+                        stats.issued += ni
+                        ibm[mode_key] = ibm.get(mode_key, 0) + ni
+                        ni = 0
+                    sm.cycle = last_t1
+                    stats.cycles = last_t1
+                    w.pending_max = pmax
+                    self.flush()
+                    queue = self.queue
+                    state.pc = pc
+                    ckpt_hook(w, rt.tables.program.instructions[pc], t)
+                    pc = state.pc
+                    row = rows[pc]
+                    watch_dyn = _INF
+                    if (
+                        running
+                        and w.resume_watch_dyn is not None
+                        and w.resume_start_cycle is not None
+                        and w.resume_done_cycle is None
+                    ):
+                        watch_dyn = w.resume_watch_dyn
+                if running:
+                    if dyn >= watch_dyn:
+                        w.resume_done_cycle = t
+                        watch_dyn = _INF
+                        if tracer is not None:
+                            tracer.emit(
+                                t, resume_end_kind, wid, strategy="drop"
+                            )
+                    if pc >= clen:
+                        counts.extend([0] * (pc + 1 - clen))
+                        clen = pc + 1
+                    counts[pc] += 1
+                if tr_full:
+                    tracer.emit(
+                        t, issue_kind, wid,
+                        pc=pc, mode=mode_key, mnemonic=row[9],
+                    )
+
+                # semantics: eager scalar half now, vector half deferred
+                eager = row[0]
+                if eager is not None:
+                    if row[5]:
+                        if seg_blk is not None:
+                            queue.append((rt, seg_blk, seg_start, seg_caps))
+                            seg_blk = None
+                        self.flush()
+                        queue = self.queue
+                    next_pc = eager(rt)
+                else:
+                    if row[1] is not None:
+                        capfn = row[2]
+                        cap = capfn(state) if capfn is not None else None
+                        b = row[3]
+                        if b is seg_blk and row[4] == seg_start + seg_n:
+                            seg_caps.append(cap)
+                            seg_n += 1
+                        else:
+                            if seg_blk is not None:
+                                queue.append(
+                                    (rt, seg_blk, seg_start, seg_caps)
+                                )
+                                if len(queue) >= _FLUSH_CAP:
+                                    self.flush()
+                                    queue = self.queue
+                            seg_blk = b
+                            seg_start = row[4]
+                            seg_caps = [cap]
+                            seg_n = 1
+                    next_pc = pc + 1
+
+                # bookkeeping: mirror SM._issue field by field
+                w.next_free = t + 1
+                if running:
+                    dyn += 1
+                    w.dyn_count = dyn
+                ni += 1
+                traffic = row[7]
+                if traffic is None:
+                    completion = t + row[8]
+                else:
+                    service = row[12]
+                    if service is None:
+                        # ctx traffic: rate selection + overhead stay in
+                        # the pipeline method
+                        completion = request(
+                            t, traffic[0], is_ctx=True, kind=traffic[2]
+                        )
+                    else:
+                        # streaming traffic: MemoryPipeline.request inlined
+                        # with the division precompiled into the row
+                        # (identical float sequence, max → ternary)
+                        pf = pipeline._port_free
+                        pf = (pf if pf >= t else float(t)) + service
+                        pipeline._port_free = pf
+                        pipeline.total_bytes += traffic[0]
+                        pipeline.total_requests += 1
+                        kk = traffic[2]
+                        sbk[kk] = sbk.get(kk, 0) + traffic[0]
+                        completion = ceil(pf) + pipe_lat
+                    if completion > w.routine_last_mem_completion:
+                        w.routine_last_mem_completion = completion
+                if row[10]:
+                    for rid in row[10]:
+                        pending[rid] = completion
+                    if completion > pmax:
+                        pmax = completion
+                    if len(pending) > prune_at:
+                        w.prune_pending(t)  # rebinds warp.pending
+                        pending = w.pending
+                t1 = t + 1
+                last_t1 = t1
+                pc = next_pc
+
+                # exits.  Returns (control to the caller) before the
+                # program-end rescan: the poll between steps must see this
+                # warp's dyn_count while it is still RUNNING.
+                if return_once:
+                    break
+                if db is not None and dyn >= db:
+                    break
+                if t1 >= hard_stop:
+                    break
+                if pc >= pn:
+                    # program ended: rescan so the end hook fires at the
+                    # next step boundary (cycle t1), like the reference
+                    state.pc = pc
+                    need_scan = True
+                    break
+                row = rows[pc]
+
+                # next ready cycle of w (>= t1 by construction).  The
+                # watermark check subsumes the scoreboard walk: every
+                # outstanding completion is <= pmax
+                nr = t1
+                if pmax > t1:
+                    for rid in row[11]:
+                        c = pending.get(rid, 0)
+                        if c > nr:
+                            nr = c
+                if nr >= horizon:
+                    # another warp ties or beats w at its next slot: the
+                    # round-robin rule hands the SM over — repick
+                    cr[k] = nr
+                    state.pc = pc
+                    break
+                if tracer is not None and nr > t1:
+                    tracer.emit(t1, stall_kind, SM_WIDE, dur=nr - t1)
+                t = nr
+
+            # spill any half-tracked segment before control can leave
+            if seg_blk is not None:
+                queue.append((rt, seg_blk, seg_start, seg_caps))
+                seg_blk = None
+                if len(queue) >= _FLUSH_CAP:
+                    self.flush()
+            if ni:
+                stats.issued += ni
+                ibm[mode_key] = ibm.get(mode_key, 0) + ni
+            sm.cycle = last_t1
+            stats.cycles = last_t1
+            w.pending_max = pmax
+            if need_scan:
+                continue
+            if pc < pn or state.pc != pc:
+                state.pc = pc
+            if return_once or (db is not None and dyn >= db):
+                return True
+            if last_t1 >= hard_stop:
+                return True
+            # horizon break: candidates are still valid, repick directly

@@ -21,6 +21,8 @@ from typing import Callable
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..faults.errors import SimulationHangError
 from ..isa.instruction import Kernel
 from ..obs import PhaseBreakdown, Tracer, build_breakdowns, make_tracer
@@ -86,9 +88,21 @@ def build_launch(
     from ..ctxback.context import lds_share_bytes
 
     share = lds_share_bytes(kernel)
+    count = spec.warp_count
     warps = []
-    for index in range(spec.warp_count):
+    backing_v = backing_e = None
+    for index in range(count):
         state = _make_warp_state(kernel, config)
+        if count > 1:
+            # co-locate the launch's register files in one (warps, vregs,
+            # lanes) array so the fast core can batch lockstep VALU work
+            # across warps; must happen before any register is written
+            if backing_v is None:
+                backing_v = np.zeros(
+                    (count, state.num_vregs, state.warp_size), dtype=np.uint32
+                )
+                backing_e = np.ones((count, state.warp_size), dtype=bool)
+            state.adopt_shared(backing_v[index], backing_e[index], index)
         spec.setup_warp(state, index)
         warp = SimWarp(
             warp_id=warp_id_base + index,
@@ -265,9 +279,24 @@ def run_preemption_experiment(
 
     resumed = False
     resume_at: int | None = None
+    # the fast core batches many issues per call; fault injection needs the
+    # per-step reference path (the injector hooks every single issue)
+    use_fast = sm.core == "fast" and injector is None
     while True:
         controller.poll()
-        progressed = sm.step()
+        if use_fast:
+            # arm the dyn-break so the batch returns exactly when a target
+            # warp reaches the signal's dynamic instruction — the next
+            # poll() then delivers the signal at the reference boundary
+            dyn_break = signal_dyn if controller.armed else None
+            for warp in target_warps:
+                warp.dyn_break = dyn_break
+            progressed = sm.advance(
+                stop_cycle=resume_at if not resumed else None,
+                limit=config.max_cycles,
+            )
+        else:
+            progressed = sm.step()
         if not resumed and controller.all_evicted():
             if resume_at is None:
                 done_cycles = [

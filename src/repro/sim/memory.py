@@ -58,6 +58,32 @@ class DeviceMemory:
             out[mask] = self._words[selected]
         return out
 
+    def gather_into(self, word_addrs: np.ndarray, out: np.ndarray) -> None:
+        """Full-warp gather of 4-byte words straight into *out* (uint32).
+
+        The fast core's bound form of :meth:`gather` for a full EXEC mask:
+        *word_addrs* are word (not byte) indices, unsigned, so the masked
+        select, the zero-fill and the sign checks all drop out.  Bounds are
+        enforced by ``take(mode="raise")``; identical results to
+        ``gather`` when every lane is active.
+        """
+        try:
+            self._words.take(word_addrs, out=out)
+        except IndexError:
+            raise ValueError("gather outside device memory") from None
+
+    def scatter_full(self, word_addrs: np.ndarray, values) -> None:
+        """Full-warp scatter of 4-byte words (bound form of :meth:`scatter`
+        for a full EXEC mask; *word_addrs* are unsigned word indices).
+
+        NumPy validates the whole index array before writing any element,
+        so a failed scatter leaves memory untouched — the same observable
+        state as the reference path's up-front bounds check."""
+        try:
+            self._words[word_addrs] = values
+        except IndexError:
+            raise ValueError("scatter outside device memory") from None
+
     def scatter(
         self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
     ) -> None:

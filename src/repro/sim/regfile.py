@@ -32,6 +32,17 @@ class WarpState:
         self.vregs = np.zeros((self.num_vregs, self.warp_size), dtype=np.uint32)
         self.sregs = np.zeros(self.num_sregs, dtype=np.uint32)
         self.exec_mask = np.ones(self.warp_size, dtype=bool)
+        #: fast-core hint: all lanes enabled, so masked vector writes can
+        #: use a whole-row assignment (identical values either way).
+        #: Maintained by every exec-mask writer on this class; code that
+        #: pokes ``exec_mask`` directly must not rely on it (only the fast
+        #: core reads it, and only via the maintained paths).
+        self.exec_all = True
+        #: lockstep-batch backing (set by :meth:`adopt_shared`): slot index
+        #: in the shared (warps, num_vregs, lanes) register-file array
+        self.backing_slot = -1
+        self.backing_vregs = None
+        self.backing_exec = None
 
     # -- scalar-context reads/writes (sregs + specials) -----------------------
 
@@ -66,6 +77,28 @@ class WarpState:
     def _exec_from_int(self, value: int) -> None:
         for lane in range(self.warp_size):
             self.exec_mask[lane] = bool((value >> lane) & 1)
+        self.exec_all = value & ((1 << self.warp_size) - 1) == (
+            1 << self.warp_size
+        ) - 1
+
+    # -- lockstep-batch backing (fast core) -----------------------------------
+
+    def adopt_shared(
+        self, vregs_view: np.ndarray, exec_view: np.ndarray, slot: int
+    ) -> None:
+        """Rebind this warp's registers to rows of a shared backing array.
+
+        The fast core batches VALU work across warps by operating on
+        contiguous (warps, num_vregs, lanes) slices; adopting must happen
+        before any state is written (the freshly-allocated private arrays
+        are discarded, not copied).
+        """
+        exec_view[:] = self.exec_mask
+        self.vregs = vregs_view
+        self.exec_mask = exec_view
+        self.backing_slot = slot
+        self.backing_vregs = vregs_view.base if vregs_view.base is not None else None
+        self.backing_exec = exec_view.base if exec_view.base is not None else None
 
     # -- snapshots (used by CKPT and by the functional tests) -----------------
 
@@ -83,6 +116,7 @@ class WarpState:
         self.vregs[...] = vregs
         self.sregs[...] = sregs
         self.exec_mask[...] = exec_mask
+        self.exec_all = bool(exec_mask.all())
         self.scc = scc
         self.pc = pc
 
@@ -91,6 +125,7 @@ class WarpState:
         self.vregs.fill(0)
         self.sregs.fill(0)
         self.exec_mask.fill(True)
+        self.exec_all = True
         self.scc = 0
         self.pc = 0
 
@@ -122,6 +157,15 @@ class LDSBlock:
             return
         words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask]
         self.words[words] = values.astype(np.uint64)[mask] & np.uint64(0xFFFFFFFF)
+
+    def gather_into(self, word_addrs: np.ndarray, out: np.ndarray) -> None:
+        """Full-warp gather (fast-core bound form of :meth:`gather` for a
+        full EXEC mask; *word_addrs* are unsigned word indices)."""
+        self.words.take(word_addrs, out=out)
+
+    def scatter_full(self, word_addrs: np.ndarray, values) -> None:
+        """Full-warp scatter (bound form of :meth:`scatter`)."""
+        self.words[word_addrs] = values
 
     def snapshot(self) -> np.ndarray:
         return self.words.copy()

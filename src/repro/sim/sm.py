@@ -91,6 +91,16 @@ class SM:
         #: fault injector (:class:`repro.faults.injector.FaultInjector`);
         #: ``None`` — the default — costs one branch per issue
         self.faults = None
+        #: execution core for :meth:`advance`/:meth:`run` ("fast" or
+        #: "reference"); :meth:`step` is always the reference interpreter
+        self.core = config.resolved_core
+        #: lazily-created :class:`repro.sim.fastcore.FastCore`
+        self._fast = None
+        # reused scheduler-scan buffers (step() runs once per issue; fresh
+        # lists per step dominated the reference core's scan cost)
+        self._cand_w: list[SimWarp] = []
+        self._cand_r: list[int] = []
+        self._ready_buf: list[SimWarp] = []
 
     # -- setup ------------------------------------------------------------------
 
@@ -160,8 +170,20 @@ class SM:
         return True
 
     def step(self) -> bool:
-        """Advance to the next issue; returns False when nothing can run."""
-        candidates: list[tuple[int, SimWarp]] = []
+        """Advance to the next issue; returns False when nothing can run.
+
+        Always the reference single-issue interpreter — the batching fast
+        core lives behind :meth:`advance`.  Mixing the two is safe: any
+        vector work the fast core still has deferred is materialized here
+        first.
+        """
+        fast = self._fast
+        if fast is not None and fast.queue:
+            fast.flush()
+        cand_w = self._cand_w
+        cand_r = self._cand_r
+        cand_w.clear()
+        cand_r.clear()
         dropped = False
         running = WarpMode.RUNNING
         preempt = WarpMode.PREEMPT_ROUTINE
@@ -175,13 +197,14 @@ class SM:
                 if not self._scan_slow(warp):
                     dropped = dropped or not warp.issuable
                     continue
-            candidates.append((warp.ready_cycle(), warp))
+            cand_w.append(warp)
+            cand_r.append(warp.ready_cycle())
         if dropped:
             self.refresh_issuable()
-        if not candidates:
+        if not cand_w:
             return False
 
-        earliest = min(ready for ready, _ in candidates)
+        earliest = min(cand_r)
         tracer = self.tracer
         if tracer is not None and earliest > self.cycle:
             tracer.emit(
@@ -189,7 +212,12 @@ class SM:
                 dur=earliest - self.cycle,
             )
         self.cycle = max(self.cycle, earliest)
-        ready_now = [w for ready, w in candidates if ready <= self.cycle]
+        ready_now = self._ready_buf
+        ready_now.clear()
+        cycle = self.cycle
+        for ready, warp in zip(cand_r, cand_w):
+            if ready <= cycle:
+                ready_now.append(warp)
         # round-robin among warps ready this cycle
         ready_now.sort(key=lambda w: (w.warp_id < self._rr, w.warp_id))
         warp = ready_now[0]
@@ -244,7 +272,11 @@ class SM:
             self.stats.issued_by_mode.get(mode_key, 0) + 1
         )
 
-        completion = cycle + tables.latencies(*self._latency_key)[pc]
+        latencies = warp._lat_list
+        if warp._lat_tables is not tables:
+            latencies = warp._lat_list = tables.latencies(*self._latency_key)
+            warp._lat_tables = tables
+        completion = cycle + latencies[pc]
         if traffic is not None and traffic.nbytes:
             completion = self.pipeline.request(
                 cycle,
@@ -258,6 +290,8 @@ class SM:
         pending = warp.pending
         for rid in tables.def_ids[pc]:
             pending[rid] = completion
+        if completion > warp.pending_max:
+            warp.pending_max = completion
         if len(pending) > self.config.scoreboard_prune_threshold:
             warp.prune_pending(cycle)
         faults = self.faults
@@ -281,6 +315,27 @@ class SM:
             for warp in self.warps
         ]
 
+    def advance(
+        self, stop_cycle: int | None = None, limit: int | None = None
+    ) -> bool:
+        """Advance by one batch of issues (fast core) or one issue
+        (reference core); returns False when nothing can run.
+
+        Semantically a loop over :meth:`step` that hands control back at
+        every externally observable boundary — scheduler hooks, a RUNNING
+        warp reaching its ``dyn_break``, *stop_cycle*, the *limit*
+        watchdog.  With ``core="reference"`` it degrades to exactly one
+        :meth:`step`.
+        """
+        if self.core != "fast":
+            return self.step()
+        fast = self._fast
+        if fast is None:
+            from .fastcore import FastCore
+
+            fast = self._fast = FastCore(self)
+        return fast.advance(stop_cycle=stop_cycle, limit=limit)
+
     def run(self, max_cycles: int | None = None) -> int:
         """Run until no warp can issue; returns the final cycle.
 
@@ -289,7 +344,7 @@ class SM:
         per-warp diagnostic dump instead of spinning forever.
         """
         limit = max_cycles or self.config.max_cycles
-        while self.step():
+        while self.advance(limit=limit):
             if self.cycle > limit:
                 raise SimulationHangError(
                     f"simulation exceeded {limit} cycles (livelock?)",

@@ -117,10 +117,14 @@ class ProgramTables:
         "kind",
         "aux",
         "is_ckpt_probe",
+        "mnemonics",
+        "writes_exec",
         "_latency_cache",
     )
 
     def __init__(self, program: Program) -> None:
+        from ..isa.registers import EXEC
+
         self.program = program
         instructions = program.instructions
         self.n = len(instructions)
@@ -130,7 +134,14 @@ class ProgramTables:
         self.kind: list[int] = []
         self.aux: list = []
         self.is_ckpt_probe: list[bool] = []
+        #: per-pc mnemonic strings (tracer ``ISSUE`` events, traffic kinds)
+        self.mnemonics: list[str] = []
+        #: per-pc "writes the EXEC mask" flags — the fast core must drain
+        #: deferred vector work before an EXEC write lands (the mask is read
+        #: at materialization time, not at issue time)
+        self.writes_exec: list[bool] = []
         self._latency_cache: dict[tuple[int, int, int], list[int]] = {}
+        exec_id = reg_id(EXEC)
         for instruction in instructions:
             deps: list[int] = []
             for reg in instruction.uses():
@@ -151,6 +162,8 @@ class ProgramTables:
             self.kind.append(kind)
             self.aux.append(aux)
             self.is_ckpt_probe.append(instruction.mnemonic == "ckpt_probe")
+            self.mnemonics.append(instruction.mnemonic)
+            self.writes_exec.append(exec_id in defs)
 
     def latencies(self, valu: int, lds: int, salu: int) -> list[int]:
         """Per-pc result latency under one timing configuration."""

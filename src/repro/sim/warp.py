@@ -53,8 +53,16 @@ class SimWarp:
     #: interned register id -> cycle at which its pending write completes
     #: (see :func:`repro.sim.tables.reg_id`)
     pending: dict[int, int] = field(default_factory=dict)
+    #: watermark over ``pending`` completions (may be stale-high, never
+    #: stale-low): when it trails the current cycle no operand can stall,
+    #: so the fast core skips the per-issue scoreboard walk entirely
+    pending_max: int = 0
     next_free: int = 0  # earliest cycle the warp may issue again
     dyn_count: int = 0  # dynamic instructions issued from the main program
+    #: fast core: return to the caller once the RUNNING-mode ``dyn_count``
+    #: reaches this value (the experiment loop arms it with the pending
+    #: signal's dynamic-instruction target so polling stays step-accurate)
+    dyn_break: int | None = None
 
     # preemption bookkeeping
     preempt_flag: bool = False
@@ -86,6 +94,11 @@ class SimWarp:
     _tables: ProgramTables | None = field(default=None, repr=False)
     #: executor bound to (SM memory, this warp's LDS); cached by the SM
     _executor: object | None = field(default=None, repr=False)
+    #: fast-core runtime handle (compiled plan + closures), cached here
+    _fast_rt: object | None = field(default=None, repr=False)
+    #: per-config latency list of ``_lat_tables`` (cached by ``SM._issue``)
+    _lat_list: list[int] | None = field(default=None, repr=False)
+    _lat_tables: ProgramTables | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.program is None:
@@ -124,6 +137,8 @@ class SimWarp:
 
     def note_write(self, reg: Reg, completion: int) -> None:
         self.pending[reg_id(reg)] = completion
+        if completion > self.pending_max:
+            self.pending_max = completion
 
     def prune_pending(self, cycle: int) -> None:
         """Drop completed scoreboard entries (keeps the dict small)."""

@@ -1,0 +1,262 @@
+"""Differential twins: the fast core must be bit-identical to the reference.
+
+``GPUConfig.core`` selects between the batched/compiled fast core
+(:mod:`repro.sim.fastcore`) and the single-step reference interpreter
+(:mod:`repro.sim.sm`).  Every observable — cycle counts, issue counts,
+per-pc histograms, device memory, ``WarpMeasurement`` fields, figure
+rows, trace event streams, Chrome exports, chaos-oracle verdicts — must
+match exactly; no tolerance, no normalization.
+
+The matrix covers every kernel × every mechanism with a seeded-random
+preemption point, and rotates the trace and verify dimensions across
+the matrix so each is exercised against multiple kernels without
+running the full 12 × 6 × 2 × 2 cross product on every CI run.  Fault
+injection is twinned separately through the chaos oracle (the fast core
+falls back to reference stepping while faults are armed — the verdicts
+must still be identical).
+
+Also here: the compiled-block cache-key meta-test (the PR 1
+warp-size-aliasing regression class) — flipping *any* ``GPUConfig``
+field must produce a different ``blocks`` cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.isa.registers import RegisterFileSpec
+from repro.kernels import SUITE
+from repro.mechanisms import ALL_MECHANISMS, make_mechanism
+from repro.sim import GPUConfig, run_preemption_experiment
+from repro.sim.gpu import run_reference
+
+CFG_FAST = GPUConfig.radeon_vii()
+CFG_REF = dataclasses.replace(CFG_FAST, core="reference")
+
+
+def _measurement_key(m):
+    return (
+        m.warp_id, m.signal_pc, m.signal_cycle, m.latency_cycles,
+        m.resume_cycles, m.context_bytes, m.flashback_pos, m.degraded,
+        m.recovery_cycles,
+    )
+
+
+def _events_key(trace):
+    return [
+        (e.cycle, e.kind, e.warp_id, tuple(sorted(e.data.items())))
+        for e in trace.sorted_events()
+    ]
+
+
+# -- bare kernel runs ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", sorted(SUITE))
+def test_kernel_run_twin(key):
+    fast = run_reference(SUITE[key].launch().spec(), CFG_FAST)
+    ref = run_reference(SUITE[key].launch().spec(), CFG_REF)
+    assert fast.cycles == ref.cycles
+    assert fast.sm.stats.issued == ref.sm.stats.issued
+    assert fast.sm.stats.pc_counts == ref.sm.stats.pc_counts
+    assert fast.memory == ref.memory
+
+
+# -- every kernel x every mechanism, random preemption point ---------------------
+
+_MATRIX = [
+    (key, mechanism)
+    for key in sorted(SUITE)
+    for mechanism in ALL_MECHANISMS
+]
+
+
+@pytest.mark.parametrize("key,mechanism", _MATRIX)
+def test_preempt_twin(key, mechanism):
+    index = _MATRIX.index((key, mechanism))
+    signal_dyn = random.Random(1000 + index).randrange(20, 400)
+    # rotate the extra dimensions across the matrix: every third combo
+    # runs under the issue-level tracer, every fourth also memory-verifies
+    trace = index % 3 == 0
+    verify = index % 4 == 0
+    iterations = max(3, SUITE[key].default_iterations // 3)
+
+    results = {}
+    for label, base in (("fast", CFG_FAST), ("ref", CFG_REF)):
+        config = dataclasses.replace(
+            base, trace_events=trace, trace_detail="issue"
+        )
+        launch = SUITE[key].launch(iterations=iterations)
+        prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+        results[label] = run_preemption_experiment(
+            launch.spec(), prepared, config,
+            signal_dyn=signal_dyn, resume_gap=300, verify=verify,
+        )
+
+    fast, ref = results["fast"], results["ref"]
+    assert fast.total_cycles == ref.total_cycles
+    assert [_measurement_key(m) for m in fast.measurements] == [
+        _measurement_key(m) for m in ref.measurements
+    ]
+    assert fast.memory == ref.memory
+    if verify:
+        assert fast.verified and ref.verified
+    if trace:
+        assert _events_key(fast.trace) == _events_key(ref.trace)
+
+
+# -- traces: event stream and Chrome export --------------------------------------
+
+
+def test_trace_export_twin():
+    from repro.obs import to_chrome, to_jsonl
+
+    exports = {}
+    for base in (CFG_FAST, CFG_REF):
+        config = dataclasses.replace(
+            base, trace_events=True, trace_detail="issue"
+        )
+        launch = SUITE["mm"].launch()
+        prepared = make_mechanism("ctxback").prepare(launch.kernel, config)
+        result = run_preemption_experiment(
+            launch.spec(), prepared, config,
+            signal_dyn=101, resume_gap=500, verify=True,
+        )
+        exports[base.core] = (
+            to_jsonl(result.trace),
+            json.dumps(to_chrome(result.trace, config, result), sort_keys=True),
+            result.breakdowns,
+        )
+    assert exports["fast"] == exports["reference"]
+
+
+# -- figures ---------------------------------------------------------------------
+
+
+def test_figure_rows_twin():
+    """Figure data built through the experiment engine matches per-core."""
+    from repro.analysis import preemption_timing
+
+    rows = {}
+    for base in (CFG_FAST, CFG_REF):
+        config = dataclasses.replace(
+            GPUConfig.radeon_vii_contended(), core=base.core
+        )
+        fig8, fig9 = preemption_timing(
+            config=config, keys=["mm"], samples=1, jobs=1
+        )
+        rows[base.core] = (fig8, fig9)
+    assert rows["fast"] == rows["reference"]
+
+
+# -- faults: chaos-oracle verdicts -----------------------------------------------
+
+
+@pytest.mark.parametrize("scenario_name", [
+    "ctx-bitflip", "ctx-burst", "signal-drop", "signal-dup",
+    "routine-abort", "stall-burst", "compound",
+])
+def test_chaos_verdict_twin(scenario_name):
+    from repro.faults.chaos import run_chaos_scenario
+
+    verdicts = {}
+    for base in (CFG_FAST, CFG_REF):
+        config = dataclasses.replace(GPUConfig.small(4), core=base.core)
+        verdicts[base.core] = run_chaos_scenario(
+            "mm", "ctxback", scenario_name, seed=7, config=config,
+            resume_gap=300,
+        )
+    fast, ref = verdicts["fast"], verdicts["reference"]
+    assert fast == ref
+    assert fast["ok"], fast
+
+
+# -- compiled-block cache keys ---------------------------------------------------
+
+#: a distinct, still-valid replacement value for every GPUConfig field;
+#: the meta-test fails when GPUConfig grows a field without a variant here
+_FIELD_VARIANTS = {
+    "rf_spec": RegisterFileSpec(warp_size=32),
+    "clock_ghz": 2.5,
+    "issue_width": 2,
+    "valu_latency": 5,
+    "salu_latency": 2,
+    "lds_latency": 25,
+    "smem_latency": 101,
+    "mem_latency": 301,
+    "mem_bytes_per_cycle": 16.0,
+    "ctx_bytes_per_cycle": 0.186,
+    "ctx_load_speedup": 2.1,
+    "ctx_request_overhead": 17.0,
+    "ckpt_interval": 8,
+    "scoreboard_prune_threshold": 65,
+    "max_cycles": 30_000_001,
+    "trace_events": True,
+    "trace_detail": "issue",
+    "core": "reference",
+}
+
+
+def test_block_cache_key_covers_every_config_field():
+    """Flipping any GPUConfig field must miss in the ``blocks`` cache.
+
+    Regression class of the PR 1 warp-size aliasing bug: a cache key
+    that omits a semantic field silently serves one configuration's
+    compiled blocks to another.  The key is built from the *full*
+    canonical config, so every field — including ones the block compiler
+    does not read today — separates; a field added to GPUConfig without
+    a variant here fails the coverage assertion below.
+    """
+    from repro.analysis.cache import get_cache
+    from repro.sim.blocks import ir_cache_parts
+
+    config_fields = {f.name for f in dataclasses.fields(GPUConfig)}
+    assert config_fields == set(_FIELD_VARIANTS), (
+        "GPUConfig changed: update _FIELD_VARIANTS with a distinct value "
+        f"for {sorted(config_fields ^ set(_FIELD_VARIANTS))}"
+    )
+
+    cache = get_cache()
+    program = SUITE["mm"].launch().kernel.program
+    base = GPUConfig.radeon_vii()
+    base_key = cache.key_for("blocks", ir_cache_parts(program, base))
+
+    # determinism: the same config must rebuild the same key
+    assert base_key == cache.key_for("blocks", ir_cache_parts(program, base))
+
+    for name, variant in _FIELD_VARIANTS.items():
+        flipped = dataclasses.replace(base, **{name: variant})
+        assert getattr(flipped, name) != getattr(base, name), name
+        flipped_key = cache.key_for("blocks", ir_cache_parts(program, flipped))
+        assert flipped_key != base_key, (
+            f"flipping GPUConfig.{name} did not change the blocks cache key"
+        )
+
+
+def test_block_cache_misses_per_config(tmp_path):
+    """End-to-end: a flipped config misses and recompiles; a repeat hits."""
+    from repro.analysis.cache import ArtifactCache
+    from repro.sim.blocks import build_ir, ir_cache_parts
+
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    program = SUITE["mm"].launch().kernel.program
+    base = GPUConfig.radeon_vii()
+
+    def lookup(config):
+        return cache.get_or_create(
+            "blocks", ir_cache_parts(program, config),
+            lambda: build_ir(program, config),
+        )
+
+    lookup(base)
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+    lookup(base)
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+    lookup(dataclasses.replace(base, rf_spec=RegisterFileSpec(warp_size=32)))
+    assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+    lookup(dataclasses.replace(base, mem_latency=299))
+    assert (cache.stats.hits, cache.stats.misses) == (1, 3)

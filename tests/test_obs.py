@@ -229,13 +229,20 @@ class TestEngineIntegration:
         from repro.analysis.metrics import dynamic_pc_weights
 
         launch = SUITE["va"].launch(warp_size=8, iterations=7)
+        # warm the fast core's compiled-block artifact so the delta below
+        # isolates the weights entry (the reference run inside the factory
+        # compiles the kernel's basic blocks through the same cache)
+        from repro.sim.blocks import plan_for
+
+        plan_for(launch.spec().kernel.program, SMALL, use_cache=True)
         stats = get_cache().stats
         before = stats.snapshot()
         first = dynamic_pc_weights(launch, SMALL)
         second = dynamic_pc_weights(launch, SMALL)
         delta = stats.delta(before)
         assert first == second
-        assert delta.misses == 1 and delta.hits == 1
+        assert delta.misses == 1 and delta.stores == 1
+        assert delta.hits >= 1
 
 
 class TestTraceCli:
