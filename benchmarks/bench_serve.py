@@ -1,0 +1,92 @@
+"""Serving-layer benchmark: the full six-mechanism fleet under load.
+
+Runs the :mod:`repro.serve` pipeline — calibration through the experiment
+engine, seeded trace generation, per-GPU preemptive scheduling, report
+aggregation — at two load levels and attaches the headline numbers
+(p99 per mechanism, SLO-violation rates, overhead fractions, requests/s
+of the scheduler itself) to ``BENCH_engine.json``.
+
+Shape assertions mirror the paper's serving argument: CTXBack's cheap
+context switches must beat BASELINE on p99 and SLO violations at every
+load level, and overhead fractions must order the same way the calibrated
+costs do.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import ExperimentEngine
+from repro.serve import SERVE_MECHANISMS, TraceSpec, run_serve
+
+REQUESTS = 20_000
+LOADS = (0.5, 0.8)
+GPUS = 4
+
+
+def _cell(report: dict, mechanism: str, load: float) -> dict:
+    for cell in report["results"]:
+        if cell["mechanism"] == mechanism and cell["load"] == load:
+            return cell
+    raise KeyError((mechanism, load))
+
+
+def test_serve_six_mechanisms(record_result):
+    engine = ExperimentEngine()
+    started = time.perf_counter()
+    report = run_serve(
+        SERVE_MECHANISMS,
+        trace=TraceSpec(kind="bursty", seed=0),
+        loads=LOADS,
+        requests=REQUESTS,
+        gpus=GPUS,
+        iterations=40,
+        engine=engine,
+    )
+    wall = time.perf_counter() - started
+
+    total_requests = REQUESTS * len(SERVE_MECHANISMS) * len(LOADS)
+    payload = {
+        "requests_total": total_requests,
+        "scheduler_rps": round(total_requests / wall),
+        "costs": report["costs"],
+        "cells": {
+            f"{mechanism}@{load}": {
+                "p99_us": _cell(report, mechanism, load)["latency_us"]["p99"],
+                "slo_violation_rate": _cell(report, mechanism, load)[
+                    "slo_violation_rate"
+                ],
+                "overhead_frac": _cell(report, mechanism, load)["overhead_frac"],
+            }
+            for mechanism in SERVE_MECHANISMS
+            for load in LOADS
+        },
+    }
+    record_result(serve=payload)
+
+    print()
+    print(
+        f"served {total_requests} requests in {wall:.1f}s "
+        f"({payload['scheduler_rps']:,} req/s through the scheduler)"
+    )
+    for load in LOADS:
+        for mechanism in SERVE_MECHANISMS:
+            cell = _cell(report, mechanism, load)
+            print(
+                f"  load {load:.1f} {mechanism:10s} "
+                f"p99 {cell['latency_us']['p99']:>10.1f} µs  "
+                f"SLO viol {cell['slo_violation_rate'] * 100:>6.2f}%  "
+                f"overhead {cell['overhead_frac'] * 100:>6.2f}%"
+            )
+
+    # the paper's serving argument, as shape assertions
+    for load in LOADS:
+        baseline = _cell(report, "baseline", load)
+        ctxback = _cell(report, "ctxback", load)
+        assert (
+            ctxback["latency_us"]["p99"] <= baseline["latency_us"]["p99"]
+        ), (load, ctxback, baseline)
+        assert (
+            ctxback["slo_violation_rate"] <= baseline["slo_violation_rate"]
+        ), (load, ctxback, baseline)
+        assert ctxback["overhead_frac"] < baseline["overhead_frac"]

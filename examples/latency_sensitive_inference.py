@@ -40,9 +40,14 @@ def main() -> None:
         result = run_preemption_experiment(
             spec, prepared, config, signal_dyn=signal, resume_gap=3000
         )
+        resume = (
+            "n/a".rjust(12)
+            if result.mean_resume is None
+            else f"{config.cycles_to_us(result.mean_resume):12.1f}"
+        )
         print(
             f"{name:10s} {config.cycles_to_us(result.mean_latency):10.1f} "
-            f"{config.cycles_to_us(result.mean_resume):12.1f} "
+            f"{resume} "
             f"{result.mean_context_bytes / 1024:7.1f}KB "
             f"{str(result.verified):>9s}"
         )

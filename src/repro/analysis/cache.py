@@ -58,7 +58,9 @@ except ImportError:  # pragma: no cover - non-posix
 #: bump when the pickled artifact representation or key layout changes;
 #: part of every content hash, so old entries are simply never hit again.
 #: 2: integrity footer (payload sha256) appended to every entry.
-SCHEMA_VERSION = 2
+#: 3: resume delivered exactly at resume_at (experiment timings changed)
+#:    and experiment profiles carry ``resume: None`` for absent data.
+SCHEMA_VERSION = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLED = "REPRO_CACHE"

@@ -421,6 +421,40 @@ class ExperimentUnit:
 
 
 @dataclass(frozen=True)
+class ServeUnit:
+    """One GPU's serving shard under one mechanism at one load level.
+
+    The costs are pre-calibrated (µs) so workers never re-run cycle-level
+    experiments; the shard itself travels as a tuple of
+    ``(arrival_us, tenant_index)`` pairs — hashable, picklable, and
+    directly canonicalizable into the ``serve`` cache key.  ``load`` and
+    ``gpu`` ride along for reporting; the cache identity is the shard
+    content + tenant mix + costs (see
+    :func:`repro.serve.fleet.serve_shard_profile`).
+    """
+
+    mechanism: str
+    load: float
+    gpu: int
+    requests: tuple  # ((arrival_us, tenant_index), ...)
+    tenants: tuple  # (repro.serve.Tenant, ...)
+    preempt_us: float
+    resume_us: float
+
+    def run(self) -> dict:
+        # lazy: repro.serve.fleet imports this module at its top level
+        from ..serve.fleet import serve_shard_profile
+        from ..serve.scheduler import MechanismCosts
+
+        costs = MechanismCosts(
+            mechanism=self.mechanism,
+            preempt_us=self.preempt_us,
+            resume_us=self.resume_us,
+        )
+        return serve_shard_profile(self.requests, self.tenants, costs, self.gpu)
+
+
+@dataclass(frozen=True)
 class OverheadUnit:
     """Instrumentation overhead fraction of one (kernel, mechanism)."""
 

@@ -137,7 +137,11 @@ def table1_experiment(
                 "scalar_kb": spec.allocated_sgprs(kernel.sgprs_used) * 4 / 1024,
                 "shared_kb": kernel.lds_bytes / 1024,
                 "preempt_us": None if failed else config.cycles_to_us(profile["latency"]),
-                "resume_us": None if failed else config.cycles_to_us(profile["resume"]),
+                "resume_us": (
+                    None
+                    if failed or profile["resume"] is None
+                    else config.cycles_to_us(profile["resume"])
+                ),
                 "paper": bench.table1,
             }
         )
@@ -244,7 +248,10 @@ def preemption_timing(
                         f"{key}/{mechanism}: functional verification failed"
                     )
                 lats.append(profile["latency"])
-                ress.append(profile["resume"])
+                if profile["resume"] is not None:
+                    # absent resume data (not a 0-cycle resume) must not
+                    # fold into the mean as a phantom zero
+                    ress.append(profile["resume"])
             lat[mechanism] = statistics.mean(lats) if lats else None
             res[mechanism] = statistics.mean(ress) if ress else None
         lat_row = KernelRow(key, bench.table1.abbrev, lat["baseline"])

@@ -153,7 +153,13 @@ def cmd_preempt(args) -> int:
     )
     print(f"kernel {args.kernel}, mechanism {args.mechanism}, signal dyn {signal}")
     print(f"  preemption latency: {config.cycles_to_us(result.mean_latency):9.1f} µs")
-    print(f"  resuming time:      {config.cycles_to_us(result.mean_resume):9.1f} µs")
+    if result.mean_resume is None:
+        print("  resuming time:            n/a (no resume data)")
+    else:
+        print(
+            f"  resuming time:      "
+            f"{config.cycles_to_us(result.mean_resume):9.1f} µs"
+        )
     print(f"  context per warp:   {result.mean_context_bytes / 1024:9.2f} KB")
     if not args.no_verify:
         print(f"  memory verified:    {result.verified}")
@@ -332,6 +338,72 @@ def cmd_chaos(args) -> int:
             file=sys.stderr,
         )
     return 1 if failed_oracle or engine.report.failures else 0
+
+
+def cmd_serve(args) -> int:
+    from .analysis import EngineOptions, ExperimentEngine
+    from .serve import (
+        SERVE_MECHANISMS,
+        TraceSpec,
+        render_serve_json,
+        render_serve_text,
+        run_serve,
+    )
+    from .sim import GPUConfig
+
+    mechanisms = tuple(
+        args.mechanisms.split(",") if args.mechanisms else SERVE_MECHANISMS
+    )
+    try:
+        loads = tuple(float(part) for part in args.load.split(","))
+    except ValueError:
+        print(f"bad --load value: {args.load!r}", file=sys.stderr)
+        return 2
+    spec = TraceSpec(
+        kind=args.trace,
+        seed=args.seed,
+        burst_factor=args.burst_factor,
+        burst_fraction=args.burst_fraction,
+    )
+    config = GPUConfig.small(4) if args.small else GPUConfig.radeon_vii()
+    options = EngineOptions.from_env(
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
+    )
+    engine = ExperimentEngine(args.jobs, options=options)
+    report = run_serve(
+        mechanisms,
+        trace=spec,
+        loads=loads,
+        requests=args.requests,
+        gpus=args.gpus,
+        key=args.batch,
+        config=config,
+        iterations=args.iterations,
+        samples=args.samples,
+        engine=engine,
+    )
+    # write the file before stdout: a closed pipe must not lose the report
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(render_serve_json(report) + "\n")
+    rendered = (
+        render_serve_json(report)
+        if args.format == "json"
+        else render_serve_text(report)
+    )
+    print(rendered)
+    if args.timing:
+        engine_report = engine.report
+        print(
+            f"[engine] jobs={engine_report.jobs} units={engine_report.units} "
+            f"waves={engine_report.waves} wall={engine_report.wall_s:.2f}s "
+            f"cache_hit_rate={engine_report.cache.get('hit_rate', 0.0):.0%} "
+            f"failures={engine_report.failures}",
+            file=sys.stderr,
+        )
+    return 1 if engine.report.failures else 0
 
 
 def cmd_cache(args) -> int:
@@ -547,6 +619,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print engine wall time, cache stats and folded "
                             "recovery counters to stderr")
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a multi-tenant request trace over the simulated fleet, "
+             "preempting the batch job via each mechanism's calibrated costs",
+    )
+    serve.add_argument("--trace", default="poisson",
+                       choices=["poisson", "bursty"],
+                       help="arrival process (default: poisson)")
+    serve.add_argument("--load", default="0.8",
+                       help="comma-separated load levels as a fraction of "
+                            "fleet capacity (default: 0.8)")
+    serve.add_argument("--requests", type=int, default=100_000,
+                       help="requests per (mechanism, load) cell "
+                            "(default: 100000)")
+    serve.add_argument("--gpus", type=int, default=4,
+                       help="GPUs in the fleet (default: 4)")
+    serve.add_argument("--mechanisms", default="",
+                       help="comma-separated mechanism subset "
+                            "(default: the six evaluated mechanisms)")
+    serve.add_argument("--batch", default="dc",
+                       help="batch kernel occupying the fleet (default: dc)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace RNG seed (same seed: same trace)")
+    serve.add_argument("--burst-factor", type=float, default=8.0,
+                       help="bursty only: ON-state rate multiplier "
+                            "(default: 8)")
+    serve.add_argument("--burst-fraction", type=float, default=0.1,
+                       help="bursty only: long-run ON-state time fraction "
+                            "(default: 0.1)")
+    serve.add_argument("--iterations", type=int, default=None,
+                       help="batch-kernel iterations for calibration "
+                            "(default: suite)")
+    serve.add_argument("--samples", type=int, default=2,
+                       help="calibration signal points per mechanism "
+                            "(default: 2)")
+    serve.add_argument("--small", action="store_true",
+                       help="use the small 4-lane configuration (CI smoke)")
+    serve.add_argument("--format", default="text", choices=["text", "json"],
+                       help="stdout reporter (default: text)")
+    serve.add_argument("--output", default=None, metavar="FILE",
+                       help="also write the JSON report to FILE")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the experiment engine "
+                            "(default: $REPRO_JOBS or 1)")
+    serve.add_argument("--unit-timeout", type=float, default=None,
+                       metavar="SECONDS")
+    serve.add_argument("--retries", type=int, default=None)
+    serve.add_argument("--failure-policy", default=None,
+                       choices=["fail-fast", "collect"])
+    serve.add_argument("--timing", action="store_true",
+                       help="print engine wall time and cache stats to stderr")
+    serve.set_defaults(func=cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")
     cache.add_argument("--clear", action="store_true",

@@ -73,6 +73,18 @@ class EventKind(Enum):
     DEGRADE = "degrade"
     #: a recovery action completed (data: action + per-action detail)
     RECOVER = "recover"
+    # -- request-level events (:mod:`repro.serve`; "cycle" carries the
+    # -- serving clock in integer nanoseconds, not simulated GPU cycles)
+    #: a request entered the fleet (data: tenant, gpu)
+    REQ_ARRIVE = "req_arrive"
+    #: a request began service on its GPU (data: tenant, gpu, wait_us)
+    REQ_START = "req_start"
+    #: a request completed (data: tenant, gpu, latency_us)
+    REQ_DONE = "req_done"
+    #: the batch job was evicted to admit requests (data: gpu, cost_us)
+    BATCH_PREEMPT = "batch_preempt"
+    #: the batch job took the GPU back after a drain (data: gpu, cost_us)
+    BATCH_RESUME = "batch_resume"
 
 
 #: pseudo warp id for SM-wide events (scheduler stalls)

@@ -1,0 +1,64 @@
+"""Multi-tenant preemptive serving layer over the simulated GPU fleet.
+
+The paper's motivating scenario (§I) is a GPU cloud: latency-sensitive
+inference requests share hardware with batch jobs, and the preemption
+mechanism decides how much tail latency the sharing costs.  This package
+closes the loop from the cycle-level simulator to that scenario:
+
+- :mod:`~repro.serve.tenants` — traffic classes with priorities and SLOs;
+- :mod:`~repro.serve.arrivals` — seeded Poisson / bursty arrival traces;
+- :mod:`~repro.serve.scheduler` — the per-GPU preemptive request scheduler;
+- :mod:`~repro.serve.fleet` — calibration, asyncio ingestion, fan-out over
+  the experiment engine, and :func:`run_serve`, the whole pipeline;
+- :mod:`~repro.serve.report` — p50/p95/p99, SLO, throughput, overhead
+  aggregation plus text/JSON renderers.
+
+Everything downstream of :class:`~repro.serve.arrivals.TraceSpec` is
+deterministic: the same trace + seed yields a bit-identical report across
+reruns, ``--jobs`` values, and execution cores.
+"""
+
+from .arrivals import TRACE_KINDS, Request, TraceSpec, generate_arrivals
+from .fleet import (
+    DEFAULT_BATCH_KEY,
+    SERVE_MECHANISMS,
+    mechanism_costs,
+    run_serve,
+    serve_shard_profile,
+    shard_arrivals,
+)
+from .report import (
+    PERCENTILES,
+    REPORT_VERSION,
+    nearest_rank,
+    render_serve_json,
+    render_serve_text,
+    summarize_cell,
+)
+from .scheduler import MechanismCosts, ShardResult, simulate_shard
+from .tenants import DEFAULT_TENANTS, Tenant, mean_service_us
+
+__all__ = [
+    "TRACE_KINDS",
+    "Request",
+    "TraceSpec",
+    "generate_arrivals",
+    "DEFAULT_BATCH_KEY",
+    "SERVE_MECHANISMS",
+    "mechanism_costs",
+    "run_serve",
+    "serve_shard_profile",
+    "shard_arrivals",
+    "PERCENTILES",
+    "REPORT_VERSION",
+    "nearest_rank",
+    "render_serve_json",
+    "render_serve_text",
+    "summarize_cell",
+    "MechanismCosts",
+    "ShardResult",
+    "simulate_shard",
+    "DEFAULT_TENANTS",
+    "Tenant",
+    "mean_service_us",
+]

@@ -1,0 +1,110 @@
+"""Seeded arrival traces: Poisson and bursty (two-state MMPP) request flows.
+
+Arrival generation is the only randomness in the serving layer, and it is
+fully determined by :class:`TraceSpec` + the request count: one
+``random.Random(seed)`` stream drives inter-arrival gaps, tenant selection,
+and (for bursty traces) the ON/OFF modulation, so the same spec always
+yields the byte-identical trace — the foundation of the serve report's
+bit-identical-across-``--jobs`` guarantee.
+
+The bursty trace is a Markov-modulated Poisson process with two states:
+an OFF state at a calm rate and an ON state ``burst_factor`` times hotter,
+normalized so the long-run mean rate equals the requested rate.  Burstiness
+changes *when* requests cluster, not how many arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .tenants import Tenant
+
+TRACE_KINDS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Shape of one arrival trace (cache-key friendly: frozen, scalar)."""
+
+    kind: str = "poisson"
+    seed: int = 0
+    #: bursty only: ON-state rate multiplier relative to the OFF state
+    burst_factor: float = 8.0
+    #: bursty only: long-run fraction of time spent in the ON state
+    burst_fraction: float = 0.1
+    #: bursty only: mean dwell time of one ON+OFF cycle (µs)
+    dwell_us: float = 4000.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace kind {self.kind!r} (known: {TRACE_KINDS})"
+            )
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request of the trace (tenant by index into the tenant mix)."""
+
+    arrival_us: float
+    tenant: int
+
+
+def _pick_tenant(rng: random.Random, cumulative: list[float]) -> int:
+    draw = rng.random() * cumulative[-1]
+    for index, edge in enumerate(cumulative):
+        if draw < edge:
+            return index
+    return len(cumulative) - 1
+
+
+def generate_arrivals(
+    spec: TraceSpec,
+    count: int,
+    rate_per_us: float,
+    tenants: tuple[Tenant, ...],
+) -> list[Request]:
+    """Generate *count* requests at long-run mean rate *rate_per_us*."""
+    if rate_per_us <= 0:
+        raise ValueError("rate_per_us must be > 0")
+    rng = random.Random(spec.seed)
+    cumulative: list[float] = []
+    total = 0.0
+    for tenant in tenants:
+        total += tenant.weight
+        cumulative.append(total)
+
+    requests: list[Request] = []
+    clock = 0.0
+    if spec.kind == "poisson":
+        for _ in range(count):
+            clock += rng.expovariate(rate_per_us)
+            requests.append(Request(clock, _pick_tenant(rng, cumulative)))
+        return requests
+
+    # bursty: two-state MMPP.  Solve the OFF rate so the time-weighted mean
+    # equals rate_per_us, then alternate exponentially-dwelled states.
+    on_frac = spec.burst_fraction
+    rate_off = rate_per_us / (on_frac * spec.burst_factor + (1.0 - on_frac))
+    rate_on = rate_off * spec.burst_factor
+    on = False  # start calm; the first burst arrives stochastically
+    state_end = clock + rng.expovariate(1.0 / (spec.dwell_us * (1.0 - on_frac)))
+    while len(requests) < count:
+        rate = rate_on if on else rate_off
+        gap = rng.expovariate(rate)
+        if clock + gap >= state_end:
+            # no arrival before the state flips: advance to the flip and
+            # redraw in the new state (memorylessness makes this exact)
+            clock = state_end
+            on = not on
+            dwell_mean = spec.dwell_us * (on_frac if on else 1.0 - on_frac)
+            state_end = clock + rng.expovariate(1.0 / dwell_mean)
+            continue
+        clock += gap
+        requests.append(Request(clock, _pick_tenant(rng, cumulative)))
+    return requests

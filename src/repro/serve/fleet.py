@@ -1,0 +1,302 @@
+"""Fleet orchestration: calibrate, shard, fan out, aggregate.
+
+The serving pipeline has four stages:
+
+1. **Calibrate** — per mechanism, run real cycle-level preemption
+   experiments on the batch kernel (through the cacheable
+   :class:`~repro.analysis.engine.ExperimentUnit` grid, so repeat serve
+   runs hit the artifact cache instead of the simulator) and convert the
+   measured preempt/resume cycles to µs costs.
+2. **Ingest** — generate the seeded arrival trace and pump it through an
+   asyncio request queue that round-robins requests onto the fleet's GPUs
+   (single-threaded event loop + deterministic dispatch = reproducible
+   shards).
+3. **Serve** — one :class:`~repro.analysis.engine.ServeUnit` per
+   (mechanism, load, GPU) runs the priority scheduler over its shard;
+   the engine fans units over the process pool and merges by submission
+   index, so the merged results are bit-identical across ``--jobs``.
+4. **Aggregate** — fold the shard records into per-mechanism-per-load
+   p50/p95/p99, SLO-violation, throughput, and overhead summaries
+   (:mod:`repro.serve.report`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..analysis.engine import ExperimentEngine, ExperimentUnit, ServeUnit
+from ..sim.config import GPUConfig
+from .arrivals import TraceSpec, generate_arrivals
+from .report import summarize_cell
+from .scheduler import MechanismCosts, simulate_shard
+from .tenants import DEFAULT_TENANTS, Tenant, mean_service_us
+
+#: the six evaluated mechanisms, in the paper's presentation order
+SERVE_MECHANISMS = ("baseline", "live", "ckpt", "csdefer", "ctxback", "combined")
+
+#: default batch kernel occupying the fleet (doitgen: long-running,
+#: register-heavy — a credible batch tenant)
+DEFAULT_BATCH_KEY = "dc"
+
+
+# -- stage 1: calibration ---------------------------------------------------------
+
+
+def mechanism_costs(
+    mechanisms: tuple[str, ...],
+    key: str,
+    config: GPUConfig,
+    *,
+    iterations: int | None = None,
+    samples: int = 2,
+    resume_gap: int = 2000,
+    engine: ExperimentEngine | None = None,
+) -> dict[str, MechanismCosts]:
+    """Calibrated preempt/resume costs per mechanism (µs).
+
+    One :class:`ExperimentUnit` per (mechanism, signal point): a real
+    cycle-level preemption of the batch kernel, averaged over *samples*
+    signal points spread across the loop body.  Every unit is cached, so
+    repeat serve invocations skip the simulator entirely.
+    """
+    from ..analysis.experiments import _signal_points
+
+    if engine is None:
+        engine = ExperimentEngine(jobs=1)
+    points = _signal_points(key, config, samples, iterations)
+    units = [
+        ExperimentUnit(
+            key=key,
+            mechanism=mechanism,
+            config=config,
+            signal_dyn=point,
+            resume_gap=resume_gap,
+            iterations=iterations,
+            verify=False,
+        )
+        for mechanism in mechanisms
+        for point in points
+    ]
+    profiles = iter(engine.map(units))
+    costs: dict[str, MechanismCosts] = {}
+    for mechanism in mechanisms:
+        latencies: list[float] = []
+        resumes: list[float] = []
+        for _ in points:
+            profile = next(profiles)
+            if not isinstance(profile, dict):
+                continue  # FAILED cell under FailurePolicy.COLLECT
+            latencies.append(profile["latency"])
+            if profile["resume"] is not None:
+                resumes.append(profile["resume"])
+        if not latencies:
+            raise RuntimeError(
+                f"calibration failed for mechanism {mechanism!r} on {key!r}"
+            )
+        costs[mechanism] = MechanismCosts(
+            mechanism=mechanism,
+            preempt_us=config.cycles_to_us(sum(latencies) / len(latencies)),
+            resume_us=(
+                config.cycles_to_us(sum(resumes) / len(resumes))
+                if resumes
+                else 0.0
+            ),
+        )
+    return costs
+
+
+# -- stage 2: asyncio ingestion ---------------------------------------------------
+
+
+async def _pump(
+    spec: TraceSpec,
+    count: int,
+    rate_per_us: float,
+    tenants: tuple[Tenant, ...],
+    gpus: int,
+    chunk_size: int,
+) -> list[list[tuple[float, int]]]:
+    """Producer/dispatcher pair over an asyncio request queue.
+
+    The producer chunks the seeded trace into the queue; the dispatcher
+    drains it, round-robining requests onto per-GPU shards.  Determinism
+    comes for free: one event loop, one producer, one dispatcher.
+    """
+    queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+    shards: list[list[tuple[float, int]]] = [[] for _ in range(gpus)]
+
+    async def produce() -> None:
+        arrivals = generate_arrivals(spec, count, rate_per_us, tenants)
+        for start in range(0, len(arrivals), chunk_size):
+            await queue.put(arrivals[start : start + chunk_size])
+        await queue.put(None)
+
+    async def dispatch() -> None:
+        index = 0
+        while True:
+            chunk = await queue.get()
+            if chunk is None:
+                return
+            for request in chunk:
+                shards[index % gpus].append((request.arrival_us, request.tenant))
+                index += 1
+
+    await asyncio.gather(produce(), dispatch())
+    return shards
+
+
+def shard_arrivals(
+    spec: TraceSpec,
+    count: int,
+    rate_per_us: float,
+    tenants: tuple[Tenant, ...],
+    gpus: int,
+    *,
+    chunk_size: int = 4096,
+) -> list[tuple[tuple[float, int], ...]]:
+    """Seeded trace → per-GPU request shards (via the asyncio pump)."""
+    if gpus < 1:
+        raise ValueError("gpus must be >= 1")
+    shards = asyncio.run(
+        _pump(spec, count, rate_per_us, tenants, gpus, chunk_size)
+    )
+    return [tuple(shard) for shard in shards]
+
+
+# -- stage 3: cached shard execution ---------------------------------------------
+
+
+def serve_shard_profile(
+    requests: tuple[tuple[float, int], ...],
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+    gpu: int,
+) -> dict:
+    """Cached scheduler run over one shard (artifact kind ``serve``).
+
+    The key is the full content of the shard + tenant mix + costs, so a
+    re-run with any knob changed re-simulates while identical shards hit
+    the cache — including across different ``--jobs`` values.
+    """
+    from ..analysis.cache import canonical, get_cache
+
+    parts = {
+        "requests": canonical(requests),
+        "tenants": canonical(tenants),
+        "costs": canonical(costs),
+    }
+
+    def run() -> dict:
+        result = simulate_shard(requests, tenants, costs, gpu=gpu)
+        return result.as_dict()
+
+    return get_cache().get_or_create("serve", parts, run)
+
+
+# -- stage 4: the full pipeline ---------------------------------------------------
+
+
+def run_serve(
+    mechanisms: tuple[str, ...] = SERVE_MECHANISMS,
+    *,
+    trace: TraceSpec | None = None,
+    loads: tuple[float, ...] = (0.8,),
+    requests: int = 100_000,
+    gpus: int = 4,
+    tenants: tuple[Tenant, ...] = DEFAULT_TENANTS,
+    key: str = DEFAULT_BATCH_KEY,
+    config: GPUConfig | None = None,
+    iterations: int | None = None,
+    samples: int = 2,
+    resume_gap: int = 2000,
+    engine: ExperimentEngine | None = None,
+) -> dict:
+    """Serve *requests* requests per (mechanism, load) over the fleet.
+
+    Returns the full serve report (plain dicts/lists/scalars, no
+    wall-clock or host state): render it with
+    :func:`repro.serve.report.render_serve_text` /
+    :func:`~repro.serve.report.render_serve_json`.
+    """
+    if trace is None:
+        trace = TraceSpec()
+    if config is None:
+        config = GPUConfig.radeon_vii()
+    if engine is None:
+        engine = ExperimentEngine(jobs=1)
+    costs = mechanism_costs(
+        mechanisms, key, config,
+        iterations=iterations, samples=samples, resume_gap=resume_gap,
+        engine=engine,
+    )
+
+    service_mean = mean_service_us(tenants)
+    units: list[ServeUnit] = []
+    cells: list[tuple[str, float]] = []
+    shards_by_load: dict[float, list] = {}
+    for load in loads:
+        # load = fraction of fleet service capacity consumed by requests
+        rate = load * gpus / service_mean
+        shards_by_load[load] = shard_arrivals(
+            trace, requests, rate, tenants, gpus
+        )
+    for mechanism in mechanisms:
+        for load in loads:
+            cells.append((mechanism, load))
+            for gpu in range(gpus):
+                units.append(
+                    ServeUnit(
+                        mechanism=mechanism,
+                        load=load,
+                        gpu=gpu,
+                        requests=shards_by_load[load][gpu],
+                        tenants=tuple(tenants),
+                        preempt_us=costs[mechanism].preempt_us,
+                        resume_us=costs[mechanism].resume_us,
+                    )
+                )
+    merged = iter(engine.map(units))
+
+    results = []
+    for mechanism, load in cells:
+        shard_dicts = []
+        for _ in range(gpus):
+            profile = next(merged)
+            if isinstance(profile, dict):
+                shard_dicts.append(profile)
+        results.append(
+            summarize_cell(
+                mechanism, load, shard_dicts, tenants, costs[mechanism]
+            )
+        )
+
+    return {
+        "trace": {
+            "kind": trace.kind,
+            "seed": trace.seed,
+            "burst_factor": trace.burst_factor,
+            "burst_fraction": trace.burst_fraction,
+            "dwell_us": trace.dwell_us,
+        },
+        "requests_per_cell": requests,
+        "gpus": gpus,
+        "batch_kernel": key,
+        "tenants": [
+            {
+                "name": t.name,
+                "priority": t.priority,
+                "service_us": t.service_us,
+                "slo_us": t.slo_us,
+                "weight": t.weight,
+            }
+            for t in tenants
+        ],
+        "costs": {
+            name: {
+                "preempt_us": round(c.preempt_us, 3),
+                "resume_us": round(c.resume_us, 3),
+            }
+            for name, c in costs.items()
+        },
+        "results": results,
+    }

@@ -1,0 +1,165 @@
+"""Serve-report aggregation and rendering.
+
+One *cell* of the report is (mechanism, load): the fleet's GPUs each serve
+their shard under that mechanism's calibrated costs, and this module folds
+the shard records into the numbers the paper's serving argument needs —
+tail latency (p50/p95/p99), SLO-violation rate (overall and per tenant),
+throughput, and the preemption overhead the mechanism charged.
+
+Determinism rules: percentiles are nearest-rank over the sorted
+concatenation of all shard latencies (no interpolation, no float
+averaging across orderings), every emitted float is rounded to 3
+decimals, and the JSON renderer sorts keys — so a report is bit-identical
+across reruns, ``--jobs`` values, and hosts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .scheduler import MechanismCosts
+from .tenants import Tenant
+
+#: report schema version (bump when the report shape changes)
+REPORT_VERSION = 1
+
+PERCENTILES = (50, 95, 99)
+
+
+def nearest_rank(sorted_values: list[float], q: int) -> float:
+    """Nearest-rank percentile (q in 1..100) over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-q * len(sorted_values) // 100)  # ceil without float
+    return sorted_values[rank - 1]
+
+
+def _round3(value: float) -> float:
+    return round(value, 3)
+
+
+def summarize_cell(
+    mechanism: str,
+    load: float,
+    shard_dicts: list[dict],
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+) -> dict:
+    """Fold one (mechanism, load) cell's shard records into its summary."""
+    pairs: list[tuple[int, float]] = []
+    overhead = 0.0
+    episodes = 0
+    service = 0.0
+    makespan = 0.0
+    for shard in shard_dicts:
+        pairs.extend((int(t), float(lat)) for t, lat in shard["latencies"])
+        overhead += shard["overhead_us"]
+        episodes += shard["episodes"]
+        service += shard["service_us"]
+        # fleet makespan: the slowest GPU bounds the cell
+        if shard["makespan_us"] > makespan:
+            makespan = shard["makespan_us"]
+
+    latencies = sorted(lat for _, lat in pairs)
+    n = len(latencies)
+    summary: dict = {
+        "mechanism": mechanism,
+        "load": load,
+        "requests": n,
+        "episodes": episodes,
+        "latency_us": {
+            "mean": _round3(sum(latencies) / n) if n else 0.0,
+            **{
+                f"p{q}": _round3(nearest_rank(latencies, q))
+                for q in PERCENTILES
+            },
+        },
+        "overhead_us": _round3(overhead),
+        # share of GPU busy time the mechanism burned on preempt/resume
+        "overhead_frac": _round3(
+            overhead / (overhead + service) if overhead + service > 0 else 0.0
+        ),
+        # fleet throughput over the cell's makespan (requests/second)
+        "throughput_rps": _round3(n / makespan * 1e6) if makespan > 0 else 0.0,
+    }
+
+    violations_total = 0
+    per_tenant: dict[str, dict] = {}
+    for idx, tenant in enumerate(tenants):
+        t_lats = [lat for t, lat in pairs if t == idx]
+        t_viol = sum(1 for lat in t_lats if lat > tenant.slo_us)
+        violations_total += t_viol
+        per_tenant[tenant.name] = {
+            "requests": len(t_lats),
+            "slo_us": tenant.slo_us,
+            "violations": t_viol,
+            "violation_rate": _round3(t_viol / len(t_lats)) if t_lats else 0.0,
+            "p99_us": _round3(nearest_rank(sorted(t_lats), 99)),
+        }
+    summary["slo_violation_rate"] = _round3(violations_total / n) if n else 0.0
+    summary["tenants"] = per_tenant
+    return summary
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def render_serve_json(report: dict) -> str:
+    """Canonical JSON form: sorted keys, stable separators, no wall-clock."""
+    return json.dumps(
+        {"version": REPORT_VERSION, **report},
+        indent=2,
+        sort_keys=True,
+        separators=(",", ": "),
+    )
+
+
+def render_serve_text(report: dict) -> str:
+    """Human-readable table, one row per (mechanism, load) cell."""
+    lines: list[str] = []
+    trace = report["trace"]
+    lines.append(
+        f"serving {report['requests_per_cell']} requests/cell over "
+        f"{report['gpus']} GPUs — {trace['kind']} trace (seed {trace['seed']}), "
+        f"batch kernel {report['batch_kernel']!r}"
+    )
+    lines.append("")
+    lines.append("calibrated costs (us):")
+    for name, cost in report["costs"].items():
+        lines.append(
+            f"  {name:<10} preempt {cost['preempt_us']:>10.3f}   "
+            f"resume {cost['resume_us']:>10.3f}"
+        )
+    lines.append("")
+    header = (
+        f"{'mechanism':<10} {'load':>5} {'p50 us':>10} {'p95 us':>10} "
+        f"{'p99 us':>10} {'mean us':>10} {'SLO viol':>9} {'thru rps':>10} "
+        f"{'ovh %':>7} {'episodes':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in report["results"]:
+        lat = cell["latency_us"]
+        lines.append(
+            f"{cell['mechanism']:<10} {cell['load']:>5.2f} "
+            f"{lat['p50']:>10.1f} {lat['p95']:>10.1f} {lat['p99']:>10.1f} "
+            f"{lat['mean']:>10.1f} "
+            f"{cell['slo_violation_rate'] * 100:>8.2f}% "
+            f"{cell['throughput_rps']:>10.0f} "
+            f"{cell['overhead_frac'] * 100:>6.2f}% "
+            f"{cell['episodes']:>9}"
+        )
+    lines.append("")
+    lines.append("per-tenant p99 / SLO-violation rate:")
+    for cell in report["results"]:
+        parts = []
+        for name, t in cell["tenants"].items():
+            parts.append(
+                f"{name} p99={t['p99_us']:.1f}us "
+                f"viol={t['violation_rate'] * 100:.2f}%"
+            )
+        lines.append(
+            f"  {cell['mechanism']:<10} load {cell['load']:.2f}: "
+            + "; ".join(parts)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Tenants of the simulated GPU cloud: priorities, SLOs, traffic shares.
+
+The serving layer models the paper's cloud scenario (§I): latency-sensitive
+inference tenants share a fleet of GPUs with an always-on batch job.  Each
+tenant carries a scheduling priority (higher preempts lower in the request
+queue), a per-request GPU service time, an end-to-end latency SLO, and a
+weight — its share of the arrival traffic.
+
+Everything is a frozen dataclass so tenant mixes feed straight into the
+content-addressed artifact cache (see :func:`repro.analysis.cache.canonical`)
+and traverse the process pool unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One traffic class sharing the fleet."""
+
+    name: str
+    #: request-queue priority; higher is served first
+    priority: int
+    #: per-request GPU service time (µs of exclusive SM time)
+    service_us: float
+    #: end-to-end latency SLO (arrival → completion, µs)
+    slo_us: float
+    #: share of the arrival traffic (normalized over the tenant mix)
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.service_us <= 0:
+            raise ValueError(f"tenant {self.name}: service_us must be > 0")
+        if self.slo_us <= 0:
+            raise ValueError(f"tenant {self.name}: slo_us must be > 0")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: weight must be > 0")
+
+
+#: the default three-class mix: interactive inference, standard serving,
+#: and a latency-tolerant analytics class — all of them preempt the batch
+#: job, and they preempt each other only in the queue (by priority)
+DEFAULT_TENANTS: tuple[Tenant, ...] = (
+    Tenant("interactive", priority=3, service_us=40.0, slo_us=250.0, weight=0.5),
+    Tenant("standard", priority=2, service_us=80.0, slo_us=600.0, weight=0.3),
+    Tenant("analytics", priority=1, service_us=160.0, slo_us=1500.0, weight=0.2),
+)
+
+
+def mean_service_us(tenants: tuple[Tenant, ...]) -> float:
+    """Traffic-weighted mean service time of the mix (capacity planning)."""
+    total_weight = sum(t.weight for t in tenants)
+    return sum(t.weight * t.service_us for t in tenants) / total_weight

@@ -339,9 +339,18 @@ class FastCore:
                 elif c < m2:
                     m2 = c
             cyc = sm.cycle
+            t = m1 if m1 > cyc else cyc
+            if stop_cycle is not None and t >= stop_cycle:
+                # the resume gate is strict: no issue may land at or past
+                # it.  Hand control back *before* issuing (and before the
+                # stall event — the caller acts at stop_cycle and the next
+                # advance re-derives the stall from the new picture).  The
+                # limit watchdog stays post-issue below so SM.run still
+                # observes cycle > limit and raises.
+                self.flush()
+                return issued_any
             if tracer is not None and m1 > cyc:
                 tracer.emit(cyc, stall_kind, SM_WIDE, dur=m1 - cyc)
-            t = m1 if m1 > cyc else cyc
             rr = sm._rr
             # the reference orders ready warps by (wid < rr, wid): the
             # smallest wid >= rr wins, else the smallest wid overall
@@ -554,9 +563,11 @@ class FastCore:
                         c = pending.get(rid, 0)
                         if c > nr:
                             nr = c
-                if nr >= horizon:
-                    # another warp ties or beats w at its next slot: the
-                    # round-robin rule hands the SM over — repick
+                if nr >= horizon or nr >= hard_stop:
+                    # another warp ties or beats w at its next slot (the
+                    # round-robin rule hands the SM over) — or the stall
+                    # jump would cross the cycle ceiling: repick, where
+                    # the pre-issue stop gate can intervene
                     cr[k] = nr
                     state.pc = pc
                     break

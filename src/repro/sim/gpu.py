@@ -198,11 +198,15 @@ class ExperimentResult:
         )
 
     @property
-    def mean_resume(self) -> float:
+    def mean_resume(self) -> float | None:
+        """Mean resume cost; ``None`` — not ``0.0`` — when no warp carries
+        resume data (``verify=False`` short runs, routines that never fired).
+        A genuine 0-cycle resume (DRAIN finishing the warp in place) is a
+        legitimate value, distinct from "absent"."""
         values = [
             m.resume_cycles for m in self.measurements if m.resume_cycles is not None
         ]
-        return sum(values) / len(values) if values else 0.0
+        return sum(values) / len(values) if values else None
 
     @property
     def mean_context_bytes(self) -> float:
@@ -279,11 +283,38 @@ def run_preemption_experiment(
 
     resumed = False
     resume_at: int | None = None
+
+    def _resume_deadline() -> int:
+        done_cycles = [
+            w.preempt_done_cycle
+            for w in target_warps
+            if w.preempt_done_cycle is not None
+        ]
+        return (max(done_cycles) if done_cycles else sm.cycle) + resume_gap
+
     # the fast core batches many issues per call; fault injection needs the
     # per-step reference path (the injector hooks every single issue)
     use_fast = sm.core == "fast" and injector is None
     while True:
         controller.poll()
+        if not resumed and controller.all_evicted():
+            if resume_at is None:
+                resume_at = _resume_deadline()
+            # honour the gap exactly: resume is delivered *at* resume_at,
+            # never before (an idle SM warps time forward instead of
+            # resuming early) and never after (the scheduler must not
+            # leap past the deadline to a stalled warp's ready cycle)
+            next_issue = sm.next_issue_cycle()
+            if (
+                sm.cycle >= resume_at
+                or next_issue is None
+                or next_issue >= resume_at
+            ):
+                sm.cycle = max(sm.cycle, resume_at)
+                for warp in target_warps:
+                    controller.resume_warp(warp, sm.cycle)
+                resumed = True
+                continue
         if use_fast:
             # arm the dyn-break so the batch returns exactly when a target
             # warp reaches the signal's dynamic instruction — the next
@@ -297,21 +328,17 @@ def run_preemption_experiment(
             )
         else:
             progressed = sm.step()
-        if not resumed and controller.all_evicted():
-            if resume_at is None:
-                done_cycles = [
-                    w.preempt_done_cycle
-                    for w in target_warps
-                    if w.preempt_done_cycle is not None
-                ]
-                resume_at = (max(done_cycles) if done_cycles else sm.cycle) + resume_gap
-            if sm.cycle >= resume_at or not progressed:
+        if not progressed:
+            if not resumed and controller.all_evicted():
+                # nothing can issue before the gap elapses (the last warp
+                # may have evicted during this very advance): warp idle time
+                if resume_at is None:
+                    resume_at = _resume_deadline()
                 sm.cycle = max(sm.cycle, resume_at)
                 for warp in target_warps:
                     controller.resume_warp(warp, sm.cycle)
                 resumed = True
                 continue
-        if not progressed:
             break
         if sm.cycle > config.max_cycles:
             # the no-forward-progress watchdog: a typed error with a

@@ -227,6 +227,30 @@ class SM:
         self.stats.cycles = self.cycle
         return True
 
+    def next_issue_cycle(self) -> int | None:
+        """Earliest cycle at which any warp could issue — without advancing.
+
+        Side-effect-free scheduler probe used by the experiment loop to
+        honour a resume deadline exactly: warps in issuable modes with an
+        instruction left contribute their ready cycle; warps parked at a
+        program end are skipped (a real scan would retire them without
+        issuing).  Returns ``None`` when nothing is left to issue.
+        """
+        best: int | None = None
+        running = WarpMode.RUNNING
+        preempt = WarpMode.PREEMPT_ROUTINE
+        resume = WarpMode.RESUME_ROUTINE
+        for warp in self._issuable:
+            mode = warp.mode
+            if mode is not running and mode is not preempt and mode is not resume:
+                continue
+            if warp.state.pc >= warp.tables().n:
+                continue
+            ready = warp.ready_cycle()
+            if best is None or ready < best:
+                best = ready
+        return best
+
     def _issue(self, warp: SimWarp) -> None:
         tables = warp.tables()
         pc = warp.state.pc

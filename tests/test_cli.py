@@ -1,5 +1,6 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
 import subprocess
 import sys
 
@@ -92,6 +93,27 @@ class TestExperiments:
         result = run_cli("table1", "--keys", "lrn", "--iterations", "6")
         assert result.returncode == 0
         assert "LRN" in result.stdout
+
+
+class TestServe:
+    def test_small_fleet_text_and_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        result = run_cli(
+            "serve", "--trace", "bursty", "--load", "0.6", "--requests",
+            "200", "--gpus", "2", "--mechanisms", "baseline,ctxback",
+            "--small", "--iterations", "6", "--samples", "1",
+            "--output", str(out),
+        )
+        assert result.returncode == 0
+        assert "p99 us" in result.stdout and "ctxback" in result.stdout
+        report = json.loads(out.read_text())
+        assert report["requests_per_cell"] == 200
+        assert len(report["results"]) == 2
+
+    def test_bad_load_rejected(self):
+        result = run_cli("serve", "--load", "high")
+        assert result.returncode == 2
+        assert "bad --load" in result.stderr
 
 
 class TestLint:

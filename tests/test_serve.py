@@ -1,0 +1,287 @@
+"""Serving layer: traces, scheduler accounting, determinism, calibration.
+
+The three pillars the serve report stands on:
+
+1. **Hand-checkable accounting** — the scheduler's latency/overhead/SLO
+   arithmetic is pinned to a 3-request scenario small enough to verify on
+   paper.
+2. **Seeded determinism** — the same trace + seed yields a bit-identical
+   report across engine worker counts and across both execution cores.
+3. **Honest calibration** — the µs costs the scheduler charges are the
+   means of real :func:`repro.sim.gpu.run_preemption_experiment` runs,
+   not made-up constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import ExperimentEngine
+from repro.analysis.experiments import _signal_points
+from repro.serve import (
+    DEFAULT_TENANTS,
+    MechanismCosts,
+    Request,
+    Tenant,
+    TraceSpec,
+    generate_arrivals,
+    mean_service_us,
+    mechanism_costs,
+    nearest_rank,
+    render_serve_json,
+    render_serve_text,
+    run_serve,
+    shard_arrivals,
+    simulate_shard,
+)
+from repro.sim import GPUConfig, run_preemption_experiment
+from repro.analysis.engine import prepared_for, _launch
+
+
+SINGLE_TENANT = (
+    Tenant("only", priority=1, service_us=100.0, slo_us=120.0, weight=1.0),
+)
+
+
+class TestArrivals:
+    def test_seeded_determinism(self):
+        spec = TraceSpec(kind="bursty", seed=42)
+        a = generate_arrivals(spec, 500, 0.01, DEFAULT_TENANTS)
+        b = generate_arrivals(spec, 500, 0.01, DEFAULT_TENANTS)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = generate_arrivals(TraceSpec(seed=1), 100, 0.01, DEFAULT_TENANTS)
+        b = generate_arrivals(TraceSpec(seed=2), 100, 0.01, DEFAULT_TENANTS)
+        assert a != b
+
+    def test_arrivals_sorted_and_counted(self):
+        for kind in ("poisson", "bursty"):
+            trace = generate_arrivals(
+                TraceSpec(kind=kind, seed=3), 400, 0.02, DEFAULT_TENANTS
+            )
+            assert len(trace) == 400
+            times = [r.arrival_us for r in trace]
+            assert times == sorted(times)
+
+    def test_mean_rate_is_preserved_under_burstiness(self):
+        # burstiness redistributes arrivals in time; the long-run mean
+        # rate must stay the requested one (within sampling noise)
+        rate = 0.02
+        for kind in ("poisson", "bursty"):
+            trace = generate_arrivals(
+                TraceSpec(kind=kind, seed=5), 20_000, rate, DEFAULT_TENANTS
+            )
+            empirical = len(trace) / trace[-1].arrival_us
+            assert empirical == pytest.approx(rate, rel=0.1)
+
+    def test_tenant_weights_respected(self):
+        trace = generate_arrivals(TraceSpec(seed=7), 20_000, 0.01, DEFAULT_TENANTS)
+        counts = [0] * len(DEFAULT_TENANTS)
+        for request in trace:
+            counts[request.tenant] += 1
+        for tenant, count in zip(DEFAULT_TENANTS, counts):
+            assert count / len(trace) == pytest.approx(tenant.weight, abs=0.02)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(kind="uniform")
+        with pytest.raises(ValueError):
+            TraceSpec(burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            TraceSpec(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            generate_arrivals(TraceSpec(), 10, 0.0, DEFAULT_TENANTS)
+
+
+class TestScheduler:
+    def test_hand_computed_three_request_scenario(self):
+        """1 GPU, preempt 10, resume 6, service 100 µs; arrivals 0/5/1000.
+
+        - r0 arrives at 0: evict the batch (10), serve 10→110; latency 110.
+        - r1 arrived at 5, queued: serve 110→210; latency 205.
+        - queue drains: resume the batch at 210 (+6).
+        - r2 arrives at 1000 (> 216): evict again (10), serve 1010→1110;
+          latency 110.  Trailing resume closes the episode.
+        """
+        costs = MechanismCosts("x", preempt_us=10.0, resume_us=6.0)
+        result = simulate_shard(
+            ((0.0, 0), (5.0, 0), (1000.0, 0)), SINGLE_TENANT, costs
+        )
+        assert [lat for _, lat in result.latencies] == [110.0, 205.0, 110.0]
+        assert result.episodes == 2
+        assert result.overhead_us == 2 * (10.0 + 6.0)
+        assert result.service_us == 300.0
+        assert result.makespan_us == 1110.0
+
+    def test_slo_accounting_matches_hand_scenario(self):
+        # SLO 120 µs: only the queued request (205 µs) violates → 1/3
+        costs = MechanismCosts("x", preempt_us=10.0, resume_us=6.0)
+        result = simulate_shard(
+            ((0.0, 0), (5.0, 0), (1000.0, 0)), SINGLE_TENANT, costs
+        )
+        violations = sum(
+            1
+            for tenant, lat in result.latencies
+            if lat > SINGLE_TENANT[tenant].slo_us
+        )
+        assert violations == 1
+        assert violations / len(result.latencies) == pytest.approx(1 / 3)
+
+    def test_priority_order_beats_arrival_order(self):
+        tenants = (
+            Tenant("low", priority=1, service_us=10.0, slo_us=1e6, weight=0.5),
+            Tenant("high", priority=2, service_us=10.0, slo_us=1e6, weight=0.5),
+        )
+        costs = MechanismCosts("x", preempt_us=0.0, resume_us=0.0)
+        # both queued while request 0 is in service; high jumps the line
+        result = simulate_shard(
+            ((0.0, 0), (1.0, 0), (2.0, 1)), tenants, costs
+        )
+        assert [t for t, _ in result.latencies] == [0, 1, 0]
+
+    def test_request_during_resume_waits_it_out(self):
+        # the old example's bug: a request landing mid-resume must queue
+        # behind the resume, then pay a fresh preemption
+        costs = MechanismCosts("x", preempt_us=10.0, resume_us=50.0)
+        result = simulate_shard(
+            ((0.0, 0), (130.0, 0)), SINGLE_TENANT, costs
+        )
+        # r0: 10→110.  Resume 110→160.  r1 (at 130) waits, evicts at 160
+        # (+10), serves 170→270 → latency 140.
+        assert [lat for _, lat in result.latencies] == [110.0, 140.0]
+        assert result.episodes == 2
+
+    def test_empty_shard(self):
+        result = simulate_shard((), SINGLE_TENANT, MechanismCosts("x", 1.0, 1.0))
+        assert result.latencies == []
+        assert result.overhead_us == 0.0
+
+    def test_request_objects_and_tuples_agree(self):
+        costs = MechanismCosts("x", preempt_us=3.0, resume_us=2.0)
+        as_tuples = simulate_shard(((0.0, 0), (50.0, 0)), SINGLE_TENANT, costs)
+        as_objects = simulate_shard(
+            (Request(0.0, 0), Request(50.0, 0)), SINGLE_TENANT, costs
+        )
+        assert as_tuples.as_dict() == as_objects.as_dict()
+
+
+class TestSharding:
+    def test_round_robin_partition(self):
+        spec = TraceSpec(seed=9)
+        shards = shard_arrivals(spec, 100, 0.01, DEFAULT_TENANTS, gpus=3)
+        assert [len(s) for s in shards] == [34, 33, 33]
+        trace = generate_arrivals(spec, 100, 0.01, DEFAULT_TENANTS)
+        merged = sorted(
+            (req for shard in shards for req in shard), key=lambda r: r[0]
+        )
+        assert merged == [(r.arrival_us, r.tenant) for r in trace]
+
+    def test_gpus_validated(self):
+        with pytest.raises(ValueError):
+            shard_arrivals(TraceSpec(), 10, 0.01, DEFAULT_TENANTS, gpus=0)
+
+
+class TestReport:
+    def test_nearest_rank_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert nearest_rank(values, 50) == 50.0
+        assert nearest_rank(values, 95) == 95.0
+        assert nearest_rank(values, 99) == 99.0
+        assert nearest_rank([7.0], 99) == 7.0
+        assert nearest_rank([], 50) == 0.0
+
+
+def _small_serve(jobs=1, core=None, seed=0):
+    config = GPUConfig.small(4)
+    if core is not None:
+        config = dataclasses.replace(config, core=core)
+    return run_serve(
+        ("baseline", "ctxback"),
+        trace=TraceSpec(kind="bursty", seed=seed),
+        loads=(0.6,),
+        requests=400,
+        gpus=2,
+        key="mm",
+        config=config,
+        iterations=6,
+        samples=1,
+        engine=ExperimentEngine(jobs=jobs),
+    )
+
+
+class TestServeDeterminism:
+    def test_identical_across_jobs(self):
+        a = render_serve_json(_small_serve(jobs=1))
+        b = render_serve_json(_small_serve(jobs=3))
+        assert a == b
+
+    def test_identical_across_cores(self):
+        # calibration runs real cycle-level experiments; the fast and
+        # reference cores are bit-identical, so the report must be too
+        a = render_serve_json(_small_serve(core="fast"))
+        b = render_serve_json(_small_serve(core="reference"))
+        assert a == b
+
+    def test_seed_changes_report(self):
+        a = render_serve_json(_small_serve(seed=0))
+        b = render_serve_json(_small_serve(seed=1))
+        assert a != b
+
+    def test_renderers_consume_report(self):
+        report = _small_serve()
+        parsed = json.loads(render_serve_json(report))
+        assert parsed["version"] == 1
+        assert {cell["mechanism"] for cell in parsed["results"]} == {
+            "baseline",
+            "ctxback",
+        }
+        text = render_serve_text(report)
+        assert "ctxback" in text and "p99 us" in text
+
+
+class TestCalibration:
+    def test_costs_match_direct_experiments(self):
+        """The serve layer's twin of the cycle-level experiment: the µs
+        costs it charges are exactly the mean latency/resume of direct
+        ``run_preemption_experiment`` runs over the same signal points."""
+        config = GPUConfig.small(4)
+        key, iterations, samples = "mm", 6, 2
+        costs = mechanism_costs(
+            ("ctxback",), key, config, iterations=iterations, samples=samples
+        )["ctxback"]
+
+        points = _signal_points(key, config, samples, iterations)
+        launch = _launch(key, config, iterations)
+        prepared = prepared_for(key, "ctxback", config, iterations)
+        latencies, resumes = [], []
+        for point in points:
+            result = run_preemption_experiment(
+                launch.spec(),
+                prepared,
+                config,
+                signal_dyn=point,
+                resume_gap=2000,
+                verify=False,
+            )
+            latencies.append(result.mean_latency)
+            if result.mean_resume is not None:
+                resumes.append(result.mean_resume)
+        assert costs.preempt_us == pytest.approx(
+            config.cycles_to_us(sum(latencies) / len(latencies))
+        )
+        assert costs.resume_us == pytest.approx(
+            config.cycles_to_us(sum(resumes) / len(resumes))
+        )
+
+    def test_tenant_mix_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("bad", priority=1, service_us=0.0, slo_us=1.0, weight=1.0)
+        with pytest.raises(ValueError):
+            Tenant("bad", priority=1, service_us=1.0, slo_us=1.0, weight=0.0)
+        assert mean_service_us(DEFAULT_TENANTS) == pytest.approx(
+            0.5 * 40 + 0.3 * 80 + 0.2 * 160
+        )

@@ -83,6 +83,97 @@ class TestResumeGap:
         assert long.verified and short.verified
 
 
+class TestResumeGapExact:
+    """The gap is a contract: resume is delivered *at* ``resume_at`` —
+    never early (idle SM) and never late (stalled scheduler)."""
+
+    def _resume_points(self, result):
+        sm = result.sm
+        done = max(
+            w.preempt_done_cycle
+            for w in sm.warps
+            if w.preempt_done_cycle is not None
+        )
+        starts = {
+            w.resume_start_cycle
+            for w in sm.warps
+            if w.resume_start_cycle is not None
+        }
+        return done, starts
+
+    def test_idle_sm_waits_full_gap(
+        self, loop_launch, prepared_live, small_config
+    ):
+        """No background work: the SM goes idle the moment the targets are
+        evicted, and idle time must warp forward to exactly the deadline
+        instead of resuming early."""
+        gap = 5000
+        result = run_preemption_experiment(
+            loop_launch, prepared_live, small_config, signal_dyn=20,
+            resume_gap=gap,
+        )
+        assert result.verified
+        done, starts = self._resume_points(result)
+        assert starts == {done + gap}
+
+    @pytest.mark.parametrize("core", ["fast", "reference"])
+    def test_stalled_scheduler_resumes_exactly_at_deadline(self, core):
+        """Regression: with every target evicted and the background warps
+        memory-stalled far beyond the deadline, both cores used to leap to
+        the stalled warps' ready cycle and deliver the resume thousands of
+        cycles late."""
+        import dataclasses
+
+        from repro.kernels import SUITE
+
+        gap = 50
+        config = dataclasses.replace(
+            GPUConfig.radeon_vii_contended(), core=core
+        )
+        bench = SUITE["va"]
+        launch = bench.launch(
+            warp_size=config.warp_size, iterations=bench.default_iterations
+        )
+        background = SUITE["mm"].launch(
+            warp_size=config.warp_size,
+            iterations=SUITE["mm"].default_iterations,
+        )
+        prepared = make_mechanism("ctxback").prepare(launch.kernel, config)
+        result = run_preemption_experiment(
+            launch.spec(), prepared, config, signal_dyn=30,
+            background=background.spec(), resume_gap=gap, verify=False,
+        )
+        done, starts = self._resume_points(result)
+        assert starts == {done + gap}
+
+
+class TestMeanResumeSentinel:
+    def test_absent_resume_data_is_none(
+        self, loop_launch, prepared_live, small_config
+    ):
+        """A run with no resume measurements reports ``None``, not the
+        falsy ``0.0`` that averaged into figures as a phantom free resume."""
+        result = run_preemption_experiment(
+            loop_launch, prepared_live, small_config, signal_dyn=1 << 40,
+            resume_gap=100,
+        )
+        assert result.measurements == []
+        assert result.mean_resume is None
+
+    def test_genuine_zero_resume_stays_zero(
+        self, loop_launch, loop_kernel, small_config
+    ):
+        """DRAIN finishes the warp in place: its 0-cycle resume is a real
+        value and must stay distinguishable from "absent"."""
+        prepared = make_mechanism("drain").prepare(loop_kernel, small_config)
+        result = run_preemption_experiment(
+            loop_launch, prepared, small_config, signal_dyn=20, resume_gap=100
+        )
+        assert result.measurements
+        assert result.mean_resume == 0.0
+        assert result.mean_resume is not None
+
+
 class TestCkptFlow:
     def test_near_zero_latency(self, loop_launch, loop_kernel, small_config):
         prepared = make_mechanism("ckpt").prepare(loop_kernel, small_config)
