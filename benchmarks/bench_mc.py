@@ -1,0 +1,48 @@
+"""Model-checker throughput: exhaust one bounded (kernel, mechanism)
+cell and record exploration volume per second.
+
+Not a paper figure — the checker has to stay fast enough that CI's
+`mc-smoke` matrix and the tier-1 bounded tests remain routine.  The bench
+bypasses the artifact cache (a fresh explore per run) so the recorded
+time is real exploration, not a cache hit.
+"""
+
+from repro.kernels.suite import SUITE
+from repro.mc import McModel, McOptions, clean_reference, explore
+from repro.mechanisms import make_mechanism
+from repro.sim import GPUConfig
+
+
+def _explore_cell(key: str, mechanism: str, options: McOptions):
+    config = GPUConfig.small(4)
+    launch = SUITE[key].launch(
+        warp_size=config.warp_size, iterations=2, num_warps=options.warps
+    )
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+    spec = launch.spec()
+    reference = clean_reference(prepared, spec, config)
+
+    def factory():
+        return McModel(
+            prepared, spec, config, options, kernel=key, mechanism=mechanism
+        )
+
+    return explore(factory, reference, options, kernel=key, mechanism=mechanism)
+
+
+def test_mc_exploration_throughput(benchmark):
+    options = McOptions(warps=2, rounds=1)
+    result = benchmark.pedantic(
+        lambda: _explore_cell("va", "ctxback", options), rounds=1, iterations=1
+    )
+    elapsed = benchmark.stats.stats.mean
+    print()
+    print(
+        f"va/ctxback bounded cell: {result.states} states, "
+        f"{result.terminals} terminals, {result.runs} runs, "
+        f"{result.transitions} transitions in {elapsed:.2f}s "
+        f"({result.transitions / max(elapsed, 1e-9):,.0f} transitions/s)"
+    )
+    assert result.findings == []
+    assert not result.truncated
+    assert result.terminals >= 1

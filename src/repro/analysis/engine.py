@@ -545,6 +545,9 @@ class EngineReport:
     #: recovery-counter aggregate folded from every fault-injected unit
     #: (``faults=...`` / ChaosUnit); empty when no unit injected faults
     recovery: dict = field(default_factory=dict)
+    #: exploration aggregate folded from every model-checking unit
+    #: (:class:`repro.mc.McUnit`); empty when no unit model-checked
+    mc: dict = field(default_factory=dict)
 
     def record_recovery_profile(self, profile: dict) -> None:
         """Fold one fault-injected unit's recovery counters into the report."""
@@ -560,6 +563,23 @@ class EngineReport:
         )
         for name, value in counters.items():
             recovery[name] = recovery.get(name, 0) + value
+
+    def record_mc_profile(self, profile: dict) -> None:
+        """Fold one model-checking unit's exploration counters in."""
+        mc = self.mc
+        mc["mc_units"] = mc.get("mc_units", 0) + 1
+        if profile.get("ok") is False:
+            mc["failed_units"] = mc.get("failed_units", 0) + 1
+        if profile.get("truncated"):
+            mc["truncated_units"] = mc.get("truncated_units", 0) + 1
+        for counter in (
+            "explored_states", "terminals", "transitions", "runs",
+            "choice_points",
+        ):
+            mc[counter] = mc.get(counter, 0) + profile.get(counter, 0)
+        mc["findings"] = mc.get("findings", 0) + len(
+            profile.get("findings", ())
+        )
 
     def record_trace_profile(self, profile: dict) -> None:
         """Fold one traced unit's breakdown aggregate into the report."""
@@ -590,6 +610,7 @@ class EngineReport:
             "failed_units": list(self.failed_units),
             "trace": dict(self.trace),
             "recovery": dict(self.recovery),
+            "mc": dict(self.mc),
         }
 
 
@@ -646,6 +667,8 @@ class ExperimentEngine:
                     self.report.record_trace_profile(result)
                 if "recovery" in result:
                     self.report.record_recovery_profile(result)
+                if "explored_states" in result:
+                    self.report.record_mc_profile(result)
             return results
         finally:
             report = self.report

@@ -481,6 +481,97 @@ def cmd_lint(args) -> int:
     return 1 if blocking else 0
 
 
+def cmd_mc(args) -> int:
+    import json
+
+    from .analysis import EngineOptions, ExperimentEngine
+    from .mc import (
+        McOptions,
+        McUnit,
+        render_mc_json,
+        render_mc_text,
+        verdict_findings,
+    )
+    from .sim import GPUConfig
+    from .verify import describe_codes, diff_against_baseline, load_baseline_keys
+    from .verify.findings import failing
+
+    if args.codes:
+        print(describe_codes())
+        return 0
+    keys = args.keys.split(",") if args.keys else ["va", "mm", "km"]
+    mechanisms = (
+        args.mechanisms.split(",")
+        if args.mechanisms
+        else ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+    )
+    try:
+        options = McOptions(
+            warps=args.warps,
+            rounds=args.signals,
+            window_gap=args.gap,
+            window_width=args.window,
+            max_choice_points=args.depth,
+            max_states=args.max_states,
+            bug=args.bug or None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = GPUConfig.small(4) if args.small else GPUConfig.radeon_vii()
+    units = [
+        McUnit(
+            key=key, mechanism=mechanism, config=config,
+            options=options, iterations=args.iterations,
+        )
+        for key in keys
+        for mechanism in mechanisms
+    ]
+    engine_options = EngineOptions.from_env(
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
+    )
+    engine = ExperimentEngine(args.jobs, options=engine_options)
+    results = engine.map(units)
+    verdicts = [r for r in results if isinstance(r, dict)]
+    rendered_json = json.dumps(render_mc_json(verdicts), indent=2, sort_keys=True)
+    # write the files before stdout: a closed pipe must not lose the report
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json + "\n")
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json + "\n")
+        print(f"baseline written: {args.write_baseline}", file=sys.stderr)
+    findings = verdict_findings(verdicts)
+    blocking = failing(findings)
+    if args.diff_baseline:
+        baseline = load_baseline_keys(args.diff_baseline)
+        new_blocking = diff_against_baseline(blocking, baseline)
+        known = len(blocking) - len(new_blocking)
+        if known:
+            print(f"[ratchet] {known} pre-existing finding(s) accepted from "
+                  f"{args.diff_baseline}", file=sys.stderr)
+        blocking = new_blocking
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(render_mc_text(verdicts))
+        if args.diff_baseline and findings and not blocking:
+            print("OK against baseline (no new findings)")
+    if args.timing:
+        report = engine.report
+        print(
+            f"[engine] jobs={report.jobs} units={report.units} "
+            f"wall={report.wall_s:.2f}s "
+            f"cache_hit_rate={report.cache.get('hit_rate', 0.0):.0%} "
+            f"mc={report.mc}",
+            file=sys.stderr,
+        )
+    return 1 if blocking or engine.report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -701,6 +792,65 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--codes", action="store_true",
                       help="list the finding codes and exit")
     lint.set_defaults(func=cmd_lint)
+
+    mc = sub.add_parser(
+        "mc",
+        help="exhaust the bounded interleaving space of the preemption "
+             "protocol (signal/resume/schedule nondeterminism) under the "
+             "MC3xx invariants and the happens-before race detector",
+    )
+    mc.add_argument("--keys", default="",
+                    help="comma-separated kernel subset (default: va,mm,km)")
+    mc.add_argument("--mechanisms", default="",
+                    help="comma-separated mechanism subset "
+                         "(default: the six evaluated mechanisms)")
+    mc.add_argument("--warps", type=int, default=2,
+                    help="warps in the explored launch (default: 2)")
+    mc.add_argument("--signals", type=int, default=2,
+                    help="preemption rounds per warp (default: 2)")
+    mc.add_argument("--gap", type=int, default=2,
+                    help="dynamic instructions from (re)arm to the signal "
+                         "window (default: 2)")
+    mc.add_argument("--window", type=int, default=2,
+                    help="signal-window width in dynamic instructions; "
+                         "delivery branches over every point (default: 2)")
+    mc.add_argument("--depth", type=int, default=2000,
+                    help="choice points per run before truncation "
+                         "(default: 2000)")
+    mc.add_argument("--max-states", type=int, default=20000,
+                    help="distinct recorded states before truncation "
+                         "(default: 20000)")
+    mc.add_argument("--bug", default="",
+                    help="arm one seeded protocol bug "
+                         "(see repro.mc.SEEDED_BUGS; checker self-test)")
+    mc.add_argument("--iterations", type=int, default=None,
+                    help="kernel loop iterations (default: suite)")
+    mc.add_argument("--small", action="store_true",
+                    help="use the small 4-lane configuration (CI smoke)")
+    mc.add_argument("--format", default="text", choices=["text", "json"],
+                    help="stdout reporter (default: text)")
+    mc.add_argument("--output", default=None, metavar="FILE",
+                    help="also write the JSON report to FILE "
+                         "(written even when the run fails)")
+    mc.add_argument("--diff-baseline", default=None, metavar="FILE",
+                    help="ratchet: only findings absent from this previous "
+                         "JSON report fail the run")
+    mc.add_argument("--write-baseline", default=None, metavar="FILE",
+                    help="write the JSON report as a new ratchet baseline")
+    mc.add_argument("--codes", action="store_true",
+                    help="list the finding codes and exit")
+    mc.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for the experiment engine "
+                         "(default: $REPRO_JOBS or 1)")
+    mc.add_argument("--unit-timeout", type=float, default=None,
+                    metavar="SECONDS")
+    mc.add_argument("--retries", type=int, default=None)
+    mc.add_argument("--failure-policy", default=None,
+                    choices=["fail-fast", "collect"])
+    mc.add_argument("--timing", action="store_true",
+                    help="print engine wall time, cache stats and folded "
+                         "exploration counters to stderr")
+    mc.set_defaults(func=cmd_mc)
     return parser
 
 

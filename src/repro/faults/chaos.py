@@ -34,10 +34,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..obs.events import EventKind
 from ..sim.config import GPUConfig
+from ..sim.digest import arch_digest
 from ..sim.gpu import run_preemption_experiment
 from .plan import scenario, scenario_names
 
@@ -49,52 +48,10 @@ __all__ = [
 ]
 
 #: bump when the oracle's *logic* changes: verdicts are cached by input
-#: content, so a stricter/looser check must invalidate old verdicts
-ORACLE_VERSION = 2
-
-
-def _final_arch_state(sm, warp_ids, *, lds_only=frozenset()):
-    """Final architectural state of the target warps, keyed by warp id.
-
-    Warps in *lds_only* (the degraded set) contribute only their LDS:
-    register files are unspecified in dead slots after a full-image
-    resume (see the module docstring), so comparing them would reject
-    correct recoveries.
-    """
-    state = {}
-    for warp in sm.warps:
-        if warp.warp_id not in warp_ids:
-            continue
-        s = warp.state
-        lds = warp.lds.words.copy() if warp.lds is not None else None
-        if warp.warp_id in lds_only:
-            state[warp.warp_id] = (lds,)
-        else:
-            state[warp.warp_id] = (
-                s.vregs.copy(),
-                s.sregs.copy(),
-                s.exec_mask.copy(),
-                int(s.scc),
-                lds,
-            )
-    return state
-
-
-def _arch_states_equal(a: dict, b: dict) -> bool:
-    if a.keys() != b.keys():
-        return False
-    for wid in a:
-        if len(a[wid]) != len(b[wid]):
-            return False
-        for left, right in zip(a[wid], b[wid]):
-            if isinstance(left, np.ndarray):
-                if not isinstance(right, np.ndarray) or not np.array_equal(
-                    left, right
-                ):
-                    return False
-            elif left != right:
-                return False
-    return True
+#: content, so a stricter/looser check must invalidate old verdicts.
+#: 3: the register check compares canonical architectural digests
+#: (:func:`repro.sim.digest.arch_digest`) instead of ad-hoc array tuples
+ORACLE_VERSION = 3
 
 
 def _events_consistent(result) -> tuple[bool, str]:
@@ -169,10 +126,11 @@ def run_chaos_scenario(
         m.warp_id for m in faulted.measurements if m.degraded
     )
     memory_ok = bool(faulted.verified) and faulted.memory == clean.memory
-    registers_ok = _arch_states_equal(
-        _final_arch_state(faulted.sm, warp_ids, lds_only=degraded_ids),
-        _final_arch_state(clean.sm, warp_ids, lds_only=degraded_ids),
-    )
+    # degraded warps are held to LDS-only equality (lds_only): a full-image
+    # resume restores dead registers the flashback path legitimately skips
+    registers_ok = arch_digest(
+        faulted.sm, warp_ids, lds_only=degraded_ids
+    ) == arch_digest(clean.sm, warp_ids, lds_only=degraded_ids)
     events_ok, events_reason = _events_consistent(faulted)
     checks = {
         "memory": memory_ok,

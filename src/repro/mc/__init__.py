@@ -1,0 +1,40 @@
+"""Exhaustive interleaving model checker for the preemption protocol.
+
+``repro.mc`` treats the simulator as an executable transition system:
+signal-delivery timing, resume timing, and warp interleaving become
+explicit transitions (:mod:`~repro.mc.model`), a replay-based DFS with
+sleep-set partial-order reduction and canonical-digest pruning exhausts
+the bounded state space (:mod:`~repro.mc.explorer`), and a vector-clock
+happens-before detector flags unordered conflicting accesses to saved
+context buffers (:mod:`~repro.mc.hb`).  Findings carry stable ``MC3xx``
+codes in the :mod:`repro.verify` framework; ``python -m repro mc`` shards
+cells across the experiment engine (:mod:`~repro.mc.units`).
+"""
+
+from .explorer import McResult, explore
+from .hb import find_races
+from .model import SEEDED_BUGS, McModel, McOptions, clean_reference
+from .units import (
+    MC_VERSION,
+    McUnit,
+    mc_profile_for,
+    render_mc_json,
+    render_mc_text,
+    verdict_findings,
+)
+
+__all__ = [
+    "MC_VERSION",
+    "McModel",
+    "McOptions",
+    "McResult",
+    "McUnit",
+    "SEEDED_BUGS",
+    "clean_reference",
+    "explore",
+    "find_races",
+    "mc_profile_for",
+    "render_mc_json",
+    "render_mc_text",
+    "verdict_findings",
+]

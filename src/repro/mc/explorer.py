@@ -1,0 +1,213 @@
+"""Systematic interleaving exploration with sleep-set partial-order
+reduction and convergent-state pruning.
+
+The explorer is a CHESS-style stateless-replay DFS: a *trace* is the tuple
+of branch indices taken at each choice point, and every run rebuilds the
+model from scratch and replays its trace prefix before exploring freely.
+Replay keeps the simulator state live (no snapshot/restore of numpy
+register files), while three reductions keep the tree tractable:
+
+* **ample local steps** — an enabled issue that touches only warp-private
+  state (no device memory, no checkpoint probe, no pending protocol
+  choice) is executed without branching; interleaving it with other warps
+  cannot change any reachable protocol state;
+* **sleep sets** — after branching to sibling *j*, the transitions at
+  indices ``< j`` that are independent of the chosen one are put to sleep
+  in the sibling subtree: re-executing them first would only commute into
+  an already-explored ordering.  Same-warp transitions are always
+  dependent, which keeps sleep-set labels stable across the replayed
+  prefix;
+* **digest pruning** — at a choice point with an *empty* sleep set in the
+  free (non-replay) region, a canonical timing-free state digest is
+  consulted; a previously-visited digest means every continuation was
+  already explored from the first visit.
+
+Soundness note: pruning is only applied where the sleep set is empty (the
+full successor set is explored from the recorded state) and never inside a
+replayed prefix, so no ordering is lost to the interaction of the two
+reductions.
+
+Every run ends in one of: a *terminal* (no enabled transitions — leaf
+invariants are checked), a *pruned/converged* cut, or an abort (simulator
+exception → ``MC307``).  The happens-before race detector runs over every
+run's event stream regardless of how it ended.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..faults.errors import FaultToleranceError
+from ..sim.executor import ExecutionError
+from ..verify.findings import Finding
+from .model import McModel, McOptions
+
+#: exception types a transition may legitimately raise on a protocol
+#: violation; anything else is a checker bug and propagates
+_RUN_ERRORS = (
+    FaultToleranceError,
+    ExecutionError,
+    RuntimeError,
+    ValueError,
+    AssertionError,
+    KeyError,
+)
+
+
+@dataclass
+class McResult:
+    """Merged outcome of one bounded exploration (one ``McUnit``)."""
+
+    states: int = 0  # distinct recorded choice-point states
+    terminals: int = 0  # distinct terminal-state digests
+    transitions: int = 0  # transitions executed (incl. replays)
+    runs: int = 0  # root-to-leaf executions
+    choice_points: int = 0  # branch points encountered (incl. replays)
+    max_depth: int = 0  # deepest choice-point stack
+    pruned: int = 0  # runs cut by a sleep-emptied frontier
+    converged: int = 0  # runs cut by a previously-visited digest
+    truncated: bool = False  # a bound was hit (MC308 emitted)
+    findings: list[Finding] = field(default_factory=list)
+    #: order-insensitive hash of the reachable state set — the cross-core /
+    #: cross-jobs equivalence witness
+    reachable_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        from ..verify.findings import failing
+
+        return not failing(self.findings)
+
+
+def _reachable_digest(visited: set[str], terminals: set[str]) -> str:
+    h = hashlib.sha256()
+    for digest in sorted(visited):
+        h.update(digest.encode())
+    h.update(b"|terminals|")
+    for digest in sorted(terminals):
+        h.update(digest.encode())
+    return h.hexdigest()
+
+
+def explore(model_factory, reference: dict | None, options: McOptions,
+            kernel: str = "", mechanism: str = "") -> McResult:
+    """Exhaust the bounded interleaving space of ``model_factory()``.
+
+    *model_factory* must build a fresh, identically-initialised
+    :class:`McModel` on every call (determinism is what makes stateless
+    replay sound).  *reference* is the clean-run oracle for MC301.
+    """
+    result = McResult()
+    visited: set[str] = set()
+    terminals: set[str] = set()
+    findings: dict[tuple, Finding] = {}
+    #: DFS worklist of traces (branch-index tuples) still to run
+    stack: list[tuple[int, ...]] = [()]
+    # a runaway backstop well above any bounded exploration that the
+    # max_states cap would permit
+    runs_cap = 4 * options.max_states + 64
+    # seeded bugs couple warps through model-level state behind the
+    # independence oracle's back, so both commutativity-based reductions
+    # are unsound for them; only the (state-exact) digest pruning stays
+    use_reductions = options.bug is None
+
+    while stack:
+        if result.runs >= runs_cap:
+            result.truncated = True
+            break
+        trace = stack.pop()
+        result.runs += 1
+        model: McModel = model_factory()
+        sleep: set = set()
+        depth = 0  # choice points consumed along this run
+        try:
+            while True:
+                enabled = model.enabled()
+                if not enabled:
+                    model.check_terminal(reference)
+                    terminals.add(model.digest())
+                    break
+                if use_reductions:
+                    ample = next(
+                        (t for t in enabled if model.is_private(t)), None
+                    )
+                    if ample is not None:
+                        sleep = {
+                            u for u in sleep if model.independent(u, ample)
+                        }
+                        model.execute(ample)
+                        result.transitions += 1
+                        continue
+                effective = [t for t in enabled if t not in sleep]
+                if not effective:
+                    result.pruned += 1
+                    break
+                if len(effective) == 1:
+                    chosen = effective[0]
+                    sleep = {
+                        u for u in sleep if model.independent(u, chosen)
+                    }
+                    model.execute(chosen)
+                    result.transitions += 1
+                    continue
+                in_replay = depth < len(trace)
+                if not in_replay and not sleep:
+                    digest = model.digest()
+                    if digest in visited:
+                        result.converged += 1
+                        break
+                    visited.add(digest)
+                    if len(visited) > options.max_states:
+                        result.truncated = True
+                        stack.clear()
+                        break
+                result.choice_points += 1
+                if in_replay:
+                    j = trace[depth]
+                elif depth >= options.max_choice_points:
+                    result.truncated = True
+                    j = 0
+                else:
+                    j = 0
+                    prefix = trace[:depth] if depth < len(trace) else trace
+                    base = prefix + (0,) * (depth - len(prefix))
+                    for k in range(len(effective) - 1, 0, -1):
+                        stack.append(base + (k,))
+                chosen = effective[j]
+                depth += 1
+                result.max_depth = max(result.max_depth, depth)
+                if use_reductions:
+                    candidates = sleep | set(effective[:j])
+                    sleep = {
+                        u for u in candidates
+                        if model.independent(u, chosen)
+                    }
+                model.execute(chosen)
+                result.transitions += 1
+        except _RUN_ERRORS as exc:
+            model.record_exception(exc)
+        model.check_races()
+        for finding in model.findings:
+            findings.setdefault(finding.key, finding)
+
+    if result.truncated:
+        findings.setdefault(
+            ("MC308", kernel, mechanism, None, "bounds"),
+            Finding(
+                code="MC308",
+                message=(
+                    "exploration truncated at "
+                    f"{options.max_choice_points} choice points / "
+                    f"{options.max_states} states"
+                ),
+                kernel=kernel,
+                mechanism=mechanism,
+                where="bounds",
+            ),
+        )
+    result.states = len(visited)
+    result.terminals = len(terminals)
+    result.findings = sorted(findings.values(), key=Finding.sort_key)
+    result.reachable_digest = _reachable_digest(visited, terminals)
+    return result

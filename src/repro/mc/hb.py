@@ -1,0 +1,99 @@
+"""Happens-before race detection over :mod:`repro.obs` event streams.
+
+The model checker's transition driver emits one :data:`EventKind.CTX_ACCESS`
+event per touch of a saved-context buffer, alongside the protocol events
+the controller already traces.  This module assigns **vector clocks** over
+that stream — one clock component per warp plus one for the preemption
+controller — and flags *unordered conflicting* accesses to the same
+``(owner warp, slot)`` location.
+
+Synchronisation edges (the protocol's ordering guarantees):
+
+* ``SIGNAL``        controller → warp   (delivery orders the routine after
+  everything the controller observed);
+* ``EVICT``         warp → controller   (the saved context is published);
+* ``RESUME_START``  controller → warp   (the resume routine reads the
+  buffer only after the controller hands it back).
+
+Everything else is program order within one thread.  In a correct run
+every context buffer is written only by its owner's preempt routine and
+read only by its owner's resume routine, with the eviction/resume edges
+ordering the two through the controller — so clean explorations are
+trivially race-free, and any unordered pair is a protocol bug (``MC306``).
+"""
+
+from __future__ import annotations
+
+from ..obs.events import EventKind, TraceEvent
+
+#: vector-clock thread id for the preemption controller (SM_WIDE is -1)
+CTRL_THREAD = -2
+
+
+def find_races(events: list[TraceEvent], warp_ids) -> list[dict]:
+    """Unordered conflicting CTX_ACCESS pairs, in detection order.
+
+    Events must be in emission order (the execution's causal order), not
+    ``(cycle, seq)`` order — some protocol events carry future semantic
+    timestamps.  Returns one descriptor per racing *pair of threads* per
+    location (deduplicated), each JSON-able.
+    """
+    slots = {wid: i for i, wid in enumerate(sorted(warp_ids))}
+    slots[CTRL_THREAD] = len(slots)
+    width = len(slots)
+    clocks = {tid: [0] * width for tid in slots}
+
+    def tick(tid: int) -> None:
+        clocks[tid][slots[tid]] += 1
+
+    def sync(src: int, dst: int) -> None:
+        tick(src)
+        src_clock = clocks[src]
+        dst_clock = clocks[dst]
+        for i in range(width):
+            if src_clock[i] > dst_clock[i]:
+                dst_clock[i] = src_clock[i]
+        tick(dst)
+
+    #: (owner, slot) -> list of (thread, write, clock-at-access)
+    accesses: dict[tuple, list[tuple[int, bool, list[int]]]] = {}
+    races: list[dict] = []
+    reported: set[tuple] = set()
+    for event in events:
+        kind = event.kind
+        if kind is EventKind.SIGNAL or kind is EventKind.RESUME_START:
+            if event.warp_id in slots:
+                sync(CTRL_THREAD, event.warp_id)
+        elif kind is EventKind.EVICT:
+            if event.warp_id in slots:
+                sync(event.warp_id, CTRL_THREAD)
+        elif kind is EventKind.CTX_ACCESS:
+            thread = event.warp_id if event.warp_id in slots else CTRL_THREAD
+            tick(thread)
+            clock = list(clocks[thread])
+            owner = event.data.get("owner", event.warp_id)
+            location = (owner, str(event.data.get("slot")))
+            write = bool(event.data.get("write"))
+            history = accesses.setdefault(location, [])
+            for other, other_write, other_clock in history:
+                if other == thread or not (write or other_write):
+                    continue
+                # prior access happens-before this one iff its component
+                # of its own thread is visible in the current clock
+                if other_clock[slots[other]] <= clock[slots[other]]:
+                    continue
+                pair_key = (location, min(other, thread), max(other, thread))
+                if pair_key in reported:
+                    continue
+                reported.add(pair_key)
+                races.append(
+                    {
+                        "owner": owner,
+                        "slot": location[1],
+                        "threads": sorted((other, thread)),
+                        "writes": [other_write, write],
+                        "cycle": event.cycle,
+                    }
+                )
+            history.append((thread, write, clock))
+    return races

@@ -1,0 +1,697 @@
+"""Executable transition system over the simulator for model checking.
+
+The preemption protocol's nondeterminism has three sources: *when* the
+signal reaches each warp (which dynamic instruction), *when* an evicted
+warp is resumed, and *how* the scheduler interleaves warps.  This module
+reifies each source as an explicit labelled transition over a live
+:class:`~repro.sim.sm.SM`:
+
+* ``("signal", wid)`` — deliver the preemption signal to warp *wid* now
+  (atomically: set the flag, then step the warp so the divert/eviction
+  happens at a protocol boundary);
+* ``("resume", wid)`` — hand the evicted warp back to the SM;
+* ``("issue", wid)``  — let warp *wid* issue exactly one instruction (or
+  retire at program end).
+
+:class:`McModel` owns one configured simulation plus the per-warp *round*
+bookkeeping (a signal window per round, delivery forced before the window
+closes so every branch exercises the protocol), evaluates the protocol
+invariants (``MC30x``), and exposes the independence/footprint oracle the
+explorer's partial-order reduction needs.  The state digest deliberately
+abstracts timing (``timing=False``): two interleavings that converge to
+the same architectural + protocol state merge even when their cycle
+counters differ, which is what makes exhaustive exploration tractable.
+
+Seeded protocol bugs (:data:`SEEDED_BUGS`) mutate one protocol step each
+and exist so the checker's findings can be regression-tested: every bug
+is caught by a distinct finding code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.integrity import context_checksum
+from ..obs.events import EventKind, Tracer
+from ..sim.digest import memory_digest, state_digest
+from ..sim.gpu import build_launch
+from ..sim.memory import TrackedMemory
+from ..sim.preemption import PreemptionController
+from ..sim.warp import WarpMode
+from ..verify.findings import Finding
+
+#: knob -> finding code its injected defect must trigger (the contract
+#: tests assert; see DESIGN.md §13)
+SEEDED_BUGS: dict[str, str] = {
+    "drop_resume": "MC302",  # never resume the last warp
+    "double_deliver": "MC303",  # re-signal a warp whose round was served
+    "stale_exec": "MC304",  # corrupt the exec_all hint after a resume
+    "bad_accounting": "MC305",  # preempt_done before the signal
+    "racing_ctx_write": "MC306",  # foreign write into a saved context
+    "silent_corruption": "MC301",  # flip saved slots, fix the checksum
+}
+
+#: a transition label: (kind, warp_id)
+Transition = tuple[str, int]
+
+_KIND_RANK = {"signal": 0, "resume": 1, "issue": 2}
+
+#: (reads, writes) of a transition over device-memory word indices
+_EMPTY_FOOTPRINT: tuple[frozenset, frozenset] = (frozenset(), frozenset())
+
+#: mnemonics whose device-memory footprint makes cross-warp issues
+#: potentially dependent; everything else touches only warp-private state
+_MEM_MNEMONICS = ("global_load", "global_store", "s_load")
+
+#: signal_dyn far beyond any bounded exploration: the controller never
+#: self-arms; every delivery is an explicit ("signal", wid) transition
+_NEVER = 1 << 60
+
+
+def canonical_order(transitions: list[Transition]) -> list[Transition]:
+    """The deterministic exploration order: signals, resumes, issues,
+    each by ascending warp id."""
+    return sorted(transitions, key=lambda t: (_KIND_RANK[t[0]], t[1]))
+
+
+@dataclass(frozen=True)
+class McOptions:
+    """Bounds and knobs of one exploration (part of the unit cache key)."""
+
+    warps: int = 2
+    #: preemption rounds per warp (signal -> evict -> resume cycles)
+    rounds: int = 1
+    #: round r's signal window opens window_gap dynamic instructions after
+    #: the warp's (re)arm point ...
+    window_gap: int = 2
+    #: ... and spans this many dynamic instructions; delivery is forced at
+    #: the last one, so no branch escapes preemption
+    window_width: int = 2
+    #: hang guard: transitions per run
+    max_steps: int = 20_000
+    #: depth bound: branching points per run (beyond, follow index 0)
+    max_choice_points: int = 2_000
+    #: global bound on distinct recorded states
+    max_states: int = 20_000
+    #: one of :data:`SEEDED_BUGS` (None: check the real protocol)
+    bug: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.warps < 1 or self.rounds < 1 or self.window_width < 1:
+            raise ValueError("warps/rounds/window_width must be >= 1")
+        if self.bug is not None and self.bug not in SEEDED_BUGS:
+            raise ValueError(
+                f"unknown seeded bug {self.bug!r} (known: {sorted(SEEDED_BUGS)})"
+            )
+
+
+class _Round:
+    """One warp's progress through one preemption round.
+
+    Phases: ``pending`` (awaiting delivery inside ``[lo, hi)``) →
+    ``signaled`` → ``evicted``/``drain`` → ``resuming`` (switch) or
+    ``watching`` (checkpoint drop, waiting for the re-execution watermark)
+    → completed, which either rearms into the next round or parks the
+    warp at ``exhausted``.  ``expired`` means the warp finished before its
+    window — a legitimate leaf, not a finding.
+    """
+
+    __slots__ = ("no", "phase", "lo", "hi", "strategy", "expected_resume_pc")
+
+    def __init__(self, no: int, lo: int, hi: int) -> None:
+        self.no = no
+        self.phase = "pending"
+        self.lo = lo
+        self.hi = hi
+        self.strategy: str | None = None
+        self.expected_resume_pc: int | None = None
+
+    #: phases in which exploration ending means the round was lost
+    INCOMPLETE = ("signaled", "evicted", "resuming", "watching", "drain")
+
+
+def lds_digest(warp) -> str:
+    if warp.lds is None:  # kernel without an LDS allocation
+        return ""
+    return hashlib.sha256(warp.lds.snapshot().tobytes()).hexdigest()
+
+
+def clean_reference(prepared, spec, config) -> dict:
+    """Terminal architectural state of the uninterrupted run — the MC301
+    oracle.  Runs through the normal launch harness (``sm.run()``), so on
+    a fast-core config this exercises the compiled core: the checker's
+    cross-core equivalence claim covers the reference too."""
+    memory = TrackedMemory()
+    sm, _, memory = build_launch(
+        spec, config, kernel_override=prepared.kernel, memory=memory
+    )
+    PreemptionController(
+        sm=sm, prepared=prepared, target_warp_ids=set(), signal_dyn=_NEVER
+    )
+    sm.run()
+    return {
+        "memory": memory_digest(memory).hex(),
+        "lds": {w.warp_id: lds_digest(w) for w in sm.warps},
+    }
+
+
+class McModel:
+    """One live simulation exposed as a labelled transition system."""
+
+    def __init__(self, prepared, spec, config, options: McOptions,
+                 kernel: str = "", mechanism: str = "") -> None:
+        self.options = options
+        self.prepared = prepared
+        self.kernel = kernel
+        self.mechanism = mechanism or prepared.mechanism
+        memory = TrackedMemory()
+        sm, _, _ = build_launch(
+            spec, config, kernel_override=prepared.kernel, memory=memory
+        )
+        self.sm = sm
+        self.tracer = Tracer(mechanism=self.mechanism)
+        sm.tracer = self.tracer
+        self.controller = PreemptionController(
+            sm=sm,
+            prepared=prepared,
+            target_warp_ids={w.warp_id for w in sm.warps},
+            signal_dyn=_NEVER,
+        )
+        self.warps = list(sm.warps)
+        self._by_id = {w.warp_id: w for w in self.warps}
+        self.rounds = {
+            w.warp_id: _Round(
+                0, options.window_gap, options.window_gap + options.window_width
+            )
+            for w in self.warps
+        }
+        self.findings: list[Finding] = []
+        self.steps = 0
+        self._bug_fired = False
+        self._events_scanned = 0
+
+    # -- findings ---------------------------------------------------------------
+
+    def _finding(self, code: str, message: str, warp_id: int | None = None,
+                 where: str = "") -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                message=message,
+                kernel=self.kernel,
+                mechanism=self.mechanism,
+                position=warp_id,
+                where=where,
+            )
+        )
+
+    def record_exception(self, exc: BaseException) -> None:
+        """A transition raised: the run is abandoned with an MC307."""
+        self._finding(
+            "MC307", f"{type(exc).__name__}: {exc}", where="exception"
+        )
+
+    # -- enabled transitions ----------------------------------------------------
+
+    def _signal_ok(self, warp, rnd: _Round) -> bool:
+        return (
+            rnd.phase == "pending"
+            and warp.mode is WarpMode.RUNNING
+            and warp.program is warp.main_program
+            and not warp.preempt_flag
+            and not warp.at_program_end()
+            and rnd.lo <= warp.dyn_count < rnd.hi
+        )
+
+    def enabled(self) -> list[Transition]:
+        """Enabled transitions in canonical order.  Delivery is *forced*
+        at the window's last dynamic instruction (the plain issue is
+        withheld), so every explored branch preempts every warp whose
+        window it reaches."""
+        transitions: list[Transition] = []
+        bug = self.options.bug
+        last_wid = self.warps[-1].warp_id if self.warps else None
+        for warp in self.warps:
+            wid = warp.warp_id
+            rnd = self.rounds[wid]
+            signal_ok = self._signal_ok(warp, rnd)
+            if signal_ok:
+                transitions.append(("signal", wid))
+            if warp.mode is WarpMode.EVICTED and rnd.phase == "evicted":
+                if not (bug == "drop_resume" and wid == last_wid):
+                    transitions.append(("resume", wid))
+            if warp.issuable:
+                forced = signal_ok and warp.dyn_count == rnd.hi - 1
+                if not forced:
+                    transitions.append(("issue", wid))
+        return canonical_order(transitions)
+
+    def is_private(self, t: Transition) -> bool:
+        """True when *t* is an issue that touches only warp-private state
+        *and* forecloses no protocol choice: the explorer may execute it
+        without branching (the single-successor ample step)."""
+        kind, wid = t
+        if kind != "issue":
+            return False
+        warp = self._by_id[wid]
+        if not warp.issuable or warp.at_program_end() or warp.preempt_flag:
+            return False
+        if self._signal_ok(warp, self.rounds[wid]):
+            return False  # defer-vs-deliver must remain a branch point
+        pc = warp.state.pc
+        if warp.tables().is_ckpt_probe[pc]:
+            return False
+        return warp.program.instructions[pc].mnemonic not in _MEM_MNEMONICS
+
+    # -- independence (for sleep sets) ------------------------------------------
+
+    def footprint(self, t: Transition):
+        """Device-memory (reads, writes) word-index sets of *t*, or None
+        when they cannot be predicted (treated as conflicting with
+        everything).  Signals are footprint-free except under a drain
+        strategy, where delivery issues the next main instruction."""
+        kind, wid = t
+        warp = self._by_id[wid]
+        if kind == "resume":
+            return _EMPTY_FOOTPRINT
+        if kind == "signal" and self.prepared.strategy_for(warp) != "drain":
+            return _EMPTY_FOOTPRINT
+        if not warp.issuable or warp.at_program_end():
+            return _EMPTY_FOOTPRINT
+        instr = warp.program.instructions[warp.state.pc]
+        mnemonic = instr.mnemonic
+        if mnemonic not in _MEM_MNEMONICS:
+            return _EMPTY_FOOTPRINT
+        state = warp.state
+        executor = self.sm.executor_for(warp)
+        try:
+            if mnemonic == "s_load":
+                addr = executor._scalar_operand(
+                    state, instr.srcs[0]
+                ) + executor._scalar_operand(state, instr.srcs[1])
+                return (frozenset((int(addr) >> 2,)), frozenset())
+            base = executor._vector_operand(state, instr.srcs[0]).astype(np.int64)
+            offset_src = instr.srcs[1] if mnemonic == "global_load" else instr.srcs[2]
+            offset = int(executor._scalar_operand(state, offset_src))
+            words = frozenset(
+                int(a) >> 2 for a in (base + offset)[state.exec_mask]
+            )
+            if mnemonic == "global_load":
+                return (words, frozenset())
+            return (frozenset(), words)
+        except Exception:
+            return None
+
+    def independent(self, t: Transition, u: Transition) -> bool:
+        """Commutativity oracle for the sleep sets: same-warp transitions
+        always conflict; cross-warp transitions conflict only through
+        overlapping device-memory footprints with at least one write."""
+        if t[1] == u[1]:
+            return False
+        ft = self.footprint(t)
+        fu = self.footprint(u)
+        if ft is None or fu is None:
+            return False
+        reads_t, writes_t = ft
+        reads_u, writes_u = fu
+        return not (writes_t & (reads_u | writes_u) or writes_u & reads_t)
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, t: Transition) -> None:
+        kind, wid = t
+        warp = self._by_id[wid]
+        self.steps += 1
+        if self.steps > self.options.max_steps:
+            raise RuntimeError(
+                f"exploration run exceeded {self.options.max_steps} transitions"
+            )
+        if kind == "signal":
+            self._deliver_signal(warp)
+        elif kind == "resume":
+            self._resume(warp)
+        else:
+            self._issue(warp)
+        self._post_step(warp)
+
+    def _deliver_signal(self, warp) -> None:
+        rnd = self.rounds[warp.warp_id]
+        rnd.strategy = self.prepared.strategy_for(warp)
+        if rnd.strategy == "switch":
+            plan = self.prepared.plans.get(warp.state.pc)
+            rnd.expected_resume_pc = plan.resume_pc if plan is not None else None
+        warp.preempt_flag = True
+        warp.signal_cycle = self.sm.cycle
+        self.controller.delivered.add(warp.warp_id)
+        rnd.phase = "signaled"
+        # step the warp so delivery lands at the next protocol boundary
+        # (divert/eviction) inside this same transition
+        self.sm.step_warp(warp)
+
+    def _resume(self, warp) -> None:
+        rnd = self.rounds[warp.warp_id]
+        # a resume request is only meaningful once the eviction's context
+        # traffic has drained; model it by advancing the clock there
+        if warp.preempt_done_cycle is not None:
+            self.sm.cycle = max(self.sm.cycle, warp.preempt_done_cycle)
+        self.controller.resume_warp(warp, self.sm.cycle)
+        rnd.phase = (
+            "resuming" if warp.mode is WarpMode.RESUME_ROUTINE else "watching"
+        )
+
+    def _issue(self, warp) -> None:
+        self._pre_issue_bug_hooks(warp)
+        issued_before = self.sm.stats.issued
+        program = warp.program
+        pc = warp.state.pc
+        self.sm.step_warp(warp)
+        if self.sm.stats.issued == issued_before + 1:
+            self._note_ctx_access(warp, program.instructions[pc])
+
+    def _note_ctx_access(self, warp, instr) -> None:
+        """Emit one CTX_ACCESS event per executed context-buffer op (the
+        race detector's load/store stream)."""
+        mnemonic = instr.mnemonic
+        if mnemonic in ("ctx_store_v", "ctx_store_s"):
+            slot, write = instr.srcs[1].value, True
+        elif mnemonic in ("ctx_load_v", "ctx_load_s"):
+            slot, write = instr.srcs[0].value, False
+        elif mnemonic in ("ctx_store_lds", "ctx_load_lds"):
+            slot, write = "lds", mnemonic == "ctx_store_lds"
+        else:
+            return
+        self.tracer.emit(
+            self.sm.cycle,
+            EventKind.CTX_ACCESS,
+            warp.warp_id,
+            owner=warp.warp_id,
+            slot=slot,
+            write=write,
+        )
+
+    # -- round bookkeeping and per-step invariants ------------------------------
+
+    def _post_step(self, stepped) -> None:
+        for warp in self.warps:
+            rnd = self.rounds[warp.warp_id]
+            if rnd.phase == "pending":
+                done = warp.mode is WarpMode.DONE or (
+                    warp.mode is WarpMode.RUNNING
+                    and warp.program is warp.main_program
+                    and warp.at_program_end()
+                )
+                if done or warp.dyn_count >= rnd.hi:
+                    rnd.phase = "expired"
+            elif rnd.phase == "signaled":
+                if warp.mode is WarpMode.EVICTED:
+                    rnd.phase = "evicted"
+                    self._on_evicted(warp)
+                elif warp.warp_id in self.controller._draining:
+                    rnd.phase = "drain"
+            elif rnd.phase == "drain":
+                if warp.mode is WarpMode.DONE:
+                    self._complete_round(warp, rnd)
+            elif rnd.phase in ("resuming", "watching"):
+                if warp.mode is WarpMode.DONE or (
+                    warp.mode is WarpMode.RUNNING
+                    and warp.program is warp.main_program
+                    and warp.resume_done_cycle is not None
+                ):
+                    self._complete_round(warp, rnd)
+        self._check_coherence(stepped)
+        self._scan_events()
+        self._maybe_double_deliver()
+
+    def _check_coherence(self, warp) -> None:
+        """MC304 per-transition checks on the warp that just moved."""
+        state = warp.state
+        rnd = self.rounds[warp.warp_id]
+        where = f"round{rnd.no}"
+        if bool(state.exec_mask.all()) != state.exec_all:
+            self._finding(
+                "MC304",
+                "exec_all hint disagrees with the exec mask",
+                warp.warp_id,
+                where,
+            )
+            state.exec_all = bool(state.exec_mask.all())  # report once
+        if not 0 <= state.pc <= len(warp.program.instructions):
+            self._finding(
+                "MC304",
+                f"pc {state.pc} outside program bounds",
+                warp.warp_id,
+                where,
+            )
+
+    def _scan_events(self) -> None:
+        """MC303: the controller absorbed a duplicate signal.  The model
+        never re-delivers on its own, so any duplicate-ignored recovery is
+        a protocol violation (or the double_deliver seeded bug)."""
+        events = self.tracer.events
+        for event in events[self._events_scanned:]:
+            if (
+                event.kind is EventKind.RECOVER
+                and event.data.get("action") == "duplicate_ignored"
+            ):
+                rnd = self.rounds.get(event.warp_id)
+                self._finding(
+                    "MC303",
+                    "duplicate preemption signal absorbed after the round "
+                    "was already served",
+                    event.warp_id,
+                    f"round{rnd.no}" if rnd is not None else "",
+                )
+        self._events_scanned = len(events)
+
+    def _complete_round(self, warp, rnd: _Round) -> None:
+        wid = warp.warp_id
+        where = f"round{rnd.no}"
+        measurement = self.controller.measurements.get(wid)
+        if measurement is None:
+            self._finding(
+                "MC305", "round completed without a measurement", wid, where
+            )
+            rnd.phase = "exhausted"
+            return
+        if (
+            measurement.resume_cycles is None
+            and warp.resume_start_cycle is not None
+            and warp.resume_done_cycle is not None
+        ):
+            # checkpoint-drop resumes complete at the re-execution
+            # watermark; fill the measurement in as the harness does
+            measurement.resume_cycles = (
+                warp.resume_done_cycle - warp.resume_start_cycle
+            )
+        if (
+            rnd.phase == "resuming"
+            and rnd.strategy == "switch"
+            and rnd.expected_resume_pc is not None
+            and not warp.degraded_save
+            and warp.mode is WarpMode.RUNNING
+            and warp.state.pc != rnd.expected_resume_pc
+        ):
+            self._finding(
+                "MC304",
+                f"resumed at pc {warp.state.pc}, plan says "
+                f"{rnd.expected_resume_pc}",
+                wid,
+                where,
+            )
+        self._check_accounting(warp, rnd, measurement)
+        if self.options.bug == "stale_exec" and not self._bug_fired and (
+            rnd.strategy == "switch"
+        ):
+            warp.state.exec_all = not bool(warp.state.exec_mask.all())
+            self._bug_fired = True
+        if rnd.no + 1 < self.options.rounds and warp.mode is WarpMode.RUNNING:
+            self.controller.rearm(warp)
+            lo = warp.dyn_count + self.options.window_gap
+            self.rounds[wid] = _Round(
+                rnd.no + 1, lo, lo + self.options.window_width
+            )
+        else:
+            rnd.phase = "exhausted"
+
+    def _check_accounting(self, warp, rnd: _Round, measurement) -> None:
+        """MC305: the measured preemption timeline must be complete and
+        monotonic: signal ≤ preempt_done ≤ resume_start ≤ resume_done."""
+        wid = warp.warp_id
+        where = f"round{rnd.no}"
+        problems: list[str] = []
+        if measurement.latency_cycles is None or measurement.latency_cycles < 0:
+            problems.append(
+                f"latency_cycles {measurement.latency_cycles} never measured"
+            )
+        if rnd.phase == "drain":
+            if measurement.resume_cycles != 0:
+                problems.append(
+                    f"drained warp has resume_cycles "
+                    f"{measurement.resume_cycles}, expected 0"
+                )
+        else:
+            done = warp.preempt_done_cycle
+            start = warp.resume_start_cycle
+            if done is not None and measurement.signal_cycle > done:
+                problems.append(
+                    f"preempt_done {done} precedes the signal at "
+                    f"{measurement.signal_cycle}"
+                )
+            if start is None:
+                problems.append("resume_start_cycle never recorded")
+            elif done is not None and start < done:
+                problems.append(
+                    f"resume_start {start} precedes preempt_done {done}"
+                )
+            if warp.resume_done_cycle is not None and start is not None and (
+                warp.resume_done_cycle < start
+            ):
+                problems.append(
+                    f"resume_done {warp.resume_done_cycle} precedes "
+                    f"resume_start {start}"
+                )
+            if measurement.resume_cycles is None or measurement.resume_cycles < 0:
+                problems.append(
+                    f"resume_cycles {measurement.resume_cycles} never measured"
+                )
+        for problem in problems:
+            self._finding("MC305", problem, wid, where)
+
+    # -- leaf / run-end checks --------------------------------------------------
+
+    def check_terminal(self, reference: dict | None) -> None:
+        """Invariants asserted when no transition is enabled: every round
+        ran to completion (MC302) and, with all warps retired, the
+        architectural state matches the uninterrupted reference (MC301)."""
+        for warp in self.warps:
+            rnd = self.rounds[warp.warp_id]
+            if rnd.phase in _Round.INCOMPLETE:
+                self._finding(
+                    "MC302",
+                    f"round stuck in phase {rnd.phase!r} at exploration end",
+                    warp.warp_id,
+                    f"round{rnd.no}",
+                )
+        if reference is None or any(
+            w.mode is not WarpMode.DONE for w in self.warps
+        ):
+            return
+        if memory_digest(self.sm.memory).hex() != reference["memory"]:
+            self._finding(
+                "MC301", "device memory diverges from the clean reference",
+                where="memory",
+            )
+        for warp in self.warps:
+            expected = reference["lds"].get(warp.warp_id)
+            if expected is not None and lds_digest(warp) != expected:
+                self._finding(
+                    "MC301",
+                    "LDS content diverges from the clean reference",
+                    warp.warp_id,
+                    "lds",
+                )
+
+    def check_races(self) -> None:
+        """Run the happens-before detector over this run's event stream
+        (terminal or aborted alike) and report MC306 per racing pair."""
+        from .hb import find_races
+
+        for race in find_races(
+            self.tracer.events, [w.warp_id for w in self.warps]
+        ):
+            self._finding(
+                "MC306",
+                f"threads {race['threads']} race on slot {race['slot']} "
+                f"of warp {race['owner']}'s context buffer",
+                race["owner"],
+                f"slot:{race['slot']}",
+            )
+
+    def digest(self) -> str:
+        """Canonical state hash: architectural + protocol state with the
+        timing dimension abstracted away, plus the round phase machine."""
+        parts = [
+            f"{w.warp_id}:{r.no}:{r.phase}:{r.lo}:{r.hi}"
+            for w in self.warps
+            for r in (self.rounds[w.warp_id],)
+        ]
+        parts.append(f"bug:{int(self._bug_fired)}")
+        return state_digest(
+            self.sm,
+            self.controller,
+            timing=False,
+            extra="|".join(parts).encode(),
+        )
+
+    # -- seeded bugs ------------------------------------------------------------
+
+    def _scribble(self, victim) -> object:
+        """Flip one saved slot of *victim*'s context buffer; returns the
+        slot touched (or None when the buffer has no integer slots)."""
+        buffer = victim.state.ctx_buffer
+        slots = sorted(s for s in buffer if not isinstance(s, str))
+        if not slots:
+            return None
+        slot = slots[0]
+        value = buffer[slot]
+        if isinstance(value, np.ndarray):
+            buffer[slot] = value ^ value.dtype.type(1)
+        else:
+            buffer[slot] = int(value) ^ 1
+        return slot
+
+    def _on_evicted(self, warp) -> None:
+        bug = self.options.bug
+        if bug == "silent_corruption" and not self._bug_fired:
+            if self._scribble(warp) is not None:
+                # recompute the checksum so the corruption survives the
+                # integrity gate — only the MC301 oracle can see it
+                warp.ctx_checksum = context_checksum(warp.state.ctx_buffer)
+                self._bug_fired = True
+        elif bug == "bad_accounting" and not self._bug_fired:
+            warp.preempt_done_cycle = (warp.signal_cycle or 0) - 5
+            self._bug_fired = True
+
+    def _pre_issue_bug_hooks(self, warp) -> None:
+        if self.options.bug != "racing_ctx_write" or self._bug_fired:
+            return
+        if warp is not self.warps[0]:
+            return
+        for victim in self.warps:
+            if victim is warp or victim.mode is not WarpMode.EVICTED:
+                continue
+            slot = self._scribble(victim)
+            if slot is None:
+                continue
+            # the foreign write is visible to the race detector but not
+            # ordered by any protocol edge: a write-write race with the
+            # victim's own preempt-routine store
+            self.tracer.emit(
+                self.sm.cycle,
+                EventKind.CTX_ACCESS,
+                warp.warp_id,
+                owner=victim.warp_id,
+                slot=slot,
+                write=True,
+            )
+            self._bug_fired = True
+            return
+
+    def _maybe_double_deliver(self) -> None:
+        if self.options.bug != "double_deliver" or self._bug_fired:
+            return
+        for warp in self.warps:
+            rnd = self.rounds[warp.warp_id]
+            if (
+                rnd.phase == "exhausted"
+                and warp.mode is WarpMode.RUNNING
+                and not warp.preempt_flag
+                and not warp.at_program_end()
+                and warp.warp_id in self.controller.measurements
+            ):
+                warp.preempt_flag = True
+                self._bug_fired = True
+                return

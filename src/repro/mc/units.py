@@ -1,0 +1,177 @@
+"""Cacheable model-checking work units and their reporters.
+
+One :class:`McUnit` explores the bounded interleaving space of one
+``(kernel, mechanism)`` cell and returns a JSON-able *verdict* — counts,
+the reachable-state digest, and the findings.  Units are frozen and
+picklable, so ``python -m repro mc`` shards the (kernel × mechanism)
+frontier across the experiment engine's process pool exactly like the
+figure drivers; verdicts are cached on the full content of kernel +
+config + exploration options, keyed with :data:`MC_VERSION` so checker
+changes invalidate stale verdicts.
+
+Because a unit's exploration is single-process and fully deterministic,
+and the engine merges results by submission index, the merged verdicts
+are bit-identical across ``--jobs`` values — the property the twin tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.cache import canonical, describe_kernel, get_cache
+from ..kernels.suite import SUITE
+from ..mechanisms import make_mechanism
+from ..sim.config import GPUConfig
+from ..verify.findings import Finding, failing
+from ..verify.report import finding_from_dict, finding_to_dict
+from .explorer import explore
+from .model import McModel, McOptions, clean_reference
+
+#: bump to invalidate every cached mc verdict (checker semantics change)
+MC_VERSION = 1
+
+
+def mc_profile_for(
+    key: str,
+    mechanism: str,
+    config: GPUConfig,
+    options: McOptions,
+    iterations: int | None = None,
+) -> dict:
+    """Cached exploration verdict for one (kernel, mechanism) cell."""
+    resolved_iterations = (
+        SUITE[key].default_iterations if iterations is None else iterations
+    )
+
+    def launch():
+        return SUITE[key].launch(
+            warp_size=config.warp_size,
+            iterations=resolved_iterations,
+            num_warps=options.warps,
+        )
+
+    parts = {
+        "bench": key,
+        "kernel": describe_kernel(launch().kernel),
+        "config": canonical(config),
+        "iterations": resolved_iterations,
+        "mechanism": mechanism,
+        "mc_options": canonical(options),
+        "mc_version": MC_VERSION,
+    }
+
+    def run() -> dict:
+        bench_launch = launch()
+        prepared = make_mechanism(mechanism).prepare(bench_launch.kernel, config)
+        spec = bench_launch.spec()
+        reference = clean_reference(prepared, spec, config)
+
+        def factory() -> McModel:
+            return McModel(
+                prepared, spec, config, options,
+                kernel=key, mechanism=mechanism,
+            )
+
+        result = explore(
+            factory, reference, options, kernel=key, mechanism=mechanism
+        )
+        return {
+            "kernel": key,
+            "mechanism": mechanism,
+            "warps": options.warps,
+            "rounds": options.rounds,
+            "explored_states": result.states,
+            "terminals": result.terminals,
+            "transitions": result.transitions,
+            "runs": result.runs,
+            "choice_points": result.choice_points,
+            "max_depth": result.max_depth,
+            "pruned": result.pruned,
+            "converged": result.converged,
+            "truncated": result.truncated,
+            "reachable_digest": result.reachable_digest,
+            "findings": [finding_to_dict(f) for f in result.findings],
+            "ok": result.ok,
+        }
+
+    return get_cache().get_or_create("mc", parts, run)
+
+
+@dataclass(frozen=True)
+class McUnit:
+    """One model-checking cell: (kernel, mechanism, exploration options)."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig | None = None
+    options: McOptions = McOptions()
+    iterations: int | None = None
+
+    def run(self) -> dict:
+        config = self.config if self.config is not None else GPUConfig.small(4)
+        return mc_profile_for(
+            self.key, self.mechanism, config, self.options, self.iterations
+        )
+
+
+def verdict_findings(verdicts: list[dict]) -> list[Finding]:
+    """Reconstructed findings of every verdict, in stable report order."""
+    findings = [
+        finding_from_dict(entry)
+        for verdict in verdicts
+        for entry in verdict.get("findings", ())
+    ]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_mc_text(verdicts: list[dict]) -> str:
+    lines = [
+        f"{'kernel':8s} {'mechanism':10s} {'states':>7s} {'terminals':>9s} "
+        f"{'runs':>6s} {'trans':>8s} {'depth':>5s} {'findings':>8s}"
+    ]
+    for verdict in verdicts:
+        flags = " (truncated)" if verdict.get("truncated") else ""
+        lines.append(
+            f"{verdict['kernel']:8s} {verdict['mechanism']:10s} "
+            f"{verdict['explored_states']:>7d} {verdict['terminals']:>9d} "
+            f"{verdict['runs']:>6d} {verdict['transitions']:>8d} "
+            f"{verdict['max_depth']:>5d} {len(verdict['findings']):>8d}"
+            f"{flags}"
+        )
+    for finding in verdict_findings(verdicts):
+        lines.append("  " + finding.render())
+    blocking = failing(verdict_findings(verdicts))
+    lines.append(
+        f"FAIL: {len(blocking)} blocking finding(s)" if blocking else "OK"
+    )
+    return "\n".join(lines)
+
+
+def render_mc_json(verdicts: list[dict]) -> dict:
+    """The lint-compatible JSON report shape (schema, summary, findings) —
+    the ``--write-baseline`` / ``--diff-baseline`` ratchet reads it."""
+    from ..verify.findings import Severity
+    from ..verify.report import JSON_SCHEMA_VERSION
+
+    findings = verdict_findings(verdicts)
+    by_severity = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        by_severity[finding.severity.value] += 1
+    return {
+        "schema": JSON_SCHEMA_VERSION,
+        "summary": {
+            "kernels": sorted({v["kernel"] for v in verdicts}),
+            "mechanisms": sorted({v["mechanism"] for v in verdicts}),
+            "explored_states": sum(v["explored_states"] for v in verdicts),
+            "terminals": sum(v["terminals"] for v in verdicts),
+            "transitions": sum(v["transitions"] for v in verdicts),
+            "runs": sum(v["runs"] for v in verdicts),
+            "truncated": any(v["truncated"] for v in verdicts),
+            "findings": len(findings),
+            "by_severity": by_severity,
+            "ok": not failing(findings),
+        },
+        "verdicts": verdicts,
+        "findings": [finding_to_dict(f) for f in findings],
+    }

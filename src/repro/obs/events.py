@@ -73,6 +73,13 @@ class EventKind(Enum):
     DEGRADE = "degrade"
     #: a recovery action completed (data: action + per-action detail)
     RECOVER = "recover"
+    #: one access to a saved-context buffer (emitted by the model checker's
+    #: transition driver; data: owner = warp whose buffer was touched,
+    #: slot, write).  The happens-before race detector (:mod:`repro.mc.hb`)
+    #: assigns vector clocks over the event stream — SIGNAL / EVICT /
+    #: RESUME_START are its synchronisation edges — and flags unordered
+    #: conflicting CTX_ACCESS pairs on the same (owner, slot)
+    CTX_ACCESS = "ctx_access"
     # -- request-level events (:mod:`repro.serve`; "cycle" carries the
     # -- serving clock in integer nanoseconds, not simulated GPU cycles)
     #: a request entered the fleet (data: tenant, gpu)

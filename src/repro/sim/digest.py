@@ -1,0 +1,208 @@
+"""Canonical state digests over the simulated machine.
+
+One deterministic `sha256` over everything that defines a simulation
+state: register files, LDS, :class:`DeviceMemory`, the per-warp
+preemption bookkeeping and the controller's in-flight protocol state.
+Two state trees digest equal iff a byte-for-byte comparison of those
+components would find them equal — insertion order of dicts, NumPy
+layout details and other representation noise never leak into the hash.
+
+Two views exist:
+
+* ``timing=True`` (default): the full machine state, including cycles,
+  scoreboards and the memory-port watermark.  This is what the chaos
+  oracle compares (two runs that digest equal are bit-identical) and
+  what the cross-core regression tests pin.
+* ``timing=False``: the *architectural* projection used by the model
+  checker (:mod:`repro.mc`).  Interleaving two independent warp steps in
+  either order reaches the same architectural state but different cycle
+  counts; excluding timing lets the DFS recognise the convergence and
+  prune the second branch.
+
+Within one exploration a routine program is uniquely determined by
+``(mechanism, kernel, signal_pc)``; the digest therefore encodes the
+current program as its length plus the controller's recorded
+``signal_pc`` instead of hashing instruction text on every state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .preemption import PreemptionController
+    from .sm import SM
+    from .warp import SimWarp
+
+
+def _feed(h, tag: str, value) -> None:
+    """Hash one tagged scalar/array with unambiguous framing."""
+    h.update(tag.encode())
+    h.update(b"=")
+    if value is None:
+        h.update(b"~")
+    elif isinstance(value, np.ndarray):
+        h.update(str(value.dtype).encode())
+        h.update(repr(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, bytes):
+        h.update(value)
+    elif isinstance(value, (bool, np.bool_)):
+        h.update(b"1" if value else b"0")
+    elif isinstance(value, (int, np.integer)):
+        h.update(str(int(value)).encode())
+    elif isinstance(value, float):
+        h.update(repr(value).encode())
+    else:  # str and enum values
+        h.update(str(value).encode())
+    h.update(b";")
+
+
+def _feed_ctx_buffer(h, buffer: dict) -> None:
+    # slots are ints plus the "lds" snapshot; sort on a type-stable key
+    for slot in sorted(buffer, key=lambda k: (isinstance(k, str), k)):
+        _feed(h, f"ctx[{slot}]", buffer[slot])
+
+
+def _feed_snapshot(h, tag: str, snapshot) -> None:
+    """Hash a :class:`CkptSnapshot` (or the fault shadow image)."""
+    if snapshot is None:
+        _feed(h, tag, None)
+        return
+    vregs, sregs, exec_mask, scc, pc = snapshot.regs
+    _feed(h, f"{tag}.vregs", vregs)
+    _feed(h, f"{tag}.sregs", sregs)
+    _feed(h, f"{tag}.exec", exec_mask)
+    _feed(h, f"{tag}.scc", scc)
+    _feed(h, f"{tag}.pc", pc)
+    _feed(h, f"{tag}.lds", snapshot.lds)
+    _feed(h, f"{tag}.dyn", snapshot.dyn_count)
+    for probe in sorted(snapshot.probe_counts):
+        _feed(h, f"{tag}.probe[{probe}]", snapshot.probe_counts[probe])
+    _feed(h, f"{tag}.nbytes", snapshot.nbytes)
+    _feed(h, f"{tag}.pc_after", snapshot.pc_after_probe)
+
+
+def _feed_warp(h, warp: "SimWarp", *, timing: bool) -> None:
+    state = warp.state
+    _feed(h, "warp", warp.warp_id)
+    _feed(h, "mode", warp.mode.value)
+    _feed(h, "prog_len", len(warp.program.instructions))
+    _feed(h, "main", warp.program is warp.main_program)
+    _feed(h, "pc", state.pc)
+    _feed(h, "dyn", warp.dyn_count)
+    _feed(h, "flag", warp.preempt_flag)
+    _feed(h, "strategy", warp.active_strategy)
+    _feed(h, "vregs", state.vregs)
+    _feed(h, "sregs", state.sregs)
+    _feed(h, "exec", state.exec_mask)
+    _feed(h, "exec_all", state.exec_all)
+    _feed(h, "scc", state.scc)
+    _feed_ctx_buffer(h, state.ctx_buffer)
+    if warp.lds is not None:
+        _feed(h, "lds", warp.lds.words)
+    for probe in sorted(warp.probe_counts):
+        _feed(h, f"probe[{probe}]", warp.probe_counts[probe])
+    _feed_snapshot(h, "ckpt", warp.last_checkpoint)
+    _feed_snapshot(h, "image", warp.arch_image)
+    _feed(h, "watch", warp.resume_watch_dyn)
+    _feed(h, "degraded", warp.degraded_save)
+    _feed(h, "crc", warp.ctx_checksum)
+    if timing:
+        _feed(h, "next_free", warp.next_free)
+        for rid in sorted(warp.pending):
+            _feed(h, f"pend[{rid}]", warp.pending[rid])
+        _feed(h, "pending_max", warp.pending_max)
+        _feed(h, "mem_done", warp.routine_last_mem_completion)
+        _feed(h, "sig_cycle", warp.signal_cycle)
+        _feed(h, "pre_done", warp.preempt_done_cycle)
+        _feed(h, "res_start", warp.resume_start_cycle)
+        _feed(h, "res_done", warp.resume_done_cycle)
+
+
+def memory_digest(memory) -> bytes:
+    """Digest of the functional memory contents.
+
+    Memories that track their own dirty set (``TrackedMemory``) hash only
+    the touched words — the model checker digests per choice point, and
+    hashing the full 32 MB address space there would dominate exploration.
+    """
+    digest = getattr(memory, "content_digest", None)
+    if digest is not None:
+        return digest()
+    h = hashlib.sha256()
+    _feed(h, "mem", memory._words)
+    return h.digest()
+
+
+def state_digest(
+    sm: "SM",
+    controller: "PreemptionController | None" = None,
+    *,
+    timing: bool = True,
+    extra: bytes = b"",
+) -> str:
+    """Deterministic digest of one SM (plus optional controller) state."""
+    h = hashlib.sha256()
+    _feed(h, "warps", len(sm.warps))
+    for warp in sm.warps:
+        _feed_warp(h, warp, timing=timing)
+    h.update(memory_digest(sm.memory))
+    if timing:
+        _feed(h, "cycle", sm.cycle)
+        _feed(h, "port", sm.pipeline._port_free)
+        _feed(h, "mem_bytes", sm.pipeline.total_bytes)
+        _feed(h, "mem_reqs", sm.pipeline.total_requests)
+    if controller is not None:
+        _feed(h, "armed", controller.armed)
+        _feed(h, "delivered", ",".join(map(str, sorted(controller.delivered))))
+        _feed(h, "draining", ",".join(map(str, sorted(controller._draining))))
+        _feed(h, "history", len(getattr(controller, "history", ())))
+        for wid in sorted(controller.measurements):
+            m = controller.measurements[wid]
+            _feed(h, f"m[{wid}].pc", m.signal_pc)
+            _feed(h, f"m[{wid}].bytes", m.context_bytes)
+            _feed(h, f"m[{wid}].fb", m.flashback_pos)
+            _feed(h, f"m[{wid}].deg", m.degraded)
+            if timing:
+                _feed(h, f"m[{wid}].sig", m.signal_cycle)
+                _feed(h, f"m[{wid}].lat", m.latency_cycles)
+                _feed(h, f"m[{wid}].res", m.resume_cycles)
+                _feed(h, f"m[{wid}].rec", m.recovery_cycles)
+    if extra:
+        _feed(h, "extra", extra)
+    return h.hexdigest()
+
+
+def arch_digest(
+    sm: "SM",
+    warp_ids: Iterable[int],
+    *,
+    lds_only: Iterable[int] = (),
+) -> str:
+    """Digest of the per-warp *architectural* end state the chaos oracle
+    compares: register files, exec mask, SCC and LDS.
+
+    Warps in *lds_only* contribute only their LDS contents — a warp that
+    recovered through the full-image path restored registers that were
+    dead at the signal point, so its register file legitimately differs
+    from the clean run's while every observable output still matches.
+    """
+    skip_regs = frozenset(lds_only)
+    by_id = {warp.warp_id: warp for warp in sm.warps}
+    h = hashlib.sha256()
+    for wid in sorted(warp_ids):
+        warp = by_id[wid]
+        _feed(h, "warp", wid)
+        if wid not in skip_regs:
+            state = warp.state
+            _feed(h, "vregs", state.vregs)
+            _feed(h, "sregs", state.sregs)
+            _feed(h, "exec", state.exec_mask)
+            _feed(h, "scc", state.scc)
+        if warp.lds is not None:
+            _feed(h, "lds", warp.lds.words)
+    return h.hexdigest()

@@ -136,6 +136,62 @@ class DeviceMemory:
         raise TypeError("DeviceMemory is unhashable")
 
 
+class TrackedMemory(DeviceMemory):
+    """Device memory that records which words were ever written.
+
+    The model checker (:mod:`repro.mc`) digests device memory at every
+    choice point; hashing the full address space each time would dominate
+    exploration, so kernels under exploration run on this subclass and
+    the digest covers only the dirty set.  Reads as zero / writes behave
+    exactly like :class:`DeviceMemory` — tracking is bookkeeping only.
+    """
+
+    def __init__(self, size_bytes: int = DEFAULT_SIZE_BYTES) -> None:
+        super().__init__(size_bytes)
+        self._dirty: set[int] = set()
+
+    def store_word(self, addr: int, value: int) -> None:
+        super().store_word(addr, value)
+        self._dirty.add(addr >> 2)
+
+    def store_array(self, addr: int, values) -> None:
+        super().store_array(addr, values)
+        start = addr >> 2
+        count = len(np.asarray(values, dtype=np.uint32).ravel())
+        self._dirty.update(range(start, start + count))
+
+    def scatter(
+        self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        super().scatter(byte_addrs, values, mask)
+        if mask.any():
+            words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask]
+            self._dirty.update(words.tolist())
+
+    def scatter_full(self, word_addrs: np.ndarray, values) -> None:
+        super().scatter_full(word_addrs, values)
+        self._dirty.update(np.asarray(word_addrs).tolist())
+
+    def dirty_words(self) -> list[int]:
+        """Sorted word indices written at least once."""
+        return sorted(self._dirty)
+
+    def content_digest(self) -> bytes:
+        """sha256 equivalent to hashing the full contents: dirty words that
+        currently hold zero are skipped, so the digest depends only on the
+        nonzero (index, value) pairs — untouched words read as zero."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(str(self.size_bytes).encode())
+        idx = np.fromiter(sorted(self._dirty), dtype=np.int64, count=len(self._dirty))
+        values = self._words[idx]
+        live = values != 0
+        h.update(idx[live].tobytes())
+        h.update(values[live].tobytes())
+        return h.digest()
+
+
 @dataclass
 class MemoryPipeline:
     """Bandwidth-limited, fixed-latency memory service for one SM.

@@ -60,6 +60,9 @@ class PreemptionController:
     armed: bool = True
     #: warps already signalled once — the experiment preempts each warp once
     delivered: set[int] = field(default_factory=set)
+    #: measurements archived by :meth:`rearm` (multi-round preemption —
+    #: the model checker signals the same warp several times per run)
+    history: list[WarpMeasurement] = field(default_factory=list)
     #: warps currently draining (signal received, running to completion)
     _draining: set[int] = field(default_factory=set)
     #: fault injector (:mod:`repro.faults`); ``None`` disables injection
@@ -86,6 +89,10 @@ class PreemptionController:
         if len(self.delivered) == len(self.target_warp_ids):
             self.armed = False  # every target signalled once; nothing to scan
             return
+        # pinned delivery order: sm.warps is built in warp_id order, so
+        # several warps crossing the trigger on the same poll are flagged
+        # in ascending warp_id — same-cycle signals are totally ordered by
+        # (signal_cycle, warp_id) on both cores (tests/test_signal_order.py)
         for warp in self.sm.warps:
             if (
                 warp.warp_id in self.target_warp_ids
@@ -541,6 +548,38 @@ class PreemptionController:
                 routine="resume", context_bytes=plan.context_bytes,
             )
         self.sm.refresh_issuable()  # the warp left the scheduler's list
+
+    def rearm(self, warp: SimWarp) -> None:
+        """Archive a completed preemption round and allow another signal.
+
+        The single-signal experiment preempts each warp exactly once; the
+        model checker explores *multiple* rounds per warp.  Once a warp is
+        back to RUNNING in the main program this resets the controller's
+        per-warp bookkeeping — the finished measurement moves to
+        :attr:`history`, the warp becomes signalable again, and the fault /
+        integrity fields from the finished round are cleared so the next
+        round starts from the same invariants as the first.
+        """
+        if warp.mode is not WarpMode.RUNNING and warp.mode is not WarpMode.DONE:
+            raise RuntimeError(
+                f"warp {warp.warp_id} cannot rearm mid-round ({warp.mode.value})"
+            )
+        measurement = self.measurements.pop(warp.warp_id, None)
+        if measurement is not None:
+            self.history.append(measurement)
+        self.delivered.discard(warp.warp_id)
+        self._draining.discard(warp.warp_id)
+        warp.active_strategy = None
+        warp.active_plan = None
+        warp.signal_cycle = None
+        warp.preempt_done_cycle = None
+        warp.resume_start_cycle = None
+        warp.resume_done_cycle = None
+        warp.resume_watch_dyn = None
+        warp.ctx_checksum = None
+        warp.arch_image = None
+        warp.degraded_save = False
+        self.armed = True
 
     def all_evicted(self) -> bool:
         """All signalled target warps have released the SM: their context is

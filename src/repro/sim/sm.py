@@ -218,10 +218,62 @@ class SM:
         for ready, warp in zip(cand_r, cand_w):
             if ready <= cycle:
                 ready_now.append(warp)
-        # round-robin among warps ready this cycle
+        # round-robin among warps ready this cycle.  Pinned tie-break: at
+        # equal readiness the order is (warp_id >= rr first, then warp_id),
+        # which together with the controller's warp_id-ordered poll makes
+        # same-cycle signal delivery deterministic as (signal_cycle,
+        # warp_id) on both cores — the fast core replicates this exact
+        # sort (see fastcore's scheduler pick), and tests/test_signal_order.py
+        # twins the two.
         ready_now.sort(key=lambda w: (w.warp_id < self._rr, w.warp_id))
         warp = ready_now[0]
         self._rr = (warp.warp_id + 1) % max(1, len(self.warps))
+        self._issue(warp)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        return True
+
+    def step_warp(self, warp: SimWarp) -> bool:
+        """Advance exactly one chosen warp — the model checker's
+        choice-point hook (:mod:`repro.mc`).
+
+        Semantically one scheduler visit to *warp*: program ends and
+        pending preemption flags are handled first, then one instruction
+        issues.  Unlike :meth:`step`, a mode/program transition performed
+        by a hook (divert into a routine, eviction, resume completion,
+        retirement) returns *without* issuing, so every protocol boundary
+        is its own observable state for the checker's invariants.
+
+        Timing is kept sane but is not the point: the clock jumps to the
+        chosen warp's ready cycle (never backwards), so cycle counts stay
+        monotonic while the exploration ranges over schedules the
+        round-robin scheduler would not produce.  Any vector work the fast
+        core still has deferred is materialized first, exactly as in
+        :meth:`step` — both cores reach identical states through here.
+
+        Returns True when the warp made progress (issued or transitioned).
+        """
+        fast = self._fast
+        if fast is not None and fast.queue:
+            fast.flush()
+        if not warp.issuable:
+            return False
+        mode = warp.mode
+        program = warp.program
+        pc = warp.state.pc
+        has_instruction = self._scan_slow(warp)
+        if (
+            warp.mode is not mode
+            or warp.program is not program
+            or warp.state.pc != pc
+        ):
+            # a hook transitioned the warp: stop at the boundary
+            self.refresh_issuable()
+            return True
+        if not has_instruction:
+            self.refresh_issuable()
+            return False
+        self.cycle = max(self.cycle, warp.ready_cycle())
         self._issue(warp)
         self.cycle += 1
         self.stats.cycles = self.cycle

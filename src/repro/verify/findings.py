@@ -33,7 +33,8 @@ class Severity(enum.Enum):
 
 
 #: code -> (severity, one-line description).  VER1xx come from the symbolic
-#: plan verifier, LNT2xx from the dataflow/structural lint passes.
+#: plan verifier, LNT2xx from the dataflow/structural lint passes, MC3xx
+#: from the interleaving model checker (:mod:`repro.mc`).
 CODE_REGISTRY: dict[str, tuple[Severity, str]] = {
     # --- symbolic plan verifier -------------------------------------------------
     "VER101": (Severity.ERROR, "live register holds the wrong value after resume"),
@@ -56,6 +57,15 @@ CODE_REGISTRY: dict[str, tuple[Severity, str]] = {
     "LNT205": (Severity.ERROR, "OSRB backup register clobbered inside its block"),
     "LNT206": (Severity.ERROR, "opcode revert table entry is structurally illegal"),
     "LNT207": (Severity.ERROR, "generated routine fails operand-kind validation"),
+    # --- interleaving model checker (:mod:`repro.mc`) -----------------------------
+    "MC301": (Severity.ERROR, "terminal memory/LDS diverges from the uninterrupted reference"),
+    "MC302": (Severity.ERROR, "preemption round never completed (lost resume / stuck eviction)"),
+    "MC303": (Severity.ERROR, "duplicate signal reached a warp whose round was already served"),
+    "MC304": (Severity.ERROR, "exec-mask/PC consistency violated across a protocol boundary"),
+    "MC305": (Severity.ERROR, "preemption accounting non-monotonic or incomplete"),
+    "MC306": (Severity.ERROR, "unordered conflicting accesses to a saved-context buffer (race)"),
+    "MC307": (Severity.ERROR, "exploration aborted by a simulator exception"),
+    "MC308": (Severity.INFO, "exploration truncated by the depth/state bound"),
 }
 
 

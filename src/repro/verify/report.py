@@ -30,6 +30,23 @@ def finding_to_dict(finding: Finding) -> dict:
     }
 
 
+def finding_from_dict(entry: dict) -> Finding:
+    """Inverse of :func:`finding_to_dict` — the JSON schema round-trip.
+
+    ``severity`` is derived from the registry, not the dict, so a report
+    edited to disagree with the registry cannot smuggle in a downgrade;
+    an unregistered code raises exactly as direct construction would.
+    """
+    return Finding(
+        code=entry["code"],
+        message=entry.get("message", ""),
+        kernel=entry.get("kernel", ""),
+        mechanism=entry.get("mechanism", ""),
+        position=entry.get("position"),
+        where=entry.get("where", ""),
+    )
+
+
 def _key_from_dict(entry: dict) -> tuple:
     return (
         entry.get("code", ""),

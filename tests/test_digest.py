@@ -1,0 +1,123 @@
+"""Canonical state digests (:mod:`repro.sim.digest`): determinism,
+sensitivity, the timing-free architectural projection the model checker
+prunes on, and the digest-based chaos oracle's stability across cores
+and worker counts."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim.digest import arch_digest, memory_digest, state_digest
+from repro.sim.gpu import run_reference
+from repro.sim.memory import TrackedMemory
+
+
+@pytest.fixture()
+def twin_runs(loop_launch, small_config):
+    """Two independent, identical reference runs of the loop kernel."""
+    return (
+        run_reference(loop_launch, small_config),
+        run_reference(loop_launch, small_config),
+    )
+
+
+def test_state_digest_deterministic(twin_runs):
+    first, second = twin_runs
+    assert state_digest(first.sm) == state_digest(second.sm)
+
+
+def test_state_digest_sees_register_mutation(twin_runs):
+    first, second = twin_runs
+    second.sm.warps[0].state.vregs[1, 0] ^= 1
+    assert state_digest(first.sm) != state_digest(second.sm)
+    assert state_digest(first.sm, timing=False) != state_digest(
+        second.sm, timing=False
+    )
+
+
+def test_state_digest_ignores_ctx_buffer_insertion_order(twin_runs):
+    """Dict representation noise never leaks into the hash."""
+    first, second = twin_runs
+    payload = np.arange(4, dtype=np.uint32)
+    first.sm.warps[0].state.ctx_buffer[1] = payload
+    first.sm.warps[0].state.ctx_buffer[2] = payload * 3
+    second.sm.warps[0].state.ctx_buffer[2] = payload * 3
+    second.sm.warps[0].state.ctx_buffer[1] = payload
+    assert state_digest(first.sm) == state_digest(second.sm)
+
+
+def test_timing_free_digest_merges_cycle_skew(twin_runs):
+    """The architectural projection identifies states that differ only in
+    timing — the convergence the model checker's DFS prunes on."""
+    first, second = twin_runs
+    second.sm.cycle += 100
+    assert state_digest(first.sm) != state_digest(second.sm)
+    assert state_digest(first.sm, timing=False) == state_digest(
+        second.sm, timing=False
+    )
+
+
+def test_extra_bytes_fork_the_digest(twin_runs):
+    first, _ = twin_runs
+    assert state_digest(first.sm, extra=b"a") != state_digest(
+        first.sm, extra=b"b"
+    )
+
+
+def test_memory_digest_tracks_content_not_write_history():
+    """A word written and then zeroed digests like one never touched —
+    the property that makes TrackedMemory digests canonical."""
+    touched, untouched = TrackedMemory(), TrackedMemory()
+    touched.store_word(0x100, 7)
+    touched.store_word(0x100, 0)
+    assert memory_digest(touched) == memory_digest(untouched)
+    touched.store_word(0x100, 7)
+    assert memory_digest(touched) != memory_digest(untouched)
+
+
+def test_arch_digest_identical_across_cores(loop_launch, small_config):
+    cores = {}
+    for core in ("reference", "fast"):
+        config = dataclasses.replace(small_config, core=core)
+        result = run_reference(loop_launch, config)
+        wids = [w.warp_id for w in result.sm.warps]
+        cores[core] = arch_digest(result.sm, wids)
+    assert cores["reference"] == cores["fast"]
+
+
+def test_arch_digest_lds_only_skips_registers(twin_runs):
+    """A degraded warp in ``lds_only`` is held to LDS equality only: its
+    register file may legitimately diverge from the clean run."""
+    first, second = twin_runs
+    wids = [w.warp_id for w in first.sm.warps]
+    victim = wids[0]
+    second.sm.warps[0].state.sregs[4] ^= 1
+    assert arch_digest(first.sm, wids) != arch_digest(second.sm, wids)
+    assert arch_digest(first.sm, wids, lds_only=[victim]) == arch_digest(
+        second.sm, wids, lds_only=[victim]
+    )
+
+
+def test_chaos_verdict_stable_across_jobs(monkeypatch, tmp_path):
+    """The digest-based chaos oracle merges bit-identically for
+    --jobs 1 vs N (regression for the canonical-digest refactor)."""
+    from repro.analysis import ExperimentEngine
+    from repro.faults.chaos import ChaosUnit
+    from repro.sim import GPUConfig
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    config = GPUConfig.small(4)
+    units = [
+        ChaosUnit(
+            key="va", mechanism="ctxback", scenario=name, seed=7,
+            config=config, resume_gap=300,
+        )
+        for name in ("ctx-bitflip", "signal-drop")
+    ]
+    serial = ExperimentEngine(jobs=1).map(units)
+    parallel = ExperimentEngine(jobs=2).map(units)
+    assert serial == parallel
+    assert all(v["ok"] for v in serial)

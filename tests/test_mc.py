@@ -1,0 +1,217 @@
+"""The interleaving model checker: clean configs explore with zero
+findings, every seeded protocol bug is caught by its distinct MC3xx code,
+and verdicts are bit-identical across worker counts and execution cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import ExperimentEngine
+from repro.mc import (
+    SEEDED_BUGS,
+    McModel,
+    McOptions,
+    McUnit,
+    clean_reference,
+    explore,
+    find_races,
+    mc_profile_for,
+)
+from repro.kernels.suite import SUITE
+from repro.mechanisms import make_mechanism
+from repro.obs.events import EventKind, Tracer
+from repro.sim import GPUConfig
+
+MECHANISMS = ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+
+
+def _verdict(key, mechanism, options, config=None, iterations=2):
+    config = config if config is not None else GPUConfig.small(4)
+    return mc_profile_for(key, mechanism, config, options, iterations)
+
+
+def _codes(verdict):
+    return sorted({f["code"] for f in verdict["findings"]})
+
+
+# -- clean exploration ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_clean_exploration_has_no_findings(mechanism):
+    """2 warps, one forced preemption round each, every interleaving:
+    the protocol holds every MC invariant on every mechanism."""
+    verdict = _verdict("va", mechanism, McOptions(warps=2, rounds=1))
+    assert verdict["findings"] == [], _codes(verdict)
+    assert verdict["ok"] is True
+    assert not verdict["truncated"]
+    # the space was genuinely explored, not vacuously empty
+    assert verdict["explored_states"] > 10
+    assert verdict["terminals"] >= 1
+    assert verdict["runs"] > 10
+
+
+def test_clean_multi_round_exploration():
+    """Two preemption rounds per warp (signal → evict → resume, twice)."""
+    verdict = _verdict("va", "ctxback", McOptions(warps=2, rounds=2))
+    assert verdict["findings"] == []
+    assert not verdict["truncated"]
+
+
+@pytest.mark.parametrize("key", ["mm", "km"])
+def test_clean_exploration_other_kernels(key):
+    verdict = _verdict(key, "ctxback", McOptions(warps=2, rounds=1))
+    assert verdict["findings"] == [], _codes(verdict)
+
+
+# -- seeded protocol bugs ---------------------------------------------------------
+
+_BUG_OPTIONS = McOptions(warps=2, rounds=1, max_states=1500)
+
+
+@pytest.mark.parametrize("bug", sorted(SEEDED_BUGS))
+def test_seeded_bug_caught_by_its_code(bug):
+    """Each seeded defect trips exactly its contracted finding code —
+    the checker's end-to-end self-test."""
+    options = dataclasses.replace(_BUG_OPTIONS, bug=bug)
+    verdict = _verdict("va", "ctxback", options, iterations=1)
+    codes = _codes(verdict)
+    assert SEEDED_BUGS[bug] in codes, (bug, codes)
+    assert verdict["ok"] is False
+
+
+def test_seeded_bug_codes_are_distinct():
+    assert len(set(SEEDED_BUGS.values())) == len(SEEDED_BUGS)
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(ValueError):
+        McOptions(bug="not-a-bug")
+
+
+# -- determinism / equivalence ----------------------------------------------------
+
+
+def _fresh_exploration(core="reference"):
+    config = dataclasses.replace(GPUConfig.small(4), core=core)
+    options = McOptions(warps=2, rounds=1)
+    launch = SUITE["va"].launch(
+        warp_size=config.warp_size, iterations=2, num_warps=options.warps
+    )
+    prepared = make_mechanism("ctxback").prepare(launch.kernel, config)
+    spec = launch.spec()
+    reference = clean_reference(prepared, spec, config)
+
+    def factory():
+        return McModel(
+            prepared, spec, config, options, kernel="va", mechanism="ctxback"
+        )
+
+    return explore(factory, reference, options, kernel="va", mechanism="ctxback")
+
+
+def test_exploration_is_deterministic():
+    """Two cache-bypassing explorations agree bit-for-bit."""
+    first = _fresh_exploration()
+    second = _fresh_exploration()
+    assert first.reachable_digest == second.reachable_digest
+    assert (first.states, first.terminals, first.runs, first.transitions) == (
+        second.states, second.terminals, second.runs, second.transitions
+    )
+    assert first.findings == second.findings
+
+
+def test_reference_and_fast_cores_reach_identical_states():
+    """The checker only drives the reference stepper, so the explored
+    space — and the clean-run oracle — must agree across cores."""
+    reference_core = _fresh_exploration(core="reference")
+    fast_core = _fresh_exploration(core="fast")
+    assert reference_core.reachable_digest == fast_core.reachable_digest
+    assert reference_core.findings == fast_core.findings
+    assert reference_core.states == fast_core.states
+
+
+def test_verdicts_identical_across_jobs(monkeypatch, tmp_path):
+    """Engine-merged verdicts are bit-identical for --jobs 1 vs N."""
+    # engine workers resolve the artifact cache from the environment
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    config = GPUConfig.small(4)
+    options = McOptions(warps=2, rounds=1)
+    units = [
+        McUnit(key="va", mechanism=m, config=config, options=options,
+               iterations=2)
+        for m in ("ctxback", "ckpt", "baseline")
+    ]
+    parallel = ExperimentEngine(jobs=2).map(units)
+    serial = ExperimentEngine(jobs=1).map(units)
+    assert serial == parallel
+
+
+# -- the happens-before detector --------------------------------------------------
+
+
+def _access(tracer, cycle, thread, owner, slot, write):
+    tracer.emit(
+        cycle, EventKind.CTX_ACCESS, thread, owner=owner, slot=slot, write=write
+    )
+
+
+def test_hb_protocol_ordered_accesses_are_race_free():
+    """write → EVICT → SIGNAL(other) → foreign write is ordered through
+    the controller: no race."""
+    tracer = Tracer()
+    _access(tracer, 10, 1, 1, 0, True)  # warp 1 saves its slot
+    tracer.emit(11, EventKind.EVICT, 1)  # publishes via the controller
+    tracer.emit(12, EventKind.SIGNAL, 0)  # controller then signals warp 0
+    _access(tracer, 13, 0, 1, 0, True)  # warp 0 touches warp 1's slot
+    assert find_races(tracer.events, [0, 1]) == []
+
+
+def test_hb_unordered_conflicting_accesses_race():
+    tracer = Tracer()
+    _access(tracer, 10, 1, 1, 0, True)
+    _access(tracer, 13, 0, 1, 0, True)  # no protocol edge in between
+    races = find_races(tracer.events, [0, 1])
+    assert len(races) == 1
+    assert races[0]["owner"] == 1
+    assert races[0]["threads"] == [0, 1]
+
+
+def test_hb_read_read_is_not_a_conflict():
+    tracer = Tracer()
+    _access(tracer, 10, 1, 1, 0, False)
+    _access(tracer, 13, 0, 1, 0, False)
+    assert find_races(tracer.events, [0, 1]) == []
+
+
+def test_hb_distinct_slots_do_not_conflict():
+    tracer = Tracer()
+    _access(tracer, 10, 1, 1, 0, True)
+    _access(tracer, 13, 0, 1, 4, True)
+    assert find_races(tracer.events, [0, 1]) == []
+
+
+# -- reporting integration --------------------------------------------------------
+
+
+def test_verdict_findings_render_and_ratchet(tmp_path):
+    """MC verdict JSON is lint-schema shaped: baseline keys load and the
+    ratchet accepts previously-recorded findings."""
+    import json
+
+    from repro.mc import render_mc_json, verdict_findings
+    from repro.verify import diff_against_baseline, load_baseline_keys
+
+    options = dataclasses.replace(_BUG_OPTIONS, bug="drop_resume")
+    verdict = _verdict("va", "ctxback", options, iterations=1)
+    report = render_mc_json([verdict])
+    assert report["summary"]["ok"] is False
+    path = tmp_path / "mc_baseline.json"
+    path.write_text(json.dumps(report))
+    baseline = load_baseline_keys(str(path))
+    findings = verdict_findings([verdict])
+    assert findings  # MC302 present
+    assert diff_against_baseline(findings, baseline) == []

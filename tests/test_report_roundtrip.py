@@ -1,0 +1,71 @@
+"""Finding JSON schema round-trips (including the MC3xx model-checker
+codes) and the docs/CLI/registry code catalogues stay in lock-step."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.verify import CODE_REGISTRY, Finding, describe_codes
+from repro.verify.report import finding_from_dict, finding_to_dict
+
+REPO = Path(__file__).resolve().parent.parent
+
+_SAMPLES = [
+    Finding(code="VER101", message="r3 wrong after resume", kernel="va",
+            mechanism="ctxback", position=7, where="v3"),
+    Finding(code="LNT203", message="dead save", kernel="mm",
+            mechanism="ckpt", where="slot:4"),
+    Finding(code="MC302", message="round 0 stuck in phase=signaled",
+            kernel="km", mechanism="combined", position=1, where="round:0"),
+    Finding(code="MC306", message="unordered ctx write", kernel="va",
+            mechanism="ctxback", position=1, where="slot:2"),
+    Finding(code="MC308", message="truncated", where="bounds"),
+]
+
+
+@pytest.mark.parametrize("finding", _SAMPLES, ids=lambda f: f.code)
+def test_finding_round_trips_through_json(finding):
+    wire = json.loads(json.dumps(finding_to_dict(finding)))
+    back = finding_from_dict(wire)
+    assert back == finding
+    assert back.key == finding.key
+    assert back.severity is finding.severity
+
+
+def test_round_trip_derives_severity_from_registry():
+    """An edited report cannot smuggle in a severity downgrade."""
+    wire = finding_to_dict(_SAMPLES[0])
+    wire["severity"] = "info"
+    assert finding_from_dict(wire).severity.value == "error"
+
+
+def test_unregistered_code_rejected():
+    with pytest.raises(ValueError):
+        finding_from_dict({"code": "MC999", "message": "bogus"})
+
+
+# -- catalogue consistency --------------------------------------------------------
+
+_CODE_RE = re.compile(r"\b(?:VER1|LNT2|MC3)\d{2}\b")
+
+
+def test_design_doc_lists_every_registered_code():
+    """DESIGN.md's finding-code tables and the registry agree exactly —
+    a new code without documentation (or vice versa) fails here."""
+    text = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    documented = set(_CODE_RE.findall(text))
+    assert documented == set(CODE_REGISTRY)
+
+
+@pytest.mark.parametrize("subcommand", ["lint", "mc"])
+def test_cli_codes_listing_matches_registry(subcommand, capsys):
+    from repro.cli import main
+
+    assert main([subcommand, "--codes"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip() == describe_codes().strip()
+    assert set(_CODE_RE.findall(out)) == set(CODE_REGISTRY)

@@ -1,23 +1,34 @@
-"""Signal-timing fuzz: preempt at *every* dynamic instruction.
+"""Signal-timing fuzz: preempt at *every* dynamic instruction, and
+explore *every interleaving* of multi-warp multi-signal deliveries.
 
 The preempt-anywhere guarantee is only as strong as the signal positions
-the tests exercise.  This sweep delivers the preemption signal at every
-dynamic instruction of a small kernel — including position 0 (before the
-first issue) and one past the end (the signal never fires) — for every
-evaluated mechanism, and requires the final memory image to be
-bit-identical to the uninterrupted run each time.
+the tests exercise.  The single-signal sweep delivers the preemption
+signal at every dynamic instruction of a small kernel — including
+position 0 (before the first issue) and one past the end (the signal
+never fires) — for every evaluated mechanism, and requires the final
+memory image to be bit-identical to the uninterrupted run each time.
 
-Kept deliberately small (3 loop iterations, 4-lane warps) so the full
-sweep — ~6 mechanisms × ~45 signal positions — stays inside a few
-seconds; CI runs it on every push.
+The multi-signal tier hands the same kernel to the model checker
+(:mod:`repro.mc`): both warps are signalled inside sliding dynamic
+windows and the bounded interleaving space is exhausted with the full MC
+invariant set (round completion, accounting, exec/PC coherence, terminal
+memory equality, context races) as the oracle.  A bounded subset runs
+tier-1; the full 6-mechanism × 2-round product is `full_sweep`-marked
+and opt-in via ``REPRO_FULL_SWEEP=1``.
+
+Kept deliberately small (3 loop iterations, 4-lane warps) so the tier-1
+portion stays inside a few seconds; CI runs it on every push.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.isa import Kernel, parse
+from repro.mc import McModel, McOptions, clean_reference, explore
 from repro.mechanisms import make_mechanism
 from repro.sim import (
     GPUConfig,
@@ -98,3 +109,58 @@ def test_preempt_at_every_dynamic_instruction(fuzz_launch, mechanism):
         f"{mechanism}: wrong final memory when signalled at dynamic "
         f"instruction(s) {failures} (of {total})"
     )
+
+
+# -- multi-warp, multi-signal: exhaustive bounded interleavings -------------------
+
+
+def _explore_fuzz(fuzz_launch, mechanism, *, rounds, window_gap=2):
+    config = GPUConfig.small(warp_size=4)
+    options = McOptions(warps=2, rounds=rounds, window_gap=window_gap)
+    prepared = make_mechanism(mechanism).prepare(fuzz_launch.kernel, config)
+    reference = clean_reference(prepared, fuzz_launch, config)
+
+    def factory():
+        return McModel(
+            prepared, fuzz_launch, config, options,
+            kernel="fuzz-scale", mechanism=mechanism,
+        )
+
+    return explore(
+        factory, reference, options, kernel="fuzz-scale", mechanism=mechanism
+    )
+
+
+@pytest.mark.parametrize("mechanism", ["ctxback", "ckpt"])
+def test_multi_signal_interleavings_hold_invariants(fuzz_launch, mechanism):
+    """Bounded tier-1 subset: 2 warps × 1 signal each, every delivery
+    placement and every schedule, checked against the MC oracle."""
+    result = _explore_fuzz(fuzz_launch, mechanism, rounds=1)
+    assert [f.render() for f in result.findings] == []
+    assert not result.truncated
+    assert result.terminals >= 1
+    assert result.runs > 10  # genuinely explored, not vacuous
+
+
+@pytest.mark.parametrize("window_gap", [0, 5])
+def test_multi_signal_window_placement(fuzz_launch, window_gap):
+    """Sliding the signal windows moves deliveries across loop
+    boundaries; the invariants must hold wherever the window lands."""
+    result = _explore_fuzz(
+        fuzz_launch, "ctxback", rounds=1, window_gap=window_gap
+    )
+    assert [f.render() for f in result.findings] == []
+    assert not result.truncated
+
+
+@pytest.mark.full_sweep
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FULL_SWEEP"),
+    reason="full 6-mechanism × 2-round sweep: set REPRO_FULL_SWEEP=1",
+)
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_multi_signal_full_sweep(fuzz_launch, mechanism):
+    """Every mechanism, two preemption rounds per warp."""
+    result = _explore_fuzz(fuzz_launch, mechanism, rounds=2)
+    assert [f.render() for f in result.findings] == []
+    assert not result.truncated

@@ -1,0 +1,72 @@
+"""Same-cycle signal delivery is totally ordered by ``(signal_cycle,
+warp_id)`` — pinned identically in the controller's poll scan, the
+reference scheduler's tie-break and the fast core's run-ahead pick, so
+multi-warp preemption experiments twin bit-for-bit across cores."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.kernels.suite import SUITE
+from repro.mechanisms import make_mechanism
+from repro.obs.events import EventKind
+from repro.sim import GPUConfig, run_preemption_experiment
+
+CORES = ("reference", "fast")
+
+
+def _run(core, mechanism, signal_dyn, num_warps=4):
+    config = dataclasses.replace(
+        GPUConfig.small(4), core=core, trace_events=True
+    )
+    launch = SUITE["va"].launch(
+        warp_size=config.warp_size, iterations=3, num_warps=num_warps
+    )
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+    return run_preemption_experiment(
+        launch.spec(), prepared, config,
+        signal_dyn=signal_dyn, resume_gap=300, verify=True,
+    )
+
+
+def _events_key(trace):
+    return [
+        (e.cycle, e.kind, e.warp_id, tuple(sorted(e.data.items())))
+        for e in trace.sorted_events()
+    ]
+
+
+def _signals(trace):
+    return [
+        (e.cycle, e.warp_id)
+        for e in trace.sorted_events()
+        if e.kind is EventKind.SIGNAL
+    ]
+
+
+@pytest.mark.parametrize("mechanism", ["ctxback", "ckpt", "live"])
+@pytest.mark.parametrize("core", CORES)
+def test_signal_delivery_ordered_by_cycle_then_warp(core, mechanism):
+    """signal_dyn=0 flags every warp on the same poll: deliveries must
+    come out in ascending (signal_cycle, warp_id), never scheduler order."""
+    result = _run(core, mechanism, signal_dyn=0)
+    signals = _signals(result.trace)
+    assert len(signals) == 4  # every warp signalled exactly once
+    assert signals == sorted(signals)
+    assert result.verified
+
+
+@pytest.mark.parametrize("mechanism", ["ctxback", "ckpt", "live"])
+def test_signal_order_twins_across_cores(mechanism):
+    """The full traced event stream — not just the signal subsequence —
+    is identical on the reference and fast cores."""
+    runs = {core: _run(core, mechanism, signal_dyn=9) for core in CORES}
+    ref, fast = runs["reference"], runs["fast"]
+    assert _signals(ref.trace) == _signals(fast.trace)
+    assert _events_key(ref.trace) == _events_key(fast.trace)
+    assert [m.signal_cycle for m in ref.measurements] == [
+        m.signal_cycle for m in fast.measurements
+    ]
+    assert ref.total_cycles == fast.total_cycles
