@@ -60,7 +60,10 @@ except ImportError:  # pragma: no cover - non-posix
 #: 2: integrity footer (payload sha256) appended to every entry.
 #: 3: resume delivered exactly at resume_at (experiment timings changed)
 #:    and experiment profiles carry ``resume: None`` for absent data.
-SCHEMA_VERSION = 3
+#: 4: ``recovery_cycles`` is Optional (``None`` = no recovery data, 0 = a
+#:    legitimate zero-cost fallback); cached experiment/chaos profiles sum
+#:    it with an ``is None`` filter instead of coercing absent to 0.
+SCHEMA_VERSION = 4
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLED = "REPRO_CACHE"

@@ -43,9 +43,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 import os
 import signal
 import time
+from pathlib import Path
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -319,8 +322,12 @@ def experiment_profile_for(
             profile["degraded_warps"] = [
                 m.warp_id for m in result.measurements if m.degraded
             ]
+            # None means "no recovery data" and is excluded from the sum;
+            # a genuine 0 (zero-cost fallback) still counts as a sample
             profile["recovery_cycles"] = sum(
-                m.recovery_cycles for m in result.measurements
+                m.recovery_cycles
+                for m in result.measurements
+                if m.recovery_cycles is not None
             )
         return profile
 
@@ -440,10 +447,18 @@ class ServeUnit:
     tenants: tuple  # (repro.serve.Tenant, ...)
     preempt_us: float
     resume_us: float
+    #: live-migration inputs (``()`` disables migration for this shard);
+    #: costs travel flattened so the frozen unit stays picklable without
+    #: importing the serve layer at module scope
+    migrations: tuple = ()  # ((time_us, "out"|"in"), ...)
+    mig_snapshot_us: float = 0.0
+    mig_transfer_us: float = 0.0
+    mig_restore_us: float = 0.0
 
     def run(self) -> dict:
         # lazy: repro.serve.fleet imports this module at its top level
         from ..serve.fleet import serve_shard_profile
+        from ..serve.migration import MigrationCosts
         from ..serve.scheduler import MechanismCosts
 
         costs = MechanismCosts(
@@ -451,7 +466,19 @@ class ServeUnit:
             preempt_us=self.preempt_us,
             resume_us=self.resume_us,
         )
-        return serve_shard_profile(self.requests, self.tenants, costs, self.gpu)
+        migration = (
+            MigrationCosts(
+                snapshot_us=self.mig_snapshot_us,
+                transfer_us=self.mig_transfer_us,
+                restore_us=self.mig_restore_us,
+            )
+            if self.migrations
+            else None
+        )
+        return serve_shard_profile(
+            self.requests, self.tenants, costs, self.gpu,
+            migrations=self.migrations, migration=migration,
+        )
 
 
 @dataclass(frozen=True)
@@ -539,6 +566,8 @@ class EngineReport:
     fallbacks: int = 0  # units run serially in-process after retry exhaustion
     failures: int = 0  # units that failed permanently
     failed_units: list = field(default_factory=list)
+    #: units answered straight from a ``map(checkpoint=...)`` file
+    checkpoint_hits: int = 0
     #: latency-breakdown aggregate folded from every traced ExperimentUnit
     #: (``trace=True``); empty when no unit ran under the tracer
     trace: dict = field(default_factory=dict)
@@ -608,10 +637,62 @@ class EngineReport:
             "fallbacks": self.fallbacks,
             "failures": self.failures,
             "failed_units": list(self.failed_units),
+            "checkpoint_hits": self.checkpoint_hits,
             "trace": dict(self.trace),
             "recovery": dict(self.recovery),
             "mc": dict(self.mc),
         }
+
+
+#: bump when the checkpoint file layout changes (stale files recompute)
+CHECKPOINT_VERSION = 1
+
+
+def unit_key(unit) -> str:
+    """Content hash of a work unit — stable across processes and sessions.
+
+    Keyed on the unit's type name plus its canonical field tree, so the
+    same sweep re-launched after a crash maps each unit back to its saved
+    result while any spec change (config, seed, iterations) re-runs."""
+    blob = json.dumps(
+        [type(unit).__name__, canonical(unit)],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _load_checkpoint(path: Path) -> dict:
+    """Read a sweep checkpoint; any corruption means recompute-all (the
+    snap framing's checksum makes a torn write indistinguishable from no
+    file, which is the safe direction)."""
+    from ..snap.format import SnapshotError, decode_snapshot
+
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return {}
+    try:
+        payload = decode_snapshot(data)
+    except SnapshotError:
+        return {}
+    if payload.get("version") != CHECKPOINT_VERSION:
+        return {}
+    results = payload.get("results")
+    return dict(results) if isinstance(results, dict) else {}
+
+
+def _write_checkpoint(path: Path, saved: dict) -> None:
+    """Atomically persist the completed units (write-then-rename, so a
+    crash mid-write leaves the previous checkpoint intact)."""
+    from ..snap.format import encode_snapshot
+
+    data = encode_snapshot(
+        {"version": CHECKPOINT_VERSION, "results": saved}
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
 
 
 def _abort_pool(pool: ProcessPoolExecutor) -> None:
@@ -651,15 +732,23 @@ class ExperimentEngine:
         self.options = options if options is not None else EngineOptions.from_env()
         self.report = EngineReport(jobs=self.jobs)
 
-    def map(self, units: list) -> list:
+    def map(self, units: list, *, checkpoint: str | Path | None = None) -> list:
+        """Run *units* and return their results in submission order.
+
+        With *checkpoint*, completed results persist to that file after
+        every chunk (atomic rewrite, snap-framed): re-running the same
+        sweep after a crash or interrupt skips every unit whose content
+        key is already saved and finishes the rest.  Permanently-failed
+        units are never checkpointed, so a resume retries them.
+        """
         started = time.perf_counter()
         cache = get_cache()
         stats_before = cache.stats.snapshot()
         try:
-            if self.jobs <= 1 or len(units) <= 1:
-                results = self._map_serial(units)
+            if checkpoint is None:
+                results = self._map_all(units)
             else:
-                results = self._map_pool(units)
+                results = self._map_checkpointed(units, Path(checkpoint))
             for result in results:
                 if not isinstance(result, dict):
                     continue
@@ -676,6 +765,35 @@ class ExperimentEngine:
             report.waves += 1
             report.wall_s += time.perf_counter() - started
             report.cache = cache.stats.delta(stats_before).as_dict()
+
+    def _map_all(self, units: list) -> list:
+        if self.jobs <= 1 or len(units) <= 1:
+            return self._map_serial(units)
+        return self._map_pool(units)
+
+    # -- crash-resume ----------------------------------------------------------
+
+    def _map_checkpointed(self, units: list, path: Path) -> list:
+        saved = _load_checkpoint(path)
+        keys = [unit_key(unit) for unit in units]
+        results: list = [None] * len(units)
+        todo: list[int] = []
+        for index, key in enumerate(keys):
+            if key in saved:
+                results[index] = saved[key]
+            else:
+                todo.append(index)
+        self.report.checkpoint_hits += len(units) - len(todo)
+        chunk = max(self.jobs * 4, 8)
+        for start in range(0, len(todo), chunk):
+            wave = todo[start:start + chunk]
+            wave_results = self._map_all([units[i] for i in wave])
+            for index, result in zip(wave, wave_results):
+                results[index] = result
+                if not isinstance(result, UnitFailure):
+                    saved[keys[index]] = result
+            _write_checkpoint(path, saved)
+        return results
 
     # -- serial ----------------------------------------------------------------
 

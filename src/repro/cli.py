@@ -18,6 +18,10 @@ Commands:
 * ``chaos``    — sweep fault-injection scenarios × mechanisms and assert the
   recovery-correctness oracle (post-recovery architectural state must be
   bit-identical to the fault-free run);
+* ``serve``    — serve a multi-tenant request trace over the simulated fleet
+  (``--migrate`` adds snapshot-driven live migration of the batch jobs);
+* ``snap``     — device-state snapshots: ``save`` / ``restore`` / ``verify``
+  round-trips plus the ``migrate`` cost model (the ``repro.snap`` package);
 * ``cache``    — inspect or clear the on-disk artifact cache
   (``REPRO_CACHE_DIR``) the experiment commands share;
 * ``lint``     — symbolically verify every (kernel × mechanism) plan and run
@@ -318,7 +322,7 @@ def cmd_chaos(args) -> int:
         failure_policy=args.failure_policy,
     )
     engine = ExperimentEngine(args.jobs, options=options)
-    results = engine.map(units)
+    results = engine.map(units, checkpoint=args.checkpoint)
     print(render_chaos(results))
     verdicts = [r for r in results if isinstance(r, dict)]
     failed_oracle = [r for r in verdicts if not r["ok"]]
@@ -383,6 +387,10 @@ def cmd_serve(args) -> int:
         iterations=args.iterations,
         samples=args.samples,
         engine=engine,
+        migrate=args.migrate,
+        migrate_epoch_us=args.migrate_epoch_us,
+        migrate_factor=args.migrate_factor,
+        link_bytes_per_us=args.link_bytes_per_us,
     )
     # write the file before stdout: a closed pipe must not lose the report
     if args.output:
@@ -572,6 +580,221 @@ def cmd_mc(args) -> int:
     return 1 if blocking or engine.report.failures else 0
 
 
+def _snap_config(args):
+    import dataclasses
+
+    from .sim import GPUConfig
+
+    config = GPUConfig.small(4) if args.small else GPUConfig.radeon_vii()
+    if getattr(args, "core", None):
+        config = dataclasses.replace(config, core=args.core)
+    return config
+
+
+def cmd_snap_save(args) -> int:
+    from .kernels import SUITE
+    from .mechanisms import make_mechanism
+    from .snap import describe_snapshot, run_snapshot_experiment, save_snapshot
+
+    if args.kernel not in SUITE:
+        print(f"unknown kernel {args.kernel!r} (see `repro suite`)",
+              file=sys.stderr)
+        return 2
+    config = _snap_config(args)
+    bench = SUITE[args.kernel]
+    iterations = args.iterations or bench.default_iterations
+    launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
+    prepared = make_mechanism(args.mechanism).prepare(launch.kernel, config)
+    n = len(launch.kernel.program.instructions)
+    signal = args.signal if args.signal is not None else 3 * n + 7
+    payload, result = run_snapshot_experiment(
+        launch.spec(), prepared, config, signal,
+        resume_gap=args.resume_gap,
+        snap_cycle=args.cycle,
+        snap_on_evicted=args.cycle is None,
+        label=args.kernel,
+    )
+    if payload is None:
+        print("snapshot trigger never fired (signal past the end of the "
+              "run?)", file=sys.stderr)
+        return 1
+    size = save_snapshot(args.output, payload)
+    info = describe_snapshot(payload)
+    print(f"saved {args.output}: {size} B, kernel {args.kernel} "
+          f"({args.mechanism}), captured at cycle {info['cycle']}, "
+          f"run completed at {result.total_cycles}")
+    return 0
+
+
+def cmd_snap_restore(args) -> int:
+    from .kernels import SUITE
+    from .mechanisms import make_mechanism
+    from .sim import run_preemption_experiment
+    from .snap import (
+        SnapshotError,
+        complete_experiment,
+        load_snapshot,
+        restore_experiment,
+    )
+
+    try:
+        payload = load_snapshot(args.file)
+    except (OSError, SnapshotError) as exc:
+        print(f"cannot load {args.file}: {exc}", file=sys.stderr)
+        return 1
+    meta = payload["meta"]
+    key = args.kernel or meta["label"]
+    if key not in SUITE:
+        print(f"snapshot label {key!r} is not a benchmark key; pass "
+              f"--kernel (see `repro suite`)", file=sys.stderr)
+        return 2
+    config = _snap_config(args)
+    bench = SUITE[key]
+    iterations = args.iterations or bench.default_iterations
+    launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
+    try:
+        prepared = make_mechanism(meta["mechanism"]).prepare(
+            launch.kernel, config
+        )
+        restored = restore_experiment(payload, launch.spec(), prepared, config)
+    except (KeyError, ValueError, SnapshotError) as exc:
+        print(f"restore failed: {exc}", file=sys.stderr)
+        return 1
+    ref_memory = None
+    if args.verify:
+        loop = payload["loop"]
+        reference = run_preemption_experiment(
+            launch.spec(),
+            make_mechanism(meta["mechanism"]).prepare(launch.kernel, config),
+            config,
+            loop["signal_dyn"],
+            resume_gap=loop["resume_gap"],
+            verify=False,
+        )
+        ref_memory = reference.memory
+    result = complete_experiment(restored, ref_memory=ref_memory)
+    print(f"restored {key} ({meta['mechanism']}) from cycle "
+          f"{payload['sm']['cycle']}, completed at {result.total_cycles}")
+    if args.verify:
+        print(f"memory identical to a straight run: {result.verified}")
+        return 0 if result.verified else 1
+    return 0
+
+
+def cmd_snap_verify(args) -> int:
+    import dataclasses
+    import json
+
+    from .analysis import EngineOptions, ExperimentEngine
+    from .snap import SnapUnit
+
+    keys = args.keys.split(",") if args.keys else ["dc", "mm"]
+    mechanisms = (
+        args.mechanisms.split(",")
+        if args.mechanisms
+        else ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+    )
+    config = _snap_config(args)
+    restore_config = None
+    if args.cross:
+        # restore onto a differently-configured GPU: other execution core,
+        # halved context bandwidth (legitimately different cycle counts)
+        ctx = config.ctx_bytes_per_cycle
+        restore_config = dataclasses.replace(
+            config,
+            core="reference" if config.core == "fast" else "fast",
+            ctx_bytes_per_cycle=ctx / 2 if ctx else ctx,
+        )
+    units = [
+        SnapUnit(
+            key=key, mechanism=mechanism, config=config,
+            restore_config=restore_config, iterations=args.iterations,
+        )
+        for key in keys
+        for mechanism in mechanisms
+    ]
+    options = EngineOptions.from_env(
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
+    )
+    engine = ExperimentEngine(args.jobs, options=options)
+    results = engine.map(units, checkpoint=args.checkpoint)
+    verdicts = [r for r in results if isinstance(r, dict)]
+    if args.format == "json":
+        rendered = json.dumps(verdicts, indent=2, sort_keys=True)
+    else:
+        lines = [
+            f"{'kernel':6s} {'mechanism':10s} {'ok':>3s} {'det':>4s} "
+            f"{'mem':>4s} {'regs':>5s} {'cycles':>7s} {'bytes':>7s}  sha256"
+        ]
+        for v in verdicts:
+            cycles = "match" if v["cycles_match"] else (
+                "diff" if not v["same_config"] else "MISMATCH"
+            )
+            lines.append(
+                f"{v['kernel']:6s} {v['mechanism']:10s} "
+                f"{'yes' if v['ok'] else 'NO':>3s} "
+                f"{'yes' if v['deterministic'] else 'NO':>4s} "
+                f"{'yes' if v['memory_ok'] else 'NO':>4s} "
+                f"{'yes' if v['registers_ok'] else 'NO':>5s} "
+                f"{cycles:>7s} {v['snapshot_bytes']:>7d}  "
+                f"{v['sha256'][:16]}"
+            )
+        rendered = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(verdicts, indent=2, sort_keys=True) + "\n")
+    print(rendered)
+    bad = [v for v in verdicts if not v["ok"]]
+    if bad:
+        print(f"\n{len(bad)} of {len(verdicts)} round-trips FAILED",
+              file=sys.stderr)
+    if args.timing:
+        report = engine.report
+        print(
+            f"[engine] jobs={report.jobs} units={report.units} "
+            f"wall={report.wall_s:.2f}s "
+            f"cache_hit_rate={report.cache.get('hit_rate', 0.0):.0%} "
+            f"checkpoint_hits={report.checkpoint_hits}",
+            file=sys.stderr,
+        )
+    return 1 if bad or engine.report.failures else 0
+
+
+def cmd_snap_migrate(args) -> int:
+    from .serve.migration import migration_costs_for
+    from .snap import snap_profile_for
+
+    config = _snap_config(args)
+    mechanisms = (
+        args.mechanisms.split(",")
+        if args.mechanisms
+        else ["baseline", "live", "ckpt", "csdefer", "ctxback", "combined"]
+    )
+    print(f"migration cost model — kernel {args.kernel}, link "
+          f"{args.link_bytes_per_us:g} B/µs")
+    print(f"{'mechanism':10s} {'bytes':>7s} {'snapshot µs':>12s} "
+          f"{'transfer µs':>12s} {'restore µs':>11s}")
+    failed = 0
+    for mechanism in mechanisms:
+        profile = snap_profile_for(
+            args.kernel, mechanism, config, iterations=args.iterations
+        )
+        if not profile.get("ok"):
+            print(f"{mechanism:10s} round-trip FAILED")
+            failed += 1
+            continue
+        costs = migration_costs_for(
+            profile["snapshot_bytes"], config,
+            link_bytes_per_us=args.link_bytes_per_us,
+        )
+        print(f"{mechanism:10s} {profile['snapshot_bytes']:>7d} "
+              f"{costs.snapshot_us:>12.3f} {costs.transfer_us:>12.3f} "
+              f"{costs.restore_us:>11.3f}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -703,6 +926,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_JOBS or 1)")
     chaos.add_argument("--unit-timeout", type=float, default=None,
                        metavar="SECONDS")
+    chaos.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="persist finished units to FILE after every "
+                            "chunk; re-running resumes the sweep, skipping "
+                            "completed units")
     chaos.add_argument("--retries", type=int, default=None)
     chaos.add_argument("--failure-policy", default=None,
                        choices=["fail-fast", "collect"])
@@ -748,6 +975,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 2)")
     serve.add_argument("--small", action="store_true",
                        help="use the small 4-lane configuration (CI smoke)")
+    serve.add_argument("--migrate", action="store_true",
+                       help="live-migrate batch jobs across the fleet via "
+                            "repro.snap snapshots (adds a migration section "
+                            "and per-cell counts to the report)")
+    serve.add_argument("--migrate-epoch-us", type=float, default=2000.0,
+                       help="imbalance-check epoch for the migration planner "
+                            "(default: 2000)")
+    serve.add_argument("--migrate-factor", type=float, default=1.5,
+                       help="migrate when the busiest hosting GPU's demand "
+                            "reaches this multiple of the least-busy GPU's "
+                            "(default: 1.5)")
+    serve.add_argument("--link-bytes-per-us", type=float,
+                       default=64.0,
+                       help="inter-GPU link bandwidth for snapshot transfer "
+                            "(default: 64)")
     serve.add_argument("--format", default="text", choices=["text", "json"],
                        help="stdout reporter (default: text)")
     serve.add_argument("--output", default=None, metavar="FILE",
@@ -763,6 +1005,111 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timing", action="store_true",
                        help="print engine wall time and cache stats to stderr")
     serve.set_defaults(func=cmd_serve)
+
+    snap = sub.add_parser(
+        "snap",
+        help="device-state snapshots: save/restore/verify round-trips and "
+             "the live-migration cost model",
+    )
+    snap_sub = snap.add_subparsers(dest="snap_command", required=True)
+
+    snap_save = snap_sub.add_parser(
+        "save",
+        help="run a preemption experiment and snapshot the evicted device",
+    )
+    snap_save.add_argument("kernel", help="benchmark key (see `repro suite`)")
+    snap_save.add_argument("--output", required=True, metavar="FILE",
+                           help="snapshot file to write (RSNP format)")
+    snap_save.add_argument("--mechanism", default="ctxback",
+                           help="baseline|live|ckpt|csdefer|ctxback|combined")
+    snap_save.add_argument("--signal", type=int, default=None,
+                           help="dynamic-instruction trigger "
+                                "(default: mid-loop)")
+    snap_save.add_argument("--cycle", type=int, default=None,
+                           help="capture at this cycle instead of the "
+                                "eviction point")
+    snap_save.add_argument("--iterations", type=int, default=None)
+    snap_save.add_argument("--resume-gap", type=int, default=2000)
+    snap_save.add_argument("--small", action="store_true",
+                           help="use the small 4-lane configuration")
+    snap_save.add_argument("--core", default=None,
+                           choices=["fast", "reference"])
+    snap_save.set_defaults(func=cmd_snap_save)
+
+    snap_restore = snap_sub.add_parser(
+        "restore",
+        help="restore a snapshot onto a (possibly differently-configured) "
+             "GPU and run it to completion",
+    )
+    snap_restore.add_argument("file", help="snapshot file (RSNP format)")
+    snap_restore.add_argument("--kernel", default=None,
+                              help="benchmark key (default: the snapshot's "
+                                   "label)")
+    snap_restore.add_argument("--iterations", type=int, default=None)
+    snap_restore.add_argument("--small", action="store_true")
+    snap_restore.add_argument("--core", default=None,
+                              choices=["fast", "reference"],
+                              help="execution core to restore onto")
+    snap_restore.add_argument("--verify", action="store_true",
+                              help="compare final memory against a straight "
+                                   "(non-snapshotted) run")
+    snap_restore.set_defaults(func=cmd_snap_restore)
+
+    snap_verify = snap_sub.add_parser(
+        "verify",
+        help="snapshot round-trip oracle: capture, encode/decode "
+             "determinism, restore, arch-digest equivalence",
+    )
+    snap_verify.add_argument("--keys", default="",
+                             help="comma-separated kernel subset "
+                                  "(default: dc,mm)")
+    snap_verify.add_argument("--mechanisms", default="",
+                             help="comma-separated mechanism subset "
+                                  "(default: the six evaluated mechanisms)")
+    snap_verify.add_argument("--cross", action="store_true",
+                             help="restore onto a differently-configured "
+                                  "GPU (other core, halved context "
+                                  "bandwidth)")
+    snap_verify.add_argument("--iterations", type=int, default=None)
+    snap_verify.add_argument("--small", action="store_true",
+                             help="use the small 4-lane configuration "
+                                  "(CI smoke)")
+    snap_verify.add_argument("--core", default=None,
+                             choices=["fast", "reference"],
+                             help="capture-side execution core")
+    snap_verify.add_argument("--format", default="text",
+                             choices=["text", "json"])
+    snap_verify.add_argument("--output", default=None, metavar="FILE",
+                             help="also write the JSON verdicts to FILE")
+    snap_verify.add_argument("--jobs", type=int, default=None,
+                             help="worker processes for the experiment "
+                                  "engine (default: $REPRO_JOBS or 1)")
+    snap_verify.add_argument("--unit-timeout", type=float, default=None,
+                             metavar="SECONDS")
+    snap_verify.add_argument("--checkpoint", default=None, metavar="FILE",
+                             help="persist finished units to FILE after "
+                                  "every chunk; re-running resumes the "
+                                  "sweep, skipping completed units")
+    snap_verify.add_argument("--retries", type=int, default=None)
+    snap_verify.add_argument("--failure-policy", default=None,
+                             choices=["fail-fast", "collect"])
+    snap_verify.add_argument("--timing", action="store_true")
+    snap_verify.set_defaults(func=cmd_snap_verify)
+
+    snap_migrate = snap_sub.add_parser(
+        "migrate",
+        help="per-mechanism migration cost model (snapshot bytes through "
+             "the context-traffic rates and the inter-GPU link)",
+    )
+    snap_migrate.add_argument("--kernel", default="dc",
+                              help="batch kernel to profile (default: dc)")
+    snap_migrate.add_argument("--mechanisms", default="",
+                              help="comma-separated mechanism subset "
+                                   "(default: the six evaluated mechanisms)")
+    snap_migrate.add_argument("--iterations", type=int, default=None)
+    snap_migrate.add_argument("--small", action="store_true")
+    snap_migrate.add_argument("--link-bytes-per-us", type=float, default=64.0)
+    snap_migrate.set_defaults(func=cmd_snap_migrate)
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")
     cache.add_argument("--clear", action="store_true",

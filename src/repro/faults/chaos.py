@@ -153,7 +153,9 @@ def run_chaos_scenario(
         "latency": faulted.mean_latency,
         "clean_latency": clean.mean_latency,
         "recovery_cycles": sum(
-            m.recovery_cycles for m in faulted.measurements
+            m.recovery_cycles
+            for m in faulted.measurements
+            if m.recovery_cycles is not None
         ),
     }
 

@@ -652,7 +652,8 @@ class McModel:
                 warp.ctx_checksum = context_checksum(warp.state.ctx_buffer)
                 self._bug_fired = True
         elif bug == "bad_accounting" and not self._bug_fired:
-            warp.preempt_done_cycle = (warp.signal_cycle or 0) - 5
+            signal = warp.signal_cycle if warp.signal_cycle is not None else 0
+            warp.preempt_done_cycle = signal - 5
             self._bug_fired = True
 
     def _pre_issue_bug_hooks(self, warp) -> None:

@@ -92,6 +92,12 @@ class EventKind(Enum):
     BATCH_PREEMPT = "batch_preempt"
     #: the batch job took the GPU back after a drain (data: gpu, cost_us)
     BATCH_RESUME = "batch_resume"
+    #: the batch job's snapshot left this GPU (live migration; data: gpu,
+    #: cost_us = stop-the-world snapshot pause)
+    MIGRATE_OUT = "migrate_out"
+    #: a migrated batch job restored onto this GPU (data: gpu, cost_us =
+    #: restore pause after the link transfer)
+    MIGRATE_IN = "migrate_in"
 
 
 #: pseudo warp id for SM-wide events (scheduler stalls)

@@ -8,6 +8,8 @@ closes the loop from the cycle-level simulator to that scenario:
 - :mod:`~repro.serve.tenants` — traffic classes with priorities and SLOs;
 - :mod:`~repro.serve.arrivals` — seeded Poisson / bursty arrival traces;
 - :mod:`~repro.serve.scheduler` — the per-GPU preemptive request scheduler;
+- :mod:`~repro.serve.migration` — live migration of batch jobs via
+  :mod:`repro.snap` snapshots (plan + cost model);
 - :mod:`~repro.serve.fleet` — calibration, asyncio ingestion, fan-out over
   the experiment engine, and :func:`run_serve`, the whole pipeline;
 - :mod:`~repro.serve.report` — p50/p95/p99, SLO, throughput, overhead
@@ -26,6 +28,14 @@ from .fleet import (
     run_serve,
     serve_shard_profile,
     shard_arrivals,
+)
+from .migration import (
+    DEFAULT_LINK_BYTES_PER_US,
+    MigrationCosts,
+    MigrationEvent,
+    migration_costs_for,
+    plan_migrations,
+    shard_events,
 )
 from .report import (
     PERCENTILES,
@@ -58,6 +68,12 @@ __all__ = [
     "MechanismCosts",
     "ShardResult",
     "simulate_shard",
+    "DEFAULT_LINK_BYTES_PER_US",
+    "MigrationCosts",
+    "MigrationEvent",
+    "migration_costs_for",
+    "plan_migrations",
+    "shard_events",
     "DEFAULT_TENANTS",
     "Tenant",
     "mean_service_us",

@@ -27,6 +27,14 @@ import asyncio
 from ..analysis.engine import ExperimentEngine, ExperimentUnit, ServeUnit
 from ..sim.config import GPUConfig
 from .arrivals import TraceSpec, generate_arrivals
+from .migration import (
+    DEFAULT_LINK_BYTES_PER_US,
+    MIGRATION_VERSION,
+    MigrationCosts,
+    migration_costs_for,
+    plan_migrations,
+    shard_events,
+)
 from .report import summarize_cell
 from .scheduler import MechanismCosts, simulate_shard
 from .tenants import DEFAULT_TENANTS, Tenant, mean_service_us
@@ -171,12 +179,16 @@ def serve_shard_profile(
     tenants: tuple[Tenant, ...],
     costs: MechanismCosts,
     gpu: int,
+    migrations: tuple = (),
+    migration: MigrationCosts | None = None,
 ) -> dict:
     """Cached scheduler run over one shard (artifact kind ``serve``).
 
     The key is the full content of the shard + tenant mix + costs, so a
     re-run with any knob changed re-simulates while identical shards hit
-    the cache — including across different ``--jobs`` values.
+    the cache — including across different ``--jobs`` values.  Migration
+    inputs join the key only when present, so plain serve runs keep
+    their existing cache identity.
     """
     from ..analysis.cache import canonical, get_cache
 
@@ -185,9 +197,16 @@ def serve_shard_profile(
         "tenants": canonical(tenants),
         "costs": canonical(costs),
     }
+    if migrations:
+        parts["migrations"] = canonical(migrations)
+        parts["migration"] = canonical(migration)
+        parts["migration_version"] = MIGRATION_VERSION
 
     def run() -> dict:
-        result = simulate_shard(requests, tenants, costs, gpu=gpu)
+        result = simulate_shard(
+            requests, tenants, costs, gpu=gpu,
+            migrations=migrations, migration=migration,
+        )
         return result.as_dict()
 
     return get_cache().get_or_create("serve", parts, run)
@@ -210,6 +229,10 @@ def run_serve(
     samples: int = 2,
     resume_gap: int = 2000,
     engine: ExperimentEngine | None = None,
+    migrate: bool = False,
+    migrate_epoch_us: float = 2000.0,
+    migrate_factor: float = 1.5,
+    link_bytes_per_us: float = DEFAULT_LINK_BYTES_PER_US,
 ) -> dict:
     """Serve *requests* requests per (mechanism, load) over the fleet.
 
@@ -217,6 +240,13 @@ def run_serve(
     wall-clock or host state): render it with
     :func:`repro.serve.report.render_serve_text` /
     :func:`~repro.serve.report.render_serve_json`.
+
+    With *migrate*, batch jobs live-migrate across the fleet
+    (:mod:`repro.serve.migration`): per-mechanism snapshot sizes come
+    from cached :func:`repro.snap.units.snap_profile_for` round-trips,
+    the plan is a pure function of the arrival shards, and the report
+    gains a ``migration`` section plus per-cell counts — still
+    bit-identical across ``--jobs``, cores, and hosts.
     """
     if trace is None:
         trace = TraceSpec()
@@ -230,20 +260,55 @@ def run_serve(
         engine=engine,
     )
 
+    snapshot_bytes: dict[str, int] = {}
+    mig_costs: dict[str, MigrationCosts] = {}
+    if migrate:
+        from ..snap.units import snap_profile_for
+
+        for mechanism in mechanisms:
+            profile = snap_profile_for(
+                key, mechanism, config,
+                iterations=iterations, resume_gap=resume_gap,
+            )
+            if not profile.get("ok"):
+                raise RuntimeError(
+                    f"snapshot round-trip failed for mechanism {mechanism!r} "
+                    f"on {key!r}: {profile}"
+                )
+            snapshot_bytes[mechanism] = profile["snapshot_bytes"]
+            mig_costs[mechanism] = migration_costs_for(
+                profile["snapshot_bytes"], config,
+                link_bytes_per_us=link_bytes_per_us,
+            )
+
     service_mean = mean_service_us(tenants)
     units: list[ServeUnit] = []
     cells: list[tuple[str, float]] = []
     shards_by_load: dict[float, list] = {}
+    events_by_load: dict[float, list] = {}
     for load in loads:
         # load = fraction of fleet service capacity consumed by requests
         rate = load * gpus / service_mean
         shards_by_load[load] = shard_arrivals(
             trace, requests, rate, tenants, gpus
         )
+        if migrate:
+            # the plan depends only on the shards (pure + deterministic)
+            events_by_load[load] = shard_events(
+                plan_migrations(
+                    shards_by_load[load], tuple(tenants),
+                    epoch_us=migrate_epoch_us, factor=migrate_factor,
+                ),
+                gpus,
+            )
     for mechanism in mechanisms:
         for load in loads:
             cells.append((mechanism, load))
             for gpu in range(gpus):
+                mig = mig_costs.get(mechanism)
+                events = (
+                    events_by_load[load][gpu] if migrate else ()
+                )
                 units.append(
                     ServeUnit(
                         mechanism=mechanism,
@@ -253,6 +318,10 @@ def run_serve(
                         tenants=tuple(tenants),
                         preempt_us=costs[mechanism].preempt_us,
                         resume_us=costs[mechanism].resume_us,
+                        migrations=events,
+                        mig_snapshot_us=mig.snapshot_us if mig else 0.0,
+                        mig_transfer_us=mig.transfer_us if mig else 0.0,
+                        mig_restore_us=mig.restore_us if mig else 0.0,
                     )
                 )
     merged = iter(engine.map(units))
@@ -266,11 +335,30 @@ def run_serve(
                 shard_dicts.append(profile)
         results.append(
             summarize_cell(
-                mechanism, load, shard_dicts, tenants, costs[mechanism]
+                mechanism, load, shard_dicts, tenants, costs[mechanism],
+                migration=migrate,
             )
         )
 
+    report_extra: dict = {}
+    if migrate:
+        report_extra["migration"] = {
+            "epoch_us": migrate_epoch_us,
+            "factor": migrate_factor,
+            "link_bytes_per_us": link_bytes_per_us,
+            "snapshot_bytes": dict(sorted(snapshot_bytes.items())),
+            "costs_us": {
+                name: {
+                    "snapshot_us": c.snapshot_us,
+                    "transfer_us": c.transfer_us,
+                    "restore_us": c.restore_us,
+                }
+                for name, c in sorted(mig_costs.items())
+            },
+        }
+
     return {
+        **report_extra,
         "trace": {
             "kind": trace.kind,
             "seed": trace.seed,

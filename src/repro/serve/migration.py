@@ -1,0 +1,172 @@
+"""Live migration of batch jobs across the serving fleet.
+
+Wires :mod:`repro.snap` into the serving layer: when the arrival trace
+leaves the fleet imbalanced, the batch job on the busiest GPU is
+snapshotted (a stop-the-world pause on the source), its image moves over
+the inter-GPU link, and it restores on the least-busy GPU.  While a GPU
+hosts no batch job its requests run free of preempt/resume overhead —
+that is the serving win live migration buys; the price is the snapshot
+and restore pauses plus the transfer delay.
+
+The cost model is grounded in the same snapshot machinery the rest of
+the repo uses: *snapshot_bytes* comes from a cached
+:func:`repro.snap.units.snap_profile_for` round-trip of the batch kernel
+under the active mechanism — mechanisms with smaller contexts (CTXBack)
+migrate cheaper, which is exactly the paper's argument carried into the
+serving regime.  Planning is a pure function of the arrival shards, so
+serve reports with migration enabled stay bit-identical across
+``--jobs`` values, execution cores, and hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import GPUConfig
+from .tenants import Tenant
+
+__all__ = [
+    "MIGRATION_VERSION",
+    "MigrationCosts",
+    "MigrationEvent",
+    "migration_costs_for",
+    "plan_migrations",
+    "shard_events",
+]
+
+#: bump when the scheduler's migration semantics change — joins the
+#: serve-shard cache key so stale migration-enabled artifacts re-run
+MIGRATION_VERSION = 2
+
+#: default inter-GPU link bandwidth for snapshot transfer (bytes/µs);
+#: 64 B/µs keeps the transfer visible at simulated-kernel scale
+DEFAULT_LINK_BYTES_PER_US = 64.0
+
+
+@dataclass(frozen=True)
+class MigrationCosts:
+    """Per-migration costs of one mechanism (µs), derived from its
+    snapshot size through the device's context-traffic model."""
+
+    #: stop-the-world pause on the source GPU (context store path)
+    snapshot_us: float
+    #: snapshot bytes over the inter-GPU link (delay, not GPU time)
+    transfer_us: float
+    #: restore pause on the destination GPU (context load path)
+    restore_us: float
+
+
+def migration_costs_for(
+    snapshot_bytes: int,
+    config: GPUConfig,
+    *,
+    link_bytes_per_us: float = DEFAULT_LINK_BYTES_PER_US,
+) -> MigrationCosts:
+    """Derive migration costs from a snapshot's byte size.
+
+    The snapshot/restore pauses go through the same context-traffic
+    rates the preemption routines pay (:class:`GPUConfig`'s
+    ``ctx_bytes_per_cycle`` store path, sped up by ``ctx_load_speedup``
+    on the load path), so migration cost scales with context size the
+    same way preemption cost does.
+    """
+    if link_bytes_per_us <= 0:
+        raise ValueError(
+            f"link_bytes_per_us must be > 0, got {link_bytes_per_us!r}"
+        )
+    ctx_rate = (
+        config.ctx_bytes_per_cycle
+        if config.ctx_bytes_per_cycle is not None
+        else config.mem_bytes_per_cycle
+    )
+    snapshot_cycles = snapshot_bytes / ctx_rate + config.ctx_request_overhead
+    restore_cycles = (
+        snapshot_bytes / (ctx_rate * config.ctx_load_speedup)
+        + config.ctx_request_overhead
+    )
+    return MigrationCosts(
+        snapshot_us=round(config.cycles_to_us(snapshot_cycles), 3),
+        transfer_us=round(snapshot_bytes / link_bytes_per_us, 3),
+        restore_us=round(config.cycles_to_us(restore_cycles), 3),
+    )
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One planned migration: the batch job leaves *src* at *time_us* and
+    (after the transfer) restores onto *dst*."""
+
+    time_us: float
+    src: int
+    dst: int
+
+
+def plan_migrations(
+    shards: list,
+    tenants: tuple[Tenant, ...],
+    *,
+    epoch_us: float,
+    factor: float = 2.0,
+) -> list[MigrationEvent]:
+    """Plan batch-job migrations from the fleet's arrival shards.
+
+    Pure and deterministic: the trace is cut into *epoch_us* windows; at
+    each epoch boundary the per-GPU request service demand of the closed
+    window is compared, and when the busiest batch-hosting GPU's demand
+    reaches *factor* × the least-busy GPU's, that batch job migrates to
+    the least-busy GPU.  Ties break toward the lowest GPU index, so the
+    plan is a total function of (shards, tenants, epoch_us, factor).
+    """
+    if epoch_us <= 0:
+        raise ValueError(f"epoch_us must be > 0, got {epoch_us!r}")
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor!r}")
+    gpus = len(shards)
+    if gpus < 2:
+        return []
+    last_arrival = 0.0
+    for shard in shards:
+        for arrival_us, _tenant in shard:
+            if arrival_us > last_arrival:
+                last_arrival = arrival_us
+    epochs = int(last_arrival // epoch_us) + 1
+    # batch jobs currently hosted per GPU (each GPU starts with one)
+    hosted = [1] * gpus
+    events: list[MigrationEvent] = []
+    for k in range(1, epochs + 1):
+        lo = (k - 1) * epoch_us
+        hi = k * epoch_us
+        demand = [0.0] * gpus
+        for gpu, shard in enumerate(shards):
+            for arrival_us, tenant in shard:
+                if lo <= arrival_us < hi:
+                    demand[gpu] += tenants[tenant].service_us
+        src = -1
+        for gpu in range(gpus):
+            if hosted[gpu] and (src < 0 or demand[gpu] > demand[src]):
+                src = gpu
+        dst = min(range(gpus), key=lambda gpu: (demand[gpu], gpu))
+        if src < 0 or src == dst:
+            continue
+        if demand[src] > 0 and demand[src] >= factor * demand[dst]:
+            events.append(MigrationEvent(time_us=hi, src=src, dst=dst))
+            hosted[src] -= 1
+            hosted[dst] += 1
+    return events
+
+
+def shard_events(
+    events: list[MigrationEvent], gpus: int
+) -> list[tuple[tuple[float, str], ...]]:
+    """Split a fleet migration plan into per-GPU event streams.
+
+    Each GPU sees its own ordered ``(time_us, "out"|"in")`` stream —
+    the shape :func:`repro.serve.scheduler.simulate_shard` consumes.
+    The destination's ``"in"`` is stamped with the *departure* time; the
+    scheduler adds the transfer delay when it applies the event.
+    """
+    per_gpu: list[list[tuple[float, str]]] = [[] for _ in range(gpus)]
+    for event in events:
+        per_gpu[event.src].append((event.time_us, "out"))
+        per_gpu[event.dst].append((event.time_us, "in"))
+    return [tuple(sorted(stream)) for stream in per_gpu]

@@ -44,18 +44,31 @@ def summarize_cell(
     shard_dicts: list[dict],
     tenants: tuple[Tenant, ...],
     costs: MechanismCosts,
+    *,
+    migration: bool = False,
 ) -> dict:
-    """Fold one (mechanism, load) cell's shard records into its summary."""
+    """Fold one (mechanism, load) cell's shard records into its summary.
+
+    The ``migrations`` block is added only when *migration* is set, so
+    plain serve reports keep their exact historical shape (the golden
+    byte-drift gate compares them verbatim)."""
     pairs: list[tuple[int, float]] = []
     overhead = 0.0
     episodes = 0
     service = 0.0
     makespan = 0.0
+    migrations_out = 0
+    migrations_in = 0
+    migration_us = 0.0
     for shard in shard_dicts:
         pairs.extend((int(t), float(lat)) for t, lat in shard["latencies"])
         overhead += shard["overhead_us"]
         episodes += shard["episodes"]
         service += shard["service_us"]
+        # tolerant of pre-migration cached shard dicts (no such keys)
+        migrations_out += shard.get("migrations_out", 0)
+        migrations_in += shard.get("migrations_in", 0)
+        migration_us += shard.get("migration_us", 0.0)
         # fleet makespan: the slowest GPU bounds the cell
         if shard["makespan_us"] > makespan:
             makespan = shard["makespan_us"]
@@ -82,6 +95,12 @@ def summarize_cell(
         # fleet throughput over the cell's makespan (requests/second)
         "throughput_rps": _round3(n / makespan * 1e6) if makespan > 0 else 0.0,
     }
+    if migration:
+        summary["migrations"] = {
+            "out": migrations_out,
+            "in": migrations_in,
+            "migration_us": _round3(migration_us),
+        }
 
     violations_total = 0
     per_tenant: dict[str, dict] = {}

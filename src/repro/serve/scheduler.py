@@ -54,6 +54,11 @@ class ShardResult:
     makespan_us: float
     #: GPU time spent serving requests (µs, excludes overhead)
     service_us: float
+    #: batch jobs migrated away from / restored onto this GPU
+    migrations_out: int = 0
+    migrations_in: int = 0
+    #: GPU time the migrations charged here (snapshot + restore pauses, µs)
+    migration_us: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -62,6 +67,9 @@ class ShardResult:
             "episodes": self.episodes,
             "makespan_us": self.makespan_us,
             "service_us": self.service_us,
+            "migrations_out": self.migrations_out,
+            "migrations_in": self.migrations_in,
+            "migration_us": self.migration_us,
         }
 
 
@@ -77,6 +85,8 @@ def simulate_shard(
     *,
     gpu: int = 0,
     tracer: Tracer | None = None,
+    migrations: tuple = (),
+    migration=None,
 ) -> ShardResult:
     """Serve one GPU's request shard under one mechanism's costs.
 
@@ -84,6 +94,17 @@ def simulate_shard(
     are accepted for cache/pool transport).  Ties in the queue resolve by
     (priority desc, arrival asc, sequence asc) — a total order, so the
     result is reproducible to the bit.
+
+    *migrations* is this GPU's ordered ``(time_us, "out"|"in")`` stream
+    (see :func:`repro.serve.migration.shard_events`) with *migration*
+    carrying its :class:`~repro.serve.migration.MigrationCosts`.  An
+    ``"out"`` charges the stop-the-world snapshot pause and removes one
+    hosted batch job — once none remain, episodes stop paying
+    preempt/resume; an ``"in"`` restores a batch job after the link
+    transfer, charging the restore pause (a GPU may host several after
+    consolidation).  Events are applied when the shard clock first reaches them;
+    events past the shard's last work are dropped (the planner's epochs
+    can outrun a short shard).
     """
     arrivals: list[Request] = [
         r if isinstance(r, Request) else Request(r[0], r[1]) for r in requests
@@ -91,6 +112,8 @@ def simulate_shard(
     n = len(arrivals)
     if n == 0:
         return ShardResult([], 0.0, 0, 0.0, 0.0)
+    if migrations and migration is None:
+        raise ValueError("migrations given without MigrationCosts")
 
     queue: list[tuple[int, float, int, int]] = []  # (-prio, arrival, seq, idx)
     latencies: list[tuple[int, float]] = []
@@ -99,6 +122,11 @@ def simulate_shard(
     episodes = 0
     free_at = 0.0  # when the GPU finishes its current request/resume work
     batch_running = True
+    hosted = 1  # batch jobs hosted here (migration moves them; may exceed 1)
+    migrations_out = 0
+    migrations_in = 0
+    migration_total = 0.0
+    mig_i = 0
     i = 0
 
     def admit_until(deadline: float) -> None:
@@ -116,10 +144,49 @@ def simulate_shard(
             )
             i += 1
 
+    def apply_migrations(now: float) -> None:
+        """Apply migration events whose time the clock has reached."""
+        nonlocal mig_i, free_at, batch_running, hosted
+        nonlocal migrations_out, migrations_in, migration_total
+        while mig_i < len(migrations) and migrations[mig_i][0] <= now:
+            time_us, kind = migrations[mig_i]
+            mig_i += 1
+            if kind == "out":
+                if hosted == 0:
+                    continue  # already migrated away; nothing to snapshot
+                start = free_at if free_at > time_us else time_us
+                if tracer is not None:
+                    tracer.emit(
+                        _ns(start), EventKind.MIGRATE_OUT, -1,
+                        gpu=gpu, cost_us=migration.snapshot_us,
+                    )
+                free_at = start + migration.snapshot_us
+                migration_total += migration.snapshot_us
+                migrations_out += 1
+                hosted -= 1
+                if hosted == 0:
+                    batch_running = False
+            else:
+                arrive = time_us + migration.transfer_us
+                start = free_at if free_at > arrive else arrive
+                if tracer is not None:
+                    tracer.emit(
+                        _ns(start), EventKind.MIGRATE_IN, -1,
+                        gpu=gpu, cost_us=migration.restore_us,
+                    )
+                free_at = start + migration.restore_us
+                migration_total += migration.restore_us
+                migrations_in += 1
+                if hosted == 0:
+                    batch_running = True
+                hosted += 1
+            admit_until(free_at)
+
     admit_until(free_at)
     while i < n or queue:
+        apply_migrations(free_at)
         if not queue:
-            if not batch_running:
+            if not batch_running and hosted > 0:
                 # the queue drained: the batch job takes the GPU back
                 overhead_us += costs.resume_us
                 if tracer is not None:
@@ -132,8 +199,17 @@ def simulate_shard(
                 # requests that landed during the resume wait it out
                 admit_until(free_at)
                 continue
-            # batch runs until the next arrival
+            # idle of requests until the next arrival — but stop at a
+            # pending migration event so it applies at its own time
             next_arrival = arrivals[i].arrival_us
+            if (
+                mig_i < len(migrations)
+                and migrations[mig_i][0] < next_arrival
+            ):
+                pending = migrations[mig_i][0]
+                free_at = free_at if free_at > pending else pending
+                apply_migrations(free_at)
+                continue
             free_at = free_at if free_at > next_arrival else next_arrival
             admit_until(free_at)
             continue
@@ -168,7 +244,7 @@ def simulate_shard(
         admit_until(free_at)
 
     makespan = free_at - arrivals[0].arrival_us
-    if not batch_running:
+    if not batch_running and hosted > 0:
         # close the trailing episode so overhead accounting is symmetric
         overhead_us += costs.resume_us
         if tracer is not None:
@@ -182,4 +258,7 @@ def simulate_shard(
         episodes=episodes,
         makespan_us=makespan,
         service_us=service_total,
+        migrations_out=migrations_out,
+        migrations_in=migrations_in,
+        migration_us=migration_total,
     )

@@ -220,6 +220,158 @@ class ExperimentResult:
         return self.breakdowns.get(warp_id)
 
 
+def finalize_measurements(
+    sm: SM,
+    controller: PreemptionController,
+    target_warps: list[SimWarp],
+) -> None:
+    """Post-run measurement fill: CKPT resume times from the watch
+    timestamps, and restart-from-zero recovery attribution.
+
+    ``is None`` guards throughout — ``recovery_cycles == 0`` is a
+    legitimate zero-cost fallback (a degraded save whose stores drained
+    within the same cycle) and must not be overwritten, and a degraded
+    warp with no resume data keeps ``recovery_cycles is None`` rather
+    than being coerced to a fabricated 0.
+    """
+    for warp in target_warps:
+        measurement = controller.measurements.get(warp.warp_id)
+        if measurement is None:
+            continue
+        if measurement.resume_cycles is None and warp.resume_start_cycle is not None:
+            end = warp.resume_done_cycle
+            if end is None:
+                end = sm.cycle  # finished before re-reaching the signal point
+            measurement.resume_cycles = end - warp.resume_start_cycle
+        if measurement.degraded and measurement.recovery_cycles is None:
+            # restart-from-zero recovery: the whole re-execution back to
+            # the signal point is recovery work.  Preserve None when the
+            # resume data is genuinely absent.
+            measurement.recovery_cycles = measurement.resume_cycles
+
+
+def drive_experiment_loop(
+    sm: SM,
+    controller: PreemptionController,
+    target_warps: list[SimWarp],
+    config: GPUConfig,
+    *,
+    signal_dyn: int,
+    resume_gap: int = 2000,
+    injector=None,
+    resumed: bool = False,
+    resume_at: int | None = None,
+    loop_hook: Callable[[SM, PreemptionController, list[SimWarp], dict], None]
+    | None = None,
+) -> None:
+    """Drive a preemption experiment to completion: poll, evict, resume at
+    the gap deadline, run out the kernel.
+
+    Factored out of :func:`run_preemption_experiment` so a restored
+    snapshot (:mod:`repro.snap`) can re-enter the experiment mid-flight —
+    *resumed*/*resume_at* carry the loop state across the save/restore
+    boundary.  *loop_hook*, when given, is called at the top of every
+    iteration with the current loop state (``{"resumed", "resume_at",
+    "signal_dyn", "resume_gap"}``); it may only observe (snapshot capture),
+    never mutate — mutation would be an observer effect.
+    """
+
+    def _resume_deadline() -> int:
+        done_cycles = [
+            w.preempt_done_cycle
+            for w in target_warps
+            if w.preempt_done_cycle is not None
+        ]
+        return (max(done_cycles) if done_cycles else sm.cycle) + resume_gap
+
+    def _deliver_resume() -> None:
+        nonlocal resumed
+        sm.cycle = max(sm.cycle, resume_at)
+        if loop_hook is not None:
+            # the pre-resume observation: every target context is saved and
+            # sm.cycle equals the (core-independent) resume deadline — the
+            # one loop point both cores reach in the same simulated state,
+            # which snapshot capture (repro.snap) keys on
+            loop_hook(
+                sm,
+                controller,
+                target_warps,
+                {
+                    "resumed": False,
+                    "resume_at": resume_at,
+                    "signal_dyn": signal_dyn,
+                    "resume_gap": resume_gap,
+                },
+            )
+        for warp in target_warps:
+            controller.resume_warp(warp, sm.cycle)
+        resumed = True
+
+    # the fast core batches many issues per call; fault injection needs the
+    # per-step reference path (the injector hooks every single issue)
+    use_fast = sm.core == "fast" and injector is None
+    while True:
+        if loop_hook is not None:
+            loop_hook(
+                sm,
+                controller,
+                target_warps,
+                {
+                    "resumed": resumed,
+                    "resume_at": resume_at,
+                    "signal_dyn": signal_dyn,
+                    "resume_gap": resume_gap,
+                },
+            )
+        controller.poll()
+        if not resumed and controller.all_evicted():
+            if resume_at is None:
+                resume_at = _resume_deadline()
+            # honour the gap exactly: resume is delivered *at* resume_at,
+            # never before (an idle SM warps time forward instead of
+            # resuming early) and never after (the scheduler must not
+            # leap past the deadline to a stalled warp's ready cycle)
+            next_issue = sm.next_issue_cycle()
+            if (
+                sm.cycle >= resume_at
+                or next_issue is None
+                or next_issue >= resume_at
+            ):
+                _deliver_resume()
+                continue
+        if use_fast:
+            # arm the dyn-break so the batch returns exactly when a target
+            # warp reaches the signal's dynamic instruction — the next
+            # poll() then delivers the signal at the reference boundary
+            dyn_break = signal_dyn if controller.armed else None
+            for warp in target_warps:
+                warp.dyn_break = dyn_break
+            progressed = sm.advance(
+                stop_cycle=resume_at if not resumed else None,
+                limit=config.max_cycles,
+            )
+        else:
+            progressed = sm.step()
+        if not progressed:
+            if not resumed and controller.all_evicted():
+                # nothing can issue before the gap elapses (the last warp
+                # may have evicted during this very advance): warp idle time
+                if resume_at is None:
+                    resume_at = _resume_deadline()
+                _deliver_resume()
+                continue
+            break
+        if sm.cycle > config.max_cycles:
+            # the no-forward-progress watchdog: a typed error with a
+            # per-warp diagnostic dump instead of spinning to the job cap
+            raise SimulationHangError(
+                f"preemption experiment exceeded {config.max_cycles} cycles "
+                f"without completing (livelock?)",
+                cycle=sm.cycle,
+                warp_dump=sm.warp_state_dump(),
+            )
+
+
 def run_preemption_experiment(
     spec: LaunchSpec,
     prepared: "PreparedKernel",
@@ -230,6 +382,8 @@ def run_preemption_experiment(
     resume_gap: int = 2000,
     verify: bool = True,
     faults=None,
+    loop_hook=None,
+    memory: DeviceMemory | None = None,
 ) -> ExperimentResult:
     """Preempt every target warp at dynamic instruction *signal_dyn*, resume
     after *resume_gap* cycles, run to completion, verify memory.
@@ -237,6 +391,10 @@ def run_preemption_experiment(
     *faults* is a :class:`~repro.faults.plan.FaultPlan` (or an already-built
     :class:`~repro.faults.injector.FaultInjector`); ``None`` — the default —
     disables injection entirely and costs nothing on the hot path.
+    *loop_hook* is the snapshot capture point (see
+    :func:`drive_experiment_loop`).  *memory* substitutes the experiment's
+    device memory (e.g. a :class:`~repro.sim.memory.TrackedMemory` so a
+    speculative checkpoint can record write epochs).
     """
     reference_cycles: int | None = None
     ref_memory = None
@@ -260,7 +418,7 @@ def run_preemption_experiment(
         reference_cycles = ref.cycles
 
     sm, target_warps, memory = build_launch(
-        spec, config, kernel_override=prepared.kernel
+        spec, config, kernel_override=prepared.kernel, memory=memory
     )
     sm.tracer = make_tracer(config, prepared.mechanism)
     if background is not None:
@@ -281,89 +439,18 @@ def run_preemption_experiment(
         injector = faults.build() if hasattr(faults, "build") else faults
         injector.attach(sm, controller)
 
-    resumed = False
-    resume_at: int | None = None
+    drive_experiment_loop(
+        sm,
+        controller,
+        target_warps,
+        config,
+        signal_dyn=signal_dyn,
+        resume_gap=resume_gap,
+        injector=injector,
+        loop_hook=loop_hook,
+    )
 
-    def _resume_deadline() -> int:
-        done_cycles = [
-            w.preempt_done_cycle
-            for w in target_warps
-            if w.preempt_done_cycle is not None
-        ]
-        return (max(done_cycles) if done_cycles else sm.cycle) + resume_gap
-
-    # the fast core batches many issues per call; fault injection needs the
-    # per-step reference path (the injector hooks every single issue)
-    use_fast = sm.core == "fast" and injector is None
-    while True:
-        controller.poll()
-        if not resumed and controller.all_evicted():
-            if resume_at is None:
-                resume_at = _resume_deadline()
-            # honour the gap exactly: resume is delivered *at* resume_at,
-            # never before (an idle SM warps time forward instead of
-            # resuming early) and never after (the scheduler must not
-            # leap past the deadline to a stalled warp's ready cycle)
-            next_issue = sm.next_issue_cycle()
-            if (
-                sm.cycle >= resume_at
-                or next_issue is None
-                or next_issue >= resume_at
-            ):
-                sm.cycle = max(sm.cycle, resume_at)
-                for warp in target_warps:
-                    controller.resume_warp(warp, sm.cycle)
-                resumed = True
-                continue
-        if use_fast:
-            # arm the dyn-break so the batch returns exactly when a target
-            # warp reaches the signal's dynamic instruction — the next
-            # poll() then delivers the signal at the reference boundary
-            dyn_break = signal_dyn if controller.armed else None
-            for warp in target_warps:
-                warp.dyn_break = dyn_break
-            progressed = sm.advance(
-                stop_cycle=resume_at if not resumed else None,
-                limit=config.max_cycles,
-            )
-        else:
-            progressed = sm.step()
-        if not progressed:
-            if not resumed and controller.all_evicted():
-                # nothing can issue before the gap elapses (the last warp
-                # may have evicted during this very advance): warp idle time
-                if resume_at is None:
-                    resume_at = _resume_deadline()
-                sm.cycle = max(sm.cycle, resume_at)
-                for warp in target_warps:
-                    controller.resume_warp(warp, sm.cycle)
-                resumed = True
-                continue
-            break
-        if sm.cycle > config.max_cycles:
-            # the no-forward-progress watchdog: a typed error with a
-            # per-warp diagnostic dump instead of spinning to the job cap
-            raise SimulationHangError(
-                f"preemption experiment exceeded {config.max_cycles} cycles "
-                f"without completing (livelock?)",
-                cycle=sm.cycle,
-                warp_dump=sm.warp_state_dump(),
-            )
-
-    # fill CKPT resume measurements from the watch timestamps
-    for warp in target_warps:
-        measurement = controller.measurements.get(warp.warp_id)
-        if measurement is None:
-            continue
-        if measurement.resume_cycles is None and warp.resume_start_cycle is not None:
-            end = warp.resume_done_cycle
-            if end is None:
-                end = sm.cycle  # finished before re-reaching the signal point
-            measurement.resume_cycles = end - warp.resume_start_cycle
-        if measurement.degraded and not measurement.recovery_cycles:
-            # restart-from-zero recovery: the whole re-execution back to
-            # the signal point is recovery work
-            measurement.recovery_cycles = measurement.resume_cycles or 0
+    finalize_measurements(sm, controller, target_warps)
 
     verified = True
     if verify and ref_memory is not None:

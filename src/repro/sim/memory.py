@@ -149,32 +149,68 @@ class TrackedMemory(DeviceMemory):
     def __init__(self, size_bytes: int = DEFAULT_SIZE_BYTES) -> None:
         super().__init__(size_bytes)
         self._dirty: set[int] = set()
+        #: epoch-scoped dirty set for the speculative checkpointer
+        #: (:mod:`repro.snap.speculative`): ``None`` when no epoch is open
+        self._epoch: set[int] | None = None
 
     def store_word(self, addr: int, value: int) -> None:
         super().store_word(addr, value)
         self._dirty.add(addr >> 2)
+        if self._epoch is not None:
+            self._epoch.add(addr >> 2)
 
     def store_array(self, addr: int, values) -> None:
         super().store_array(addr, values)
         start = addr >> 2
         count = len(np.asarray(values, dtype=np.uint32).ravel())
         self._dirty.update(range(start, start + count))
+        if self._epoch is not None:
+            self._epoch.update(range(start, start + count))
 
     def scatter(
         self, byte_addrs: np.ndarray, values: np.ndarray, mask: np.ndarray
     ) -> None:
         super().scatter(byte_addrs, values, mask)
         if mask.any():
-            words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask]
-            self._dirty.update(words.tolist())
+            words = (byte_addrs >> np.uint64(2)).astype(np.int64)[mask].tolist()
+            self._dirty.update(words)
+            if self._epoch is not None:
+                self._epoch.update(words)
 
     def scatter_full(self, word_addrs: np.ndarray, values) -> None:
         super().scatter_full(word_addrs, values)
-        self._dirty.update(np.asarray(word_addrs).tolist())
+        words = np.asarray(word_addrs).tolist()
+        self._dirty.update(words)
+        if self._epoch is not None:
+            self._epoch.update(words)
 
     def dirty_words(self) -> list[int]:
         """Sorted word indices written at least once."""
-        return sorted(self._dirty)
+        if not self._dirty:
+            return []
+        indices = np.fromiter(
+            self._dirty, dtype=np.int64, count=len(self._dirty)
+        )
+        indices.sort()
+        return indices.tolist()
+
+    # -- speculative-checkpoint epochs ----------------------------------------
+
+    def begin_epoch(self) -> None:
+        """Start recording writes into a fresh epoch dirty set.
+
+        The speculative checkpointer copies memory at the begin point and
+        lets execution run ahead; at commit it patches exactly the words
+        this epoch recorded.  Re-entering simply restarts the recording.
+        """
+        self._epoch = set()
+
+    def end_epoch(self) -> list[int]:
+        """Stop recording; returns the sorted word indices written since
+        :meth:`begin_epoch`."""
+        epoch = self._epoch if self._epoch is not None else set()
+        self._epoch = None
+        return sorted(epoch)
 
     def content_digest(self) -> bytes:
         """sha256 equivalent to hashing the full contents: dirty words that

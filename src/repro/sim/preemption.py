@@ -45,8 +45,12 @@ class WarpMeasurement:
     #: this warp's preemption fell back to the conservative path
     #: (full register save/restore, or a CKPT checkpoint discard + restart)
     degraded: bool = False
-    #: extra cycles spent on the fallback (0 for clean preemptions)
-    recovery_cycles: int = 0
+    #: extra cycles spent on the fallback.  ``None`` means *no recovery
+    #: data* (clean preemptions never touch it); a genuine ``0`` is a
+    #: legitimate zero-cost fallback — e.g. a degraded save whose stores
+    #: drained within the same cycle — and must never be coerced back to
+    #: "absent" (the falsy-zero sentinel class fixed in PR 2 and PR 7)
+    recovery_cycles: int | None = None
 
 
 @dataclass
@@ -251,7 +255,10 @@ class PreemptionController:
             warp.program = warp.main_program
             warp.state.pc = plan.resume_pc
             measurement = self.measurements[warp.warp_id]
-            measurement.resume_cycles = done - (warp.resume_start_cycle or done)
+            # `is None`, not truthiness: a resume that started at cycle 0 is
+            # a real start, not absent data
+            start = warp.resume_start_cycle
+            measurement.resume_cycles = done - start if start is not None else 0
             warp.active_plan = None
             if tracer is not None:
                 tracer.emit(
@@ -378,7 +385,10 @@ class PreemptionController:
         measurement.latency_cycles = completion - measurement.signal_cycle
         measurement.context_bytes = image.nbytes
         measurement.degraded = True
-        measurement.recovery_cycles += max(0, completion - cycle)
+        base = measurement.recovery_cycles
+        measurement.recovery_cycles = (
+            (0 if base is None else base) + max(0, completion - cycle)
+        )
         if self.faults is not None:
             self.faults.stats.degraded_saves += 1
         if tracer is not None:
@@ -417,7 +427,10 @@ class PreemptionController:
         warp.active_plan = None
         measurement = self.measurements[warp.warp_id]
         measurement.resume_cycles = completion - cycle
-        measurement.recovery_cycles += max(0, completion - cycle)
+        base = measurement.recovery_cycles
+        measurement.recovery_cycles = (
+            (0 if base is None else base) + max(0, completion - cycle)
+        )
         measurement.degraded = True
         tracer = self.sm.tracer
         if tracer is not None:

@@ -419,7 +419,9 @@ class SM:
         raises :class:`~repro.faults.errors.SimulationHangError` with a
         per-warp diagnostic dump instead of spinning forever.
         """
-        limit = max_cycles or self.config.max_cycles
+        # `is None`, not truthiness: an explicit max_cycles=0 means "trip
+        # the watchdog immediately", not "use the config default"
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
         while self.advance(limit=limit):
             if self.cycle > limit:
                 raise SimulationHangError(

@@ -1,0 +1,66 @@
+"""Whole-device snapshot/restore (``RSNP``) and live migration support.
+
+PhoenixOS-style concurrent checkpoint/restore for the simulated GPU:
+versioned, checksummed snapshots of the *entire* device state —
+register files, exec masks, LDS, device memory, scoreboards, in-flight
+preemption/recovery state — restorable onto a differently-configured
+simulated GPU, on either execution core, with ``arch_digest``-verified
+equivalence.  :mod:`repro.snap.speculative` adds concurrent
+(checkpoint-while-running) capture with validate-then-degrade fallback;
+:mod:`repro.snap.units` the cacheable engine units; and
+:mod:`repro.serve.migration` wires snapshots into the serving layer as
+live migration.
+"""
+
+from .capture import (
+    RestoredExperiment,
+    capture_snapshot,
+    complete_experiment,
+    describe_snapshot,
+    load_snapshot,
+    memory_payload,
+    restore_experiment,
+    restore_memory,
+    restore_snapshot,
+    run_snapshot_experiment,
+    save_snapshot,
+)
+from .format import (
+    SNAP_MAGIC,
+    SNAP_VERSION,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+    snapshot_sha256,
+)
+from .speculative import (
+    SpeculativeCheckpoint,
+    SpeculativeReport,
+    speculative_snapshot,
+)
+from .units import SnapUnit, snap_profile_for
+
+__all__ = [
+    "SNAP_MAGIC",
+    "SNAP_VERSION",
+    "SnapshotError",
+    "encode_snapshot",
+    "decode_snapshot",
+    "snapshot_sha256",
+    "capture_snapshot",
+    "memory_payload",
+    "restore_memory",
+    "restore_snapshot",
+    "run_snapshot_experiment",
+    "RestoredExperiment",
+    "restore_experiment",
+    "complete_experiment",
+    "save_snapshot",
+    "load_snapshot",
+    "describe_snapshot",
+    "SpeculativeCheckpoint",
+    "SpeculativeReport",
+    "speculative_snapshot",
+    "SnapUnit",
+    "snap_profile_for",
+]

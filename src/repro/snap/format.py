@@ -1,0 +1,166 @@
+"""Versioned, checksummed on-disk snapshot format (``RSNP``).
+
+A snapshot is a plain payload tree (dicts/lists/scalars plus NumPy
+arrays, bytes, tuples, sets and int-keyed dicts) encoded as canonical
+JSON, zlib-compressed, and framed as::
+
+    RSNP | version (u32 LE) | sha256(compressed payload) | compressed payload
+
+The frame mirrors the artifact cache's integrity discipline
+(:mod:`repro.analysis.cache`): the checksum covers every payload byte, so
+a truncated or bit-flipped snapshot is rejected *before* any state is
+rebuilt from it — a corrupt restore must fail closed, never restore
+garbage.  Canonical JSON (sorted keys, fixed separators) makes equal
+payloads byte-identical, which the determinism gates and the serve
+migration cost model rely on.
+
+Non-JSON values are carried by tagged wrappers (``~nd`` NumPy array,
+``~b`` bytes, ``~t`` tuple, ``~s`` set, ``~m`` mapping with non-string
+keys); a plain dict that happens to use a tag-like key is encoded through
+the ``~m`` form, so the tagging is unambiguous.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "SNAP_MAGIC",
+    "SNAP_VERSION",
+    "SnapshotError",
+    "encode_snapshot",
+    "decode_snapshot",
+    "snapshot_sha256",
+]
+
+SNAP_MAGIC = b"RSNP"
+
+#: bump when the payload layout changes; old snapshots are rejected with
+#: a typed error instead of being misinterpreted.
+SNAP_VERSION = 1
+
+_TAGS = ("~nd", "~b", "~t", "~s", "~m")
+
+
+class SnapshotError(Exception):
+    """A snapshot could not be encoded, decoded, or restored."""
+
+
+def _enc(obj):
+    """Payload tree -> JSON-able tree with tagged wrappers."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise SnapshotError(f"non-finite float {obj!r} in snapshot payload")
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return _enc(float(obj))
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        contiguous = np.ascontiguousarray(obj)
+        return {
+            "~nd": [
+                str(contiguous.dtype),
+                list(contiguous.shape),
+                base64.b64encode(contiguous.tobytes()).decode("ascii"),
+            ]
+        }
+    if isinstance(obj, bytes):
+        return {"~b": base64.b64encode(obj).decode("ascii")}
+    if isinstance(obj, tuple):
+        return {"~t": [_enc(v) for v in obj]}
+    if isinstance(obj, (set, frozenset)):
+        return {"~s": [_enc(v) for v in sorted(obj)]}
+    if isinstance(obj, list):
+        return [_enc(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and not any(
+            k in _TAGS for k in obj
+        ):
+            return {k: _enc(v) for k, v in obj.items()}
+        # non-string (or tag-colliding) keys: explicit pair list, sorted by
+        # the encoded key's JSON so equal mappings encode identically
+        pairs = [[_enc(k), _enc(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"~m": pairs}
+    raise SnapshotError(
+        f"cannot encode {type(obj).__name__} in a snapshot payload"
+    )
+
+
+def _dec(obj):
+    """Inverse of :func:`_enc`."""
+    if isinstance(obj, list):
+        return [_dec(v) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    if "~nd" in obj:
+        dtype, shape, data = obj["~nd"]
+        array = np.frombuffer(
+            base64.b64decode(data), dtype=np.dtype(dtype)
+        ).reshape(shape)
+        return array.copy()  # frombuffer views are read-only
+    if "~b" in obj:
+        return base64.b64decode(obj["~b"])
+    if "~t" in obj:
+        return tuple(_dec(v) for v in obj["~t"])
+    if "~s" in obj:
+        return set(_dec(v) for v in obj["~s"])
+    if "~m" in obj:
+        return {_make_key(_dec(k)): _dec(v) for k, v in obj["~m"]}
+    return {k: _dec(v) for k, v in obj.items()}
+
+
+def _make_key(key):
+    # decoded tuple keys come back as tuples (hashable); lists are not
+    return tuple(key) if isinstance(key, list) else key
+
+
+def encode_snapshot(payload: dict) -> bytes:
+    """Payload tree -> framed, checksummed snapshot bytes."""
+    text = json.dumps(
+        _enc(payload), sort_keys=True, separators=(",", ":")
+    )
+    compressed = zlib.compress(text.encode("utf-8"), 6)
+    digest = hashlib.sha256(compressed).digest()
+    return (
+        SNAP_MAGIC
+        + SNAP_VERSION.to_bytes(4, "little")
+        + digest
+        + compressed
+    )
+
+
+def decode_snapshot(data: bytes) -> dict:
+    """Framed snapshot bytes -> payload tree; fails closed on any damage."""
+    header = len(SNAP_MAGIC) + 4 + 32
+    if len(data) < header or data[: len(SNAP_MAGIC)] != SNAP_MAGIC:
+        raise SnapshotError("not a snapshot (bad magic)")
+    version = int.from_bytes(data[len(SNAP_MAGIC) : len(SNAP_MAGIC) + 4], "little")
+    if version != SNAP_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} unsupported (expected {SNAP_VERSION})"
+        )
+    digest = data[len(SNAP_MAGIC) + 4 : header]
+    compressed = data[header:]
+    if hashlib.sha256(compressed).digest() != digest:
+        raise SnapshotError("snapshot checksum mismatch (corrupt or truncated)")
+    try:
+        payload = json.loads(zlib.decompress(compressed).decode("utf-8"))
+    except (zlib.error, ValueError) as exc:
+        raise SnapshotError(f"snapshot payload undecodable: {exc}") from exc
+    return _dec(payload)
+
+
+def snapshot_sha256(data: bytes) -> str:
+    """Hex content digest of an encoded snapshot (frame included)."""
+    return hashlib.sha256(data).hexdigest()

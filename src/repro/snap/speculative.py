@@ -1,0 +1,183 @@
+"""Speculative (concurrent) checkpointing with validate-then-degrade.
+
+The blocking snapshot path stops the world: execution halts while the
+full device memory is sparsely extracted and every warp serialized.
+PhoenixOS-style speculative checkpointing instead splits the capture:
+
+1. **begin** — copy the memory image at a base point (modelling the
+   background copy a real driver overlaps with execution) and open a
+   :class:`~repro.sim.memory.TrackedMemory` write epoch;
+2. execution *runs ahead* while the base copy is notionally in flight;
+3. **commit** — a short critical section that extracts only the words
+   the epoch dirtied (the patch), captures the cheap warp/SM state, and
+   *validates* the speculation: every word that differs from the base
+   must be covered by the epoch's dirty set.  Writes that bypassed the
+   tracked store path (e.g. an injected corruption poking raw words)
+   break that invariant, and the commit **degrades** to a stop-the-world
+   recapture rather than emitting a snapshot that would restore stale
+   bytes.
+
+The simulator is single-threaded, so the overlap is modelled rather
+than real: the begin-point base copy is excluded from the reported
+stop-the-world pause, which times only the commit critical section.
+``benchmarks/bench_snap.py`` compares that pause against the blocking
+path's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ..sim.memory import TrackedMemory
+from ..sim.preemption import PreemptionController
+from .capture import _flush_fast, capture_snapshot, memory_payload
+from .format import SnapshotError
+
+__all__ = ["SpeculativeCheckpoint", "SpeculativeReport", "speculative_snapshot"]
+
+
+@dataclass
+class SpeculativeReport:
+    """Outcome of one speculative checkpoint attempt."""
+
+    #: ``"speculative"`` — validation passed, payload carries base+patch;
+    #: ``"fallback"`` — validation failed, payload is a stop-the-world capture
+    mode: str
+    validated: bool
+    #: stop-the-world pause (seconds): the commit critical section only
+    pause_s: float
+    #: words the run-ahead epoch dirtied (patch size)
+    patch_words: int
+    #: nonzero words in the base image
+    base_words: int
+    payload: dict
+
+
+class SpeculativeCheckpoint:
+    """Two-phase concurrent capture: :meth:`begin`, run ahead, :meth:`commit`."""
+
+    def __init__(
+        self,
+        sm,
+        controller: PreemptionController | None = None,
+        *,
+        label: str = "",
+    ) -> None:
+        self.sm = sm
+        self.controller = controller
+        self.label = label
+        self._tracked = isinstance(sm.memory, TrackedMemory)
+        self._base: np.ndarray | None = None
+        self._base_idx: np.ndarray | None = None
+        self._base_val: np.ndarray | None = None
+
+    def begin(self) -> None:
+        """Take the base memory image and start recording run-ahead writes.
+
+        Models the background copy (and its sparse serialization): their
+        cost is *not* part of the stop-the-world pause reported by
+        :meth:`commit` — overlapping exactly this work with execution is
+        what the concurrent checkpoint buys.
+        """
+        _flush_fast(self.sm)
+        memory = self.sm.memory
+        self._base = memory._words.copy()
+        self._base_idx = np.flatnonzero(self._base).astype(np.int64)
+        self._base_val = self._base[self._base_idx].copy()
+        if self._tracked:
+            memory.begin_epoch()
+
+    def _validate(self, memory, patch: list[int]) -> bool:
+        """Every word that differs from the base must be epoch-dirtied.
+
+        O(dirty) instead of a full two-array diff: legitimate writes all
+        go through the tracked store path, so (a) dirty words outside the
+        epoch must still hold their base value, and (b) every nonzero
+        word must lie inside the dirty set — checked with one cheap
+        ``count_nonzero`` pass.  A raw ``_words`` poke lands outside one
+        of the two.
+        """
+        if not self._tracked:
+            return False
+        current = memory._words
+        dirty = np.fromiter(
+            memory._dirty, dtype=np.int64, count=len(memory._dirty)
+        )
+        patch_idx = np.asarray(patch, dtype=np.int64)
+        stable = (
+            dirty[~np.isin(dirty, patch_idx)] if len(dirty) else dirty
+        )
+        if len(stable) and not np.array_equal(
+            current[stable], self._base[stable]
+        ):
+            return False
+        inside = int(np.count_nonzero(current[dirty])) if len(dirty) else 0
+        return int(np.count_nonzero(current)) == inside
+
+    def commit(self, *, loop: dict | None = None) -> SpeculativeReport:
+        """The critical section: patch extraction + validation + warp capture."""
+        if self._base is None:
+            raise SnapshotError("commit() before begin()")
+        start = perf_counter()
+        _flush_fast(self.sm)
+        memory = self.sm.memory
+        patch = memory.end_epoch() if self._tracked else []
+        current = memory._words
+        validated = self._validate(memory, patch)
+        if validated:
+            patch_idx = np.asarray(patch, dtype=np.int64)
+            image = {
+                "size_bytes": memory.size_bytes,
+                "base_idx": self._base_idx,
+                "base_val": self._base_val,
+                "idx": patch_idx,
+                "val": current[patch_idx].copy(),
+                "dirty": memory.dirty_words(),
+            }
+            payload = capture_snapshot(
+                self.sm, self.controller, loop=loop, label=self.label,
+                memory=image,
+            )
+            mode = "speculative"
+        else:
+            # validate-then-degrade: something wrote outside the tracked
+            # path; a base+patch restore would resurrect stale bytes, so
+            # recapture everything stop-the-world instead
+            payload = capture_snapshot(
+                self.sm, self.controller, loop=loop, label=self.label,
+                memory=memory_payload(memory),
+            )
+            mode = "fallback"
+        pause = perf_counter() - start
+        base_words = int(len(self._base_idx))
+        self._base = None
+        self._base_idx = None
+        self._base_val = None
+        return SpeculativeReport(
+            mode=mode,
+            validated=validated,
+            pause_s=pause,
+            patch_words=len(patch),
+            base_words=base_words,
+            payload=payload,
+        )
+
+
+def speculative_snapshot(
+    sm,
+    controller: PreemptionController | None = None,
+    run_ahead=None,
+    *,
+    loop: dict | None = None,
+    label: str = "",
+) -> SpeculativeReport:
+    """Convenience wrapper: begin, call *run_ahead* (advances execution
+    while the base copy is notionally in flight), then commit."""
+    ckpt = SpeculativeCheckpoint(sm, controller, label=label)
+    ckpt.begin()
+    if run_ahead is not None:
+        run_ahead()
+    return ckpt.commit(loop=loop)

@@ -1,0 +1,183 @@
+"""Cacheable snapshot round-trip units for the experiment engine.
+
+One :class:`SnapUnit` runs a preemption experiment, captures a snapshot
+at the **eviction point** — the first loop iteration where every target
+warp has released the SM, a point both execution cores reach in the same
+simulated state — restores it onto a freshly-built (optionally
+differently-configured) GPU, drives both copies to completion, and
+verifies equivalence with the architectural-digest oracle.  The verdict
+plus the snapshot's size/digest land in the content-addressed artifact
+cache, where the serve layer's migration cost model
+(:mod:`repro.serve.migration`) reads the per-mechanism snapshot bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import GPUConfig
+from ..sim.digest import arch_digest
+from .capture import (
+    complete_experiment,
+    restore_experiment,
+    run_snapshot_experiment,
+)
+from .format import decode_snapshot, encode_snapshot, snapshot_sha256
+
+__all__ = [
+    "SNAP_PROFILE_VERSION",
+    "SnapUnit",
+    "run_snap_roundtrip",
+    "snap_profile_for",
+]
+
+#: bump when the round-trip verdict's *logic* changes (verdicts are
+#: cached by input content, so a stricter check must invalidate old ones)
+SNAP_PROFILE_VERSION = 1
+
+
+def run_snap_roundtrip(
+    key: str,
+    mechanism: str,
+    *,
+    config: GPUConfig | None = None,
+    restore_config: GPUConfig | None = None,
+    iterations: int | None = None,
+    signal_dyn: int | None = None,
+    resume_gap: int = 2000,
+) -> dict:
+    """Run one snapshot round-trip and return its verdict as a plain dict.
+
+    *restore_config* (``None`` — the capture config) may differ in timing
+    parameters and execution core; memory and architectural state must
+    still converge bit-identically.  Completion *cycles* are only
+    required to match when the configurations match — restoring onto a
+    slower device legitimately finishes at a different cycle.
+    """
+    from ..analysis.engine import _launch, prepared_for
+
+    config = config if config is not None else GPUConfig.radeon_vii()
+    target_config = restore_config if restore_config is not None else config
+    launch = _launch(key, config, iterations)
+    prepared = prepared_for(key, mechanism, config, iterations)
+    if signal_dyn is None:
+        signal_dyn = 3 * len(launch.kernel.program.instructions) + 7
+
+    payload, straight = run_snapshot_experiment(
+        launch.spec(), prepared, config, signal_dyn,
+        resume_gap=resume_gap, snap_on_evicted=True,
+    )
+    if payload is None:
+        return {
+            "kernel": key,
+            "mechanism": mechanism,
+            "ok": False,
+            "captured": False,
+            "reason": "eviction point never reached",
+        }
+    data = encode_snapshot(payload)
+    # byte-determinism: the same payload must encode identically (the
+    # serve migration model and the CI gate compare raw digests)
+    deterministic = encode_snapshot(decode_snapshot(data)) == data
+
+    restored = restore_experiment(
+        decode_snapshot(data), launch.spec(), prepared, target_config,
+    )
+    finished = complete_experiment(restored)
+
+    warp_ids = {m.warp_id for m in straight.measurements}
+    memory_ok = finished.memory == straight.memory
+    registers_ok = arch_digest(finished.sm, warp_ids) == arch_digest(
+        straight.sm, warp_ids
+    )
+    same_config = target_config == config
+    cycles_match = finished.total_cycles == straight.total_cycles
+    ok = (
+        deterministic
+        and memory_ok
+        and registers_ok
+        and (cycles_match or not same_config)
+    )
+    return {
+        "kernel": key,
+        "mechanism": mechanism,
+        "ok": ok,
+        "captured": True,
+        "deterministic": deterministic,
+        "memory_ok": memory_ok,
+        "registers_ok": registers_ok,
+        "same_config": same_config,
+        "cycles_match": cycles_match,
+        "capture_cycle": payload["sm"]["cycle"],
+        "snapshot_bytes": len(data),
+        "sha256": snapshot_sha256(data),
+        "total_cycles": straight.total_cycles,
+        "restored_cycles": finished.total_cycles,
+    }
+
+
+def snap_profile_for(
+    key: str,
+    mechanism: str,
+    config: GPUConfig,
+    restore_config: GPUConfig | None = None,
+    iterations: int | None = None,
+    signal_dyn: int | None = None,
+    resume_gap: int = 2000,
+) -> dict:
+    """Cached snapshot round-trip verdict (see :func:`run_snap_roundtrip`)."""
+    from ..analysis.cache import canonical, get_cache
+    from ..analysis.engine import _base_parts, _mechanism_parts
+    from .format import SNAP_VERSION
+
+    parts = _base_parts(key, config, iterations)
+    parts.update(_mechanism_parts(mechanism, None))
+    parts.update(
+        {
+            "snap_version": SNAP_VERSION,
+            "snap_profile": SNAP_PROFILE_VERSION,
+            "restore_config": (
+                canonical(restore_config) if restore_config is not None else None
+            ),
+            "signal_dyn": signal_dyn,
+            "resume_gap": resume_gap,
+        }
+    )
+
+    def run() -> dict:
+        return run_snap_roundtrip(
+            key,
+            mechanism,
+            config=config,
+            restore_config=restore_config,
+            iterations=iterations,
+            signal_dyn=signal_dyn,
+            resume_gap=resume_gap,
+        )
+
+    return get_cache().get_or_create("snap", parts, run)
+
+
+@dataclass(frozen=True)
+class SnapUnit:
+    """One snapshot round-trip: (kernel, mechanism, capture/restore configs)."""
+
+    key: str
+    mechanism: str
+    config: GPUConfig | None = None
+    restore_config: GPUConfig | None = None
+    iterations: int | None = None
+    signal_dyn: int | None = None
+    resume_gap: int = 2000
+
+    def run(self) -> dict:
+        config = self.config if self.config is not None else GPUConfig.radeon_vii()
+        return snap_profile_for(
+            self.key,
+            self.mechanism,
+            config,
+            self.restore_config,
+            self.iterations,
+            self.signal_dyn,
+            self.resume_gap,
+        )

@@ -1,0 +1,138 @@
+"""Regression tests for the falsy-zero recovery-accounting fix.
+
+``WarpMeasurement.recovery_cycles`` is Optional: ``None`` means *no
+recovery data*, and a genuine ``0`` is a legitimate zero-cost fallback.
+The old finalization (`sim/gpu.py`) used truthiness —
+``if measurement.degraded and not measurement.recovery_cycles:`` — which
+treated a real 0 as absent and then coerced ``resume_cycles or 0``,
+silently conflating "no data" with "zero cycles".  These tests pin the
+``is None`` semantics at every fixed site.
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.faults.errors import SimulationHangError
+from repro.sim import build_launch
+from repro.sim.gpu import finalize_measurements
+from repro.sim.preemption import WarpMeasurement
+
+
+def _warp(warp_id, resume_start=None, resume_done=None):
+    return types.SimpleNamespace(
+        warp_id=warp_id,
+        resume_start_cycle=resume_start,
+        resume_done_cycle=resume_done,
+    )
+
+
+def _measurement(**overrides):
+    base = dict(warp_id=0, signal_pc=3, signal_cycle=100, latency_cycles=40)
+    base.update(overrides)
+    return WarpMeasurement(**base)
+
+
+def _finalize(measurement, warp, cycle=1000):
+    sm = types.SimpleNamespace(cycle=cycle)
+    controller = types.SimpleNamespace(
+        measurements={warp.warp_id: measurement}
+    )
+    finalize_measurements(sm, controller, [warp])
+    return measurement
+
+
+class TestDegradedRecoveryFinalization:
+    def test_legitimate_zero_recovery_is_preserved(self):
+        # a degraded save whose stores drained within the same cycle: the
+        # fallback legitimately cost 0 extra cycles.  The old truthiness
+        # check replaced that 0 with the (unrelated) resume cost.
+        m = _measurement(degraded=True, recovery_cycles=0)
+        warp = _warp(0, resume_start=200, resume_done=260)
+        _finalize(m, warp)
+        assert m.resume_cycles == 60
+        assert m.recovery_cycles == 0  # not overwritten with 60
+
+    def test_absent_recovery_stays_none_without_resume_data(self):
+        # degraded but never resumed (e.g. the run ended first): there is
+        # no recovery figure, and fabricating a 0 would skew means
+        m = _measurement(degraded=True)
+        warp = _warp(1)
+        _finalize(m, warp)
+        assert m.resume_cycles is None
+        assert m.recovery_cycles is None
+
+    def test_restart_recovery_filled_from_resume(self):
+        # CKPT restart-from-zero: the whole re-execution back to the
+        # signal point is recovery work, taken from the watch timestamps
+        m = _measurement(degraded=True)
+        warp = _warp(2, resume_start=500, resume_done=None)
+        _finalize(m, warp, cycle=900)
+        assert m.resume_cycles == 400
+        assert m.recovery_cycles == 400
+
+    def test_nonzero_recovery_not_double_counted(self):
+        # degrade_save already charged the fallback store; the restart
+        # fill must leave it alone
+        m = _measurement(degraded=True, recovery_cycles=35)
+        warp = _warp(3, resume_start=500, resume_done=520)
+        _finalize(m, warp)
+        assert m.resume_cycles == 20
+        assert m.recovery_cycles == 35
+
+    def test_clean_warp_untouched(self):
+        m = _measurement(resume_cycles=17)
+        warp = _warp(4, resume_start=200, resume_done=260)
+        _finalize(m, warp)
+        assert m.resume_cycles == 17
+        assert m.recovery_cycles is None
+
+
+@pytest.mark.parametrize(
+    ("degraded", "recovery", "resume_start", "resume_done", "expected"),
+    [
+        # (site: gpu.finalize_measurements) legit 0 preserved
+        (True, 0, 200, 260, 0),
+        # (site: gpu.finalize_measurements) absent stays None, not `or 0`
+        (True, None, None, None, None),
+        # restart fill still works when data exists
+        (True, None, 200, 300, 100),
+        # non-degraded never gains recovery data
+        (False, None, 200, 300, None),
+    ],
+)
+def test_fixed_sites_parametrized(
+    degraded, recovery, resume_start, resume_done, expected
+):
+    m = _measurement(degraded=degraded, recovery_cycles=recovery)
+    warp = _warp(0, resume_start=resume_start, resume_done=resume_done)
+    _finalize(m, warp)
+    assert m.recovery_cycles == expected if expected is not None else (
+        m.recovery_cycles is None
+    )
+
+
+def test_run_max_cycles_zero_trips_watchdog(loop_launch, small_config):
+    # (site: sm.run) `max_cycles or config.max_cycles` silently replaced
+    # an explicit 0 with the config default; `is None` honours it
+    sm, _, _ = build_launch(loop_launch, small_config)
+    with pytest.raises(SimulationHangError):
+        sm.run(max_cycles=0)
+
+
+def test_recovery_sum_skips_absent_data(loop_launch, small_config):
+    # the engine/chaos consumers sum recovery_cycles with an `is None`
+    # filter; mixing None and 0 must neither raise nor skew the sum
+    measurements = [
+        _measurement(warp_id=0, degraded=True, recovery_cycles=0),
+        _measurement(warp_id=1, degraded=True, recovery_cycles=None),
+        _measurement(warp_id=2, degraded=True, recovery_cycles=25),
+    ]
+    total = sum(
+        m.recovery_cycles
+        for m in measurements
+        if m.recovery_cycles is not None
+    )
+    assert total == 25

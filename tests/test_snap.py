@@ -1,0 +1,622 @@
+"""Snapshot/restore (``repro.snap``), speculative checkpointing, live
+migration, and engine crash-resume tests.
+
+The core oracle throughout: a snapshot taken mid-flight must restore —
+onto the same configuration, a retimed one, or the other execution core —
+and drive to a completion that is bit-identical in device memory and in
+the per-warp architectural digest to the run that never stopped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import (
+    EngineOptions,
+    ExperimentEngine,
+    FailurePolicy,
+    UnitFailure,
+    unit_key,
+)
+from repro.faults.plan import scenario
+from repro.kernels import SUITE
+from repro.mechanisms import make_mechanism
+from repro.serve.migration import (
+    MigrationCosts,
+    MigrationEvent,
+    migration_costs_for,
+    plan_migrations,
+    shard_events,
+)
+from repro.serve.scheduler import MechanismCosts, simulate_shard
+from repro.serve.tenants import Tenant
+from repro.sim import GPUConfig, run_preemption_experiment
+from repro.sim.digest import arch_digest
+from repro.sim.memory import DeviceMemory, TrackedMemory
+from repro.snap import (
+    SNAP_MAGIC,
+    SnapshotError,
+    SpeculativeCheckpoint,
+    complete_experiment,
+    decode_snapshot,
+    encode_snapshot,
+    load_snapshot,
+    restore_experiment,
+    restore_memory,
+    run_snapshot_experiment,
+    save_snapshot,
+)
+from repro.snap.units import run_snap_roundtrip
+
+
+def _setup(key: str, mechanism: str, config: GPUConfig, iterations: int = 6):
+    bench = SUITE[key]
+    launch = bench.launch(warp_size=config.warp_size, iterations=iterations)
+    prepared = make_mechanism(mechanism).prepare(launch.kernel, config)
+    signal_dyn = 3 * len(launch.kernel.program.instructions) + 7
+    return launch, prepared, signal_dyn
+
+
+# -- format: fail-closed framing + canonical round-trips ---------------------------
+
+
+class TestFormat:
+    PAYLOAD = {
+        "meta": {"version": 1, "label": "x"},
+        "array": np.arange(12, dtype=np.uint32).reshape(3, 4),
+        "floats": np.linspace(0.0, 1.0, 5),
+        "blob": b"\x00\x01\xfe\xff",
+        "tuple": (1, "two", (3, None)),
+        "set": {5, 2, 9},
+        "int_keys": {3: "c", 1: "a", 2: ("b", b"bb")},
+        "scalars": [None, True, False, 0, -7, 3.25, "s"],
+        "tagged_key": {"~nd": "not an array, just a hostile key"},
+    }
+
+    def test_round_trip_preserves_tricky_values(self):
+        back = decode_snapshot(encode_snapshot(self.PAYLOAD))
+        assert np.array_equal(back["array"], self.PAYLOAD["array"])
+        assert back["array"].dtype == np.uint32
+        assert back["array"].shape == (3, 4)
+        assert np.array_equal(back["floats"], self.PAYLOAD["floats"])
+        assert back["blob"] == self.PAYLOAD["blob"]
+        assert back["tuple"] == self.PAYLOAD["tuple"]
+        assert back["set"] == self.PAYLOAD["set"]
+        assert back["int_keys"] == self.PAYLOAD["int_keys"]
+        assert back["scalars"] == self.PAYLOAD["scalars"]
+        assert back["tagged_key"] == self.PAYLOAD["tagged_key"]
+
+    def test_encoding_is_byte_deterministic(self):
+        data = encode_snapshot(self.PAYLOAD)
+        assert encode_snapshot(decode_snapshot(data)) == data
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_snapshot({"a": 1}))
+        data[:4] = b"JUNK"
+        with pytest.raises(SnapshotError):
+            decode_snapshot(bytes(data))
+
+    def test_future_version_rejected(self):
+        data = bytearray(encode_snapshot({"a": 1}))
+        data[4:8] = (99).to_bytes(4, "little")
+        with pytest.raises(SnapshotError):
+            decode_snapshot(bytes(data))
+
+    def test_payload_bitflip_rejected(self):
+        data = bytearray(encode_snapshot({"a": 1}))
+        data[-1] ^= 0x40  # flip a bit in the compressed payload
+        with pytest.raises(SnapshotError):
+            decode_snapshot(bytes(data))
+
+    def test_truncation_rejected(self):
+        data = encode_snapshot({"a": list(range(100))})
+        assert data.startswith(SNAP_MAGIC)
+        for cut in (0, 3, 10, len(data) - 1):
+            with pytest.raises(SnapshotError):
+                decode_snapshot(data[:cut])
+
+    def test_non_finite_float_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SnapshotError):
+                encode_snapshot({"x": bad})
+
+
+# -- whole-device round-trips ------------------------------------------------------
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mechanism", ["baseline", "ctxback"])
+    def test_same_config_roundtrip(self, small_config, mechanism):
+        verdict = run_snap_roundtrip(
+            "dc", mechanism, config=small_config, iterations=6
+        )
+        assert verdict["captured"]
+        assert verdict["deterministic"]
+        assert verdict["memory_ok"]
+        assert verdict["registers_ok"]
+        assert verdict["cycles_match"]
+        assert verdict["ok"]
+
+    def test_cross_config_cross_core_roundtrip(self, small_config):
+        """A fast-core snapshot restores onto a reference-core device with
+        different context-traffic timing; memory and registers must still
+        converge bit-identically (cycles legitimately differ)."""
+        ctx = small_config.ctx_bytes_per_cycle
+        other = dataclasses.replace(
+            small_config,
+            core="reference",
+            ctx_bytes_per_cycle=ctx / 2 if ctx else ctx,
+        )
+        verdict = run_snap_roundtrip(
+            "dc", "ctxback",
+            config=small_config, restore_config=other, iterations=6,
+        )
+        assert verdict["ok"]
+        assert verdict["memory_ok"]
+        assert verdict["registers_ok"]
+        assert not verdict["same_config"]
+
+    def test_save_load_file_roundtrip(self, small_config, tmp_path):
+        launch, prepared, signal = _setup("dc", "ctxback", small_config)
+        payload, _ = run_snapshot_experiment(
+            launch.spec(), prepared, small_config, signal,
+            snap_on_evicted=True, label="dc",
+        )
+        assert payload is not None
+        path = tmp_path / "dc.rsnp"
+        size = save_snapshot(path, payload)
+        assert path.stat().st_size == size
+        back = load_snapshot(path)
+        assert encode_snapshot(back) == encode_snapshot(payload)
+
+    def test_restore_rejects_mismatched_geometry(self, small_config):
+        launch, prepared, signal = _setup("dc", "ctxback", small_config)
+        payload, _ = run_snapshot_experiment(
+            launch.spec(), prepared, small_config, signal,
+            snap_on_evicted=True,
+        )
+        wide = GPUConfig.small(warp_size=8)
+        wide_launch, wide_prepared, _ = _setup("dc", "ctxback", wide)
+        with pytest.raises(SnapshotError):
+            restore_experiment(
+                payload, wide_launch.spec(), wide_prepared, wide
+            )
+
+    def test_restore_rejects_mechanism_mismatch(self, small_config):
+        launch, prepared, signal = _setup("dc", "ctxback", small_config)
+        payload, _ = run_snapshot_experiment(
+            launch.spec(), prepared, small_config, signal,
+            snap_on_evicted=True,
+        )
+        _, other_prepared, _ = _setup("dc", "baseline", small_config)
+        with pytest.raises(SnapshotError):
+            restore_experiment(
+                payload, launch.spec(), other_prepared, small_config
+            )
+
+
+# -- snapshots taken mid-fault-recovery (chaos round-trips) ------------------------
+
+
+class TestChaosSnapshot:
+    @pytest.mark.parametrize("restore_core", ["fast", "reference"])
+    def test_mid_fault_snapshot_restores_bit_identical(
+        self, small_config, restore_core
+    ):
+        """Snapshot an experiment with an armed fault plan at the eviction
+        point, restore it (same core and cross-core), and require the
+        completed run to match the never-stopped faulted run in memory and
+        in the chaos oracle's architectural digest."""
+        launch, prepared, signal = _setup("dc", "ctxback", small_config)
+        plan = scenario("ctx-bitflip", seed=0)
+
+        straight = run_preemption_experiment(
+            launch.spec(), prepared, small_config, signal,
+            verify=False, faults=scenario("ctx-bitflip", seed=0),
+        )
+        payload, _ = run_snapshot_experiment(
+            launch.spec(), prepared, small_config, signal,
+            snap_on_evicted=True, faults=plan, label="chaos",
+        )
+        assert payload is not None
+        assert payload["injector"] is not None  # armed fault state travels
+
+        restore_config = dataclasses.replace(small_config, core=restore_core)
+        restored = restore_experiment(
+            decode_snapshot(encode_snapshot(payload)),
+            launch.spec(), prepared, restore_config,
+            faults=scenario("ctx-bitflip", seed=0),
+        )
+        finished = complete_experiment(restored)
+
+        assert finished.memory == straight.memory
+        warp_ids = {m.warp_id for m in straight.measurements}
+        degraded = {m.warp_id for m in straight.measurements if m.degraded}
+        assert arch_digest(
+            finished.sm, warp_ids, lds_only=degraded
+        ) == arch_digest(straight.sm, warp_ids, lds_only=degraded)
+        if restore_core == small_config.core:
+            assert finished.total_cycles == straight.total_cycles
+
+    def test_restore_without_fault_plan_fails_closed(self, small_config):
+        launch, prepared, signal = _setup("dc", "ctxback", small_config)
+        payload, _ = run_snapshot_experiment(
+            launch.spec(), prepared, small_config, signal,
+            snap_on_evicted=True, faults=scenario("ctx-bitflip", seed=0),
+        )
+        assert payload is not None
+        with pytest.raises(SnapshotError):
+            restore_experiment(payload, launch.spec(), prepared, small_config)
+
+
+# -- speculative checkpointing -----------------------------------------------------
+
+
+def _at_capture_point(sm, controller, state) -> bool:
+    return (
+        not state["resumed"]
+        and state["resume_at"] is not None
+        and sm.cycle >= state["resume_at"]
+        and controller.all_evicted()
+    )
+
+
+def _image_words(payload: dict) -> np.ndarray:
+    memory = DeviceMemory(size_bytes=payload["memory"]["size_bytes"])
+    restore_memory(payload["memory"], memory)
+    return memory._words
+
+
+class TestSpeculative:
+    def _run(self, config, *, corrupt: bool = False) -> dict:
+        launch, prepared, signal = _setup("va", "ctxback", config)
+        out: dict = {"calls": 0}
+
+        def hook(sm, controller, target_warps, state) -> None:
+            out["calls"] += 1
+            if out["calls"] == 1:
+                ckpt = SpeculativeCheckpoint(sm, controller, label="va")
+                ckpt.begin()
+                out["ckpt"] = ckpt
+            elif "report" not in out and _at_capture_point(
+                sm, controller, state
+            ):
+                if corrupt:
+                    # a write that bypasses the tracked store path: the
+                    # base+patch image cannot represent it
+                    sm.memory._words[len(sm.memory._words) - 1] = 0xDEAD
+                out["report"] = out["ckpt"].commit(loop=state)
+                out["words"] = sm.memory._words.copy()
+
+        run_preemption_experiment(
+            launch.spec(), prepared, config, signal,
+            verify=False, memory=TrackedMemory(), loop_hook=hook,
+        )
+        assert "report" in out, "capture point never reached"
+        return out
+
+    def test_validated_commit_matches_blocking_image(self, small_config):
+        out = self._run(small_config)
+        report = out["report"]
+        assert report.mode == "speculative"
+        assert report.validated
+        assert 0 < report.patch_words < report.base_words
+        # base+patch reconstructs exactly the memory at the commit point
+        assert np.array_equal(_image_words(report.payload), out["words"])
+        # and the whole payload survives the wire format
+        back = decode_snapshot(encode_snapshot(report.payload))
+        assert np.array_equal(_image_words(back), out["words"])
+
+    def test_untracked_write_degrades_to_stop_the_world(self, small_config):
+        out = self._run(small_config, corrupt=True)
+        report = out["report"]
+        assert report.mode == "fallback"
+        assert not report.validated
+        # the fallback recapture still serializes the *actual* memory,
+        # rogue write included — never a stale base+patch image
+        assert np.array_equal(_image_words(report.payload), out["words"])
+        assert int(out["words"][-1]) == 0xDEAD
+
+    def test_commit_before_begin_rejected(self, small_config, loop_launch):
+        from repro.sim.gpu import build_launch
+
+        sm, _, _ = build_launch(loop_launch, small_config)
+        ckpt = SpeculativeCheckpoint(sm)
+        with pytest.raises(SnapshotError):
+            ckpt.commit()
+
+    def test_tracked_memory_epochs(self):
+        memory = TrackedMemory(size_bytes=4096)
+        memory.store_word(8, 1)
+        memory.begin_epoch()
+        memory.store_word(16, 2)
+        memory.store_array(32, np.asarray([3, 4], dtype=np.uint32))
+        epoch = memory.end_epoch()
+        assert epoch == [4, 8, 9]  # word indices, sorted; pre-epoch excluded
+        assert memory.end_epoch() == []  # closed epoch records nothing
+        assert memory.dirty_words() == [2, 4, 8, 9]
+
+
+# -- engine crash-resume -----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class LogUnit:
+    """Test unit: appends its tag to a log file, returns it uppercased."""
+
+    tag: str
+    log: str
+    fail: bool = False
+
+    def run(self) -> str:
+        with open(self.log, "a") as fh:
+            fh.write(self.tag + "\n")
+        if self.fail:
+            raise RuntimeError(f"unit {self.tag} failed")
+        return self.tag.upper()
+
+
+def _log_lines(path) -> list[str]:
+    return path.read_text().splitlines() if path.exists() else []
+
+
+class TestEngineCheckpoint:
+    def test_unit_key_is_content_addressed(self, tmp_path):
+        a1 = LogUnit("a", str(tmp_path / "log"))
+        a2 = LogUnit("a", str(tmp_path / "log"))
+        b = LogUnit("b", str(tmp_path / "log"))
+        assert unit_key(a1) == unit_key(a2)
+        assert unit_key(a1) != unit_key(b)
+
+    def test_resume_skips_completed_units(self, tmp_path):
+        log, ckpt = tmp_path / "log", tmp_path / "ckpt.rsnp"
+        units = [LogUnit("a", str(log)), LogUnit("b", str(log))]
+        first = ExperimentEngine(jobs=1)
+        assert first.map(units, checkpoint=ckpt) == ["A", "B"]
+        assert _log_lines(log) == ["a", "b"]
+        assert first.report.checkpoint_hits == 0
+
+        resumed = ExperimentEngine(jobs=1)
+        assert resumed.map(units, checkpoint=ckpt) == ["A", "B"]
+        assert _log_lines(log) == ["a", "b"]  # nothing re-executed
+        assert resumed.report.checkpoint_hits == 2
+
+    def test_resume_runs_only_new_units(self, tmp_path):
+        log, ckpt = tmp_path / "log", tmp_path / "ckpt.rsnp"
+        ExperimentEngine(jobs=1).map(
+            [LogUnit("a", str(log))], checkpoint=ckpt
+        )
+        engine = ExperimentEngine(jobs=1)
+        results = engine.map(
+            [LogUnit("a", str(log)), LogUnit("b", str(log))], checkpoint=ckpt
+        )
+        assert results == ["A", "B"]
+        assert _log_lines(log) == ["a", "b"]  # a was not re-executed
+        assert engine.report.checkpoint_hits == 1
+
+    def test_corrupt_checkpoint_recomputes_everything(self, tmp_path):
+        log, ckpt = tmp_path / "log", tmp_path / "ckpt.rsnp"
+        units = [LogUnit("a", str(log)), LogUnit("b", str(log))]
+        ExperimentEngine(jobs=1).map(units, checkpoint=ckpt)
+        ckpt.write_bytes(b"not a snapshot at all")
+
+        engine = ExperimentEngine(jobs=1)
+        assert engine.map(units, checkpoint=ckpt) == ["A", "B"]
+        assert engine.report.checkpoint_hits == 0
+        assert _log_lines(log) == ["a", "b", "a", "b"]
+        # and the rewrite left a valid checkpoint behind
+        fresh = ExperimentEngine(jobs=1)
+        fresh.map(units, checkpoint=ckpt)
+        assert fresh.report.checkpoint_hits == 2
+
+    def test_failed_units_are_retried_on_resume(self, tmp_path):
+        log, ckpt = tmp_path / "log", tmp_path / "ckpt.rsnp"
+        options = EngineOptions(
+            retries=0, failure_policy=FailurePolicy.COLLECT,
+            retry_backoff_s=0.0,
+        )
+        units = [
+            LogUnit("a", str(log)),
+            LogUnit("x", str(log), fail=True),
+        ]
+        first = ExperimentEngine(jobs=1, options=options)
+        results = first.map(units, checkpoint=ckpt)
+        assert results[0] == "A"
+        assert isinstance(results[1], UnitFailure)
+        ran_x = _log_lines(log).count("x")
+        assert ran_x >= 1
+
+        # the failure was not persisted: a resume skips only "a" and
+        # attempts the failed unit again
+        resumed = ExperimentEngine(jobs=1, options=options)
+        results = resumed.map(units, checkpoint=ckpt)
+        assert resumed.report.checkpoint_hits == 1
+        assert isinstance(results[1], UnitFailure)
+        assert _log_lines(log).count("a") == 1
+        assert _log_lines(log).count("x") > ran_x
+
+
+# -- live migration: planner + scheduler accounting --------------------------------
+
+
+TENANT = Tenant(
+    name="rt", priority=1, service_us=10.0, slo_us=1000.0, weight=1.0
+)
+COSTS = MechanismCosts("test", preempt_us=7.0, resume_us=5.0)
+MIG = MigrationCosts(snapshot_us=3.0, transfer_us=2.0, restore_us=4.0)
+
+
+class TestMigrationPlanning:
+    def test_cost_model_scales_with_snapshot_bytes(self, small_config):
+        small = migration_costs_for(1000, small_config)
+        large = migration_costs_for(2000, small_config)
+        assert small.snapshot_us < large.snapshot_us
+        assert small.transfer_us < large.transfer_us
+        assert small.restore_us < large.restore_us
+        # the load path is faster than the store path (ctx_load_speedup)
+        if small_config.ctx_load_speedup > 1.0:
+            assert small.restore_us < small.snapshot_us
+
+    def test_cost_model_rejects_bad_link(self, small_config):
+        with pytest.raises(ValueError):
+            migration_costs_for(1000, small_config, link_bytes_per_us=0.0)
+
+    def test_planner_validates_parameters(self):
+        with pytest.raises(ValueError):
+            plan_migrations([(), ()], (TENANT,), epoch_us=0.0)
+        with pytest.raises(ValueError):
+            plan_migrations([(), ()], (TENANT,), epoch_us=100.0, factor=0.5)
+
+    def test_planner_moves_batch_off_the_hot_gpu(self):
+        hot = tuple((float(t), 0) for t in range(0, 90, 10))  # 9 requests
+        shards = [hot, ()]
+        events = plan_migrations(
+            shards, (TENANT,), epoch_us=100.0, factor=1.5
+        )
+        assert events == [MigrationEvent(time_us=100.0, src=0, dst=1)]
+        # pure + deterministic: identical inputs replan identically
+        assert events == plan_migrations(
+            shards, (TENANT,), epoch_us=100.0, factor=1.5
+        )
+
+    def test_planner_conserves_hosted_jobs(self):
+        rng_shards = [
+            tuple((float(13 * i % 700), 0) for i in range(40)),
+            tuple((float(29 * i % 700), 0) for i in range(5)),
+            (),
+        ]
+        events = plan_migrations(
+            rng_shards, (TENANT,), epoch_us=150.0, factor=1.2
+        )
+        hosted = [1] * len(rng_shards)
+        for event in events:
+            assert hosted[event.src] > 0  # never migrates a job that isn't there
+            hosted[event.src] -= 1
+            hosted[event.dst] += 1
+        assert sum(hosted) == len(rng_shards)
+
+    def test_shard_events_split(self):
+        events = [
+            MigrationEvent(time_us=100.0, src=0, dst=1),
+            MigrationEvent(time_us=200.0, src=1, dst=0),
+        ]
+        streams = shard_events(events, gpus=2)
+        assert streams[0] == ((100.0, "out"), (200.0, "in"))
+        assert streams[1] == ((100.0, "in"), (200.0, "out"))
+
+
+class TestMigrationAccounting:
+    def test_migrations_require_costs(self):
+        with pytest.raises(ValueError):
+            simulate_shard(
+                [(0.0, 0)], (TENANT,), COSTS, migrations=((0.0, "out"),)
+            )
+
+    def test_no_migration_baseline(self):
+        result = simulate_shard([(0.0, 0)], (TENANT,), COSTS)
+        assert result.episodes == 1
+        # preempt to open the episode + trailing resume to close it
+        assert result.overhead_us == pytest.approx(12.0)
+        assert result.latencies == [(0, pytest.approx(17.0))]
+        assert result.migrations_out == 0 and result.migrations_in == 0
+
+    def test_migrated_out_gpu_serves_overhead_free(self):
+        result = simulate_shard(
+            [(0.0, 0)], (TENANT,), COSTS,
+            migrations=((0.0, "out"),), migration=MIG,
+        )
+        assert result.migrations_out == 1
+        assert result.migration_us == pytest.approx(MIG.snapshot_us)
+        # no batch job left: no episode, no preempt/resume overhead —
+        # the request only waits out the snapshot pause
+        assert result.episodes == 0
+        assert result.overhead_us == 0.0
+        assert result.latencies == [(0, pytest.approx(13.0))]
+
+    def test_migration_in_restores_batch_after_transfer(self):
+        result = simulate_shard(
+            [(0.0, 0), (50.0, 0)], (TENANT,), COSTS,
+            migrations=((0.0, "out"), (20.0, "in")), migration=MIG,
+        )
+        assert result.migrations_out == 1
+        assert result.migrations_in == 1
+        assert result.migration_us == pytest.approx(
+            MIG.snapshot_us + MIG.restore_us
+        )
+        # the first request ran batch-free; the second, arriving after
+        # the restore, pays a fresh preemption episode again
+        assert result.episodes == 1
+        assert result.overhead_us == pytest.approx(12.0)
+        assert result.latencies[0] == (0, pytest.approx(13.0))
+        assert result.latencies[1] == (0, pytest.approx(17.0))
+
+    def test_duplicate_out_is_ignored(self):
+        result = simulate_shard(
+            [(0.0, 0)], (TENANT,), COSTS,
+            migrations=((0.0, "out"), (1.0, "out")), migration=MIG,
+        )
+        assert result.migrations_out == 1
+        assert result.migration_us == pytest.approx(MIG.snapshot_us)
+
+    def test_consolidated_gpu_keeps_batch_until_last_job_leaves(self):
+        # host a second batch job first ("in"), then one "out": a batch
+        # job remains, so episodes still pay preempt/resume
+        result = simulate_shard(
+            [(50.0, 0)], (TENANT,), COSTS,
+            migrations=((0.0, "in"), (10.0, "out")), migration=MIG,
+        )
+        assert result.migrations_in == 1
+        assert result.migrations_out == 1
+        assert result.episodes == 1
+        assert result.overhead_us == pytest.approx(12.0)
+
+
+class TestServeMigration:
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        from repro.serve import TraceSpec, run_serve
+
+        small = GPUConfig.small(warp_size=4)
+        kwargs = dict(
+            trace=TraceSpec(kind="bursty"),
+            loads=(0.6,),
+            requests=400,
+            gpus=2,
+            key="dc",
+            config=small,
+            iterations=6,
+            samples=1,
+            migrate=True,
+        )
+        first = run_serve(("baseline", "ctxback"), **kwargs)
+        second = run_serve(
+            ("baseline", "ctxback"),
+            engine=ExperimentEngine(jobs=2),
+            **kwargs,
+        )
+        return first, second
+
+    def test_migration_section_and_events(self, report):
+        first, _ = report
+        section = first["migration"]
+        assert set(section["snapshot_bytes"]) == {"baseline", "ctxback"}
+        # the paper's argument carried into serving: CTXBack's smaller
+        # context makes its snapshot — hence its migration — cheaper
+        assert (
+            section["snapshot_bytes"]["ctxback"]
+            < section["snapshot_bytes"]["baseline"]
+        )
+        for cell in first["results"]:
+            mig = cell["migrations"]
+            assert mig["out"] == mig["in"]
+            assert mig["out"] > 0  # the bursty trace actually migrates
+            assert mig["migration_us"] > 0.0
+
+    def test_report_bit_identical_across_jobs(self, report):
+        from repro.serve import render_serve_json
+
+        first, second = report
+        assert render_serve_json(first) == render_serve_json(second)
