@@ -1,0 +1,114 @@
+"""Chaos-serving benchmark: the fleet fault model under load.
+
+Runs the :mod:`repro.serve.resilience` pipeline — fleet fault schedule,
+failover planning with phase-1 probe simulations, resilient per-GPU
+scheduling, oracle audit — through two scenarios and attaches the
+headline failure-regime numbers to ``BENCH_engine.json``:
+
+- ``crash``: a fail-stop GPU loss while hosting work, measuring
+  snapshot-failover recovery latency and cadence-checkpoint overhead;
+- ``mixed``: crash + persistent degrade + queue drop under load 0.8,
+  measuring availability and overload shedding.
+
+Shape assertions carry the paper's context-size argument into the
+failure regime: CTXBack's smaller snapshot must checkpoint and recover
+cheaper than BASELINE.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import ExperimentEngine
+from repro.serve import ResilienceKnobs, TraceSpec, run_serve_chaos
+
+REQUESTS = 20_000
+GPUS = 4
+MECHANISMS = ("baseline", "ckpt", "ctxback")
+
+
+def _run(engine: ExperimentEngine, scenario: str, load: float) -> dict:
+    return run_serve_chaos(
+        MECHANISMS,
+        scenario=scenario,
+        trace=TraceSpec(kind="bursty", seed=0),
+        loads=(load,),
+        requests=REQUESTS,
+        gpus=GPUS,
+        iterations=40,
+        engine=engine,
+        knobs=ResilienceKnobs(ckpt_cadence_us=2000.0),
+    )
+
+
+def charged_ckpt_us(cell: dict) -> float:
+    """Price of one charged checkpoint.  Total overhead also depends on
+    how often the batch job is live (evicted checkpoints are free), so
+    this is the apples-to-apples number."""
+    charged = cell["checkpoints"]["taken"] - cell["checkpoints"]["free"]
+    return cell["checkpoints"]["overhead_us"] / max(charged, 1)
+
+
+def test_serve_chaos_crash_and_mixed(record_result):
+    engine = ExperimentEngine()
+    started = time.perf_counter()
+    crash = _run(engine, "crash", 0.6)
+    mixed = _run(engine, "mixed", 0.8)
+    wall = time.perf_counter() - started
+    assert crash["oracle"]["ok"], crash["oracle"]
+    assert mixed["oracle"]["ok"], mixed["oracle"]
+
+    crash_cells = {c["mechanism"]: c for c in crash["results"]}
+    mixed_cells = {c["mechanism"]: c for c in mixed["results"]}
+    payload = {
+        "requests_total": REQUESTS * len(MECHANISMS) * 2,
+        "wall_s": round(wall, 3),
+        "snapshot_bytes": crash["chaos"]["snapshot_bytes"],
+        "crash": {
+            mechanism: {
+                "failovers": cell["failovers"],
+                "recovery_p99_us": cell["recovery_us"]["p99"],
+                "lost_progress_us": cell["recovery_us"]["lost_progress"],
+                "charged_ckpt_us": round(charged_ckpt_us(cell), 3),
+            }
+            for mechanism, cell in crash_cells.items()
+        },
+        "mixed": {
+            mechanism: {
+                "availability": cell["availability"],
+                "shed": cell["shed"],
+                "retries": cell["retries"],
+            }
+            for mechanism, cell in mixed_cells.items()
+        },
+    }
+    record_result(serve_chaos=payload)
+
+    print()
+    print(
+        f"chaos-served {payload['requests_total']} requests in {wall:.1f}s "
+        f"({GPUS} GPUs, scenarios crash+mixed)"
+    )
+    for mechanism in MECHANISMS:
+        c, m = crash_cells[mechanism], mixed_cells[mechanism]
+        print(
+            f"  {mechanism:10s} rec p99 {c['recovery_us']['p99']:>9.1f} µs  "
+            f"ckpt {charged_ckpt_us(c):>7.1f} µs  "
+            f"avail {m['availability'] * 100:>6.2f}%  shed {m['shed']:>4d}"
+        )
+
+    # the failure-regime headline: a smaller context checkpoints and
+    # recovers cheaper
+    baseline, ctxback = crash_cells["baseline"], crash_cells["ctxback"]
+    assert (
+        crash["chaos"]["snapshot_bytes"]["ctxback"]
+        < crash["chaos"]["snapshot_bytes"]["baseline"]
+    )
+    assert ctxback["failovers"] >= 1  # the crash actually cost something
+    assert charged_ckpt_us(ctxback) < charged_ckpt_us(baseline)
+    assert ctxback["recovery_us"]["p99"] <= baseline["recovery_us"]["p99"]
+    # overload is shed, not queued without bound: availability holds a
+    # floor even under crash+degrade+drop at load 0.8
+    for cell in mixed_cells.values():
+        assert cell["availability"] >= 0.85
+        assert cell["shed"] > 0

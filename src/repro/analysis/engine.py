@@ -482,6 +482,62 @@ class ServeUnit:
 
 
 @dataclass(frozen=True)
+class ServeChaosUnit:
+    """One GPU's shard under the fleet fault model (chaos serving).
+
+    The fleet-coupled planning — crash re-queues, failover restores,
+    watchdog migrations — already happened in the parent
+    (:func:`repro.serve.resilience.plan_resilience`), so this unit is a
+    pure function of its own fields: the 5-tuple request stream
+    ``(arrival_us, tenant, rid, original_arrival_us, attempts)``, the op
+    stream, the crash cutoff, and the admission/checkpoint knobs.  The
+    admission policy travels as its flat tuple and ``crash_at_us < 0``
+    means "no crash", keeping the frozen unit picklable and
+    canonicalizable without importing the serve layer at module scope.
+    """
+
+    mechanism: str
+    load: float
+    gpu: int
+    requests: tuple  # ((arrival_us, tenant, rid, original, attempts), ...)
+    tenants: tuple  # (repro.serve.Tenant, ...)
+    preempt_us: float
+    resume_us: float
+    ops: tuple = ()  # ((time_us, kind, value), ...)
+    crash_at_us: float = -1.0  # < 0: this GPU never crashes
+    admission: tuple = ()  # AdmissionPolicy.as_tuple()
+    ckpt_cadence_us: float = 0.0
+    ckpt_snapshot_us: float = 0.0
+    seed: int = 0
+
+    def run(self) -> dict:
+        # lazy: repro.serve imports this module at its top level
+        from ..serve.resilience import resilient_shard_profile
+        from ..serve.scheduler import AdmissionPolicy, MechanismCosts
+
+        return resilient_shard_profile(
+            self.requests,
+            self.tenants,
+            MechanismCosts(
+                mechanism=self.mechanism,
+                preempt_us=self.preempt_us,
+                resume_us=self.resume_us,
+            ),
+            self.gpu,
+            ops=self.ops,
+            crash_at=self.crash_at_us if self.crash_at_us >= 0 else None,
+            admission=(
+                AdmissionPolicy.from_tuple(self.admission)
+                if self.admission
+                else None
+            ),
+            ckpt_cadence_us=self.ckpt_cadence_us,
+            ckpt_snapshot_us=self.ckpt_snapshot_us,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
 class OverheadUnit:
     """Instrumentation overhead fraction of one (kernel, mechanism)."""
 
@@ -662,6 +718,21 @@ def unit_key(unit) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def retry_delay(base_s: float, attempt: int, keys: list[str]) -> float:
+    """Backoff before a pool retry wave (seconds).
+
+    Exponential in the worst attempt count, with a jitter fraction
+    derived from the retried units' content keys — **not** wall clock —
+    so two runs of the same sweep back off identically (the engine stays
+    deterministic end to end) while distinct sweeps decorrelate instead
+    of thundering-herding a shared cache.  Capped at 2 s like the
+    pre-jitter behaviour.
+    """
+    digest = hashlib.sha256("\n".join(sorted(keys)).encode("ascii")).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+    return min(base_s * (2 ** (attempt - 1)) * (1.0 + 0.5 * jitter), 2.0)
+
+
 def _load_checkpoint(path: Path) -> dict:
     """Read a sweep checkpoint; any corruption means recompute-all (the
     snap framing's checksum makes a torn write indistinguishable from no
@@ -837,7 +908,12 @@ class ExperimentEngine:
             if retry_wave:
                 self.report.retries += len(retry_wave)
                 worst = max(attempts[i] for i in retry_wave)
-                time.sleep(min(opts.retry_backoff_s * (2 ** (worst - 1)), 2.0))
+                time.sleep(
+                    retry_delay(
+                        opts.retry_backoff_s, worst,
+                        [unit_key(units[i]) for i in retry_wave],
+                    )
+                )
             self._pool_wave(pending, units, results, done, attempts, last_error)
             pending = [i for i in pending if not done[i]]
         return results

@@ -376,32 +376,77 @@ def cmd_serve(args) -> int:
         failure_policy=args.failure_policy,
     )
     engine = ExperimentEngine(args.jobs, options=options)
-    report = run_serve(
-        mechanisms,
-        trace=spec,
-        loads=loads,
-        requests=args.requests,
-        gpus=args.gpus,
-        key=args.batch,
-        config=config,
-        iterations=args.iterations,
-        samples=args.samples,
-        engine=engine,
-        migrate=args.migrate,
-        migrate_epoch_us=args.migrate_epoch_us,
-        migrate_factor=args.migrate_factor,
-        link_bytes_per_us=args.link_bytes_per_us,
-    )
+    chaos = args.chaos if args.chaos != "none" else None
+    oracle_failed = False
+    if chaos is not None:
+        # the fleet fault model: seeded failure injection + snapshot
+        # failover + admission control (repro.serve.resilience)
+        from .faults import fleet_scenario_names
+        from .serve import (
+            ResilienceKnobs,
+            render_chaos_text,
+            run_serve_chaos,
+        )
+
+        if chaos not in fleet_scenario_names():
+            print(
+                f"unknown chaos scenario {chaos!r} "
+                f"(available: {', '.join(fleet_scenario_names())}, none)",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_serve_chaos(
+            mechanisms,
+            scenario=chaos,
+            trace=spec,
+            loads=loads,
+            requests=args.requests,
+            gpus=args.gpus,
+            key=args.batch,
+            config=config,
+            iterations=args.iterations,
+            samples=args.samples,
+            engine=engine,
+            knobs=ResilienceKnobs(
+                detect_us=args.detect_us,
+                watchdog_us=args.watchdog_us,
+                ckpt_cadence_us=args.ckpt_cadence_us,
+            ),
+            link_bytes_per_us=args.link_bytes_per_us,
+        )
+        oracle_failed = not report["oracle"]["ok"]
+    else:
+        # --chaos none (or omitted): the untouched clean path — byte-
+        # identical reports, zero resilience overhead
+        report = run_serve(
+            mechanisms,
+            trace=spec,
+            loads=loads,
+            requests=args.requests,
+            gpus=args.gpus,
+            key=args.batch,
+            config=config,
+            iterations=args.iterations,
+            samples=args.samples,
+            engine=engine,
+            migrate=args.migrate,
+            migrate_epoch_us=args.migrate_epoch_us,
+            migrate_factor=args.migrate_factor,
+            link_bytes_per_us=args.link_bytes_per_us,
+        )
     # write the file before stdout: a closed pipe must not lose the report
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(render_serve_json(report) + "\n")
-    rendered = (
-        render_serve_json(report)
-        if args.format == "json"
-        else render_serve_text(report)
-    )
+    if args.format == "json":
+        rendered = render_serve_json(report)
+    elif chaos is not None:
+        rendered = render_chaos_text(report)
+    else:
+        rendered = render_serve_text(report)
     print(rendered)
+    if oracle_failed:
+        print("chaos-serve oracle FAILED", file=sys.stderr)
     if args.timing:
         engine_report = engine.report
         print(
@@ -411,7 +456,7 @@ def cmd_serve(args) -> int:
             f"failures={engine_report.failures}",
             file=sys.stderr,
         )
-    return 1 if engine.report.failures else 0
+    return 1 if (engine.report.failures or oracle_failed) else 0
 
 
 def cmd_cache(args) -> int:
@@ -1004,6 +1049,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fail-fast", "collect"])
     serve.add_argument("--timing", action="store_true",
                        help="print engine wall time and cache stats to stderr")
+    serve.add_argument("--chaos", default="none", metavar="SCENARIO",
+                       help="fleet fault scenario "
+                            "(crash|crash-storm|degrade|stall|drop|mixed; "
+                            "'none' keeps the clean serving path untouched)")
+    serve.add_argument("--detect-us", type=float, default=500.0,
+                       help="crash detection delay before failover begins")
+    serve.add_argument("--watchdog-us", type=float, default=1000.0,
+                       help="health-watchdog sampling period for degrade "
+                            "detection")
+    serve.add_argument("--ckpt-cadence-us", type=float, default=5000.0,
+                       help="batch-job checkpoint cadence; smaller = less "
+                            "lost progress on a crash, more steady-state "
+                            "overhead (0 disables)")
     serve.set_defaults(func=cmd_serve)
 
     snap = sub.add_parser(

@@ -31,8 +31,11 @@ _LAZY = {
     "FaultKind": "plan",
     "FaultPlan": "plan",
     "FaultSpec": "plan",
+    "FLEET_KINDS": "plan",
     "scenario": "plan",
     "scenario_names": "plan",
+    "fleet_scenario": "plan",
+    "fleet_scenario_names": "plan",
     "FaultInjector": "injector",
     "InjectedFault": "injector",
     "RecoveryPolicy": "recovery",

@@ -39,7 +39,10 @@ class SimulationHangError(FaultToleranceError):
 
     Carries a per-warp diagnostic dump (mode, pc, dynamic progress,
     scoreboard depth) so a livelock is debuggable from the exception
-    alone instead of timing out the surrounding job.
+    alone instead of timing out the surrounding job.  When the hang is
+    detected inside a serving shard, *fleet* carries the fleet context —
+    GPU id, tenant, request id, queue depth — so the diagnostic names the
+    stuck request, not just warp state the serving layer does not have.
     """
 
     def __init__(
@@ -48,7 +51,13 @@ class SimulationHangError(FaultToleranceError):
         *,
         cycle: int | None = None,
         warp_dump: list[dict] | tuple[dict, ...] = (),
+        fleet: dict | None = None,
     ) -> None:
+        if fleet:
+            context = " ".join(
+                f"{key}={fleet[key]}" for key in sorted(fleet)
+            )
+            message = f"{message}\nfleet context: {context}"
         if warp_dump:
             lines = "\n".join(
                 "  warp {warp} mode={mode} pc={pc} dyn={dyn} "
@@ -59,3 +68,4 @@ class SimulationHangError(FaultToleranceError):
         super().__init__(message)
         self.cycle = cycle
         self.warp_dump = list(warp_dump)
+        self.fleet = dict(fleet) if fleet else {}

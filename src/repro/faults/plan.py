@@ -27,6 +27,28 @@ class FaultKind(enum.Enum):
     ROUTINE_ABORT = "routine_abort"
     #: hold the memory-service port busy for a burst of cycles
     MEM_STALL = "mem_stall"
+    # -- fleet-scoped kinds (:mod:`repro.serve.resilience`; the serving
+    # -- fault model, not the per-warp cycle-level injector)
+    #: a whole GPU dies; its batch job fails over from its last snapshot
+    GPU_CRASH = "gpu_crash"
+    #: clock/SM loss: the GPU serves slower until the watchdog reacts
+    GPU_DEGRADE = "gpu_degrade"
+    #: the GPU's serving shard freezes for a window (driver stall)
+    SHARD_STALL = "shard_stall"
+    #: queued requests are dropped at the ingress (buffer overflow)
+    QUEUE_DROP = "queue_drop"
+
+
+#: the fleet-scoped kinds — interpreted by the serving resilience layer
+#: (:mod:`repro.serve.resilience`), never by the cycle-level injector
+FLEET_KINDS = frozenset(
+    {
+        FaultKind.GPU_CRASH,
+        FaultKind.GPU_DEGRADE,
+        FaultKind.SHARD_STALL,
+        FaultKind.QUEUE_DROP,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +68,19 @@ class FaultSpec:
     at_cycle: int = 0
     #: MEM_STALL: burst length in cycles
     stall_cycles: int = 400
+    # -- fleet-scoped knobs (ignored by the cycle-level injector) --
+    #: target GPU index; ``None`` picks one from the plan's seeded RNG
+    gpu: int | None = None
+    #: earliest serving-clock time the fault may fire (µs); the exact
+    #: firing time is drawn from the plan's seeded RNG past this point
+    at_us: float = 0.0
+    #: GPU_DEGRADE / SHARD_STALL: window length (µs); 0 on a degrade
+    #: means "until the health watchdog migrates the batch job away"
+    duration_us: float = 4000.0
+    #: GPU_DEGRADE: service/preempt/resume slowdown multiplier
+    clock_factor: float = 2.0
+    #: QUEUE_DROP: queued requests dropped (lowest priority first)
+    drop_count: int = 4
 
 
 @dataclass(frozen=True)
@@ -60,6 +95,14 @@ class FaultPlan:
         """Instantiate the runtime injector for one simulation."""
         from .injector import FaultInjector
 
+        fleet = [s.kind.value for s in self.specs if s.kind in FLEET_KINDS]
+        if fleet:
+            # fleet kinds would be silently inert inside the cycle-level
+            # injector; refusing here keeps a misrouted plan loud
+            raise ValueError(
+                f"fleet-scoped fault kinds {fleet} cannot run in the "
+                f"cycle-level injector; use repro.serve.resilience"
+            )
         return FaultInjector(self, policy=policy)
 
     @staticmethod
@@ -101,3 +144,42 @@ def scenario(name: str, seed: int = 0) -> FaultPlan:
 
 def scenario_names() -> list[str]:
     return list(_SCENARIOS)
+
+
+#: the named fleet chaos scenarios ``python -m repro serve --chaos`` runs;
+#: firing times/targets are drawn from the plan's seeded RNG at schedule
+#: time (:func:`repro.serve.resilience.build_fleet_schedule`), so the same
+#: seed always yields the byte-identical fleet fault schedule
+_FLEET_SCENARIOS: dict[str, tuple[FaultSpec, ...]] = {
+    "crash": (FaultSpec(FaultKind.GPU_CRASH),),
+    "crash-storm": (
+        FaultSpec(FaultKind.GPU_CRASH),
+        FaultSpec(FaultKind.GPU_CRASH, at_us=20_000.0),
+    ),
+    "degrade": (
+        FaultSpec(FaultKind.GPU_DEGRADE, duration_us=0.0, clock_factor=2.5),
+    ),
+    "stall": (FaultSpec(FaultKind.SHARD_STALL, duration_us=2_000.0),),
+    "drop": (FaultSpec(FaultKind.QUEUE_DROP, drop_count=8),),
+    "mixed": (
+        FaultSpec(FaultKind.GPU_CRASH),
+        FaultSpec(FaultKind.GPU_DEGRADE, at_us=10_000.0, duration_us=0.0),
+        FaultSpec(FaultKind.QUEUE_DROP, at_us=5_000.0, drop_count=8),
+    ),
+}
+
+
+def fleet_scenario(name: str, seed: int = 0) -> FaultPlan:
+    """A named fleet chaos scenario as a plan (``serve --chaos``)."""
+    try:
+        specs = _FLEET_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet chaos scenario {name!r}; "
+            f"known: {', '.join(fleet_scenario_names())}"
+        ) from None
+    return FaultPlan(seed=seed, specs=specs, name=name)
+
+
+def fleet_scenario_names() -> list[str]:
+    return list(_FLEET_SCENARIOS)

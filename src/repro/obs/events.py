@@ -98,6 +98,23 @@ class EventKind(Enum):
     #: a migrated batch job restored onto this GPU (data: gpu, cost_us =
     #: restore pause after the link transfer)
     MIGRATE_IN = "migrate_in"
+    # -- fleet fault-tolerance events (:mod:`repro.serve.resilience`)
+    #: a GPU died; everything it held is orphaned (data: gpu)
+    GPU_CRASH = "gpu_crash"
+    #: the health watchdog marked a GPU degraded (data: gpu, factor)
+    GPU_DEGRADE = "gpu_degrade"
+    #: a crashed GPU's batch job restored from its last snapshot onto
+    #: this GPU (data: gpu, src, cost_us, recovery_us)
+    FAILOVER_IN = "failover_in"
+    #: a request was refused by admission control or dropped and its
+    #: retry budget is spent (data: tenant, gpu, attempts)
+    REQ_SHED = "req_shed"
+    #: a refused/dropped request re-enters after its deterministic
+    #: backoff (data: tenant, gpu, attempt, delay_us)
+    REQ_RETRY = "req_retry"
+    #: the hosted batch job took a cadence checkpoint (data: gpu,
+    #: cost_us; cost 0 when the job sat evicted — its context is saved)
+    BATCH_CKPT = "batch_ckpt"
 
 
 #: pseudo warp id for SM-wide events (scheduler stalls)

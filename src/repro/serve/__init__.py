@@ -12,6 +12,10 @@ closes the loop from the cycle-level simulator to that scenario:
   :mod:`repro.snap` snapshots (plan + cost model);
 - :mod:`~repro.serve.fleet` — calibration, asyncio ingestion, fan-out over
   the experiment engine, and :func:`run_serve`, the whole pipeline;
+- :mod:`~repro.serve.resilience` — the fleet fault model: seeded GPU
+  crash/degrade/stall/drop injection, snapshot-based failover with
+  cadence checkpointing, admission control with deterministic
+  retry/shed, and the chaos-serve oracle (:func:`run_serve_chaos`);
 - :mod:`~repro.serve.report` — p50/p95/p99, SLO, throughput, overhead
   aggregation plus text/JSON renderers.
 
@@ -41,11 +45,32 @@ from .report import (
     PERCENTILES,
     REPORT_VERSION,
     nearest_rank,
+    render_chaos_text,
     render_serve_json,
     render_serve_text,
     summarize_cell,
+    summarize_chaos_cell,
 )
-from .scheduler import MechanismCosts, ShardResult, simulate_shard
+from .resilience import (
+    DEFAULT_ADMISSION,
+    RESILIENCE_VERSION,
+    FailoverRecord,
+    FleetEvent,
+    ResilienceKnobs,
+    ResiliencePlan,
+    ResilientShardResult,
+    build_fleet_schedule,
+    plan_resilience,
+    resilient_shard_profile,
+    run_serve_chaos,
+    simulate_resilient_shard,
+)
+from .scheduler import (
+    AdmissionPolicy,
+    MechanismCosts,
+    ShardResult,
+    simulate_shard,
+)
 from .tenants import DEFAULT_TENANTS, Tenant, mean_service_us
 
 __all__ = [
@@ -62,9 +87,24 @@ __all__ = [
     "PERCENTILES",
     "REPORT_VERSION",
     "nearest_rank",
+    "render_chaos_text",
     "render_serve_json",
     "render_serve_text",
     "summarize_cell",
+    "summarize_chaos_cell",
+    "DEFAULT_ADMISSION",
+    "RESILIENCE_VERSION",
+    "FailoverRecord",
+    "FleetEvent",
+    "ResilienceKnobs",
+    "ResiliencePlan",
+    "ResilientShardResult",
+    "build_fleet_schedule",
+    "plan_resilience",
+    "resilient_shard_profile",
+    "run_serve_chaos",
+    "simulate_resilient_shard",
+    "AdmissionPolicy",
     "MechanismCosts",
     "ShardResult",
     "simulate_shard",

@@ -120,6 +120,143 @@ def summarize_cell(
     return summary
 
 
+def summarize_chaos_cell(
+    mechanism: str,
+    load: float,
+    shard_dicts: list[dict],
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+    *,
+    failovers: list[dict],
+) -> dict:
+    """Fold one (mechanism, load) cell of a chaos-serve run.
+
+    On top of the clean-path summary the cell reports **availability**
+    (completed / offered requests), the shed/retry/drop traffic the
+    admission policy and fault model generated, the checkpoint cadence's
+    overhead, and the recovery-latency percentiles over the cell's
+    failover records — the headline number the checkpoint-cadence
+    tradeoff moves (CTXBack's smaller contexts ⇒ cheaper cadence ⇒
+    faster failover).  Same determinism rules as
+    :func:`summarize_cell`: nearest-rank percentiles, 3-decimal
+    rounding, no wall clock.
+    """
+    pairs: list[tuple[int, float]] = []
+    overhead = 0.0
+    episodes = 0
+    service = 0.0
+    makespan = 0.0
+    shed_total = 0
+    retries = 0
+    dropped = 0
+    stalls = 0
+    stall_us = 0.0
+    checkpoints = 0
+    free_checkpoints = 0
+    checkpoint_us = 0.0
+    migration_us = 0.0
+    restores_in = 0
+    crashes = 0
+    shed_by_tenant: dict[int, int] = {}
+    for shard in shard_dicts:
+        pairs.extend(
+            (int(t), float(lat)) for t, lat, _rid in shard["latencies"]
+        )
+        overhead += shard["overhead_us"]
+        episodes += shard["episodes"]
+        service += shard["service_us"]
+        shed_total += len(shard["shed"])
+        for t, _rid, _attempts in shard["shed"]:
+            shed_by_tenant[int(t)] = shed_by_tenant.get(int(t), 0) + 1
+        retries += shard["retries"]
+        dropped += shard["dropped"]
+        stalls += shard["stalls"]
+        stall_us += shard["stall_us"]
+        checkpoints += shard["checkpoints"]
+        free_checkpoints += shard["free_checkpoints"]
+        checkpoint_us += shard["checkpoint_us"]
+        migration_us += shard["migration_us"]
+        restores_in += shard["restores_in"]
+        crashes += 1 if shard["crashed"] else 0
+        if shard["makespan_us"] > makespan:
+            makespan = shard["makespan_us"]
+
+    latencies = sorted(lat for _, lat in pairs)
+    n = len(latencies)
+    offered = n + shed_total
+    recovery = sorted(
+        f["recovery_us"] for f in failovers if f["kind"] == "failover"
+    )
+    lost_progress = sum(
+        f["lost_progress_us"] for f in failovers if f["kind"] == "failover"
+    )
+    summary: dict = {
+        "mechanism": mechanism,
+        "load": load,
+        "requests": n,
+        "episodes": episodes,
+        "latency_us": {
+            "mean": _round3(sum(latencies) / n) if n else 0.0,
+            **{
+                f"p{q}": _round3(nearest_rank(latencies, q))
+                for q in PERCENTILES
+            },
+        },
+        "overhead_us": _round3(overhead),
+        "overhead_frac": _round3(
+            overhead / (overhead + service) if overhead + service > 0 else 0.0
+        ),
+        "throughput_rps": _round3(n / makespan * 1e6) if makespan > 0 else 0.0,
+        # -- the resilience block
+        "availability": _round3(n / offered) if offered else 1.0,
+        "crashes": crashes,
+        "failovers": len(recovery),
+        "watchdog_migrations": len(
+            [f for f in failovers if f["kind"] == "watchdog"]
+        ),
+        "rerouted_restores": len(
+            [f for f in failovers if f["kind"] == "rerouted"]
+        ),
+        "restores_in": restores_in,
+        "shed": shed_total,
+        "retries": retries,
+        "dropped": dropped,
+        "stalls": stalls,
+        "stall_us": _round3(stall_us),
+        "checkpoints": {
+            "taken": checkpoints,
+            "free": free_checkpoints,
+            "overhead_us": _round3(checkpoint_us),
+        },
+        "migration_us": _round3(migration_us),
+        "recovery_us": {
+            "lost_progress": _round3(lost_progress),
+            **{
+                f"p{q}": _round3(nearest_rank(recovery, q))
+                for q in PERCENTILES
+            },
+        },
+    }
+
+    violations_total = 0
+    per_tenant: dict[str, dict] = {}
+    for idx, tenant in enumerate(tenants):
+        t_lats = [lat for t, lat in pairs if t == idx]
+        t_viol = sum(1 for lat in t_lats if lat > tenant.slo_us)
+        violations_total += t_viol
+        per_tenant[tenant.name] = {
+            "requests": len(t_lats),
+            "slo_us": tenant.slo_us,
+            "violations": t_viol,
+            "violation_rate": _round3(t_viol / len(t_lats)) if t_lats else 0.0,
+            "p99_us": _round3(nearest_rank(sorted(t_lats), 99)),
+            "shed": shed_by_tenant.get(idx, 0),
+        }
+    summary["slo_violation_rate"] = _round3(violations_total / n) if n else 0.0
+    summary["tenants"] = per_tenant
+    return summary
+
+
 # -- rendering -------------------------------------------------------------------
 
 
@@ -131,6 +268,62 @@ def render_serve_json(report: dict) -> str:
         sort_keys=True,
         separators=(",", ": "),
     )
+
+
+def render_chaos_text(report: dict) -> str:
+    """Human-readable chaos-serve report: one row per cell, with the
+    availability/failover/recovery columns and the oracle verdict."""
+    lines: list[str] = []
+    chaos = report["chaos"]
+    trace = report["trace"]
+    lines.append(
+        f"chaos-serving {report['requests_per_cell']} requests/cell over "
+        f"{report['gpus']} GPUs — scenario {chaos['scenario']!r} "
+        f"(seed {chaos['seed']}), {trace['kind']} trace, "
+        f"batch kernel {report['batch_kernel']!r}"
+    )
+    for load, events in sorted(chaos["schedule"].items()):
+        parts = [
+            f"{e['kind']}@{e['time_us']:.0f}us→gpu{e['gpu']}" for e in events
+        ]
+        lines.append(f"  load {load}: " + (", ".join(parts) or "no events"))
+    lines.append(
+        f"  knobs: detect {chaos['knobs']['detect_us']:.0f}us, watchdog "
+        f"{chaos['knobs']['watchdog_us']:.0f}us, checkpoint cadence "
+        f"{chaos['knobs']['ckpt_cadence_us']:.0f}us"
+    )
+    lines.append("")
+    header = (
+        f"{'mechanism':<10} {'load':>5} {'avail':>7} {'p99 us':>10} "
+        f"{'failover':>9} {'rec p99':>10} {'shed':>6} {'retry':>6} "
+        f"{'ckpt us':>9} {'SLO viol':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in report["results"]:
+        lines.append(
+            f"{cell['mechanism']:<10} {cell['load']:>5.2f} "
+            f"{cell['availability'] * 100:>6.2f}% "
+            f"{cell['latency_us']['p99']:>10.1f} "
+            f"{cell['failovers']:>9} "
+            f"{cell['recovery_us']['p99']:>10.1f} "
+            f"{cell['shed']:>6} {cell['retries']:>6} "
+            f"{cell['checkpoints']['overhead_us']:>9.1f} "
+            f"{cell['slo_violation_rate'] * 100:>8.2f}%"
+        )
+    lines.append("")
+    oracle = report["oracle"]
+    lines.append(
+        f"chaos-serve oracle: {'OK' if oracle['ok'] else 'VIOLATIONS'} "
+        f"({len(oracle['cells'])} cells audited)"
+    )
+    for cell in oracle["cells"]:
+        if not cell["ok"]:
+            for violation in cell["violations"]:
+                lines.append(
+                    f"  {cell['mechanism']} load {cell['load']}: {violation}"
+                )
+    return "\n".join(lines)
 
 
 def render_serve_text(report: dict) -> str:

@@ -1,0 +1,1389 @@
+"""Fleet-level fault tolerance: failure injection, failover, admission.
+
+The serving layer of PR 7 assumed a failure-free fleet; this module makes
+the fleet survivable.  Four pieces, all deterministic:
+
+1. **Failure injection** — :func:`build_fleet_schedule` turns a seeded
+   :class:`~repro.faults.plan.FaultPlan` of fleet-scoped kinds
+   (``gpu_crash``, ``gpu_degrade``, ``shard_stall``, ``queue_drop``) into
+   a concrete event schedule: one ``random.Random(seed)`` stream draws
+   firing times and target GPUs, so the same plan always yields the
+   byte-identical schedule — the same discipline the PR 5 injector uses
+   at cycle level.
+2. **Snapshot failover** — :func:`plan_resilience` is a pure fleet-level
+   planner: when a GPU crashes, its batch job restores from its last
+   cadence checkpoint onto the least-loaded survivor (costs derived from
+   the mechanism's real :mod:`repro.snap` snapshot size through
+   :func:`repro.serve.migration.migration_costs_for`), its un-served
+   requests re-queue onto the survivors, and the lost progress + re-queue
+   delay is charged into the latency report.  Smaller contexts (CTXBack)
+   mean cheaper checkpoints, cheaper transfers, and therefore faster
+   failover — the paper's argument carried into the failure regime.
+3. **Admission control and shedding** —
+   :func:`simulate_resilient_shard` extends the PR 7 discrete-event
+   scheduler with the token-bucket/queue-depth
+   :class:`~repro.serve.scheduler.AdmissionPolicy`, deterministic
+   retry-with-backoff for refused/dropped requests, degrade windows the
+   health watchdog reacts to with observed-load migration, stall
+   windows, and cadence checkpointing of the hosted batch job.
+4. **Oracle** — :func:`chaos_oracle` audits every cell: request
+   conservation (every request completes or is an accounted shed,
+   exactly once), every injected crash matched by a failover or an
+   accounted loss, the batch-job ledger free of double-execution, and
+   the snapshot round-trip digest-clean (terminal kernel memory of a
+   restored job bit-identical to a clean run, via the cached
+   :func:`repro.snap.units.snap_profile_for` verdict).
+
+Everything downstream of the plan seed is a pure function of its inputs,
+so chaos reports are bit-identical across ``--jobs``, execution cores
+and hosts; ``--chaos none`` never enters this module at all (the
+zero-overhead guard).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from ..faults.errors import SimulationHangError
+from ..faults.plan import FLEET_KINDS, FaultKind, FaultPlan, fleet_scenario
+from ..obs.events import EventKind, Tracer
+from .scheduler import AdmissionPolicy, MechanismCosts, _ns
+from .tenants import Tenant
+
+__all__ = [
+    "RESILIENCE_VERSION",
+    "DEFAULT_ADMISSION",
+    "ResilienceKnobs",
+    "FleetEvent",
+    "FailoverRecord",
+    "ResiliencePlan",
+    "ResilientShardResult",
+    "build_fleet_schedule",
+    "plan_resilience",
+    "simulate_resilient_shard",
+    "resilient_shard_profile",
+    "run_serve_chaos",
+    "chaos_oracle",
+]
+
+#: bump when the resilient scheduler's semantics change — joins the
+#: serve-chaos cache key so stale shard artifacts re-run
+RESILIENCE_VERSION = 1
+
+#: the default admission policy of the chaos pipeline (loose enough that
+#: a healthy fleet sheds nothing; overload and failure re-queues hit it)
+DEFAULT_ADMISSION = AdmissionPolicy()
+
+
+@dataclass(frozen=True)
+class ResilienceKnobs:
+    """Fleet-level recovery tuning (pure data; part of cache identity)."""
+
+    #: crash detection delay: the front-end learns of a dead GPU this
+    #: long after the crash (health-probe interval)
+    detect_us: float = 500.0
+    #: health-watchdog sampling period for degrade detection
+    watchdog_us: float = 1000.0
+    #: cadence of batch-job checkpoints (µs); 0 disables cadence
+    #: checkpointing — a crash then loses all progress since launch
+    ckpt_cadence_us: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.detect_us < 0:
+            raise ValueError("detect_us must be >= 0")
+        if self.watchdog_us <= 0:
+            raise ValueError("watchdog_us must be > 0")
+        if self.ckpt_cadence_us < 0:
+            raise ValueError("ckpt_cadence_us must be >= 0")
+
+
+# -- stage 1: the seeded fleet fault schedule -------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One concrete fleet fault (a spec with its seeded draws resolved)."""
+
+    kind: str  # FaultKind value
+    time_us: float
+    gpu: int
+    #: GPU_DEGRADE / SHARD_STALL window length (0 on a degrade: until the
+    #: watchdog reacts — the window then runs to the horizon)
+    duration_us: float = 0.0
+    #: GPU_DEGRADE slowdown multiplier
+    factor: float = 1.0
+    #: QUEUE_DROP drop count
+    count: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time_us": self.time_us,
+            "gpu": self.gpu,
+            "duration_us": self.duration_us,
+            "factor": self.factor,
+            "count": self.count,
+        }
+
+
+def build_fleet_schedule(
+    plan: FaultPlan, gpus: int, horizon_us: float
+) -> tuple[FleetEvent, ...]:
+    """Resolve a fleet fault plan into a concrete event schedule.
+
+    One ``random.Random(plan.seed)`` stream, consumed in spec order,
+    draws each fault's firing time (uniform over ``[at_us, horizon_us]``)
+    and target GPU — the same seeded-RNG discipline the cycle-level
+    injector uses, so two runs of the same plan see byte-identical fleet
+    faults.  A crash never targets an already-crashed GPU (the draw
+    retargets cyclically) and is skipped outright when it would kill the
+    last survivor — the fleet model injects failures, not extinction.
+    """
+    if gpus < 1:
+        raise ValueError("gpus must be >= 1")
+    foreign = [s.kind.value for s in plan.specs if s.kind not in FLEET_KINDS]
+    if foreign:
+        raise ValueError(
+            f"non-fleet fault kinds {foreign} in fleet plan {plan.name!r}; "
+            f"use python -m repro chaos for cycle-level scenarios"
+        )
+    rng = random.Random(plan.seed)
+    crashed: set[int] = set()
+    events: list[FleetEvent] = []
+    for spec in plan.specs:
+        lo = min(spec.at_us, horizon_us)
+        time_us = round(lo + rng.random() * max(horizon_us - lo, 0.0), 3)
+        gpu = spec.gpu % gpus if spec.gpu is not None else rng.randrange(gpus)
+        if spec.kind is FaultKind.GPU_CRASH:
+            alive = [g for g in range(gpus) if g not in crashed]
+            if len(alive) <= 1:
+                continue  # never kill the last survivor
+            if gpu in crashed:
+                gpu = alive[gpu % len(alive)]
+            crashed.add(gpu)
+            events.append(FleetEvent("gpu_crash", time_us, gpu))
+        elif spec.kind is FaultKind.GPU_DEGRADE:
+            events.append(
+                FleetEvent(
+                    "gpu_degrade", time_us, gpu,
+                    duration_us=spec.duration_us, factor=spec.clock_factor,
+                )
+            )
+        elif spec.kind is FaultKind.SHARD_STALL:
+            events.append(
+                FleetEvent(
+                    "shard_stall", time_us, gpu, duration_us=spec.duration_us
+                )
+            )
+        else:  # QUEUE_DROP
+            events.append(
+                FleetEvent("queue_drop", time_us, gpu, count=spec.drop_count)
+            )
+    return tuple(sorted(events, key=lambda e: (e.time_us, e.kind, e.gpu)))
+
+
+# -- the resilient per-GPU scheduler ----------------------------------------------
+
+
+@dataclass
+class ResilientShardResult:
+    """One GPU's serving outcome under the fleet fault model."""
+
+    #: per-request (tenant index, latency µs, request id) in completion
+    #: order; latency is measured from the request's ORIGINAL arrival, so
+    #: failover re-queue delay and lost progress land in the report
+    latencies: list[tuple[int, float, int]]
+    overhead_us: float
+    episodes: int
+    makespan_us: float
+    service_us: float
+    #: requests refused/dropped past their retry budget: (tenant, rid,
+    #: attempts), in shed order
+    shed: list[tuple[int, int, int]] = field(default_factory=list)
+    #: retry re-entries scheduled (all causes)
+    retries: int = 0
+    #: crash only — work this GPU held at death: (rid, tenant,
+    #: original_arrival_us, attempts), in rid order
+    orphans: list[tuple[int, int, float, int]] = field(default_factory=list)
+    #: crash only — arrivals landing after death: (arrival_us, tenant,
+    #: rid, original_arrival_us, attempts)
+    redirects: list[tuple[float, int, int, float, int]] = field(default_factory=list)
+    #: cadence checkpoints taken / their charged pause / the free ones
+    #: (job sat evicted — context already saved)
+    checkpoints: int = 0
+    checkpoint_us: float = 0.0
+    free_checkpoints: int = 0
+    #: serving-clock time of the last checkpoint (lost-progress basis)
+    last_ckpt_us: float = 0.0
+    #: batch jobs hosted when the shard ended
+    hosted_end: int = 1
+    #: batch jobs restored here (failover or observed-load migration in)
+    restores_in: int = 0
+    #: batch jobs snapshotted away (observed-load migration out)
+    migrations_out: int = 0
+    #: restore/out pauses charged here (µs)
+    migration_us: float = 0.0
+    #: stall windows applied / their total length
+    stalls: int = 0
+    stall_us: float = 0.0
+    #: queued requests dropped by QUEUE_DROP events
+    dropped: int = 0
+    crashed: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "latencies": [[t, lat, rid] for t, lat, rid in self.latencies],
+            "overhead_us": self.overhead_us,
+            "episodes": self.episodes,
+            "makespan_us": self.makespan_us,
+            "service_us": self.service_us,
+            "shed": [[t, rid, a] for t, rid, a in self.shed],
+            "retries": self.retries,
+            "orphans": [[r, t, o, a] for r, t, o, a in self.orphans],
+            "redirects": [list(r) for r in self.redirects],
+            "checkpoints": self.checkpoints,
+            "checkpoint_us": self.checkpoint_us,
+            "free_checkpoints": self.free_checkpoints,
+            "last_ckpt_us": self.last_ckpt_us,
+            "hosted_end": self.hosted_end,
+            "restores_in": self.restores_in,
+            "migrations_out": self.migrations_out,
+            "migration_us": self.migration_us,
+            "stalls": self.stalls,
+            "stall_us": self.stall_us,
+            "dropped": self.dropped,
+            "crashed": self.crashed,
+        }
+
+
+def _retry_jitter(seed: int, rid: int, attempt: int) -> float:
+    """Deterministic jitter fraction in [0, 0.5): derived from the shard
+    seed + request id + attempt — never from wall clock — so retried
+    runs stay bit-identical."""
+    blob = f"{seed}:{rid}:{attempt}".encode("ascii")
+    word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return (word / 2**64) * 0.5
+
+
+def _normalize(requests) -> list[tuple[float, int, int, float, int]]:
+    """Accept plain ``(arrival, tenant)`` pairs (direct tests, plain
+    serve shards) or full 5-tuples from the planner; returns
+    ``(arrival_us, tenant, rid, original_arrival_us, attempts)``."""
+    entries = []
+    for index, request in enumerate(requests):
+        if len(request) == 2:
+            arrival, tenant = request
+            entries.append((float(arrival), int(tenant), index, float(arrival), 0))
+        else:
+            arrival, tenant, rid, original, attempts = request
+            entries.append(
+                (float(arrival), int(tenant), int(rid), float(original),
+                 int(attempts))
+            )
+    return entries
+
+
+def simulate_resilient_shard(
+    requests,
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+    *,
+    gpu: int = 0,
+    admission: AdmissionPolicy | None = None,
+    crash_at: float | None = None,
+    ops: tuple = (),
+    ckpt_cadence_us: float = 0.0,
+    ckpt_snapshot_us: float = 0.0,
+    seed: int = 0,
+    hosted: int = 1,
+    tracer: Tracer | None = None,
+    max_steps: int | None = None,
+) -> ResilientShardResult:
+    """Serve one GPU's shard under the fleet fault model.
+
+    Extends :func:`~repro.serve.scheduler.simulate_shard` with admission
+    control, deterministic retry/shed, a crash cutoff, degrade and stall
+    windows, queue drops, batch restores/evictions, and cadence
+    checkpointing.  *ops* is this GPU's ordered ``(time_us, kind, value)``
+    stream from the planner — kinds: ``stall`` (GPU frozen *value* µs),
+    ``drop`` (drop *value* queued requests, lowest priority first, into
+    the retry path), ``restore`` (a batch job restores here, *value* =
+    restore pause; the planner pre-adds the transfer delay to the time),
+    ``out`` (a batch job is snapshotted away, *value* = snapshot pause),
+    ``degrade_on`` / ``degrade_off`` (*value* = slowdown factor).
+
+    With *crash_at*, the GPU stops dead at that time: a request in
+    flight is killed, queued and not-yet-arrived work is returned as
+    ``orphans`` / ``redirects`` for the planner to re-queue, and ops at
+    or past the crash never apply.  Latency is always measured from the
+    request's *original* arrival, so re-queued work carries its full
+    recovery delay into the report.
+
+    The loop carries a forward-progress watchdog: exceeding the step cap
+    raises :class:`~repro.faults.errors.SimulationHangError` whose
+    diagnostic includes the fleet context (GPU id, tenant, request id,
+    queue depth) — not just the per-warp dump the cycle-level watchdog
+    produces.
+    """
+    entries = _normalize(requests)
+    n = len(entries)
+    result = ResilientShardResult(
+        latencies=[], overhead_us=0.0, episodes=0, makespan_us=0.0,
+        service_us=0.0, hosted_end=hosted,
+    )
+    # arrival stream: original entries plus retry re-entries
+    arrival_heap: list[tuple[float, int, tuple]] = []
+    seq = 0
+    for entry in entries:
+        heapq.heappush(arrival_heap, (entry[0], seq, entry))
+        seq += 1
+
+    queue: list[tuple[int, float, int, int, int, float, int]] = []
+    # (-prio, arrival, seq, tenant, rid, original, attempts)
+    first_arrival = entries[0][0] if entries else 0.0
+    free_at = 0.0
+    batch_running = hosted > 0
+    tokens = admission.burst if admission is not None else 0.0
+    token_time = 0.0
+    factors: list[float] = []  # active degrade factors (max applies)
+    op_i = 0
+    next_ckpt = ckpt_cadence_us if (ckpt_cadence_us > 0 and hosted > 0) else None
+    last_completion = 0.0
+
+    retry_max = admission.retry_max if admission is not None else 0
+    cap = (
+        max_steps
+        if max_steps is not None
+        else 64 * (n * (retry_max + 2) + len(ops) + 16)
+    )
+    steps = 0
+
+    def current_factor() -> float:
+        return max(factors) if factors else 1.0
+
+    def charge(start: float, cost: float) -> float:
+        """GPU busy [start, start+cost]; returns the new free_at."""
+        return start + cost
+
+    def refill(now: float) -> None:
+        nonlocal tokens, token_time
+        if admission is None:
+            return
+        tokens = min(
+            admission.burst, tokens + (now - token_time) * admission.rate_per_us
+        )
+        token_time = now
+
+    def shed_or_retry(now: float, entry: tuple, reason: str) -> None:
+        """Refused/dropped request: deterministic backoff retry or shed."""
+        nonlocal seq
+        _arrival, tenant_idx, rid, original, attempts = entry
+        attempts += 1
+        if admission is None or attempts > admission.retry_max:
+            result.shed.append((tenant_idx, rid, attempts))
+            if tracer is not None:
+                tracer.emit(
+                    _ns(now), EventKind.REQ_SHED, tenant_idx,
+                    tenant=tenants[tenant_idx].name, gpu=gpu,
+                    attempts=attempts, reason=reason,
+                )
+            return
+        delay = (
+            admission.retry_backoff_us
+            * admission.retry_factor ** (attempts - 1)
+            * (1.0 + _retry_jitter(seed, rid, attempts))
+        )
+        retry_at = round(now + delay, 3)
+        result.retries += 1
+        if tracer is not None:
+            tracer.emit(
+                _ns(now), EventKind.REQ_RETRY, tenant_idx,
+                tenant=tenants[tenant_idx].name, gpu=gpu,
+                attempt=attempts, delay_us=round(delay, 3),
+            )
+        heapq.heappush(
+            arrival_heap,
+            (retry_at, seq, (retry_at, tenant_idx, rid, original, attempts)),
+        )
+        seq += 1
+
+    def admit_until(deadline: float) -> None:
+        """Pull arrivals up to *deadline* through admission control."""
+        nonlocal tokens
+        bound = deadline
+        if crash_at is not None:
+            bound = min(bound, crash_at)
+        while arrival_heap and arrival_heap[0][0] <= bound:
+            if crash_at is not None and arrival_heap[0][0] >= crash_at:
+                break
+            now, sq, entry = heapq.heappop(arrival_heap)
+            _arrival, tenant_idx, rid, original, attempts = entry
+            tenant = tenants[tenant_idx]
+            if tracer is not None:
+                tracer.emit(
+                    _ns(now), EventKind.REQ_ARRIVE, tenant_idx,
+                    tenant=tenant.name, gpu=gpu,
+                )
+            if admission is not None:
+                refill(now)
+                if tokens < 1.0:
+                    shed_or_retry(now, entry, "tokens")
+                    continue
+                if (
+                    len(queue) >= admission.max_queue_depth
+                    and tenant.priority < admission.bypass_priority
+                ):
+                    shed_or_retry(now, entry, "depth")
+                    continue
+                tokens -= 1.0
+            heapq.heappush(
+                queue,
+                (-tenant.priority, now, sq, tenant_idx, rid, original, attempts),
+            )
+
+    def drop_queued(now: float, count: int) -> None:
+        """QUEUE_DROP: evict *count* queued requests, lowest priority
+        first (latest arrival first within a class), into the retry path."""
+        if not queue or count <= 0:
+            return
+        entries_now = sorted(queue)  # (-prio, arrival, seq, ...)
+        kept, dropped = entries_now[:-count], entries_now[-count:]
+        queue.clear()
+        for item in kept:
+            heapq.heappush(queue, item)
+        for item in reversed(dropped):
+            _np, arrival, _sq, tenant_idx, rid, original, attempts = item
+            result.dropped += 1
+            shed_or_retry(now, (arrival, tenant_idx, rid, original, attempts),
+                          "dropped")
+
+    def apply_housekeeping(now: float) -> None:
+        """Apply ops and cadence checkpoints whose time the clock reached."""
+        nonlocal op_i, free_at, batch_running, next_ckpt
+        while True:
+            op_time = ops[op_i][0] if op_i < len(ops) else None
+            ckpt_time = next_ckpt
+            candidates = [t for t in (op_time, ckpt_time) if t is not None]
+            if not candidates:
+                return
+            when = min(candidates)
+            if when > now or (crash_at is not None and when >= crash_at):
+                return
+            if ckpt_time is not None and ckpt_time == when and (
+                op_time is None or ckpt_time <= op_time
+            ):
+                # cadence checkpoint of the hosted batch job; free when
+                # the job sits evicted (its context is already saved)
+                hosted_now = result.hosted_end
+                if hosted_now > 0:
+                    result.checkpoints += 1
+                    result.last_ckpt_us = when
+                    cost = ckpt_snapshot_us if batch_running else 0.0
+                    if cost > 0.0:
+                        start = free_at if free_at > when else when
+                        free_at = charge(start, cost)
+                        result.checkpoint_us += cost
+                    else:
+                        result.free_checkpoints += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            _ns(when), EventKind.BATCH_CKPT, -1,
+                            gpu=gpu, cost_us=cost,
+                        )
+                next_ckpt = when + ckpt_cadence_us
+                admit_until(free_at)
+                continue
+            time_us, kind, value = ops[op_i]
+            op_i += 1
+            if kind == "stall":
+                start = free_at if free_at > time_us else time_us
+                free_at = charge(start, value)
+                result.stalls += 1
+                result.stall_us += value
+            elif kind == "drop":
+                drop_queued(time_us, int(value))
+            elif kind == "restore":
+                start = free_at if free_at > time_us else time_us
+                free_at = charge(start, value)
+                result.migration_us += value
+                result.restores_in += 1
+                result.hosted_end += 1
+                if result.hosted_end == 1:
+                    batch_running = True
+                if tracer is not None:
+                    tracer.emit(
+                        _ns(start), EventKind.FAILOVER_IN, -1,
+                        gpu=gpu, cost_us=value,
+                    )
+            elif kind == "out":
+                if result.hosted_end > 0:
+                    start = free_at if free_at > time_us else time_us
+                    free_at = charge(start, value)
+                    result.migration_us += value
+                    result.migrations_out += 1
+                    result.hosted_end -= 1
+                    if result.hosted_end == 0:
+                        batch_running = False
+                    if tracer is not None:
+                        tracer.emit(
+                            _ns(start), EventKind.MIGRATE_OUT, -1,
+                            gpu=gpu, cost_us=value,
+                        )
+            elif kind == "degrade_on":
+                factors.append(value)
+                if tracer is not None:
+                    tracer.emit(
+                        _ns(time_us), EventKind.GPU_DEGRADE, -1,
+                        gpu=gpu, factor=value,
+                    )
+            elif kind == "degrade_off":
+                if value in factors:
+                    factors.remove(value)
+            else:
+                raise ValueError(f"unknown resilience op kind {kind!r}")
+            admit_until(free_at)
+
+    def orphan_everything(now: float) -> None:
+        """Crash: queued + in-flight work becomes orphans, later arrivals
+        become redirects; both keep rid/original for re-queueing."""
+        # ops and cadence checkpoints that precede the crash happened,
+        # even if the clock never reached them — a migration that left
+        # the GPU before death completed, and the last checkpoint bounds
+        # the batch job's lost progress
+        apply_housekeeping(now)
+        # arrivals that landed before death were queued at the GPU even if
+        # the clock hadn't reached them yet — admit them so they orphan
+        admit_until(now)
+        for item in sorted(queue, key=lambda q: q[4]):  # rid order
+            _np, _arrival, _sq, tenant_idx, rid, original, attempts = item
+            result.orphans.append((rid, tenant_idx, original, attempts))
+        queue.clear()
+        while arrival_heap:
+            _t, _sq, entry = heapq.heappop(arrival_heap)
+            arrival, tenant_idx, rid, original, attempts = entry
+            result.redirects.append(
+                (arrival, tenant_idx, rid, original, attempts)
+            )
+        result.redirects.sort(key=lambda r: (r[0], r[2]))
+        result.crashed = True
+        if tracer is not None:
+            tracer.emit(_ns(now), EventKind.GPU_CRASH, -1, gpu=gpu)
+
+    admit_until(free_at)
+    while arrival_heap or queue:
+        steps += 1
+        if steps > cap:
+            head = min(queue) if queue else None
+            fleet = {
+                "gpu": gpu,
+                "queue_depth": len(queue),
+                "clock_us": round(free_at, 3),
+            }
+            if head is not None:
+                fleet["tenant"] = tenants[head[3]].name
+                fleet["request_id"] = head[4]
+            raise SimulationHangError(
+                f"serving shard exceeded {cap} scheduling steps "
+                f"(livelock?)",
+                fleet=fleet,
+            )
+        apply_housekeeping(free_at)
+        if crash_at is not None and free_at >= crash_at:
+            orphan_everything(crash_at)
+            break
+        if not queue:
+            if not batch_running and result.hosted_end > 0:
+                cost = costs.resume_us * current_factor()
+                result.overhead_us += cost
+                if tracer is not None:
+                    tracer.emit(
+                        _ns(free_at), EventKind.BATCH_RESUME, -1,
+                        gpu=gpu, cost_us=cost,
+                    )
+                free_at = charge(free_at, cost)
+                batch_running = True
+                admit_until(free_at)
+                continue
+            if not arrival_heap:
+                break
+            next_arrival = arrival_heap[0][0]
+            if crash_at is not None and next_arrival >= crash_at:
+                orphan_everything(crash_at)
+                break
+            pending: list[float] = []
+            if op_i < len(ops):
+                pending.append(ops[op_i][0])
+            if next_ckpt is not None:
+                pending.append(next_ckpt)
+            ahead = min(pending) if pending else None
+            if ahead is not None and ahead < next_arrival and (
+                crash_at is None or ahead < crash_at
+            ):
+                free_at = free_at if free_at > ahead else ahead
+                apply_housekeeping(free_at)
+                continue
+            free_at = free_at if free_at > next_arrival else next_arrival
+            admit_until(free_at)
+            continue
+        _np, arrival_us, _sq, tenant_idx, rid, original, attempts = heapq.heappop(
+            queue
+        )
+        tenant = tenants[tenant_idx]
+        # ops between the current clock and this request's start apply
+        # first (a stall can push the start past further ops)
+        while True:
+            start = free_at if free_at > arrival_us else arrival_us
+            pending = []
+            if op_i < len(ops):
+                pending.append(ops[op_i][0])
+            if next_ckpt is not None:
+                pending.append(next_ckpt)
+            ahead = min(pending) if pending else None
+            if ahead is None or ahead > start or (
+                crash_at is not None and ahead >= crash_at
+            ):
+                break
+            apply_housekeeping(start)
+        if crash_at is not None and start >= crash_at:
+            result.orphans.append((rid, tenant_idx, original, attempts))
+            result.orphans.sort(key=lambda o: o[0])
+            orphan_everything(crash_at)
+            break
+        if batch_running:
+            result.episodes += 1
+            cost = costs.preempt_us * current_factor()
+            result.overhead_us += cost
+            if tracer is not None:
+                tracer.emit(
+                    _ns(start), EventKind.BATCH_PREEMPT, -1,
+                    gpu=gpu, cost_us=cost,
+                )
+            start = charge(start, cost)
+            batch_running = False
+        if crash_at is not None and start >= crash_at:
+            result.orphans.append((rid, tenant_idx, original, attempts))
+            result.orphans.sort(key=lambda o: o[0])
+            orphan_everything(crash_at)
+            break
+        service = tenant.service_us * current_factor()
+        finish = start + service
+        if crash_at is not None and finish > crash_at:
+            # killed in flight: the slot burned the GPU until the crash
+            result.orphans.append((rid, tenant_idx, original, attempts))
+            result.orphans.sort(key=lambda o: o[0])
+            free_at = crash_at
+            orphan_everything(crash_at)
+            break
+        if tracer is not None:
+            tracer.emit(
+                _ns(start), EventKind.REQ_START, tenant_idx,
+                tenant=tenant.name, gpu=gpu, wait_us=start - original,
+            )
+        result.service_us += service
+        result.latencies.append((tenant_idx, finish - original, rid))
+        last_completion = finish
+        if tracer is not None:
+            tracer.emit(
+                _ns(finish), EventKind.REQ_DONE, tenant_idx,
+                tenant=tenant.name, gpu=gpu, latency_us=finish - original,
+            )
+        free_at = finish
+        admit_until(free_at)
+
+    if not result.crashed:
+        # cadence checkpoints (and ops) the clock already passed fire
+        # before the batch job resumes — they happened while it sat
+        # evicted, so they are free
+        apply_housekeeping(free_at)
+        # the queue drained: the batch job takes the GPU back before the
+        # quiet tail (trailing ops, cadence checkpoints) runs
+        if not batch_running and result.hosted_end > 0:
+            cost = costs.resume_us * current_factor()
+            result.overhead_us += cost
+            if tracer is not None:
+                tracer.emit(
+                    _ns(free_at), EventKind.BATCH_RESUME, -1,
+                    gpu=gpu, cost_us=cost,
+                )
+            free_at = charge(free_at, cost)
+            batch_running = True
+        # trailing ops (e.g. a failover restore landing after the last
+        # local request) still apply so the batch-job ledger balances;
+        # they charge overhead but never extend the request makespan
+        while op_i < len(ops) and (
+            crash_at is None or ops[op_i][0] < crash_at
+        ):
+            apply_housekeeping(ops[op_i][0])
+        if crash_at is not None:
+            # every local request finished before the GPU died, but the
+            # crash still fires: cadence checkpoints on the quiet tail
+            # keep running up to the crash (they bound the batch job's
+            # lost progress), then the GPU is gone
+            while (
+                next_ckpt is not None
+                and next_ckpt < crash_at
+                and result.hosted_end > 0
+            ):
+                apply_housekeeping(next_ckpt)
+            result.crashed = True
+            if tracer is not None:
+                tracer.emit(_ns(crash_at), EventKind.GPU_CRASH, -1, gpu=gpu)
+    if result.latencies:
+        result.makespan_us = max(last_completion - first_arrival, 0.0)
+    return result
+
+# -- stage 2: the fleet failover planner ------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One batch-job move the fault model forced.
+
+    *kind* is ``failover`` (crash → restore from the last checkpoint on a
+    survivor), ``watchdog`` (observed-load migration off a degraded GPU),
+    or ``rerouted`` (the failover target itself died before the restore
+    applied; the snapshot re-transfers to another survivor — the job is
+    never executed twice).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    at_us: float
+    #: batch progress rolled back to the last checkpoint (µs; 0 for
+    #: watchdog moves and reroutes — their snapshot is current)
+    lost_progress_us: float
+    #: end-to-end recovery latency: detection + transfer + restore +
+    #: lost progress (µs)
+    recovery_us: float
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "at_us": self.at_us,
+            "lost_progress_us": self.lost_progress_us,
+            "recovery_us": self.recovery_us,
+        }
+
+
+@dataclass
+class ResiliencePlan:
+    """Per-GPU execution inputs derived from one fleet fault schedule.
+
+    Pure data: the per-GPU request streams (with crash re-queues
+    applied), op streams, crash cutoffs, the batch-job ledger's final
+    hosting counts, and the failover records.  Each GPU's entry is a
+    self-contained input to :func:`simulate_resilient_shard`, so the
+    fan-out stays embarrassingly parallel and cacheable even though
+    failures couple the GPUs.
+    """
+
+    streams: list[tuple]
+    ops: list[tuple]
+    crash_at: list[float | None]
+    hosted: list[int]
+    failovers: list[FailoverRecord]
+
+
+def plan_resilience(
+    shards,
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+    schedule: tuple[FleetEvent, ...],
+    mig,
+    *,
+    knobs: ResilienceKnobs | None = None,
+    admission: AdmissionPolicy | None = None,
+    seed: int = 0,
+) -> ResiliencePlan:
+    """Turn a fleet fault schedule into independent per-GPU inputs.
+
+    Failures couple GPUs — a crash re-queues work and restores a batch
+    job elsewhere — but everything cross-GPU is resolved *here*, in the
+    parent, as a pure function of the shards + schedule: events are
+    processed chronologically, and each ``gpu_crash`` runs a phase-1
+    simulation of the dying GPU (same code, same seed as the final run,
+    so the outcome is identical) to learn exactly which requests died
+    with it and where its batch job's last checkpoint was.  The final
+    per-GPU units then run (or hit the cache) with no knowledge of each
+    other.
+
+    The batch-job ledger lives here too: ``hosted`` tracks every job
+    across watchdog migrations, failovers and reroutes, so a job is
+    restored exactly once no matter how failures interleave with
+    migrations — a crash of the *source* after its snapshot left means
+    the restore proceeds on the target; a crash of the *target* before
+    the restore applied re-routes the existing snapshot to another
+    survivor.
+    """
+    if knobs is None:
+        knobs = ResilienceKnobs()
+    if admission is None:
+        admission = DEFAULT_ADMISSION
+    gpus = len(shards)
+    streams: list[list[tuple]] = []
+    for g, shard in enumerate(shards):
+        streams.append(
+            [
+                (float(a), int(t), j * gpus + g, float(a), 0)
+                for j, (a, t) in enumerate(shard)
+            ]
+        )
+    ops: list[list[tuple]] = [[] for _ in range(gpus)]
+    crash_at: list[float | None] = [None] * gpus
+    hosted = [1] * gpus
+    failovers: list[FailoverRecord] = []
+    alive = set(range(gpus))
+
+    def planned_load(g: int) -> float:
+        return sum(tenants[t].service_us for _a, t, _r, _o, _at in streams[g])
+
+    def pick_dst(exclude: set[int]) -> int | None:
+        candidates = sorted(g for g in alive if g not in exclude)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda g: (planned_load(g), g))
+
+    for event in schedule:
+        g = event.gpu
+        if g not in alive:
+            continue  # the target already died; the fault has nothing to hit
+        if event.kind == "shard_stall":
+            ops[g].append((event.time_us, "stall", event.duration_us))
+        elif event.kind == "queue_drop":
+            ops[g].append((event.time_us, "drop", float(event.count)))
+        elif event.kind == "gpu_degrade":
+            ops[g].append((event.time_us, "degrade_on", event.factor))
+            if event.duration_us > 0:
+                ops[g].append(
+                    (
+                        round(event.time_us + event.duration_us, 3),
+                        "degrade_off",
+                        event.factor,
+                    )
+                )
+            else:
+                # a persistent degrade: the health watchdog notices at its
+                # first sampling tick strictly after onset and migrates the
+                # batch job to a healthy GPU (the snapshot runs slowed by
+                # the degrade factor; requests stay — hardware is sick, but
+                # the long-running job escapes)
+                tick = (
+                    int(event.time_us / knobs.watchdog_us) + 1
+                ) * knobs.watchdog_us
+                dst = pick_dst({g})
+                if dst is not None and hosted[g] > 0:
+                    out_t = round(tick, 3)
+                    snap_cost = round(mig.snapshot_us * event.factor, 3)
+                    ops[g].append((out_t, "out", snap_cost))
+                    in_t = round(out_t + snap_cost + mig.transfer_us, 3)
+                    ops[dst].append((in_t, "restore", mig.restore_us))
+                    hosted[g] -= 1
+                    hosted[dst] += 1
+                    failovers.append(
+                        FailoverRecord(
+                            "watchdog", g, dst, out_t, 0.0,
+                            round(
+                                snap_cost + mig.transfer_us + mig.restore_us,
+                                3,
+                            ),
+                        )
+                    )
+        elif event.kind == "gpu_crash":
+            t = event.time_us
+            crash_at[g] = t
+            alive.discard(g)
+            # 1. restores routed at this GPU but not yet applied re-route:
+            #    the snapshot exists off-GPU, so only the transfer re-runs —
+            #    the job completes exactly once, on the new target
+            kept: list[tuple] = []
+            for op in ops[g]:
+                if op[1] == "restore" and op[0] >= t:
+                    dst = pick_dst(set())
+                    re_t = round(t + knobs.detect_us + mig.transfer_us, 3)
+                    ops[dst].append((max(op[0], re_t), "restore", mig.restore_us))
+                    hosted[g] -= 1
+                    hosted[dst] += 1
+                    failovers.append(
+                        FailoverRecord(
+                            "rerouted", g, dst, t, 0.0,
+                            round(
+                                knobs.detect_us + mig.transfer_us
+                                + mig.restore_us,
+                                3,
+                            ),
+                        )
+                    )
+                else:
+                    kept.append(op)
+            ops[g] = kept
+            # 2. phase-1 probe of the dying GPU: which requests died with
+            #    it, and where was the batch job's last cadence checkpoint
+            streams[g].sort(key=lambda e: (e[0], e[2]))
+            ops[g].sort()
+            probe = simulate_resilient_shard(
+                tuple(streams[g]), tenants, costs, gpu=g,
+                admission=admission, crash_at=t, ops=tuple(ops[g]),
+                ckpt_cadence_us=knobs.ckpt_cadence_us,
+                ckpt_snapshot_us=mig.snapshot_us, seed=seed,
+            )
+            # 3. failover: every batch job hosted at death restores from
+            #    its last checkpoint onto the least-loaded survivor; the
+            #    progress since that checkpoint is lost and charged into
+            #    the recovery latency
+            lost = round(max(t - probe.last_ckpt_us, 0.0), 3)
+            for _ in range(hosted[g]):
+                dst = pick_dst(set())
+                in_t = round(t + knobs.detect_us + mig.transfer_us, 3)
+                ops[dst].append((in_t, "restore", mig.restore_us))
+                hosted[dst] += 1
+                failovers.append(
+                    FailoverRecord(
+                        "failover", g, dst, t, lost,
+                        round(
+                            knobs.detect_us + mig.transfer_us
+                            + mig.restore_us + lost,
+                            3,
+                        ),
+                    )
+                )
+            hosted[g] = 0
+            # 4. re-queue the dead GPU's unserved requests onto the
+            #    survivors (round-robin by request id): queued/in-flight
+            #    work restarts after crash detection, later arrivals
+            #    redirect on landing — either way latency keeps counting
+            #    from the ORIGINAL arrival, so the report pays the full
+            #    recovery delay
+            requeue = [
+                (round(t + knobs.detect_us, 3), tn, rid, orig, att)
+                for rid, tn, orig, att in probe.orphans
+            ] + [
+                (round(max(a, t + knobs.detect_us), 3), tn, rid, orig, att)
+                for a, tn, rid, orig, att in probe.redirects
+            ]
+            requeue.sort(key=lambda r: (r[0], r[2]))
+            survivors = sorted(alive)
+            for entry in requeue:
+                streams[survivors[entry[2] % len(survivors)]].append(entry)
+        else:
+            raise ValueError(f"unknown fleet event kind {event.kind!r}")
+
+    for g in range(gpus):
+        streams[g].sort(key=lambda e: (e[0], e[2]))
+        ops[g].sort()
+    return ResiliencePlan(
+        streams=[tuple(s) for s in streams],
+        ops=[tuple(o) for o in ops],
+        crash_at=crash_at,
+        hosted=hosted,
+        failovers=failovers,
+    )
+
+
+# -- stage 3: cached shard execution ----------------------------------------------
+
+
+def resilient_shard_profile(
+    requests: tuple,
+    tenants: tuple[Tenant, ...],
+    costs: MechanismCosts,
+    gpu: int,
+    *,
+    ops: tuple = (),
+    crash_at: float | None = None,
+    admission: AdmissionPolicy | None = None,
+    ckpt_cadence_us: float = 0.0,
+    ckpt_snapshot_us: float = 0.0,
+    seed: int = 0,
+) -> dict:
+    """Cached resilient-scheduler run (artifact kind ``serve_chaos``).
+
+    Keyed on the full shard content plus every fault input — ops, crash
+    cutoff, admission policy, checkpoint cadence, seed — and
+    :data:`RESILIENCE_VERSION`, so identical shards hit the cache across
+    ``--jobs`` values and sessions while any semantic change re-runs.
+    """
+    from ..analysis.cache import canonical, get_cache
+
+    parts = {
+        "requests": canonical(requests),
+        "tenants": canonical(tenants),
+        "costs": canonical(costs),
+        "ops": canonical(ops),
+        "crash_at": crash_at,
+        "admission": canonical(admission) if admission is not None else None,
+        "ckpt_cadence_us": ckpt_cadence_us,
+        "ckpt_snapshot_us": ckpt_snapshot_us,
+        "seed": seed,
+        "resilience_version": RESILIENCE_VERSION,
+    }
+
+    def run() -> dict:
+        result = simulate_resilient_shard(
+            requests, tenants, costs, gpu=gpu,
+            admission=admission, crash_at=crash_at, ops=ops,
+            ckpt_cadence_us=ckpt_cadence_us,
+            ckpt_snapshot_us=ckpt_snapshot_us, seed=seed,
+        )
+        return result.as_dict()
+
+    return get_cache().get_or_create("serve_chaos", parts, run)
+
+
+# -- stage 4: the chaos-serve pipeline --------------------------------------------
+
+
+def run_serve_chaos(
+    mechanisms: tuple[str, ...] | None = None,
+    *,
+    scenario: str | FaultPlan = "crash",
+    trace=None,
+    loads: tuple[float, ...] = (0.8,),
+    requests: int = 100_000,
+    gpus: int = 4,
+    tenants=None,
+    key: str | None = None,
+    config=None,
+    iterations: int | None = None,
+    samples: int = 2,
+    resume_gap: int = 2000,
+    engine=None,
+    knobs: ResilienceKnobs | None = None,
+    admission: AdmissionPolicy | None = None,
+    link_bytes_per_us: float | None = None,
+) -> dict:
+    """Serve the fleet under a seeded fleet fault scenario.
+
+    The clean-path twin of :func:`repro.serve.fleet.run_serve`: same
+    calibration, same asyncio sharding, same engine fan-out — plus the
+    fault schedule, the failover planner, and the resilient per-GPU
+    scheduler.  Failover costs per mechanism come from its real
+    :mod:`repro.snap` snapshot size, so CTXBack's smaller contexts show
+    up directly as cheaper checkpoints and faster recovery.  The report
+    gains availability, shed/retry counts and recovery-latency
+    percentiles per cell, a ``chaos`` section with the resolved
+    schedule, and the chaos-serve oracle's verdict — all bit-identical
+    across ``--jobs``, execution cores and hosts.
+    """
+    from ..analysis.engine import ExperimentEngine, ServeChaosUnit
+    from ..sim.config import GPUConfig
+    from ..snap.units import snap_profile_for
+    from .arrivals import TraceSpec
+    from .fleet import (
+        DEFAULT_BATCH_KEY,
+        SERVE_MECHANISMS,
+        mechanism_costs,
+        shard_arrivals,
+    )
+    from .migration import (
+        DEFAULT_LINK_BYTES_PER_US,
+        migration_costs_for,
+    )
+    from .report import summarize_chaos_cell
+    from .tenants import DEFAULT_TENANTS, mean_service_us
+
+    if mechanisms is None:
+        mechanisms = SERVE_MECHANISMS
+    if trace is None:
+        trace = TraceSpec()
+    if tenants is None:
+        tenants = DEFAULT_TENANTS
+    if key is None:
+        key = DEFAULT_BATCH_KEY
+    if config is None:
+        config = GPUConfig.radeon_vii()
+    if engine is None:
+        engine = ExperimentEngine(jobs=1)
+    if knobs is None:
+        knobs = ResilienceKnobs()
+    if admission is None:
+        admission = DEFAULT_ADMISSION
+    if link_bytes_per_us is None:
+        link_bytes_per_us = DEFAULT_LINK_BYTES_PER_US
+    plan = (
+        fleet_scenario(scenario) if isinstance(scenario, str) else scenario
+    )
+
+    costs = mechanism_costs(
+        mechanisms, key, config,
+        iterations=iterations, samples=samples, resume_gap=resume_gap,
+        engine=engine,
+    )
+
+    # failover cost model: the mechanism's REAL snapshot round-trip (the
+    # same cached artifact the migration and snap layers use); its verdict
+    # doubles as the oracle's digest check — a restored job's memory and
+    # registers are bit-identical to the clean run
+    snapshot_bytes: dict[str, int] = {}
+    mig_costs: dict = {}
+    snap_ok: dict[str, bool] = {}
+    for mechanism in mechanisms:
+        profile = snap_profile_for(
+            key, mechanism, config,
+            iterations=iterations, resume_gap=resume_gap,
+        )
+        snap_ok[mechanism] = bool(
+            profile.get("ok")
+            and profile.get("memory_ok")
+            and profile.get("registers_ok")
+        )
+        snapshot_bytes[mechanism] = profile["snapshot_bytes"]
+        mig_costs[mechanism] = migration_costs_for(
+            profile["snapshot_bytes"], config,
+            link_bytes_per_us=link_bytes_per_us,
+        )
+
+    service_mean = mean_service_us(tenants)
+    shards_by_load: dict[float, list] = {}
+    schedule_by_load: dict[float, tuple[FleetEvent, ...]] = {}
+    for load in loads:
+        rate = load * gpus / service_mean
+        shards = shard_arrivals(trace, requests, rate, tenants, gpus)
+        shards_by_load[load] = shards
+        horizon = max(
+            (shard[-1][0] for shard in shards if shard), default=0.0
+        )
+        schedule_by_load[load] = build_fleet_schedule(plan, gpus, horizon)
+
+    units: list = []
+    cells: list[tuple[str, float]] = []
+    plans: dict[tuple[str, float], ResiliencePlan] = {}
+    for mechanism in mechanisms:
+        for load in loads:
+            cells.append((mechanism, load))
+            rplan = plan_resilience(
+                shards_by_load[load], tuple(tenants), costs[mechanism],
+                schedule_by_load[load], mig_costs[mechanism],
+                knobs=knobs, admission=admission, seed=plan.seed,
+            )
+            plans[(mechanism, load)] = rplan
+            for gpu in range(gpus):
+                units.append(
+                    ServeChaosUnit(
+                        mechanism=mechanism,
+                        load=load,
+                        gpu=gpu,
+                        requests=rplan.streams[gpu],
+                        tenants=tuple(tenants),
+                        preempt_us=costs[mechanism].preempt_us,
+                        resume_us=costs[mechanism].resume_us,
+                        ops=rplan.ops[gpu],
+                        crash_at_us=(
+                            rplan.crash_at[gpu]
+                            if rplan.crash_at[gpu] is not None
+                            else -1.0
+                        ),
+                        admission=admission.as_tuple(),
+                        ckpt_cadence_us=knobs.ckpt_cadence_us,
+                        ckpt_snapshot_us=mig_costs[mechanism].snapshot_us,
+                        seed=plan.seed,
+                    )
+                )
+    merged = iter(engine.map(units))
+
+    results = []
+    oracle_cells = []
+    for mechanism, load in cells:
+        shard_dicts = []
+        for _ in range(gpus):
+            profile = next(merged)
+            if isinstance(profile, dict):
+                shard_dicts.append(profile)
+        rplan = plans[(mechanism, load)]
+        failover_dicts = [f.as_dict() for f in rplan.failovers]
+        results.append(
+            summarize_chaos_cell(
+                mechanism, load, shard_dicts, tenants, costs[mechanism],
+                failovers=failover_dicts,
+            )
+        )
+        oracle_cells.append(
+            _oracle_cell(
+                mechanism, load, rplan, shard_dicts,
+                schedule_by_load[load], snap_ok[mechanism], gpus,
+            )
+        )
+
+    oracle = {
+        "ok": all(cell["ok"] for cell in oracle_cells),
+        "cells": oracle_cells,
+    }
+    return {
+        "chaos": {
+            "scenario": plan.name,
+            "seed": plan.seed,
+            "knobs": {
+                "detect_us": knobs.detect_us,
+                "watchdog_us": knobs.watchdog_us,
+                "ckpt_cadence_us": knobs.ckpt_cadence_us,
+            },
+            "admission": {
+                "rate_per_us": admission.rate_per_us,
+                "burst": admission.burst,
+                "max_queue_depth": admission.max_queue_depth,
+                "bypass_priority": admission.bypass_priority,
+                "retry_backoff_us": admission.retry_backoff_us,
+                "retry_factor": admission.retry_factor,
+                "retry_max": admission.retry_max,
+            },
+            "schedule": {
+                f"{load:g}": [e.as_dict() for e in schedule_by_load[load]]
+                for load in loads
+            },
+            "snapshot_bytes": dict(sorted(snapshot_bytes.items())),
+            "costs_us": {
+                name: {
+                    "snapshot_us": c.snapshot_us,
+                    "transfer_us": c.transfer_us,
+                    "restore_us": c.restore_us,
+                }
+                for name, c in sorted(mig_costs.items())
+            },
+        },
+        "oracle": oracle,
+        "trace": {
+            "kind": trace.kind,
+            "seed": trace.seed,
+            "burst_factor": trace.burst_factor,
+            "burst_fraction": trace.burst_fraction,
+            "dwell_us": trace.dwell_us,
+        },
+        "requests_per_cell": requests,
+        "gpus": gpus,
+        "batch_kernel": key,
+        "tenants": [
+            {
+                "name": t.name,
+                "priority": t.priority,
+                "service_us": t.service_us,
+                "slo_us": t.slo_us,
+                "weight": t.weight,
+            }
+            for t in tenants
+        ],
+        "costs": {
+            name: {
+                "preempt_us": round(c.preempt_us, 3),
+                "resume_us": round(c.resume_us, 3),
+            }
+            for name, c in costs.items()
+        },
+        "results": results,
+    }
+
+
+# -- the chaos-serve oracle -------------------------------------------------------
+
+
+def _oracle_cell(
+    mechanism: str,
+    load: float,
+    rplan: ResiliencePlan,
+    shard_dicts: list[dict],
+    schedule: tuple[FleetEvent, ...],
+    snap_ok: bool,
+    gpus: int,
+) -> dict:
+    """Audit one (mechanism, load) cell of a chaos-serve run."""
+    violations: list[str] = []
+
+    # request conservation: every request id completes or is shed exactly
+    # once across the whole fleet — crash re-queues must neither lose nor
+    # duplicate work
+    all_rids: set[int] = set()
+    for stream in rplan.streams:
+        for entry in stream:
+            all_rids.add(entry[2])
+    completed: list[int] = []
+    shed: list[int] = []
+    for shard in shard_dicts:
+        completed.extend(rid for _t, _lat, rid in shard["latencies"])
+        shed.extend(rid for _t, rid, _a in shard["shed"])
+    seen: set[int] = set()
+    for rid in completed + shed:
+        if rid in seen:
+            violations.append(f"request {rid} accounted twice")
+        seen.add(rid)
+    missing = all_rids - seen
+    if missing:
+        violations.append(
+            f"{len(missing)} requests lost (neither completed nor shed), "
+            f"e.g. {sorted(missing)[:5]}"
+        )
+    extra = seen - all_rids
+    if extra:
+        violations.append(f"unknown request ids {sorted(extra)[:5]}")
+
+    # crash accounting: every injected crash fired in its shard and has a
+    # matching failover (or the GPU verifiably hosted nothing to fail over)
+    crashes = [e for e in schedule if e.kind == "gpu_crash"]
+    for event in crashes:
+        g = event.gpu
+        if rplan.crash_at[g] is None:
+            violations.append(f"crash on gpu {g} missing from the plan")
+            continue
+        if g < len(shard_dicts) and not shard_dicts[g].get("crashed"):
+            violations.append(f"gpu {g} did not observe its crash")
+        moved = [
+            f for f in rplan.failovers
+            if f.src == g and f.kind in ("failover", "rerouted")
+        ]
+        hosted_at_death = (
+            shard_dicts[g]["hosted_end"] if g < len(shard_dicts) else 0
+        )
+        if hosted_at_death > 0 and not moved:
+            violations.append(
+                f"gpu {g} died hosting {hosted_at_death} job(s) with no "
+                f"failover"
+            )
+
+    # batch-job ledger: the fleet started with one job per GPU; after all
+    # moves the survivors must host exactly that many — a lost job or a
+    # double-executed restore both break the sum
+    alive_hosted = sum(
+        shard_dicts[g]["hosted_end"]
+        for g in range(min(gpus, len(shard_dicts)))
+        if rplan.crash_at[g] is None
+    )
+    if len(shard_dicts) == gpus and alive_hosted != gpus:
+        violations.append(
+            f"batch-job ledger unbalanced: {alive_hosted} hosted across "
+            f"survivors, expected {gpus}"
+        )
+    if rplan.hosted != [
+        shard_dicts[g]["hosted_end"] if rplan.crash_at[g] is None else 0
+        for g in range(min(gpus, len(shard_dicts)))
+    ]:
+        violations.append("planner ledger disagrees with simulated hosting")
+
+    # snapshot integrity: the failover path restores from a repro.snap
+    # image whose round-trip must be digest-clean (terminal memory and
+    # registers bit-identical to the clean run)
+    if not snap_ok:
+        violations.append(
+            f"snapshot round-trip for {mechanism!r} is not digest-clean"
+        )
+
+    return {
+        "mechanism": mechanism,
+        "load": load,
+        "ok": not violations,
+        "requests": len(all_rids),
+        "completed": len(completed),
+        "shed": len(shed),
+        "crashes": len(crashes),
+        "failovers": len(
+            [f for f in rplan.failovers if f.kind == "failover"]
+        ),
+        "violations": violations,
+    }
+
+
+def chaos_oracle(report: dict) -> dict:
+    """The oracle section of a chaos-serve report (for external callers)."""
+    return report["oracle"]

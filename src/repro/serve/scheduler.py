@@ -40,6 +40,79 @@ class MechanismCosts:
     resume_us: float
 
 
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Token-bucket / queue-depth admission control for one GPU's shard.
+
+    A request needs one token at arrival (the bucket refills at
+    *rate_per_us*, capped at *burst*) and a queue slot (depth below
+    *max_queue_depth*; tenants at or above *bypass_priority* skip the
+    depth cap — the per-tenant-priority part of the policy).  A refused
+    request retries after a deterministic exponential backoff —
+    *retry_backoff_us* doubled per attempt by *retry_factor*, plus a
+    jitter fraction derived from the shard seed and the request id (never
+    wall clock) — and is **shed** once *retry_max* retries are spent.
+    Everything is a pure function of the policy + shard content, so
+    refusals, retries and sheds are bit-identical across ``--jobs``,
+    execution cores and hosts.
+    """
+
+    #: token refill rate (tokens per µs of serving-clock time)
+    rate_per_us: float = 0.05
+    #: bucket capacity (burst tolerance, tokens)
+    burst: float = 16.0
+    #: queued requests beyond which new arrivals are refused
+    max_queue_depth: int = 64
+    #: tenants at/above this priority skip the queue-depth cap
+    bypass_priority: int = 3
+    #: base backoff before the first retry (µs)
+    retry_backoff_us: float = 200.0
+    #: backoff multiplier per additional attempt
+    retry_factor: float = 2.0
+    #: retries before a refused request is shed for good
+    retry_max: int = 3
+
+    def __post_init__(self) -> None:
+        if self.rate_per_us <= 0:
+            raise ValueError("rate_per_us must be > 0")
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.retry_backoff_us <= 0:
+            raise ValueError("retry_backoff_us must be > 0")
+        if self.retry_factor < 1.0:
+            raise ValueError("retry_factor must be >= 1")
+        if self.retry_max < 0:
+            raise ValueError("retry_max must be >= 0")
+
+    def as_tuple(self) -> tuple:
+        """Flat scalar form (work units carry this so the engine module
+        does not import the serve layer at module scope)."""
+        return (
+            self.rate_per_us,
+            self.burst,
+            self.max_queue_depth,
+            self.bypass_priority,
+            self.retry_backoff_us,
+            self.retry_factor,
+            self.retry_max,
+        )
+
+    @staticmethod
+    def from_tuple(values: tuple) -> "AdmissionPolicy":
+        rate, burst, depth, bypass, backoff, factor, retry_max = values
+        return AdmissionPolicy(
+            rate_per_us=rate,
+            burst=burst,
+            max_queue_depth=int(depth),
+            bypass_priority=int(bypass),
+            retry_backoff_us=backoff,
+            retry_factor=factor,
+            retry_max=int(retry_max),
+        )
+
+
 @dataclass
 class ShardResult:
     """One GPU's serving outcome over its request shard."""

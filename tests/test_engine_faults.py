@@ -278,3 +278,78 @@ def test_faulted_parallel_sweep_matches_clean_serial_run(
     assert invalidations >= 1  # the bit flip was caught and healed
     assert engine.report.failures == 0
     _record(engine)
+
+
+# -- deterministic retry backoff --------------------------------------------------
+
+
+def test_retry_backoff_jitter_derives_from_unit_content_not_wall_clock():
+    """Regression: the pool's retry backoff once jittered off the clock,
+    which broke run-to-run reproducibility of engine timing decisions.
+    The delay must be a pure function of (base, attempt, unit keys)."""
+    from repro.analysis.engine import retry_delay
+
+    keys = ["aaaa", "bbbb", "cccc"]
+    first = retry_delay(0.1, 2, keys)
+    time.sleep(0.05)  # a clock-derived jitter would drift across calls
+    assert retry_delay(0.1, 2, keys) == first
+    # order-insensitive over the retried wave, sensitive to its content
+    assert retry_delay(0.1, 2, ["cccc", "aaaa", "bbbb"]) == first
+    assert retry_delay(0.1, 2, ["dddd"]) != first
+    # exponential envelope: base*2^(attempt-1) plus at most 50% jitter
+    assert 0.2 <= first <= 0.3
+    assert retry_delay(0.1, 3, keys) == pytest.approx(2 * first)
+    # the historical 2 s cap survives the jitter
+    assert retry_delay(1.5, 4, keys) == 2.0
+
+
+# -- chaos sweep crash-resume, twinned across execution cores ---------------------
+
+
+def _chaos_units(core: str):
+    import dataclasses
+
+    from repro.faults.chaos import ChaosUnit
+    from repro.sim import GPUConfig
+
+    config = dataclasses.replace(GPUConfig.small(4), core=core)
+    return [
+        ChaosUnit("mm", mechanism, "ctx-bitflip", seed=3, config=config,
+                  iterations=4)
+        for mechanism in ("ckpt", "ctxback")
+    ]
+
+
+def test_chaos_checkpoint_crash_resume_twins_across_cores(
+    tmp_path_factory, monkeypatch
+):
+    """``repro chaos --checkpoint`` under a seeded worker kill: the sweep
+    survives the crash via retries, a resume replays nothing, and the
+    verdicts are identical whether the fast or the reference core ran."""
+    verdicts = {}
+    for core in ("fast", "reference"):
+        root = tmp_path_factory.mktemp(f"chaos-{core}")
+        ckpt = root / "sweep.rsnp"
+        units = _chaos_units(core)
+
+        # run 1: the seeded kill point SIGKILLs a pool worker mid-sweep
+        monkeypatch.setenv(FAULT_KILL_ENV, str(root / "kill-marker"))
+        first = _engine(jobs=2)
+        with cache_at(root / "cache"):
+            results = first.map(units, checkpoint=ckpt)
+        monkeypatch.delenv(FAULT_KILL_ENV)
+        assert first.report.crashes >= 1  # the kill landed
+        assert first.report.failures == 0
+        assert all(r["ok"] for r in results)
+
+        # run 2: resume from the checkpoint — nothing re-executes
+        resumed = _engine(jobs=2)
+        with cache_at(root / "cache"):
+            assert resumed.map(units, checkpoint=ckpt) == results
+        assert resumed.report.checkpoint_hits == len(units)
+        _record(first)
+        verdicts[core] = results
+
+    # config content differs per core, so neither leg reused the other's
+    # cache — byte-equality here is a genuine twin-core check
+    assert verdicts["fast"] == verdicts["reference"]

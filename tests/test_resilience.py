@@ -1,0 +1,434 @@
+"""Fleet fault model: injection, failover, admission, oracle, determinism.
+
+Four pillars:
+
+1. **Seeded injection** — the fleet schedule is a pure function of the
+   plan seed; crashes never kill the last survivor; fleet kinds are
+   refused by the cycle-level injector and vice versa.
+2. **Hand-checkable resilience accounting** — crash orphaning, degrade
+   slowdown, stalls, queue drops, cadence checkpoints, and the
+   token-bucket/retry/shed path are pinned on scenarios small enough to
+   verify on paper.
+3. **Failover correctness** — the batch-job ledger conserves jobs across
+   crash/migration interleavings (completes on target or re-queues,
+   never double-executes), and recovery cost scales with the snapshot
+   size (CTXBack's smaller contexts ⇒ cheaper cadence ⇒ faster
+   failover).
+4. **Determinism** — a chaos-serve report is bit-identical across engine
+   worker counts and across both execution cores, and its oracle passes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    SimulationHangError,
+    fleet_scenario,
+    fleet_scenario_names,
+)
+from repro.serve import (
+    DEFAULT_TENANTS,
+    AdmissionPolicy,
+    FleetEvent,
+    MechanismCosts,
+    MigrationCosts,
+    ResilienceKnobs,
+    TraceSpec,
+    build_fleet_schedule,
+    plan_resilience,
+    render_serve_json,
+    run_serve_chaos,
+    simulate_resilient_shard,
+    simulate_shard,
+)
+from repro.analysis import ExperimentEngine
+from repro.sim import GPUConfig
+
+ONLY = (
+    dataclasses.replace(DEFAULT_TENANTS[0], name="only", priority=1,
+                        service_us=100.0, slo_us=120.0, weight=1.0),
+)
+FREE = MechanismCosts("x", preempt_us=0.0, resume_us=0.0)
+COSTS = MechanismCosts("x", preempt_us=10.0, resume_us=6.0)
+MIG = MigrationCosts(snapshot_us=40.0, transfer_us=100.0, restore_us=20.0)
+
+
+def _shard(*arrivals):
+    return tuple((t, 0) for t in arrivals)
+
+
+class TestFleetSchedule:
+    def test_seeded_determinism(self):
+        plan = fleet_scenario("mixed", seed=11)
+        a = build_fleet_schedule(plan, 4, 50_000.0)
+        b = build_fleet_schedule(plan, 4, 50_000.0)
+        assert a == b
+        assert a != build_fleet_schedule(
+            fleet_scenario("mixed", seed=12), 4, 50_000.0
+        )
+
+    def test_schedule_is_time_sorted_and_bounded(self):
+        for name in fleet_scenario_names():
+            events = build_fleet_schedule(
+                fleet_scenario(name, seed=3), 4, 30_000.0
+            )
+            times = [e.time_us for e in events]
+            assert times == sorted(times)
+            assert all(0.0 <= t <= 30_000.0 for t in times)
+            assert all(0 <= e.gpu < 4 for e in events)
+
+    def test_last_survivor_is_never_killed(self):
+        # a storm of more crashes than GPUs must leave one survivor
+        plan = FaultPlan(
+            seed=5,
+            specs=tuple(FaultSpec(FaultKind.GPU_CRASH) for _ in range(6)),
+            name="storm",
+        )
+        events = build_fleet_schedule(plan, 3, 10_000.0)
+        crashes = [e for e in events if e.kind == "gpu_crash"]
+        assert len(crashes) == 2
+        assert len({e.gpu for e in crashes}) == 2
+
+    def test_fleet_kinds_refused_by_cycle_level_injector(self):
+        plan = fleet_scenario("crash")
+        with pytest.raises(ValueError, match="cycle-level"):
+            plan.build()
+
+    def test_cycle_kinds_refused_by_fleet_schedule(self):
+        plan = FaultPlan.single(FaultKind.CTX_CORRUPT)
+        with pytest.raises(ValueError, match="fleet"):
+            build_fleet_schedule(plan, 2, 1_000.0)
+
+
+class TestResilientScheduler:
+    def test_clean_path_matches_plain_scheduler(self):
+        # no faults, no admission pressure: the resilient loop must charge
+        # exactly what the PR 7 scheduler charges
+        requests = ((0.0, 0), (5.0, 0), (1000.0, 0))
+        plain = simulate_shard(requests, ONLY, COSTS)
+        resilient = simulate_resilient_shard(requests, ONLY, COSTS)
+        assert [lat for _, lat, _ in resilient.latencies] == [
+            lat for _, lat in plain.latencies
+        ]
+        assert resilient.overhead_us == plain.overhead_us
+        assert resilient.episodes == plain.episodes
+        assert resilient.makespan_us == plain.makespan_us
+
+    def test_crash_orphans_queued_and_in_flight_work(self):
+        # service 100: r0 runs 0→100, r1 queued; crash at 50 kills both
+        result = simulate_resilient_shard(
+            _shard(0.0, 5.0, 2000.0), ONLY, FREE, crash_at=50.0
+        )
+        assert result.crashed
+        assert result.latencies == []
+        assert [rid for rid, *_ in result.orphans] == [0, 1]
+        # the arrival at 2000 lands after death → redirect, not orphan
+        assert [r[2] for r in result.redirects] == [2]
+
+    def test_completions_before_the_crash_stand(self):
+        result = simulate_resilient_shard(
+            _shard(0.0, 500.0), ONLY, FREE, crash_at=200.0
+        )
+        assert [rid for _, _, rid in result.latencies] == [0]
+        assert [r[2] for r in result.redirects] == [1]
+
+    def test_degrade_window_slows_service(self):
+        ops = ((0.0, "degrade_on", 2.0), (150.0, "degrade_off", 2.0))
+        result = simulate_resilient_shard(
+            _shard(0.0, 1000.0), ONLY, FREE, ops=ops
+        )
+        # r0 serves at factor 2 (200 µs), r1 after the window (100 µs)
+        assert [lat for _, lat, _ in result.latencies] == [200.0, 100.0]
+
+    def test_stall_freezes_the_gpu(self):
+        result = simulate_resilient_shard(
+            _shard(0.0,), ONLY, FREE, ops=((0.0, "stall", 300.0),)
+        )
+        assert result.stalls == 1
+        assert [lat for _, lat, _ in result.latencies] == [400.0]
+
+    def test_queue_drop_evicts_lowest_priority_first(self):
+        tenants = (
+            dataclasses.replace(ONLY[0], name="low", priority=1),
+            dataclasses.replace(ONLY[0], name="high", priority=3),
+        )
+        # r0 in service; low+high queued when the drop (count=1) fires
+        result = simulate_resilient_shard(
+            ((0.0, 0), (10.0, 0), (20.0, 1)), tenants, FREE,
+            ops=((30.0, "drop", 1.0),),
+            admission=AdmissionPolicy(retry_max=0),
+        )
+        assert result.dropped == 1
+        # the low-priority queued request was dropped and (retry_max=0) shed
+        assert [t for t, _rid, _a in result.shed] == [0]
+        assert [t for t, _lat, _ in result.latencies] == [0, 1]
+
+    def test_cadence_checkpoints_bound_lost_progress(self):
+        result = simulate_resilient_shard(
+            (), ONLY, FREE, crash_at=1050.0,
+            ckpt_cadence_us=250.0, ckpt_snapshot_us=5.0,
+        )
+        assert result.crashed
+        assert result.checkpoints == 4  # 250, 500, 750, 1000
+        assert result.last_ckpt_us == 1000.0
+        assert result.checkpoint_us == 4 * 5.0
+
+    def test_checkpoint_free_while_batch_evicted(self):
+        # the batch job is evicted during the long request: the cadence
+        # checkpoint at 50 sees its context already saved → zero cost
+        result = simulate_resilient_shard(
+            _shard(0.0,), ONLY, COSTS,
+            ckpt_cadence_us=50.0, ckpt_snapshot_us=5.0,
+        )
+        assert result.free_checkpoints >= 1
+
+    def test_retry_backoff_is_deterministic_and_seeded(self):
+        # one token at t=0, refilling at 0.01/µs: r1 is refused twice and
+        # admitted on its third attempt, whose time depends on the jitter
+        policy = AdmissionPolicy(
+            rate_per_us=0.01, burst=1.0, retry_backoff_us=50.0, retry_max=2
+        )
+        run = lambda seed: simulate_resilient_shard(  # noqa: E731
+            _shard(0.0, 1.0), ONLY, FREE,
+            admission=policy, seed=seed,
+        )
+        a, b, c = run(0), run(0), run(7)
+        assert a.as_dict() == b.as_dict()
+        assert a.retries > 0 and not a.shed
+        # the jitter derives from the seed, so a different seed lands the
+        # admitted retry — and its recorded latency — at a different time
+        assert a.as_dict() != c.as_dict()
+
+    def test_token_exhaustion_sheds_past_retry_budget(self):
+        policy = AdmissionPolicy(
+            rate_per_us=1e-9, burst=1.0, retry_backoff_us=10.0, retry_max=1
+        )
+        result = simulate_resilient_shard(
+            _shard(0.0, 1.0), ONLY, FREE, admission=policy
+        )
+        assert len(result.latencies) == 1
+        assert len(result.shed) == 1
+        assert result.shed[0][2] == 2  # attempts consumed: 1 retry + final
+
+    def test_depth_cap_respects_priority_bypass(self):
+        tenants = (
+            dataclasses.replace(ONLY[0], name="low", priority=1),
+            dataclasses.replace(ONLY[0], name="vip", priority=3),
+        )
+        policy = AdmissionPolicy(
+            rate_per_us=10.0, burst=100.0, max_queue_depth=1,
+            bypass_priority=3, retry_max=0,
+        )
+        # r0 in service, r1 fills the queue; low r2 refused, vip r3 admitted
+        result = simulate_resilient_shard(
+            ((0.0, 0), (1.0, 0), (2.0, 0), (3.0, 1)), tenants, FREE,
+            admission=policy,
+        )
+        assert [t for t, _rid, _a in result.shed] == [0]
+        assert len(result.latencies) == 3
+
+    def test_hang_watchdog_reports_fleet_context(self):
+        with pytest.raises(SimulationHangError) as excinfo:
+            simulate_resilient_shard(
+                _shard(0.0, 1.0, 2.0, 3.0), ONLY, COSTS,
+                gpu=3, max_steps=1,
+            )
+        message = str(excinfo.value)
+        assert "fleet context:" in message
+        assert "gpu=3" in message
+        assert "request_id=" in message and "tenant=only" in message
+        assert excinfo.value.fleet["gpu"] == 3
+        assert excinfo.value.fleet["queue_depth"] >= 1
+
+
+class TestFailoverPlanner:
+    def _plan(self, schedule, shards=None, knobs=None, tenants=ONLY):
+        if shards is None:
+            shards = [_shard(0.0, 3000.0), _shard(1.0), _shard(2.0)]
+        return plan_resilience(
+            shards, tenants, FREE, tuple(schedule), MIG,
+            knobs=knobs or ResilienceKnobs(ckpt_cadence_us=1000.0),
+        )
+
+    def test_crash_requeues_work_and_restores_the_job(self):
+        plan = self._plan([FleetEvent("gpu_crash", 2500.0, 0)])
+        assert plan.crash_at == [2500.0, None, None]
+        # gpu0's batch job restored exactly once on a survivor
+        restores = [
+            op for g in (1, 2) for op in plan.ops[g] if op[1] == "restore"
+        ]
+        assert len(restores) == 1
+        assert [f.kind for f in plan.failovers] == ["failover"]
+        assert plan.hosted[0] == 0 and sum(plan.hosted) == 3
+        # the request at 3000 re-queued onto a survivor with its original
+        # arrival preserved (latency keeps counting from 3000? no — from
+        # its true arrival), rid 3 = index 1 on gpu 0
+        moved = [
+            e for g in (1, 2) for e in plan.streams[g] if e[2] == 3
+        ]
+        assert len(moved) == 1
+        assert moved[0][3] == 3000.0  # original arrival preserved
+
+    def test_lost_progress_follows_checkpoint_cadence(self):
+        tight = self._plan(
+            [FleetEvent("gpu_crash", 2500.0, 0)],
+            knobs=ResilienceKnobs(ckpt_cadence_us=100.0),
+        )
+        loose = self._plan(
+            [FleetEvent("gpu_crash", 2500.0, 0)],
+            knobs=ResilienceKnobs(ckpt_cadence_us=2000.0),
+        )
+        assert tight.failovers[0].lost_progress_us < (
+            loose.failovers[0].lost_progress_us
+        )
+        assert tight.failovers[0].recovery_us < loose.failovers[0].recovery_us
+
+    def test_watchdog_migrates_batch_off_persistent_degrade(self):
+        plan = self._plan(
+            [FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0, factor=3.0)]
+        )
+        assert [f.kind for f in plan.failovers] == ["watchdog"]
+        # detection at the first 1000 µs watchdog tick after onset
+        assert plan.failovers[0].at_us == 1000.0
+        outs = [op for op in plan.ops[0] if op[1] == "out"]
+        assert len(outs) == 1
+        assert sum(plan.hosted) == 3
+
+    def test_crash_of_source_after_snapshot_completes_on_target(self):
+        # the watchdog moves gpu0's job out at t=1000; gpu0 then dies.
+        # The snapshot already left: the restore proceeds on the target,
+        # and the crash has nothing left to fail over.
+        plan = self._plan(
+            [
+                FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0,
+                           factor=3.0),
+                FleetEvent("gpu_crash", 1100.0, 0),
+            ]
+        )
+        kinds = [f.kind for f in plan.failovers]
+        assert kinds == ["watchdog"]
+        restores = [
+            op for g in (1, 2) for op in plan.ops[g] if op[1] == "restore"
+        ]
+        assert len(restores) == 1
+        assert sum(plan.hosted) == 3
+
+    def test_crash_of_target_before_restore_reroutes_not_duplicates(self):
+        # gpu0's job migrates toward gpu1 (in-flight transfer), but gpu1
+        # dies before the restore applies: the existing snapshot re-routes
+        # to another survivor — restored exactly once, never twice
+        probe = self._plan(
+            [FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0, factor=3.0)]
+        )
+        (restore,) = [
+            (g, op)
+            for g in (1, 2)
+            for op in probe.ops[g]
+            if op[1] == "restore"
+        ]
+        target = restore[0]
+        crash_t = restore[1][0] - 1.0  # strictly before the restore applies
+        plan = self._plan(
+            [
+                FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0,
+                           factor=3.0),
+                FleetEvent("gpu_crash", crash_t, target),
+            ]
+        )
+        kinds = sorted(f.kind for f in plan.failovers)
+        assert kinds == ["failover", "rerouted", "watchdog"]
+        # exactly two live restores remain: the re-routed job + the dead
+        # target's own batch job; none on the dead GPU
+        survivors = [g for g in range(3) if plan.crash_at[g] is None]
+        live_restores = [
+            op for g in survivors for op in plan.ops[g] if op[1] == "restore"
+        ]
+        assert len(live_restores) == 2
+        assert not any(op[1] == "restore" for op in plan.ops[target])
+        assert sum(plan.hosted) == 3 and plan.hosted[target] == 0
+
+
+def _small_chaos(jobs=1, core=None, seed=0, scenario="mixed", cadence=5000.0):
+    config = GPUConfig.small(4)
+    if core is not None:
+        config = dataclasses.replace(config, core=core)
+    return run_serve_chaos(
+        ("baseline", "ctxback"),
+        scenario=scenario,
+        trace=TraceSpec(kind="bursty", seed=seed),
+        loads=(0.6,),
+        requests=400,
+        gpus=3,
+        key="mm",
+        config=config,
+        iterations=6,
+        samples=1,
+        engine=ExperimentEngine(jobs=jobs),
+        knobs=ResilienceKnobs(ckpt_cadence_us=cadence),
+    )
+
+
+class TestChaosServe:
+    def test_identical_across_jobs(self):
+        a = render_serve_json(_small_chaos(jobs=1))
+        b = render_serve_json(_small_chaos(jobs=3))
+        assert a == b
+
+    def test_identical_across_cores(self):
+        a = render_serve_json(_small_chaos(core="fast"))
+        b = render_serve_json(_small_chaos(core="reference"))
+        assert a == b
+
+    def test_oracle_passes_every_scenario(self):
+        for scenario in fleet_scenario_names():
+            report = _small_chaos(scenario=scenario)
+            assert report["oracle"]["ok"], report["oracle"]
+
+    def test_report_counts_faults_and_recovery(self):
+        report = _small_chaos(scenario="crash")
+        cell = report["results"][0]
+        assert cell["crashes"] == 1
+        assert cell["failovers"] == 1
+        assert cell["recovery_us"]["p99"] > 0
+        assert 0.0 < cell["availability"] <= 1.0
+        parsed = json.loads(render_serve_json(report))
+        assert parsed["chaos"]["scenario"] == "crash"
+        assert parsed["oracle"]["ok"] is True
+
+    def test_ctxback_recovers_no_slower_than_baseline(self):
+        # the paper's argument in the failure regime: a smaller context
+        # means a smaller snapshot, cheaper cadence checkpoints, and a
+        # faster crash recovery
+        report = _small_chaos(scenario="crash")
+        by_mech = {c["mechanism"]: c for c in report["results"]}
+        assert (
+            report["chaos"]["snapshot_bytes"]["ctxback"]
+            < report["chaos"]["snapshot_bytes"]["baseline"]
+        )
+        assert (
+            by_mech["ctxback"]["recovery_us"]["p99"]
+            <= by_mech["baseline"]["recovery_us"]["p99"]
+        )
+        assert (
+            by_mech["ctxback"]["checkpoints"]["overhead_us"]
+            <= by_mech["baseline"]["checkpoints"]["overhead_us"]
+        )
+
+    def test_cadence_tradeoff_visible_in_report(self):
+        tight = _small_chaos(scenario="crash", cadence=500.0)
+        loose = _small_chaos(scenario="crash", cadence=20_000.0)
+        t = {c["mechanism"]: c for c in tight["results"]}["ctxback"]
+        l = {c["mechanism"]: c for c in loose["results"]}["ctxback"]
+        # tighter cadence: more checkpoint overhead, less lost progress
+        assert t["checkpoints"]["taken"] > l["checkpoints"]["taken"]
+        assert (
+            t["recovery_us"]["lost_progress"]
+            <= l["recovery_us"]["lost_progress"]
+        )

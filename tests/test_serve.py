@@ -23,18 +23,23 @@ from repro.analysis import ExperimentEngine
 from repro.analysis.experiments import _signal_points
 from repro.serve import (
     DEFAULT_TENANTS,
+    FleetEvent,
     MechanismCosts,
+    MigrationCosts,
     Request,
+    ResilienceKnobs,
     Tenant,
     TraceSpec,
     generate_arrivals,
     mean_service_us,
     mechanism_costs,
     nearest_rank,
+    plan_resilience,
     render_serve_json,
     render_serve_text,
     run_serve,
     shard_arrivals,
+    simulate_resilient_shard,
     simulate_shard,
 )
 from repro.sim import GPUConfig, run_preemption_experiment
@@ -285,3 +290,74 @@ class TestCalibration:
         assert mean_service_us(DEFAULT_TENANTS) == pytest.approx(
             0.5 * 40 + 0.3 * 80 + 0.2 * 160
         )
+
+
+# -- serving under concurrent GPU failure ------------------------------------------
+#
+# The fleet planner re-queues a dead GPU's requests onto survivors; these
+# tests drive the planned shards through the resilient scheduler and check
+# the serving-level invariants: every request completes or sheds exactly
+# once (never twice, never silently), and a re-queued request's latency
+# keeps counting from its ORIGINAL arrival — the failover delay is charged
+# to the tail, not hidden.
+
+
+class TestServeUnderFailure:
+    KNOBS = ResilienceKnobs(detect_us=500.0, ckpt_cadence_us=1000.0)
+    MIG = MigrationCosts(snapshot_us=40.0, transfer_us=100.0, restore_us=20.0)
+
+    def _simulate(self, schedule):
+        shards = [
+            ((0.0, 0), (150.0, 0), (2600.0, 0)),  # gpu0: rids 0, 2, 4
+            ((10.0, 0), (160.0, 0)),              # gpu1: rids 1, 3
+        ]
+        plan = plan_resilience(
+            shards, SINGLE_TENANT, MechanismCosts("x", 0.0, 0.0),
+            schedule, self.MIG, knobs=self.KNOBS,
+        )
+        results = [
+            simulate_resilient_shard(
+                plan.streams[g], SINGLE_TENANT,
+                MechanismCosts("x", 0.0, 0.0), gpu=g,
+                crash_at=plan.crash_at[g], ops=plan.ops[g],
+                ckpt_cadence_us=self.KNOBS.ckpt_cadence_us,
+            )
+            for g in range(2)
+        ]
+        return plan, results
+
+    def test_crash_requeue_completes_every_request_exactly_once(self):
+        plan, results = self._simulate((FleetEvent("gpu_crash", 200.0, 0),))
+        completed = [rid for r in results for _, _, rid in r.latencies]
+        shed = [rid for r in results for _, rid, _ in r.shed]
+        assert sorted(completed) == sorted(set(completed))  # no duplicates
+        assert sorted(completed + shed) == [0, 1, 2, 3, 4]
+        # gpu0 finished rid 0 before dying; rids 2 and 4 moved to gpu1
+        assert [rid for _, _, rid in results[0].latencies] == [0]
+        assert plan.crash_at == [200.0, None]
+
+    def test_requeued_latency_counts_from_original_arrival(self):
+        _, results = self._simulate((FleetEvent("gpu_crash", 200.0, 0),))
+        survivor = {rid: lat for _, lat, rid in results[1].latencies}
+        # rid 2 arrived at 150, died with gpu0 at 200, and could not even
+        # re-arrive before 200 + detect: its latency includes the failover
+        # gap on top of service, measured from the 150 µs arrival
+        assert survivor[2] >= (200.0 + 500.0 - 150.0) + 100.0
+        # rid 4 arrived after the crash and was redirected on arrival: it
+        # pays the detection delay, not the service backlog of the dead GPU
+        assert survivor[4] < survivor[2]
+
+    def test_no_fleet_events_means_byte_identical_plain_serve(self):
+        # zero-overhead guard at the scheduler level: an empty schedule
+        # must reproduce the plain scheduler's accounting exactly
+        plan, results = self._simulate(())
+        assert not plan.failovers
+        for g, shard in enumerate(
+            [((0.0, 0), (150.0, 0), (2600.0, 0)), ((10.0, 0), (160.0, 0))]
+        ):
+            plain = simulate_shard(shard, SINGLE_TENANT,
+                                   MechanismCosts("x", 0.0, 0.0))
+            assert [lat for _, lat, _ in results[g].latencies] == [
+                lat for _, lat in plain.latencies
+            ]
+            assert results[g].overhead_us == plain.overhead_us

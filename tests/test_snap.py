@@ -620,3 +620,91 @@ class TestServeMigration:
 
         first, second = report
         assert render_serve_json(first) == render_serve_json(second)
+
+
+# -- migration under concurrent GPU failure ----------------------------------------
+#
+# Live migration and the fleet fault model interleave: a GPU can die while
+# its batch job's snapshot is in flight.  The planner's ledger must land
+# every job exactly once — completing on the target when the snapshot left
+# the source in time, re-routing the snapshot when the target dies first —
+# and the simulated shards must mirror that ledger in their own counters.
+
+
+class TestMigrationUnderFailure:
+    FLEET_TENANT = (
+        Tenant("rt", priority=1, service_us=100.0, slo_us=1000.0, weight=1.0),
+    )
+    FLEET_MIG = MigrationCosts(
+        snapshot_us=40.0, transfer_us=100.0, restore_us=20.0
+    )
+
+    def _plan(self, schedule):
+        from repro.serve import FleetEvent, ResilienceKnobs, plan_resilience
+
+        del FleetEvent  # imported for callers building schedules
+        shards = [((0.0, 0), (3000.0, 0)), ((1.0, 0),), ((2.0, 0),)]
+        return plan_resilience(
+            shards, self.FLEET_TENANT, MechanismCosts("x", 0.0, 0.0),
+            tuple(schedule), self.FLEET_MIG,
+            knobs=ResilienceKnobs(ckpt_cadence_us=1000.0),
+        )
+
+    def _simulate(self, plan):
+        from repro.serve import simulate_resilient_shard
+
+        return [
+            simulate_resilient_shard(
+                plan.streams[g], self.FLEET_TENANT,
+                MechanismCosts("x", 0.0, 0.0), gpu=g,
+                crash_at=plan.crash_at[g], ops=plan.ops[g],
+                ckpt_cadence_us=1000.0,
+            )
+            for g in range(3)
+        ]
+
+    def test_source_crash_after_snapshot_leaves_completes_on_target(self):
+        from repro.serve import FleetEvent
+
+        # the watchdog moves gpu0's job out at t=1000 (snapshot + transfer
+        # already departed); gpu0 dies at 1100 — the migration completes on
+        # the target anyway, and the crash finds nothing left to fail over
+        plan = self._plan([
+            FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0, factor=3.0),
+            FleetEvent("gpu_crash", 1100.0, 0),
+        ])
+        results = self._simulate(plan)
+        assert results[0].crashed and results[0].migrations_out == 1
+        survivors = [g for g in (1, 2) if plan.crash_at[g] is None]
+        landed = [g for g in survivors if results[g].restores_in == 1]
+        assert len(landed) == 1  # exactly one target, exactly one restore
+        assert results[landed[0]].migration_us > 0.0
+        assert sum(results[g].hosted_end for g in survivors) == 3
+
+    def test_target_crash_before_restore_reroutes_snapshot_once(self):
+        from repro.serve import FleetEvent
+
+        # find where the watchdog migration would land, then kill that
+        # target just before the restore applies
+        probe = self._plan([
+            FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0, factor=3.0),
+        ])
+        (target, restore_op) = next(
+            (g, op)
+            for g in (1, 2)
+            for op in probe.ops[g]
+            if op[1] == "restore"
+        )
+        plan = self._plan([
+            FleetEvent("gpu_degrade", 250.0, 0, duration_us=0.0, factor=3.0),
+            FleetEvent("gpu_crash", restore_op[0] - 1.0, target),
+        ])
+        results = self._simulate(plan)
+        survivor = next(g for g in (1, 2) if g != target)
+        # the in-flight snapshot re-routed to the survivor, which also
+        # absorbs the dead target's own batch job: two restores, and the
+        # dead target never executes one — the job never runs twice
+        assert results[survivor].restores_in == 2
+        assert results[target].restores_in == 0
+        assert results[survivor].hosted_end == 3
+        assert [f.kind for f in plan.failovers].count("rerouted") == 1
